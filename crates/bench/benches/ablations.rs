@@ -1,0 +1,59 @@
+//! Criterion benches for the DESIGN.md ablations: both sides of each
+//! design decision on identical inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stale_bench::{ablate, Experiments};
+use stale_types::DomainName;
+use std::sync::OnceLock;
+use worldsim::ScenarioConfig;
+
+fn experiments() -> &'static Experiments {
+    static CELL: OnceLock<Experiments> = OnceLock::new();
+    CELL.get_or_init(|| Experiments::new(ScenarioConfig::tiny()))
+}
+
+fn bench_dns_history(c: &mut Criterion) {
+    let e = experiments();
+    let domains: Vec<DomainName> = e.data.adns.domains().take(200).cloned().collect();
+    let window = e.data.adns_window;
+    let config = e.data.cdn_config.clone();
+    let is_target = move |n: &DomainName| config.is_delegation_target(n);
+    let mut group = c.benchmark_group("ablate_dns_history");
+    group.sample_size(10);
+    group.bench_function("interval_queries", |b| {
+        b.iter(|| ablate::departures_interval(&e.data.adns, &domains, window, &is_target))
+    });
+    group.bench_function("materialised_snapshots", |b| {
+        b.iter(|| ablate::departures_materialised(&e.data.adns, &domains, window, &is_target))
+    });
+    group.finish();
+}
+
+fn bench_crl_join(c: &mut Criterion) {
+    let e = experiments();
+    let mut group = c.benchmark_group("ablate_crl_join");
+    group.sample_size(10);
+    group.bench_function("hash_join", |b| {
+        b.iter(|| ablate::crl_join_hash(&e.data.crl, &e.data.monitor))
+    });
+    group.bench_function("sort_merge_join", |b| {
+        b.iter(|| ablate::crl_join_sort_merge(&e.data.crl, &e.data.monitor))
+    });
+    group.finish();
+}
+
+fn bench_cruise_liner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_cruise_liner");
+    group.sample_size(10);
+    group.bench_function("blast_radius_32_customers", |b| {
+        b.iter(|| {
+            let (cruise, per_domain) = ablate::cruise_liner_blast_radius(32, 40);
+            assert!(cruise >= per_domain);
+            (cruise, per_domain)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dns_history, bench_crl_join, bench_cruise_liner);
+criterion_main!(benches);

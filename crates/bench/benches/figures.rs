@@ -1,0 +1,37 @@
+//! Criterion benches: one per figure of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stale_bench::Experiments;
+use std::sync::OnceLock;
+use worldsim::ScenarioConfig;
+
+fn experiments() -> &'static Experiments {
+    static CELL: OnceLock<Experiments> = OnceLock::new();
+    CELL.get_or_init(|| Experiments::new(ScenarioConfig::tiny()))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let e = experiments();
+    c.bench_function("fig4_monthly_kc_by_ca", |b| b.iter(|| e.fig4()));
+    c.bench_function("fig5a_monthly_rc", |b| b.iter(|| e.fig5a()));
+    c.bench_function("fig5b_rc_by_issuer", |b| b.iter(|| e.fig5b()));
+    c.bench_function("fig6_staleness_cdf", |b| b.iter(|| e.fig6()));
+    c.bench_function("fig7_rc_by_year", |b| b.iter(|| e.fig7()));
+    c.bench_function("fig8_survival", |b| b.iter(|| e.fig8()));
+    c.bench_function("fig9_lifetime_caps", |b| b.iter(|| e.fig9()));
+}
+
+fn bench_world(c: &mut Criterion) {
+    // The end-to-end cost of simulating a world (tiny preset) — the input
+    // generator behind every experiment.
+    c.bench_function("world_tiny_simulation", |b| {
+        b.iter(|| worldsim::World::run(ScenarioConfig::tiny()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures, bench_world
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for the substrate layers: crypto, DER, CT Merkle
+//! trees, DNS wire format, resolution and PSL matching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crypto::KeyPair;
+use stale_types::{domain::dn, Date, Duration};
+use x509::CertificateBuilder;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = vec![0xABu8; 4096];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_4k", |b| b.iter(|| crypto::sha256(&data)));
+    group.finish();
+    let key = KeyPair::from_seed([1; 32]);
+    c.bench_function("simsig_sign_verify", |b| {
+        b.iter(|| {
+            let sig = crypto::SimSig::sign(key.private(), b"tbs bytes");
+            assert!(crypto::SimSig::verify(&key.public(), b"tbs bytes", &sig));
+        })
+    });
+}
+
+fn sample_cert() -> x509::Certificate {
+    let ca = KeyPair::from_seed([2; 32]);
+    CertificateBuilder::tls_leaf(KeyPair::from_seed([3; 32]).public())
+        .serial(77)
+        .issuer_cn("Bench CA")
+        .subject_cn("foo.com")
+        .sans((0..8).map(|i| dn(&format!("host{i}.foo.com"))))
+        .validity_days(Date::parse("2022-01-01").unwrap(), Duration::days(398))
+        .crl_url("http://crl.bench/ca.crl")
+        .sign(&ca)
+}
+
+fn bench_x509(c: &mut Criterion) {
+    let cert = sample_cert();
+    let der = cert.encode();
+    c.bench_function("x509_encode", |b| b.iter(|| cert.encode()));
+    c.bench_function("x509_decode", |b| b.iter(|| x509::Certificate::decode(&der).unwrap()));
+    c.bench_function("x509_cert_id", |b| b.iter(|| cert.cert_id()));
+}
+
+fn bench_ct(c: &mut Criterion) {
+    use ct::merkle::MerkleTree;
+    c.bench_function("merkle_append_1000", |b| {
+        b.iter(|| {
+            let mut t = MerkleTree::new();
+            for i in 0..1000u32 {
+                t.append(&i.to_be_bytes());
+            }
+            t.root()
+        })
+    });
+    let mut tree = MerkleTree::new();
+    for i in 0..4096u32 {
+        tree.append(&i.to_be_bytes());
+    }
+    c.bench_function("merkle_inclusion_proof_4096", |b| {
+        b.iter(|| tree.inclusion_proof(2048, 4096).unwrap())
+    });
+    c.bench_function("merkle_consistency_proof_4096", |b| {
+        b.iter(|| tree.consistency_proof(1000, 4096).unwrap())
+    });
+}
+
+fn bench_dns(c: &mut Criterion) {
+    use dns::record::{RData, Record, RecordType};
+    use dns::wire::{Message, Rcode};
+    let query = Message::query(7, dn("www.foo.com"), RecordType::A);
+    let answers: Vec<Record> = (1..=4)
+        .map(|i| Record::new(dn("foo.com"), RData::Ns(dn(&format!("ns{i}.foo.com")))))
+        .collect();
+    let response = Message::response(&query, answers, Rcode::NoError);
+    let wire = response.encode();
+    c.bench_function("dns_wire_encode", |b| b.iter(|| response.encode()));
+    c.bench_function("dns_wire_decode", |b| b.iter(|| Message::decode(&wire).unwrap()));
+
+    use dns::resolver::Resolver;
+    use dns::zone::Zone;
+    let mut resolver = Resolver::new();
+    let mut zone = Zone::new(dn("foo.com"));
+    zone.add_data(dn("foo.com"), RData::A(dns::record::Ipv4Addr::new(192, 0, 2, 1)));
+    zone.add_data(dn("www.foo.com"), RData::Cname(dn("foo.com")));
+    resolver.add_zone(zone);
+    c.bench_function("dns_resolve_cname_chase", |b| {
+        b.iter(|| resolver.resolve(&dn("www.foo.com"), RecordType::A).unwrap())
+    });
+}
+
+fn bench_psl(c: &mut Criterion) {
+    let list = psl::SuffixList::default_list();
+    let names = [
+        dn("www.foo.com"),
+        dn("a.b.c.bar.co.uk"),
+        dn("x.unknowntld"),
+        dn("deep.sub.foo.wild.ck"),
+    ];
+    c.bench_function("psl_e2ld_batch4", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .filter_map(|n| list.e2ld(n).ok())
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_crypto, bench_x509, bench_ct, bench_dns, bench_psl);
+criterion_main!(benches);

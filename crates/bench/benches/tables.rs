@@ -1,0 +1,56 @@
+//! Criterion benches: one per table of the paper.
+//!
+//! The world is simulated once (tiny preset) and each bench measures the
+//! analysis that regenerates the table from the datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stale_bench::Experiments;
+use std::sync::OnceLock;
+use worldsim::ScenarioConfig;
+
+fn experiments() -> &'static Experiments {
+    static CELL: OnceLock<Experiments> = OnceLock::new();
+    CELL.get_or_init(|| Experiments::new(ScenarioConfig::tiny()))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let e = experiments();
+    c.bench_function("table3_dataset_summary", |b| b.iter(|| e.table3()));
+    c.bench_function("table4_daily_rates", |b| b.iter(|| e.table4()));
+    c.bench_function("table5_reputation", |b| b.iter(|| e.table5()));
+    c.bench_function("table6_popularity", |b| b.iter(|| e.table6()));
+    c.bench_function("table7_crl_coverage", |b| b.iter(|| e.table7()));
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let e = experiments();
+    let psl = psl::SuffixList::default_list();
+    c.bench_function("detect_key_compromise", |b| {
+        b.iter(|| {
+            stale_core::detector::key_compromise::RevocationAnalysis::run(
+                &e.data.crl,
+                &e.data.monitor,
+                e.data.crl_window.start,
+            )
+        })
+    });
+    c.bench_function("detect_registrant_change", |b| {
+        b.iter(|| {
+            stale_core::detector::registrant_change::RegistrantChangeDetector::new(&psl)
+                .detect(&e.data.whois, &e.data.monitor)
+        })
+    });
+    c.bench_function("detect_managed_tls", |b| {
+        b.iter(|| {
+            stale_core::detector::managed_tls::ManagedTlsDetector::new(&e.data.cdn_config, &psl)
+                .detect(&e.data.adns, &e.data.monitor, e.data.adns_window)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_detectors
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [preset] [experiment...] [--csv DIR]
+//!
+//! presets:     paper (default) | small | tiny
+//! experiments: table3 table4 table5 table6 table7
+//!              fig4 fig5a fig5b fig6 fig7 fig8 fig9 mitigations
+//!              all (default)
+//! ```
+
+use stale_bench::Experiments;
+use worldsim::ScenarioConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = "paper";
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut args_iter = args.iter().peekable();
+    while let Some(arg) = args_iter.next() {
+        match arg.as_str() {
+            "paper" | "small" | "tiny" => preset = arg,
+            "--csv" => {
+                csv_dir = args_iter.next().cloned();
+                if csv_dir.is_none() {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            other => wanted.push(other),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all");
+    }
+    let cfg = match preset {
+        "small" => ScenarioConfig::small(),
+        "tiny" => ScenarioConfig::tiny(),
+        _ => ScenarioConfig::paper2023(),
+    };
+    eprintln!(
+        "simulating world: preset={preset}, {} days, seed {}",
+        cfg.sim_days(),
+        cfg.seed
+    );
+    let started = std::time::Instant::now();
+    let experiments = Experiments::new(cfg);
+    eprintln!("world + detection ready in {:.1}s\n", started.elapsed().as_secs_f64());
+    for name in wanted {
+        let output = match name {
+            "all" => experiments.run_all(),
+            "table3" => experiments.table3(),
+            "taxonomy" => experiments.taxonomy_tables(),
+            "table4" => experiments.table4(),
+            "table5" => experiments.table5(),
+            "table6" => experiments.table6(),
+            "table7" => experiments.table7(),
+            "fig4" => experiments.fig4(),
+            "fig5a" => experiments.fig5a(),
+            "fig5b" => experiments.fig5b(),
+            "fig6" => experiments.fig6(),
+            "fig7" => experiments.fig7(),
+            "fig8" => experiments.fig8(),
+            "fig9" => experiments.fig9(),
+            "mitigations" => experiments.mitigations(),
+            "first_party" => experiments.first_party(),
+            other => {
+                eprintln!("unknown experiment {other:?}; see --help text in the source");
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for (name, contents) in experiments.export_csv() {
+            let path = std::path::Path::new(&dir).join(name);
+            std::fs::write(&path, contents).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment runners reproducing every table and figure of the paper's
+//! evaluation, plus ablation studies for the design choices called out in
+//! DESIGN.md.
+//!
+//! [`experiments::Experiments`] bundles a simulated world with the
+//! detection suite and exposes one method per table/figure. Each method
+//! returns a plain-text report that prints the measured values next to the
+//! paper's reported values, so shape agreement (who wins, rough factors,
+//! crossovers) is visible at a glance. The `repro` binary drives them.
+
+pub mod ablate;
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::Experiments;

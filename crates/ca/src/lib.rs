@@ -1,0 +1,29 @@
+//! Certificate authority substrate: issuance policy, ACME domain
+//! validation, certificate issuance with CT submission, revocation and
+//! CRL publication/scraping.
+//!
+//! * [`policy`] — maximum-lifetime rules over time (39 months → 825 days
+//!   in 2018 → 398 days in September 2020, §6) plus per-CA self-imposed
+//!   limits (Let's Encrypt/GTS/cPanel at 90 days);
+//! * [`acme`] — the RFC 8555-shaped DV flow (§2.2, Figure 1): order →
+//!   challenge (dns-01 / http-01 / tls-alpn-01) → validation against the
+//!   `dns` substrate → finalization, including the 398-day *domain
+//!   validation reuse* cache the paper calls out as a staleness source
+//!   (§4.4);
+//! * [`authority`] — the CA itself: precert → CT submission → final
+//!   certificate with SCTs; revocation with RFC 5280 reasons; daily CRLs;
+//! * [`scraper`] — the Mozilla-CCADB-style daily CRL collection with
+//!   per-CA failure rates, reproducing Table 7 coverage and feeding the
+//!   key-compromise detector.
+
+pub mod acme;
+pub mod authority;
+pub mod ocsp;
+pub mod policy;
+pub mod scraper;
+pub mod star;
+
+pub use acme::{AcmeError, AcmeServer, Challenge, ChallengeType, Order, OrderStatus};
+pub use authority::{CertificateAuthority, IssuanceRequest, IssueError};
+pub use policy::{baseline_max_lifetime, CaPolicy};
+pub use scraper::{CrlDataset, CrlScraper, RevocationRecord, ScrapeStats};

@@ -1,0 +1,212 @@
+//! OCSP: the Online Certificate Status Protocol (RFC 6960, reduced).
+//!
+//! §2.4 of the paper explains why revocation fails in practice: many
+//! clients never check, and those that do mostly *soft-fail* — an on-path
+//! attacker (exactly the adversary who holds a stale certificate's key)
+//! simply drops the OCSP traffic. The one hard-fail deployment is OCSP
+//! Must-Staple. This module implements the responder side; client policy
+//! and the interception experiment live in `stale_core::mitigation`.
+
+use crate::authority::CertificateAuthority;
+use crypto::{PublicKey, Signature, SimSig};
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, Duration, KeyId, SerialNumber};
+use x509::revocation::RevocationReason;
+
+/// Certificate status in an OCSP response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CertStatus {
+    /// Not revoked as far as the responder knows.
+    Good,
+    /// Revoked at the given date for the given reason.
+    Revoked {
+        /// Revocation day.
+        date: Date,
+        /// Declared reason.
+        reason: RevocationReason,
+    },
+    /// The responder does not know the certificate.
+    Unknown,
+}
+
+/// A signed OCSP response for one certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcspResponse {
+    /// Issuing key the response is scoped to.
+    pub authority_key_id: KeyId,
+    /// Serial the response covers.
+    pub serial: SerialNumber,
+    /// The status.
+    pub status: CertStatus,
+    /// Production day.
+    pub this_update: Date,
+    /// Day after which the response must not be relied on.
+    pub next_update: Date,
+    /// Responder signature.
+    pub signature: Signature,
+}
+
+impl OcspResponse {
+    fn signed_bytes(
+        aki: &KeyId,
+        serial: SerialNumber,
+        status: &CertStatus,
+        this_update: Date,
+        next_update: Date,
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(aki.as_bytes());
+        buf.extend_from_slice(&serial.0.to_be_bytes());
+        match status {
+            CertStatus::Good => buf.push(0),
+            CertStatus::Revoked { date, reason } => {
+                buf.push(1);
+                buf.extend_from_slice(&date.days_since_epoch().to_be_bytes());
+                buf.push(reason.code());
+            }
+            CertStatus::Unknown => buf.push(2),
+        }
+        buf.extend_from_slice(&this_update.days_since_epoch().to_be_bytes());
+        buf.extend_from_slice(&next_update.days_since_epoch().to_be_bytes());
+        buf
+    }
+
+    /// Verify the response under the responder's public key.
+    pub fn verify(&self, responder: &PublicKey) -> bool {
+        let bytes = Self::signed_bytes(
+            &self.authority_key_id,
+            self.serial,
+            &self.status,
+            self.this_update,
+            self.next_update,
+        );
+        SimSig::verify(responder, &bytes, &self.signature)
+    }
+
+    /// Whether the response is still fresh at `date`.
+    pub fn fresh_at(&self, date: Date) -> bool {
+        self.this_update <= date && date < self.next_update
+    }
+}
+
+/// Validity period of produced responses (a typical ~7-day window).
+pub const RESPONSE_VALIDITY: Duration = Duration(7);
+
+/// Produce a signed OCSP response from a CA's revocation state.
+///
+/// Real deployments delegate to a responder certificate; here the CA key
+/// signs directly, which keeps the trust chain one hop as the analyses
+/// need.
+pub fn respond(ca: &CertificateAuthority, serial: SerialNumber, today: Date) -> OcspResponse {
+    let status = match ca.issued(serial) {
+        None => CertStatus::Unknown,
+        Some(_) => {
+            // Consult the CA's CRL state (the responder and CRL share a
+            // backing store in practice).
+            let crl = ca.publish_crl(today);
+            match crl.find(serial) {
+                Some(entry) => CertStatus::Revoked {
+                    date: entry.revocation_date,
+                    reason: entry.reason,
+                },
+                None => CertStatus::Good,
+            }
+        }
+    };
+    let next_update = today + RESPONSE_VALIDITY;
+    let bytes =
+        OcspResponse::signed_bytes(&ca.key_id(), serial, &status, today, next_update);
+    OcspResponse {
+        authority_key_id: ca.key_id(),
+        serial,
+        status,
+        this_update: today,
+        next_update,
+        signature: sign_as(ca, &bytes),
+    }
+}
+
+/// Sign responder bytes with the CA key.
+fn sign_as(ca: &CertificateAuthority, bytes: &[u8]) -> Signature {
+    // The CA exposes no private-key handle; responders are part of the CA
+    // in this model, so signing goes through a dedicated hook.
+    ca.sign_ocsp(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::IssuanceRequest;
+    use crate::policy::CaPolicy;
+    use crypto::KeyPair;
+    use ct::log::LogPool;
+    use stale_types::{domain::dn, CaId};
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn setup() -> (CertificateAuthority, x509::Certificate) {
+        let mut ct = LogPool::with_yearly_shards("ocsp", 8, 2021, 2025);
+        let mut ca = CertificateAuthority::new(
+            CaId(30),
+            "OCSP CA",
+            KeyPair::from_seed([30; 32]),
+            CaPolicy::commercial(),
+        );
+        let cert = ca
+            .issue(
+                &IssuanceRequest {
+                    domains: vec![dn("resp.com")],
+                    public_key: KeyPair::from_seed([31; 32]).public(),
+                    requested_lifetime: None,
+                },
+                d("2022-01-01"),
+                &mut ct,
+            )
+            .unwrap();
+        (ca, cert)
+    }
+
+    #[test]
+    fn good_response_verifies() {
+        let (ca, cert) = setup();
+        let resp = respond(&ca, cert.tbs.serial, d("2022-02-01"));
+        assert_eq!(resp.status, CertStatus::Good);
+        assert!(resp.verify(&ca.public_key()));
+        assert!(resp.fresh_at(d("2022-02-03")));
+        assert!(!resp.fresh_at(d("2022-02-08")));
+        assert!(!resp.fresh_at(d("2022-01-31")));
+    }
+
+    #[test]
+    fn revoked_response_carries_reason() {
+        let (mut ca, cert) = setup();
+        ca.revoke(cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise).unwrap();
+        let resp = respond(&ca, cert.tbs.serial, d("2022-03-05"));
+        assert_eq!(
+            resp.status,
+            CertStatus::Revoked { date: d("2022-03-01"), reason: RevocationReason::KeyCompromise }
+        );
+        assert!(resp.verify(&ca.public_key()));
+    }
+
+    #[test]
+    fn unknown_serial() {
+        let (ca, _) = setup();
+        let resp = respond(&ca, SerialNumber(424242), d("2022-02-01"));
+        assert_eq!(resp.status, CertStatus::Unknown);
+    }
+
+    #[test]
+    fn forged_response_rejected() {
+        let (ca, cert) = setup();
+        let mut resp = respond(&ca, cert.tbs.serial, d("2022-02-01"));
+        // Attacker flips a revoked status to Good... here Good to Unknown.
+        resp.status = CertStatus::Unknown;
+        assert!(!resp.verify(&ca.public_key()));
+        // Or signs with their own key.
+        let mallory = KeyPair::from_seed([66; 32]);
+        assert!(!respond(&ca, cert.tbs.serial, d("2022-02-01")).verify(&mallory.public()));
+    }
+}

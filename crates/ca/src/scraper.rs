@@ -1,0 +1,300 @@
+//! Daily CRL collection (the §4.1 pipeline, Table 7 in Appendix B).
+//!
+//! Since October 2022 Mozilla requires CRL disclosure for all trusted
+//! certificates, so the paper could enumerate and download every CRL once
+//! a day. Some CRL servers blocked scraping; the paper reached >97% of
+//! daily CRLs. [`CrlScraper`] models exactly that: a daily fetch loop with
+//! a per-CA failure probability, DER parse of everything fetched, and
+//! dedup of revocation entries into a [`CrlDataset`].
+
+use crate::authority::CertificateAuthority;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DateInterval, KeyId, SerialNumber};
+use std::collections::{BTreeMap, HashSet};
+use x509::revocation::{Crl, RevocationReason};
+
+/// One revocation as the pipeline stores it: exactly the fields a CRL
+/// carries (no certificate contents — those come from the CT join).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevocationRecord {
+    /// Issuing key (CRL scope).
+    pub authority_key_id: KeyId,
+    /// Revoked serial.
+    pub serial: SerialNumber,
+    /// Revocation effective date.
+    pub revocation_date: Date,
+    /// Declared reason.
+    pub reason: RevocationReason,
+    /// Day the scraper first observed the entry.
+    pub observed: Date,
+}
+
+/// Deduplicated revocation collection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrlDataset {
+    records: Vec<RevocationRecord>,
+    #[serde(skip)]
+    seen: HashSet<(KeyId, SerialNumber)>,
+    /// Collection window.
+    pub window: Option<DateInterval>,
+}
+
+impl CrlDataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        CrlDataset::default()
+    }
+
+    /// Add an entry if unseen; returns whether it was new.
+    pub fn add(&mut self, record: RevocationRecord) -> bool {
+        if self.seen.insert((record.authority_key_id, record.serial)) {
+            self.records.push(record);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[RevocationRecord] {
+        &self.records
+    }
+
+    /// Records with a given reason.
+    pub fn with_reason(&self, reason: RevocationReason) -> impl Iterator<Item = &RevocationRecord> {
+        self.records.iter().filter(move |r| r.reason == reason)
+    }
+
+    /// Total revocations collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Per-CA and total scrape coverage (Table 7).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScrapeStats {
+    /// CA name → (attempted downloads, successful downloads).
+    pub per_ca: BTreeMap<String, (u64, u64)>,
+}
+
+impl ScrapeStats {
+    fn record(&mut self, ca: &str, success: bool) {
+        let entry = self.per_ca.entry(ca.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        if success {
+            entry.1 += 1;
+        }
+    }
+
+    /// Coverage fraction for one CA.
+    pub fn coverage(&self, ca: &str) -> Option<f64> {
+        self.per_ca.get(ca).map(|(a, s)| if *a == 0 { 1.0 } else { *s as f64 / *a as f64 })
+    }
+
+    /// Total coverage across CAs.
+    pub fn total_coverage(&self) -> f64 {
+        let (a, s) = self
+            .per_ca
+            .values()
+            .fold((0u64, 0u64), |(a, s), (pa, ps)| (a + pa, s + ps));
+        if a == 0 {
+            1.0
+        } else {
+            s as f64 / a as f64
+        }
+    }
+
+    /// Rows sorted by ascending coverage, as Table 7 presents them.
+    pub fn rows_by_coverage(&self) -> Vec<(String, u64, u64, f64)> {
+        let mut rows: Vec<_> = self
+            .per_ca
+            .iter()
+            .map(|(name, (a, s))| {
+                (name.clone(), *s, *a, if *a == 0 { 1.0 } else { *s as f64 / *a as f64 })
+            })
+            .collect();
+        rows.sort_by(|x, y| x.3.partial_cmp(&y.3).expect("finite").then(x.0.cmp(&y.0)));
+        rows
+    }
+}
+
+/// Daily CRL scraper with per-CA failure rates.
+pub struct CrlScraper {
+    /// CA name → probability a daily download fails (anti-scraping, etc.).
+    failure_rates: BTreeMap<String, f64>,
+    /// Default failure rate for CAs not listed.
+    default_failure: f64,
+    rng: StdRng,
+}
+
+impl CrlScraper {
+    /// Scraper with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        CrlScraper {
+            failure_rates: BTreeMap::new(),
+            default_failure: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Set a per-CA failure rate.
+    pub fn with_failure_rate(mut self, ca_name: impl Into<String>, rate: f64) -> Self {
+        self.failure_rates.insert(ca_name.into(), rate.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Set the default failure rate.
+    pub fn with_default_failure(mut self, rate: f64) -> Self {
+        self.default_failure = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Scrape every CA daily over `[window.start, window.end)`.
+    ///
+    /// Each successful download round-trips the CRL through its DER
+    /// encoding (as a real scraper must parse what it fetched) and merges
+    /// new entries into the dataset.
+    pub fn scrape(
+        &mut self,
+        cas: &[&CertificateAuthority],
+        window: DateInterval,
+    ) -> (CrlDataset, ScrapeStats) {
+        let mut dataset = CrlDataset::new();
+        dataset.window = Some(window);
+        let mut stats = ScrapeStats::default();
+        for day in window.days() {
+            for ca in cas {
+                let rate =
+                    self.failure_rates.get(&ca.name).copied().unwrap_or(self.default_failure);
+                let failed = self.rng.gen_bool(rate);
+                stats.record(&ca.name, !failed);
+                if failed {
+                    continue;
+                }
+                let published = ca.publish_crl(day);
+                let fetched = Crl::decode(&published.encode()).expect("CA emits valid DER");
+                debug_assert!(fetched.verify(&ca.public_key()), "CRL signature");
+                for entry in &fetched.entries {
+                    dataset.add(RevocationRecord {
+                        authority_key_id: fetched.authority_key_id,
+                        serial: entry.serial,
+                        revocation_date: entry.revocation_date,
+                        reason: entry.reason,
+                        observed: day,
+                    });
+                }
+            }
+        }
+        (dataset, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::IssuanceRequest;
+    use crate::policy::CaPolicy;
+    use crypto::KeyPair;
+    use ct::log::LogPool;
+    use stale_types::domain::dn;
+    use stale_types::CaId;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn ca_with_revocations(id: u32, name: &str, n: usize) -> CertificateAuthority {
+        let mut ct = LogPool::with_yearly_shards("argon", 9, 2020, 2026);
+        let mut ca = CertificateAuthority::new(
+            CaId(id),
+            name,
+            KeyPair::from_seed([id as u8; 32]),
+            CaPolicy::commercial(),
+        );
+        for i in 0..n {
+            let cert = ca
+                .issue(
+                    &IssuanceRequest {
+                        domains: vec![dn(&format!("site{i}.com"))],
+                        public_key: KeyPair::from_seed([200; 32]).public(),
+                        requested_lifetime: None,
+                    },
+                    d("2022-06-01"),
+                    &mut ct,
+                )
+                .unwrap();
+            ca.revoke(cert.tbs.serial, d("2022-10-15"), RevocationReason::KeyCompromise).unwrap();
+        }
+        ca
+    }
+
+    #[test]
+    fn scrape_collects_and_dedups() {
+        let ca = ca_with_revocations(1, "Sectigo", 5);
+        let mut scraper = CrlScraper::new(1);
+        let window = DateInterval::new(d("2022-11-01"), d("2022-11-11")).unwrap();
+        let (dataset, stats) = scraper.scrape(&[&ca], window);
+        // 5 revocations, seen on 10 days, deduped to 5.
+        assert_eq!(dataset.len(), 5);
+        assert_eq!(stats.coverage("Sectigo"), Some(1.0));
+        assert_eq!(stats.per_ca["Sectigo"], (10, 10));
+        // All observed on day one.
+        assert!(dataset.records().iter().all(|r| r.observed == d("2022-11-01")));
+    }
+
+    #[test]
+    fn failure_rate_reduces_coverage() {
+        let ca = ca_with_revocations(2, "Blocked CA", 3);
+        let mut scraper = CrlScraper::new(42).with_failure_rate("Blocked CA", 1.0);
+        let window = DateInterval::new(d("2022-11-01"), d("2022-11-08")).unwrap();
+        let (dataset, stats) = scraper.scrape(&[&ca], window);
+        assert!(dataset.is_empty());
+        assert_eq!(stats.coverage("Blocked CA"), Some(0.0));
+        assert_eq!(stats.total_coverage(), 0.0);
+    }
+
+    #[test]
+    fn partial_failure_still_collects_eventually() {
+        let ca = ca_with_revocations(3, "Flaky CA", 4);
+        let mut scraper = CrlScraper::new(7).with_failure_rate("Flaky CA", 0.5);
+        let window = DateInterval::new(d("2022-11-01"), d("2022-12-01")).unwrap();
+        let (dataset, stats) = scraper.scrape(&[&ca], window);
+        // Over 30 days at 50% failure the CRL is fetched many times.
+        assert_eq!(dataset.len(), 4);
+        let cov = stats.coverage("Flaky CA").unwrap();
+        assert!(cov > 0.2 && cov < 0.8, "coverage {cov}");
+    }
+
+    #[test]
+    fn rows_sorted_ascending_like_table7() {
+        let good = ca_with_revocations(4, "Good CA", 1);
+        let bad = ca_with_revocations(5, "Bad CA", 1);
+        let mut scraper = CrlScraper::new(9)
+            .with_failure_rate("Bad CA", 0.9)
+            .with_failure_rate("Good CA", 0.0);
+        let window = DateInterval::new(d("2022-11-01"), d("2022-12-01")).unwrap();
+        let (_, stats) = scraper.scrape(&[&good, &bad], window);
+        let rows = stats.rows_by_coverage();
+        assert_eq!(rows[0].0, "Bad CA");
+        assert_eq!(rows[1].0, "Good CA");
+        assert!(rows[0].3 < rows[1].3);
+    }
+
+    #[test]
+    fn reason_filter() {
+        let ca = ca_with_revocations(6, "CA", 3);
+        let mut scraper = CrlScraper::new(1);
+        let window = DateInterval::new(d("2022-11-01"), d("2022-11-02")).unwrap();
+        let (dataset, _) = scraper.scrape(&[&ca], window);
+        assert_eq!(dataset.with_reason(RevocationReason::KeyCompromise).count(), 3);
+        assert_eq!(dataset.with_reason(RevocationReason::Superseded).count(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! STAR: Short-Term, Automatically Renewed certificates (RFC 8739),
+//! referenced by the paper (§6, reference 67) as the automation that makes further
+//! lifetime reductions feasible.
+//!
+//! The subscriber places one recurring order; the CA pre-issues a stream
+//! of very short-lived certificates on a fixed cadence and the subscriber
+//! (or its CDN) fetches the current one. Revocation becomes unnecessary:
+//! cancelling the order stops issuance, and exposure from any stale
+//! certificate is bounded by the tiny lifetime — this is the
+//! lifetime-reduction endgame for all three third-party staleness classes.
+
+use crate::authority::{CertificateAuthority, IssuanceRequest, IssueError};
+use crypto::PublicKey;
+use ct::log::LogPool;
+use stale_types::{Date, DomainName, Duration};
+use x509::Certificate;
+
+/// A recurring short-term certificate order.
+#[derive(Debug, Clone)]
+pub struct StarOrder {
+    /// Domains covered (validated once at order time, like ACME).
+    pub domains: Vec<DomainName>,
+    /// Subscriber key.
+    pub public_key: PublicKey,
+    /// Lifetime of each issued certificate (e.g. 7 days).
+    pub cert_lifetime: Duration,
+    /// Issuance cadence; must be shorter than the lifetime so consecutive
+    /// certificates overlap (seamless rotation).
+    pub cadence: Duration,
+    /// First issuance day.
+    pub start: Date,
+    /// Order end: no certificate is issued at or after this day.
+    pub until: Date,
+    /// Whether the subscriber has cancelled.
+    cancelled: Option<Date>,
+}
+
+/// Order construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StarError {
+    /// Cadence must be positive and no longer than the lifetime.
+    BadCadence,
+    /// The requested day is outside the order's active range.
+    NotActive,
+    /// Underlying issuance failed.
+    Issue(IssueError),
+}
+
+impl StarOrder {
+    /// Create a recurring order.
+    pub fn new(
+        domains: Vec<DomainName>,
+        public_key: PublicKey,
+        cert_lifetime: Duration,
+        cadence: Duration,
+        start: Date,
+        until: Date,
+    ) -> Result<StarOrder, StarError> {
+        if cadence.num_days() <= 0 || cadence > cert_lifetime {
+            return Err(StarError::BadCadence);
+        }
+        Ok(StarOrder { domains, public_key, cert_lifetime, cadence, start, until, cancelled: None })
+    }
+
+    /// Cancel the order effective `today`: no further certificates.
+    pub fn cancel(&mut self, today: Date) {
+        if self.cancelled.is_none() {
+            self.cancelled = Some(today);
+        }
+    }
+
+    /// The effective end of issuance.
+    pub fn effective_until(&self) -> Date {
+        match self.cancelled {
+            Some(cancelled) => cancelled.min(self.until),
+            None => self.until,
+        }
+    }
+
+    /// The issuance-window start covering `today`, if the order is
+    /// active then.
+    pub fn window_start(&self, today: Date) -> Option<Date> {
+        if today < self.start || today >= self.effective_until() {
+            return None;
+        }
+        let elapsed = (today - self.start).num_days();
+        let k = elapsed / self.cadence.num_days();
+        Some(self.start + Duration::days(k * self.cadence.num_days()))
+    }
+
+    /// Fetch (issuing on demand) the certificate for `today`.
+    pub fn fetch(
+        &self,
+        today: Date,
+        ca: &mut CertificateAuthority,
+        ct: &mut LogPool,
+    ) -> Result<Certificate, StarError> {
+        let window = self.window_start(today).ok_or(StarError::NotActive)?;
+        let request = IssuanceRequest {
+            domains: self.domains.clone(),
+            public_key: self.public_key,
+            requested_lifetime: Some(self.cert_lifetime),
+        };
+        // The CA's policy still caps the lifetime; STAR lifetimes are far
+        // below every cap so the request passes through unchanged.
+        let mut cert = ca.issue(&request, window, ct).map_err(StarError::Issue)?;
+        debug_assert_eq!(cert.tbs.not_before(), window);
+        let _ = &mut cert;
+        Ok(cert)
+    }
+
+    /// Worst-case staleness in days if control changes at any point: the
+    /// longest a previously fetched certificate can outlive the change.
+    pub fn max_staleness(&self) -> Duration {
+        self.cert_lifetime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CaPolicy;
+    use crypto::KeyPair;
+    use stale_types::{domain::dn, CaId};
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn fixture() -> (CertificateAuthority, LogPool, StarOrder) {
+        let ca = CertificateAuthority::new(
+            CaId(50),
+            "STAR CA",
+            KeyPair::from_seed([50; 32]),
+            CaPolicy::automated_90_day(),
+        );
+        let ct = LogPool::with_yearly_shards("star", 14, 2022, 2024);
+        let order = StarOrder::new(
+            vec![dn("rotating.com")],
+            KeyPair::from_seed([51; 32]).public(),
+            Duration::days(7),
+            Duration::days(4),
+            d("2022-06-01"),
+            d("2022-12-01"),
+        )
+        .unwrap();
+        (ca, ct, order)
+    }
+
+    #[test]
+    fn fetch_returns_short_lived_overlapping_certs() {
+        let (mut ca, mut ct, order) = fixture();
+        let c1 = order.fetch(d("2022-06-02"), &mut ca, &mut ct).unwrap();
+        assert_eq!(c1.tbs.lifetime(), Duration::days(7));
+        assert_eq!(c1.tbs.not_before(), d("2022-06-01"));
+        // Next window starts before the previous cert expires: overlap.
+        let c2 = order.fetch(d("2022-06-06"), &mut ca, &mut ct).unwrap();
+        assert_eq!(c2.tbs.not_before(), d("2022-06-05"));
+        assert!(c2.tbs.not_before() < c1.tbs.not_after());
+    }
+
+    #[test]
+    fn cancellation_stops_issuance() {
+        let (mut ca, mut ct, mut order) = fixture();
+        order.fetch(d("2022-06-02"), &mut ca, &mut ct).unwrap();
+        order.cancel(d("2022-07-01"));
+        assert_eq!(
+            order.fetch(d("2022-07-02"), &mut ca, &mut ct).unwrap_err(),
+            StarError::NotActive
+        );
+        // Exposure after cancellation is bounded by one lifetime.
+        assert_eq!(order.max_staleness(), Duration::days(7));
+    }
+
+    #[test]
+    fn inactive_outside_range() {
+        let (mut ca, mut ct, order) = fixture();
+        assert_eq!(order.fetch(d("2022-05-31"), &mut ca, &mut ct).unwrap_err(), StarError::NotActive);
+        assert_eq!(order.fetch(d("2022-12-01"), &mut ca, &mut ct).unwrap_err(), StarError::NotActive);
+    }
+
+    #[test]
+    fn bad_cadence_rejected() {
+        let err = StarOrder::new(
+            vec![dn("x.com")],
+            KeyPair::from_seed([1; 32]).public(),
+            Duration::days(7),
+            Duration::days(8), // longer than lifetime: coverage gap
+            d("2022-06-01"),
+            d("2022-12-01"),
+        )
+        .unwrap_err();
+        assert_eq!(err, StarError::BadCadence);
+        assert_eq!(
+            StarOrder::new(
+                vec![dn("x.com")],
+                KeyPair::from_seed([1; 32]).public(),
+                Duration::days(7),
+                Duration::days(0),
+                d("2022-06-01"),
+                d("2022-12-01"),
+            )
+            .unwrap_err(),
+            StarError::BadCadence
+        );
+    }
+
+    #[test]
+    fn star_bounds_departure_staleness() {
+        // Compare with the §5.3 scenario: a 365-day managed certificate
+        // leaves the provider holding a key for up to a year; a 7-day
+        // STAR stream leaves at most 7 days.
+        let (_, _, order) = fixture();
+        let conventional = Duration::days(365);
+        assert!(order.max_staleness().num_days() * 50 < conventional.num_days());
+    }
+}

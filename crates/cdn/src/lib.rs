@@ -1,0 +1,22 @@
+//! Managed TLS providers: CDNs and shared web hosting that hold customers'
+//! TLS keys.
+//!
+//! §2.3 methods 2–5 all put a third party in possession of the private key
+//! for a customer domain's certificate. This crate models the two shapes
+//! that matter for the paper's measurements:
+//!
+//! * [`provider`] — a Cloudflare-like CDN: customers delegate via NS or
+//!   CNAME; the provider issues and holds certificates. A distinguishing
+//!   marker SAN (`sni…cloudflaressl.com`) makes its managed certificates
+//!   identifiable in CT, and pre-2019 "cruise-liner" packing puts dozens
+//!   of unrelated customers on one certificate (§5.2, Figure 5b).
+//!   Departure leaves the provider holding a valid key — the §5.3
+//!   third-party staleness class;
+//! * [`webhost`] — a cPanel-style AutoSSL host issuing per-domain
+//!   certificates it also controls.
+
+pub mod provider;
+pub mod webhost;
+
+pub use provider::{DelegationKind, ManagedTlsProvider, ProviderConfig};
+pub use webhost::WebHost;

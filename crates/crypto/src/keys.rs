@@ -1,0 +1,139 @@
+//! Keypairs and key identity.
+//!
+//! A [`KeyPair`] models a subscriber or CA keypair. Public keys are 32
+//! bytes derived from the private seed; key identity ([`PublicKey::key_id`])
+//! is the truncated SHA-256 of the public key, matching how X.509 Subject
+//! Key Identifiers are commonly derived.
+//!
+//! Key *compromise* in the simulation is literal: an attacker that obtains a
+//! clone of the [`PrivateKey`] can produce valid signatures (see
+//! [`crate::sig`]), exactly the capability the paper's third-party stale
+//! certificate scenarios grant.
+
+use crate::sha256::sha256;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Secret signing key material.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    seed: [u8; 32],
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "PrivateKey(…)")
+    }
+}
+
+/// Public verification key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl PublicKey {
+    /// Truncated SHA-256 of the public key bytes — the key's identity.
+    pub fn key_id(&self) -> [u8; 20] {
+        let digest = sha256(&self.0);
+        let mut id = [0u8; 20];
+        id.copy_from_slice(&digest[..20]);
+        id
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// A keypair: private seed plus derived public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    private: PrivateKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derive a keypair deterministically from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        // Public key = H("pub" || seed): one-way derivation so knowing the
+        // public key does not reveal the seed.
+        let mut material = Vec::with_capacity(35);
+        material.extend_from_slice(b"pub");
+        material.extend_from_slice(&seed);
+        let public = PublicKey(sha256(&material));
+        KeyPair { private: PrivateKey { seed }, public }
+    }
+
+    /// Generate a keypair from an RNG.
+    pub fn generate(rng: &mut impl RngCore) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        KeyPair::from_seed(seed)
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The private half. Cloning this is how key compromise is modelled.
+    pub fn private(&self) -> &PrivateKey {
+        &self.private
+    }
+}
+
+impl PrivateKey {
+    /// Key material for signing (crate-internal).
+    pub(crate) fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Recompute the public key for this private key.
+    pub fn public(&self) -> PublicKey {
+        KeyPair::from_seed(self.seed).public
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = KeyPair::from_seed([7; 32]);
+        let b = KeyPair::from_seed([7; 32]);
+        assert_eq!(a.public(), b.public());
+        let c = KeyPair::from_seed([8; 32]);
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn generate_distinct_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_ne!(a.public(), b.public());
+    }
+
+    #[test]
+    fn key_id_is_stable_and_short() {
+        let k = KeyPair::from_seed([1; 32]);
+        assert_eq!(k.public().key_id(), k.public().key_id());
+        assert_eq!(k.public().key_id().len(), 20);
+    }
+
+    #[test]
+    fn private_recovers_public() {
+        let k = KeyPair::from_seed([9; 32]);
+        assert_eq!(k.private().public(), k.public());
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let k = KeyPair::from_seed([3; 32]);
+        assert_eq!(format!("{:?}", k.private()), "PrivateKey(…)");
+    }
+}

@@ -1,0 +1,24 @@
+//! Cryptographic substrate for the simulated web PKI.
+//!
+//! Real measurement pipelines hash certificates (fingerprints, CT Merkle
+//! leaves) and verify signatures. We implement SHA-256 from scratch
+//! (FIPS 180-4, validated against NIST test vectors) so every hash-shaped
+//! artifact in the workspace is a real 32-byte digest, plus HMAC-SHA256 and
+//! a deterministic HMAC-based signature scheme ([`sig::SimSig`]).
+//!
+//! `SimSig` is *not* cryptographically secure public-key signing — the
+//! "private key" and "public key" are both derived from a seed and
+//! verification recomputes the tag. That is the right trade-off here: the
+//! study's semantics only need key *identity* (who holds which key, whether
+//! a third party has obtained it), sign/verify round-trips, and stable
+//! fingerprints. See DESIGN.md §2.
+
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+pub mod sig;
+
+pub use hmac::hmac_sha256;
+pub use keys::{KeyPair, PrivateKey, PublicKey};
+pub use sha256::{sha256, Sha256};
+pub use sig::{Signature, SimSig};

@@ -1,0 +1,110 @@
+//! `SimSig`: a deterministic tag-based signature scheme.
+//!
+//! `sign(priv, msg) = HMAC-SHA256(seed, msg)`, and verification re-derives
+//! the tag from the private seed recovered via the *holder registry* — to
+//! keep verification public-key-shaped without real asymmetric crypto,
+//! verification instead recomputes `HMAC-SHA256(H("vrf" || pub), msg)`
+//! where the signing side uses the same derivation. Concretely both sides
+//! compute the tag from material derivable from the keypair, so:
+//!
+//! * only a holder of the [`PrivateKey`] can sign;
+//! * anyone with the [`PublicKey`] can verify;
+//! * signatures are deterministic and 32 bytes.
+//!
+//! The scheme is **not** secure against a real adversary (the verification
+//! key would let an adversary forge). The workspace never relies on
+//! unforgeability — it relies on key identity and sign/verify plumbing.
+
+use crate::hmac::hmac_sha256;
+use crate::keys::{PrivateKey, PublicKey};
+use crate::sha256::sha256;
+
+/// A 32-byte deterministic signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; 32]);
+
+impl Signature {
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// The signature scheme namespace.
+pub struct SimSig;
+
+impl SimSig {
+    /// Derive the shared tag key from a public key.
+    fn tag_key(public: &PublicKey) -> [u8; 32] {
+        let mut material = Vec::with_capacity(35);
+        material.extend_from_slice(b"vrf");
+        material.extend_from_slice(public.as_bytes());
+        sha256(&material)
+    }
+
+    /// Sign `message` with a private key.
+    pub fn sign(private: &PrivateKey, message: &[u8]) -> Signature {
+        // The signer derives the same tag key via its public half; holding
+        // the private key is what lets honest code paths reach this point.
+        let _ = private.seed(); // signing requires the secret half
+        let key = Self::tag_key(&private.public());
+        Signature(hmac_sha256(&key, message))
+    }
+
+    /// Verify `signature` over `message` under `public`.
+    pub fn verify(public: &PublicKey, message: &[u8], signature: &Signature) -> bool {
+        let key = Self::tag_key(public);
+        // Constant-time-ish comparison (not security-relevant here, but
+        // cheap to do right).
+        let expected = hmac_sha256(&key, message);
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(signature.0.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed([42; 32]);
+        let sig = SimSig::sign(kp.private(), b"tbs certificate bytes");
+        assert!(SimSig::verify(&kp.public(), b"tbs certificate bytes", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = KeyPair::from_seed([42; 32]);
+        let sig = SimSig::sign(kp.private(), b"message");
+        assert!(!SimSig::verify(&kp.public(), b"messagX", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = KeyPair::from_seed([1; 32]);
+        let kp2 = KeyPair::from_seed([2; 32]);
+        let sig = SimSig::sign(kp1.private(), b"message");
+        assert!(!SimSig::verify(&kp2.public(), b"message", &sig));
+    }
+
+    #[test]
+    fn deterministic() {
+        let kp = KeyPair::from_seed([5; 32]);
+        assert_eq!(SimSig::sign(kp.private(), b"m"), SimSig::sign(kp.private(), b"m"));
+    }
+
+    #[test]
+    fn compromised_key_clone_signs_validly() {
+        // The key-compromise scenario: an attacker with a clone of the
+        // private key produces signatures the victim's public key accepts.
+        let victim = KeyPair::from_seed([99; 32]);
+        let stolen = victim.private().clone();
+        let forged = SimSig::sign(&stolen, b"attacker handshake");
+        assert!(SimSig::verify(&victim.public(), b"attacker handshake", &forged));
+    }
+}

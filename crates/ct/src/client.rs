@@ -1,0 +1,228 @@
+//! Monitor-side log synchronisation.
+//!
+//! A real CT monitor polls each log: fetch the signed tree head, verify
+//! its signature, verify a *consistency proof* against the previously
+//! trusted head (so the log cannot rewrite history), then page through
+//! `get-entries` for the new range. [`LogSyncer`] implements that loop
+//! against [`CtLog`], detecting both signature forgery and split-view /
+//! history-rewrite attempts.
+
+use crate::log::{CtLog, SignedTreeHead};
+use crate::merkle::verify_consistency;
+use crate::monitor::CtMonitor;
+use stale_types::Date;
+use std::fmt;
+
+/// Why a sync was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// The presented STH signature did not verify.
+    BadSthSignature,
+    /// The new head is not consistent with the previously trusted head.
+    InconsistentHistory {
+        /// Previously trusted size.
+        old_size: u64,
+        /// Claimed new size.
+        new_size: u64,
+    },
+    /// The log shrank, which append-only logs cannot do.
+    TreeShrank {
+        /// Previously trusted size.
+        old_size: u64,
+        /// Claimed new size.
+        new_size: u64,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::BadSthSignature => write!(f, "STH signature invalid"),
+            SyncError::InconsistentHistory { old_size, new_size } => {
+                write!(f, "no valid consistency proof from size {old_size} to {new_size}")
+            }
+            SyncError::TreeShrank { old_size, new_size } => {
+                write!(f, "tree shrank from {old_size} to {new_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// Incremental, verifying synchroniser for one log.
+pub struct LogSyncer {
+    /// The last head we accepted.
+    trusted: Option<SignedTreeHead>,
+    /// Entries already ingested.
+    cursor: u64,
+    /// get-entries page size.
+    page_size: usize,
+}
+
+impl Default for LogSyncer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogSyncer {
+    /// Fresh syncer that trusts nothing yet.
+    pub fn new() -> Self {
+        LogSyncer { trusted: None, cursor: 0, page_size: 256 }
+    }
+
+    /// Override the paging size.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size.max(1);
+        self
+    }
+
+    /// The last verified head.
+    pub fn trusted_head(&self) -> Option<&SignedTreeHead> {
+        self.trusted.as_ref()
+    }
+
+    /// Sync new entries from `log` into `monitor`, verifying the head and
+    /// its consistency with the previously trusted head. Returns the
+    /// number of new entries ingested.
+    pub fn sync(
+        &mut self,
+        log: &CtLog,
+        monitor: &mut CtMonitor,
+        today: Date,
+    ) -> Result<usize, SyncError> {
+        let head = log.tree_head(today);
+        if !log.verify_tree_head(&head) {
+            return Err(SyncError::BadSthSignature);
+        }
+        if let Some(old) = &self.trusted {
+            if head.tree_size < old.tree_size {
+                return Err(SyncError::TreeShrank {
+                    old_size: old.tree_size,
+                    new_size: head.tree_size,
+                });
+            }
+            if old.tree_size > 0 {
+                let proof = log
+                    .tree()
+                    .consistency_proof(old.tree_size, head.tree_size)
+                    .ok_or(SyncError::InconsistentHistory {
+                        old_size: old.tree_size,
+                        new_size: head.tree_size,
+                    })?;
+                if !verify_consistency(old.tree_size, head.tree_size, &proof, &old.root, &head.root)
+                {
+                    return Err(SyncError::InconsistentHistory {
+                        old_size: old.tree_size,
+                        new_size: head.tree_size,
+                    });
+                }
+            }
+        }
+        // Page through the new range as get-entries would.
+        let mut ingested = 0usize;
+        while self.cursor < head.tree_size {
+            let end = (self.cursor + self.page_size as u64).min(head.tree_size);
+            for entry in &log.entries()[self.cursor as usize..end as usize] {
+                monitor.ingest(entry.certificate.clone(), entry.timestamp);
+                ingested += 1;
+            }
+            self.cursor = end;
+        }
+        self.trusted = Some(head);
+        Ok(ingested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crypto::KeyPair;
+    use stale_types::{domain::dn, Duration};
+    use x509::CertificateBuilder;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn cert(i: u128) -> x509::Certificate {
+        CertificateBuilder::tls_leaf(KeyPair::from_seed([55; 32]).public())
+            .serial(i)
+            .issuer_cn("Sync CA")
+            .subject_cn("s.com")
+            .san(dn("s.com"))
+            .validity_days(d("2022-01-01"), Duration::days(90))
+            .sign(&KeyPair::from_seed([56; 32]))
+    }
+
+    #[test]
+    fn incremental_sync_ingests_only_new_entries() {
+        let mut log = CtLog::new("sync-log", KeyPair::from_seed([57; 32]));
+        let mut monitor = CtMonitor::new();
+        let mut syncer = LogSyncer::new().with_page_size(3);
+        for i in 0..7 {
+            log.submit(cert(i), d("2022-01-01")).unwrap();
+        }
+        assert_eq!(syncer.sync(&log, &mut monitor, d("2022-01-02")).unwrap(), 7);
+        assert_eq!(monitor.dedup_count(), 7);
+        // Nothing new: zero ingested, head advances.
+        assert_eq!(syncer.sync(&log, &mut monitor, d("2022-01-03")).unwrap(), 0);
+        for i in 7..10 {
+            log.submit(cert(i), d("2022-01-04")).unwrap();
+        }
+        assert_eq!(syncer.sync(&log, &mut monitor, d("2022-01-05")).unwrap(), 3);
+        assert_eq!(monitor.dedup_count(), 10);
+        assert_eq!(syncer.trusted_head().unwrap().tree_size, 10);
+    }
+
+    #[test]
+    fn history_rewrite_detected() {
+        // Two logs sharing a key: the second presents a divergent history.
+        let key = KeyPair::from_seed([58; 32]);
+        let mut honest = CtLog::new("log", key.clone());
+        let mut evil = CtLog::new("log", key);
+        for i in 0..5 {
+            honest.submit(cert(i), d("2022-01-01")).unwrap();
+            // Evil log diverges at entry 3.
+            let c = if i == 3 { cert(100) } else { cert(i) };
+            evil.submit(c, d("2022-01-01")).unwrap();
+        }
+        let mut monitor = CtMonitor::new();
+        let mut syncer = LogSyncer::new();
+        syncer.sync(&honest, &mut monitor, d("2022-01-02")).unwrap();
+        // More entries on the evil fork, then try to feed it to the same
+        // syncer: consistency must fail.
+        evil.submit(cert(6), d("2022-01-03")).unwrap();
+        let err = syncer.sync(&evil, &mut monitor, d("2022-01-04")).unwrap_err();
+        assert!(matches!(err, SyncError::InconsistentHistory { old_size: 5, new_size: 6 }));
+    }
+
+    #[test]
+    fn shrinking_tree_detected() {
+        let key = KeyPair::from_seed([59; 32]);
+        let mut big = CtLog::new("log", key.clone());
+        let mut small = CtLog::new("log", key);
+        for i in 0..5 {
+            big.submit(cert(i), d("2022-01-01")).unwrap();
+        }
+        small.submit(cert(0), d("2022-01-01")).unwrap();
+        let mut monitor = CtMonitor::new();
+        let mut syncer = LogSyncer::new();
+        syncer.sync(&big, &mut monitor, d("2022-01-02")).unwrap();
+        let err = syncer.sync(&small, &mut monitor, d("2022-01-03")).unwrap_err();
+        assert!(matches!(err, SyncError::TreeShrank { old_size: 5, new_size: 1 }));
+    }
+
+    #[test]
+    fn forged_sth_detected() {
+        // A log whose head is signed by the wrong key is rejected: model
+        // by handing the syncer a log with mismatched verification key.
+        let mut log = CtLog::new("log", KeyPair::from_seed([60; 32]));
+        log.submit(cert(0), d("2022-01-01")).unwrap();
+        let head = log.tree_head(d("2022-01-02"));
+        // Manually corrupt: a different log would fail verify_tree_head.
+        let other = CtLog::new("other", KeyPair::from_seed([61; 32]));
+        assert!(!other.verify_tree_head(&head));
+    }
+}

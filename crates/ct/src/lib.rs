@@ -1,0 +1,24 @@
+//! Certificate Transparency substrate.
+//!
+//! The paper's primary dataset is CT: 5B certificates collected from 117
+//! Chrome/Apple-trusted logs, deduplicated on non-CT components (§4).
+//! This crate implements the log side and the monitor side:
+//!
+//! * [`merkle`] — the RFC 6962 Merkle tree with the leaf/node domain
+//!   separation prefixes, plus audit (inclusion) and consistency proofs;
+//! * [`log`] — an append-only [`log::CtLog`] issuing SCTs and signed tree
+//!   heads, and [`log::LogPool`] with the temporal sharding real operators
+//!   use to cope with issuance volume (§7.2);
+//! * [`monitor`] — the measurement pipeline's view: ingest every log,
+//!   deduplicate precert/final pairs by [`x509::Certificate::cert_id`],
+//!   and apply the paper's >3K-certs-per-FQDN outlier filter.
+
+pub mod client;
+pub mod log;
+pub mod merkle;
+pub mod monitor;
+
+pub use client::{LogSyncer, SyncError};
+pub use log::{CtLog, LogEntry, LogPool, SignedTreeHead};
+pub use merkle::MerkleTree;
+pub use monitor::{CtMonitor, DedupedCert};

@@ -1,0 +1,211 @@
+//! DNS resource records.
+
+use serde::{Deserialize, Serialize};
+use stale_types::DomainName;
+use std::fmt;
+
+/// An IPv4 address. `std::net::Ipv4Addr` exists, but a local newtype keeps
+/// serde, ordering and wire encoding in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Dotted-quad constructor.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// Record time-to-live in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ttl(pub u32);
+
+impl Ttl {
+    /// A typical one-hour TTL.
+    pub const HOUR: Ttl = Ttl(3600);
+    /// A typical one-day TTL.
+    pub const DAY: Ttl = Ttl(86400);
+}
+
+/// Record types the scanner collects (§4.3: A/AAAA, NS, CNAME) plus the
+/// types certificate issuance touches (TXT for dns-01, SOA and CAA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// IPv6 address (stored as 16 bytes).
+    Aaaa,
+    /// Authoritative nameserver.
+    Ns,
+    /// Canonical name alias.
+    Cname,
+    /// Free-form text (ACME dns-01 challenges live here).
+    Txt,
+    /// Start of authority.
+    Soa,
+    /// Certification authority authorization.
+    Caa,
+    /// TLSA certificate/key association (DANE, RFC 6698).
+    Tlsa,
+}
+
+impl RecordType {
+    /// RFC 1035/3596/6844 type codes, used by the wire format.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Tlsa => 52,
+            RecordType::Caa => 257,
+        }
+    }
+
+    /// Parse a type code.
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            52 => RecordType::Tlsa,
+            257 => RecordType::Caa,
+            _ => return None,
+        })
+    }
+}
+
+/// Record data.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RData {
+    /// A record.
+    A(Ipv4Addr),
+    /// AAAA record.
+    Aaaa([u8; 16]),
+    /// NS record.
+    Ns(DomainName),
+    /// CNAME record.
+    Cname(DomainName),
+    /// TXT record.
+    Txt(String),
+    /// SOA record (primary NS and admin contact are what issuance checks).
+    Soa {
+        /// Primary nameserver.
+        mname: DomainName,
+        /// Administrative contact (encoded as a domain name per RFC 1035).
+        rname: DomainName,
+        /// Zone serial.
+        serial: u32,
+    },
+    /// CAA record.
+    Caa {
+        /// Critical flag.
+        critical: bool,
+        /// Property tag, e.g. `issue`.
+        tag: String,
+        /// Property value, e.g. a CA domain.
+        value: String,
+    },
+    /// TLSA record (RFC 6698): binds a TLS endpoint to certificate/key
+    /// material directly in (ideally DNSSEC-signed) DNS. §7.2 of the
+    /// paper: DANE aligns keys with the name's authoritative source and
+    /// shrinks the authentication cache from months to the record's TTL.
+    Tlsa {
+        /// Certificate usage (3 = DANE-EE: match the end entity itself).
+        usage: u8,
+        /// Selector (1 = SubjectPublicKeyInfo).
+        selector: u8,
+        /// Matching type (1 = SHA-256).
+        matching_type: u8,
+        /// The association data, e.g. the SHA-256 of the public key.
+        association: Vec<u8>,
+    },
+}
+
+impl RData {
+    /// The type of this data.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Soa { .. } => RecordType::Soa,
+            RData::Caa { .. } => RecordType::Caa,
+            RData::Tlsa { .. } => RecordType::Tlsa,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live.
+    pub ttl: Ttl,
+    /// Type-specific data.
+    pub data: RData,
+}
+
+impl Record {
+    /// Construct with a default one-hour TTL.
+    pub fn new(name: DomainName, data: RData) -> Self {
+        Record { name, ttl: Ttl::HOUR, data }
+    }
+
+    /// The record type.
+    pub fn record_type(&self) -> RecordType {
+        self.data.record_type()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for rt in [
+            RecordType::A,
+            RecordType::Aaaa,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Txt,
+            RecordType::Soa,
+            RecordType::Caa,
+        ] {
+            assert_eq!(RecordType::from_code(rt.code()), Some(rt));
+        }
+        assert_eq!(RecordType::from_code(999), None);
+    }
+
+    #[test]
+    fn rdata_types() {
+        assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).record_type(), RecordType::A);
+        assert_eq!(RData::Ns(dn("ns1.foo.com")).record_type(), RecordType::Ns);
+        assert_eq!(
+            RData::Caa { critical: false, tag: "issue".into(), value: "letsencrypt.org".into() }
+                .record_type(),
+            RecordType::Caa
+        );
+    }
+
+    #[test]
+    fn ipv4_display() {
+        assert_eq!(Ipv4Addr::new(192, 0, 2, 7).to_string(), "192.0.2.7");
+    }
+}

@@ -1,0 +1,223 @@
+//! Recursive resolution over a set of authoritative zones.
+//!
+//! The resolver models what the paper's active scanner does: for each
+//! domain, chase NS delegations from the most specific zone and follow
+//! CNAME chains to terminal records. Loops and chains longer than the
+//! standard limit are detected rather than followed forever.
+
+use crate::record::{RData, RecordType};
+use crate::zone::Zone;
+use stale_types::DomainName;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum CNAME chain length before giving up (matches common resolver
+/// limits).
+pub const MAX_CNAME_CHAIN: usize = 8;
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolutionError {
+    /// No zone is authoritative for the name.
+    NoAuthority(String),
+    /// The name exists in a zone but has no records of the requested type
+    /// and no CNAME.
+    NoRecords(String),
+    /// A CNAME chain exceeded [`MAX_CNAME_CHAIN`] or looped.
+    CnameLoop(String),
+}
+
+impl fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolutionError::NoAuthority(n) => write!(f, "no authority for {n}"),
+            ResolutionError::NoRecords(n) => write!(f, "no records at {n}"),
+            ResolutionError::CnameLoop(n) => write!(f, "CNAME loop resolving {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// A resolver over a collection of authoritative zones keyed by apex.
+#[derive(Debug, Default)]
+pub struct Resolver {
+    zones: BTreeMap<DomainName, Zone>,
+}
+
+impl Resolver {
+    /// Empty resolver.
+    pub fn new() -> Self {
+        Resolver::default()
+    }
+
+    /// Add (or replace) a zone.
+    pub fn add_zone(&mut self, zone: Zone) {
+        if let Some(apex) = zone.apex().cloned() {
+            self.zones.insert(apex, zone);
+        }
+    }
+
+    /// Mutable access to the zone rooted at `apex`.
+    pub fn zone_mut(&mut self, apex: &DomainName) -> Option<&mut Zone> {
+        self.zones.get_mut(apex)
+    }
+
+    /// The most specific zone authoritative for `name`.
+    pub fn authority(&self, name: &DomainName) -> Option<&Zone> {
+        let mut cursor = Some(name.clone());
+        while let Some(candidate) = cursor {
+            if let Some(zone) = self.zones.get(&candidate) {
+                return Some(zone);
+            }
+            cursor = candidate.parent();
+        }
+        None
+    }
+
+    /// Resolve records of `rtype` at `name`, following CNAMEs.
+    ///
+    /// Returns the terminal records (which live at the end of any CNAME
+    /// chain). Asking for `RecordType::Cname` returns the immediate CNAME
+    /// without chasing.
+    pub fn resolve(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+    ) -> Result<Vec<RData>, ResolutionError> {
+        let mut current = name.clone();
+        for _ in 0..=MAX_CNAME_CHAIN {
+            let zone = self
+                .authority(&current)
+                .ok_or_else(|| ResolutionError::NoAuthority(current.to_string()))?;
+            let direct = zone.lookup(&current, rtype);
+            if !direct.is_empty() {
+                return Ok(direct.into_iter().map(|r| r.data.clone()).collect());
+            }
+            if rtype != RecordType::Cname {
+                let cnames = zone.lookup(&current, RecordType::Cname);
+                if let Some(cname) = cnames.first() {
+                    if let RData::Cname(target) = &cname.data {
+                        current = target.clone();
+                        continue;
+                    }
+                }
+            }
+            return Err(ResolutionError::NoRecords(current.to_string()));
+        }
+        Err(ResolutionError::CnameLoop(name.to_string()))
+    }
+
+    /// Convenience: the full CNAME chain starting at `name` (possibly
+    /// empty), without the terminal records.
+    pub fn cname_chain(&self, name: &DomainName) -> Vec<DomainName> {
+        let mut chain = Vec::new();
+        let mut current = name.clone();
+        while chain.len() <= MAX_CNAME_CHAIN {
+            let Some(zone) = self.authority(&current) else { break };
+            let cnames = zone.lookup(&current, RecordType::Cname);
+            let Some(record) = cnames.first() else { break };
+            let RData::Cname(target) = &record.data else { break };
+            if chain.contains(target) {
+                break;
+            }
+            chain.push(target.clone());
+            current = target.clone();
+        }
+        chain
+    }
+
+    /// Number of zones loaded.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Ipv4Addr;
+    use stale_types::domain::dn;
+
+    fn resolver() -> Resolver {
+        let mut r = Resolver::new();
+        let mut foo = Zone::new(dn("foo.com"));
+        foo.add_data(dn("foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        foo.add_data(dn("foo.com"), RData::Ns(dn("ns1.foo.com")));
+        foo.add_data(dn("www.foo.com"), RData::Cname(dn("foo.com")));
+        foo.add_data(dn("cdn.foo.com"), RData::Cname(dn("edge.cdn.example")));
+        r.add_zone(foo);
+        let mut cdn = Zone::new(dn("cdn.example"));
+        cdn.add_data(dn("edge.cdn.example"), RData::A(Ipv4Addr::new(198, 51, 100, 7)));
+        r.add_zone(cdn);
+        r
+    }
+
+    #[test]
+    fn direct_lookup() {
+        let r = resolver();
+        let a = r.resolve(&dn("foo.com"), RecordType::A).unwrap();
+        assert_eq!(a, vec![RData::A(Ipv4Addr::new(192, 0, 2, 1))]);
+    }
+
+    #[test]
+    fn cname_chase_within_zone() {
+        let r = resolver();
+        let a = r.resolve(&dn("www.foo.com"), RecordType::A).unwrap();
+        assert_eq!(a, vec![RData::A(Ipv4Addr::new(192, 0, 2, 1))]);
+    }
+
+    #[test]
+    fn cname_chase_across_zones() {
+        let r = resolver();
+        let a = r.resolve(&dn("cdn.foo.com"), RecordType::A).unwrap();
+        assert_eq!(a, vec![RData::A(Ipv4Addr::new(198, 51, 100, 7))]);
+        assert_eq!(r.cname_chain(&dn("cdn.foo.com")), vec![dn("edge.cdn.example")]);
+    }
+
+    #[test]
+    fn asking_for_cname_does_not_chase() {
+        let r = resolver();
+        let c = r.resolve(&dn("www.foo.com"), RecordType::Cname).unwrap();
+        assert_eq!(c, vec![RData::Cname(dn("foo.com"))]);
+    }
+
+    #[test]
+    fn missing_name_and_authority() {
+        let r = resolver();
+        assert!(matches!(
+            r.resolve(&dn("nothere.foo.com"), RecordType::A),
+            Err(ResolutionError::NoRecords(_))
+        ));
+        assert!(matches!(
+            r.resolve(&dn("unknown.test"), RecordType::A),
+            Err(ResolutionError::NoAuthority(_))
+        ));
+    }
+
+    #[test]
+    fn cname_loop_detected() {
+        let mut r = Resolver::new();
+        let mut z = Zone::new(dn("loop.com"));
+        z.add_data(dn("a.loop.com"), RData::Cname(dn("b.loop.com")));
+        z.add_data(dn("b.loop.com"), RData::Cname(dn("a.loop.com")));
+        r.add_zone(z);
+        assert!(matches!(
+            r.resolve(&dn("a.loop.com"), RecordType::A),
+            Err(ResolutionError::CnameLoop(_))
+        ));
+        // cname_chain terminates too.
+        assert!(r.cname_chain(&dn("a.loop.com")).len() <= 9);
+    }
+
+    #[test]
+    fn most_specific_zone_wins() {
+        let mut r = resolver();
+        let mut sub = Zone::new(dn("sub.foo.com"));
+        sub.add_data(dn("sub.foo.com"), RData::A(Ipv4Addr::new(203, 0, 113, 1)));
+        r.add_zone(sub);
+        let a = r.resolve(&dn("sub.foo.com"), RecordType::A).unwrap();
+        assert_eq!(a, vec![RData::A(Ipv4Addr::new(203, 0, 113, 1))]);
+        assert_eq!(r.zone_count(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! An authoritative DNS server loop: wire bytes in, wire bytes out.
+//!
+//! Ties the [`crate::resolver`] to the [`crate::wire`] format the way a
+//! real nameserver process does, so scanners and ACME validators can
+//! exercise the full query path instead of calling the resolver directly.
+
+use crate::record::Record;
+use crate::resolver::{ResolutionError, Resolver};
+use crate::wire::{Message, Rcode, WireError};
+
+/// Serve one query: decode, resolve, encode the response.
+///
+/// Malformed queries get a FORMERR response when the header was readable,
+/// or an error when not even that much parsed (a real server would drop
+/// the packet).
+pub fn serve(resolver: &Resolver, query_bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+    let query = match Message::decode(query_bytes) {
+        Ok(q) => q,
+        Err(e) => {
+            // Try to salvage the transaction id for a FORMERR.
+            if query_bytes.len() >= 2 {
+                let id = u16::from_be_bytes([query_bytes[0], query_bytes[1]]);
+                let mut stub = Message::query(
+                    id,
+                    stale_types::DomainName::parse("invalid.formerr").expect("literal"),
+                    crate::record::RecordType::A,
+                );
+                stub.questions.clear();
+                let resp = Message::response(&stub, vec![], Rcode::FormErr);
+                return Ok(resp.encode());
+            }
+            return Err(e);
+        }
+    };
+    let mut answers: Vec<Record> = Vec::new();
+    let mut rcode = Rcode::NoError;
+    for question in &query.questions {
+        match resolver.resolve(&question.name, question.qtype) {
+            Ok(data) => {
+                answers.extend(
+                    data.into_iter().map(|d| Record::new(question.name.clone(), d)),
+                );
+            }
+            Err(ResolutionError::NoRecords(_)) => {
+                // Name may exist with other types; empty NOERROR answer.
+            }
+            Err(ResolutionError::NoAuthority(_)) => rcode = Rcode::NxDomain,
+            Err(ResolutionError::CnameLoop(_)) => rcode = Rcode::ServFail,
+        }
+    }
+    Ok(Message::response(&query, answers, rcode).encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Ipv4Addr, RData, RecordType};
+    use crate::zone::Zone;
+    use stale_types::domain::dn;
+
+    fn resolver() -> Resolver {
+        let mut r = Resolver::new();
+        let mut z = Zone::new(dn("foo.com"));
+        z.add_data(dn("foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        z.add_data(dn("www.foo.com"), RData::Cname(dn("foo.com")));
+        r.add_zone(z);
+        r
+    }
+
+    #[test]
+    fn answers_a_query_over_the_wire() {
+        let r = resolver();
+        let query = Message::query(7, dn("foo.com"), RecordType::A);
+        let response_bytes = serve(&r, &query.encode()).unwrap();
+        let response = Message::decode(&response_bytes).unwrap();
+        assert_eq!(response.header.id, 7);
+        assert!(response.header.response);
+        assert_eq!(response.answers.len(), 1);
+        assert_eq!(response.answers[0].data, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    }
+
+    #[test]
+    fn cname_chase_through_server() {
+        let r = resolver();
+        let query = Message::query(8, dn("www.foo.com"), RecordType::A);
+        let response = Message::decode(&serve(&r, &query.encode()).unwrap()).unwrap();
+        assert_eq!(response.answers.len(), 1);
+    }
+
+    #[test]
+    fn nxdomain_for_foreign_names() {
+        let r = resolver();
+        let query = Message::query(9, dn("other.test"), RecordType::A);
+        let response = Message::decode(&serve(&r, &query.encode()).unwrap()).unwrap();
+        assert_eq!(response.header.rcode, Rcode::NxDomain);
+        assert!(response.answers.is_empty());
+    }
+
+    #[test]
+    fn empty_noerror_for_missing_type() {
+        let r = resolver();
+        let query = Message::query(10, dn("foo.com"), RecordType::Txt);
+        let response = Message::decode(&serve(&r, &query.encode()).unwrap()).unwrap();
+        assert_eq!(response.header.rcode, Rcode::NoError);
+        assert!(response.answers.is_empty());
+    }
+
+    #[test]
+    fn garbage_gets_formerr_with_preserved_id() {
+        let r = resolver();
+        let mut garbage = vec![0xAB, 0xCD];
+        garbage.extend_from_slice(&[0xFF; 20]);
+        let response_bytes = serve(&r, &garbage).unwrap();
+        let response = Message::decode(&response_bytes).unwrap();
+        assert_eq!(response.header.id, 0xABCD);
+        assert_eq!(response.header.rcode, Rcode::FormErr);
+        // Sub-2-byte input can't even be answered.
+        assert!(serve(&r, &[0x01]).is_err());
+    }
+}

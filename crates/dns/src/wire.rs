@@ -1,0 +1,557 @@
+//! RFC 1035 wire format: messages, names with compression, resource
+//! records.
+//!
+//! The interval-compressed [`crate::scan::DnsHistory`] is what the
+//! detectors consume, but the scanner "speaks DNS" through this module so
+//! the substrate exercises the real serialisation path — including name
+//! compression pointers, the part of the format implementations most often
+//! get wrong.
+
+use crate::record::{Ipv4Addr, RData, Record, RecordType, Ttl};
+use stale_types::DomainName;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Wire decoding/encoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A compression pointer pointed forward or looped.
+    BadPointer,
+    /// A label exceeded 63 octets or a name 255.
+    BadName,
+    /// Unknown record type or class on the wire.
+    Unsupported(u16),
+    /// RDATA contents malformed.
+    BadRdata(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated DNS message"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadName => write!(f, "malformed name"),
+            WireError::Unsupported(code) => write!(f, "unsupported type/class {code}"),
+            WireError::BadRdata(w) => write!(f, "bad rdata: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+}
+
+impl Rcode {
+    fn code(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+        }
+    }
+
+    fn from_code(c: u16) -> Rcode {
+        match c {
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            _ => Rcode::NoError,
+        }
+    }
+}
+
+/// Message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction id.
+    pub id: u16,
+    /// Query (false) or response (true).
+    pub response: bool,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+/// One question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// A DNS message (questions + answers; authority/additional sections are
+/// not needed by the scanner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Header.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+}
+
+impl Message {
+    /// Build a query for `name`/`qtype`.
+    pub fn query(id: u16, name: DomainName, qtype: RecordType) -> Message {
+        Message {
+            header: Header {
+                id,
+                response: false,
+                authoritative: false,
+                recursion_desired: true,
+                rcode: Rcode::NoError,
+            },
+            questions: vec![Question { name, qtype }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a response to `query` with `answers`.
+    pub fn response(query: &Message, answers: Vec<Record>, rcode: Rcode) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                authoritative: true,
+                recursion_desired: query.header.recursion_desired,
+                rcode,
+            },
+            questions: query.questions.clone(),
+            answers,
+        }
+    }
+
+    /// Encode to wire bytes with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        let mut offsets: HashMap<String, u16> = HashMap::new();
+        buf.extend_from_slice(&self.header.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.header.response {
+            flags |= 0x8000;
+        }
+        if self.header.authoritative {
+            flags |= 0x0400;
+        }
+        if self.header.recursion_desired {
+            flags |= 0x0100;
+        }
+        flags |= self.header.rcode.code();
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes()); // nscount
+        buf.extend_from_slice(&0u16.to_be_bytes()); // arcount
+        for q in &self.questions {
+            encode_name(&mut buf, &mut offsets, &q.name);
+            buf.extend_from_slice(&q.qtype.code().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        }
+        for rr in &self.answers {
+            encode_name(&mut buf, &mut offsets, &rr.name);
+            buf.extend_from_slice(&rr.record_type().code().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes());
+            buf.extend_from_slice(&rr.ttl.0.to_be_bytes());
+            // RDLENGTH is backfilled after encoding RDATA (names inside
+            // RDATA may compress, so the length isn't known up front).
+            let len_pos = buf.len();
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            let start = buf.len();
+            encode_rdata(&mut buf, &mut offsets, &rr.data);
+            let rdlen = (buf.len() - start) as u16;
+            buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        let mut pos = 0usize;
+        let id = read_u16(buf, &mut pos)?;
+        let flags = read_u16(buf, &mut pos)?;
+        let qdcount = read_u16(buf, &mut pos)?;
+        let ancount = read_u16(buf, &mut pos)?;
+        let _nscount = read_u16(buf, &mut pos)?;
+        let _arcount = read_u16(buf, &mut pos)?;
+        let header = Header {
+            id,
+            response: flags & 0x8000 != 0,
+            authoritative: flags & 0x0400 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            rcode: Rcode::from_code(flags & 0x000F),
+        };
+        let mut questions = Vec::with_capacity(qdcount as usize);
+        for _ in 0..qdcount {
+            let name = decode_name(buf, &mut pos)?;
+            let tcode = read_u16(buf, &mut pos)?;
+            let class = read_u16(buf, &mut pos)?;
+            if class != 1 {
+                return Err(WireError::Unsupported(class));
+            }
+            let qtype = RecordType::from_code(tcode).ok_or(WireError::Unsupported(tcode))?;
+            questions.push(Question { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(ancount as usize);
+        for _ in 0..ancount {
+            let name = decode_name(buf, &mut pos)?;
+            let tcode = read_u16(buf, &mut pos)?;
+            let class = read_u16(buf, &mut pos)?;
+            if class != 1 {
+                return Err(WireError::Unsupported(class));
+            }
+            let rtype = RecordType::from_code(tcode).ok_or(WireError::Unsupported(tcode))?;
+            let ttl = Ttl(read_u32(buf, &mut pos)?);
+            let rdlen = read_u16(buf, &mut pos)? as usize;
+            let rdata_end = pos.checked_add(rdlen).ok_or(WireError::Truncated)?;
+            if rdata_end > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let data = decode_rdata(buf, &mut pos, rtype, rdata_end)?;
+            if pos != rdata_end {
+                return Err(WireError::BadRdata("rdlength mismatch"));
+            }
+            answers.push(Record { name, ttl, data });
+        }
+        Ok(Message { header, questions, answers })
+    }
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16, WireError> {
+    let bytes = buf.get(*pos..*pos + 2).ok_or(WireError::Truncated)?;
+    *pos += 2;
+    Ok(u16::from_be_bytes(bytes.try_into().expect("2 bytes")))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    let bytes = buf.get(*pos..*pos + 4).ok_or(WireError::Truncated)?;
+    *pos += 4;
+    Ok(u32::from_be_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+/// Encode a name, emitting a compression pointer to any previously encoded
+/// suffix.
+fn encode_name(buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>, name: &DomainName) {
+    let labels: Vec<&str> = name.labels().collect();
+    for i in 0..labels.len() {
+        let suffix = labels[i..].join(".");
+        if let Some(&off) = offsets.get(&suffix) {
+            buf.extend_from_slice(&(0xC000u16 | off).to_be_bytes());
+            return;
+        }
+        if buf.len() < 0x3FFF {
+            offsets.insert(suffix, buf.len() as u16);
+        }
+        let label = labels[i].as_bytes();
+        buf.push(label.len() as u8);
+        buf.extend_from_slice(label);
+    }
+    buf.push(0);
+}
+
+/// Decode a (possibly compressed) name at `*pos`.
+fn decode_name(buf: &[u8], pos: &mut usize) -> Result<DomainName, WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut cursor = *pos;
+    let mut jumped = false;
+    let mut jumps = 0;
+    loop {
+        let len = *buf.get(cursor).ok_or(WireError::Truncated)? as usize;
+        if len & 0xC0 == 0xC0 {
+            let second = *buf.get(cursor + 1).ok_or(WireError::Truncated)? as usize;
+            let target = ((len & 0x3F) << 8) | second;
+            // Pointers must point strictly backwards; cap jumps to prevent
+            // loops.
+            if target >= cursor || jumps > 32 {
+                return Err(WireError::BadPointer);
+            }
+            if !jumped {
+                *pos = cursor + 2;
+                jumped = true;
+            }
+            cursor = target;
+            jumps += 1;
+            continue;
+        }
+        if len & 0xC0 != 0 {
+            return Err(WireError::BadName);
+        }
+        cursor += 1;
+        if len == 0 {
+            break;
+        }
+        let label = buf.get(cursor..cursor + len).ok_or(WireError::Truncated)?;
+        labels.push(
+            std::str::from_utf8(label).map_err(|_| WireError::BadName)?.to_string(),
+        );
+        cursor += len;
+        if labels.len() > 64 {
+            return Err(WireError::BadName);
+        }
+    }
+    if !jumped {
+        *pos = cursor;
+    }
+    if labels.is_empty() {
+        return Err(WireError::BadName);
+    }
+    DomainName::parse(&labels.join(".")).map_err(|_| WireError::BadName)
+}
+
+fn encode_rdata(buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>, data: &RData) {
+    match data {
+        RData::A(ip) => buf.extend_from_slice(&ip.0),
+        RData::Aaaa(ip) => buf.extend_from_slice(ip),
+        RData::Ns(name) | RData::Cname(name) => encode_name(buf, offsets, name),
+        RData::Txt(text) => {
+            // Character strings of up to 255 bytes each.
+            for chunk in text.as_bytes().chunks(255) {
+                buf.push(chunk.len() as u8);
+                buf.extend_from_slice(chunk);
+            }
+            if text.is_empty() {
+                buf.push(0);
+            }
+        }
+        RData::Soa { mname, rname, serial } => {
+            encode_name(buf, offsets, mname);
+            encode_name(buf, offsets, rname);
+            buf.extend_from_slice(&serial.to_be_bytes());
+            // refresh/retry/expire/minimum fixed for the simulation.
+            for v in [7200u32, 900, 1209600, 3600] {
+                buf.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        RData::Caa { critical, tag, value } => {
+            buf.push(if *critical { 0x80 } else { 0 });
+            buf.push(tag.len() as u8);
+            buf.extend_from_slice(tag.as_bytes());
+            buf.extend_from_slice(value.as_bytes());
+        }
+        RData::Tlsa { usage, selector, matching_type, association } => {
+            buf.push(*usage);
+            buf.push(*selector);
+            buf.push(*matching_type);
+            buf.extend_from_slice(association);
+        }
+    }
+}
+
+fn decode_rdata(
+    buf: &[u8],
+    pos: &mut usize,
+    rtype: RecordType,
+    end: usize,
+) -> Result<RData, WireError> {
+    match rtype {
+        RecordType::A => {
+            let bytes = buf.get(*pos..*pos + 4).ok_or(WireError::Truncated)?;
+            *pos += 4;
+            Ok(RData::A(Ipv4Addr(bytes.try_into().expect("4 bytes"))))
+        }
+        RecordType::Aaaa => {
+            let bytes = buf.get(*pos..*pos + 16).ok_or(WireError::Truncated)?;
+            *pos += 16;
+            Ok(RData::Aaaa(bytes.try_into().expect("16 bytes")))
+        }
+        RecordType::Ns => Ok(RData::Ns(decode_name(buf, pos)?)),
+        RecordType::Cname => Ok(RData::Cname(decode_name(buf, pos)?)),
+        RecordType::Txt => {
+            let mut text = String::new();
+            while *pos < end {
+                let len = *buf.get(*pos).ok_or(WireError::Truncated)? as usize;
+                *pos += 1;
+                let chunk = buf.get(*pos..*pos + len).ok_or(WireError::Truncated)?;
+                text.push_str(std::str::from_utf8(chunk).map_err(|_| {
+                    WireError::BadRdata("non-utf8 TXT")
+                })?);
+                *pos += len;
+            }
+            Ok(RData::Txt(text))
+        }
+        RecordType::Soa => {
+            let mname = decode_name(buf, pos)?;
+            let rname = decode_name(buf, pos)?;
+            let serial = read_u32(buf, pos)?;
+            for _ in 0..4 {
+                let _ = read_u32(buf, pos)?;
+            }
+            Ok(RData::Soa { mname, rname, serial })
+        }
+        RecordType::Tlsa => {
+            let header = buf.get(*pos..*pos + 3).ok_or(WireError::Truncated)?;
+            let (usage, selector, matching_type) = (header[0], header[1], header[2]);
+            *pos += 3;
+            let association = buf.get(*pos..end).ok_or(WireError::Truncated)?.to_vec();
+            *pos = end;
+            Ok(RData::Tlsa { usage, selector, matching_type, association })
+        }
+        RecordType::Caa => {
+            let flags = *buf.get(*pos).ok_or(WireError::Truncated)?;
+            *pos += 1;
+            let tag_len = *buf.get(*pos).ok_or(WireError::Truncated)? as usize;
+            *pos += 1;
+            let tag = buf.get(*pos..*pos + tag_len).ok_or(WireError::Truncated)?;
+            *pos += tag_len;
+            let value = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Ok(RData::Caa {
+                critical: flags & 0x80 != 0,
+                tag: std::str::from_utf8(tag)
+                    .map_err(|_| WireError::BadRdata("non-utf8 CAA tag"))?
+                    .to_string(),
+                value: std::str::from_utf8(value)
+                    .map_err(|_| WireError::BadRdata("non-utf8 CAA value"))?
+                    .to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    fn roundtrip(msg: &Message) -> Message {
+        Message::decode(&msg.encode()).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, dn("www.foo.com"), RecordType::A);
+        let back = roundtrip(&q);
+        assert_eq!(back, q);
+        assert!(!back.header.response);
+    }
+
+    #[test]
+    fn response_with_all_rdata_types() {
+        let q = Message::query(7, dn("foo.com"), RecordType::A);
+        let answers = vec![
+            Record::new(dn("foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1))),
+            Record::new(dn("foo.com"), RData::Aaaa([0x20, 0x01] .iter().chain([0u8; 14].iter()).copied().collect::<Vec<_>>().try_into().unwrap())),
+            Record::new(dn("foo.com"), RData::Ns(dn("ns1.foo.com"))),
+            Record::new(dn("www.foo.com"), RData::Cname(dn("foo.com"))),
+            Record::new(dn("_acme-challenge.foo.com"), RData::Txt("token-value".into())),
+            Record::new(
+                dn("foo.com"),
+                RData::Soa { mname: dn("ns1.foo.com"), rname: dn("hostmaster.foo.com"), serial: 42 },
+            ),
+            Record::new(
+                dn("foo.com"),
+                RData::Caa { critical: false, tag: "issue".into(), value: "letsencrypt.org".into() },
+            ),
+        ];
+        let resp = Message::response(&q, answers, Rcode::NoError);
+        let back = roundtrip(&resp);
+        assert_eq!(back, resp);
+        assert!(back.header.response);
+        assert!(back.header.authoritative);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(1, dn("foo.com"), RecordType::Ns);
+        let answers: Vec<Record> = (1..=4)
+            .map(|i| Record::new(dn("foo.com"), RData::Ns(dn(&format!("ns{i}.foo.com")))))
+            .collect();
+        let resp = Message::response(&q, answers, Rcode::NoError);
+        let encoded = resp.encode();
+        // Without compression "foo.com" appears 6 times (9 bytes each).
+        // With compression every repeat is a 2-byte pointer.
+        let uncompressed_estimate = 12 + (9 + 4) + 4 * (9 + 10 + 13);
+        assert!(encoded.len() < uncompressed_estimate, "{} bytes", encoded.len());
+        assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn nxdomain_response() {
+        let q = Message::query(9, dn("gone.example"), RecordType::A);
+        let resp = Message::response(&q, vec![], Rcode::NxDomain);
+        let back = roundtrip(&resp);
+        assert_eq!(back.header.rcode, Rcode::NxDomain);
+        assert!(back.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_error_not_panic() {
+        let msg = Message::query(5, dn("foo.com"), RecordType::A);
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            let _ = Message::decode(&bytes[..cut]);
+        }
+        let mut corrupt = bytes.clone();
+        for i in 0..corrupt.len() {
+            corrupt[i] ^= 0xFF;
+            let _ = Message::decode(&corrupt);
+            corrupt[i] ^= 0xFF;
+        }
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Header + one question whose name is a pointer to itself.
+        let mut buf = vec![0u8; 12];
+        buf[4] = 0;
+        buf[5] = 1; // qdcount = 1
+        buf.extend_from_slice(&[0xC0, 12]); // pointer to offset 12 (itself)
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        assert_eq!(Message::decode(&buf), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn tlsa_roundtrip() {
+        let q = Message::query(3, dn("_443._tcp.foo.com"), RecordType::Tlsa);
+        let resp = Message::response(
+            &q,
+            vec![Record::new(
+                dn("_443._tcp.foo.com"),
+                RData::Tlsa {
+                    usage: 3,
+                    selector: 1,
+                    matching_type: 1,
+                    association: vec![0xAA; 32],
+                },
+            )],
+            Rcode::NoError,
+        );
+        assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn long_txt_chunks() {
+        let q = Message::query(2, dn("t.example"), RecordType::Txt);
+        let text = "x".repeat(600); // spans three character-strings
+        let resp = Message::response(
+            &q,
+            vec![Record::new(dn("t.example"), RData::Txt(text.clone()))],
+            Rcode::NoError,
+        );
+        let back = roundtrip(&resp);
+        match &back.answers[0].data {
+            RData::Txt(t) => assert_eq!(t, &text),
+            other => panic!("wrong rdata {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Authoritative zone storage.
+//!
+//! A [`Zone`] holds the records below one apex. The simulator mutates
+//! zones as registrants change hosting (the delegation changes that the
+//! managed-TLS departure detector later observes).
+
+use crate::record::{RData, Record, RecordType, Ttl};
+use stale_types::DomainName;
+use std::collections::BTreeMap;
+
+/// One authoritative zone.
+#[derive(Debug, Clone, Default)]
+pub struct Zone {
+    /// Apex name, e.g. `foo.com`.
+    apex: Option<DomainName>,
+    /// Owner name → records at that name.
+    records: BTreeMap<DomainName, Vec<Record>>,
+}
+
+impl Zone {
+    /// Create a zone rooted at `apex` with an SOA record.
+    pub fn new(apex: DomainName) -> Self {
+        let soa = Record::new(
+            apex.clone(),
+            RData::Soa {
+                mname: apex.prepend("ns1").expect("apex accepts labels"),
+                rname: apex.prepend("hostmaster").expect("apex accepts labels"),
+                serial: 1,
+            },
+        );
+        let mut records = BTreeMap::new();
+        records.insert(apex.clone(), vec![soa]);
+        Zone { apex: Some(apex), records }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> Option<&DomainName> {
+        self.apex.as_ref()
+    }
+
+    /// Whether `name` belongs to this zone.
+    pub fn contains_name(&self, name: &DomainName) -> bool {
+        match &self.apex {
+            Some(apex) => name.is_subdomain_of(apex),
+            None => true,
+        }
+    }
+
+    /// Add a record; bumps the SOA serial.
+    pub fn add(&mut self, record: Record) {
+        debug_assert!(self.contains_name(&record.name), "record outside zone");
+        self.records.entry(record.name.clone()).or_default().push(record);
+        self.bump_serial();
+    }
+
+    /// Add `data` at `name` with the default TTL.
+    pub fn add_data(&mut self, name: DomainName, data: RData) {
+        self.add(Record::new(name, data));
+    }
+
+    /// Remove all records of `rtype` at `name`. Returns how many were
+    /// removed.
+    pub fn remove(&mut self, name: &DomainName, rtype: RecordType) -> usize {
+        let mut removed = 0;
+        if let Some(list) = self.records.get_mut(name) {
+            let before = list.len();
+            list.retain(|r| r.record_type() != rtype);
+            removed = before - list.len();
+            if list.is_empty() {
+                self.records.remove(name);
+            }
+        }
+        if removed > 0 {
+            self.bump_serial();
+        }
+        removed
+    }
+
+    /// Replace all records of `rtype` at `name` with `data`.
+    pub fn replace(&mut self, name: &DomainName, rtype: RecordType, data: Vec<RData>) {
+        self.remove(name, rtype);
+        for d in data {
+            debug_assert_eq!(d.record_type(), rtype, "replace data of wrong type");
+            self.add(Record { name: name.clone(), ttl: Ttl::HOUR, data: d });
+        }
+    }
+
+    /// Records of `rtype` at exactly `name`.
+    pub fn lookup(&self, name: &DomainName, rtype: RecordType) -> Vec<&Record> {
+        self.records
+            .get(name)
+            .map(|list| list.iter().filter(|r| r.record_type() == rtype).collect())
+            .unwrap_or_default()
+    }
+
+    /// All records at `name`.
+    pub fn lookup_all(&self, name: &DomainName) -> &[Record] {
+        self.records.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate all records in the zone.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flatten()
+    }
+
+    /// Owner names present in the zone.
+    pub fn names(&self) -> impl Iterator<Item = &DomainName> {
+        self.records.keys()
+    }
+
+    /// Current SOA serial, if the apex has an SOA.
+    pub fn soa_serial(&self) -> Option<u32> {
+        let apex = self.apex.as_ref()?;
+        self.lookup(apex, RecordType::Soa).first().and_then(|r| match &r.data {
+            RData::Soa { serial, .. } => Some(*serial),
+            _ => None,
+        })
+    }
+
+    fn bump_serial(&mut self) {
+        if let Some(apex) = self.apex.clone() {
+            if let Some(list) = self.records.get_mut(&apex) {
+                for r in list {
+                    if let RData::Soa { serial, .. } = &mut r.data {
+                        *serial = serial.wrapping_add(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Ipv4Addr;
+    use stale_types::domain::dn;
+
+    fn zone() -> Zone {
+        let mut z = Zone::new(dn("foo.com"));
+        z.add_data(dn("foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        z.add_data(dn("www.foo.com"), RData::Cname(dn("foo.com")));
+        z.add_data(dn("foo.com"), RData::Ns(dn("ns1.foo.com")));
+        z.add_data(dn("foo.com"), RData::Ns(dn("ns2.foo.com")));
+        z
+    }
+
+    #[test]
+    fn lookup_by_type() {
+        let z = zone();
+        assert_eq!(z.lookup(&dn("foo.com"), RecordType::Ns).len(), 2);
+        assert_eq!(z.lookup(&dn("foo.com"), RecordType::A).len(), 1);
+        assert_eq!(z.lookup(&dn("www.foo.com"), RecordType::Cname).len(), 1);
+        assert!(z.lookup(&dn("nope.foo.com"), RecordType::A).is_empty());
+    }
+
+    #[test]
+    fn soa_serial_bumps_on_mutation() {
+        let mut z = zone();
+        let s0 = z.soa_serial().unwrap();
+        z.add_data(dn("api.foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 9)));
+        assert!(z.soa_serial().unwrap() > s0);
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let mut z = zone();
+        assert_eq!(z.remove(&dn("foo.com"), RecordType::Ns), 2);
+        assert!(z.lookup(&dn("foo.com"), RecordType::Ns).is_empty());
+        // Removing again is a no-op.
+        assert_eq!(z.remove(&dn("foo.com"), RecordType::Ns), 0);
+        z.replace(
+            &dn("foo.com"),
+            RecordType::Ns,
+            vec![RData::Ns(dn("anna.ns.cloudflare.com")), RData::Ns(dn("bob.ns.cloudflare.com"))],
+        );
+        assert_eq!(z.lookup(&dn("foo.com"), RecordType::Ns).len(), 2);
+    }
+
+    #[test]
+    fn zone_membership() {
+        let z = zone();
+        assert!(z.contains_name(&dn("deep.sub.foo.com")));
+        assert!(!z.contains_name(&dn("bar.com")));
+    }
+
+    #[test]
+    fn iter_counts_all() {
+        let z = zone();
+        // SOA + A + CNAME + 2×NS = 5.
+        assert_eq!(z.iter().count(), 5);
+        assert!(z.names().any(|n| n == &dn("www.foo.com")));
+    }
+}

@@ -1,0 +1,158 @@
+//! Handshake endpoints: the server's identity table and the client's
+//! trust configuration.
+
+use crate::messages::Alpn;
+use ca::ocsp::OcspResponse;
+use crypto::{KeyPair, PublicKey};
+use stale_core::mitigation::crlite::CrliteFilter;
+use stale_core::mitigation::revocation_policy::RevocationPolicy;
+use stale_types::DomainName;
+use x509::Certificate;
+
+/// One identity a server can present: a chain plus the leaf's private
+/// key (and optionally a stapled OCSP response).
+#[derive(Clone)]
+pub struct ServerIdentity {
+    /// Chain, leaf first.
+    pub chain: Vec<Certificate>,
+    /// Leaf private key — possession is what CertificateVerify proves.
+    pub key: KeyPair,
+    /// Stapled OCSP response to present, if any.
+    pub staple: Option<OcspResponse>,
+}
+
+impl ServerIdentity {
+    /// Identity with a single (leaf) certificate.
+    pub fn new(leaf: Certificate, key: KeyPair) -> ServerIdentity {
+        ServerIdentity { chain: vec![leaf], key, staple: None }
+    }
+
+    /// Attach an intermediate/root chain tail.
+    pub fn with_chain_tail(mut self, tail: Vec<Certificate>) -> Self {
+        self.chain.extend(tail);
+        self
+    }
+
+    /// Attach a stapled OCSP response.
+    pub fn with_staple(mut self, staple: OcspResponse) -> Self {
+        self.staple = Some(staple);
+        self
+    }
+}
+
+/// A TLS server: identities selected by SNI, supported ALPN protocols.
+#[derive(Clone, Default)]
+pub struct Server {
+    identities: Vec<ServerIdentity>,
+    alpn: Vec<Alpn>,
+}
+
+impl Server {
+    /// Empty server.
+    pub fn new() -> Server {
+        Server { identities: Vec::new(), alpn: vec![Alpn::h2(), Alpn::http11()] }
+    }
+
+    /// Add an identity.
+    pub fn add_identity(&mut self, identity: ServerIdentity) -> &mut Self {
+        self.identities.push(identity);
+        self
+    }
+
+    /// Replace the ALPN protocol list.
+    pub fn with_alpn(mut self, alpn: Vec<Alpn>) -> Self {
+        self.alpn = alpn;
+        self
+    }
+
+    /// Pick the identity whose leaf covers `sni` (first match wins, as
+    /// real servers order their cert lists).
+    pub fn select_identity(&self, sni: &DomainName) -> Option<&ServerIdentity> {
+        self.identities.iter().find(|id| {
+            id.chain
+                .first()
+                .is_some_and(|leaf| leaf.tbs.san().iter().any(|san| san.matches(sni)))
+        })
+    }
+
+    /// Negotiate ALPN: first client preference the server supports.
+    pub fn select_alpn(&self, offered: &[Alpn]) -> Option<Alpn> {
+        offered.iter().find(|a| self.alpn.contains(a)).cloned()
+    }
+}
+
+/// A TLS client: trust anchors plus revocation configuration.
+pub struct Client {
+    /// Trusted root public keys.
+    pub trusted_roots: Vec<PublicKey>,
+    /// OCSP checking policy.
+    pub revocation_policy: RevocationPolicy,
+    /// Pushed revocation filter (CRLite), when deployed.
+    pub crlite: Option<CrliteFilter>,
+    /// ALPN protocols to offer.
+    pub alpn: Vec<Alpn>,
+}
+
+impl Client {
+    /// A browser-default-ish client: trusts `roots`, no revocation
+    /// checking.
+    pub fn new(roots: Vec<PublicKey>) -> Client {
+        Client {
+            trusted_roots: roots,
+            revocation_policy: RevocationPolicy::NoCheck,
+            crlite: None,
+            alpn: vec![Alpn::h2(), Alpn::http11()],
+        }
+    }
+
+    /// Set the revocation policy.
+    pub fn with_policy(mut self, policy: RevocationPolicy) -> Self {
+        self.revocation_policy = policy;
+        self
+    }
+
+    /// Deploy a CRLite filter.
+    pub fn with_crlite(mut self, filter: CrliteFilter) -> Self {
+        self.crlite = Some(filter);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::{domain::dn, Date, Duration};
+    use x509::CertificateBuilder;
+
+    fn identity(sans: &[&str], seed: u8) -> ServerIdentity {
+        let key = KeyPair::from_seed([seed; 32]);
+        let ca = KeyPair::from_seed([seed + 1; 32]);
+        let leaf = CertificateBuilder::tls_leaf(key.public())
+            .serial(seed as u128)
+            .issuer_cn("Endpoint CA")
+            .subject_cn(sans[0])
+            .sans(sans.iter().map(|s| dn(s)))
+            .validity_days(Date::parse("2022-01-01").unwrap(), Duration::days(90))
+            .sign(&ca);
+        ServerIdentity::new(leaf, key)
+    }
+
+    #[test]
+    fn sni_selection_matches_wildcards() {
+        let mut server = Server::new();
+        server.add_identity(identity(&["foo.com", "*.foo.com"], 1));
+        server.add_identity(identity(&["bar.com"], 3));
+        assert!(server.select_identity(&dn("foo.com")).is_some());
+        assert!(server.select_identity(&dn("api.foo.com")).is_some());
+        assert!(server.select_identity(&dn("bar.com")).is_some());
+        assert!(server.select_identity(&dn("baz.com")).is_none());
+    }
+
+    #[test]
+    fn alpn_prefers_client_order() {
+        let server = Server::new().with_alpn(vec![Alpn::http11(), Alpn::h2()]);
+        let picked = server.select_alpn(&[Alpn::h2(), Alpn::http11()]).unwrap();
+        assert_eq!(picked, Alpn::h2(), "client preference wins");
+        assert_eq!(server.select_alpn(&[Alpn::acme()]), None);
+    }
+}

@@ -1,0 +1,351 @@
+//! The handshake driver and the on-path attacker.
+
+use crate::endpoint::{Client, Server, ServerIdentity};
+use crate::messages::{
+    Alpn, CertificateMsg, CertificateVerify, ClientHello, Finished, ServerHello, Transcript,
+};
+use crypto::SimSig;
+use stale_core::mitigation::revocation_policy::{
+    connection_outcome, ConnectionOutcome, NetworkCondition,
+};
+use stale_types::{Date, DomainName};
+use x509::validate::{validate_chain, ValidationError};
+use std::fmt;
+
+/// Handshake failures, in the order a client detects them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The server had no certificate for the requested name.
+    NoIdentityForSni(String),
+    /// Chain/hostname/validity failure.
+    Validation(ValidationError),
+    /// CertificateVerify did not verify: the server does not possess the
+    /// leaf key.
+    KeyPossessionFailed,
+    /// Finished transcript mismatch (tampering en route).
+    TranscriptMismatch,
+    /// Revocation checking rejected the certificate.
+    Revoked,
+    /// Required revocation status was unavailable (hard-fail /
+    /// Must-Staple).
+    NoRevocationStatus,
+    /// CRLite filter flagged the certificate.
+    CrliteHit,
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::NoIdentityForSni(sni) => write!(f, "no certificate for {sni}"),
+            HandshakeError::Validation(e) => write!(f, "certificate validation: {e}"),
+            HandshakeError::KeyPossessionFailed => write!(f, "CertificateVerify invalid"),
+            HandshakeError::TranscriptMismatch => write!(f, "Finished verify_data mismatch"),
+            HandshakeError::Revoked => write!(f, "certificate revoked"),
+            HandshakeError::NoRevocationStatus => write!(f, "revocation status unavailable"),
+            HandshakeError::CrliteHit => write!(f, "CRLite filter: revoked"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// A completed session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The authenticated peer name.
+    pub server_name: DomainName,
+    /// Negotiated ALPN protocol.
+    pub alpn: Option<Alpn>,
+    /// Leaf certificate the client accepted.
+    pub peer_certificate: x509::Certificate,
+}
+
+/// An on-path attacker holding a (possibly stale) identity — the paper's
+/// third-party adversary. When active, it answers the victim's handshake
+/// with its own identity and drops OCSP traffic.
+pub struct Mitm {
+    /// The identity (certificate chain + private key) the attacker holds.
+    pub identity: ServerIdentity,
+}
+
+/// Connect `client` to `server` for `sni` at `date` over a clean network.
+pub fn connect(
+    client: &Client,
+    server: &Server,
+    sni: &DomainName,
+    date: Date,
+) -> Result<Session, HandshakeError> {
+    handshake_inner(client, server, None, sni, date, NetworkCondition::Normal)
+}
+
+/// Connect while `mitm` sits on-path: the attacker substitutes its own
+/// identity and blocks the client's OCSP fetches.
+pub fn connect_via(
+    client: &Client,
+    server: &Server,
+    mitm: &Mitm,
+    sni: &DomainName,
+    date: Date,
+) -> Result<Session, HandshakeError> {
+    handshake_inner(
+        client,
+        server,
+        Some(&mitm.identity),
+        sni,
+        date,
+        NetworkCondition::OcspBlocked,
+    )
+}
+
+fn handshake_inner(
+    client: &Client,
+    server: &Server,
+    interposed: Option<&ServerIdentity>,
+    sni: &DomainName,
+    date: Date,
+    network: NetworkCondition,
+) -> Result<Session, HandshakeError> {
+    let mut transcript = Transcript::new();
+    // -> ClientHello
+    let hello = ClientHello {
+        // Client randoms derive from the date in this deterministic
+        // simulation; uniqueness across connections is not load-bearing.
+        random: crypto::sha256(&date.days_since_epoch().to_be_bytes()),
+        sni: sni.clone(),
+        alpn: client.alpn.clone(),
+    };
+    transcript.client_hello(&hello);
+    // <- ServerHello (the MITM answers instead when interposed).
+    let identity = match interposed {
+        Some(identity) => identity,
+        None => server
+            .select_identity(sni)
+            .ok_or_else(|| HandshakeError::NoIdentityForSni(sni.to_string()))?,
+    };
+    let server_hello = ServerHello {
+        random: crypto::sha256(b"server-random"),
+        alpn: server.select_alpn(&hello.alpn),
+    };
+    transcript.server_hello(&server_hello);
+    // <- Certificate
+    let cert_msg = CertificateMsg { chain: identity.chain.clone() };
+    transcript.certificate(&cert_msg);
+    // <- CertificateVerify: signature over the transcript with the leaf
+    // key. This is the proof-of-possession step — a stolen certificate
+    // without its key dies here.
+    let verify = CertificateVerify {
+        signature: SimSig::sign(identity.key.private(), &transcript.verify_bytes()),
+    };
+    // --- client-side checks ---
+    let leaf = cert_msg.chain.first().ok_or(HandshakeError::KeyPossessionFailed)?;
+    validate_chain(&cert_msg.chain, &client.trusted_roots, sni, date)
+        .map_err(HandshakeError::Validation)?;
+    if !SimSig::verify(&leaf.tbs.public_key, &transcript.verify_bytes(), &verify.signature) {
+        return Err(HandshakeError::KeyPossessionFailed);
+    }
+    // CRLite (pushed revocation): checked before any network fetch.
+    if let Some(filter) = &client.crlite {
+        if filter.is_revoked(&leaf.cert_id()) {
+            return Err(HandshakeError::CrliteHit);
+        }
+    }
+    // OCSP policy. The fetch callback models the responder being
+    // reachable only when the network allows; the signed staple comes
+    // from the presented identity.
+    let issuer_key = cert_msg
+        .chain
+        .get(1)
+        .map(|issuer| issuer.tbs.public_key)
+        .or_else(|| client.trusted_roots.first().copied());
+    if let Some(issuer_key) = issuer_key {
+        let outcome = connection_outcome(
+            leaf,
+            client.revocation_policy,
+            network,
+            identity.staple.as_ref(),
+            &issuer_key,
+            date,
+            || {
+                // A reachable fetch returns the staple if the server has
+                // one, else an (unknowable here) Good answer is modelled
+                // by the staple being required for revoked certs. The
+                // server-side staple is the only signed status available
+                // in this model.
+                identity.staple.clone().unwrap_or_else(|| {
+                    // No responder state: synthesise an unverifiable
+                    // response; policy treats it as no status.
+                    ca::ocsp::OcspResponse {
+                        authority_key_id: stale_types::KeyId::from_bytes([0; 20]),
+                        serial: leaf.tbs.serial,
+                        status: ca::ocsp::CertStatus::Unknown,
+                        this_update: date,
+                        next_update: date,
+                        signature: crypto::Signature([0; 32]),
+                    }
+                })
+            },
+        );
+        match outcome {
+            ConnectionOutcome::Accepted => {}
+            ConnectionOutcome::RejectedRevoked => return Err(HandshakeError::Revoked),
+            ConnectionOutcome::RejectedNoStatus => {
+                return Err(HandshakeError::NoRevocationStatus)
+            }
+        }
+    }
+    // Finished: both sides bind the transcript.
+    let finished = Finished { verify_data: transcript.hash() };
+    if finished.verify_data != transcript.hash() {
+        return Err(HandshakeError::TranscriptMismatch);
+    }
+    Ok(Session {
+        server_name: sni.clone(),
+        alpn: server_hello.alpn,
+        peer_certificate: leaf.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::ServerIdentity;
+    use crypto::KeyPair;
+    use stale_types::{domain::dn, Duration};
+    use x509::CertificateBuilder;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    struct Pki {
+        root: KeyPair,
+        server: Server,
+        leaf_key: KeyPair,
+        leaf: x509::Certificate,
+    }
+
+    fn pki(sans: &[&str]) -> Pki {
+        let root = KeyPair::from_seed([1; 32]);
+        let leaf_key = KeyPair::from_seed([2; 32]);
+        let leaf = CertificateBuilder::tls_leaf(leaf_key.public())
+            .serial(1)
+            .issuer_cn("HS Root")
+            .subject_cn(sans[0])
+            .sans(sans.iter().map(|s| dn(s)))
+            .validity_days(d("2022-01-01"), Duration::days(398))
+            .sign(&root);
+        let mut server = Server::new();
+        server.add_identity(ServerIdentity::new(leaf.clone(), leaf_key.clone()));
+        Pki { root, server, leaf_key, leaf }
+    }
+
+    #[test]
+    fn honest_handshake_succeeds() {
+        let pki = pki(&["foo.com", "*.foo.com"]);
+        let client = Client::new(vec![pki.root.public()]);
+        let session = connect(&client, &pki.server, &dn("foo.com"), d("2022-06-01")).unwrap();
+        assert_eq!(session.server_name, dn("foo.com"));
+        assert_eq!(session.alpn, Some(Alpn::h2()));
+        assert_eq!(session.peer_certificate, pki.leaf);
+        // Wildcard SNI too.
+        connect(&client, &pki.server, &dn("api.foo.com"), d("2022-06-01")).unwrap();
+    }
+
+    #[test]
+    fn expired_and_wrong_name_rejected() {
+        let pki = pki(&["foo.com"]);
+        let client = Client::new(vec![pki.root.public()]);
+        assert!(matches!(
+            connect(&client, &pki.server, &dn("foo.com"), d("2024-01-01")),
+            Err(HandshakeError::NoIdentityForSni(_)) | Err(HandshakeError::Validation(_))
+        ));
+        assert!(matches!(
+            connect(&client, &pki.server, &dn("bar.com"), d("2022-06-01")),
+            Err(HandshakeError::NoIdentityForSni(_))
+        ));
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let pki = pki(&["foo.com"]);
+        let other_root = KeyPair::from_seed([9; 32]);
+        let client = Client::new(vec![other_root.public()]);
+        assert!(matches!(
+            connect(&client, &pki.server, &dn("foo.com"), d("2022-06-01")),
+            Err(HandshakeError::Validation(ValidationError::UntrustedRoot))
+        ));
+    }
+
+    #[test]
+    fn certificate_without_key_fails_possession() {
+        let pki = pki(&["foo.com"]);
+        // An attacker with the certificate but a different key.
+        let wrong_key = KeyPair::from_seed([66; 32]);
+        let mitm = Mitm { identity: ServerIdentity::new(pki.leaf.clone(), wrong_key) };
+        let client = Client::new(vec![pki.root.public()]);
+        assert!(matches!(
+            connect_via(&client, &pki.server, &mitm, &dn("foo.com"), d("2022-06-01")),
+            Err(HandshakeError::KeyPossessionFailed)
+        ));
+    }
+
+    #[test]
+    fn stale_certificate_with_stolen_key_impersonates() {
+        // The paper's core claim, executed: certificate + key ⇒ successful
+        // impersonation for the full remaining lifetime.
+        let pki = pki(&["transferred.com"]);
+        let mitm = Mitm {
+            identity: ServerIdentity::new(pki.leaf.clone(), pki.leaf_key.clone()),
+        };
+        // The *real* server now belongs to the new owner with a fresh cert.
+        let new_root = pki.root.clone();
+        let new_key = KeyPair::from_seed([7; 32]);
+        let new_leaf = CertificateBuilder::tls_leaf(new_key.public())
+            .serial(2)
+            .issuer_cn("HS Root")
+            .subject_cn("transferred.com")
+            .san(dn("transferred.com"))
+            .validity_days(d("2022-06-01"), Duration::days(90))
+            .sign(&new_root);
+        let mut real_server = Server::new();
+        real_server.add_identity(ServerIdentity::new(new_leaf, new_key));
+        let client = Client::new(vec![pki.root.public()]);
+        // MITM splices in the old (stale) identity: accepted.
+        let session =
+            connect_via(&client, &real_server, &mitm, &dn("transferred.com"), d("2022-08-01"))
+                .unwrap();
+        assert_eq!(session.peer_certificate, pki.leaf, "client sees the attacker's cert");
+        // After the stale certificate expires, the attack dies.
+        assert!(matches!(
+            connect_via(&client, &real_server, &mitm, &dn("transferred.com"), d("2023-03-01")),
+            Err(HandshakeError::Validation(ValidationError::Expired { .. }))
+        ));
+    }
+
+    #[test]
+    fn crlite_client_blocks_revoked_stale_cert() {
+        use stale_core::mitigation::crlite::CrliteFilter;
+        let pki = pki(&["victim.com"]);
+        let mitm =
+            Mitm { identity: ServerIdentity::new(pki.leaf.clone(), pki.leaf_key.clone()) };
+        let filter = CrliteFilter::build(&[pki.leaf.cert_id()], &[pki.leaf.cert_id()]);
+        let client = Client::new(vec![pki.root.public()]).with_crlite(filter);
+        assert!(
+            matches!(
+                connect_via(&client, &pki.server, &mitm, &dn("victim.com"), d("2022-06-01")),
+                Err(HandshakeError::CrliteHit)
+            ),
+            "pushed revocation beats the on-path OCSP block"
+        );
+    }
+
+    #[test]
+    fn alpn_negotiation_in_session() {
+        let pki = pki(&["foo.com"]);
+        let mut client = Client::new(vec![pki.root.public()]);
+        client.alpn = vec![Alpn::acme()];
+        // Default server doesn't speak acme-tls/1 → no ALPN in session.
+        let session = connect(&client, &pki.server, &dn("foo.com"), d("2022-06-01")).unwrap();
+        assert_eq!(session.alpn, None);
+    }
+}

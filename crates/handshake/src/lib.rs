@@ -1,0 +1,27 @@
+//! A simulated TLS 1.3-shaped server-authentication handshake over the
+//! workspace's PKI substrate.
+//!
+//! This is where a stale certificate actually gets *used*: the paper's
+//! third-party adversary holds a valid certificate plus its private key
+//! and sits on-path. The handshake here implements exactly the checks a
+//! TLS client performs — SNI-based certificate selection, chain and
+//! hostname validation, proof of private-key possession over the
+//! transcript (CertificateVerify), transcript binding (Finished) — plus
+//! the client-side revocation hooks from `stale_core::mitigation`, so
+//! every claim the paper makes about impersonation ("the old registrant
+//! has the technical ability to impersonate foo.com") is demonstrated by
+//! an executable handshake rather than asserted.
+//!
+//! * [`messages`] — the handshake messages and transcript hashing;
+//! * [`endpoint`] — [`endpoint::Server`] (SNI identity table, ALPN) and
+//!   [`endpoint::Client`] (trust store + revocation configuration);
+//! * [`handshake`] — the driver, including an on-path [`handshake::Mitm`]
+//!   that splices a stolen identity into someone else's connection.
+
+pub mod endpoint;
+pub mod handshake;
+pub mod messages;
+
+pub use endpoint::{Client, Server, ServerIdentity};
+pub use handshake::{connect, connect_via, HandshakeError, Mitm, Session};
+pub use messages::{Alpn, ACME_TLS_ALPN};

@@ -1,0 +1,191 @@
+//! Handshake messages and the running transcript hash.
+//!
+//! Message layouts follow TLS 1.3's shape (ClientHello with SNI and ALPN,
+//! ServerHello, Certificate, CertificateVerify, Finished) without the
+//! full wire format: each message contributes canonical bytes to a
+//! SHA-256 transcript, and the signatures/MACs bind to that transcript
+//! exactly as in the real protocol — which is what makes key possession
+//! and downgrade resistance testable.
+
+use crypto::sha256::Sha256;
+use stale_types::DomainName;
+use x509::Certificate;
+
+/// An ALPN protocol name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Alpn(pub String);
+
+/// The ACME tls-alpn-01 protocol id (RFC 8737).
+pub const ACME_TLS_ALPN: &str = "acme-tls/1";
+
+impl Alpn {
+    /// HTTP/1.1.
+    pub fn http11() -> Alpn {
+        Alpn("http/1.1".into())
+    }
+
+    /// HTTP/2.
+    pub fn h2() -> Alpn {
+        Alpn("h2".into())
+    }
+
+    /// The ACME validation protocol.
+    pub fn acme() -> Alpn {
+        Alpn(ACME_TLS_ALPN.into())
+    }
+}
+
+/// ClientHello.
+#[derive(Debug, Clone)]
+pub struct ClientHello {
+    /// Client random.
+    pub random: [u8; 32],
+    /// Server name indication — how the server picks an identity.
+    pub sni: DomainName,
+    /// Offered ALPN protocols, client preference order.
+    pub alpn: Vec<Alpn>,
+}
+
+/// ServerHello.
+#[derive(Debug, Clone)]
+pub struct ServerHello {
+    /// Server random.
+    pub random: [u8; 32],
+    /// Selected ALPN protocol, if any matched.
+    pub alpn: Option<Alpn>,
+}
+
+/// The server's Certificate message.
+#[derive(Debug, Clone)]
+pub struct CertificateMsg {
+    /// Presented chain, leaf first.
+    pub chain: Vec<Certificate>,
+}
+
+/// CertificateVerify: a signature over the transcript so far, provable
+/// only with the leaf certificate's private key.
+#[derive(Debug, Clone)]
+pub struct CertificateVerify {
+    /// Signature over `transcript_hash` with a context label.
+    pub signature: crypto::Signature,
+}
+
+/// Finished: a MAC over the final transcript (simplified to a hash
+/// binding here — no key schedule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finished {
+    /// SHA-256 of the complete transcript.
+    pub verify_data: [u8; 32],
+}
+
+/// Running transcript hash over canonical message encodings.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Sha256,
+}
+
+impl Default for Transcript {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transcript {
+    /// Empty transcript.
+    pub fn new() -> Self {
+        Transcript { hasher: Sha256::new() }
+    }
+
+    /// Absorb the ClientHello.
+    pub fn client_hello(&mut self, hello: &ClientHello) {
+        self.hasher.update(b"client_hello");
+        self.hasher.update(&hello.random);
+        self.hasher.update(hello.sni.as_str().as_bytes());
+        for alpn in &hello.alpn {
+            self.hasher.update(&[0x00]);
+            self.hasher.update(alpn.0.as_bytes());
+        }
+    }
+
+    /// Absorb the ServerHello.
+    pub fn server_hello(&mut self, hello: &ServerHello) {
+        self.hasher.update(b"server_hello");
+        self.hasher.update(&hello.random);
+        if let Some(alpn) = &hello.alpn {
+            self.hasher.update(alpn.0.as_bytes());
+        }
+    }
+
+    /// Absorb the Certificate message.
+    pub fn certificate(&mut self, msg: &CertificateMsg) {
+        self.hasher.update(b"certificate");
+        for cert in &msg.chain {
+            self.hasher.update(&cert.encode());
+        }
+    }
+
+    /// The current transcript hash.
+    pub fn hash(&self) -> [u8; 32] {
+        self.hasher.clone().finalize()
+    }
+
+    /// The bytes CertificateVerify signs: a context label plus the
+    /// transcript hash (TLS 1.3 §4.4.3's construction, simplified).
+    pub fn verify_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(b"TLS 1.3, server CertificateVerify\x00");
+        bytes.extend_from_slice(&self.hash());
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    fn hello() -> ClientHello {
+        ClientHello { random: [1; 32], sni: dn("foo.com"), alpn: vec![Alpn::h2()] }
+    }
+
+    #[test]
+    fn transcript_is_order_and_content_sensitive() {
+        let mut a = Transcript::new();
+        a.client_hello(&hello());
+        let mut b = Transcript::new();
+        b.client_hello(&ClientHello { sni: dn("bar.com"), ..hello() });
+        assert_ne!(a.hash(), b.hash(), "SNI is bound into the transcript");
+        let mut c = Transcript::new();
+        c.client_hello(&hello());
+        assert_eq!(a.hash(), c.hash(), "same messages, same hash");
+        // Adding a ServerHello changes it.
+        c.server_hello(&ServerHello { random: [2; 32], alpn: Some(Alpn::h2()) });
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn alpn_list_is_injectively_encoded() {
+        // ["ab", "c"] must differ from ["a", "bc"].
+        let mut a = Transcript::new();
+        a.client_hello(&ClientHello {
+            random: [0; 32],
+            sni: dn("x.com"),
+            alpn: vec![Alpn("ab".into()), Alpn("c".into())],
+        });
+        let mut b = Transcript::new();
+        b.client_hello(&ClientHello {
+            random: [0; 32],
+            sni: dn("x.com"),
+            alpn: vec![Alpn("a".into()), Alpn("bc".into())],
+        });
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn verify_bytes_carry_context_label() {
+        let t = Transcript::new();
+        let bytes = t.verify_bytes();
+        assert!(bytes.starts_with(b"TLS 1.3, server CertificateVerify\x00"));
+        assert_eq!(bytes.len(), 34 + 32);
+    }
+}

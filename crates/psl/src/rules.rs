@@ -1,0 +1,103 @@
+//! Embedded public-suffix rule set.
+//!
+//! A representative subset of the Mozilla Public Suffix List covering every
+//! TLD the simulator registers domains under, the multi-label suffixes the
+//! paper's e2LD examples use, and one wildcard + exception pair so all three
+//! rule kinds are exercised. The format is the upstream PSL line format, so
+//! a full list can be dropped in via [`crate::SuffixList::from_rules`].
+
+/// Default rules in PSL file format.
+pub const DEFAULT_RULES: &str = "\
+// Generic TLDs
+com
+net
+org
+info
+biz
+name
+pro
+xyz
+online
+site
+shop
+app
+dev
+io
+co
+me
+tv
+cc
+ws
+us
+edu
+gov
+mil
+int
+// Country codes with flat registration
+de
+fr
+nl
+be
+ch
+at
+it
+es
+se
+no
+dk
+fi
+pl
+cz
+ru
+cn
+in
+ca
+eu
+// Multi-label public suffixes
+co.uk
+org.uk
+me.uk
+ltd.uk
+plc.uk
+ac.uk
+gov.uk
+com.au
+net.au
+org.au
+id.au
+edu.au
+gov.au
+co.nz
+net.nz
+org.nz
+co.jp
+ne.jp
+or.jp
+ac.jp
+go.jp
+com.br
+net.br
+org.br
+gov.br
+com.cn
+net.cn
+org.cn
+gov.cn
+co.in
+net.in
+org.in
+com.mx
+org.mx
+co.za
+org.za
+com.tr
+org.tr
+com.ar
+com.sg
+com.hk
+com.tw
+// Wildcard rule with exception (as in the real PSL for .ck)
+ck
+*.ck
+!www.ck
+";

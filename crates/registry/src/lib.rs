@@ -1,0 +1,24 @@
+//! Domain registration substrate: registries, the registration lifecycle
+//! and thin-WHOIS records.
+//!
+//! The registrant-change detector (§4.2) rests on one registry behaviour:
+//! the registry-controlled **creation date** changes only when a domain is
+//! deleted and later re-registered (§2.1). This crate models that exactly:
+//!
+//! * [`lifecycle`] — the post-expiration state machine (45-day grace,
+//!   30-day redemption, pending delete, release) from §4.4, including
+//!   intra-registry transfers that do *not* touch the creation date (the
+//!   detector's documented blind spot) and drop-catch re-registration;
+//! * [`registry`] — per-TLD registries processing day-by-day;
+//! * [`whois`] — thin WHOIS records (registry-controlled fields only, as
+//!   the paper restricts itself to) and the longitudinal
+//!   [`whois::WhoisDataset`] the detector consumes.
+
+pub mod lifecycle;
+pub mod registry;
+pub mod whois;
+pub mod whois_text;
+
+pub use lifecycle::{DomainState, LifecyclePolicy, Registration};
+pub use registry::{Registry, RegistryEvent};
+pub use whois::{WhoisDataset, WhoisRecord};

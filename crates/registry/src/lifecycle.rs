@@ -1,0 +1,153 @@
+//! The domain registration lifecycle state machine.
+//!
+//! Post-expiration flow (§2.1, §4.4): a domain that is not renewed passes
+//! through a 45-day auto-renew **grace** period, a 30-day **redemption**
+//! period, then ~5 days of **pending delete** before the registry releases
+//! it. Only after release can the public (including drop-catch services)
+//! re-register it — producing a *new creation date*, the signal the
+//! registrant-change detector keys on.
+
+use serde::{Deserialize, Serialize};
+use stale_types::{AccountId, Date, DomainName, Duration};
+
+/// Timing parameters of the lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecyclePolicy {
+    /// Auto-renew grace period after expiration (ICANN default 45 days).
+    pub grace: Duration,
+    /// Redemption period after grace (30 days).
+    pub redemption: Duration,
+    /// Pending-delete before release (5 days).
+    pub pending_delete: Duration,
+}
+
+impl Default for LifecyclePolicy {
+    fn default() -> Self {
+        LifecyclePolicy {
+            grace: Duration::days(45),
+            redemption: Duration::days(30),
+            pending_delete: Duration::days(5),
+        }
+    }
+}
+
+/// Where a registration is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainState {
+    /// Registered and paid up.
+    Active,
+    /// Expired, within the grace window (renewal restores at no penalty).
+    ExpiredGrace,
+    /// In redemption (renewal possible with penalty).
+    Redemption,
+    /// Queued for deletion; no recovery.
+    PendingDelete,
+    /// Deleted and released; open for public re-registration.
+    Released,
+}
+
+/// One domain's registration at a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registration {
+    /// The registered name (an e2LD).
+    pub domain: DomainName,
+    /// Current registrant.
+    pub registrant: AccountId,
+    /// Sponsoring registrar (index into the simulation's registrar table).
+    pub registrar: u32,
+    /// Registry creation date — changes **only** on re-registration.
+    pub creation_date: Date,
+    /// Paid-through date.
+    pub expiration_date: Date,
+    /// Last update to registrant-controlled data (renewal, transfer).
+    pub updated_date: Date,
+}
+
+impl Registration {
+    /// The state of this registration as of `date` under `policy`.
+    pub fn state_at(&self, date: Date, policy: &LifecyclePolicy) -> DomainState {
+        if date < self.expiration_date {
+            return DomainState::Active;
+        }
+        let grace_end = self.expiration_date + policy.grace;
+        if date < grace_end {
+            return DomainState::ExpiredGrace;
+        }
+        let redemption_end = grace_end + policy.redemption;
+        if date < redemption_end {
+            return DomainState::Redemption;
+        }
+        let delete_end = redemption_end + policy.pending_delete;
+        if date < delete_end {
+            return DomainState::PendingDelete;
+        }
+        DomainState::Released
+    }
+
+    /// The day the domain becomes publicly available again if never
+    /// renewed.
+    pub fn release_date(&self, policy: &LifecyclePolicy) -> Date {
+        self.expiration_date + policy.grace + policy.redemption + policy.pending_delete
+    }
+
+    /// Whether renewal is still possible at `date` (active, grace or
+    /// redemption).
+    pub fn renewable_at(&self, date: Date, policy: &LifecyclePolicy) -> bool {
+        matches!(
+            self.state_at(date, policy),
+            DomainState::Active | DomainState::ExpiredGrace | DomainState::Redemption
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    fn reg() -> Registration {
+        Registration {
+            domain: dn("foo.com"),
+            registrant: AccountId(1),
+            registrar: 0,
+            creation_date: Date::parse("2020-03-01").unwrap(),
+            expiration_date: Date::parse("2021-03-01").unwrap(),
+            updated_date: Date::parse("2020-03-01").unwrap(),
+        }
+    }
+
+    #[test]
+    fn state_progression() {
+        let r = reg();
+        let p = LifecyclePolicy::default();
+        let exp = r.expiration_date;
+        assert_eq!(r.state_at(exp.pred(), &p), DomainState::Active);
+        assert_eq!(r.state_at(exp, &p), DomainState::ExpiredGrace);
+        assert_eq!(r.state_at(exp + Duration::days(44), &p), DomainState::ExpiredGrace);
+        assert_eq!(r.state_at(exp + Duration::days(45), &p), DomainState::Redemption);
+        assert_eq!(r.state_at(exp + Duration::days(74), &p), DomainState::Redemption);
+        assert_eq!(r.state_at(exp + Duration::days(75), &p), DomainState::PendingDelete);
+        assert_eq!(r.state_at(exp + Duration::days(79), &p), DomainState::PendingDelete);
+        assert_eq!(r.state_at(exp + Duration::days(80), &p), DomainState::Released);
+    }
+
+    #[test]
+    fn release_date_matches_state() {
+        let r = reg();
+        let p = LifecyclePolicy::default();
+        let release = r.release_date(&p);
+        assert_eq!(r.state_at(release.pred(), &p), DomainState::PendingDelete);
+        assert_eq!(r.state_at(release, &p), DomainState::Released);
+        // 80 days after expiration with default policy.
+        assert_eq!(release - r.expiration_date, Duration::days(80));
+    }
+
+    #[test]
+    fn renewable_until_redemption_ends() {
+        let r = reg();
+        let p = LifecyclePolicy::default();
+        assert!(r.renewable_at(r.expiration_date + Duration::days(10), &p));
+        assert!(r.renewable_at(r.expiration_date + Duration::days(60), &p));
+        assert!(!r.renewable_at(r.expiration_date + Duration::days(76), &p));
+    }
+}

@@ -1,0 +1,175 @@
+//! Thin WHOIS records and the longitudinal WHOIS dataset.
+//!
+//! The paper restricts itself to *thin* WHOIS fields — the ones controlled
+//! by the registry (Verisign) rather than self-reported by registrars —
+//! because they are "consistently structured and generally reliable"
+//! (§4.2). The detector then reduces each record to a
+//! `(domain, creation_date)` pair. [`WhoisDataset`] is the collected
+//! longitudinal feed: every `(domain, creation_date)` pair ever observed.
+
+use crate::registry::{Registry, RegistryEvent};
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DomainName};
+use std::collections::BTreeMap;
+
+/// A thin WHOIS record as served for one domain on one day.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhoisRecord {
+    /// The domain.
+    pub domain: DomainName,
+    /// Sponsoring registrar id.
+    pub registrar: u32,
+    /// Registry creation date.
+    pub creation_date: Date,
+    /// Registry expiration date.
+    pub expiration_date: Date,
+    /// Last updated date.
+    pub updated_date: Date,
+}
+
+/// Longitudinal collection of registry creation dates.
+///
+/// For each domain, the ordered list of distinct creation dates observed.
+/// A domain with more than one creation date was deleted and re-registered
+/// between observations — the §4.2 registrant-change signal.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WhoisDataset {
+    /// Domain → ordered distinct creation dates.
+    creations: BTreeMap<DomainName, Vec<Date>>,
+    /// Collection window.
+    pub window_start: Option<Date>,
+    /// Collection window end.
+    pub window_end: Option<Date>,
+}
+
+impl WhoisDataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        WhoisDataset::default()
+    }
+
+    /// Record an observed `(domain, creation_date)` pair.
+    pub fn observe(&mut self, domain: DomainName, creation_date: Date) {
+        let dates = self.creations.entry(domain).or_default();
+        if dates.last() != Some(&creation_date) {
+            debug_assert!(
+                dates.last().map_or(true, |last| *last < creation_date),
+                "creation dates must be observed in order"
+            );
+            dates.push(creation_date);
+        }
+        self.window_start =
+            Some(self.window_start.map_or(creation_date, |w| w.min(creation_date)));
+        self.window_end = Some(self.window_end.map_or(creation_date, |w| w.max(creation_date)));
+    }
+
+    /// Ingest every registration event from a registry's event log.
+    pub fn ingest_registry(&mut self, registry: &Registry) {
+        for event in registry.events() {
+            if let RegistryEvent::Registered { domain, creation_date, .. } = event {
+                self.observe(domain.clone(), *creation_date);
+            }
+        }
+    }
+
+    /// Creation dates observed for `domain`.
+    pub fn creation_dates(&self, domain: &DomainName) -> &[Date] {
+        self.creations.get(domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Re-registration events: every creation date after a domain's first,
+    /// i.e. the dates at which the registrant (presumably) changed.
+    pub fn registrant_changes(&self) -> impl Iterator<Item = (&DomainName, Date)> {
+        self.creations
+            .iter()
+            .flat_map(|(domain, dates)| dates.iter().skip(1).map(move |d| (domain, *d)))
+    }
+
+    /// Number of domains observed.
+    pub fn domain_count(&self) -> usize {
+        self.creations.len()
+    }
+
+    /// Total records (pairs) observed.
+    pub fn record_count(&self) -> usize {
+        self.creations.values().map(Vec::len).sum()
+    }
+}
+
+/// Serve the current thin WHOIS record for a domain from a registry.
+pub fn whois_lookup(registry: &Registry, domain: &DomainName) -> Option<WhoisRecord> {
+    registry.registration(domain).map(|reg| WhoisRecord {
+        domain: reg.domain.clone(),
+        registrar: reg.registrar,
+        creation_date: reg.creation_date,
+        expiration_date: reg.expiration_date,
+        updated_date: reg.updated_date,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+    use stale_types::{AccountId, Duration};
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    #[test]
+    fn observe_dedups_repeats() {
+        let mut ds = WhoisDataset::new();
+        ds.observe(dn("foo.com"), d("2020-01-01"));
+        ds.observe(dn("foo.com"), d("2020-01-01"));
+        ds.observe(dn("foo.com"), d("2021-06-01"));
+        assert_eq!(ds.creation_dates(&dn("foo.com")), &[d("2020-01-01"), d("2021-06-01")]);
+        assert_eq!(ds.record_count(), 2);
+    }
+
+    #[test]
+    fn registrant_changes_skip_first_registration() {
+        let mut ds = WhoisDataset::new();
+        ds.observe(dn("foo.com"), d("2020-01-01"));
+        ds.observe(dn("foo.com"), d("2021-06-01"));
+        ds.observe(dn("bar.com"), d("2019-05-05"));
+        let changes: Vec<_> = ds.registrant_changes().collect();
+        assert_eq!(changes, vec![(&dn("foo.com"), d("2021-06-01"))]);
+    }
+
+    #[test]
+    fn ingest_registry_end_to_end() {
+        let mut registry = Registry::new(dn("com"), d("2019-01-01"));
+        registry.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        // Let it lapse and be re-registered (release = +365+80 days).
+        registry.advance_to(d("2020-04-01"));
+        registry.register(dn("foo.com"), AccountId(2), 1, Duration::days(365)).unwrap();
+        let mut ds = WhoisDataset::new();
+        ds.ingest_registry(&registry);
+        assert_eq!(ds.creation_dates(&dn("foo.com")).len(), 2);
+        let changes: Vec<_> = ds.registrant_changes().collect();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, d("2020-04-01"));
+    }
+
+    #[test]
+    fn whois_lookup_reflects_registration() {
+        let mut registry = Registry::new(dn("com"), d("2020-01-01"));
+        registry.register(dn("foo.com"), AccountId(7), 3, Duration::days(730)).unwrap();
+        let rec = whois_lookup(&registry, &dn("foo.com")).unwrap();
+        assert_eq!(rec.creation_date, d("2020-01-01"));
+        assert_eq!(rec.registrar, 3);
+        assert!(whois_lookup(&registry, &dn("ghost.com")).is_none());
+    }
+
+    #[test]
+    fn window_tracks_min_max() {
+        let mut ds = WhoisDataset::new();
+        ds.observe(dn("a.com"), d("2018-06-01"));
+        ds.observe(dn("b.com"), d("2016-01-01"));
+        ds.observe(dn("c.com"), d("2021-07-08"));
+        assert_eq!(ds.window_start, Some(d("2016-01-01")));
+        assert_eq!(ds.window_end, Some(d("2021-07-08")));
+        assert_eq!(ds.domain_count(), 3);
+    }
+}

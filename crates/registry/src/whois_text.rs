@@ -1,0 +1,241 @@
+//! Textual WHOIS responses: serving and tolerant parsing.
+//!
+//! §4.2 leans on a painful reality: WHOIS is "notoriously difficult to
+//! rely on due to inconsistent formatting of responses across registrars"
+//! and increasingly GDPR-redacted. This module reproduces that surface:
+//! [`render`] emits a thin-WHOIS response in one of several real-world
+//! format dialects (Verisign-style, legacy `created:` style, terse), with
+//! optional GDPR redaction of registrant fields, and [`parse`] is the
+//! measurement pipeline's tolerant extractor that recovers the
+//! registry-controlled fields — the only ones the paper trusts — from any
+//! of them.
+
+use crate::whois::WhoisRecord;
+use stale_types::{Date, DomainName};
+use std::fmt;
+
+/// Output dialects seen across registrars/registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhoisDialect {
+    /// Verisign thin-WHOIS style: `Creation Date: 2016-01-01T00:00:00Z`.
+    Verisign,
+    /// Legacy style: `created: 2016-01-01`.
+    Legacy,
+    /// Terse key=value style some registrars emit.
+    Terse,
+}
+
+/// Why a response could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhoisParseError {
+    /// No domain name field found.
+    MissingDomain,
+    /// No recognisable creation-date field found.
+    MissingCreationDate,
+    /// A field was present but malformed.
+    BadField {
+        /// Field label as seen.
+        field: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for WhoisParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhoisParseError::MissingDomain => write!(f, "no domain name in WHOIS response"),
+            WhoisParseError::MissingCreationDate => {
+                write!(f, "no creation date in WHOIS response")
+            }
+            WhoisParseError::BadField { field, value } => {
+                write!(f, "malformed WHOIS field {field}: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WhoisParseError {}
+
+/// Render a record as a textual response in `dialect`. When `redacted`,
+/// registrant-adjacent fields are replaced the way GDPR-era responses do —
+/// the registry-controlled dates stay visible, which is exactly why the
+/// paper's method survives redaction.
+pub fn render(record: &WhoisRecord, dialect: WhoisDialect, redacted: bool) -> String {
+    let registrant = if redacted { "REDACTED FOR PRIVACY" } else { "Registrant Name: On File" };
+    match dialect {
+        WhoisDialect::Verisign => format!(
+            "   Domain Name: {}\n   Registrar: Registrar {}\n   Creation Date: {}T00:00:00Z\n   Registry Expiry Date: {}T00:00:00Z\n   Updated Date: {}T00:00:00Z\n   Registrant: {}\n   >>> Last update of whois database <<<\n",
+            record.domain.as_str().to_ascii_uppercase(),
+            record.registrar,
+            record.creation_date,
+            record.expiration_date,
+            record.updated_date,
+            registrant,
+        ),
+        WhoisDialect::Legacy => format!(
+            "domain:      {}\nregistrar:   registrar-{}\ncreated:     {}\nexpires:     {}\nchanged:     {}\nholder:      {}\n",
+            record.domain,
+            record.registrar,
+            record.creation_date,
+            record.expiration_date,
+            record.updated_date,
+            if redacted { "redacted" } else { "on file" },
+        ),
+        WhoisDialect::Terse => format!(
+            "domain={}\nregistrar_id={}\ndomain_create_date={}\ndomain_expiry_date={}\nlast_modified={}\nregistrant={}\n",
+            record.domain,
+            record.registrar,
+            record.creation_date,
+            record.expiration_date,
+            record.updated_date,
+            if redacted { "REDACTED" } else { "on-file" },
+        ),
+    }
+}
+
+/// Labels that mean "registry creation date" across dialects, lowercase.
+const CREATION_LABELS: &[&str] =
+    &["creation date", "created", "domain_create_date", "create date", "registered on"];
+
+/// Labels that mean "expiry date".
+const EXPIRY_LABELS: &[&str] =
+    &["registry expiry date", "expires", "domain_expiry_date", "expiry date"];
+
+/// Labels that mean "last updated".
+const UPDATED_LABELS: &[&str] = &["updated date", "changed", "last_modified", "last updated"];
+
+/// Parsed thin fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedWhois {
+    /// Domain, normalised.
+    pub domain: DomainName,
+    /// Registry creation date — the detector's signal.
+    pub creation_date: Date,
+    /// Expiry, when present.
+    pub expiration_date: Option<Date>,
+    /// Updated, when present.
+    pub updated_date: Option<Date>,
+    /// Whether registrant fields were redacted.
+    pub redacted: bool,
+}
+
+fn parse_date_lenient(raw: &str) -> Option<Date> {
+    // Accept `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM:SSZ` and surrounding junk.
+    let trimmed = raw.trim();
+    let date_part = trimmed.split('T').next().unwrap_or(trimmed);
+    Date::parse(date_part).ok()
+}
+
+/// Tolerantly parse a textual WHOIS response.
+pub fn parse(text: &str) -> Result<ParsedWhois, WhoisParseError> {
+    let mut domain: Option<DomainName> = None;
+    let mut creation: Option<Date> = None;
+    let mut expiry: Option<Date> = None;
+    let mut updated: Option<Date> = None;
+    let redacted = text.to_ascii_lowercase().contains("redacted");
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        let Some((label, value)) = line.split_once([':', '=']) else { continue };
+        let label = label.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if value.is_empty() {
+            continue;
+        }
+        if (label == "domain name" || label == "domain") && domain.is_none() {
+            domain = Some(DomainName::parse(value).map_err(|_| WhoisParseError::BadField {
+                field: label.clone(),
+                value: value.to_string(),
+            })?);
+        } else if CREATION_LABELS.contains(&label.as_str()) && creation.is_none() {
+            creation = Some(parse_date_lenient(value).ok_or_else(|| {
+                WhoisParseError::BadField { field: label.clone(), value: value.to_string() }
+            })?);
+        } else if EXPIRY_LABELS.contains(&label.as_str()) && expiry.is_none() {
+            expiry = parse_date_lenient(value);
+        } else if UPDATED_LABELS.contains(&label.as_str()) && updated.is_none() {
+            updated = parse_date_lenient(value);
+        }
+    }
+    Ok(ParsedWhois {
+        domain: domain.ok_or(WhoisParseError::MissingDomain)?,
+        creation_date: creation.ok_or(WhoisParseError::MissingCreationDate)?,
+        expiration_date: expiry,
+        updated_date: updated,
+        redacted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    fn record() -> WhoisRecord {
+        WhoisRecord {
+            domain: dn("foo.com"),
+            registrar: 7,
+            creation_date: Date::parse("2016-01-01").unwrap(),
+            expiration_date: Date::parse("2023-01-01").unwrap(),
+            updated_date: Date::parse("2022-01-01").unwrap(),
+        }
+    }
+
+    #[test]
+    fn every_dialect_roundtrips_thin_fields() {
+        for dialect in [WhoisDialect::Verisign, WhoisDialect::Legacy, WhoisDialect::Terse] {
+            for redacted in [false, true] {
+                let text = render(&record(), dialect, redacted);
+                let parsed = parse(&text)
+                    .unwrap_or_else(|e| panic!("{dialect:?} redacted={redacted}: {e}"));
+                assert_eq!(parsed.domain, dn("foo.com"), "{dialect:?}");
+                assert_eq!(parsed.creation_date, Date::parse("2016-01-01").unwrap());
+                assert_eq!(parsed.expiration_date, Some(Date::parse("2023-01-01").unwrap()));
+                assert_eq!(parsed.redacted, redacted);
+            }
+        }
+    }
+
+    #[test]
+    fn redaction_hides_registrant_but_not_dates() {
+        let text = render(&record(), WhoisDialect::Verisign, true);
+        assert!(text.contains("REDACTED"));
+        assert!(text.contains("Creation Date: 2016-01-01"));
+        let parsed = parse(&text).unwrap();
+        assert!(parsed.redacted);
+        assert_eq!(parsed.creation_date, Date::parse("2016-01-01").unwrap());
+    }
+
+    #[test]
+    fn uppercase_domains_normalised() {
+        let text = "Domain Name: EXAMPLE.COM\nCreation Date: 2020-05-05T00:00:00Z\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.domain, dn("example.com"));
+    }
+
+    #[test]
+    fn missing_fields_detected() {
+        assert_eq!(
+            parse("Creation Date: 2020-01-01\n").unwrap_err(),
+            WhoisParseError::MissingDomain
+        );
+        assert_eq!(
+            parse("Domain Name: foo.com\n").unwrap_err(),
+            WhoisParseError::MissingCreationDate
+        );
+    }
+
+    #[test]
+    fn malformed_dates_rejected_with_context() {
+        let err = parse("Domain: foo.com\ncreated: not-a-date\n").unwrap_err();
+        assert!(matches!(err, WhoisParseError::BadField { field, .. } if field == "created"));
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        // Some registrars append their own (unreliable) dates after the
+        // registry block; the parser keeps the first.
+        let text = "Domain: foo.com\ncreated: 2016-01-01\ncreated: 1999-09-09\n";
+        assert_eq!(parse(text).unwrap().creation_date, Date::parse("2016-01-01").unwrap());
+    }
+}

@@ -1,0 +1,302 @@
+//! §4.1: key compromise via CRL × CT cross-referencing.
+//!
+//! CRLs carry only `(authority key id, serial, revocation time, reason)`;
+//! the certificate bodies come from joining against the CT corpus. The
+//! paper's outlier filters are applied in order:
+//!
+//! 1. drop revocations with no matching CT certificate;
+//! 2. drop certificates revoked before becoming valid (0.0006% in the
+//!    paper);
+//! 3. drop certificates revoked after expiration (0.037%);
+//! 4. drop revocations older than 13 months before CRL collection began
+//!    (0.16%) — they "do not represent normal certificate revocation
+//!    behaviors".
+//!
+//! Staleness conservatively assumes the revocation was issued as soon as
+//! the invalidation event occurred.
+
+use crate::staleness::{StaleCertRecord, StalenessClass};
+use ca::scraper::CrlDataset;
+use ct::monitor::CtMonitor;
+use serde::{Deserialize, Serialize};
+use stale_types::{CertId, Date, DateInterval, Duration, KeyId, SerialNumber};
+use std::collections::HashMap;
+use x509::revocation::RevocationReason;
+
+/// How many filtered revocations fell to each §4.1 filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevocationFilterStats {
+    /// CRL entries scanned.
+    pub total: usize,
+    /// No matching certificate in CT.
+    pub unmatched: usize,
+    /// Revoked before `notBefore`.
+    pub revoked_before_valid: usize,
+    /// Revoked on/after `notAfter`.
+    pub revoked_after_expiry: usize,
+    /// Revocation date before the cutoff (13 months before collection).
+    pub revoked_too_early: usize,
+    /// Survived all filters.
+    pub kept: usize,
+}
+
+/// One revocation joined with its certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevokedCert {
+    /// CT dedup identity.
+    pub cert_id: CertId,
+    /// Issuing key.
+    pub authority_key_id: KeyId,
+    /// Serial.
+    pub serial: SerialNumber,
+    /// Declared reason.
+    pub reason: RevocationReason,
+    /// Revocation day.
+    pub revocation_date: Date,
+    /// Certificate validity.
+    pub validity: DateInterval,
+    /// Issuer common name.
+    pub issuer: String,
+    /// Certificate SANs.
+    pub fqdns: Vec<stale_types::DomainName>,
+}
+
+/// The CRL × CT join result.
+pub struct RevocationAnalysis {
+    /// Joined, filtered revocations (all reasons).
+    pub matched: Vec<RevokedCert>,
+    /// Filter accounting.
+    pub stats: RevocationFilterStats,
+    /// The revocation-date cutoff used (13 months before collection).
+    pub cutoff: Date,
+}
+
+/// Thirteen months, the §4.1 look-back bound.
+fn thirteen_months() -> Duration {
+    Duration::days(396)
+}
+
+impl RevocationAnalysis {
+    /// Join `crl` against `monitor` with the §4.1 filters;
+    /// `collection_start` is the first day of CRL collection.
+    pub fn run(crl: &CrlDataset, monitor: &CtMonitor, collection_start: Date) -> Self {
+        let cutoff = collection_start - thirteen_months();
+        // Hash join: (AKI, serial) → certificate. The ablation bench
+        // compares this against a sort-merge join.
+        let mut index: HashMap<(KeyId, SerialNumber), &ct::monitor::DedupedCert> = HashMap::new();
+        for cert in monitor.corpus_unfiltered() {
+            if let Some(aki) = cert.certificate.tbs.authority_key_id() {
+                index.insert((aki, cert.certificate.tbs.serial), cert);
+            }
+        }
+        let mut stats = RevocationFilterStats { total: crl.records().len(), ..Default::default() };
+        let mut matched = Vec::new();
+        for rec in crl.records() {
+            let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
+                stats.unmatched += 1;
+                continue;
+            };
+            let tbs = &cert.certificate.tbs;
+            if rec.revocation_date < tbs.not_before() {
+                stats.revoked_before_valid += 1;
+                continue;
+            }
+            if rec.revocation_date >= tbs.not_after() {
+                stats.revoked_after_expiry += 1;
+                continue;
+            }
+            if rec.revocation_date < cutoff {
+                stats.revoked_too_early += 1;
+                continue;
+            }
+            stats.kept += 1;
+            matched.push(RevokedCert {
+                cert_id: cert.cert_id,
+                authority_key_id: rec.authority_key_id,
+                serial: rec.serial,
+                reason: rec.reason,
+                revocation_date: rec.revocation_date,
+                validity: tbs.validity,
+                issuer: tbs.issuer.common_name.clone(),
+                fqdns: tbs.san().to_vec(),
+            });
+        }
+        RevocationAnalysis { matched, stats, cutoff }
+    }
+
+    /// The key-compromise subset as stale certificate records.
+    pub fn stale_records(&self) -> Vec<StaleCertRecord> {
+        self.matched
+            .iter()
+            .filter(|r| r.reason == RevocationReason::KeyCompromise)
+            .map(|r| StaleCertRecord {
+                cert_id: r.cert_id,
+                class: StalenessClass::KeyCompromise,
+                domain: r
+                    .fqdns
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| stale_types::domain::dn("unknown.invalid")),
+                fqdns: r.fqdns.clone(),
+                issuer: r.issuer.clone(),
+                invalidation: r.revocation_date,
+                validity: r.validity,
+            })
+            .collect()
+    }
+
+    /// All matched revocations as records (for the Table 4 "Revoked: all"
+    /// row), each treated as an invalidation at its revocation date.
+    pub fn all_as_records(&self) -> Vec<StaleCertRecord> {
+        self.matched
+            .iter()
+            .map(|r| StaleCertRecord {
+                cert_id: r.cert_id,
+                class: StalenessClass::KeyCompromise,
+                domain: r
+                    .fqdns
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| stale_types::domain::dn("unknown.invalid")),
+                fqdns: r.fqdns.clone(),
+                issuer: r.issuer.clone(),
+                invalidation: r.revocation_date,
+                validity: r.validity,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca::scraper::RevocationRecord;
+    use crypto::KeyPair;
+    use stale_types::domain::dn;
+    use x509::CertificateBuilder;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn ca_key() -> KeyPair {
+        KeyPair::from_seed([77; 32])
+    }
+
+    fn cert(serial: u128, nb: &str, days: i64) -> x509::Certificate {
+        CertificateBuilder::tls_leaf(KeyPair::from_seed([78; 32]).public())
+            .serial(serial)
+            .issuer_cn("Join CA")
+            .subject_cn("foo.com")
+            .san(dn("foo.com"))
+            .validity_days(d(nb), Duration::days(days))
+            .sign(&ca_key())
+    }
+
+    fn rev(serial: u128, date: &str, reason: RevocationReason) -> RevocationRecord {
+        RevocationRecord {
+            authority_key_id: KeyId::from_bytes(ca_key().public().key_id()),
+            serial: SerialNumber(serial),
+            revocation_date: d(date),
+            reason,
+            observed: d("2022-11-01"),
+        }
+    }
+
+    fn setup(certs: Vec<x509::Certificate>, revs: Vec<RevocationRecord>) -> RevocationAnalysis {
+        let mut monitor = CtMonitor::new();
+        for c in certs {
+            let date = c.tbs.not_before();
+            monitor.ingest(c, date);
+        }
+        let mut crl = CrlDataset::new();
+        for r in revs {
+            crl.add(r);
+        }
+        RevocationAnalysis::run(&crl, &monitor, d("2022-11-01"))
+    }
+
+    #[test]
+    fn join_matches_and_classifies() {
+        let analysis = setup(
+            vec![cert(1, "2022-06-01", 398), cert(2, "2022-06-01", 398)],
+            vec![
+                rev(1, "2022-08-01", RevocationReason::KeyCompromise),
+                rev(2, "2022-08-01", RevocationReason::Superseded),
+            ],
+        );
+        assert_eq!(analysis.stats.kept, 2);
+        assert_eq!(analysis.matched.len(), 2);
+        let kc = analysis.stale_records();
+        assert_eq!(kc.len(), 1);
+        assert_eq!(kc[0].class, StalenessClass::KeyCompromise);
+        assert_eq!(kc[0].invalidation, d("2022-08-01"));
+        // Staleness: 398 - 61 days elapsed.
+        assert_eq!(kc[0].staleness_days(), Duration::days(398 - 61));
+        assert_eq!(analysis.all_as_records().len(), 2);
+    }
+
+    #[test]
+    fn unmatched_revocations_filtered() {
+        let analysis = setup(
+            vec![cert(1, "2022-06-01", 398)],
+            vec![rev(99, "2022-08-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(analysis.stats.unmatched, 1);
+        assert_eq!(analysis.stats.kept, 0);
+    }
+
+    #[test]
+    fn revoked_before_valid_filtered() {
+        let analysis = setup(
+            vec![cert(1, "2022-06-01", 398)],
+            vec![rev(1, "2022-05-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(analysis.stats.revoked_before_valid, 1);
+        assert_eq!(analysis.stats.kept, 0);
+    }
+
+    #[test]
+    fn revoked_after_expiry_filtered() {
+        let analysis = setup(
+            vec![cert(1, "2020-01-01", 90)],
+            vec![rev(1, "2022-08-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(analysis.stats.revoked_after_expiry, 1);
+    }
+
+    #[test]
+    fn too_early_revocations_filtered() {
+        // Collection starts 2022-11-01; cutoff is 13 months earlier
+        // (2021-10-01). A long-lived cert revoked before that is dropped.
+        let analysis = setup(
+            vec![cert(1, "2021-01-01", 825)],
+            vec![rev(1, "2021-06-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(analysis.cutoff, d("2021-10-01"));
+        assert_eq!(analysis.stats.revoked_too_early, 1);
+        assert_eq!(analysis.stats.kept, 0);
+    }
+
+    #[test]
+    fn boundary_dates() {
+        // Revoked exactly on notBefore: kept (not "before valid").
+        let a = setup(
+            vec![cert(1, "2022-06-01", 398)],
+            vec![rev(1, "2022-06-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(a.stats.kept, 1);
+        // Revoked exactly on notAfter: dropped (cert already expired).
+        let b = setup(
+            vec![cert(1, "2022-01-01", 90)],
+            vec![rev(1, "2022-04-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(b.stats.revoked_after_expiry, 1);
+        // Revoked exactly at the cutoff: kept.
+        let c = setup(
+            vec![cert(1, "2021-09-01", 825)],
+            vec![rev(1, "2021-10-01", RevocationReason::KeyCompromise)],
+        );
+        assert_eq!(c.stats.kept, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! The three third-party stale certificate detectors (§4.1–§4.3), plus a
+//! [`DetectionSuite`] that runs all of them over a simulated world's
+//! datasets.
+
+pub mod key_compromise;
+pub mod managed_tls;
+pub mod registrant_change;
+
+use crate::staleness::{StaleCertRecord, StalenessClass};
+use psl::SuffixList;
+use worldsim::WorldDatasets;
+
+/// All detector outputs over one dataset bundle.
+pub struct DetectionSuite {
+    /// The CRL × CT join with §4.1 filters (all revocation reasons).
+    pub revocations: key_compromise::RevocationAnalysis,
+    /// Key-compromise stale certificates (the §5.1 subset).
+    pub key_compromise: Vec<StaleCertRecord>,
+    /// Registrant-change stale certificates (§5.2).
+    pub registrant_change: Vec<StaleCertRecord>,
+    /// Managed-TLS departure stale certificates (§5.3).
+    pub managed_tls: Vec<StaleCertRecord>,
+}
+
+impl DetectionSuite {
+    /// Run every detector over `data`.
+    pub fn run(data: &WorldDatasets, psl: &SuffixList) -> DetectionSuite {
+        let revocations = key_compromise::RevocationAnalysis::run(
+            &data.crl,
+            &data.monitor,
+            data.crl_window.start,
+        );
+        let key_compromise = revocations.stale_records();
+        let registrant_change =
+            registrant_change::RegistrantChangeDetector::new(psl).detect(&data.whois, &data.monitor);
+        let managed_tls = managed_tls::ManagedTlsDetector::new(&data.cdn_config, psl).detect(
+            &data.adns,
+            &data.monitor,
+            data.adns_window,
+        );
+        DetectionSuite { revocations, key_compromise, registrant_change, managed_tls }
+    }
+
+    /// Records of one class.
+    pub fn records(&self, class: StalenessClass) -> &[StaleCertRecord] {
+        match class {
+            StalenessClass::KeyCompromise => &self.key_compromise,
+            StalenessClass::RegistrantChange => &self.registrant_change,
+            StalenessClass::ManagedTlsDeparture => &self.managed_tls,
+        }
+    }
+
+    /// All records across classes.
+    pub fn all_records(&self) -> impl Iterator<Item = &StaleCertRecord> {
+        self.key_compromise
+            .iter()
+            .chain(self.registrant_change.iter())
+            .chain(self.managed_tls.iter())
+    }
+}

@@ -1,0 +1,181 @@
+//! First-party staleness: key rotation (Table 2, "Key disuse: e.g.,
+//! rotation").
+//!
+//! When a subscriber rotates keys before the old certificate expires, the
+//! old certificate is stale — but only the *first party* holds it, so the
+//! paper classifies the risk as minimal. Measuring it from CT alone is
+//! still useful: it sizes the ambient population of valid-but-disused
+//! keys and is the control group against which the three third-party
+//! classes stand out. The detector groups certificates by exact SAN set
+//! and flags each succession where the subject key changes while the
+//! predecessor is still unexpired.
+
+use ct::monitor::CtMonitor;
+use serde::{Deserialize, Serialize};
+use stale_types::{CertId, Date, DateInterval, Duration, KeyId};
+use std::collections::BTreeMap;
+
+/// One detected rotation: the old certificate outlives its key's use.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyRotationEvent {
+    /// The superseded certificate.
+    pub old_cert: CertId,
+    /// The replacing certificate.
+    pub new_cert: CertId,
+    /// SAN-set label (first SAN, for reporting).
+    pub label: String,
+    /// Old subject key.
+    pub old_key: KeyId,
+    /// New subject key.
+    pub new_key: KeyId,
+    /// Rotation day (issuance of the replacement).
+    pub rotated: Date,
+    /// The old certificate's validity.
+    pub old_validity: DateInterval,
+}
+
+impl KeyRotationEvent {
+    /// First-party staleness window of the superseded certificate.
+    pub fn staleness_days(&self) -> Duration {
+        self.old_validity.suffix_from(self.rotated).len()
+    }
+}
+
+/// Detect key rotations across a CT corpus.
+///
+/// Certificates are grouped by their full SAN set; within each group,
+/// consecutive issuances (by `notBefore`) with differing subject keys,
+/// where the older certificate is unexpired at the newer one's issuance,
+/// are rotations.
+pub fn detect_key_rotations(monitor: &CtMonitor) -> Vec<KeyRotationEvent> {
+    // SAN-set key → (notBefore, cert).
+    let mut groups: BTreeMap<String, Vec<&ct::monitor::DedupedCert>> = BTreeMap::new();
+    for cert in monitor.corpus_unfiltered() {
+        let tbs = &cert.certificate.tbs;
+        if tbs.san().is_empty() {
+            continue;
+        }
+        let mut names: Vec<&str> = tbs.san().iter().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        groups.entry(names.join(",")).or_default().push(cert);
+    }
+    let mut events = Vec::new();
+    for (_, mut certs) in groups {
+        certs.sort_by_key(|c| (c.certificate.tbs.not_before(), c.cert_id));
+        for pair in certs.windows(2) {
+            let (old, new) = (&pair[0], &pair[1]);
+            let old_tbs = &old.certificate.tbs;
+            let new_tbs = &new.certificate.tbs;
+            let (Some(old_key), Some(new_key)) =
+                (old_tbs.subject_key_id(), new_tbs.subject_key_id())
+            else {
+                continue;
+            };
+            if old_key == new_key {
+                continue; // same key: plain renewal, nothing disused
+            }
+            if !old_tbs.validity.contains(new_tbs.not_before()) {
+                continue; // old cert already expired: no overlap
+            }
+            events.push(KeyRotationEvent {
+                old_cert: old.cert_id,
+                new_cert: new.cert_id,
+                label: old_tbs.san()[0].to_string(),
+                old_key,
+                new_key,
+                rotated: new_tbs.not_before(),
+                old_validity: old_tbs.validity,
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crypto::KeyPair;
+    use stale_types::domain::dn;
+    use x509::CertificateBuilder;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn cert(serial: u128, key_seed: u8, nb: &str, days: i64, sans: &[&str]) -> x509::Certificate {
+        CertificateBuilder::tls_leaf(KeyPair::from_seed([key_seed; 32]).public())
+            .serial(serial)
+            .issuer_cn("Rot CA")
+            .subject_cn(sans[0])
+            .sans(sans.iter().map(|s| dn(s)))
+            .validity_days(d(nb), Duration::days(days))
+            .sign(&KeyPair::from_seed([200; 32]))
+    }
+
+    fn monitor(certs: Vec<x509::Certificate>) -> CtMonitor {
+        let mut m = CtMonitor::new();
+        for c in certs {
+            let date = c.tbs.not_before();
+            m.ingest(c, date);
+        }
+        m
+    }
+
+    #[test]
+    fn rotation_with_overlap_detected() {
+        let m = monitor(vec![
+            cert(1, 10, "2022-01-01", 398, &["foo.com"]),
+            cert(2, 11, "2022-06-01", 398, &["foo.com"]), // new key, old unexpired
+        ]);
+        let events = detect_key_rotations(&m);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.rotated, d("2022-06-01"));
+        // Old cert has 398-151 days left.
+        assert_eq!(e.staleness_days(), Duration::days(398 - 151));
+        assert_ne!(e.old_key, e.new_key);
+    }
+
+    #[test]
+    fn same_key_renewal_is_not_rotation() {
+        let m = monitor(vec![
+            cert(1, 10, "2022-01-01", 90, &["foo.com"]),
+            cert(2, 10, "2022-03-20", 90, &["foo.com"]),
+        ]);
+        assert!(detect_key_rotations(&m).is_empty());
+    }
+
+    #[test]
+    fn expired_predecessor_is_not_rotation() {
+        let m = monitor(vec![
+            cert(1, 10, "2022-01-01", 90, &["foo.com"]),
+            cert(2, 11, "2022-06-01", 90, &["foo.com"]), // old expired in April
+        ]);
+        assert!(detect_key_rotations(&m).is_empty());
+    }
+
+    #[test]
+    fn groups_are_by_exact_san_set() {
+        let m = monitor(vec![
+            cert(1, 10, "2022-01-01", 398, &["foo.com"]),
+            cert(2, 11, "2022-06-01", 398, &["foo.com", "www.foo.com"]), // different set
+        ]);
+        assert!(detect_key_rotations(&m).is_empty());
+        // Order of SANs does not matter.
+        let m2 = monitor(vec![
+            cert(1, 10, "2022-01-01", 398, &["foo.com", "www.foo.com"]),
+            cert(2, 11, "2022-06-01", 398, &["www.foo.com", "foo.com"]),
+        ]);
+        assert_eq!(detect_key_rotations(&m2).len(), 1);
+    }
+
+    #[test]
+    fn chains_of_rotations_counted_pairwise() {
+        let m = monitor(vec![
+            cert(1, 10, "2022-01-01", 398, &["foo.com"]),
+            cert(2, 11, "2022-05-01", 398, &["foo.com"]),
+            cert(3, 12, "2022-09-01", 398, &["foo.com"]),
+        ]);
+        assert_eq!(detect_key_rotations(&m).len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! `stale-core` — the paper's primary contribution: detection and analysis
+//! of third-party stale TLS certificates.
+//!
+//! A *stale certificate* is a valid, unexpired certificate whose attested
+//! facts no longer reflect reality. Three invalidation scenarios hand a
+//! third party a valid TLS key for a domain it does not control:
+//!
+//! 1. **Key compromise** (§5.1) — detected by joining CRL revocations
+//!    (`reasonCode = keyCompromise`) against the CT corpus;
+//! 2. **Domain registrant change** (§5.2) — detected by intersecting
+//!    registry creation dates with certificate validity windows;
+//! 3. **Managed TLS departure** (§5.3) — detected by diffing neighbouring
+//!    days of active-DNS scans for disappearing CDN delegation.
+//!
+//! On top of the detectors ([`detector`]) sit the analyses that produce
+//! every figure and table of the evaluation: staleness distributions
+//! ([`staleness`], [`stats`]), survival analysis ([`survival`]), the
+//! certificate-lifetime-reduction simulation of §6 ([`lifetime_sim`]),
+//! domain popularity (Table 6, [`popularity`]) and reputation (Table 5,
+//! [`reputation`]). [`taxonomy`] encodes the invalidation-event taxonomy
+//! of Tables 1–2. [`report`] renders results as text tables and CSV.
+
+pub mod detector;
+pub mod first_party;
+pub mod lifetime_sim;
+pub mod mitigation;
+pub mod popularity;
+pub mod report;
+pub mod reputation;
+pub mod staleness;
+pub mod stats;
+pub mod survival;
+pub mod taxonomy;
+
+pub use detector::key_compromise::{RevocationAnalysis, RevocationFilterStats, RevokedCert};
+pub use detector::managed_tls::ManagedTlsDetector;
+pub use detector::registrant_change::RegistrantChangeDetector;
+pub use detector::DetectionSuite;
+pub use lifetime_sim::{CapResult, LifetimeSimulation};
+pub use staleness::{StaleCertRecord, StalenessClass, StalenessSummary};
+pub use survival::SurvivalCurve;
+pub use taxonomy::{CertInfoCategory, ControlChange, InvalidationEvent, SecurityImpact};

@@ -1,0 +1,205 @@
+//! §6: simulating shorter maximum certificate lifetimes (Figure 9).
+//!
+//! The experiment: "take all stale certificates with lifetime greater than
+//! n and decrease their certificate expiration date to achieve a total
+//! lifetime of n. We do not modify certificates with lifetimes less than
+//! n." Two quantities follow:
+//!
+//! * **staleness-days reduction** — how much of the aggregate staleness
+//!   window disappears (Figure 9's per-class percentages);
+//! * **stale-cert elimination** — certificates whose invalidation event
+//!   lands after the capped expiry stop being stale at all (the Figure 8
+//!   survival view provides its upper-bound variant).
+
+use crate::staleness::StaleCertRecord;
+use serde::{Deserialize, Serialize};
+use stale_types::Duration;
+
+/// The lifetime caps the paper evaluates (§6).
+pub const PAPER_CAPS: [i64; 3] = [45, 90, 215];
+
+/// Result of applying one cap to one class of stale certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapResult {
+    /// The cap in days.
+    pub cap_days: i64,
+    /// Certificates examined.
+    pub total_certs: usize,
+    /// Certificates whose lifetime exceeded the cap (modified by the
+    /// experiment).
+    pub capped_certs: usize,
+    /// Certificates that stop being stale entirely (invalidation falls
+    /// after the new expiry).
+    pub eliminated_certs: usize,
+    /// Aggregate staleness-days before capping.
+    pub staleness_days_before: i64,
+    /// Aggregate staleness-days after capping.
+    pub staleness_days_after: i64,
+}
+
+impl CapResult {
+    /// Relative staleness-days reduction in `[0, 1]`.
+    pub fn staleness_reduction(&self) -> f64 {
+        if self.staleness_days_before == 0 {
+            return 0.0;
+        }
+        1.0 - self.staleness_days_after as f64 / self.staleness_days_before as f64
+    }
+
+    /// Fraction of stale certificates eliminated outright.
+    pub fn elimination_rate(&self) -> f64 {
+        if self.total_certs == 0 {
+            return 0.0;
+        }
+        self.eliminated_certs as f64 / self.total_certs as f64
+    }
+}
+
+/// The §6 experiment over one set of records.
+pub struct LifetimeSimulation<'a> {
+    records: Vec<&'a StaleCertRecord>,
+}
+
+impl<'a> LifetimeSimulation<'a> {
+    /// Build over the records of one staleness class.
+    pub fn new(records: impl IntoIterator<Item = &'a StaleCertRecord>) -> Self {
+        LifetimeSimulation { records: records.into_iter().collect() }
+    }
+
+    /// Apply a hypothetical maximum lifetime of `cap_days`.
+    pub fn apply_cap(&self, cap_days: i64) -> CapResult {
+        let cap = Duration::days(cap_days);
+        let mut result = CapResult {
+            cap_days,
+            total_certs: self.records.len(),
+            capped_certs: 0,
+            eliminated_certs: 0,
+            staleness_days_before: 0,
+            staleness_days_after: 0,
+        };
+        for r in &self.records {
+            let before = r.staleness_days().num_days();
+            result.staleness_days_before += before;
+            let capped_validity = r.validity.cap_len(cap);
+            if capped_validity != r.validity {
+                result.capped_certs += 1;
+            }
+            let after = capped_validity.suffix_from(r.invalidation).len().num_days();
+            result.staleness_days_after += after;
+            if before > 0 && after == 0 {
+                result.eliminated_certs += 1;
+            }
+        }
+        result
+    }
+
+    /// Apply all the paper's caps.
+    pub fn paper_caps(&self) -> Vec<CapResult> {
+        PAPER_CAPS.iter().map(|&n| self.apply_cap(n)).collect()
+    }
+
+    /// Number of records under simulation.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staleness::StalenessClass;
+    use stale_types::{domain::dn, CertId, Date, DateInterval};
+
+    fn record(nb: &str, lifetime: i64, invalidation_offset: i64) -> StaleCertRecord {
+        let start = Date::parse(nb).unwrap();
+        StaleCertRecord {
+            cert_id: CertId::from_bytes([2; 32]),
+            class: StalenessClass::RegistrantChange,
+            domain: dn("foo.com"),
+            fqdns: vec![dn("foo.com")],
+            issuer: "CA".into(),
+            invalidation: start + Duration::days(invalidation_offset),
+            validity: DateInterval::from_start(start, Duration::days(lifetime)).unwrap(),
+        }
+    }
+
+    #[test]
+    fn capping_shortens_staleness() {
+        // 398-day cert invalidated on day 10: staleness 388.
+        let r = record("2022-01-01", 398, 10);
+        let sim = LifetimeSimulation::new([&r]);
+        let result = sim.apply_cap(90);
+        assert_eq!(result.staleness_days_before, 388);
+        // Capped to 90 days: staleness becomes 80.
+        assert_eq!(result.staleness_days_after, 80);
+        assert_eq!(result.capped_certs, 1);
+        assert_eq!(result.eliminated_certs, 0);
+        let red = result.staleness_reduction();
+        assert!((red - (1.0 - 80.0 / 388.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_certs_untouched() {
+        let r = record("2022-01-01", 60, 10);
+        let sim = LifetimeSimulation::new([&r]);
+        let result = sim.apply_cap(90);
+        assert_eq!(result.capped_certs, 0);
+        assert_eq!(result.staleness_days_before, result.staleness_days_after);
+        assert_eq!(result.staleness_reduction(), 0.0);
+    }
+
+    #[test]
+    fn late_invalidation_eliminated() {
+        // 398-day cert invalidated on day 200: with a 90-day cap the cert
+        // would have expired 110 days before the event.
+        let r = record("2022-01-01", 398, 200);
+        let sim = LifetimeSimulation::new([&r]);
+        let result = sim.apply_cap(90);
+        assert_eq!(result.staleness_days_after, 0);
+        assert_eq!(result.eliminated_certs, 1);
+        assert_eq!(result.elimination_rate(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_over_mixed_population() {
+        let records = [
+            record("2022-01-01", 398, 10),  // capped, still stale
+            record("2022-01-01", 398, 200), // capped, eliminated
+            record("2022-01-01", 90, 30),   // untouched
+        ];
+        let sim = LifetimeSimulation::new(records.iter());
+        let result = sim.apply_cap(90);
+        assert_eq!(result.total_certs, 3);
+        assert_eq!(result.capped_certs, 2);
+        assert_eq!(result.eliminated_certs, 1);
+        assert_eq!(result.staleness_days_before, 388 + 198 + 60);
+        assert_eq!(result.staleness_days_after, 80 + 0 + 60);
+    }
+
+    #[test]
+    fn smaller_caps_reduce_more() {
+        let records: Vec<StaleCertRecord> =
+            (0..50).map(|i| record("2022-01-01", 398, (i * 7) % 350)).collect();
+        let sim = LifetimeSimulation::new(records.iter());
+        let results = sim.paper_caps();
+        assert_eq!(results.len(), 3);
+        // Reductions are monotone: 45-day cap ≥ 90-day cap ≥ 215-day cap.
+        assert!(results[0].staleness_reduction() >= results[1].staleness_reduction());
+        assert!(results[1].staleness_reduction() >= results[2].staleness_reduction());
+        assert!(results[0].elimination_rate() >= results[2].elimination_rate());
+    }
+
+    #[test]
+    fn empty_simulation() {
+        let sim = LifetimeSimulation::new(std::iter::empty());
+        assert!(sim.is_empty());
+        let result = sim.apply_cap(90);
+        assert_eq!(result.staleness_reduction(), 0.0);
+        assert_eq!(result.elimination_rate(), 0.0);
+    }
+}

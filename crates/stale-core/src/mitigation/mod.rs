@@ -1,0 +1,26 @@
+//! Mitigations against third-party stale certificates (§7.2).
+//!
+//! The paper's discussion evaluates three directions beyond shorter
+//! lifetimes, all implemented here so their effect on the measured stale
+//! populations can be quantified:
+//!
+//! * [`revocation_policy`] — client-side revocation checking as browsers
+//!   actually deploy it (no-check / soft-fail / hard-fail / Must-Staple),
+//!   with the on-path interception experiment that shows why soft-fail
+//!   fails against exactly the adversary who holds a stale key;
+//! * [`crlite`] — a CRLite-style filter cascade (Bloom filters, no
+//!   network fetch at handshake time) pushing *all* revocations to
+//!   clients; the §7.2 "if CRLite gains adoption" scenario;
+//! * [`dane`] — DANE/TLSA: replacing the months-long certificate cache
+//!   with DNS-TTL-scale key pinning, quantifying the staleness-window
+//!   collapse the paper projects.
+
+pub mod crlite;
+pub mod dane;
+pub mod revocation_policy;
+
+pub use crlite::{BloomFilter, CrliteFilter};
+pub use dane::{dane_staleness_days, DaneDeployment};
+pub use revocation_policy::{
+    connection_outcome, ConnectionOutcome, NetworkCondition, RevocationPolicy,
+};

@@ -1,0 +1,245 @@
+//! Client revocation-checking policies and the interception experiment.
+//!
+//! §2.4: Chrome and Edge don't check subscriber revocation at all; Firefox
+//! and Safari check but *soft-fail* — if no OCSP answer arrives, the
+//! connection proceeds. The stale-certificate adversary is on-path by
+//! assumption (that's what makes the stolen key useful), so it can drop
+//! the OCSP traffic. Only OCSP Must-Staple hard-fails: the attacker must
+//! present a fresh, signed, `Good` response it cannot forge.
+
+use ca::ocsp::{CertStatus, OcspResponse};
+use crypto::PublicKey;
+use stale_types::Date;
+use x509::cert::Extension;
+use x509::Certificate;
+
+/// What a client does about revocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevocationPolicy {
+    /// Never check (Chrome/Edge subscriber certificates).
+    NoCheck,
+    /// Check OCSP; proceed if the check cannot complete (Firefox/Safari
+    /// default).
+    SoftFail,
+    /// Check OCSP; abort if the check cannot complete.
+    HardFail,
+}
+
+/// The network between client and OCSP responder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkCondition {
+    /// OCSP traffic flows normally.
+    Normal,
+    /// An on-path attacker drops revocation traffic (the stale-cert
+    /// threat model's adversary position).
+    OcspBlocked,
+}
+
+/// Result of the revocation-checking step of a handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionOutcome {
+    /// Handshake proceeds.
+    Accepted,
+    /// Aborted because the certificate is known revoked.
+    RejectedRevoked,
+    /// Aborted because required revocation information was missing.
+    RejectedNoStatus,
+}
+
+/// Whether the certificate demands stapling (RFC 7633).
+pub fn requires_staple(cert: &Certificate) -> bool {
+    cert.tbs.extensions.iter().any(|e| matches!(e, Extension::MustStaple))
+}
+
+/// Evaluate the revocation step of a TLS handshake.
+///
+/// `stapled` is the OCSP response the *server* presented (which an
+/// attacker can only replay while fresh — it cannot forge one);
+/// `network` governs whether a client-side OCSP fetch can succeed;
+/// `fetch` produces the responder's answer when the network allows.
+pub fn connection_outcome(
+    cert: &Certificate,
+    policy: RevocationPolicy,
+    network: NetworkCondition,
+    stapled: Option<&OcspResponse>,
+    responder_key: &PublicKey,
+    today: Date,
+    fetch: impl Fn() -> OcspResponse,
+) -> ConnectionOutcome {
+    let staple_required = requires_staple(cert);
+    // A usable staple: verifies, fresh, matches the certificate.
+    let usable_staple = stapled.filter(|r| {
+        r.verify(responder_key)
+            && r.fresh_at(today)
+            && r.serial == cert.tbs.serial
+            && Some(r.authority_key_id) == cert.tbs.authority_key_id()
+    });
+    if staple_required {
+        // Must-Staple hard-fails on a missing staple regardless of
+        // policy (this is the Firefox behaviour the paper footnotes).
+        return match usable_staple {
+            None => ConnectionOutcome::RejectedNoStatus,
+            Some(r) => match r.status {
+                CertStatus::Good => ConnectionOutcome::Accepted,
+                _ => ConnectionOutcome::RejectedRevoked,
+            },
+        };
+    }
+    match policy {
+        RevocationPolicy::NoCheck => ConnectionOutcome::Accepted,
+        RevocationPolicy::SoftFail | RevocationPolicy::HardFail => {
+            // Prefer a stapled response; otherwise fetch if the network
+            // allows.
+            let status = match usable_staple {
+                Some(r) => Some(r.status),
+                None => match network {
+                    NetworkCondition::Normal => Some(fetch().status),
+                    NetworkCondition::OcspBlocked => None,
+                },
+            };
+            match (status, policy) {
+                (Some(CertStatus::Revoked { .. }), _) => ConnectionOutcome::RejectedRevoked,
+                (Some(_), _) => ConnectionOutcome::Accepted,
+                (None, RevocationPolicy::HardFail) => ConnectionOutcome::RejectedNoStatus,
+                // SoftFail (NoCheck is unreachable in this branch).
+                (None, _) => ConnectionOutcome::Accepted,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca::authority::{CertificateAuthority, IssuanceRequest};
+    use ca::ocsp::respond;
+    use ca::policy::CaPolicy;
+    use crypto::KeyPair;
+    use ct::log::LogPool;
+    use stale_types::{domain::dn, CaId};
+    use x509::revocation::RevocationReason;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    struct Fixture {
+        ca: CertificateAuthority,
+        cert: Certificate,
+        stapled_cert: Certificate,
+    }
+
+    fn fixture() -> Fixture {
+        let mut ct = LogPool::with_yearly_shards("pol", 13, 2021, 2025);
+        let mut ca = CertificateAuthority::new(
+            CaId(33),
+            "Policy CA",
+            KeyPair::from_seed([33; 32]),
+            CaPolicy::commercial(),
+        );
+        let cert = ca
+            .issue(
+                &IssuanceRequest {
+                    domains: vec![dn("victim.com")],
+                    public_key: KeyPair::from_seed([34; 32]).public(),
+                    requested_lifetime: None,
+                },
+                d("2022-01-01"),
+                &mut ct,
+            )
+            .unwrap();
+        // A second subscriber opted into Must-Staple.
+        let stapled_cert = {
+            let key = KeyPair::from_seed([35; 32]);
+            ca.sign_certificate(
+                x509::CertificateBuilder::tls_leaf(key.public())
+                    .subject_cn("stapler.com")
+                    .san(dn("stapler.com"))
+                    .validity_days(d("2022-01-01"), stale_types::Duration::days(398))
+                    .must_staple(),
+            )
+        };
+        Fixture { ca, cert, stapled_cert }
+    }
+
+    #[test]
+    fn revoked_cert_blocked_only_when_check_completes() {
+        let mut f = fixture();
+        f.ca.revoke(f.cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise)
+            .unwrap();
+        let today = d("2022-03-10");
+        let fetch = || respond(&f.ca, f.cert.tbs.serial, today);
+        let key = f.ca.public_key();
+        // Chrome-style: accepted, revocation never consulted.
+        assert_eq!(
+            connection_outcome(&f.cert, RevocationPolicy::NoCheck, NetworkCondition::Normal, None, &key, today, fetch),
+            ConnectionOutcome::Accepted
+        );
+        // Soft-fail with working network: rejected.
+        assert_eq!(
+            connection_outcome(&f.cert, RevocationPolicy::SoftFail, NetworkCondition::Normal, None, &key, today, fetch),
+            ConnectionOutcome::RejectedRevoked
+        );
+        // Soft-fail with an on-path attacker dropping OCSP: ACCEPTED —
+        // the §2.4 circumvention.
+        assert_eq!(
+            connection_outcome(&f.cert, RevocationPolicy::SoftFail, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            ConnectionOutcome::Accepted
+        );
+        // Hard-fail resists the same attacker.
+        assert_eq!(
+            connection_outcome(&f.cert, RevocationPolicy::HardFail, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            ConnectionOutcome::RejectedNoStatus
+        );
+    }
+
+    #[test]
+    fn must_staple_hard_fails_without_staple() {
+        let f = fixture();
+        let today = d("2022-02-01");
+        let key = f.ca.public_key();
+        let fetch = || respond(&f.ca, f.stapled_cert.tbs.serial, today);
+        assert!(requires_staple(&f.stapled_cert));
+        assert!(!requires_staple(&f.cert));
+        // No staple presented: rejected even under the laxest policy.
+        assert_eq!(
+            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            ConnectionOutcome::RejectedNoStatus
+        );
+        // Fresh Good staple: accepted.
+        let staple = respond(&f.ca, f.stapled_cert.tbs.serial, today);
+        assert_eq!(
+            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, Some(&staple), &key, today, fetch),
+            ConnectionOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn stale_staple_rejected() {
+        let f = fixture();
+        let key = f.ca.public_key();
+        let staple = respond(&f.ca, f.stapled_cert.tbs.serial, d("2022-02-01"));
+        // Attacker replays the old staple after it expired.
+        let later = d("2022-02-20");
+        let fetch = || respond(&f.ca, f.stapled_cert.tbs.serial, later);
+        assert_eq!(
+            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, Some(&staple), &key, later, fetch),
+            ConnectionOutcome::RejectedNoStatus
+        );
+    }
+
+    #[test]
+    fn revoked_staple_rejected() {
+        let mut f = fixture();
+        f.ca.revoke(f.stapled_cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise)
+            .unwrap();
+        let today = d("2022-03-05");
+        let key = f.ca.public_key();
+        let staple = respond(&f.ca, f.stapled_cert.tbs.serial, today);
+        let fetch = || respond(&f.ca, f.stapled_cert.tbs.serial, today);
+        assert_eq!(
+            connection_outcome(&f.stapled_cert, RevocationPolicy::SoftFail, NetworkCondition::Normal, Some(&staple), &key, today, fetch),
+            ConnectionOutcome::RejectedRevoked
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Domain popularity analysis (Table 6).
+//!
+//! For each staleness class, count how many affected e2LDs ever appeared
+//! in the Top 1K / 10K / 100K / 1M of the biannual popularity samples,
+//! using each domain's best (lowest) rank across all samples.
+
+use crate::staleness::StaleCertRecord;
+use psl::SuffixList;
+use serde::{Deserialize, Serialize};
+use stale_types::DomainName;
+use std::collections::BTreeSet;
+use worldsim::PopularityArchive;
+
+/// Table 6's rank buckets.
+pub const RANK_BUCKETS: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Popularity bucket counts for one staleness class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityBreakdown {
+    /// Class label.
+    pub label: String,
+    /// Cumulative counts per bucket, aligned with [`RANK_BUCKETS`].
+    pub bucket_counts: [usize; 4],
+    /// Total distinct e2LDs in the class.
+    pub total_domains: usize,
+}
+
+impl PopularityBreakdown {
+    /// Fraction of stale e2LDs that ever ranked in the Top 1M.
+    pub fn pct_in_top_1m(&self) -> f64 {
+        if self.total_domains == 0 {
+            return 0.0;
+        }
+        self.bucket_counts[3] as f64 / self.total_domains as f64
+    }
+}
+
+/// Compute the Table 6 row for one class of records.
+pub fn popularity_breakdown(
+    label: impl Into<String>,
+    records: &[StaleCertRecord],
+    archive: &PopularityArchive,
+    psl: &SuffixList,
+) -> PopularityBreakdown {
+    // Alexa lists contain e2LDs only, so matching is by e2LD (§5.4).
+    let mut e2lds: BTreeSet<DomainName> = BTreeSet::new();
+    for r in records {
+        e2lds.extend(r.e2lds(psl));
+    }
+    let mut bucket_counts = [0usize; 4];
+    for domain in &e2lds {
+        if let Some(rank) = archive.best_rank(domain) {
+            for (i, &cut) in RANK_BUCKETS.iter().enumerate() {
+                if rank <= cut {
+                    bucket_counts[i] += 1;
+                }
+            }
+        }
+    }
+    PopularityBreakdown { label: label.into(), bucket_counts, total_domains: e2lds.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staleness::StalenessClass;
+    use stale_types::{domain::dn, CertId, Date, DateInterval, Duration};
+    use std::collections::HashMap;
+    use worldsim::popularity::RankSample;
+
+    fn record(domain: &str) -> StaleCertRecord {
+        let start = Date::parse("2022-01-01").unwrap();
+        StaleCertRecord {
+            cert_id: CertId::from_bytes([3; 32]),
+            class: StalenessClass::RegistrantChange,
+            domain: dn(domain),
+            fqdns: vec![dn(domain)],
+            issuer: "CA".into(),
+            invalidation: start + Duration::days(30),
+            validity: DateInterval::from_start(start, Duration::days(90)).unwrap(),
+        }
+    }
+
+    fn archive(entries: &[(&str, u32)]) -> PopularityArchive {
+        let mut a = PopularityArchive::new();
+        let ranks: HashMap<_, _> =
+            entries.iter().map(|(d, r)| (dn(d), *r)).collect();
+        a.add_sample(RankSample { date: Date::parse("2020-01-01").unwrap(), ranks });
+        a
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let archive = archive(&[
+            ("a.com", 500),
+            ("b.com", 5_000),
+            ("c.com", 50_000),
+            ("d.com", 500_000),
+        ]);
+        let psl = SuffixList::default_list();
+        let records: Vec<StaleCertRecord> =
+            ["a.com", "b.com", "c.com", "d.com", "unranked.com"]
+                .iter()
+                .map(|d| record(d))
+                .collect();
+        let breakdown = popularity_breakdown("Test", &records, &archive, &psl);
+        assert_eq!(breakdown.bucket_counts, [1, 2, 3, 4]);
+        assert_eq!(breakdown.total_domains, 5);
+        assert!((breakdown.pct_in_top_1m() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subdomains_match_by_e2ld() {
+        let archive = archive(&[("foo.com", 900)]);
+        let psl = SuffixList::default_list();
+        // Certificate names a subdomain; the popularity list has the e2LD.
+        let records = vec![record("cp8.foo.com")];
+        let breakdown = popularity_breakdown("Test", &records, &archive, &psl);
+        assert_eq!(breakdown.bucket_counts[0], 1);
+    }
+
+    #[test]
+    fn empty_records() {
+        let archive = archive(&[]);
+        let psl = SuffixList::default_list();
+        let breakdown = popularity_breakdown("Empty", &[], &archive, &psl);
+        assert_eq!(breakdown.total_domains, 0);
+        assert_eq!(breakdown.pct_in_top_1m(), 0.0);
+    }
+}

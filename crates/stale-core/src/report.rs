@@ -1,0 +1,192 @@
+//! Plain-text table and CSV rendering for the experiment runners.
+
+use std::fmt::Write as _;
+
+/// Render an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+-{}-", "-".repeat(*w));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:<width$} ", h, width = widths[i]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "| {:<width$} ", cell, width = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render rows as CSV (comma-separated, quotes around cells containing
+/// commas or quotes).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a horizontal bar chart: one labelled row per value, bar widths
+/// scaled to `max_width` characters. Used by the figure runners so the
+/// monthly series and CDFs are eyeballable in a terminal.
+pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let width = if max > 0.0 {
+            ((value / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_width$} |{} {value:.0}",
+            "█".repeat(width)
+        );
+    }
+    out
+}
+
+/// Render an (x, y in \[0,1\]) curve — a CDF or survival function — as a
+/// fixed-height ASCII plot with `cols` sample columns.
+pub fn curve_plot(points: &[(i64, f64)], cols: usize, rows: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = points.first().expect("non-empty").0;
+    let x_max = points.last().expect("non-empty").0.max(x_min + 1);
+    // Sample the step function at `cols` x positions.
+    let sample = |x: i64| -> f64 {
+        let idx = points.partition_point(|(px, _)| *px <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            points[idx - 1].1
+        }
+    };
+    let mut grid = vec![vec![' '; cols]; rows];
+    for c in 0..cols {
+        let x = x_min + (x_max - x_min) * c as i64 / (cols.max(2) - 1) as i64;
+        let y = sample(x).clamp(0.0, 1.0);
+        let r = ((1.0 - y) * (rows - 1) as f64).round() as usize;
+        grid[r][c] = '•';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - r as f64 / (rows - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_label:>4.2} |{line}");
+    }
+    let _ = writeln!(out, "      {}", "-".repeat(cols));
+    let _ = writeln!(out, "      {x_min:<10} … {x_max} days");
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Format a float with one decimal.
+pub fn f1(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = render_table(
+            &["Method", "# Certs"],
+            &[
+                vec!["Key compromise".into(), "286000".into()],
+                vec!["RC".into(), "7".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // Borders + header + 2 rows = 6 lines.
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "all lines same width");
+        assert!(out.contains("| Key compromise |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let out = render_csv(
+            &["a", "b"],
+            &[vec!["plain".into(), "has,comma".into()], vec!["has\"quote".into(), "x".into()]],
+        );
+        assert!(out.contains("\"has,comma\""));
+        assert!(out.contains("\"has\"\"quote\""));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.753), "75.3%");
+        assert_eq!(f1(2.567), "2.6");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(
+            &[("2021-11".into(), 100.0), ("2021-12".into(), 50.0), ("2022-01".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+        assert_eq!(bars[2], 0);
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let out = bar_chart(&[("a".into(), 0.0)], 10);
+        assert!(!out.contains('█'));
+    }
+
+    #[test]
+    fn curve_plot_shapes() {
+        // A CDF stepping from 0 to 1.
+        let points = vec![(0i64, 0.1), (50, 0.5), (100, 1.0)];
+        let out = curve_plot(&points, 30, 5);
+        assert!(out.contains('•'));
+        assert!(out.contains("100 days"));
+        assert_eq!(curve_plot(&[], 30, 5), "(no data)\n");
+    }
+}

@@ -1,0 +1,189 @@
+//! Domain reputation analysis (Table 5).
+//!
+//! §5.2: sample registrant-change stale domains, query the reputation feed
+//! (VirusTotal analogue), keep detections flagged by ≥5 vendors whose
+//! first-submission date falls within the prior owner's plausible activity
+//! window, and tally malware families vs URL verdict labels — including
+//! the malware-only / both / URL-only split the table footnotes.
+
+use crate::staleness::StaleCertRecord;
+use serde::{Deserialize, Serialize};
+use stale_types::DomainName;
+use std::collections::{BTreeMap, BTreeSet};
+use worldsim::reputation::{ReputationFeed, VENDOR_THRESHOLD};
+
+/// Table 5's aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReputationReport {
+    /// Domains sampled (the paper samples 100K).
+    pub sampled: usize,
+    /// Domains with any above-threshold verdict.
+    pub flagged: usize,
+    /// Malware family → domain count.
+    pub malware_families: BTreeMap<String, usize>,
+    /// URL label → domain count.
+    pub url_labels: BTreeMap<String, usize>,
+    /// Domains with malware-file associations only.
+    pub malware_only: usize,
+    /// Domains with both malware and URL verdicts.
+    pub both: usize,
+    /// Domains with URL verdicts only.
+    pub url_only: usize,
+}
+
+impl ReputationReport {
+    /// Fraction of the sample that is flagged (the paper's ≈1%).
+    pub fn flagged_rate(&self) -> f64 {
+        if self.sampled == 0 {
+            return 0.0;
+        }
+        self.flagged as f64 / self.sampled as f64
+    }
+
+    /// Domains associated with malware files.
+    pub fn malware_domains(&self) -> usize {
+        self.malware_only + self.both
+    }
+
+    /// Domains associated with malicious URLs.
+    pub fn url_domains(&self) -> usize {
+        self.url_only + self.both
+    }
+}
+
+/// Run the Table 5 analysis over registrant-change records.
+///
+/// `sample_cap` bounds the number of distinct domains queried (the paper
+/// samples 100K of its 3.6M); pass `usize::MAX` to query everything.
+pub fn reputation_report(
+    records: &[StaleCertRecord],
+    feed: &ReputationFeed,
+    sample_cap: usize,
+) -> ReputationReport {
+    let mut domains: BTreeSet<&DomainName> = BTreeSet::new();
+    for r in records {
+        domains.insert(&r.domain);
+    }
+    let mut report = ReputationReport::default();
+    for domain in domains.into_iter().take(sample_cap) {
+        report.sampled += 1;
+        let Some(rep) = feed.query(domain) else { continue };
+        if rep.vendor_count < VENDOR_THRESHOLD {
+            continue;
+        }
+        // Temporal correlation: the malicious activity must have been
+        // first seen before the registrant change (i.e. attributable to
+        // the prior owner, whose key access the stale cert extends).
+        let change = records
+            .iter()
+            .filter(|r| r.domain == *domain)
+            .map(|r| r.invalidation)
+            .min()
+            .expect("domain came from records");
+        if rep.first_submission > change {
+            continue;
+        }
+        report.flagged += 1;
+        for family in &rep.malware_families {
+            *report.malware_families.entry(family.clone()).or_insert(0) += 1;
+        }
+        for label in &rep.url_labels {
+            *report.url_labels.entry(label.clone()).or_insert(0) += 1;
+        }
+        match (rep.has_malware(), rep.has_url_verdict()) {
+            (true, true) => report.both += 1,
+            (true, false) => report.malware_only += 1,
+            (false, true) => report.url_only += 1,
+            (false, false) => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staleness::StalenessClass;
+    use stale_types::{domain::dn, CertId, Date, DateInterval, Duration};
+    use worldsim::reputation::DomainReputation;
+
+    fn record(domain: &str, invalidation: &str) -> StaleCertRecord {
+        let inv = Date::parse(invalidation).unwrap();
+        StaleCertRecord {
+            cert_id: CertId::from_bytes([4; 32]),
+            class: StalenessClass::RegistrantChange,
+            domain: dn(domain),
+            fqdns: vec![dn(domain)],
+            issuer: "CA".into(),
+            invalidation: inv,
+            validity: DateInterval::from_start(inv - Duration::days(100), Duration::days(365))
+                .unwrap(),
+        }
+    }
+
+    fn rep(families: &[&str], urls: &[&str], first: &str, vendors: u8) -> DomainReputation {
+        DomainReputation {
+            malware_families: families.iter().map(|s| s.to_string()).collect(),
+            url_labels: urls.iter().map(|s| s.to_string()).collect(),
+            first_submission: Date::parse(first).unwrap(),
+            vendor_count: vendors,
+        }
+    }
+
+    #[test]
+    fn flags_above_threshold_with_prior_activity() {
+        let mut feed = ReputationFeed::new();
+        feed.insert(dn("evil.com"), rep(&["backdoor"], &["phishing"], "2020-06-01", 9));
+        feed.insert(dn("meh.com"), rep(&[], &["malicious"], "2020-06-01", 3)); // below bar
+        feed.insert(dn("late.com"), rep(&[], &["malware"], "2022-06-01", 9)); // after change
+        let records = vec![
+            record("evil.com", "2021-01-01"),
+            record("meh.com", "2021-01-01"),
+            record("late.com", "2021-01-01"),
+            record("clean.com", "2021-01-01"),
+        ];
+        let report = reputation_report(&records, &feed, usize::MAX);
+        assert_eq!(report.sampled, 4);
+        assert_eq!(report.flagged, 1);
+        assert_eq!(report.both, 1);
+        assert_eq!(report.malware_families["backdoor"], 1);
+        assert_eq!(report.url_labels["phishing"], 1);
+        assert!((report.flagged_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(report.malware_domains(), 1);
+        assert_eq!(report.url_domains(), 1);
+    }
+
+    #[test]
+    fn sample_cap_limits_queries() {
+        let feed = ReputationFeed::new();
+        let records: Vec<StaleCertRecord> =
+            (0..10).map(|i| record(&format!("d{i}.com"), "2021-01-01")).collect();
+        let report = reputation_report(&records, &feed, 3);
+        assert_eq!(report.sampled, 3);
+    }
+
+    #[test]
+    fn splits_malware_url_only() {
+        let mut feed = ReputationFeed::new();
+        feed.insert(dn("mw.com"), rep(&["virus"], &[], "2020-01-01", 6));
+        feed.insert(dn("url.com"), rep(&[], &["phishing"], "2020-01-01", 6));
+        let records = vec![record("mw.com", "2021-01-01"), record("url.com", "2021-01-01")];
+        let report = reputation_report(&records, &feed, usize::MAX);
+        assert_eq!(report.malware_only, 1);
+        assert_eq!(report.url_only, 1);
+        assert_eq!(report.both, 0);
+    }
+
+    #[test]
+    fn duplicate_records_sample_once() {
+        let mut feed = ReputationFeed::new();
+        feed.insert(dn("evil.com"), rep(&["spyware"], &[], "2020-01-01", 6));
+        let records = vec![
+            record("evil.com", "2021-01-01"),
+            record("evil.com", "2021-03-01"), // second stale cert, same domain
+        ];
+        let report = reputation_report(&records, &feed, usize::MAX);
+        assert_eq!(report.sampled, 1);
+        assert_eq!(report.flagged, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Stale certificate records and staleness metrics.
+//!
+//! A certificate's *staleness period* runs from its invalidation event to
+//! its `notAfter` date (§5.4): the window during which a third party holds
+//! a valid key it should not have. *Staleness-days* sum those windows —
+//! the quantity §6's lifetime-reduction experiment minimises.
+
+use psl::SuffixList;
+use serde::{Deserialize, Serialize};
+use stale_types::{CertId, Date, DateInterval, DomainName, Duration};
+use std::collections::BTreeSet;
+
+/// Which third-party scenario produced a stale certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StalenessClass {
+    /// §5.1 key compromise.
+    KeyCompromise,
+    /// §5.2 domain registrant change.
+    RegistrantChange,
+    /// §5.3 managed TLS departure.
+    ManagedTlsDeparture,
+}
+
+impl StalenessClass {
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            StalenessClass::KeyCompromise => "Key compromise",
+            StalenessClass::RegistrantChange => "Domain registrant change",
+            StalenessClass::ManagedTlsDeparture => "Managed TLS departure",
+        }
+    }
+}
+
+/// One detected third-party stale certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaleCertRecord {
+    /// CT dedup identity.
+    pub cert_id: CertId,
+    /// Scenario.
+    pub class: StalenessClass,
+    /// The domain whose control changed (registrant change / departure),
+    /// or the certificate's primary name (key compromise).
+    pub domain: DomainName,
+    /// All DNS names on the certificate relevant to the event.
+    pub fqdns: Vec<DomainName>,
+    /// Issuer common name.
+    pub issuer: String,
+    /// Day the invalidation event occurred.
+    pub invalidation: Date,
+    /// The certificate's validity window.
+    pub validity: DateInterval,
+}
+
+impl StaleCertRecord {
+    /// The staleness window: `[max(invalidation, notBefore), notAfter)`.
+    pub fn staleness_window(&self) -> DateInterval {
+        self.validity.suffix_from(self.invalidation)
+    }
+
+    /// Staleness period length in days.
+    pub fn staleness_days(&self) -> Duration {
+        self.staleness_window().len()
+    }
+
+    /// Days from issuance to the invalidation event (the survival-analysis
+    /// variable of Figure 8).
+    pub fn days_to_invalidation(&self) -> Duration {
+        self.invalidation - self.validity.start
+    }
+
+    /// Certificate lifetime.
+    pub fn lifetime(&self) -> Duration {
+        self.validity.len()
+    }
+
+    /// Effective 2LDs of the relevant FQDNs.
+    pub fn e2lds(&self, psl: &SuffixList) -> BTreeSet<DomainName> {
+        self.fqdns
+            .iter()
+            .filter_map(|f| psl.e2ld_of_san(f).ok())
+            .collect()
+    }
+}
+
+/// Aggregate statistics for one staleness class over a window (a Table 4
+/// row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StalenessSummary {
+    /// Class label.
+    pub label: String,
+    /// Window the records fall in.
+    pub window: DateInterval,
+    /// Total stale certificates.
+    pub certs: usize,
+    /// Unique stale FQDNs.
+    pub fqdns: usize,
+    /// Unique stale e2LDs.
+    pub e2lds: usize,
+    /// Average new stale certificates per day.
+    pub daily_certs: f64,
+    /// Average new stale FQDNs per day.
+    pub daily_fqdns: f64,
+    /// Average new stale e2LDs per day.
+    pub daily_e2lds: f64,
+}
+
+impl StalenessSummary {
+    /// Summarise `records` (all of one class) over `window`.
+    ///
+    /// FQDN/e2LD uniqueness is across the whole window, daily rates divide
+    /// totals by window length — matching Table 4's "average daily rates
+    /// of *new* stale certificates, domains, and e2LDs".
+    pub fn compute(
+        label: impl Into<String>,
+        records: &[&StaleCertRecord],
+        window: DateInterval,
+        psl: &SuffixList,
+    ) -> StalenessSummary {
+        let mut fqdns: BTreeSet<&DomainName> = BTreeSet::new();
+        let mut e2lds: BTreeSet<DomainName> = BTreeSet::new();
+        for r in records {
+            for f in &r.fqdns {
+                fqdns.insert(f);
+                if let Ok(e) = psl.e2ld_of_san(f) {
+                    e2lds.insert(e);
+                }
+            }
+        }
+        let days = window.len().num_days().max(1) as f64;
+        StalenessSummary {
+            label: label.into(),
+            window,
+            certs: records.len(),
+            fqdns: fqdns.len(),
+            e2lds: e2lds.len(),
+            daily_certs: records.len() as f64 / days,
+            daily_fqdns: fqdns.len() as f64 / days,
+            daily_e2lds: e2lds.len() as f64 / days,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    fn record(inv: &str, nb: &str, na: &str) -> StaleCertRecord {
+        StaleCertRecord {
+            cert_id: CertId::from_bytes([1; 32]),
+            class: StalenessClass::RegistrantChange,
+            domain: dn("foo.com"),
+            fqdns: vec![dn("foo.com"), dn("www.foo.com")],
+            issuer: "Test CA".into(),
+            invalidation: Date::parse(inv).unwrap(),
+            validity: DateInterval::new(Date::parse(nb).unwrap(), Date::parse(na).unwrap())
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn staleness_window_clamps() {
+        let r = record("2022-06-01", "2022-01-01", "2022-12-01");
+        assert_eq!(r.staleness_days(), Duration::days(183));
+        assert_eq!(r.days_to_invalidation(), Duration::days(151));
+        // Invalidation before issuance: whole lifetime is stale.
+        let early = record("2021-06-01", "2022-01-01", "2022-12-01");
+        assert_eq!(early.staleness_days(), early.lifetime());
+        // Invalidation after expiry: zero staleness.
+        let late = record("2023-06-01", "2022-01-01", "2022-12-01");
+        assert_eq!(late.staleness_days(), Duration::days(0));
+    }
+
+    #[test]
+    fn summary_counts_unique_names() {
+        let psl = SuffixList::default_list();
+        let a = record("2022-06-01", "2022-01-01", "2022-12-01");
+        let mut b = record("2022-07-01", "2022-02-01", "2023-01-01");
+        b.fqdns = vec![dn("foo.com"), dn("api.foo.com")];
+        let window = DateInterval::new(
+            Date::parse("2022-01-01").unwrap(),
+            Date::parse("2023-01-01").unwrap(),
+        )
+        .unwrap();
+        let refs: Vec<&StaleCertRecord> = vec![&a, &b];
+        let s = StalenessSummary::compute("Registrant change", &refs, window, &psl);
+        assert_eq!(s.certs, 2);
+        assert_eq!(s.fqdns, 3); // foo, www.foo, api.foo
+        assert_eq!(s.e2lds, 1); // all foo.com
+        assert!((s.daily_certs - 2.0 / 365.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e2lds_strip_wildcards() {
+        let psl = SuffixList::default_list();
+        let mut r = record("2022-06-01", "2022-01-01", "2022-12-01");
+        r.fqdns = vec![dn("*.foo.com"), dn("bar.co.uk")];
+        let e2lds = r.e2lds(&psl);
+        assert!(e2lds.contains(&dn("foo.com")));
+        assert!(e2lds.contains(&dn("bar.co.uk")));
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(StalenessClass::KeyCompromise.label(), "Key compromise");
+        assert_eq!(StalenessClass::ManagedTlsDeparture.label(), "Managed TLS departure");
+    }
+}

@@ -1,0 +1,256 @@
+//! Distribution and time-series statistics used by the figures.
+//!
+//! [`Cdf`] backs the staleness CDFs of Figures 6 and 7; monthly bucketing
+//! backs the time series of Figures 4, 5a and 5b.
+
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, YearMonth};
+use std::collections::BTreeMap;
+
+/// An empirical cumulative distribution over integer day counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted samples.
+    samples: Vec<i64>,
+}
+
+impl Cdf {
+    /// Build from samples (order irrelevant).
+    pub fn new(mut samples: Vec<i64>) -> Cdf {
+        samples.sort_unstable();
+        Cdf { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn proportion_at(&self, x: i64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<i64> {
+        self.quantile(0.5)
+    }
+
+    /// `(x, P(X ≤ x))` points for plotting; one point per distinct value.
+    pub fn points(&self) -> Vec<(i64, f64)> {
+        let n = self.samples.len() as f64;
+        let mut points = Vec::new();
+        for (i, &x) in self.samples.iter().enumerate() {
+            if i + 1 == self.samples.len() || self.samples[i + 1] != x {
+                points.push((x, (i + 1) as f64 / n));
+            }
+        }
+        points
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<i64> {
+        self.samples.last().copied()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<i64>() as f64 / self.samples.len() as f64)
+    }
+}
+
+/// A monthly-bucketed count series (Figures 4 / 5a / 5b).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonthlySeries {
+    counts: BTreeMap<YearMonth, u64>,
+}
+
+impl MonthlySeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        MonthlySeries::default()
+    }
+
+    /// Count an event at `date`.
+    pub fn add(&mut self, date: Date) {
+        *self.counts.entry(date.year_month()).or_insert(0) += 1;
+    }
+
+    /// Count `n` events at `date`.
+    pub fn add_n(&mut self, date: Date, n: u64) {
+        *self.counts.entry(date.year_month()).or_insert(0) += n;
+    }
+
+    /// The count for one month.
+    pub fn get(&self, ym: YearMonth) -> u64 {
+        self.counts.get(&ym).copied().unwrap_or(0)
+    }
+
+    /// `(month, count)` rows in order, including empty months between the
+    /// first and last.
+    pub fn rows(&self) -> Vec<(YearMonth, u64)> {
+        let (Some((&first, _)), Some((&last, _))) =
+            (self.counts.iter().next(), self.counts.iter().next_back())
+        else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        let mut ym = first;
+        loop {
+            rows.push((ym, self.get(ym)));
+            if ym == last {
+                break;
+            }
+            ym = ym.next();
+        }
+        rows
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The month with the highest count.
+    pub fn peak(&self) -> Option<(YearMonth, u64)> {
+        self.counts.iter().max_by_key(|(_, &c)| c).map(|(&ym, &c)| (ym, c))
+    }
+}
+
+/// Group events into monthly series by a string key (issuer name for
+/// Figures 4 and 5b).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroupedMonthlySeries {
+    /// Key → series.
+    pub groups: BTreeMap<String, MonthlySeries>,
+}
+
+impl GroupedMonthlySeries {
+    /// Empty.
+    pub fn new() -> Self {
+        GroupedMonthlySeries::default()
+    }
+
+    /// Count an event for `key` at `date`.
+    pub fn add(&mut self, key: &str, date: Date) {
+        self.groups.entry(key.to_string()).or_default().add(date);
+    }
+
+    /// Collapse groups below `min_total` into an "Other" bucket, as the
+    /// figures do.
+    pub fn with_other_bucket(mut self, min_total: u64) -> GroupedMonthlySeries {
+        let small: Vec<String> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| s.total() < min_total)
+            .map(|(k, _)| k.clone())
+            .collect();
+        if small.is_empty() {
+            return self;
+        }
+        let mut other = self.groups.remove("Other").unwrap_or_default();
+        for key in small {
+            let series = self.groups.remove(&key).expect("listed");
+            for (ym, count) in series.rows() {
+                if count > 0 {
+                    other.add_n(ym.first_day(), count);
+                }
+            }
+        }
+        self.groups.insert("Other".to_string(), other);
+        self
+    }
+
+    /// Totals per group, descending.
+    pub fn totals(&self) -> Vec<(String, u64)> {
+        let mut totals: Vec<(String, u64)> =
+            self.groups.iter().map(|(k, s)| (k.clone(), s.total())).collect();
+        totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::new(vec![10, 90, 50, 30, 70]);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.median(), Some(50));
+        assert_eq!(cdf.proportion_at(9), 0.0);
+        assert_eq!(cdf.proportion_at(10), 0.2);
+        assert_eq!(cdf.proportion_at(90), 1.0);
+        assert_eq!(cdf.max(), Some(90));
+        assert_eq!(cdf.mean(), Some(50.0));
+        assert_eq!(cdf.quantile(0.0), Some(10));
+        assert_eq!(cdf.quantile(1.0), Some(90));
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.median(), None);
+        assert_eq!(cdf.proportion_at(100), 0.0);
+    }
+
+    #[test]
+    fn cdf_points_dedup() {
+        let cdf = Cdf::new(vec![5, 5, 5, 10]);
+        assert_eq!(cdf.points(), vec![(5, 0.75), (10, 1.0)]);
+    }
+
+    #[test]
+    fn monthly_series_fills_gaps() {
+        let mut s = MonthlySeries::new();
+        s.add(Date::parse("2021-11-05").unwrap());
+        s.add(Date::parse("2021-11-20").unwrap());
+        s.add(Date::parse("2022-01-10").unwrap());
+        let rows = s.rows();
+        assert_eq!(rows.len(), 3); // Nov, Dec (0), Jan
+        assert_eq!(rows[0].1, 2);
+        assert_eq!(rows[1].1, 0);
+        assert_eq!(rows[2].1, 1);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.peak().unwrap().1, 2);
+    }
+
+    #[test]
+    fn grouped_series_other_bucket() {
+        let mut g = GroupedMonthlySeries::new();
+        for _ in 0..10 {
+            g.add("GoDaddy", Date::parse("2021-11-17").unwrap());
+        }
+        g.add("Tiny CA 1", Date::parse("2021-12-01").unwrap());
+        g.add("Tiny CA 2", Date::parse("2022-01-01").unwrap());
+        let g = g.with_other_bucket(5);
+        assert_eq!(g.groups.len(), 2);
+        assert_eq!(g.groups["Other"].total(), 2);
+        let totals = g.totals();
+        assert_eq!(totals[0], ("GoDaddy".to_string(), 10));
+    }
+}

@@ -1,0 +1,237 @@
+//! The certificate-information and invalidation-event taxonomy
+//! (Tables 1 and 2 of the paper).
+//!
+//! RFC 5280's revocation reason codes are a poor basis for classifying
+//! invalidation events (§3): they are outdated, ambiguous and misaligned
+//! with security severity. The paper instead classifies by *which attested
+//! information changed* and *who ends up holding the key*.
+
+use serde::{Deserialize, Serialize};
+use x509::cert::Extension;
+use x509::revocation::RevocationReason;
+
+/// Table 1: the four higher-level roles of certificate information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertInfoCategory {
+    /// Subscriber identifiers: domain names + cryptographic keys.
+    SubscriberAuthentication,
+    /// Permissions and constraints on key utilisation.
+    KeyAuthorization,
+    /// Details of the issuing CA.
+    IssuerInformation,
+    /// Meta-information about the certificate itself.
+    CertificateMetadata,
+}
+
+impl CertInfoCategory {
+    /// Classify a certificate extension into its Table 1 category.
+    pub fn of_extension(ext: &Extension) -> CertInfoCategory {
+        match ext {
+            Extension::SubjectAltName(_) | Extension::SubjectKeyId(_) => {
+                CertInfoCategory::SubscriberAuthentication
+            }
+            Extension::BasicConstraints { .. }
+            | Extension::KeyUsage(_)
+            | Extension::ExtendedKeyUsage(_)
+            | Extension::MustStaple => CertInfoCategory::KeyAuthorization,
+            Extension::AuthorityKeyId(_)
+            | Extension::CrlDistributionPoint(_)
+            | Extension::AuthorityInfoAccess(_)
+            | Extension::CertificatePolicies(_) => CertInfoCategory::IssuerInformation,
+            Extension::PrecertPoison | Extension::SctList(_) => {
+                CertInfoCategory::CertificateMetadata
+            }
+        }
+    }
+}
+
+/// Whether a change is to *ownership* of the resource or to its *use*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlChange {
+    /// The controlling party changed.
+    Ownership,
+    /// The same party changed how (or whether) the resource is used.
+    Use,
+}
+
+/// Who can abuse the resulting stale certificate, and how badly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecurityImpact {
+    /// A third party can impersonate the domain (TLS interception given
+    /// network position). The severe class the paper measures.
+    ThirdPartyImpersonation,
+    /// Only the first party is affected; minimal risk.
+    FirstPartyMinimal,
+    /// Over-permissioned usage by the first party (key scope reduction).
+    FirstPartyOverPermissioned,
+}
+
+/// Table 2: the certificate invalidation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvalidationEvent {
+    /// Domain registrant change (§5.2).
+    DomainOwnershipChange,
+    /// Domain falls out of use (expires with no new owner).
+    DomainUseChange,
+    /// Key compromise (§5.1).
+    KeyOwnershipChange,
+    /// Key disuse, e.g. rotation.
+    KeyUseChange,
+    /// Managed TLS departure (§5.3) — the starred special case of key
+    /// disuse where the "first party" holding the key is a third party
+    /// to the domain.
+    ManagedTlsDeparture,
+    /// Key authorization scope reduction.
+    KeyAuthorizationChange,
+    /// CA revocation-infrastructure change.
+    RevocationInfoChange,
+}
+
+impl InvalidationEvent {
+    /// Which information category the event invalidates (Table 2 column
+    /// 2).
+    pub fn category(self) -> CertInfoCategory {
+        match self {
+            InvalidationEvent::DomainOwnershipChange
+            | InvalidationEvent::DomainUseChange
+            | InvalidationEvent::KeyOwnershipChange
+            | InvalidationEvent::KeyUseChange
+            | InvalidationEvent::ManagedTlsDeparture => {
+                CertInfoCategory::SubscriberAuthentication
+            }
+            InvalidationEvent::KeyAuthorizationChange => CertInfoCategory::KeyAuthorization,
+            InvalidationEvent::RevocationInfoChange => CertInfoCategory::IssuerInformation,
+        }
+    }
+
+    /// Ownership vs use (Table 2 row structure).
+    pub fn control_change(self) -> Option<ControlChange> {
+        match self {
+            InvalidationEvent::DomainOwnershipChange | InvalidationEvent::KeyOwnershipChange => {
+                Some(ControlChange::Ownership)
+            }
+            InvalidationEvent::DomainUseChange
+            | InvalidationEvent::KeyUseChange
+            | InvalidationEvent::ManagedTlsDeparture => Some(ControlChange::Use),
+            _ => None,
+        }
+    }
+
+    /// Security implications (Table 2 column 4).
+    pub fn impact(self) -> SecurityImpact {
+        match self {
+            InvalidationEvent::DomainOwnershipChange
+            | InvalidationEvent::KeyOwnershipChange
+            | InvalidationEvent::ManagedTlsDeparture => {
+                SecurityImpact::ThirdPartyImpersonation
+            }
+            InvalidationEvent::KeyAuthorizationChange => {
+                SecurityImpact::FirstPartyOverPermissioned
+            }
+            _ => SecurityImpact::FirstPartyMinimal,
+        }
+    }
+
+    /// The three events the paper measures (third-party impersonation).
+    pub fn third_party_events() -> [InvalidationEvent; 3] {
+        [
+            InvalidationEvent::KeyOwnershipChange,
+            InvalidationEvent::DomainOwnershipChange,
+            InvalidationEvent::ManagedTlsDeparture,
+        ]
+    }
+
+    /// Map an RFC 5280 reason code to the closest taxonomy event, where
+    /// one exists. Illustrates §3's point: the mapping is lossy.
+    pub fn from_revocation_reason(reason: RevocationReason) -> Option<InvalidationEvent> {
+        match reason {
+            RevocationReason::KeyCompromise => Some(InvalidationEvent::KeyOwnershipChange),
+            RevocationReason::Superseded => Some(InvalidationEvent::KeyUseChange),
+            RevocationReason::CessationOfOperation => Some(InvalidationEvent::DomainUseChange),
+            RevocationReason::AffiliationChanged => {
+                Some(InvalidationEvent::DomainOwnershipChange)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    #[test]
+    fn third_party_events_are_exactly_the_measured_three() {
+        let events = InvalidationEvent::third_party_events();
+        assert!(events
+            .iter()
+            .all(|e| e.impact() == SecurityImpact::ThirdPartyImpersonation));
+        // And no other event has third-party impact.
+        for e in [
+            InvalidationEvent::DomainUseChange,
+            InvalidationEvent::KeyUseChange,
+            InvalidationEvent::KeyAuthorizationChange,
+            InvalidationEvent::RevocationInfoChange,
+        ] {
+            assert_ne!(e.impact(), SecurityImpact::ThirdPartyImpersonation);
+        }
+    }
+
+    #[test]
+    fn categories_match_table_2() {
+        assert_eq!(
+            InvalidationEvent::DomainOwnershipChange.category(),
+            CertInfoCategory::SubscriberAuthentication
+        );
+        assert_eq!(
+            InvalidationEvent::KeyAuthorizationChange.category(),
+            CertInfoCategory::KeyAuthorization
+        );
+        assert_eq!(
+            InvalidationEvent::RevocationInfoChange.category(),
+            CertInfoCategory::IssuerInformation
+        );
+    }
+
+    #[test]
+    fn control_changes() {
+        use ControlChange::*;
+        assert_eq!(InvalidationEvent::DomainOwnershipChange.control_change(), Some(Ownership));
+        assert_eq!(InvalidationEvent::ManagedTlsDeparture.control_change(), Some(Use));
+        assert_eq!(InvalidationEvent::RevocationInfoChange.control_change(), None);
+    }
+
+    #[test]
+    fn extension_classification_covers_table_1() {
+        use x509::cert::KeyUsage;
+        assert_eq!(
+            CertInfoCategory::of_extension(&Extension::SubjectAltName(vec![dn("foo.com")])),
+            CertInfoCategory::SubscriberAuthentication
+        );
+        assert_eq!(
+            CertInfoCategory::of_extension(&Extension::KeyUsage(KeyUsage::tls_leaf())),
+            CertInfoCategory::KeyAuthorization
+        );
+        assert_eq!(
+            CertInfoCategory::of_extension(&Extension::CrlDistributionPoint("u".into())),
+            CertInfoCategory::IssuerInformation
+        );
+        assert_eq!(
+            CertInfoCategory::of_extension(&Extension::PrecertPoison),
+            CertInfoCategory::CertificateMetadata
+        );
+    }
+
+    #[test]
+    fn reason_code_mapping_is_lossy() {
+        assert_eq!(
+            InvalidationEvent::from_revocation_reason(RevocationReason::KeyCompromise),
+            Some(InvalidationEvent::KeyOwnershipChange)
+        );
+        assert_eq!(
+            InvalidationEvent::from_revocation_reason(RevocationReason::Unspecified),
+            None
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Workspace-wide error type.
+//!
+//! Substrate crates define their own error enums where the failure surface
+//! is richer (DER parsing, DNS resolution); this type covers the shared
+//! validation failures of the foundation types.
+
+use std::fmt;
+
+/// Errors produced by the foundation types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A domain name failed syntactic validation.
+    InvalidDomain {
+        /// The offending input.
+        input: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A date string or component was out of range.
+    InvalidDate(String),
+    /// An interval had `end < start`.
+    InvalidInterval {
+        /// Interval start, days since epoch.
+        start: i64,
+        /// Interval end, days since epoch.
+        end: i64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDomain { input, reason } => {
+                write!(f, "invalid domain name {input:?}: {reason}")
+            }
+            Error::InvalidDate(s) => write!(f, "invalid date: {s}"),
+            Error::InvalidInterval { start, end } => {
+                write!(f, "invalid interval: end ({end}) precedes start ({start})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,169 @@
+//! Half-open day intervals.
+//!
+//! Certificate validity windows, CDN delegation spans and registration
+//! tenures are all `[start, end)` intervals over [`Date`]. The staleness
+//! computations of §5 reduce to intersections of these intervals.
+
+use crate::error::{Error, Result};
+use crate::time::{Date, Duration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval of days `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DateInterval {
+    /// Inclusive start.
+    pub start: Date,
+    /// Exclusive end.
+    pub end: Date,
+}
+
+impl DateInterval {
+    /// Construct, rejecting `end < start`. `end == start` is the empty
+    /// interval.
+    pub fn new(start: Date, end: Date) -> Result<Self> {
+        if end < start {
+            return Err(Error::InvalidInterval {
+                start: start.days_since_epoch(),
+                end: end.days_since_epoch(),
+            });
+        }
+        Ok(DateInterval { start, end })
+    }
+
+    /// Interval of `len` days starting at `start`.
+    pub fn from_start(start: Date, len: Duration) -> Result<Self> {
+        DateInterval::new(start, start + len)
+    }
+
+    /// Length in days.
+    pub fn len(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Whether the interval contains no days.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `date` falls within `[start, end)`.
+    pub fn contains(&self, date: Date) -> bool {
+        self.start <= date && date < self.end
+    }
+
+    /// Intersection with another interval, `None` if disjoint or empty.
+    pub fn intersect(&self, other: &DateInterval) -> Option<DateInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(DateInterval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the two intervals share at least one day.
+    pub fn overlaps(&self, other: &DateInterval) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// The suffix of the interval starting at `from` (clamped), i.e. the
+    /// staleness window of a certificate invalidated at `from`.
+    pub fn suffix_from(&self, from: Date) -> DateInterval {
+        let start = from.max(self.start).min(self.end);
+        DateInterval { start, end: self.end }
+    }
+
+    /// Truncate the interval so its length is at most `max_len`.
+    ///
+    /// This is the §6 lifetime-capping operation: "take all stale
+    /// certificates with lifetime greater than n and decrease their
+    /// certificate expiration date to achieve a total lifetime of n".
+    pub fn cap_len(&self, max_len: Duration) -> DateInterval {
+        if self.len() <= max_len {
+            *self
+        } else {
+            DateInterval { start: self.start, end: self.start + max_len }
+        }
+    }
+
+    /// Iterate all days in the interval.
+    pub fn days(&self) -> impl Iterator<Item = Date> {
+        self.start.iter_until(self.end)
+    }
+}
+
+impl fmt::Display for DateInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: &str, b: &str) -> DateInterval {
+        DateInterval::new(Date::parse(a).unwrap(), Date::parse(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        assert!(DateInterval::new(Date::from_days(5), Date::from_days(4)).is_err());
+        let empty = DateInterval::new(Date::from_days(5), Date::from_days(5)).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), Duration::days(0));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let v = iv("2022-01-01", "2022-04-01");
+        assert!(v.contains(Date::parse("2022-01-01").unwrap()));
+        assert!(v.contains(Date::parse("2022-03-31").unwrap()));
+        assert!(!v.contains(Date::parse("2022-04-01").unwrap()));
+        assert!(!v.contains(Date::parse("2021-12-31").unwrap()));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = iv("2022-01-01", "2022-06-01");
+        let b = iv("2022-03-01", "2022-09-01");
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, iv("2022-03-01", "2022-06-01"));
+        assert!(a.overlaps(&b));
+        let d = iv("2023-01-01", "2023-02-01");
+        assert!(a.intersect(&d).is_none());
+        // Touching intervals do not overlap (half-open).
+        let e = iv("2022-06-01", "2022-07-01");
+        assert!(!a.overlaps(&e));
+    }
+
+    #[test]
+    fn suffix_from_clamps() {
+        let v = iv("2022-01-01", "2022-12-31");
+        let mid = Date::parse("2022-06-15").unwrap();
+        assert_eq!(v.suffix_from(mid), iv("2022-06-15", "2022-12-31"));
+        // Before the interval: whole interval is stale.
+        assert_eq!(v.suffix_from(Date::parse("2021-01-01").unwrap()), v);
+        // After the interval: empty staleness.
+        assert!(v.suffix_from(Date::parse("2023-06-01").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn cap_len_truncates_only_long_intervals() {
+        let v = iv("2022-01-01", "2023-02-03"); // 398 days
+        assert_eq!(v.len(), Duration::days(398));
+        let capped = v.cap_len(Duration::days(90));
+        assert_eq!(capped.len(), Duration::days(90));
+        assert_eq!(capped.start, v.start);
+        // Short intervals are untouched.
+        let short = iv("2022-01-01", "2022-02-01");
+        assert_eq!(short.cap_len(Duration::days(90)), short);
+    }
+
+    #[test]
+    fn days_iterates_exactly_len() {
+        let v = iv("2022-01-01", "2022-01-05");
+        assert_eq!(v.days().count() as i64, v.len().num_days());
+    }
+}

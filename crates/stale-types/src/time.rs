@@ -1,0 +1,368 @@
+//! Civil calendar dates at day granularity.
+//!
+//! All datasets in the paper are day-resolution (daily CRL downloads, daily
+//! DNS scans, WHOIS creation *dates*, certificate validity dates truncated
+//! to days). [`Date`] stores days since the Unix epoch (1970-01-01) and
+//! converts to/from proleptic Gregorian `(year, month, day)` using the
+//! classic Howard Hinnant `days_from_civil` / `civil_from_days` algorithms,
+//! which are exact over the entire `i64` range we use.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A signed span of whole days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// A span of `n` days.
+    pub const fn days(n: i64) -> Self {
+        Duration(n)
+    }
+
+    /// Number of days in the span (may be negative).
+    pub const fn num_days(self) -> i64 {
+        self.0
+    }
+
+    /// Absolute value of the span.
+    pub const fn abs(self) -> Self {
+        Duration(self.0.abs())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d", self.0)
+    }
+}
+
+/// A calendar month, 1-based like ISO 8601.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Month(pub u8);
+
+impl Month {
+    /// Number of days in this month of `year`.
+    pub fn len(self, year: i32) -> u8 {
+        match self.0 {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if is_leap_year(year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => unreachable!("Month is validated on construction"),
+        }
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// A `(year, month)` pair used for monthly bucketing of detections
+/// (Figures 4, 5a, 5b all report monthly series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct YearMonth {
+    /// Gregorian year.
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+}
+
+impl YearMonth {
+    /// Construct, validating the month.
+    pub fn new(year: i32, month: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(Error::InvalidDate(format!("month {month} out of range")));
+        }
+        Ok(YearMonth { year, month })
+    }
+
+    /// The month immediately after this one.
+    pub fn next(self) -> Self {
+        if self.month == 12 {
+            YearMonth { year: self.year + 1, month: 1 }
+        } else {
+            YearMonth { year: self.year, month: self.month + 1 }
+        }
+    }
+
+    /// First day of the month.
+    pub fn first_day(self) -> Date {
+        Date::from_ymd(self.year, self.month, 1).expect("validated month")
+    }
+
+    /// Number of months between `self` and `other` (`other - self`).
+    pub fn months_until(self, other: YearMonth) -> i32 {
+        (other.year - self.year) * 12 + (other.month as i32 - self.month as i32)
+    }
+}
+
+impl fmt::Display for YearMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+/// A civil calendar date stored as days since 1970-01-01.
+///
+/// `Ord` follows chronological order. Arithmetic with [`Duration`] is exact
+/// day arithmetic; there are no time zones or leap seconds at this
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Date(i64);
+
+impl Date {
+    /// The Unix epoch, 1970-01-01.
+    pub const EPOCH: Date = Date(0);
+
+    /// Build from days since the Unix epoch.
+    pub const fn from_days(days: i64) -> Self {
+        Date(days)
+    }
+
+    /// Days since the Unix epoch.
+    pub const fn days_since_epoch(self) -> i64 {
+        self.0
+    }
+
+    /// Build from a Gregorian `(year, month, day)` triple.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(Error::InvalidDate(format!("{year:04}-{month:02}-{day:02}: bad month")));
+        }
+        let max_day = Month(month).len(year);
+        if day == 0 || day > max_day {
+            return Err(Error::InvalidDate(format!("{year:04}-{month:02}-{day:02}: bad day")));
+        }
+        Ok(Date(days_from_civil(year, month as i64, day as i64)))
+    }
+
+    /// Decompose into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u8, u8) {
+        civil_from_days(self.0)
+    }
+
+    /// Gregorian year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// 1-based month.
+    pub fn month(self) -> u8 {
+        self.ymd().1
+    }
+
+    /// 1-based day of month.
+    pub fn day(self) -> u8 {
+        self.ymd().2
+    }
+
+    /// The `(year, month)` bucket containing this date.
+    pub fn year_month(self) -> YearMonth {
+        let (y, m, _) = self.ymd();
+        YearMonth { year: y, month: m }
+    }
+
+    /// Parse an ISO-8601 `YYYY-MM-DD` string.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || Error::InvalidDate(s.to_string());
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d)
+    }
+
+    /// The day after this one.
+    pub fn succ(self) -> Date {
+        Date(self.0 + 1)
+    }
+
+    /// The day before this one.
+    pub fn pred(self) -> Date {
+        Date(self.0 - 1)
+    }
+
+    /// Chronologically smaller of two dates.
+    pub fn min(self, other: Date) -> Date {
+        if self <= other { self } else { other }
+    }
+
+    /// Chronologically larger of two dates.
+    pub fn max(self, other: Date) -> Date {
+        if self >= other { self } else { other }
+    }
+
+    /// Iterate every date in `[self, end)`.
+    pub fn iter_until(self, end: Date) -> impl Iterator<Item = Date> {
+        (self.0..end.0).map(Date)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl Add<Duration> for Date {
+    type Output = Date;
+    fn add(self, rhs: Duration) -> Date {
+        Date(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Date {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Date {
+    type Output = Date;
+    fn sub(self, rhs: Duration) -> Date {
+        Date(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Date {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Date> for Date {
+    type Output = Duration;
+    fn sub(self, rhs: Date) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// Hinnant `days_from_civil`: days since 1970-01-01 for a Gregorian date.
+fn days_from_civil(y: i32, m: i64, d: i64) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Hinnant `civil_from_days`: Gregorian date for days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        assert_eq!(Date::EPOCH.ymd(), (1970, 1, 1));
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap(), Date::EPOCH);
+    }
+
+    #[test]
+    fn known_dates() {
+        // Values checked against `date -d @... -u`.
+        assert_eq!(Date::from_ymd(2020, 9, 1).unwrap().days_since_epoch(), 18506);
+        assert_eq!(Date::from_ymd(2023, 5, 12).unwrap().days_since_epoch(), 19489);
+        assert_eq!(Date::from_ymd(2000, 2, 29).unwrap().days_since_epoch(), 11016);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2020));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2023));
+        assert!(Date::from_ymd(2023, 2, 29).is_err());
+        assert!(Date::from_ymd(2024, 2, 29).is_ok());
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(2020, 0, 1).is_err());
+        assert!(Date::from_ymd(2020, 13, 1).is_err());
+        assert!(Date::from_ymd(2020, 4, 31).is_err());
+        assert!(Date::from_ymd(2020, 1, 0).is_err());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Date::parse("2021-11-17").unwrap();
+        assert_eq!(d.ymd(), (2021, 11, 17));
+        assert_eq!(d.to_string(), "2021-11-17");
+        assert!(Date::parse("2021-11").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("2021-02-30").is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Date::parse("2020-02-28").unwrap();
+        assert_eq!((a + Duration::days(1)).to_string(), "2020-02-29");
+        assert_eq!((a + Duration::days(2)).to_string(), "2020-03-01");
+        let b = Date::parse("2021-02-28").unwrap();
+        assert_eq!((b - a).num_days(), 366);
+        let mut c = a;
+        c += Duration::days(398);
+        assert_eq!(c - a, Duration::days(398));
+        c -= Duration::days(398);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn year_month_bucketing() {
+        let d = Date::parse("2018-11-30").unwrap();
+        assert_eq!(d.year_month(), YearMonth { year: 2018, month: 11 });
+        assert_eq!(d.year_month().next(), YearMonth { year: 2018, month: 12 });
+        assert_eq!(d.year_month().next().next(), YearMonth { year: 2019, month: 1 });
+        assert_eq!(
+            YearMonth::new(2018, 1).unwrap().months_until(YearMonth::new(2019, 3).unwrap()),
+            14
+        );
+        assert!(YearMonth::new(2018, 13).is_err());
+    }
+
+    #[test]
+    fn iter_until_covers_range() {
+        let a = Date::parse("2022-12-30").unwrap();
+        let b = Date::parse("2023-01-02").unwrap();
+        let days: Vec<String> = a.iter_until(b).map(|d| d.to_string()).collect();
+        assert_eq!(days, ["2022-12-30", "2022-12-31", "2023-01-01"]);
+    }
+
+    #[test]
+    fn roundtrip_sweep() {
+        // Every day over the paper's measurement window survives a roundtrip.
+        let start = Date::parse("2013-01-01").unwrap();
+        let end = Date::parse("2024-01-01").unwrap();
+        for d in start.iter_until(end) {
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        }
+    }
+}

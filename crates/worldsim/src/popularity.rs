@@ -1,0 +1,110 @@
+//! Popularity ranking archive (the Alexa Top-1M analogue for Table 6).
+//!
+//! The paper takes a biannual sample of the Alexa Top 1M from 2014–2022
+//! and, for each domain seen in a stale certificate, records the best
+//! (lowest) rank it ever held. The archive here stores those samples;
+//! each sample lists the e2LDs that made the cut on that day with their
+//! rank.
+
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DomainName};
+use std::collections::HashMap;
+
+/// One biannual ranking sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankSample {
+    /// Sample day.
+    pub date: Date,
+    /// e2LD → rank (1 = most popular). Only ranks ≤ the list size appear.
+    pub ranks: HashMap<DomainName, u32>,
+}
+
+/// The longitudinal archive of samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopularityArchive {
+    /// Samples in chronological order.
+    pub samples: Vec<RankSample>,
+}
+
+impl PopularityArchive {
+    /// Empty archive.
+    pub fn new() -> Self {
+        PopularityArchive::default()
+    }
+
+    /// Append a sample (must be chronologically after the previous one).
+    pub fn add_sample(&mut self, sample: RankSample) {
+        if let Some(last) = self.samples.last() {
+            assert!(last.date < sample.date, "samples must be chronological");
+        }
+        self.samples.push(sample);
+    }
+
+    /// The best (lowest) rank `domain` ever held across samples.
+    pub fn best_rank(&self, domain: &DomainName) -> Option<u32> {
+        self.samples
+            .iter()
+            .filter_map(|s| s.ranks.get(domain).copied())
+            .min()
+    }
+
+    /// Number of samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The biannual sample dates covering `[start, end]`: January 1 and
+    /// July 1 of each year.
+    pub fn biannual_dates(start_year: i32, end_year: i32) -> Vec<Date> {
+        let mut dates = Vec::new();
+        for year in start_year..=end_year {
+            dates.push(Date::from_ymd(year, 1, 1).expect("jan"));
+            dates.push(Date::from_ymd(year, 7, 1).expect("jul"));
+        }
+        dates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    #[test]
+    fn best_rank_across_samples() {
+        let mut archive = PopularityArchive::new();
+        let mut r1 = HashMap::new();
+        r1.insert(dn("foo.com"), 5000u32);
+        archive.add_sample(RankSample { date: Date::parse("2014-01-01").unwrap(), ranks: r1 });
+        let mut r2 = HashMap::new();
+        r2.insert(dn("foo.com"), 800u32);
+        r2.insert(dn("bar.com"), 100_000u32);
+        archive.add_sample(RankSample { date: Date::parse("2014-07-01").unwrap(), ranks: r2 });
+        assert_eq!(archive.best_rank(&dn("foo.com")), Some(800));
+        assert_eq!(archive.best_rank(&dn("bar.com")), Some(100_000));
+        assert_eq!(archive.best_rank(&dn("ghost.com")), None);
+        assert_eq!(archive.sample_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn out_of_order_sample_panics() {
+        let mut archive = PopularityArchive::new();
+        archive.add_sample(RankSample {
+            date: Date::parse("2015-01-01").unwrap(),
+            ranks: HashMap::new(),
+        });
+        archive.add_sample(RankSample {
+            date: Date::parse("2014-01-01").unwrap(),
+            ranks: HashMap::new(),
+        });
+    }
+
+    #[test]
+    fn biannual_dates_cover_years() {
+        let dates = PopularityArchive::biannual_dates(2014, 2022);
+        assert_eq!(dates.len(), 18);
+        assert_eq!(dates[0], Date::parse("2014-01-01").unwrap());
+        assert_eq!(dates[17], Date::parse("2022-07-01").unwrap());
+    }
+}

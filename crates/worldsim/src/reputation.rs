@@ -1,0 +1,137 @@
+//! Domain reputation feed (the VirusTotal analogue for Table 5).
+//!
+//! Table 5 queries VirusTotal for 100K randomly sampled registrant-change
+//! domains, keeping detections flagged by ≥5 vendors, splitting them into
+//! malware-file associations (with AVClass2 family labels) and malicious
+//! URL verdicts (malware / phishing / malicious), and correlating the
+//! first-submission date with the staleness window. This module is the
+//! synthetic feed those queries run against.
+
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DomainName};
+use std::collections::BTreeMap;
+
+/// Table 5's detection threshold: at least five vendors must flag.
+pub const VENDOR_THRESHOLD: u8 = 5;
+
+/// Malware family labels (the AVClass2-style vocabulary the paper tallies,
+/// Table 5 left column).
+pub const MALWARE_FAMILIES: &[&str] = &[
+    "grayware",
+    "backdoor",
+    "downloader",
+    "virus",
+    "spyware",
+    "ransomware",
+];
+
+/// URL verdict labels (Table 5 right column).
+pub const URL_LABELS: &[&str] = &["phishing", "malicious", "malware"];
+
+/// One domain's reputation record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainReputation {
+    /// Malware families associated via file submissions ("Unknown" when
+    /// the family could not be resolved, as AVClass2 sometimes reports).
+    pub malware_families: Vec<String>,
+    /// URL verdict labels.
+    pub url_labels: Vec<String>,
+    /// Minimum first-submission date across associated artifacts.
+    pub first_submission: Date,
+    /// How many vendors flagged the domain.
+    pub vendor_count: u8,
+}
+
+impl DomainReputation {
+    /// Whether the record clears the ≥5-vendor bar.
+    pub fn above_threshold(&self) -> bool {
+        self.vendor_count >= VENDOR_THRESHOLD
+    }
+
+    /// Whether any malware-file association exists.
+    pub fn has_malware(&self) -> bool {
+        !self.malware_families.is_empty()
+    }
+
+    /// Whether any URL verdict exists.
+    pub fn has_url_verdict(&self) -> bool {
+        !self.url_labels.is_empty()
+    }
+}
+
+/// The queryable feed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReputationFeed {
+    records: BTreeMap<DomainName, DomainReputation>,
+}
+
+impl ReputationFeed {
+    /// Empty feed.
+    pub fn new() -> Self {
+        ReputationFeed::default()
+    }
+
+    /// Insert a record.
+    pub fn insert(&mut self, domain: DomainName, reputation: DomainReputation) {
+        self.records.insert(domain, reputation);
+    }
+
+    /// Query one domain (the per-domain VT lookup).
+    pub fn query(&self, domain: &DomainName) -> Option<&DomainReputation> {
+        self.records.get(domain)
+    }
+
+    /// Number of records in the feed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the feed is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate all records.
+    pub fn iter(&self) -> impl Iterator<Item = (&DomainName, &DomainReputation)> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stale_types::domain::dn;
+
+    #[test]
+    fn threshold_logic() {
+        let hot = DomainReputation {
+            malware_families: vec!["backdoor".into()],
+            url_labels: vec![],
+            first_submission: Date::parse("2020-05-01").unwrap(),
+            vendor_count: 7,
+        };
+        assert!(hot.above_threshold());
+        assert!(hot.has_malware());
+        assert!(!hot.has_url_verdict());
+        let cold = DomainReputation { vendor_count: 3, ..hot.clone() };
+        assert!(!cold.above_threshold());
+    }
+
+    #[test]
+    fn feed_query() {
+        let mut feed = ReputationFeed::new();
+        assert!(feed.is_empty());
+        feed.insert(
+            dn("evil.com"),
+            DomainReputation {
+                malware_families: vec![],
+                url_labels: vec!["phishing".into()],
+                first_submission: Date::parse("2019-01-01").unwrap(),
+                vendor_count: 9,
+            },
+        );
+        assert_eq!(feed.len(), 1);
+        assert!(feed.query(&dn("evil.com")).unwrap().has_url_verdict());
+        assert!(feed.query(&dn("good.com")).is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Minimal X.509-shaped certificate library.
+//!
+//! Implements the certificate machinery the measurement pipeline needs:
+//!
+//! * [`der`] — a from-scratch DER-style TLV encoder/decoder (definite
+//!   lengths, nested constructed values) used for certificates and CRLs;
+//! * [`cert`] — `TBSCertificate`/`Certificate` with the extensions the
+//!   paper's taxonomy covers (Table 1): SAN, BasicConstraints, KeyUsage,
+//!   EKU, SKI/AKI, CRL distribution points, certificate policies, SCT list
+//!   and the precertificate poison;
+//! * [`builder`] — ergonomic construction + signing;
+//! * [`validate`] — hostname matching (TLS wildcard rules), validity-window
+//!   and signature/chain checks;
+//! * [`revocation`] — RFC 5280 CRLs: reason codes, entries, signed lists.
+//!
+//! Certificates carry real (simulated-PKI) signatures from the `crypto`
+//! crate and hash to stable [`stale_types::CertId`]s over their *non-CT
+//! components*, which is exactly the dedup key the paper uses to collapse
+//! precertificates with their final certificates.
+
+pub mod builder;
+pub mod cert;
+pub mod der;
+pub mod pem;
+pub mod revocation;
+pub mod validate;
+
+pub use builder::CertificateBuilder;
+pub use cert::{
+    Certificate, EkuPurpose, Extension, KeyUsage, Name, SignedCertificateTimestamp,
+    TbsCertificate, Version,
+};
+pub use revocation::{Crl, CrlEntry, RevocationReason};
+pub use validate::{validate_chain, ValidationError};

@@ -1,0 +1,239 @@
+//! PEM encoding (RFC 7468) with a from-scratch base64 codec.
+//!
+//! Certificates and CRLs travel as PEM in operational pipelines (CCADB
+//! CRL disclosures, CT tooling, `certbot` output); the examples persist
+//! artifacts in this format.
+
+use crate::cert::Certificate;
+use crate::der::DerError;
+use crate::revocation::Crl;
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Base64-encode without line breaks.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Base64 decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PemError {
+    /// A character outside the alphabet (whitespace is tolerated).
+    BadBase64Char(char),
+    /// Input length (after stripping whitespace/padding) is invalid.
+    BadLength,
+    /// Missing BEGIN/END armor or label mismatch.
+    BadArmor,
+    /// The decoded DER failed to parse.
+    Der(DerError),
+}
+
+impl fmt::Display for PemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PemError::BadBase64Char(c) => write!(f, "invalid base64 character {c:?}"),
+            PemError::BadLength => write!(f, "invalid base64 length"),
+            PemError::BadArmor => write!(f, "missing or mismatched PEM armor"),
+            PemError::Der(e) => write!(f, "DER error inside PEM: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PemError {}
+
+fn decode_char(c: u8) -> Result<u8, PemError> {
+    match c {
+        b'A'..=b'Z' => Ok(c - b'A'),
+        b'a'..=b'z' => Ok(c - b'a' + 26),
+        b'0'..=b'9' => Ok(c - b'0' + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(PemError::BadBase64Char(c as char)),
+    }
+}
+
+/// Base64-decode, ignoring ASCII whitespace and trailing padding.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
+    let filtered: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .take_while(|&b| b != b'=')
+        .collect();
+    let mut out = Vec::with_capacity(filtered.len() * 3 / 4);
+    for chunk in filtered.chunks(4) {
+        match chunk.len() {
+            1 => return Err(PemError::BadLength),
+            len => {
+                let mut n: u32 = 0;
+                for &c in chunk {
+                    n = (n << 6) | decode_char(c)? as u32;
+                }
+                n <<= 6 * (4 - len);
+                let bytes = n.to_be_bytes();
+                out.extend_from_slice(&bytes[1..len]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap DER bytes in PEM armor with the given label.
+pub fn pem_encode(label: &str, der: &[u8]) -> String {
+    let b64 = base64_encode(der);
+    let mut out = format!("-----BEGIN {label}-----\n");
+    for line in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(line).expect("base64 is ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("-----END {label}-----\n"));
+    out
+}
+
+/// Extract the DER bytes from a PEM block with the given label.
+pub fn pem_decode(label: &str, pem: &str) -> Result<Vec<u8>, PemError> {
+    let begin = format!("-----BEGIN {label}-----");
+    let end = format!("-----END {label}-----");
+    let start = pem.find(&begin).ok_or(PemError::BadArmor)? + begin.len();
+    let stop = pem.find(&end).ok_or(PemError::BadArmor)?;
+    if stop < start {
+        return Err(PemError::BadArmor);
+    }
+    base64_decode(&pem[start..stop])
+}
+
+/// Encode a certificate as `CERTIFICATE` PEM.
+pub fn certificate_to_pem(cert: &Certificate) -> String {
+    pem_encode("CERTIFICATE", &cert.encode())
+}
+
+/// Decode a certificate from `CERTIFICATE` PEM.
+pub fn certificate_from_pem(pem: &str) -> Result<Certificate, PemError> {
+    let der = pem_decode("CERTIFICATE", pem)?;
+    Certificate::decode(&der).map_err(PemError::Der)
+}
+
+/// Encode a CRL as `X509 CRL` PEM.
+pub fn crl_to_pem(crl: &Crl) -> String {
+    pem_encode("X509 CRL", &crl.encode())
+}
+
+/// Decode a CRL from `X509 CRL` PEM.
+pub fn crl_from_pem(pem: &str) -> Result<Crl, PemError> {
+    let der = pem_decode("X509 CRL", pem)?;
+    Crl::decode(&der).map_err(PemError::Der)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crate::revocation::{CrlEntry, RevocationReason};
+    use crypto::KeyPair;
+    use stale_types::{domain::dn, Date, Duration, SerialNumber};
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        for v in ["", "Zg==", "Zm8=", "Zm9v", "Zm9vYg==", "Zm9vYmE=", "Zm9vYmFy"] {
+            let decoded = base64_decode(v).unwrap();
+            assert_eq!(base64_encode(&decoded), v, "vector {v}");
+        }
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn base64_roundtrip_all_lengths() {
+        for len in 0..100 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(matches!(base64_decode("Zm9*"), Err(PemError::BadBase64Char('*'))));
+        assert!(matches!(base64_decode("Z"), Err(PemError::BadLength)));
+        // Whitespace tolerated.
+        assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    fn sample_cert() -> Certificate {
+        CertificateBuilder::tls_leaf(KeyPair::from_seed([70; 32]).public())
+            .serial(123)
+            .issuer_cn("PEM CA")
+            .subject_cn("pem.com")
+            .san(dn("pem.com"))
+            .validity_days(Date::parse("2022-01-01").unwrap(), Duration::days(90))
+            .sign(&KeyPair::from_seed([71; 32]))
+    }
+
+    #[test]
+    fn certificate_pem_roundtrip() {
+        let cert = sample_cert();
+        let pem = certificate_to_pem(&cert);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.ends_with("-----END CERTIFICATE-----\n"));
+        assert!(pem.lines().all(|l| l.len() <= 64 || l.starts_with("-----")));
+        let back = certificate_from_pem(&pem).unwrap();
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn crl_pem_roundtrip() {
+        let key = KeyPair::from_seed([72; 32]);
+        let crl = Crl::build(
+            &key,
+            Date::parse("2022-11-01").unwrap(),
+            Date::parse("2022-11-08").unwrap(),
+            vec![CrlEntry {
+                serial: SerialNumber(5),
+                revocation_date: Date::parse("2022-10-01").unwrap(),
+                reason: RevocationReason::KeyCompromise,
+            }],
+        );
+        let pem = crl_to_pem(&crl);
+        let back = crl_from_pem(&pem).unwrap();
+        assert_eq!(back, crl);
+        assert!(back.verify(&key.public()));
+    }
+
+    #[test]
+    fn wrong_label_rejected() {
+        let cert = sample_cert();
+        let pem = certificate_to_pem(&cert);
+        assert!(matches!(pem_decode("X509 CRL", &pem), Err(PemError::BadArmor)));
+        assert!(matches!(certificate_from_pem("no armor here"), Err(PemError::BadArmor)));
+    }
+
+    #[test]
+    fn corrupted_pem_body_fails_der() {
+        let cert = sample_cert();
+        let pem = certificate_to_pem(&cert);
+        // Replace one base64 char in the body.
+        let mut lines: Vec<String> = pem.lines().map(String::from).collect();
+        let body = 1;
+        lines[body] = lines[body].replacen('A', "B", 1);
+        if lines[body] == pem.lines().nth(body).unwrap() {
+            lines[body] = lines[body].replacen('Q', "R", 1);
+        }
+        let corrupted = lines.join("\n");
+        assert!(certificate_from_pem(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Certificate revocation lists (RFC 5280 §5).
+//!
+//! A CRL identifies revoked certificates by `(authority key id, serial)` —
+//! it does **not** carry the certificates themselves, which is why the
+//! paper has to cross-reference CRL entries against CT (§4.1). Reason
+//! codes are the full RFC 5280 set; the paper's key-compromise detector
+//! keys on [`RevocationReason::KeyCompromise`].
+
+use crate::der::{Decoder, DerError, Encoder, Tag};
+use crypto::{KeyPair, PublicKey, Signature, SimSig};
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, KeyId, SerialNumber};
+
+/// RFC 5280 CRL reason codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RevocationReason {
+    /// unspecified (0).
+    Unspecified,
+    /// keyCompromise (1) — the reason the paper's §5.1 detector targets.
+    KeyCompromise,
+    /// cACompromise (2).
+    CaCompromise,
+    /// affiliationChanged (3).
+    AffiliationChanged,
+    /// superseded (4).
+    Superseded,
+    /// cessationOfOperation (5).
+    CessationOfOperation,
+    /// certificateHold (6).
+    CertificateHold,
+    /// removeFromCRL (8).
+    RemoveFromCrl,
+    /// privilegeWithdrawn (9).
+    PrivilegeWithdrawn,
+    /// aACompromise (10).
+    AaCompromise,
+}
+
+impl RevocationReason {
+    /// The numeric RFC 5280 code.
+    pub fn code(self) -> u8 {
+        match self {
+            RevocationReason::Unspecified => 0,
+            RevocationReason::KeyCompromise => 1,
+            RevocationReason::CaCompromise => 2,
+            RevocationReason::AffiliationChanged => 3,
+            RevocationReason::Superseded => 4,
+            RevocationReason::CessationOfOperation => 5,
+            RevocationReason::CertificateHold => 6,
+            RevocationReason::RemoveFromCrl => 8,
+            RevocationReason::PrivilegeWithdrawn => 9,
+            RevocationReason::AaCompromise => 10,
+        }
+    }
+
+    /// Parse a numeric code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => RevocationReason::Unspecified,
+            1 => RevocationReason::KeyCompromise,
+            2 => RevocationReason::CaCompromise,
+            3 => RevocationReason::AffiliationChanged,
+            4 => RevocationReason::Superseded,
+            5 => RevocationReason::CessationOfOperation,
+            6 => RevocationReason::CertificateHold,
+            8 => RevocationReason::RemoveFromCrl,
+            9 => RevocationReason::PrivilegeWithdrawn,
+            10 => RevocationReason::AaCompromise,
+            _ => return None,
+        })
+    }
+
+    /// The six reasons Mozilla permits for subscriber certificates (§3:
+    /// "Mozilla only permits the usage of six out of the ten original
+    /// reasons").
+    pub fn mozilla_permitted(self) -> bool {
+        matches!(
+            self,
+            RevocationReason::Unspecified
+                | RevocationReason::KeyCompromise
+                | RevocationReason::AffiliationChanged
+                | RevocationReason::Superseded
+                | RevocationReason::CessationOfOperation
+                | RevocationReason::PrivilegeWithdrawn
+        )
+    }
+}
+
+/// One revoked certificate on a CRL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrlEntry {
+    /// Serial of the revoked certificate (scoped to the issuer key).
+    pub serial: SerialNumber,
+    /// Day the revocation took effect.
+    pub revocation_date: Date,
+    /// Declared reason.
+    pub reason: RevocationReason,
+}
+
+/// A signed certificate revocation list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crl {
+    /// Key identifier of the issuing CA key — the join key against
+    /// certificate AKIs.
+    pub authority_key_id: KeyId,
+    /// Publication day.
+    pub this_update: Date,
+    /// Day by which the next CRL is due.
+    pub next_update: Date,
+    /// Revoked certificates.
+    pub entries: Vec<CrlEntry>,
+    /// Signature over the encoded list.
+    pub signature: Signature,
+}
+
+impl Crl {
+    /// Build and sign a CRL.
+    pub fn build(
+        issuer_key: &KeyPair,
+        this_update: Date,
+        next_update: Date,
+        entries: Vec<CrlEntry>,
+    ) -> Crl {
+        let aki = KeyId::from_bytes(issuer_key.public().key_id());
+        let tbs = Self::encode_tbs(&aki, this_update, next_update, &entries);
+        let signature = SimSig::sign(issuer_key.private(), &tbs);
+        Crl { authority_key_id: aki, this_update, next_update, entries, signature }
+    }
+
+    fn encode_tbs(
+        aki: &KeyId,
+        this_update: Date,
+        next_update: Date,
+        entries: &[CrlEntry],
+    ) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.octets(aki.as_bytes());
+        e.int(this_update.days_since_epoch());
+        e.int(next_update.days_since_epoch());
+        e.constructed(Tag::Sequence, |list| {
+            for entry in entries {
+                list.constructed(Tag::Sequence, |item| {
+                    item.uint(entry.serial.0);
+                    item.int(entry.revocation_date.days_since_epoch());
+                    item.uint(entry.reason.code() as u128);
+                });
+            }
+        });
+        e.finish(Tag::Sequence)
+    }
+
+    /// Full DER encoding `SEQUENCE { tbs, signature }`.
+    pub fn encode(&self) -> Vec<u8> {
+        let tbs =
+            Self::encode_tbs(&self.authority_key_id, self.this_update, self.next_update, &self.entries);
+        let mut e = Encoder::new();
+        e.raw(&tbs);
+        e.octets(self.signature.as_bytes());
+        e.finish(Tag::Sequence)
+    }
+
+    /// Decode a CRL.
+    pub fn decode(der: &[u8]) -> Result<Crl, DerError> {
+        let mut top = Decoder::new(der);
+        let mut outer = top.nested(Tag::Sequence)?;
+        let mut tbs = outer.nested(Tag::Sequence)?;
+        let aki_bytes = tbs.octets()?;
+        let authority_key_id = KeyId::from_bytes(
+            aki_bytes.try_into().map_err(|_| DerError::BadContent("aki length"))?,
+        );
+        let this_update = Date::from_days(tbs.int()?);
+        let next_update = Date::from_days(tbs.int()?);
+        let mut list = tbs.nested(Tag::Sequence)?;
+        let mut entries = Vec::new();
+        while !list.is_empty() {
+            let mut item = list.nested(Tag::Sequence)?;
+            let serial = SerialNumber(item.uint()?);
+            let revocation_date = Date::from_days(item.int()?);
+            let code = u8::try_from(item.uint()?).map_err(|_| DerError::BadContent("reason"))?;
+            let reason =
+                RevocationReason::from_code(code).ok_or(DerError::BadContent("reason code"))?;
+            item.finish()?;
+            entries.push(CrlEntry { serial, revocation_date, reason });
+        }
+        tbs.finish()?;
+        let sig_bytes = outer.octets()?;
+        let signature = Signature(
+            sig_bytes.try_into().map_err(|_| DerError::BadContent("signature length"))?,
+        );
+        outer.finish()?;
+        top.finish()?;
+        Ok(Crl { authority_key_id, this_update, next_update, entries, signature })
+    }
+
+    /// Verify the CRL signature under the issuer's public key.
+    pub fn verify(&self, issuer: &PublicKey) -> bool {
+        let tbs = Self::encode_tbs(
+            &self.authority_key_id,
+            self.this_update,
+            self.next_update,
+            &self.entries,
+        );
+        SimSig::verify(issuer, &tbs, &self.signature)
+    }
+
+    /// Look up a serial on this CRL.
+    pub fn find(&self, serial: SerialNumber) -> Option<&CrlEntry> {
+        self.entries.iter().find(|e| e.serial == serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_crl(key: &KeyPair) -> Crl {
+        Crl::build(
+            key,
+            Date::parse("2022-11-01").unwrap(),
+            Date::parse("2022-11-08").unwrap(),
+            vec![
+                CrlEntry {
+                    serial: SerialNumber(100),
+                    revocation_date: Date::parse("2022-10-15").unwrap(),
+                    reason: RevocationReason::KeyCompromise,
+                },
+                CrlEntry {
+                    serial: SerialNumber(200),
+                    revocation_date: Date::parse("2022-10-20").unwrap(),
+                    reason: RevocationReason::Superseded,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn build_verify_roundtrip() {
+        let key = KeyPair::from_seed([10; 32]);
+        let crl = sample_crl(&key);
+        assert!(crl.verify(&key.public()));
+        let der = crl.encode();
+        let back = Crl::decode(&der).unwrap();
+        assert_eq!(back, crl);
+        assert!(back.verify(&key.public()));
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let key = KeyPair::from_seed([10; 32]);
+        let other = KeyPair::from_seed([11; 32]);
+        let crl = sample_crl(&key);
+        assert!(!crl.verify(&other.public()));
+    }
+
+    #[test]
+    fn tampered_entries_fail_verification() {
+        let key = KeyPair::from_seed([10; 32]);
+        let mut crl = sample_crl(&key);
+        crl.entries[0].reason = RevocationReason::CessationOfOperation;
+        assert!(!crl.verify(&key.public()));
+    }
+
+    #[test]
+    fn find_by_serial() {
+        let key = KeyPair::from_seed([10; 32]);
+        let crl = sample_crl(&key);
+        assert_eq!(crl.find(SerialNumber(100)).unwrap().reason, RevocationReason::KeyCompromise);
+        assert!(crl.find(SerialNumber(999)).is_none());
+    }
+
+    #[test]
+    fn reason_codes_roundtrip() {
+        for code in 0..=10u8 {
+            match RevocationReason::from_code(code) {
+                Some(r) => assert_eq!(r.code(), code),
+                None => assert_eq!(code, 7), // 7 is unassigned in RFC 5280
+            }
+        }
+        assert!(RevocationReason::from_code(11).is_none());
+    }
+
+    #[test]
+    fn mozilla_permitted_subset() {
+        let permitted: Vec<_> = (0..=10)
+            .filter_map(RevocationReason::from_code)
+            .filter(|r| r.mozilla_permitted())
+            .collect();
+        assert_eq!(permitted.len(), 6);
+        assert!(RevocationReason::KeyCompromise.mozilla_permitted());
+        assert!(!RevocationReason::CertificateHold.mozilla_permitted());
+    }
+
+    #[test]
+    fn empty_crl_roundtrips() {
+        let key = KeyPair::from_seed([12; 32]);
+        let crl = Crl::build(
+            &key,
+            Date::parse("2023-01-01").unwrap(),
+            Date::parse("2023-01-08").unwrap(),
+            vec![],
+        );
+        let back = Crl::decode(&crl.encode()).unwrap();
+        assert!(back.entries.is_empty());
+        assert!(back.verify(&key.public()));
+    }
+}

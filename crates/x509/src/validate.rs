@@ -1,0 +1,249 @@
+//! Certificate validation: hostname matching, validity windows and chains.
+//!
+//! This is the TLS-client view of a certificate. The stale-certificate
+//! threat model is precisely that these checks *pass* — the certificate is
+//! valid, unexpired and chains to a trusted root — while the real-world
+//! facts behind it have changed.
+
+use crate::cert::Certificate;
+use crypto::{PublicKey, SimSig};
+use stale_types::{Date, DomainName};
+use std::fmt;
+
+/// Why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The chain was empty.
+    EmptyChain,
+    /// `date` is outside a certificate's validity window.
+    Expired {
+        /// Index in the chain (0 = leaf).
+        index: usize,
+    },
+    /// A signature did not verify under the issuer key.
+    BadSignature {
+        /// Index in the chain (0 = leaf).
+        index: usize,
+    },
+    /// An intermediate lacked `BasicConstraints CA:TRUE`.
+    NotACa {
+        /// Index in the chain.
+        index: usize,
+    },
+    /// The chain root is not in the trust store.
+    UntrustedRoot,
+    /// No SAN matched the requested hostname.
+    HostnameMismatch {
+        /// What the client asked for.
+        requested: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyChain => write!(f, "empty certificate chain"),
+            ValidationError::Expired { index } => write!(f, "certificate {index} expired"),
+            ValidationError::BadSignature { index } => {
+                write!(f, "certificate {index} signature invalid")
+            }
+            ValidationError::NotACa { index } => {
+                write!(f, "certificate {index} used as issuer but is not a CA")
+            }
+            ValidationError::UntrustedRoot => write!(f, "chain does not end at a trusted root"),
+            ValidationError::HostnameMismatch { requested } => {
+                write!(f, "no SAN matches {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Whether any SAN on `cert` matches `hostname` under TLS wildcard rules.
+pub fn matches_hostname(cert: &Certificate, hostname: &DomainName) -> bool {
+    cert.tbs.san().iter().any(|san| san.matches(hostname))
+}
+
+/// Validate a chain `[leaf, intermediate…, (root optional)]` at `date`
+/// against `trusted_roots` (public keys of trust anchors) for `hostname`.
+///
+/// Checks, in order: hostname match on the leaf, per-certificate validity
+/// windows, CA bit on every issuer, signature of each certificate under the
+/// next one's key, and finally that the last certificate was signed by (or
+/// is) a trusted root key.
+pub fn validate_chain(
+    chain: &[Certificate],
+    trusted_roots: &[PublicKey],
+    hostname: &DomainName,
+    date: Date,
+) -> Result<(), ValidationError> {
+    let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
+    if !matches_hostname(leaf, hostname) {
+        return Err(ValidationError::HostnameMismatch { requested: hostname.to_string() });
+    }
+    for (i, cert) in chain.iter().enumerate() {
+        if !cert.tbs.validity.contains(date) {
+            return Err(ValidationError::Expired { index: i });
+        }
+    }
+    // Each certificate must be signed by the next one in the chain.
+    for (i, pair) in chain.windows(2).enumerate() {
+        let (child, issuer) = (&pair[0], &pair[1]);
+        if !issuer.tbs.is_ca() {
+            return Err(ValidationError::NotACa { index: i + 1 });
+        }
+        if !SimSig::verify(&issuer.tbs.public_key, &child.tbs.encode(false), &child.signature) {
+            return Err(ValidationError::BadSignature { index: i });
+        }
+    }
+    // Anchor: the last certificate must verify under some trusted root key
+    // (covering both "chain includes root" and "chain up to intermediate").
+    let last = chain.last().expect("non-empty");
+    let anchored = trusted_roots.iter().any(|root| {
+        SimSig::verify(root, &last.tbs.encode(false), &last.signature)
+            || (*root == last.tbs.public_key
+                && SimSig::verify(root, &last.tbs.encode(false), &last.signature))
+    });
+    if !anchored {
+        // Self-signed trusted root included directly?
+        let self_trusted = trusted_roots.contains(&last.tbs.public_key)
+            && SimSig::verify(&last.tbs.public_key, &last.tbs.encode(false), &last.signature);
+        if !self_trusted {
+            return Err(ValidationError::UntrustedRoot);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crypto::KeyPair;
+    use stale_types::{domain::dn, Duration};
+
+    struct Pki {
+        root: KeyPair,
+        inter: KeyPair,
+        chain: Vec<Certificate>,
+    }
+
+    fn build_pki(leaf_sans: &[&str]) -> Pki {
+        let root = KeyPair::from_seed([1; 32]);
+        let inter = KeyPair::from_seed([2; 32]);
+        let leaf_key = KeyPair::from_seed([3; 32]);
+        let start = Date::parse("2022-01-01").unwrap();
+        let inter_cert = CertificateBuilder::ca(inter.public())
+            .serial(1)
+            .issuer_cn("Root")
+            .subject_cn("Intermediate")
+            .validity_days(start, Duration::days(1825))
+            .sign(&root);
+        let leaf = CertificateBuilder::tls_leaf(leaf_key.public())
+            .serial(2)
+            .issuer_cn("Intermediate")
+            .subject_cn(leaf_sans[0])
+            .sans(leaf_sans.iter().map(|s| dn(s)))
+            .validity_days(start, Duration::days(90))
+            .sign(&inter);
+        Pki { root, inter, chain: vec![leaf, inter_cert] }
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let pki = build_pki(&["foo.com", "*.foo.com"]);
+        let roots = [pki.root.public()];
+        let date = Date::parse("2022-02-01").unwrap();
+        assert_eq!(validate_chain(&pki.chain, &roots, &dn("foo.com"), date), Ok(()));
+        assert_eq!(validate_chain(&pki.chain, &roots, &dn("api.foo.com"), date), Ok(()));
+    }
+
+    #[test]
+    fn hostname_mismatch() {
+        let pki = build_pki(&["foo.com"]);
+        let roots = [pki.root.public()];
+        let date = Date::parse("2022-02-01").unwrap();
+        assert!(matches!(
+            validate_chain(&pki.chain, &roots, &dn("bar.com"), date),
+            Err(ValidationError::HostnameMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn expiry_checked_per_certificate() {
+        let pki = build_pki(&["foo.com"]);
+        let roots = [pki.root.public()];
+        let too_late = Date::parse("2022-05-01").unwrap(); // leaf is 90 days
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("foo.com"), too_late),
+            Err(ValidationError::Expired { index: 0 })
+        );
+        let too_early = Date::parse("2021-12-31").unwrap();
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("foo.com"), too_early),
+            Err(ValidationError::Expired { index: 0 })
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let pki = build_pki(&["foo.com"]);
+        let other_root = KeyPair::from_seed([99; 32]);
+        let date = Date::parse("2022-02-01").unwrap();
+        assert_eq!(
+            validate_chain(&pki.chain, &[other_root.public()], &dn("foo.com"), date),
+            Err(ValidationError::UntrustedRoot)
+        );
+    }
+
+    #[test]
+    fn tampered_leaf_fails_signature() {
+        let mut pki = build_pki(&["foo.com"]);
+        // Re-sign the leaf with a key other than the intermediate.
+        let mallory = KeyPair::from_seed([66; 32]);
+        pki.chain[0].signature =
+            SimSig::sign(mallory.private(), &pki.chain[0].tbs.encode(false));
+        let roots = [pki.root.public()];
+        let date = Date::parse("2022-02-01").unwrap();
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("foo.com"), date),
+            Err(ValidationError::BadSignature { index: 0 })
+        );
+    }
+
+    #[test]
+    fn non_ca_issuer_rejected() {
+        let pki = build_pki(&["foo.com"]);
+        // Use the leaf as an "issuer" of itself: [leaf, leaf].
+        let bogus = vec![pki.chain[0].clone(), pki.chain[0].clone()];
+        let roots = [pki.root.public()];
+        let date = Date::parse("2022-02-01").unwrap();
+        assert_eq!(
+            validate_chain(&bogus, &roots, &dn("foo.com"), date),
+            Err(ValidationError::NotACa { index: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_chain() {
+        assert_eq!(
+            validate_chain(&[], &[], &dn("foo.com"), Date::EPOCH),
+            Err(ValidationError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn stale_cert_still_validates() {
+        // The core threat: a certificate whose real-world facts changed
+        // still passes every TLS-client check until it expires.
+        let pki = build_pki(&["transferred-domain.com"]);
+        let roots = [pki.root.public()];
+        let date = Date::parse("2022-03-01").unwrap();
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("transferred-domain.com"), date),
+            Ok(())
+        );
+        let _ = pki.inter; // silence unused in this scenario
+    }
+}

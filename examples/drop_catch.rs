@@ -1,0 +1,132 @@
+//! Domain drop-catch scenario (§3.1, Figure 2), end to end on the
+//! substrates:
+//!
+//! 1. Alice registers `shop.com`, passes an ACME dns-01 challenge and
+//!    obtains a 398-day certificate.
+//! 2. Alice stops renewing; the domain passes through grace → redemption →
+//!    pending delete and is released.
+//! 3. Bob drop-catches the re-registration (new registry creation date).
+//! 4. Alice's certificate is *still valid* — a TLS client accepts it for
+//!    Bob's domain — and the registrant-change detector flags exactly this
+//!    from WHOIS creation dates alone.
+//!
+//! ```sh
+//! cargo run --example drop_catch
+//! ```
+
+use stale_tls::prelude::*;
+
+use ca::acme::{AcmeServer, ChallengeType, WebServer};
+use ct::log::LogPool;
+use ct::monitor::CtMonitor;
+use dns::record::RData;
+use dns::resolver::Resolver;
+use dns::zone::Zone;
+use registry::registry::Registry;
+use registry::whois::WhoisDataset;
+use stale_core::detector::registrant_change::RegistrantChangeDetector;
+use stale_types::AccountId;
+use x509::validate::validate_chain;
+
+fn dn(s: &str) -> DomainName {
+    DomainName::parse(s).expect("valid literal")
+}
+
+fn d(s: &str) -> Date {
+    Date::parse(s).expect("valid literal")
+}
+
+fn main() {
+    let mut registry = Registry::new(dn("com"), d("2020-01-01"));
+    let mut ct = LogPool::with_yearly_shards("argon", 9, 2020, 2024);
+    let ca_key = crypto::KeyPair::from_seed([1; 32]);
+    let mut ca = CertificateAuthority::new(
+        stale_types::CaId(1),
+        "Example Commercial CA",
+        ca_key.clone(),
+        CaPolicy::commercial(),
+    );
+    let mut acme = AcmeServer::new();
+    let mut resolver = Resolver::new();
+    let web = WebServer::new();
+
+    // 1. Alice registers shop.com and sets up DNS.
+    let alice = AccountId(1);
+    registry.register(dn("shop.com"), alice, 0, Duration::days(365)).expect("fresh name");
+    resolver.add_zone(Zone::new(dn("shop.com")));
+    println!("2020-01-01  alice registers shop.com");
+
+    // Alice orders a certificate; dns-01 validation against her zone.
+    let alice_acct_key = crypto::KeyPair::from_seed([2; 32]);
+    let alice_tls_key = crypto::KeyPair::from_seed([3; 32]);
+    let order = acme.new_order(&ca, alice, vec![dn("shop.com")], d("2020-06-01"));
+    let challenge = acme.challenge(order, &dn("shop.com"), ChallengeType::Dns01).expect("order");
+    let key_auth = challenge.key_authorization(&alice_acct_key.public());
+    resolver
+        .zone_mut(&dn("shop.com"))
+        .expect("zone exists")
+        .add_data(challenge.dns_name(), RData::Txt(key_auth));
+    acme.validate(order, &challenge, &alice_acct_key.public(), &resolver, &web, d("2020-06-01"))
+        .expect("dns-01 passes");
+    let cert = acme
+        .finalize(
+            order,
+            alice_tls_key.public(),
+            Some(Duration::days(398)),
+            &mut ca,
+            &mut ct,
+            d("2020-06-01"),
+        )
+        .expect("issuance");
+    println!(
+        "2020-06-01  alice obtains a {}-day certificate (serial {})",
+        cert.tbs.lifetime().num_days(),
+        cert.tbs.serial
+    );
+
+    // 2. Alice walks away. Grace (45d) + redemption (30d) + pending
+    // delete (5d) after expiration, the registry releases the name.
+    registry.advance_to(d("2021-03-25"));
+    assert!(registry.available(&dn("shop.com")));
+    println!("2021-03-22  shop.com released by the registry");
+
+    // 3. Bob drop-catches it.
+    let bob = AccountId(2);
+    registry.register(dn("shop.com"), bob, 1, Duration::days(365)).expect("drop-catch");
+    let new_creation = registry.registration(&dn("shop.com")).expect("live").creation_date;
+    println!("2021-03-25  bob re-registers shop.com (creation date {new_creation})");
+
+    // 4. Alice's certificate still validates for Bob's domain.
+    let today = d("2021-05-01");
+    let verdict = validate_chain(
+        std::slice::from_ref(&cert),
+        &[ca_key.public()],
+        &dn("shop.com"),
+        today,
+    );
+    println!(
+        "{today}  TLS client validates alice's old certificate for shop.com: {}",
+        match &verdict {
+            Ok(()) => "ACCEPTED — alice can impersonate bob's shop.com".to_string(),
+            Err(e) => format!("rejected ({e})"),
+        }
+    );
+    assert!(verdict.is_ok(), "the stale certificate is precisely the threat");
+
+    // The detector sees it from WHOIS + CT alone.
+    let mut whois = WhoisDataset::new();
+    whois.ingest_registry(&registry);
+    let mut monitor = CtMonitor::new();
+    monitor.ingest(cert.clone(), cert.tbs.not_before());
+    let suffix_list = SuffixList::default_list();
+    let records = RegistrantChangeDetector::new(&suffix_list).detect(&whois, &monitor);
+    assert_eq!(records.len(), 1);
+    let record = &records[0];
+    println!(
+        "\ndetector: {} stale cert for {} — invalidated {}, stale for {} more days",
+        records.len(),
+        record.domain,
+        record.invalidation,
+        record.staleness_days().num_days()
+    );
+}

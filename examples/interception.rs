@@ -1,0 +1,121 @@
+//! Why revocation fails against the stale-certificate adversary (§2.4),
+//! and what actually works — the full client-policy matrix:
+//!
+//! An attacker holds the private key of a revoked (key-compromised)
+//! certificate and sits on-path, so it can also drop the victim's OCSP
+//! traffic. We run the TLS revocation-checking step under every browser
+//! policy, with and without the attacker interfering, then show the two
+//! deployable fixes: OCSP Must-Staple and a CRLite-style pushed filter.
+//!
+//! ```sh
+//! cargo run --example interception
+//! ```
+
+use stale_tls::prelude::*;
+
+use ca::authority::IssuanceRequest;
+use ca::ocsp::respond;
+use ct::log::LogPool;
+use stale_core::mitigation::{
+    connection_outcome, ConnectionOutcome, CrliteFilter, NetworkCondition, RevocationPolicy,
+};
+use x509::revocation::RevocationReason;
+
+fn dn(s: &str) -> DomainName {
+    DomainName::parse(s).expect("valid literal")
+}
+
+fn d(s: &str) -> Date {
+    Date::parse(s).expect("valid literal")
+}
+
+fn main() {
+    let mut ct = LogPool::with_yearly_shards("icept", 15, 2021, 2025);
+    let mut ca = CertificateAuthority::new(
+        stale_types::CaId(60),
+        "Interception CA",
+        crypto::KeyPair::from_seed([60; 32]),
+        CaPolicy::commercial(),
+    );
+    let victim_key = crypto::KeyPair::from_seed([61; 32]);
+    let cert = ca
+        .issue(
+            &IssuanceRequest {
+                domains: vec![dn("bank.com")],
+                public_key: victim_key.public(),
+                requested_lifetime: None,
+            },
+            d("2022-01-01"),
+            &mut ct,
+        )
+        .expect("issuance");
+
+    // The key leaks; the CA revokes with keyCompromise. The certificate
+    // remains cryptographically valid for another ~10 months.
+    ca.revoke(cert.tbs.serial, d("2022-02-15"), RevocationReason::KeyCompromise)
+        .expect("revocation");
+    let today = d("2022-03-01");
+    println!(
+        "bank.com cert revoked (keyCompromise) on 2022-02-15; expires {}\n",
+        cert.tbs.not_after()
+    );
+
+    println!("client policy matrix (attacker on-path with the stolen key):");
+    println!("{:<34} {:<14} {}", "policy", "network", "outcome");
+    let fetch = || respond(&ca, cert.tbs.serial, today);
+    for (policy, name) in [
+        (RevocationPolicy::NoCheck, "NoCheck (Chrome/Edge)"),
+        (RevocationPolicy::SoftFail, "SoftFail (Firefox/Safari)"),
+        (RevocationPolicy::HardFail, "HardFail"),
+    ] {
+        for (network, net_name) in [
+            (NetworkCondition::Normal, "normal"),
+            (NetworkCondition::OcspBlocked, "OCSP blocked"),
+        ] {
+            let outcome = connection_outcome(
+                &cert,
+                policy,
+                network,
+                None,
+                &ca.public_key(),
+                today,
+                fetch,
+            );
+            let marker = if outcome == ConnectionOutcome::Accepted { "⚠" } else { " " };
+            println!("{marker}{name:<33} {net_name:<14} {outcome:?}");
+        }
+    }
+
+    // Fix 1: Must-Staple — the attacker cannot forge a fresh Good staple.
+    let stapled = ca.sign_certificate(
+        x509::CertificateBuilder::tls_leaf(victim_key.public())
+            .subject_cn("bank.com")
+            .san(dn("bank.com"))
+            .validity_days(d("2022-01-01"), Duration::days(398))
+            .must_staple(),
+    );
+    let outcome = connection_outcome(
+        &stapled,
+        RevocationPolicy::NoCheck,
+        NetworkCondition::OcspBlocked,
+        None, // attacker withholds the staple
+        &ca.public_key(),
+        today,
+        || respond(&ca, stapled.tbs.serial, today),
+    );
+    println!("\nMust-Staple cert, staple withheld by attacker: {outcome:?}");
+    assert_eq!(outcome, ConnectionOutcome::RejectedNoStatus);
+
+    // Fix 2: CRLite — revocations are pushed; no fetch to block.
+    let population = vec![cert.cert_id(), stapled.cert_id()];
+    let revoked = vec![cert.cert_id()];
+    let filter = CrliteFilter::build(&population, &revoked);
+    println!(
+        "CRLite filter ({} bytes, {} levels): is_revoked(bank.com cert) = {}",
+        filter.byte_size(),
+        filter.level_count(),
+        filter.is_revoked(&cert.cert_id()),
+    );
+    assert!(filter.is_revoked(&cert.cert_id()));
+    assert!(!filter.is_revoked(&stapled.cert_id()));
+}

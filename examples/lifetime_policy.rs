@@ -1,0 +1,67 @@
+//! Certificate-lifetime policy what-if (§6, Figures 8–9): simulate a
+//! world, detect third-party stale certificates, then sweep hypothetical
+//! maximum lifetimes from 30 to 398 days and print the staleness-days
+//! reduction and survival-based elimination estimates per class.
+//!
+//! ```sh
+//! cargo run --release --example lifetime_policy [small|tiny]
+//! ```
+
+use stale_tls::prelude::*;
+
+fn main() {
+    let preset = std::env::args().nth(1).unwrap_or_else(|| "tiny".to_string());
+    let cfg = match preset.as_str() {
+        "small" => ScenarioConfig::small(),
+        "paper" => ScenarioConfig::paper2023(),
+        _ => ScenarioConfig::tiny(),
+    };
+    eprintln!("simulating ({preset} preset)…");
+    let data = World::run(cfg);
+    let psl = SuffixList::default_list();
+    let suite = DetectionSuite::run(&data, &psl);
+
+    let classes = [
+        StalenessClass::KeyCompromise,
+        StalenessClass::RegistrantChange,
+        StalenessClass::ManagedTlsDeparture,
+    ];
+
+    println!("max-lifetime sweep: staleness-days reduction (%)");
+    println!("{:>8} {:>16} {:>18} {:>20}", "cap", "key compromise", "registrant change", "managed TLS dept.");
+    for cap in [30, 45, 60, 90, 120, 180, 215, 300, 398] {
+        print!("{cap:>7}d");
+        for class in classes {
+            let sim = LifetimeSimulation::new(suite.records(class).iter());
+            let result = sim.apply_cap(cap);
+            print!("{:>16.1}", result.staleness_reduction() * 100.0);
+        }
+        println!();
+    }
+
+    println!("\nsurvival view: share of stale certs eliminated outright (invalidation after capped expiry)");
+    for class in classes {
+        let curve = SurvivalCurve::from_records(suite.records(class).iter());
+        println!(
+            "  {:<28} S(45)={:>5.1}%  S(90)={:>5.1}%  S(215)={:>5.1}%",
+            class.label(),
+            curve.survival_at(45) * 100.0,
+            curve.survival_at(90) * 100.0,
+            curve.survival_at(215) * 100.0,
+        );
+    }
+
+    // The paper's headline: 90-day lifetimes cut overall staleness ~75%.
+    let mut before = 0i64;
+    let mut after = 0i64;
+    for class in classes {
+        let sim = LifetimeSimulation::new(suite.records(class).iter());
+        let result = sim.apply_cap(90);
+        before += result.staleness_days_before;
+        after += result.staleness_days_after;
+    }
+    println!(
+        "\nheadline: a 90-day maximum removes {:.0}% of all third-party staleness-days (paper: ~75%)",
+        (1.0 - after as f64 / before.max(1) as f64) * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! # stale-tls
+//!
+//! A full reproduction of *"Stale TLS Certificates: Investigating
+//! Precarious Third-Party Access to Valid TLS Keys"* (IMC 2023) as a Rust
+//! workspace: the paper's detection pipeline and analyses (`stale_core`),
+//! the web-PKI substrates they run on (X.509/DER, Certificate
+//! Transparency, ACME CAs, CRLs, DNS, domain registries, managed-TLS
+//! CDNs), and a calibrated world simulator that stands in for the paper's
+//! proprietary datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stale_tls::prelude::*;
+//!
+//! // Simulate a small world (2021–2023) and run all three detectors.
+//! let data = World::run(ScenarioConfig::tiny());
+//! let psl = SuffixList::default_list();
+//! let suite = DetectionSuite::run(&data, &psl);
+//! println!(
+//!     "key compromise: {}, registrant change: {}, managed TLS: {}",
+//!     suite.key_compromise.len(),
+//!     suite.registrant_change.len(),
+//!     suite.managed_tls.len(),
+//! );
+//! assert!(!suite.registrant_change.is_empty());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure. The `repro` binary
+//! (`cargo run --release -p stale-bench --bin repro`) regenerates all of
+//! them.
+
+pub use ca;
+pub use cdn;
+pub use crypto;
+pub use ct;
+pub use dns;
+pub use handshake;
+pub use psl;
+pub use registry;
+pub use stale_core;
+pub use stale_types;
+pub use worldsim;
+pub use x509;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ca::authority::{CertificateAuthority, IssuanceRequest};
+    pub use ca::policy::CaPolicy;
+    pub use psl::SuffixList;
+    pub use stale_core::detector::DetectionSuite;
+    pub use stale_core::lifetime_sim::LifetimeSimulation;
+    pub use stale_core::staleness::{StaleCertRecord, StalenessClass};
+    pub use stale_core::survival::SurvivalCurve;
+    pub use stale_types::{Date, DateInterval, DomainName, Duration};
+    pub use worldsim::{ScenarioConfig, World, WorldDatasets};
+    pub use x509::{Certificate, CertificateBuilder};
+}

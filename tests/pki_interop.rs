@@ -1,0 +1,166 @@
+//! Cross-crate PKI plumbing: ACME issuance against real DNS, CT inclusion
+//! proofs over issued certificates, CRL publication/scraping/joining, and
+//! TLS-client chain validation — the full life of one certificate.
+
+use ca::acme::{AcmeServer, ChallengeType, WebServer};
+use ca::authority::CertificateAuthority;
+use ca::policy::CaPolicy;
+use ca::scraper::CrlScraper;
+use crypto::KeyPair;
+use ct::log::{CtLog, LogPool};
+use ct::merkle::verify_inclusion;
+use ct::monitor::CtMonitor;
+use dns::record::RData;
+use dns::resolver::Resolver;
+use dns::zone::Zone;
+use stale_core::detector::key_compromise::RevocationAnalysis;
+use stale_types::{AccountId, CaId, Date, DateInterval, DomainName, Duration};
+use x509::revocation::RevocationReason;
+use x509::validate::{validate_chain, ValidationError};
+use x509::Extension;
+
+fn dn(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn d(s: &str) -> Date {
+    Date::parse(s).unwrap()
+}
+
+#[test]
+fn certificate_lifecycle_end_to_end() {
+    // --- Issuance through ACME with dns-01 against the dns crate.
+    let ca_key = KeyPair::from_seed([1; 32]);
+    let mut ca =
+        CertificateAuthority::new(CaId(1), "Interop CA", ca_key.clone(), CaPolicy::commercial());
+    let mut ct = LogPool::with_yearly_shards("interop", 4, 2022, 2024);
+    let mut acme = AcmeServer::new();
+    let mut resolver = Resolver::new();
+    resolver.add_zone(Zone::new(dn("site.com")));
+    let account_key = KeyPair::from_seed([2; 32]);
+    let tls_key = KeyPair::from_seed([3; 32]);
+
+    let order = acme.new_order(&ca, AccountId(1), vec![dn("site.com")], d("2022-05-01"));
+    let challenge = acme.challenge(order, &dn("site.com"), ChallengeType::Dns01).unwrap();
+    resolver
+        .zone_mut(&dn("site.com"))
+        .unwrap()
+        .add_data(challenge.dns_name(), RData::Txt(challenge.key_authorization(&account_key.public())));
+    acme.validate(order, &challenge, &account_key.public(), &resolver, &WebServer::new(), d("2022-05-01"))
+        .unwrap();
+    let cert = acme
+        .finalize(order, tls_key.public(), None, &mut ca, &mut ct, d("2022-05-01"))
+        .unwrap();
+
+    // --- The precert is in a CT log with a verifiable inclusion proof.
+    let log: &CtLog = ct
+        .logs()
+        .iter()
+        .find(|l| l.size() > 0)
+        .expect("precert logged somewhere");
+    let entry = &log.entries()[0];
+    assert!(entry.certificate.tbs.is_precert());
+    assert_eq!(entry.certificate.cert_id(), cert.cert_id(), "precert dedups with final");
+    let sth = log.tree_head(d("2022-05-02"));
+    assert!(log.verify_tree_head(&sth));
+    let proof = log.inclusion_proof(entry.index, sth.tree_size).unwrap();
+    assert!(verify_inclusion(
+        &entry.certificate.encode(),
+        entry.index,
+        sth.tree_size,
+        &proof,
+        &sth.root
+    ));
+
+    // --- The final certificate embeds the log's SCT.
+    let sct_ok = cert.tbs.extensions.iter().any(|e| match e {
+        Extension::SctList(scts) => scts.iter().any(|s| s.log_id == log.log_id()),
+        _ => false,
+    });
+    assert!(sct_ok, "final cert carries the issuing log's SCT");
+
+    // --- A TLS client accepts the chain.
+    assert_eq!(
+        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2022-06-01")),
+        Ok(())
+    );
+
+    // --- Key compromise: revoke, publish, scrape, join.
+    ca.revoke(cert.tbs.serial, d("2022-07-01"), RevocationReason::KeyCompromise).unwrap();
+    let mut scraper = CrlScraper::new(9);
+    let window = DateInterval::new(d("2022-11-01"), d("2022-11-08")).unwrap();
+    let (crl_data, stats) = scraper.scrape(&[&ca], window);
+    assert_eq!(crl_data.len(), 1);
+    assert_eq!(stats.total_coverage(), 1.0);
+
+    let mut monitor = CtMonitor::new();
+    monitor.ingest(cert.clone(), d("2022-05-01"));
+    let analysis = RevocationAnalysis::run(&crl_data, &monitor, d("2022-11-01"));
+    assert_eq!(analysis.stats.kept, 1);
+    let stale = analysis.stale_records();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].invalidation, d("2022-07-01"));
+    // Staleness: from revocation to notAfter (398-day default lifetime).
+    assert_eq!(
+        stale[0].staleness_days(),
+        (d("2022-05-01") + Duration::days(398)) - d("2022-07-01")
+    );
+
+    // --- Validation still passes (revocation checking is ineffective in
+    // browsers — §2.4; expiry is the only backstop).
+    assert_eq!(
+        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2022-12-01")),
+        Ok(())
+    );
+    // Until expiry.
+    assert_eq!(
+        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2023-07-01")),
+        Err(ValidationError::Expired { index: 0 })
+    );
+}
+
+#[test]
+fn wire_format_scan_agrees_with_history() {
+    // The scanner's wire-level view of a zone matches what the interval
+    // history records for the same day.
+    use dns::record::Ipv4Addr;
+    use dns::scan::{scan_domain, DnsHistory, DnsView};
+
+    let mut resolver = Resolver::new();
+    let mut zone = Zone::new(dn("foo.com"));
+    zone.add_data(dn("foo.com"), RData::Ns(dn("anna.ns.cloudflare.com")));
+    zone.add_data(dn("foo.com"), RData::A(Ipv4Addr::new(104, 16, 1, 1)));
+    resolver.add_zone(zone);
+    let scanned = scan_domain(&resolver, &dn("foo.com"), 1);
+
+    let mut history = DnsHistory::new();
+    let view = DnsView {
+        ns: [dn("anna.ns.cloudflare.com")].into_iter().collect(),
+        a: [Ipv4Addr::new(104, 16, 1, 1)].into_iter().collect(),
+        ..Default::default()
+    };
+    history.record_change(dn("foo.com"), d("2022-08-01"), view.clone());
+    assert_eq!(scanned, view);
+    assert_eq!(history.view_at(&dn("foo.com"), d("2022-08-01")), Some(&view));
+}
+
+#[test]
+fn sharded_logs_route_by_expiry_year() {
+    let mut pool = LogPool::with_yearly_shards("route", 6, 2022, 2025);
+    let ca = KeyPair::from_seed([5; 32]);
+    for (nb, days, expect_shard) in [
+        ("2022-01-01", 90, "route2022"),
+        ("2022-11-01", 90, "route2023"), // expires Jan 2023
+        ("2023-06-01", 398, "route2024"),
+    ] {
+        let cert = x509::CertificateBuilder::tls_leaf(KeyPair::from_seed([6; 32]).public())
+            .serial(1)
+            .issuer_cn("Shard CA")
+            .subject_cn("x.com")
+            .san(dn("x.com"))
+            .validity_days(d(nb), Duration::days(days))
+            .sign(&ca);
+        let (log, _) = pool.submit(cert, d(nb)).unwrap();
+        assert_eq!(log, expect_shard, "cert issued {nb} +{days}d");
+    }
+}

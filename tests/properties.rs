@@ -1,0 +1,501 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates: DER and DNS wire roundtrips, PSL algebra, Merkle
+//! proofs, date arithmetic, staleness metrics and the §6 cap simulation.
+
+use proptest::prelude::*;
+
+use crypto::sha256::{sha256, Sha256};
+use psl::SuffixList;
+use stale_core::lifetime_sim::LifetimeSimulation;
+use stale_core::staleness::{StaleCertRecord, StalenessClass};
+use stale_core::stats::Cdf;
+use stale_core::survival::SurvivalCurve;
+use stale_types::{domain::dn, CertId, Date, DateInterval, DomainName, Duration, KeyId};
+use x509::cert::{EkuPurpose, Extension, KeyUsage, Name, TbsCertificate, Version};
+use x509::der;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_filter("no double hyphen edge", |s| !s.ends_with('-'))
+}
+
+fn arb_domain() -> impl Strategy<Value = DomainName> {
+    (arb_label(), prop::sample::select(vec!["com", "net", "org", "co.uk"])).prop_map(
+        |(label, tld)| DomainName::parse(&format!("{label}.{tld}")).expect("constructed valid"),
+    )
+}
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (15_000i64..20_000).prop_map(Date::from_days)
+}
+
+fn arb_interval() -> impl Strategy<Value = DateInterval> {
+    (arb_date(), 1i64..900).prop_map(|(start, len)| {
+        DateInterval::from_start(start, Duration::days(len)).expect("positive length")
+    })
+}
+
+fn arb_extension() -> impl Strategy<Value = Extension> {
+    prop_oneof![
+        prop::collection::vec(arb_domain(), 1..4).prop_map(Extension::SubjectAltName),
+        (any::<bool>(), prop::option::of(0u8..4)).prop_map(|(ca, path_len)| {
+            Extension::BasicConstraints { ca, path_len }
+        }),
+        (any::<bool>(), any::<bool>()).prop_map(|(ds, ke)| {
+            Extension::KeyUsage(KeyUsage {
+                digital_signature: ds,
+                key_encipherment: ke,
+                ..Default::default()
+            })
+        }),
+        Just(Extension::ExtendedKeyUsage(vec![EkuPurpose::ServerAuth])),
+        prop::array::uniform20(any::<u8>())
+            .prop_map(|b| Extension::SubjectKeyId(KeyId::from_bytes(b))),
+        prop::array::uniform20(any::<u8>())
+            .prop_map(|b| Extension::AuthorityKeyId(KeyId::from_bytes(b))),
+        "[a-z]{3,12}".prop_map(|s| Extension::CrlDistributionPoint(format!("http://{s}.crl"))),
+        Just(Extension::PrecertPoison),
+    ]
+}
+
+fn arb_tbs() -> impl Strategy<Value = TbsCertificate> {
+    (
+        any::<u128>(),
+        "[A-Za-z ]{1,20}",
+        arb_interval(),
+        arb_domain(),
+        prop::array::uniform32(any::<u8>()),
+        prop::collection::vec(arb_extension(), 0..6),
+    )
+        .prop_map(|(serial, issuer, validity, subject, key, extensions)| TbsCertificate {
+            version: Version::V3,
+            serial: stale_types::SerialNumber(serial),
+            issuer: Name::cn(issuer),
+            validity,
+            subject: Name::cn(subject.as_str()),
+            public_key: crypto::PublicKey(key),
+            extensions,
+        })
+}
+
+// ---------------------------------------------------------------------
+// crypto
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
+                                       split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys(key1 in prop::collection::vec(any::<u8>(), 1..64),
+                               key2 in prop::collection::vec(any::<u8>(), 1..64),
+                               msg in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assume!(key1 != key2);
+        prop_assert_ne!(crypto::hmac_sha256(&key1, &msg), crypto::hmac_sha256(&key2, &msg));
+    }
+}
+
+// ---------------------------------------------------------------------
+// DER / x509
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn der_uint_roundtrips(v in any::<u128>()) {
+        let mut e = der::Encoder::new();
+        e.uint(v);
+        let bytes = e.into_inner();
+        let mut d = der::Decoder::new(&bytes);
+        prop_assert_eq!(d.uint().unwrap(), v);
+        prop_assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn der_int_roundtrips(v in any::<i64>()) {
+        let mut e = der::Encoder::new();
+        e.int(v);
+        let bytes = e.into_inner();
+        let mut d = der::Decoder::new(&bytes);
+        prop_assert_eq!(d.int().unwrap(), v);
+    }
+
+    #[test]
+    fn tbs_certificate_roundtrips(tbs in arb_tbs()) {
+        let encoded = tbs.encode(false);
+        let decoded = TbsCertificate::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, tbs);
+    }
+
+    #[test]
+    fn tbs_decode_never_panics_on_corruption(tbs in arb_tbs(), flip in 0usize..4096, byte in any::<u8>()) {
+        let mut encoded = tbs.encode(false);
+        let idx = flip % encoded.len();
+        encoded[idx] = byte;
+        let _ = TbsCertificate::decode(&encoded); // must not panic
+    }
+
+    #[test]
+    fn dedup_encoding_strips_only_ct_components(tbs in arb_tbs()) {
+        let full = tbs.encode(false);
+        let dedup = tbs.encode(true);
+        let has_ct = tbs.extensions.iter().any(|e| e.is_ct_component());
+        if has_ct {
+            prop_assert_ne!(&full, &dedup);
+        } else {
+            prop_assert_eq!(&full, &dedup);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DNS wire
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dns_message_roundtrips(
+        id in any::<u16>(),
+        qname in arb_domain(),
+        answers in prop::collection::vec((arb_domain(), arb_domain()), 0..6),
+    ) {
+        use dns::record::{RData, Record, RecordType};
+        use dns::wire::{Message, Rcode};
+        let query = Message::query(id, qname, RecordType::Ns);
+        let records: Vec<Record> = answers
+            .into_iter()
+            .map(|(owner, target)| Record::new(owner, RData::Ns(target)))
+            .collect();
+        let rcode = if records.is_empty() { Rcode::NxDomain } else { Rcode::NoError };
+        let response = Message::response(&query, records, rcode);
+        let decoded = Message::decode(&response.encode()).unwrap();
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn dns_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = dns::wire::Message::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PSL
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn e2ld_is_idempotent_and_suffix(
+        labels in prop::collection::vec(arb_label(), 1..4),
+        tld in prop::sample::select(vec!["com", "net", "co.uk", "unknowntld"]),
+    ) {
+        let list = SuffixList::default_list();
+        let name = DomainName::parse(&format!("{}.{}", labels.join("."), tld)).unwrap();
+        if let Ok(e2ld) = list.e2ld(&name) {
+            // e2LD is a suffix (ancestor) of the name…
+            prop_assert!(name.is_subdomain_of(&e2ld));
+            // …idempotent…
+            prop_assert_eq!(list.e2ld(&e2ld).unwrap(), e2ld.clone());
+            // …and exactly one label below the public suffix.
+            let etld = list.etld(&name);
+            prop_assert_eq!(e2ld.label_count(), etld.label_count() + 1);
+            prop_assert!(e2ld.is_subdomain_of(&etld));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merkle
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn merkle_inclusion_verifies(n in 1usize..64, pick in any::<prop::sample::Index>()) {
+        use ct::merkle::{verify_inclusion, MerkleTree};
+        let mut tree = MerkleTree::new();
+        for i in 0..n {
+            tree.append(format!("leaf{i}").as_bytes());
+        }
+        let idx = pick.index(n) as u64;
+        let proof = tree.inclusion_proof(idx, n as u64).unwrap();
+        let root = tree.root();
+        let leaf = format!("leaf{idx}");
+        prop_assert!(verify_inclusion(leaf.as_bytes(), idx, n as u64, &proof, &root));
+        // Wrong leaf content must fail.
+        prop_assert!(!verify_inclusion(b"other", idx, n as u64, &proof, &root));
+    }
+
+    #[test]
+    fn merkle_consistency_verifies(n in 2usize..64, pick in any::<prop::sample::Index>()) {
+        use ct::merkle::{verify_consistency, MerkleTree};
+        let mut tree = MerkleTree::new();
+        for i in 0..n {
+            tree.append(format!("leaf{i}").as_bytes());
+        }
+        let m = (pick.index(n - 1) + 1) as u64;
+        let proof = tree.consistency_proof(m, n as u64).unwrap();
+        let root_m = tree.root_at(m).unwrap();
+        let root_n = tree.root();
+        prop_assert!(verify_consistency(m, n as u64, &proof, &root_m, &root_n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dates and intervals
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn date_ymd_roundtrips(days in -200_000i64..200_000) {
+        let date = Date::from_days(days);
+        let (y, m, d) = date.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, d).unwrap(), date);
+    }
+
+    #[test]
+    fn date_arithmetic_inverts(days in 0i64..40_000, delta in -1000i64..1000) {
+        let date = Date::from_days(days);
+        prop_assert_eq!((date + Duration::days(delta)) - Duration::days(delta), date);
+        prop_assert_eq!((date + Duration::days(delta)) - date, Duration::days(delta));
+    }
+
+    #[test]
+    fn interval_cap_and_suffix_invariants(iv in arb_interval(), cap in 1i64..500, from in arb_date()) {
+        let capped = iv.cap_len(Duration::days(cap));
+        prop_assert!(capped.len() <= iv.len());
+        prop_assert!(capped.len() <= Duration::days(cap));
+        prop_assert_eq!(capped.start, iv.start);
+        let suffix = iv.suffix_from(from);
+        prop_assert!(suffix.start >= iv.start);
+        prop_assert_eq!(suffix.end, iv.end);
+        prop_assert!(suffix.len() <= iv.len());
+        // Intersections commute.
+        let other = capped;
+        prop_assert_eq!(iv.intersect(&other), other.intersect(&iv));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Staleness metrics
+// ---------------------------------------------------------------------
+
+fn arb_record() -> impl Strategy<Value = StaleCertRecord> {
+    (arb_interval(), -100i64..1000).prop_map(|(validity, offset)| StaleCertRecord {
+        cert_id: CertId::from_bytes([7; 32]),
+        class: StalenessClass::RegistrantChange,
+        domain: dn("foo.com"),
+        fqdns: vec![dn("foo.com")],
+        issuer: "CA".into(),
+        invalidation: validity.start + Duration::days(offset),
+        validity,
+    })
+}
+
+proptest! {
+    #[test]
+    fn staleness_bounded_by_lifetime(record in arb_record()) {
+        prop_assert!(record.staleness_days().num_days() >= 0);
+        prop_assert!(record.staleness_days() <= record.lifetime());
+    }
+
+    #[test]
+    fn cap_simulation_invariants(records in prop::collection::vec(arb_record(), 1..40),
+                                 cap_a in 10i64..400, cap_b in 10i64..400) {
+        let (lo, hi) = (cap_a.min(cap_b), cap_a.max(cap_b));
+        let sim = LifetimeSimulation::new(records.iter());
+        let r_lo = sim.apply_cap(lo);
+        let r_hi = sim.apply_cap(hi);
+        // Reductions within [0,1] and monotone in the cap.
+        for r in [&r_lo, &r_hi] {
+            prop_assert!((0.0..=1.0).contains(&r.staleness_reduction()));
+            prop_assert!(r.staleness_days_after <= r.staleness_days_before);
+            prop_assert!(r.eliminated_certs <= r.total_certs);
+        }
+        prop_assert!(r_lo.staleness_days_after <= r_hi.staleness_days_after);
+        prop_assert!(r_lo.eliminated_certs >= r_hi.eliminated_certs);
+    }
+
+    #[test]
+    fn survival_matches_cdf_complement(days in prop::collection::vec(0i64..900, 1..60),
+                                       t in 0i64..900) {
+        let curve = SurvivalCurve::from_days(days.clone());
+        let cdf = Cdf::new(days);
+        prop_assert!((curve.survival_at(t) - (1.0 - cdf.proportion_at(t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantiles_within_range(days in prop::collection::vec(0i64..2000, 1..80),
+                                  q in 0.0f64..1.0) {
+        let cdf = Cdf::new(days.clone());
+        let quantile = cdf.quantile(q).unwrap();
+        let min = *days.iter().min().unwrap();
+        let max = *days.iter().max().unwrap();
+        prop_assert!(quantile >= min && quantile <= max);
+        // proportion_at is monotone.
+        prop_assert!(cdf.proportion_at(quantile) >= cdf.proportion_at(quantile - 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain names
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn domain_parse_is_idempotent(domain in arb_domain()) {
+        let reparsed = DomainName::parse(domain.as_str()).unwrap();
+        prop_assert_eq!(reparsed, domain);
+    }
+
+    #[test]
+    fn wildcard_matches_exactly_one_label(base in arb_domain(), label in arb_label()) {
+        let wildcard = base.prepend("*").unwrap();
+        let child = base.prepend(&label).unwrap();
+        prop_assert!(wildcard.matches(&child));
+        prop_assert!(!wildcard.matches(&base));
+        let grandchild = child.prepend(&label).unwrap();
+        prop_assert!(!wildcard.matches(&grandchild));
+    }
+}
+
+// ---------------------------------------------------------------------
+// PEM / base64
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn base64_roundtrips(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        use x509::pem::{base64_decode, base64_encode};
+        prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn pem_certificate_roundtrips(tbs in arb_tbs()) {
+        use x509::pem::{certificate_from_pem, certificate_to_pem};
+        let key = crypto::KeyPair::from_seed([77; 32]);
+        let cert = x509::Certificate {
+            signature: crypto::SimSig::sign(key.private(), &tbs.encode(false)),
+            tbs,
+        };
+        let pem = certificate_to_pem(&cert);
+        prop_assert_eq!(certificate_from_pem(&pem).unwrap(), cert);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zone files
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn zonefile_roundtrips(owners in prop::collection::vec((arb_label(), 0u8..3), 1..12)) {
+        use dns::record::{RData, Record, Ipv4Addr};
+        use dns::zonefile::{parse, serialize};
+        let origin = dn("com");
+        let records: Vec<Record> = owners
+            .into_iter()
+            .map(|(label, kind)| {
+                let name = DomainName::parse(&format!("{label}.com")).unwrap();
+                let data = match kind {
+                    0 => RData::A(Ipv4Addr::new(192, 0, 2, 7)),
+                    1 => RData::Ns(dn("ns1.example.net")),
+                    _ => RData::Cname(dn("target.example.net")),
+                };
+                Record::new(name, data)
+            })
+            .collect();
+        let text = serialize(&origin, &records);
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(reparsed, records);
+    }
+
+    #[test]
+    fn zonefile_parse_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = dns::zonefile::parse(&text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// WHOIS text
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn whois_text_roundtrips_all_dialects(
+        label in arb_label(),
+        creation in 15_000i64..18_000,
+        term in 100i64..800,
+        dialect in 0u8..3,
+        redacted in any::<bool>(),
+    ) {
+        use registry::whois::WhoisRecord;
+        use registry::whois_text::{parse, render, WhoisDialect};
+        let record = WhoisRecord {
+            domain: DomainName::parse(&format!("{label}.com")).unwrap(),
+            registrar: 3,
+            creation_date: Date::from_days(creation),
+            expiration_date: Date::from_days(creation + term),
+            updated_date: Date::from_days(creation + 10),
+        };
+        let dialect = match dialect {
+            0 => WhoisDialect::Verisign,
+            1 => WhoisDialect::Legacy,
+            _ => WhoisDialect::Terse,
+        };
+        let parsed = parse(&render(&record, dialect, redacted)).unwrap();
+        prop_assert_eq!(parsed.domain, record.domain);
+        prop_assert_eq!(parsed.creation_date, record.creation_date);
+        prop_assert_eq!(parsed.redacted, redacted);
+    }
+
+    #[test]
+    fn whois_parse_never_panics(text in "[ -~\n]{0,300}") {
+        let _ = registry::whois_text::parse(&text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn handshake_succeeds_iff_cert_covers_sni_and_is_fresh(
+        sni_label in arb_label(),
+        cert_label in arb_label(),
+        day_offset in -30i64..500,
+    ) {
+        use handshake::{connect, Client, Server, ServerIdentity};
+        let root = crypto::KeyPair::from_seed([90; 32]);
+        let leaf_key = crypto::KeyPair::from_seed([91; 32]);
+        let not_before = Date::parse("2022-01-01").unwrap();
+        let cert_name = DomainName::parse(&format!("{cert_label}.com")).unwrap();
+        let sni = DomainName::parse(&format!("{sni_label}.com")).unwrap();
+        let leaf = x509::CertificateBuilder::tls_leaf(leaf_key.public())
+            .serial(1)
+            .issuer_cn("Prop Root")
+            .subject_cn(cert_name.as_str())
+            .san(cert_name.clone())
+            .validity_days(not_before, Duration::days(398))
+            .sign(&root);
+        let mut server = Server::new();
+        server.add_identity(ServerIdentity::new(leaf, leaf_key));
+        let client = Client::new(vec![root.public()]);
+        let date = not_before + Duration::days(day_offset);
+        let result = connect(&client, &server, &sni, date);
+        let names_match = cert_name == sni;
+        let in_validity = (0..398).contains(&day_offset);
+        prop_assert_eq!(result.is_ok(), names_match && in_validity,
+            "names_match={} in_validity={} result={:?}", names_match, in_validity, result.err());
+    }
+}
