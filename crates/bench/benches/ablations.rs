@@ -42,6 +42,34 @@ fn bench_crl_join(c: &mut Criterion) {
     group.finish();
 }
 
+/// The engine's shard-count ablation (1/2/4/8) over the paper-preset
+/// world, detection only — the world is simulated once, outside timing.
+/// Record a baseline with `BENCH_JSON=BENCH_engine.json cargo bench
+/// --bench ablations ablate_engine_shards`.
+fn bench_engine_shards(c: &mut Criterion) {
+    static WORLD: OnceLock<(worldsim::WorldDatasets, psl::SuffixList)> = OnceLock::new();
+    let (data, psl) = WORLD.get_or_init(|| {
+        (
+            worldsim::World::run(ScenarioConfig::paper2023()),
+            psl::SuffixList::default_list(),
+        )
+    });
+    let mut group = c.benchmark_group("ablate_engine_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let report = engine::Engine::with_shards(shards)
+                    .run(data, psl)
+                    .expect("engine");
+                assert!(report.is_complete());
+                report.suite.key_compromise.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cruise_liner(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_cruise_liner");
     group.sample_size(10);
@@ -55,5 +83,11 @@ fn bench_cruise_liner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dns_history, bench_crl_join, bench_cruise_liner);
+criterion_group!(
+    benches,
+    bench_dns_history,
+    bench_crl_join,
+    bench_engine_shards,
+    bench_cruise_liner
+);
 criterion_main!(benches);

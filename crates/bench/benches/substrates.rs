@@ -37,7 +37,9 @@ fn bench_x509(c: &mut Criterion) {
     let cert = sample_cert();
     let der = cert.encode();
     c.bench_function("x509_encode", |b| b.iter(|| cert.encode()));
-    c.bench_function("x509_decode", |b| b.iter(|| x509::Certificate::decode(&der).unwrap()));
+    c.bench_function("x509_decode", |b| {
+        b.iter(|| x509::Certificate::decode(&der).unwrap())
+    });
     c.bench_function("x509_cert_id", |b| b.iter(|| cert.cert_id()));
 }
 
@@ -74,13 +76,18 @@ fn bench_dns(c: &mut Criterion) {
     let response = Message::response(&query, answers, Rcode::NoError);
     let wire = response.encode();
     c.bench_function("dns_wire_encode", |b| b.iter(|| response.encode()));
-    c.bench_function("dns_wire_decode", |b| b.iter(|| Message::decode(&wire).unwrap()));
+    c.bench_function("dns_wire_decode", |b| {
+        b.iter(|| Message::decode(&wire).unwrap())
+    });
 
     use dns::resolver::Resolver;
     use dns::zone::Zone;
     let mut resolver = Resolver::new();
     let mut zone = Zone::new(dn("foo.com"));
-    zone.add_data(dn("foo.com"), RData::A(dns::record::Ipv4Addr::new(192, 0, 2, 1)));
+    zone.add_data(
+        dn("foo.com"),
+        RData::A(dns::record::Ipv4Addr::new(192, 0, 2, 1)),
+    );
     zone.add_data(dn("www.foo.com"), RData::Cname(dn("foo.com")));
     resolver.add_zone(zone);
     c.bench_function("dns_resolve_cname_chase", |b| {
@@ -97,14 +104,16 @@ fn bench_psl(c: &mut Criterion) {
         dn("deep.sub.foo.wild.ck"),
     ];
     c.bench_function("psl_e2ld_batch4", |b| {
-        b.iter(|| {
-            names
-                .iter()
-                .filter_map(|n| list.e2ld(n).ok())
-                .count()
-        })
+        b.iter(|| names.iter().filter_map(|n| list.e2ld(n).ok()).count())
     });
 }
 
-criterion_group!(benches, bench_crypto, bench_x509, bench_ct, bench_dns, bench_psl);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_x509,
+    bench_ct,
+    bench_dns,
+    bench_psl
+);
 criterion_main!(benches);

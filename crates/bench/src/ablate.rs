@@ -97,8 +97,11 @@ pub fn crl_join_sort_merge(crl: &CrlDataset, monitor: &CtMonitor) -> usize {
         .collect();
     certs.sort_unstable();
     certs.dedup();
-    let mut revs: Vec<(KeyId, SerialNumber)> =
-        crl.records().iter().map(|r| (r.authority_key_id, r.serial)).collect();
+    let mut revs: Vec<(KeyId, SerialNumber)> = crl
+        .records()
+        .iter()
+        .map(|r| (r.authority_key_id, r.serial))
+        .collect();
     revs.sort_unstable();
     let (mut i, mut j, mut matched) = (0usize, 0usize, 0usize);
     while i < certs.len() && j < revs.len() {
@@ -132,7 +135,10 @@ pub fn cruise_liner_blast_radius(customers: usize, departure_day_offset: i64) ->
             CaId(40),
             "Ablation CA",
             KeyPair::from_seed([40; 32]),
-            CaPolicy { default_lifetime: Duration::days(365), ..CaPolicy::commercial() },
+            CaPolicy {
+                default_lifetime: Duration::days(365),
+                ..CaPolicy::commercial()
+            },
         );
         let mut provider = ManagedTlsProvider::new(config, ca, 1);
         let mut pool = LogPool::with_yearly_shards("ablate", 5, 2021, 2025);
@@ -183,8 +189,7 @@ mod tests {
         adns.record_change(dn("c.com"), d("2022-08-05"), off());
         let domains = vec![dn("a.com"), dn("b.com"), dn("c.com")];
         let window = DateInterval::new(d("2022-08-01"), d("2022-10-31")).unwrap();
-        let is_target =
-            |n: &DomainName| n.is_subdomain_of(&dn("ns.cloudflare.com"));
+        let is_target = |n: &DomainName| n.is_subdomain_of(&dn("ns.cloudflare.com"));
         let fast = departures_interval(&adns, &domains, window, &is_target);
         let slow = departures_materialised(&adns, &domains, window, &is_target);
         assert_eq!(fast, slow);
@@ -232,7 +237,10 @@ mod tests {
         let (cruise, per_domain) = cruise_liner_blast_radius(8, 30);
         // Cruise-liner: the victim appears on every bus reissue since it
         // enrolled; per-domain: exactly one certificate.
-        assert!(cruise > per_domain, "cruise {cruise} vs per-domain {per_domain}");
+        assert!(
+            cruise > per_domain,
+            "cruise {cruise} vs per-domain {per_domain}"
+        );
         assert_eq!(per_domain, 1);
     }
 }

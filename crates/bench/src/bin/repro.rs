@@ -1,14 +1,26 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [preset] [experiment...] [--csv DIR]
+//! repro [preset] [experiment...] [--csv DIR] [--shards N]
+//!       [--checkpoint FILE] [--fail-shard K]...
 //!
 //! presets:     paper (default) | small | tiny
 //! experiments: table3 table4 table5 table6 table7
 //!              fig4 fig5a fig5b fig6 fig7 fig8 fig9 mitigations
 //!              all (default)
+//! engine:      --shards N       partition width (default: available
+//!                               parallelism; results are byte-identical
+//!                               for every N)
+//!              --checkpoint F   JSON checkpoint; completed shards are
+//!                               skipped when re-running the same world
+//!              --fail-shard K   inject a persistent panic into shard K
+//!                               (testing; the run degrades and exits 1)
 //! ```
+//!
+//! Exit status: 0 on a clean run, 1 when any shard degraded or an engine
+//! error occurred, 2 on usage errors.
 
+use engine::EngineConfig;
 use stale_bench::Experiments;
 use worldsim::ScenarioConfig;
 
@@ -17,6 +29,7 @@ fn main() {
     let mut preset = "paper";
     let mut wanted: Vec<&str> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut engine_cfg = EngineConfig::default();
     let mut args_iter = args.iter().peekable();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
@@ -28,6 +41,31 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--shards" => {
+                engine_cfg.shards = match args_iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--checkpoint" => {
+                engine_cfg.checkpoint = match args_iter.next() {
+                    Some(path) => Some(path.into()),
+                    None => {
+                        eprintln!("--checkpoint needs a file path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--fail-shard" => match args_iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(k) => engine_cfg.fail_shards.push(k),
+                None => {
+                    eprintln!("--fail-shard needs a shard index");
+                    std::process::exit(2);
+                }
+            },
             other => wanted.push(other),
         }
     }
@@ -40,13 +78,26 @@ fn main() {
         _ => ScenarioConfig::paper2023(),
     };
     eprintln!(
-        "simulating world: preset={preset}, {} days, seed {}",
+        "simulating world: preset={preset}, {} days, seed {}, {} shard(s) x {} worker(s)",
         cfg.sim_days(),
-        cfg.seed
+        cfg.seed,
+        engine_cfg.shards,
+        engine_cfg.effective_workers(),
     );
     let started = std::time::Instant::now();
-    let experiments = Experiments::new(cfg);
-    eprintln!("world + detection ready in {:.1}s\n", started.elapsed().as_secs_f64());
+    let run = match Experiments::with_engine(cfg, engine_cfg) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("engine error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "world + detection ready in {:.1}s\n",
+        started.elapsed().as_secs_f64()
+    );
+    let experiments = &run.experiments;
+    let mut failed = false;
     for name in wanted {
         let output = match name {
             "all" => experiments.run_all(),
@@ -79,5 +130,21 @@ fn main() {
             std::fs::write(&path, contents).expect("write csv");
             eprintln!("wrote {}", path.display());
         }
+    }
+    eprint!("{}", run.metrics.render_table());
+    for d in &run.degraded {
+        eprintln!(
+            "DEGRADED shard {} after {} attempt(s): {}",
+            d.shard, d.attempts, d.error
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!(
+            "run incomplete: {} of {} shard(s) degraded",
+            run.degraded.len(),
+            run.shards
+        );
+        std::process::exit(1);
     }
 }

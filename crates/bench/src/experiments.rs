@@ -1,5 +1,6 @@
 //! One runner per table/figure of the paper's evaluation.
 
+use engine::{DegradedShard, Engine, EngineConfig, EngineError, EngineMetrics};
 use psl::SuffixList;
 use stale_core::detector::DetectionSuite;
 use stale_core::lifetime_sim::LifetimeSimulation;
@@ -26,13 +27,48 @@ pub struct Experiments {
     pub suite: DetectionSuite,
 }
 
+/// An [`Experiments`] bundle produced by the sharded engine, with the
+/// run's health and metrics alongside.
+pub struct EngineRun {
+    /// The experiments, backed by the engine's merged suite.
+    pub experiments: Experiments,
+    /// Shards that panicked out of the run (empty on a healthy run).
+    pub degraded: Vec<DegradedShard>,
+    /// Per-stage/per-shard observability.
+    pub metrics: EngineMetrics,
+    /// Partition width used.
+    pub shards: usize,
+}
+
 impl Experiments {
-    /// Simulate a world and run all detectors.
+    /// Simulate a world and run all detectors (serial path).
     pub fn new(cfg: ScenarioConfig) -> Experiments {
         let data = World::run(cfg);
         let psl = SuffixList::default_list();
         let suite = DetectionSuite::run(&data, &psl);
         Experiments { data, psl, suite }
+    }
+
+    /// Simulate a world and run the detectors through the sharded engine.
+    /// The merged suite is byte-identical to [`Experiments::new`]'s for
+    /// any shard count.
+    pub fn with_engine(
+        cfg: ScenarioConfig,
+        engine_cfg: EngineConfig,
+    ) -> Result<EngineRun, EngineError> {
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        let report = Engine::new(engine_cfg).run(&data, &psl)?;
+        Ok(EngineRun {
+            experiments: Experiments {
+                data,
+                psl,
+                suite: report.suite,
+            },
+            degraded: report.degraded,
+            metrics: report.metrics,
+            shards: report.shards,
+        })
     }
 
     /// Records of one class.
@@ -46,7 +82,11 @@ impl Experiments {
     }
 
     fn rc_window(&self) -> DateInterval {
-        let end = self.data.whois.window_end.unwrap_or(self.data.sim_window.end);
+        let end = self
+            .data
+            .whois
+            .window_end
+            .unwrap_or(self.data.sim_window.end);
         DateInterval::new(self.data.sim_window.start, end.succ()).expect("valid window")
     }
 
@@ -131,7 +171,10 @@ impl Experiments {
         ]];
         rows.push(vec![
             "Malware / both / URL split".to_string(),
-            format!("{} / {} / {}", report.malware_only, report.both, report.url_only),
+            format!(
+                "{} / {} / {}",
+                report.malware_only, report.both, report.url_only
+            ),
             format!(
                 "{} / {} / {}",
                 paper::TABLE5_SPLIT.0,
@@ -200,9 +243,7 @@ impl Experiments {
             .crl_stats
             .rows_by_coverage()
             .into_iter()
-            .map(|(name, ok, total, cov)| {
-                vec![name, format!("{ok} / {total}"), pct(cov)]
-            })
+            .map(|(name, ok, total, cov)| vec![name, format!("{ok} / {total}"), pct(cov)])
             .collect();
         format!(
             "Table 7 — CRL coverage\n{}Total coverage: measured {} (paper {})\n",
@@ -238,7 +279,10 @@ impl Experiments {
                 .filter(|(_, c)| *c > 0)
                 .map(|(ym, c)| (ym.to_string(), c as f64))
                 .collect();
-            out.push_str(&format!("  {top_issuer} monthly volume:\n{}", bar_chart(&rows, 40)));
+            out.push_str(&format!(
+                "  {top_issuer} monthly volume:\n{}",
+                bar_chart(&rows, 40)
+            ));
         }
         // Shape checks: GoDaddy spike share and LE reporting start.
         let total: u64 = grouped.groups.values().map(|s| s.total()).sum();
@@ -248,7 +292,11 @@ impl Experiments {
             .filter(|(k, _)| k.contains("GoDaddy"))
             .map(|(_, s)| s.total())
             .sum();
-        let godaddy_share = if total > 0 { godaddy as f64 / total as f64 } else { 0.0 };
+        let godaddy_share = if total > 0 {
+            godaddy as f64 / total as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "Shape: GoDaddy share of KC — {}\n",
             paper::vs_pct(paper::FIG4_GODADDY_SHARE, godaddy_share)
@@ -311,7 +359,8 @@ impl Experiments {
             }
         }
         let grouped = grouped.with_other_bucket(5);
-        let mut out = String::from("Figure 5b — 2018–2019 registrant-change stale certs by issuer\n");
+        let mut out =
+            String::from("Figure 5b — 2018–2019 registrant-change stale certs by issuer\n");
         for (issuer, total) in grouped.totals() {
             out.push_str(&format!("  {issuer}: {total}\n"));
         }
@@ -416,7 +465,9 @@ impl Experiments {
             ));
             out.push_str(&curve_plot(&curve.points(), 60, 8));
         }
-        out.push_str("Shape: registrant change survives longest, key compromise is reported near issuance\n");
+        out.push_str(
+            "Shape: registrant change survives longest, key compromise is reported near issuance\n",
+        );
         out
     }
 
@@ -427,7 +478,10 @@ impl Experiments {
         let mut total_after_90 = 0i64;
         for (class, (_, p45, p90, p215)) in [
             (StalenessClass::RegistrantChange, paper::FIG9_REDUCTIONS[0]),
-            (StalenessClass::ManagedTlsDeparture, paper::FIG9_REDUCTIONS[1]),
+            (
+                StalenessClass::ManagedTlsDeparture,
+                paper::FIG9_REDUCTIONS[1],
+            ),
             (StalenessClass::KeyCompromise, paper::FIG9_REDUCTIONS[2]),
         ] {
             let sim = LifetimeSimulation::new(self.records(class).iter());
@@ -466,7 +520,8 @@ impl Experiments {
         use stale_core::mitigation::{dane_staleness_days, CrliteFilter, DaneDeployment};
         use x509::revocation::RevocationReason;
 
-        let mut out = String::from("Mitigations (§7.2) — measured against the detected stale populations\n");
+        let mut out =
+            String::from("Mitigations (§7.2) — measured against the detected stale populations\n");
         // CRLite: build a filter cascade from the full corpus + revoked set.
         let population: Vec<stale_types::CertId> = self
             .data
@@ -474,8 +529,13 @@ impl Experiments {
             .corpus_unfiltered()
             .map(|c| c.cert_id)
             .collect();
-        let revoked: Vec<stale_types::CertId> =
-            self.suite.revocations.matched.iter().map(|m| m.cert_id).collect();
+        let revoked: Vec<stale_types::CertId> = self
+            .suite
+            .revocations
+            .matched
+            .iter()
+            .map(|m| m.cert_id)
+            .collect();
         let filter = CrliteFilter::build(&population, &revoked);
         let kc_blockable = self
             .suite
@@ -531,7 +591,10 @@ impl Experiments {
     /// third-party classes stand out.
     pub fn first_party(&self) -> String {
         let rotations = stale_core::first_party::detect_key_rotations(&self.data.monitor);
-        let days: Vec<i64> = rotations.iter().map(|e| e.staleness_days().num_days()).collect();
+        let days: Vec<i64> = rotations
+            .iter()
+            .map(|e| e.staleness_days().num_days())
+            .collect();
         let cdf = Cdf::new(days);
         let third_party_total: usize = [
             self.suite.key_compromise.len(),
@@ -565,7 +628,10 @@ impl Experiments {
                 rows.push(vec![issuer.clone(), ym.to_string(), count.to_string()]);
             }
         }
-        files.push(("fig4_kc_by_ca.csv".into(), render_csv(&["issuer", "month", "count"], &rows)));
+        files.push((
+            "fig4_kc_by_ca.csv".into(),
+            render_csv(&["issuer", "month", "count"], &rows),
+        ));
         // Figures 6 and 8: per-class distribution points.
         for class in [
             StalenessClass::RegistrantChange,
@@ -583,14 +649,20 @@ impl Experiments {
                 .into_iter()
                 .map(|(x, p)| vec![x.to_string(), format!("{p:.6}")])
                 .collect();
-            files.push((format!("fig6_cdf_{slug}.csv"), render_csv(&["staleness_days", "cdf"], &rows)));
+            files.push((
+                format!("fig6_cdf_{slug}.csv"),
+                render_csv(&["staleness_days", "cdf"], &rows),
+            ));
             let curve = SurvivalCurve::from_records(self.records(class).iter());
             let rows: Vec<Vec<String>> = curve
                 .points()
                 .into_iter()
                 .map(|(x, sv)| vec![x.to_string(), format!("{sv:.6}")])
                 .collect();
-            files.push((format!("fig8_survival_{slug}.csv"), render_csv(&["days_since_issuance", "survival"], &rows)));
+            files.push((
+                format!("fig8_survival_{slug}.csv"),
+                render_csv(&["days_since_issuance", "survival"], &rows),
+            ));
         }
         // Figure 9: cap sweep.
         let mut rows = Vec::new();
@@ -612,7 +684,15 @@ impl Experiments {
         }
         files.push((
             "fig9_cap_sweep.csv".into(),
-            render_csv(&["class", "cap_days", "staleness_reduction", "elimination_rate"], &rows),
+            render_csv(
+                &[
+                    "class",
+                    "cap_days",
+                    "staleness_reduction",
+                    "elimination_rate",
+                ],
+                &rows,
+            ),
         ));
         files
     }
@@ -634,13 +714,34 @@ impl Experiments {
             SecurityImpact::FirstPartyOverPermissioned => "First-party. Over-permissioned.",
         };
         let events = [
-            (InvalidationEvent::DomainOwnershipChange, "Domain registrant change (§5.2)"),
-            (InvalidationEvent::DomainUseChange, "Domain expiration + no new owner"),
-            (InvalidationEvent::KeyOwnershipChange, "Key compromise (§5.1)"),
-            (InvalidationEvent::KeyUseChange, "Key disuse: e.g., rotation"),
-            (InvalidationEvent::ManagedTlsDeparture, "Managed TLS departure (§5.3)"),
-            (InvalidationEvent::KeyAuthorizationChange, "Key scope reduction"),
-            (InvalidationEvent::RevocationInfoChange, "CA infrastructure change"),
+            (
+                InvalidationEvent::DomainOwnershipChange,
+                "Domain registrant change (§5.2)",
+            ),
+            (
+                InvalidationEvent::DomainUseChange,
+                "Domain expiration + no new owner",
+            ),
+            (
+                InvalidationEvent::KeyOwnershipChange,
+                "Key compromise (§5.1)",
+            ),
+            (
+                InvalidationEvent::KeyUseChange,
+                "Key disuse: e.g., rotation",
+            ),
+            (
+                InvalidationEvent::ManagedTlsDeparture,
+                "Managed TLS departure (§5.3)",
+            ),
+            (
+                InvalidationEvent::KeyAuthorizationChange,
+                "Key scope reduction",
+            ),
+            (
+                InvalidationEvent::RevocationInfoChange,
+                "CA infrastructure change",
+            ),
         ];
         let rows: Vec<Vec<String>> = events
             .iter()
@@ -655,7 +756,10 @@ impl Experiments {
             .collect();
         format!(
             "Tables 1–2 — Certificate invalidation event taxonomy\n{}",
-            render_table(&["Event", "Category", "Example", "Security implications"], &rows)
+            render_table(
+                &["Event", "Category", "Example", "Security implications"],
+                &rows
+            )
         )
     }
 
@@ -701,8 +805,18 @@ mod tests {
         let e = experiments();
         let out = e.run_all();
         for marker in [
-            "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Figure 4", "Figure 5a",
-            "Figure 5b", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Figure 4",
+            "Figure 5a",
+            "Figure 5b",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
         ] {
             assert!(out.contains(marker), "missing {marker}");
         }
@@ -725,8 +839,11 @@ mod tests {
             StalenessClass::ManagedTlsDeparture,
         ] {
             let sim = LifetimeSimulation::new(e.records(class).iter());
-            let r: Vec<f64> =
-                sim.paper_caps().iter().map(|c| c.staleness_reduction()).collect();
+            let r: Vec<f64> = sim
+                .paper_caps()
+                .iter()
+                .map(|c| c.staleness_reduction())
+                .collect();
             assert!(r[0] >= r[1] && r[1] >= r[2], "{class:?}: {r:?}");
         }
     }

@@ -12,4 +12,4 @@ pub mod ablate;
 pub mod experiments;
 pub mod paper;
 
-pub use experiments::Experiments;
+pub use experiments::{EngineRun, Experiments};

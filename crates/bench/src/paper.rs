@@ -11,7 +11,12 @@ pub const TABLE4_DAILY: [(&str, f64, f64, f64); 4] = [
     ("Revoked: all", 20_327.0, 28_035.0, 7_125.0),
     ("Revoked: key compromise", 493.0, 787.0, 347.0),
     ("Domain registrant change", 2_593.0, 2_807.0, 1_214.0),
-    ("Cloudflare managed TLS departure", 9_495.0, 18_833.0, 7_722.0),
+    (
+        "Cloudflare managed TLS departure",
+        9_495.0,
+        18_833.0,
+        7_722.0,
+    ),
 ];
 
 /// Figure 6: median staleness days per class.
@@ -45,7 +50,11 @@ pub const TABLE5_SPLIT: (usize, usize, usize) = (328, 24, 661);
 
 /// Table 6: cumulative counts at Top 1K/10K/100K/1M and total domains.
 pub const TABLE6: [(&str, [u64; 4], u64); 3] = [
-    ("Domain registrant change", [8, 307, 5_839, 84_319], 3_649_526),
+    (
+        "Domain registrant change",
+        [8, 307, 5_839, 84_319],
+        3_649_526,
+    ),
     ("Managed TLS departure", [12, 127, 1_742, 14_776], 695_064),
     ("Key compromise", [41, 217, 928, 6_771], 201_662),
 ];
@@ -68,5 +77,9 @@ pub fn vs(paper: f64, measured: f64) -> String {
 
 /// Format a paper-vs-measured percentage comparison.
 pub fn vs_pct(paper: f64, measured: f64) -> String {
-    format!("paper {:.1}% / measured {:.1}%", paper * 100.0, measured * 100.0)
+    format!(
+        "paper {:.1}% / measured {:.1}%",
+        paper * 100.0,
+        measured * 100.0
+    )
 }

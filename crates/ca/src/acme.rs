@@ -93,7 +93,11 @@ pub struct Order {
 impl Order {
     /// Domains still requiring validation.
     pub fn pending_domains(&self) -> Vec<&DomainName> {
-        self.validated.iter().filter(|(_, &done)| !done).map(|(d, _)| d).collect()
+        self.validated
+            .iter()
+            .filter(|(_, &done)| !done)
+            .map(|(d, _)| d)
+            .collect()
     }
 }
 
@@ -156,7 +160,9 @@ impl WebServer {
     }
 
     fn fetch_http(&self, domain: &DomainName, token: &str) -> Option<&str> {
-        self.http_tokens.get(&(domain.clone(), token.to_string())).map(String::as_str)
+        self.http_tokens
+            .get(&(domain.clone(), token.to_string()))
+            .map(String::as_str)
     }
 
     fn fetch_alpn(&self, domain: &DomainName) -> Option<&str> {
@@ -215,7 +221,16 @@ impl AcmeServer {
         } else {
             OrderStatus::Pending
         };
-        self.orders.insert(id, Order { id, account, domains, validated, status });
+        self.orders.insert(
+            id,
+            Order {
+                id,
+                account,
+                domains,
+                validated,
+                status,
+            },
+        );
         id
     }
 
@@ -235,7 +250,11 @@ impl AcmeServer {
         }
         let token = format!("tok{:08x}", self.next_token);
         self.next_token += 1;
-        Ok(Challenge { challenge_type: ctype, domain: domain.clone(), token })
+        Ok(Challenge {
+            challenge_type: ctype,
+            domain: domain.clone(),
+            token,
+        })
     }
 
     /// Validate a provisioned challenge against DNS and/or the
@@ -274,12 +293,17 @@ impl AcmeServer {
             order.status = OrderStatus::Invalid;
             return Err(AcmeError::ValidationFailed {
                 domain: challenge.domain.to_string(),
-                detail: format!("{:?} response missing or mismatched", challenge.challenge_type),
+                detail: format!(
+                    "{:?} response missing or mismatched",
+                    challenge.challenge_type
+                ),
             });
         }
         order.validated.insert(challenge.domain.clone(), true);
-        self.validation_cache
-            .insert((account, challenge.domain.clone()), today + validation_reuse_window());
+        self.validation_cache.insert(
+            (account, challenge.domain.clone()),
+            today + validation_reuse_window(),
+        );
         if order.validated.values().all(|&v| v) {
             order.status = OrderStatus::Ready;
         }
@@ -296,7 +320,10 @@ impl AcmeServer {
         ct: &mut LogPool,
         today: Date,
     ) -> Result<Certificate, AcmeError> {
-        let order = self.orders.get_mut(&order_id).ok_or(AcmeError::UnknownOrder)?;
+        let order = self
+            .orders
+            .get_mut(&order_id)
+            .ok_or(AcmeError::UnknownOrder)?;
         if order.status != OrderStatus::Ready {
             return Err(AcmeError::OrderNotReady);
         }
@@ -357,9 +384,14 @@ mod tests {
     fn dns01_end_to_end() {
         let mut f = fixture(CaPolicy::automated_90_day());
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
         assert_eq!(f.acme.order(order).unwrap().status, OrderStatus::Pending);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
+            .unwrap();
         // Subscriber provisions the TXT record.
         let key_auth = ch.key_authorization(&f.account_key.public());
         f.resolver
@@ -367,12 +399,26 @@ mod tests {
             .unwrap()
             .add_data(ch.dns_name(), RData::Txt(key_auth));
         f.acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap();
         assert_eq!(f.acme.order(order).unwrap().status, OrderStatus::Ready);
         let cert = f
             .acme
-            .finalize(order, f.subscriber_key.public(), None, &mut f.ca, &mut f.ct, today)
+            .finalize(
+                order,
+                f.subscriber_key.public(),
+                None,
+                &mut f.ca,
+                &mut f.ct,
+                today,
+            )
             .unwrap();
         assert_eq!(cert.tbs.san(), &[dn("foo.com")]);
         assert_eq!(cert.tbs.lifetime(), Duration::days(90));
@@ -383,22 +429,47 @@ mod tests {
     fn http01_and_alpn_end_to_end() {
         let mut f = fixture(CaPolicy::automated_90_day());
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Http01).unwrap();
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Http01)
+            .unwrap();
         let key_auth = ch.key_authorization(&f.account_key.public());
-        f.web.serve_http01(dn("foo.com"), ch.token.clone(), key_auth);
+        f.web
+            .serve_http01(dn("foo.com"), ch.token.clone(), key_auth);
         f.acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap();
         assert_eq!(f.acme.order(order).unwrap().status, OrderStatus::Ready);
 
         // ALPN variant on a second order.
-        let order2 = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch2 = f.acme.challenge(order2, &dn("foo.com"), ChallengeType::TlsAlpn01).unwrap();
+        let order2 = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch2 = f
+            .acme
+            .challenge(order2, &dn("foo.com"), ChallengeType::TlsAlpn01)
+            .unwrap();
         let key_auth2 = ch2.key_authorization(&f.account_key.public());
         f.web.serve_alpn(dn("foo.com"), key_auth2);
         f.acme
-            .validate(order2, &ch2, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order2,
+                &ch2,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap();
     }
 
@@ -406,18 +477,37 @@ mod tests {
     fn missing_record_fails_validation() {
         let mut f = fixture(CaPolicy::automated_90_day());
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
+            .unwrap();
         let err = f
             .acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap_err();
         assert!(matches!(err, AcmeError::ValidationFailed { .. }));
         assert_eq!(f.acme.order(order).unwrap().status, OrderStatus::Invalid);
         // Finalizing an invalid order fails.
         assert_eq!(
             f.acme
-                .finalize(order, f.subscriber_key.public(), None, &mut f.ca, &mut f.ct, today)
+                .finalize(
+                    order,
+                    f.subscriber_key.public(),
+                    None,
+                    &mut f.ca,
+                    &mut f.ct,
+                    today
+                )
                 .unwrap_err(),
             AcmeError::OrderNotReady
         );
@@ -427,17 +517,29 @@ mod tests {
     fn wrong_account_key_fails() {
         let mut f = fixture(CaPolicy::automated_90_day());
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
+            .unwrap();
         // Provision a key auth for a *different* account key.
         let other = KeyPair::from_seed([99; 32]);
-        f.resolver
-            .zone_mut(&dn("foo.com"))
-            .unwrap()
-            .add_data(ch.dns_name(), RData::Txt(ch.key_authorization(&other.public())));
+        f.resolver.zone_mut(&dn("foo.com")).unwrap().add_data(
+            ch.dns_name(),
+            RData::Txt(ch.key_authorization(&other.public())),
+        );
         assert!(f
             .acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today
+            )
             .is_err());
     }
 
@@ -445,25 +547,43 @@ mod tests {
     fn validation_reuse_skips_revalidation() {
         let mut f = fixture(CaPolicy::commercial()); // reuse enabled
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
-        f.resolver
-            .zone_mut(&dn("foo.com"))
-            .unwrap()
-            .add_data(ch.dns_name(), RData::Txt(ch.key_authorization(&f.account_key.public())));
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
+            .unwrap();
+        f.resolver.zone_mut(&dn("foo.com")).unwrap().add_data(
+            ch.dns_name(),
+            RData::Txt(ch.key_authorization(&f.account_key.public())),
+        );
         f.acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap();
         // A later order within 398 days is Ready immediately.
         let later = d("2023-01-01");
-        let order2 = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], later);
+        let order2 = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], later);
         assert_eq!(f.acme.order(order2).unwrap().status, OrderStatus::Ready);
         // Beyond the window it is Pending again.
         let much_later = d("2023-05-01");
-        let order3 = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], much_later);
+        let order3 = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], much_later);
         assert_eq!(f.acme.order(order3).unwrap().status, OrderStatus::Pending);
         // A different account gets no reuse.
-        let order4 = f.acme.new_order(&f.ca, AccountId(2), vec![dn("foo.com")], later);
+        let order4 = f
+            .acme
+            .new_order(&f.ca, AccountId(2), vec![dn("foo.com")], later);
         assert_eq!(f.acme.order(order4).unwrap().status, OrderStatus::Pending);
     }
 
@@ -471,16 +591,30 @@ mod tests {
     fn reuse_disabled_for_90_day_ca() {
         let mut f = fixture(CaPolicy::automated_90_day());
         let today = d("2022-03-01");
-        let order = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
-        f.resolver
-            .zone_mut(&dn("foo.com"))
-            .unwrap()
-            .add_data(ch.dns_name(), RData::Txt(ch.key_authorization(&f.account_key.public())));
-        f.acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+        let order = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], today);
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
             .unwrap();
-        let order2 = f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com")], d("2022-04-01"));
+        f.resolver.zone_mut(&dn("foo.com")).unwrap().add_data(
+            ch.dns_name(),
+            RData::Txt(ch.key_authorization(&f.account_key.public())),
+        );
+        f.acme
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
+            .unwrap();
+        let order2 = f
+            .acme
+            .new_order(&f.ca, AccountId(1), vec![dn("foo.com")], d("2022-04-01"));
         assert_eq!(f.acme.order(order2).unwrap().status, OrderStatus::Pending);
     }
 
@@ -489,18 +623,35 @@ mod tests {
         let mut f = fixture(CaPolicy::automated_90_day());
         f.resolver.add_zone(Zone::new(dn("bar.com")));
         let today = d("2022-03-01");
-        let order =
-            f.acme.new_order(&f.ca, AccountId(1), vec![dn("foo.com"), dn("bar.com")], today);
-        let ch = f.acme.challenge(order, &dn("foo.com"), ChallengeType::Dns01).unwrap();
-        f.resolver
-            .zone_mut(&dn("foo.com"))
-            .unwrap()
-            .add_data(ch.dns_name(), RData::Txt(ch.key_authorization(&f.account_key.public())));
+        let order = f.acme.new_order(
+            &f.ca,
+            AccountId(1),
+            vec![dn("foo.com"), dn("bar.com")],
+            today,
+        );
+        let ch = f
+            .acme
+            .challenge(order, &dn("foo.com"), ChallengeType::Dns01)
+            .unwrap();
+        f.resolver.zone_mut(&dn("foo.com")).unwrap().add_data(
+            ch.dns_name(),
+            RData::Txt(ch.key_authorization(&f.account_key.public())),
+        );
         f.acme
-            .validate(order, &ch, &f.account_key.public(), &f.resolver, &f.web, today)
+            .validate(
+                order,
+                &ch,
+                &f.account_key.public(),
+                &f.resolver,
+                &f.web,
+                today,
+            )
             .unwrap();
         // bar.com still pending.
         assert_eq!(f.acme.order(order).unwrap().status, OrderStatus::Pending);
-        assert_eq!(f.acme.order(order).unwrap().pending_domains(), vec![&dn("bar.com")]);
+        assert_eq!(
+            f.acme.order(order).unwrap().pending_domains(),
+            vec![&dn("bar.com")]
+        );
     }
 }

@@ -141,7 +141,9 @@ impl CertificateAuthority {
                 .ocsp_url(format!("http://ocsp.{}.example", self.id.0))
         };
         let precert = base().precert().sign(&self.key);
-        let (_log, sct) = ct.submit(precert, today).ok_or(IssueError::CtSubmissionFailed)?;
+        let (_log, sct) = ct
+            .submit(precert, today)
+            .ok_or(IssueError::CtSubmissionFailed)?;
         let final_cert = base().scts(vec![sct]).sign(&self.key);
         self.issued.insert(SerialNumber(serial), final_cert.clone());
         Ok(final_cert)
@@ -160,8 +162,14 @@ impl CertificateAuthority {
         if self.revocations.contains_key(&serial) {
             return Err(RevokeError::AlreadyRevoked);
         }
-        self.revocations
-            .insert(serial, CrlEntry { serial, revocation_date: date, reason });
+        self.revocations.insert(
+            serial,
+            CrlEntry {
+                serial,
+                revocation_date: date,
+                reason,
+            },
+        );
         Ok(())
     }
 
@@ -210,7 +218,10 @@ impl CertificateAuthority {
     pub fn sign_certificate(&mut self, builder: x509::CertificateBuilder) -> Certificate {
         let serial = self.next_serial;
         self.next_serial += 1;
-        let cert = builder.serial(serial).issuer(self.issuer_name()).sign(&self.key);
+        let cert = builder
+            .serial(serial)
+            .issuer(self.issuer_name())
+            .sign(&self.key);
         self.issued.insert(SerialNumber(serial), cert.clone());
         cert
     }
@@ -246,7 +257,13 @@ mod tests {
     fn issue_embeds_scts_and_logs_precert() {
         let mut ct = pool();
         let mut authority = ca(CaPolicy::automated_90_day());
-        let cert = authority.issue(&request(&["foo.com", "www.foo.com"]), d("2022-03-01"), &mut ct).unwrap();
+        let cert = authority
+            .issue(
+                &request(&["foo.com", "www.foo.com"]),
+                d("2022-03-01"),
+                &mut ct,
+            )
+            .unwrap();
         assert_eq!(cert.tbs.lifetime(), Duration::days(90));
         assert_eq!(cert.tbs.san().len(), 2);
         assert!(!cert.tbs.is_precert());
@@ -303,9 +320,13 @@ mod tests {
     fn revoke_and_publish_crl() {
         let mut ct = pool();
         let mut authority = ca(CaPolicy::commercial());
-        let cert = authority.issue(&request(&["foo.com"]), d("2022-01-01"), &mut ct).unwrap();
+        let cert = authority
+            .issue(&request(&["foo.com"]), d("2022-01-01"), &mut ct)
+            .unwrap();
         let serial = cert.tbs.serial;
-        authority.revoke(serial, d("2022-02-01"), RevocationReason::KeyCompromise).unwrap();
+        authority
+            .revoke(serial, d("2022-02-01"), RevocationReason::KeyCompromise)
+            .unwrap();
         // Double revocation rejected.
         assert_eq!(
             authority.revoke(serial, d("2022-02-02"), RevocationReason::Superseded),
@@ -313,7 +334,11 @@ mod tests {
         );
         // Unknown serial rejected.
         assert_eq!(
-            authority.revoke(SerialNumber(999), d("2022-02-01"), RevocationReason::Unspecified),
+            authority.revoke(
+                SerialNumber(999),
+                d("2022-02-01"),
+                RevocationReason::Unspecified
+            ),
             Err(RevokeError::UnknownSerial)
         );
         let crl = authority.publish_crl(d("2022-02-03"));
@@ -327,8 +352,12 @@ mod tests {
     fn serials_increment() {
         let mut ct = pool();
         let mut authority = ca(CaPolicy::automated_90_day());
-        let a = authority.issue(&request(&["a.com"]), d("2022-01-01"), &mut ct).unwrap();
-        let b = authority.issue(&request(&["b.com"]), d("2022-01-01"), &mut ct).unwrap();
+        let a = authority
+            .issue(&request(&["a.com"]), d("2022-01-01"), &mut ct)
+            .unwrap();
+        let b = authority
+            .issue(&request(&["b.com"]), d("2022-01-01"), &mut ct)
+            .unwrap();
         assert_ne!(a.tbs.serial, b.tbs.serial);
         assert!(authority.issued(a.tbs.serial).is_some());
     }

@@ -114,8 +114,7 @@ pub fn respond(ca: &CertificateAuthority, serial: SerialNumber, today: Date) -> 
         }
     };
     let next_update = today + RESPONSE_VALIDITY;
-    let bytes =
-        OcspResponse::signed_bytes(&ca.key_id(), serial, &status, today, next_update);
+    let bytes = OcspResponse::signed_bytes(&ca.key_id(), serial, &status, today, next_update);
     OcspResponse {
         authority_key_id: ca.key_id(),
         serial,
@@ -182,11 +181,19 @@ mod tests {
     #[test]
     fn revoked_response_carries_reason() {
         let (mut ca, cert) = setup();
-        ca.revoke(cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise).unwrap();
+        ca.revoke(
+            cert.tbs.serial,
+            d("2022-03-01"),
+            RevocationReason::KeyCompromise,
+        )
+        .unwrap();
         let resp = respond(&ca, cert.tbs.serial, d("2022-03-05"));
         assert_eq!(
             resp.status,
-            CertStatus::Revoked { date: d("2022-03-01"), reason: RevocationReason::KeyCompromise }
+            CertStatus::Revoked {
+                date: d("2022-03-01"),
+                reason: RevocationReason::KeyCompromise
+            }
         );
         assert!(resp.verify(&ca.public_key()));
     }

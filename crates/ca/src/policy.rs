@@ -117,21 +117,36 @@ mod tests {
         assert_eq!(le.max_lifetime_at(d("2019-01-01")), Duration::days(90));
         assert_eq!(le.max_lifetime_at(d("2022-01-01")), Duration::days(90));
         let commercial = CaPolicy::commercial();
-        assert_eq!(commercial.max_lifetime_at(d("2019-01-01")), Duration::days(825));
-        assert_eq!(commercial.max_lifetime_at(d("2022-01-01")), Duration::days(398));
+        assert_eq!(
+            commercial.max_lifetime_at(d("2019-01-01")),
+            Duration::days(825)
+        );
+        assert_eq!(
+            commercial.max_lifetime_at(d("2022-01-01")),
+            Duration::days(398)
+        );
     }
 
     #[test]
     fn clamp_requested_lifetimes() {
         let commercial = CaPolicy::commercial();
         // Requesting 825 days in 2022 gets 398.
-        assert_eq!(commercial.clamp(Some(Duration::days(825)), d("2022-01-01")), Duration::days(398));
+        assert_eq!(
+            commercial.clamp(Some(Duration::days(825)), d("2022-01-01")),
+            Duration::days(398)
+        );
         // Requesting 30 days is honoured.
-        assert_eq!(commercial.clamp(Some(Duration::days(30)), d("2022-01-01")), Duration::days(30));
+        assert_eq!(
+            commercial.clamp(Some(Duration::days(30)), d("2022-01-01")),
+            Duration::days(30)
+        );
         // No request: default.
         assert_eq!(commercial.clamp(None, d("2022-01-01")), Duration::days(398));
         // Zero request: default.
-        assert_eq!(commercial.clamp(Some(Duration::days(0)), d("2022-01-01")), Duration::days(398));
+        assert_eq!(
+            commercial.clamp(Some(Duration::days(0)), d("2022-01-01")),
+            Duration::days(398)
+        );
         // In 2019 the commercial default of 398 fits under the 825 cap.
         assert_eq!(commercial.clamp(None, d("2019-01-01")), Duration::days(398));
     }

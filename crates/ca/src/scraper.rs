@@ -96,7 +96,9 @@ impl ScrapeStats {
 
     /// Coverage fraction for one CA.
     pub fn coverage(&self, ca: &str) -> Option<f64> {
-        self.per_ca.get(ca).map(|(a, s)| if *a == 0 { 1.0 } else { *s as f64 / *a as f64 })
+        self.per_ca
+            .get(ca)
+            .map(|(a, s)| if *a == 0 { 1.0 } else { *s as f64 / *a as f64 })
     }
 
     /// Total coverage across CAs.
@@ -118,7 +120,12 @@ impl ScrapeStats {
             .per_ca
             .iter()
             .map(|(name, (a, s))| {
-                (name.clone(), *s, *a, if *a == 0 { 1.0 } else { *s as f64 / *a as f64 })
+                (
+                    name.clone(),
+                    *s,
+                    *a,
+                    if *a == 0 { 1.0 } else { *s as f64 / *a as f64 },
+                )
             })
             .collect();
         rows.sort_by(|x, y| x.3.partial_cmp(&y.3).expect("finite").then(x.0.cmp(&y.0)));
@@ -147,7 +154,8 @@ impl CrlScraper {
 
     /// Set a per-CA failure rate.
     pub fn with_failure_rate(mut self, ca_name: impl Into<String>, rate: f64) -> Self {
-        self.failure_rates.insert(ca_name.into(), rate.clamp(0.0, 1.0));
+        self.failure_rates
+            .insert(ca_name.into(), rate.clamp(0.0, 1.0));
         self
     }
 
@@ -172,8 +180,11 @@ impl CrlScraper {
         let mut stats = ScrapeStats::default();
         for day in window.days() {
             for ca in cas {
-                let rate =
-                    self.failure_rates.get(&ca.name).copied().unwrap_or(self.default_failure);
+                let rate = self
+                    .failure_rates
+                    .get(&ca.name)
+                    .copied()
+                    .unwrap_or(self.default_failure);
                 let failed = self.rng.gen_bool(rate);
                 stats.record(&ca.name, !failed);
                 if failed {
@@ -231,7 +242,12 @@ mod tests {
                     &mut ct,
                 )
                 .unwrap();
-            ca.revoke(cert.tbs.serial, d("2022-10-15"), RevocationReason::KeyCompromise).unwrap();
+            ca.revoke(
+                cert.tbs.serial,
+                d("2022-10-15"),
+                RevocationReason::KeyCompromise,
+            )
+            .unwrap();
         }
         ca
     }
@@ -247,7 +263,10 @@ mod tests {
         assert_eq!(stats.coverage("Sectigo"), Some(1.0));
         assert_eq!(stats.per_ca["Sectigo"], (10, 10));
         // All observed on day one.
-        assert!(dataset.records().iter().all(|r| r.observed == d("2022-11-01")));
+        assert!(dataset
+            .records()
+            .iter()
+            .all(|r| r.observed == d("2022-11-01")));
     }
 
     #[test]
@@ -294,7 +313,10 @@ mod tests {
         let mut scraper = CrlScraper::new(1);
         let window = DateInterval::new(d("2022-11-01"), d("2022-11-02")).unwrap();
         let (dataset, _) = scraper.scrape(&[&ca], window);
-        assert_eq!(dataset.with_reason(RevocationReason::KeyCompromise).count(), 3);
+        assert_eq!(
+            dataset.with_reason(RevocationReason::KeyCompromise).count(),
+            3
+        );
         assert_eq!(dataset.with_reason(RevocationReason::Superseded).count(), 0);
     }
 }

@@ -59,7 +59,15 @@ impl StarOrder {
         if cadence.num_days() <= 0 || cadence > cert_lifetime {
             return Err(StarError::BadCadence);
         }
-        Ok(StarOrder { domains, public_key, cert_lifetime, cadence, start, until, cancelled: None })
+        Ok(StarOrder {
+            domains,
+            public_key,
+            cert_lifetime,
+            cadence,
+            start,
+            until,
+            cancelled: None,
+        })
     }
 
     /// Cancel the order effective `today`: no further certificates.
@@ -175,8 +183,14 @@ mod tests {
     #[test]
     fn inactive_outside_range() {
         let (mut ca, mut ct, order) = fixture();
-        assert_eq!(order.fetch(d("2022-05-31"), &mut ca, &mut ct).unwrap_err(), StarError::NotActive);
-        assert_eq!(order.fetch(d("2022-12-01"), &mut ca, &mut ct).unwrap_err(), StarError::NotActive);
+        assert_eq!(
+            order.fetch(d("2022-05-31"), &mut ca, &mut ct).unwrap_err(),
+            StarError::NotActive
+        );
+        assert_eq!(
+            order.fetch(d("2022-12-01"), &mut ca, &mut ct).unwrap_err(),
+            StarError::NotActive
+        );
     }
 
     #[test]

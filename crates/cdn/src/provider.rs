@@ -66,13 +66,18 @@ impl ProviderConfig {
 
     /// Cloudflare after its own-CA transition: per-domain certificates.
     pub fn cloudflare_per_domain() -> Self {
-        ProviderConfig { sans_per_cert: 1, ..Self::cloudflare_cruise_liner() }
+        ProviderConfig {
+            sans_per_cert: 1,
+            ..Self::cloudflare_cruise_liner()
+        }
     }
 
     /// Whether `name` is one of this provider's delegation targets —
     /// the §4.3 departure test (`*.<ns,cdn>.cloudflare.com`).
     pub fn is_delegation_target(&self, name: &DomainName) -> bool {
-        self.nameservers.iter().any(|ns| name == ns || name.is_subdomain_of(ns))
+        self.nameservers
+            .iter()
+            .any(|ns| name == ns || name.is_subdomain_of(ns))
             || name.is_subdomain_of(&self.cname_base)
     }
 }
@@ -181,21 +186,37 @@ impl ManagedTlsProvider {
         dns: &mut DnsHistory,
     ) -> Certificate {
         let delegation = self.config.delegation;
-        dns.record_change(domain.clone(), today, self.enrolled_view(&domain, delegation));
-        let cert = if self.config.sans_per_cert > 1 {
+        dns.record_change(
+            domain.clone(),
+            today,
+            self.enrolled_view(&domain, delegation),
+        );
+        if self.config.sans_per_cert > 1 {
             let bus_idx = self.find_or_create_bus();
             self.buses[bus_idx].members.push(domain.clone());
-            self.customers
-                .insert(domain, Customer { enrolled: today, bus: Some(bus_idx), delegation });
+            self.customers.insert(
+                domain,
+                Customer {
+                    enrolled: today,
+                    bus: Some(bus_idx),
+                    delegation,
+                },
+            );
             self.reissue_bus(bus_idx, today, ct)
         } else {
             let key = KeyPair::generate(&mut self.rng);
-            let cert = self.issue_for(&[domain.clone()], &key, today, ct);
+            let cert = self.issue_for(std::slice::from_ref(&domain), &key, today, ct);
             self.per_domain.insert(domain.clone(), (key, cert.clone()));
-            self.customers.insert(domain, Customer { enrolled: today, bus: None, delegation });
+            self.customers.insert(
+                domain,
+                Customer {
+                    enrolled: today,
+                    bus: None,
+                    delegation,
+                },
+            );
             cert
-        };
-        cert
+        }
     }
 
     /// Depart: the customer points DNS at `new_view` (their new
@@ -277,7 +298,7 @@ impl ManagedTlsProvider {
             .collect();
         for domain in due_domains {
             let key = self.per_domain[&domain].0.clone();
-            let cert = self.issue_for(&[domain.clone()], &key, today, ct);
+            let cert = self.issue_for(std::slice::from_ref(&domain), &key, today, ct);
             self.per_domain.insert(domain, (key, cert));
             renewed += 1;
         }
@@ -307,7 +328,11 @@ impl ManagedTlsProvider {
 
     fn find_or_create_bus(&mut self) -> usize {
         let capacity = self.config.sans_per_cert;
-        if let Some(idx) = self.buses.iter().position(|b| b.members.len() < capacity - 1) {
+        if let Some(idx) = self
+            .buses
+            .iter()
+            .position(|b| b.members.len() < capacity - 1)
+        {
             return idx;
         }
         let id = self.next_bus;
@@ -328,9 +353,7 @@ impl ManagedTlsProvider {
         };
         let mut sans = Vec::with_capacity(members.len() + 1);
         if let Some(base) = &self.config.marker_base {
-            sans.push(
-                DomainName::parse(&format!("sni{bus_id}.{base}")).expect("valid marker SAN"),
-            );
+            sans.push(DomainName::parse(&format!("sni{bus_id}.{base}")).expect("valid marker SAN"));
         }
         sans.extend(members);
         let cert = self.issue_for(&sans, &key, today, ct);
@@ -366,7 +389,10 @@ impl ManagedTlsProvider {
             public_key: key.public(),
             requested_lifetime: None,
         };
-        let cert = self.ca.issue(&request, today, ct).expect("provider issuance");
+        let cert = self
+            .ca
+            .issue(&request, today, ct)
+            .expect("provider issuance");
         self.all_issued.push(cert.clone());
         cert
     }
@@ -421,10 +447,18 @@ mod tests {
         p.enroll(dn("alpha.com"), d("2018-05-01"), &mut ct, &mut dns);
         p.enroll(dn("beta.com"), d("2018-05-02"), &mut ct, &mut dns);
         let new_view = DnsView::with_ns([dn("ns1.newhost.net")]);
-        let stale = p.depart(&dn("alpha.com"), d("2018-08-01"), new_view, &mut ct, &mut dns);
+        let stale = p.depart(
+            &dn("alpha.com"),
+            d("2018-08-01"),
+            new_view,
+            &mut ct,
+            &mut dns,
+        );
         // alpha.com appears on both earlier certs, both unexpired.
         assert_eq!(stale.len(), 2);
-        assert!(stale.iter().all(|c| c.tbs.validity.contains(d("2018-08-01"))));
+        assert!(stale
+            .iter()
+            .all(|c| c.tbs.validity.contains(d("2018-08-01"))));
         // DNS now shows the new nameserver.
         let view = dns.view_at(&dn("alpha.com"), d("2018-08-01")).unwrap();
         assert!(view.ns.contains(&dn("ns1.newhost.net")));
@@ -448,7 +482,11 @@ mod tests {
         assert!(!c1.tbs.san().contains(&dn("beta.com")));
         assert!(c2.tbs.san().contains(&dn("beta.com")));
         // Markers still present (Cloudflare's own CA also uses them).
-        assert!(c1.tbs.san().iter().any(|s| s.as_str().ends_with("cloudflaressl.com")));
+        assert!(c1
+            .tbs
+            .san()
+            .iter()
+            .any(|s| s.as_str().ends_with("cloudflaressl.com")));
     }
 
     #[test]
@@ -460,7 +498,10 @@ mod tests {
         let mut dns = DnsHistory::new();
         p.enroll(dn("gamma.com"), d("2018-05-01"), &mut ct, &mut dns);
         let view = dns.view_at(&dn("gamma.com"), d("2018-05-01")).unwrap();
-        assert!(view.cname.iter().any(|c| c.is_subdomain_of(&dn("cdn.cloudflare.com"))));
+        assert!(view
+            .cname
+            .iter()
+            .any(|c| c.is_subdomain_of(&dn("cdn.cloudflare.com"))));
         assert!(view.any_delegation(|n| p.config.is_delegation_target(n)));
     }
 
@@ -481,7 +522,12 @@ mod tests {
         let mut ct = pool();
         let mut dns = DnsHistory::new();
         for i in 0..5 {
-            p.enroll(dn(&format!("site{i}.com")), d("2018-05-01"), &mut ct, &mut dns);
+            p.enroll(
+                dn(&format!("site{i}.com")),
+                d("2018-05-01"),
+                &mut ct,
+                &mut dns,
+            );
         }
         // Buses hold ≤2 customers each; the last cert covers at most 3 SANs.
         for cert in p.all_issued() {
@@ -495,7 +541,13 @@ mod tests {
         let mut p = ManagedTlsProvider::new(ProviderConfig::cloudflare_cruise_liner(), comodo(), 1);
         let mut ct = pool();
         let mut dns = DnsHistory::new();
-        let stale = p.depart(&dn("ghost.com"), d("2020-01-01"), DnsView::default(), &mut ct, &mut dns);
+        let stale = p.depart(
+            &dn("ghost.com"),
+            d("2020-01-01"),
+            DnsView::default(),
+            &mut ct,
+            &mut dns,
+        );
         assert!(stale.is_empty());
     }
 }

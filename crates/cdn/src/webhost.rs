@@ -44,7 +44,10 @@ impl WebHost {
         WebHost {
             name: name.into(),
             ca,
-            edge_ips: vec![Ipv4Addr::new(198, 51, 100, 10), Ipv4Addr::new(198, 51, 100, 11)],
+            edge_ips: vec![
+                Ipv4Addr::new(198, 51, 100, 10),
+                Ipv4Addr::new(198, 51, 100, 11),
+            ],
             customers: BTreeMap::new(),
             all_issued: Vec::new(),
             renewal_age_days: None,
@@ -65,7 +68,10 @@ impl WebHost {
 
     /// The DNS view of a hosted customer: A records at the shared edge.
     pub fn hosted_view(&self) -> DnsView {
-        DnsView { a: self.edge_ips.iter().copied().collect(), ..Default::default() }
+        DnsView {
+            a: self.edge_ips.iter().copied().collect(),
+            ..Default::default()
+        }
     }
 
     /// Onboard a customer: point DNS at the edge and AutoSSL a
@@ -127,13 +133,13 @@ impl WebHost {
         let serials: Vec<SerialNumber> = self
             .customers
             .values()
-            .filter(|(_, serial)| match (max_age_days, self.ca.issued(*serial)) {
-                (Some(max), Some(cert)) => {
-                    (today - cert.tbs.not_before()).num_days() <= max
-                }
-                (None, Some(_)) => true,
-                (_, None) => false,
-            })
+            .filter(
+                |(_, serial)| match (max_age_days, self.ca.issued(*serial)) {
+                    (Some(max), Some(cert)) => (today - cert.tbs.not_before()).num_days() <= max,
+                    (None, Some(_)) => true,
+                    (_, None) => false,
+                },
+            )
             .map(|(_, serial)| *serial)
             .collect();
         for serial in &serials {
@@ -264,7 +270,10 @@ mod tests {
         assert!(cert.tbs.san().contains(&dn("www.blog.com")));
         let view = dns.view_at(&dn("blog.com"), d("2021-06-01")).unwrap();
         assert!(!view.a.is_empty());
-        assert!(view.ns.is_empty(), "hosting is A-record based, invisible to NS/CNAME diffing");
+        assert!(
+            view.ns.is_empty(),
+            "hosting is A-record based, invisible to NS/CNAME diffing"
+        );
         assert_eq!(h.customer_count(), 1);
     }
 
@@ -284,7 +293,12 @@ mod tests {
         assert_eq!(h.customer_count(), 0);
         // Offboarding twice is a no-op.
         assert!(h
-            .offboard(&dn("blog.com"), d("2021-07-02"), DnsView::default(), &mut dns)
+            .offboard(
+                &dn("blog.com"),
+                d("2021-07-02"),
+                DnsView::default(),
+                &mut dns
+            )
             .is_empty());
     }
 
@@ -294,7 +308,12 @@ mod tests {
         let mut ct = pool();
         let mut dns = DnsHistory::new();
         for i in 0..10 {
-            h.host(dn(&format!("site{i}.com")), d("2021-06-01"), &mut ct, &mut dns);
+            h.host(
+                dn(&format!("site{i}.com")),
+                d("2021-06-01"),
+                &mut ct,
+                &mut dns,
+            );
         }
         let serials = h.breach(d("2021-11-17"), None);
         assert_eq!(serials.len(), 10);

@@ -62,7 +62,10 @@ impl KeyPair {
         material.extend_from_slice(b"pub");
         material.extend_from_slice(&seed);
         let public = PublicKey(sha256(&material));
-        KeyPair { private: PrivateKey { seed }, public }
+        KeyPair {
+            private: PrivateKey { seed },
+            public,
+        }
     }
 
     /// Generate a keypair from an RNG.

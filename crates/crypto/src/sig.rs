@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let kp = KeyPair::from_seed([5; 32]);
-        assert_eq!(SimSig::sign(kp.private(), b"m"), SimSig::sign(kp.private(), b"m"));
+        assert_eq!(
+            SimSig::sign(kp.private(), b"m"),
+            SimSig::sign(kp.private(), b"m")
+        );
     }
 
     #[test]
@@ -105,6 +108,10 @@ mod tests {
         let victim = KeyPair::from_seed([99; 32]);
         let stolen = victim.private().clone();
         let forged = SimSig::sign(&stolen, b"attacker handshake");
-        assert!(SimSig::verify(&victim.public(), b"attacker handshake", &forged));
+        assert!(SimSig::verify(
+            &victim.public(),
+            b"attacker handshake",
+            &forged
+        ));
     }
 }

@@ -39,7 +39,10 @@ impl fmt::Display for SyncError {
         match self {
             SyncError::BadSthSignature => write!(f, "STH signature invalid"),
             SyncError::InconsistentHistory { old_size, new_size } => {
-                write!(f, "no valid consistency proof from size {old_size} to {new_size}")
+                write!(
+                    f,
+                    "no valid consistency proof from size {old_size} to {new_size}"
+                )
             }
             SyncError::TreeShrank { old_size, new_size } => {
                 write!(f, "tree shrank from {old_size} to {new_size}")
@@ -69,7 +72,11 @@ impl Default for LogSyncer {
 impl LogSyncer {
     /// Fresh syncer that trusts nothing yet.
     pub fn new() -> Self {
-        LogSyncer { trusted: None, cursor: 0, page_size: 256 }
+        LogSyncer {
+            trusted: None,
+            cursor: 0,
+            page_size: 256,
+        }
     }
 
     /// Override the paging size.
@@ -194,8 +201,16 @@ mod tests {
         // More entries on the evil fork, then try to feed it to the same
         // syncer: consistency must fail.
         evil.submit(cert(6), d("2022-01-03")).unwrap();
-        let err = syncer.sync(&evil, &mut monitor, d("2022-01-04")).unwrap_err();
-        assert!(matches!(err, SyncError::InconsistentHistory { old_size: 5, new_size: 6 }));
+        let err = syncer
+            .sync(&evil, &mut monitor, d("2022-01-04"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SyncError::InconsistentHistory {
+                old_size: 5,
+                new_size: 6
+            }
+        ));
     }
 
     #[test]
@@ -210,8 +225,16 @@ mod tests {
         let mut monitor = CtMonitor::new();
         let mut syncer = LogSyncer::new();
         syncer.sync(&big, &mut monitor, d("2022-01-02")).unwrap();
-        let err = syncer.sync(&small, &mut monitor, d("2022-01-03")).unwrap_err();
-        assert!(matches!(err, SyncError::TreeShrank { old_size: 5, new_size: 1 }));
+        let err = syncer
+            .sync(&small, &mut monitor, d("2022-01-03"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SyncError::TreeShrank {
+                old_size: 5,
+                new_size: 1
+            }
+        ));
     }
 
     #[test]

@@ -113,8 +113,15 @@ impl CtLog {
             }
         }
         let index = self.tree.append(&cert.encode());
-        self.entries.push(LogEntry { index, timestamp: today, certificate: cert });
-        Ok(SignedCertificateTimestamp { log_id: self.log_id(), timestamp: today })
+        self.entries.push(LogEntry {
+            index,
+            timestamp: today,
+            certificate: cert,
+        });
+        Ok(SignedCertificateTimestamp {
+            log_id: self.log_id(),
+            timestamp: today,
+        })
     }
 
     /// Number of entries.
@@ -177,7 +184,12 @@ impl LogPool {
 
     /// Create yearly shards named `{operator}{year}` covering
     /// `[first_year, last_year]`.
-    pub fn with_yearly_shards(operator: &str, key_seed: u8, first_year: i32, last_year: i32) -> Self {
+    pub fn with_yearly_shards(
+        operator: &str,
+        key_seed: u8,
+        first_year: i32,
+        last_year: i32,
+    ) -> Self {
         let mut pool = LogPool::new();
         for year in first_year..=last_year {
             let mut seed = [key_seed; 32];
@@ -186,7 +198,8 @@ impl LogPool {
             let key = KeyPair::from_seed(seed);
             let start = Date::from_ymd(year, 1, 1).expect("jan 1");
             let end = Date::from_ymd(year + 1, 1, 1).expect("jan 1");
-            pool.logs.push(CtLog::sharded(format!("{operator}{year}"), key, start, end));
+            pool.logs
+                .push(CtLog::sharded(format!("{operator}{year}"), key, start, end));
         }
         pool
     }
@@ -258,14 +271,21 @@ mod tests {
         assert!(log.verify_tree_head(&sth));
         for (i, c) in certs.iter().enumerate() {
             let proof = log.inclusion_proof(i as u64, sth.tree_size).unwrap();
-            assert!(verify_inclusion(&c.encode(), i as u64, sth.tree_size, &proof, &sth.root));
+            assert!(verify_inclusion(
+                &c.encode(),
+                i as u64,
+                sth.tree_size,
+                &proof,
+                &sth.root
+            ));
         }
     }
 
     #[test]
     fn tampered_sth_rejected() {
         let mut log = CtLog::new("test-log", KeyPair::from_seed([1; 32]));
-        log.submit(cert("a.com", "2022-01-01", 90), d("2022-01-01")).unwrap();
+        log.submit(cert("a.com", "2022-01-01", 90), d("2022-01-01"))
+            .unwrap();
         let mut sth = log.tree_head(d("2022-01-02"));
         sth.tree_size += 1;
         assert!(!log.verify_tree_head(&sth));
@@ -276,7 +296,9 @@ mod tests {
         let key = KeyPair::from_seed([2; 32]);
         let mut shard = CtLog::sharded("argon2023", key, d("2023-01-01"), d("2024-01-01"));
         // Expires 2023-04-01: accepted.
-        assert!(shard.submit(cert("a.com", "2023-01-01", 90), d("2023-01-01")).is_ok());
+        assert!(shard
+            .submit(cert("a.com", "2023-01-01", 90), d("2023-01-01"))
+            .is_ok());
         // Expires 2022: rejected.
         assert!(matches!(
             shard.submit(cert("b.com", "2022-01-01", 90), d("2022-01-01")),
@@ -297,12 +319,18 @@ mod tests {
     #[test]
     fn pool_routes_to_matching_shard() {
         let mut pool = LogPool::with_yearly_shards("argon", 9, 2022, 2024);
-        let (name, _sct) = pool.submit(cert("a.com", "2023-06-01", 90), d("2023-06-01")).unwrap();
+        let (name, _sct) = pool
+            .submit(cert("a.com", "2023-06-01", 90), d("2023-06-01"))
+            .unwrap();
         assert_eq!(name, "argon2023");
-        let (name2, _) = pool.submit(cert("b.com", "2022-01-01", 90), d("2022-01-01")).unwrap();
+        let (name2, _) = pool
+            .submit(cert("b.com", "2022-01-01", 90), d("2022-01-01"))
+            .unwrap();
         assert_eq!(name2, "argon2022");
         // A certificate expiring in 2026 finds no shard.
-        assert!(pool.submit(cert("c.com", "2025-06-01", 398), d("2025-06-01")).is_none());
+        assert!(pool
+            .submit(cert("c.com", "2025-06-01", 398), d("2025-06-01"))
+            .is_none());
         assert_eq!(pool.total_entries(), 2);
     }
 

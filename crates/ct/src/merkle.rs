@@ -113,7 +113,11 @@ impl MerkleTree {
     fn subproof(&self, m: usize, lo: usize, hi: usize, whole: bool) -> Vec<Hash> {
         let n = hi - lo;
         if m == n {
-            return if whole { Vec::new() } else { vec![self.subtree_root(lo, hi)] };
+            return if whole {
+                Vec::new()
+            } else {
+                vec![self.subtree_root(lo, hi)]
+            };
         }
         let k = largest_power_of_two_lt(n);
         if m <= k {
@@ -172,13 +176,7 @@ pub fn verify_inclusion(
 
 /// Verify an RFC 6962 consistency proof between `root_m` (size `m`) and
 /// `root_n` (size `n`).
-pub fn verify_consistency(
-    m: u64,
-    n: u64,
-    proof: &[Hash],
-    root_m: &Hash,
-    root_n: &Hash,
-) -> bool {
+pub fn verify_consistency(m: u64, n: u64, proof: &[Hash], root_m: &Hash, root_n: &Hash) -> bool {
     if m == n {
         return proof.is_empty() && root_m == root_n;
     }

@@ -59,7 +59,12 @@ impl CtMonitor {
                 }
                 self.certs.insert(
                     id,
-                    DedupedCert { cert_id: id, certificate: cert, first_seen: timestamp, entry_count: 1 },
+                    DedupedCert {
+                        cert_id: id,
+                        certificate: cert,
+                        first_seen: timestamp,
+                        entry_count: 1,
+                    },
                 );
             }
         }
@@ -91,7 +96,12 @@ impl CtMonitor {
             .values()
             .filter(|c| {
                 anomalous.is_empty()
-                    || !c.certificate.tbs.san().iter().any(|san| anomalous.contains(san))
+                    || !c
+                        .certificate
+                        .tbs
+                        .san()
+                        .iter()
+                        .any(|san| anomalous.contains(san))
             })
             .collect()
     }
@@ -148,7 +158,10 @@ mod tests {
         let mut monitor = CtMonitor::new();
         let precert = builder("foo.com", 1).precert().sign(&ca());
         let final_cert = builder("foo.com", 1)
-            .scts(vec![SignedCertificateTimestamp { log_id: [1; 32], timestamp: d("2022-01-01") }])
+            .scts(vec![SignedCertificateTimestamp {
+                log_id: [1; 32],
+                timestamp: d("2022-01-01"),
+            }])
             .sign(&ca());
         monitor.ingest(precert, d("2022-01-01"));
         monitor.ingest(final_cert.clone(), d("2022-01-02"));
@@ -164,14 +177,21 @@ mod tests {
     fn final_then_precert_keeps_final() {
         let mut monitor = CtMonitor::new();
         let final_cert = builder("foo.com", 1)
-            .scts(vec![SignedCertificateTimestamp { log_id: [1; 32], timestamp: d("2022-01-01") }])
+            .scts(vec![SignedCertificateTimestamp {
+                log_id: [1; 32],
+                timestamp: d("2022-01-01"),
+            }])
             .sign(&ca());
         let precert = builder("foo.com", 1).precert().sign(&ca());
         monitor.ingest(final_cert, d("2022-01-02"));
         monitor.ingest(precert, d("2022-01-01"));
         let rec = monitor.corpus()[0];
         assert!(!rec.certificate.tbs.is_precert());
-        assert_eq!(rec.first_seen, d("2022-01-01"), "first_seen takes the earlier timestamp");
+        assert_eq!(
+            rec.first_seen,
+            d("2022-01-01"),
+            "first_seen takes the earlier timestamp"
+        );
     }
 
     #[test]

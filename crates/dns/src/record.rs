@@ -163,7 +163,11 @@ pub struct Record {
 impl Record {
     /// Construct with a default one-hour TTL.
     pub fn new(name: DomainName, data: RData) -> Self {
-        Record { name, ttl: Ttl::HOUR, data }
+        Record {
+            name,
+            ttl: Ttl::HOUR,
+            data,
+        }
     }
 
     /// The record type.
@@ -195,11 +199,18 @@ mod tests {
 
     #[test]
     fn rdata_types() {
-        assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).record_type(), RecordType::A);
+        assert_eq!(
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)).record_type(),
+            RecordType::A
+        );
         assert_eq!(RData::Ns(dn("ns1.foo.com")).record_type(), RecordType::Ns);
         assert_eq!(
-            RData::Caa { critical: false, tag: "issue".into(), value: "letsencrypt.org".into() }
-                .record_type(),
+            RData::Caa {
+                critical: false,
+                tag: "issue".into(),
+                value: "letsencrypt.org".into()
+            }
+            .record_type(),
             RecordType::Caa
         );
     }

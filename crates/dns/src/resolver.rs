@@ -114,10 +114,14 @@ impl Resolver {
         let mut chain = Vec::new();
         let mut current = name.clone();
         while chain.len() <= MAX_CNAME_CHAIN {
-            let Some(zone) = self.authority(&current) else { break };
+            let Some(zone) = self.authority(&current) else {
+                break;
+            };
             let cnames = zone.lookup(&current, RecordType::Cname);
             let Some(record) = cnames.first() else { break };
-            let RData::Cname(target) = &record.data else { break };
+            let RData::Cname(target) = &record.data else {
+                break;
+            };
             if chain.contains(target) {
                 break;
             }
@@ -148,7 +152,10 @@ mod tests {
         foo.add_data(dn("cdn.foo.com"), RData::Cname(dn("edge.cdn.example")));
         r.add_zone(foo);
         let mut cdn = Zone::new(dn("cdn.example"));
-        cdn.add_data(dn("edge.cdn.example"), RData::A(Ipv4Addr::new(198, 51, 100, 7)));
+        cdn.add_data(
+            dn("edge.cdn.example"),
+            RData::A(Ipv4Addr::new(198, 51, 100, 7)),
+        );
         r.add_zone(cdn);
         r
     }
@@ -172,7 +179,10 @@ mod tests {
         let r = resolver();
         let a = r.resolve(&dn("cdn.foo.com"), RecordType::A).unwrap();
         assert_eq!(a, vec![RData::A(Ipv4Addr::new(198, 51, 100, 7))]);
-        assert_eq!(r.cname_chain(&dn("cdn.foo.com")), vec![dn("edge.cdn.example")]);
+        assert_eq!(
+            r.cname_chain(&dn("cdn.foo.com")),
+            vec![dn("edge.cdn.example")]
+        );
     }
 
     #[test]

@@ -30,12 +30,18 @@ pub struct DnsView {
 impl DnsView {
     /// A view with only NS records.
     pub fn with_ns(ns: impl IntoIterator<Item = DomainName>) -> Self {
-        DnsView { ns: ns.into_iter().collect(), ..Default::default() }
+        DnsView {
+            ns: ns.into_iter().collect(),
+            ..Default::default()
+        }
     }
 
     /// A view with only CNAME records.
     pub fn with_cname(cname: impl IntoIterator<Item = DomainName>) -> Self {
-        DnsView { cname: cname.into_iter().collect(), ..Default::default() }
+        DnsView {
+            cname: cname.into_iter().collect(),
+            ..Default::default()
+        }
     }
 
     /// Whether any NS or CNAME matches `predicate` — the shape of the
@@ -155,7 +161,10 @@ pub struct DailyScanner {
 impl DailyScanner {
     /// Scan window `[start, end)`; yields pairs `(d, d+1)` with `d+1 < end`.
     pub fn new(start: Date, end: Date) -> Self {
-        DailyScanner { current: start, end }
+        DailyScanner {
+            current: start,
+            end,
+        }
     }
 }
 
@@ -179,7 +188,10 @@ impl Iterator for DailyScanner {
 /// [`DnsHistory`] directly.
 pub fn scan_domain(resolver: &Resolver, domain: &DomainName, txid: u16) -> DnsView {
     let mut view = DnsView::default();
-    for (i, rtype) in [RecordType::Ns, RecordType::Cname, RecordType::A].iter().enumerate() {
+    for (i, rtype) in [RecordType::Ns, RecordType::Cname, RecordType::A]
+        .iter()
+        .enumerate()
+    {
         let query = Message::query(txid.wrapping_add(i as u16), domain.clone(), *rtype);
         // Round-trip through the wire format as a real scanner would.
         let query = Message::decode(&query.encode()).expect("self-encoded query");
@@ -191,7 +203,11 @@ pub fn scan_domain(resolver: &Resolver, domain: &DomainName, txid: u16) -> DnsVi
                 .collect(),
             Err(_) => Vec::new(),
         };
-        let rcode = if answers.is_empty() { Rcode::NxDomain } else { Rcode::NoError };
+        let rcode = if answers.is_empty() {
+            Rcode::NxDomain
+        } else {
+            Rcode::NoError
+        };
         let response = Message::response(&query, answers, rcode);
         let response = Message::decode(&response.encode()).expect("self-encoded response");
         for rr in response.answers {
@@ -239,8 +255,14 @@ mod tests {
         assert_eq!(h.view_at(&dn("foo.com"), d("2022-07-31")), None);
         assert_eq!(h.view_at(&dn("foo.com"), d("2022-08-01")), Some(&cf_view()));
         assert_eq!(h.view_at(&dn("foo.com"), d("2022-09-14")), Some(&cf_view()));
-        assert_eq!(h.view_at(&dn("foo.com"), d("2022-09-15")), Some(&self_view()));
-        assert_eq!(h.view_at(&dn("foo.com"), d("2023-01-01")), Some(&self_view()));
+        assert_eq!(
+            h.view_at(&dn("foo.com"), d("2022-09-15")),
+            Some(&self_view())
+        );
+        assert_eq!(
+            h.view_at(&dn("foo.com"), d("2023-01-01")),
+            Some(&self_view())
+        );
     }
 
     #[test]
@@ -248,7 +270,10 @@ mod tests {
         let mut h = DnsHistory::new();
         h.record_change(dn("foo.com"), d("2022-08-01"), cf_view());
         h.record_change(dn("foo.com"), d("2022-08-01"), self_view());
-        assert_eq!(h.view_at(&dn("foo.com"), d("2022-08-01")), Some(&self_view()));
+        assert_eq!(
+            h.view_at(&dn("foo.com"), d("2022-08-01")),
+            Some(&self_view())
+        );
         assert_eq!(h.change_count(), 1);
     }
 
@@ -288,8 +313,14 @@ mod tests {
         assert_eq!(pairs[0], (d("2022-08-01"), d("2022-08-02")));
         assert_eq!(pairs[2], (d("2022-08-03"), d("2022-08-04")));
         // Empty and single-day windows yield nothing.
-        assert_eq!(DailyScanner::new(d("2022-08-01"), d("2022-08-01")).count(), 0);
-        assert_eq!(DailyScanner::new(d("2022-08-01"), d("2022-08-02")).count(), 0);
+        assert_eq!(
+            DailyScanner::new(d("2022-08-01"), d("2022-08-01")).count(),
+            0
+        );
+        assert_eq!(
+            DailyScanner::new(d("2022-08-01"), d("2022-08-02")).count(),
+            0
+        );
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub fn serve(resolver: &Resolver, query_bytes: &[u8]) -> Result<Vec<u8>, WireErr
         match resolver.resolve(&question.name, question.qtype) {
             Ok(data) => {
                 answers.extend(
-                    data.into_iter().map(|d| Record::new(question.name.clone(), d)),
+                    data.into_iter()
+                        .map(|d| Record::new(question.name.clone(), d)),
                 );
             }
             Err(ResolutionError::NoRecords(_)) => {
@@ -76,7 +77,10 @@ mod tests {
         assert_eq!(response.header.id, 7);
         assert!(response.header.response);
         assert_eq!(response.answers.len(), 1);
-        assert_eq!(response.answers[0].data, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(
+            response.answers[0].data,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1))
+        );
     }
 
     #[test]

@@ -232,7 +232,11 @@ impl Message {
             }
             answers.push(Record { name, ttl, data });
         }
-        Ok(Message { header, questions, answers })
+        Ok(Message {
+            header,
+            questions,
+            answers,
+        })
     }
 }
 
@@ -301,7 +305,9 @@ fn decode_name(buf: &[u8], pos: &mut usize) -> Result<DomainName, WireError> {
         }
         let label = buf.get(cursor..cursor + len).ok_or(WireError::Truncated)?;
         labels.push(
-            std::str::from_utf8(label).map_err(|_| WireError::BadName)?.to_string(),
+            std::str::from_utf8(label)
+                .map_err(|_| WireError::BadName)?
+                .to_string(),
         );
         cursor += len;
         if labels.len() > 64 {
@@ -332,7 +338,11 @@ fn encode_rdata(buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>, data: &RD
                 buf.push(0);
             }
         }
-        RData::Soa { mname, rname, serial } => {
+        RData::Soa {
+            mname,
+            rname,
+            serial,
+        } => {
             encode_name(buf, offsets, mname);
             encode_name(buf, offsets, rname);
             buf.extend_from_slice(&serial.to_be_bytes());
@@ -341,13 +351,22 @@ fn encode_rdata(buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>, data: &RD
                 buf.extend_from_slice(&v.to_be_bytes());
             }
         }
-        RData::Caa { critical, tag, value } => {
+        RData::Caa {
+            critical,
+            tag,
+            value,
+        } => {
             buf.push(if *critical { 0x80 } else { 0 });
             buf.push(tag.len() as u8);
             buf.extend_from_slice(tag.as_bytes());
             buf.extend_from_slice(value.as_bytes());
         }
-        RData::Tlsa { usage, selector, matching_type, association } => {
+        RData::Tlsa {
+            usage,
+            selector,
+            matching_type,
+            association,
+        } => {
             buf.push(*usage);
             buf.push(*selector);
             buf.push(*matching_type);
@@ -381,9 +400,9 @@ fn decode_rdata(
                 let len = *buf.get(*pos).ok_or(WireError::Truncated)? as usize;
                 *pos += 1;
                 let chunk = buf.get(*pos..*pos + len).ok_or(WireError::Truncated)?;
-                text.push_str(std::str::from_utf8(chunk).map_err(|_| {
-                    WireError::BadRdata("non-utf8 TXT")
-                })?);
+                text.push_str(
+                    std::str::from_utf8(chunk).map_err(|_| WireError::BadRdata("non-utf8 TXT"))?,
+                );
                 *pos += len;
             }
             Ok(RData::Txt(text))
@@ -395,7 +414,11 @@ fn decode_rdata(
             for _ in 0..4 {
                 let _ = read_u32(buf, pos)?;
             }
-            Ok(RData::Soa { mname, rname, serial })
+            Ok(RData::Soa {
+                mname,
+                rname,
+                serial,
+            })
         }
         RecordType::Tlsa => {
             let header = buf.get(*pos..*pos + 3).ok_or(WireError::Truncated)?;
@@ -403,7 +426,12 @@ fn decode_rdata(
             *pos += 3;
             let association = buf.get(*pos..end).ok_or(WireError::Truncated)?.to_vec();
             *pos = end;
-            Ok(RData::Tlsa { usage, selector, matching_type, association })
+            Ok(RData::Tlsa {
+                usage,
+                selector,
+                matching_type,
+                association,
+            })
         }
         RecordType::Caa => {
             let flags = *buf.get(*pos).ok_or(WireError::Truncated)?;
@@ -449,17 +477,39 @@ mod tests {
         let q = Message::query(7, dn("foo.com"), RecordType::A);
         let answers = vec![
             Record::new(dn("foo.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1))),
-            Record::new(dn("foo.com"), RData::Aaaa([0x20, 0x01] .iter().chain([0u8; 14].iter()).copied().collect::<Vec<_>>().try_into().unwrap())),
-            Record::new(dn("foo.com"), RData::Ns(dn("ns1.foo.com"))),
-            Record::new(dn("www.foo.com"), RData::Cname(dn("foo.com"))),
-            Record::new(dn("_acme-challenge.foo.com"), RData::Txt("token-value".into())),
             Record::new(
                 dn("foo.com"),
-                RData::Soa { mname: dn("ns1.foo.com"), rname: dn("hostmaster.foo.com"), serial: 42 },
+                RData::Aaaa(
+                    [0x20, 0x01]
+                        .iter()
+                        .chain([0u8; 14].iter())
+                        .copied()
+                        .collect::<Vec<_>>()
+                        .try_into()
+                        .unwrap(),
+                ),
+            ),
+            Record::new(dn("foo.com"), RData::Ns(dn("ns1.foo.com"))),
+            Record::new(dn("www.foo.com"), RData::Cname(dn("foo.com"))),
+            Record::new(
+                dn("_acme-challenge.foo.com"),
+                RData::Txt("token-value".into()),
             ),
             Record::new(
                 dn("foo.com"),
-                RData::Caa { critical: false, tag: "issue".into(), value: "letsencrypt.org".into() },
+                RData::Soa {
+                    mname: dn("ns1.foo.com"),
+                    rname: dn("hostmaster.foo.com"),
+                    serial: 42,
+                },
+            ),
+            Record::new(
+                dn("foo.com"),
+                RData::Caa {
+                    critical: false,
+                    tag: "issue".into(),
+                    value: "letsencrypt.org".into(),
+                },
             ),
         ];
         let resp = Message::response(&q, answers, Rcode::NoError);
@@ -480,7 +530,11 @@ mod tests {
         // Without compression "foo.com" appears 6 times (9 bytes each).
         // With compression every repeat is a 2-byte pointer.
         let uncompressed_estimate = 12 + (9 + 4) + 4 * (9 + 10 + 13);
-        assert!(encoded.len() < uncompressed_estimate, "{} bytes", encoded.len());
+        assert!(
+            encoded.len() < uncompressed_estimate,
+            "{} bytes",
+            encoded.len()
+        );
         assert_eq!(roundtrip(&resp), resp);
     }
 

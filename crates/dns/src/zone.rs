@@ -30,7 +30,10 @@ impl Zone {
         );
         let mut records = BTreeMap::new();
         records.insert(apex.clone(), vec![soa]);
-        Zone { apex: Some(apex), records }
+        Zone {
+            apex: Some(apex),
+            records,
+        }
     }
 
     /// The zone apex.
@@ -49,7 +52,10 @@ impl Zone {
     /// Add a record; bumps the SOA serial.
     pub fn add(&mut self, record: Record) {
         debug_assert!(self.contains_name(&record.name), "record outside zone");
-        self.records.entry(record.name.clone()).or_default().push(record);
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
         self.bump_serial();
     }
 
@@ -81,7 +87,11 @@ impl Zone {
         self.remove(name, rtype);
         for d in data {
             debug_assert_eq!(d.record_type(), rtype, "replace data of wrong type");
-            self.add(Record { name: name.clone(), ttl: Ttl::HOUR, data: d });
+            self.add(Record {
+                name: name.clone(),
+                ttl: Ttl::HOUR,
+                data: d,
+            });
         }
     }
 
@@ -111,10 +121,12 @@ impl Zone {
     /// Current SOA serial, if the apex has an SOA.
     pub fn soa_serial(&self) -> Option<u32> {
         let apex = self.apex.as_ref()?;
-        self.lookup(apex, RecordType::Soa).first().and_then(|r| match &r.data {
-            RData::Soa { serial, .. } => Some(*serial),
-            _ => None,
-        })
+        self.lookup(apex, RecordType::Soa)
+            .first()
+            .and_then(|r| match &r.data {
+                RData::Soa { serial, .. } => Some(*serial),
+                _ => None,
+            })
     }
 
     fn bump_serial(&mut self) {
@@ -172,7 +184,10 @@ mod tests {
         z.replace(
             &dn("foo.com"),
             RecordType::Ns,
-            vec![RData::Ns(dn("anna.ns.cloudflare.com")), RData::Ns(dn("bob.ns.cloudflare.com"))],
+            vec![
+                RData::Ns(dn("anna.ns.cloudflare.com")),
+                RData::Ns(dn("bob.ns.cloudflare.com")),
+            ],
         );
         assert_eq!(z.lookup(&dn("foo.com"), RecordType::Ns).len(), 2);
     }

@@ -33,11 +33,18 @@ impl fmt::Display for ZoneFileError {
 impl std::error::Error for ZoneFileError {}
 
 fn err(line: usize, reason: impl Into<String>) -> ZoneFileError {
-    ZoneFileError { line, reason: reason.into() }
+    ZoneFileError {
+        line,
+        reason: reason.into(),
+    }
 }
 
 /// Resolve a possibly-relative name against the origin.
-fn resolve_name(token: &str, origin: Option<&DomainName>, line: usize) -> Result<DomainName, ZoneFileError> {
+fn resolve_name(
+    token: &str,
+    origin: Option<&DomainName>,
+    line: usize,
+) -> Result<DomainName, ZoneFileError> {
     if token == "@" {
         return origin
             .cloned()
@@ -47,8 +54,9 @@ fn resolve_name(token: &str, origin: Option<&DomainName>, line: usize) -> Result
         return DomainName::parse(absolute).map_err(|e| err(line, e.to_string()));
     }
     match origin {
-        Some(origin) => DomainName::parse(&format!("{token}.{origin}"))
-            .map_err(|e| err(line, e.to_string())),
+        Some(origin) => {
+            DomainName::parse(&format!("{token}.{origin}")).map_err(|e| err(line, e.to_string()))
+        }
         None => Err(err(line, "relative name before $ORIGIN")),
     }
 }
@@ -74,7 +82,9 @@ pub fn parse(text: &str) -> Result<Vec<Record>, ZoneFileError> {
         if let Some(&first) = tokens.peek() {
             if first == "$ORIGIN" {
                 tokens.next();
-                let arg = tokens.next().ok_or_else(|| err(line_no, "$ORIGIN needs a name"))?;
+                let arg = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "$ORIGIN needs a name"))?;
                 origin = Some(
                     DomainName::parse(arg.trim_end_matches('.'))
                         .map_err(|e| err(line_no, e.to_string()))?,
@@ -83,14 +93,18 @@ pub fn parse(text: &str) -> Result<Vec<Record>, ZoneFileError> {
             }
             if first == "$TTL" {
                 tokens.next();
-                let arg = tokens.next().ok_or_else(|| err(line_no, "$TTL needs a value"))?;
+                let arg = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "$TTL needs a value"))?;
                 default_ttl = Ttl(arg.parse().map_err(|_| err(line_no, "bad $TTL value"))?);
                 continue;
             }
         }
         // Owner: blank-start lines reuse the previous owner.
         let owner = if starts_blank {
-            last_owner.clone().ok_or_else(|| err(line_no, "no previous owner to inherit"))?
+            last_owner
+                .clone()
+                .ok_or_else(|| err(line_no, "no previous owner to inherit"))?
         } else {
             let token = tokens.next().ok_or_else(|| err(line_no, "missing owner"))?;
             resolve_name(token, origin.as_ref(), line_no)?
@@ -98,18 +112,28 @@ pub fn parse(text: &str) -> Result<Vec<Record>, ZoneFileError> {
         last_owner = Some(owner.clone());
         // Optional TTL, optional class, then type.
         let mut ttl = default_ttl;
-        let mut next = tokens.next().ok_or_else(|| err(line_no, "missing record type"))?;
+        let mut next = tokens
+            .next()
+            .ok_or_else(|| err(line_no, "missing record type"))?;
         if let Ok(explicit) = next.parse::<u32>() {
             ttl = Ttl(explicit);
-            next = tokens.next().ok_or_else(|| err(line_no, "missing record type"))?;
+            next = tokens
+                .next()
+                .ok_or_else(|| err(line_no, "missing record type"))?;
         }
         if next.eq_ignore_ascii_case("IN") {
-            next = tokens.next().ok_or_else(|| err(line_no, "missing record type"))?;
+            next = tokens
+                .next()
+                .ok_or_else(|| err(line_no, "missing record type"))?;
         }
         let rtype = next.to_ascii_uppercase();
         let rest: Vec<&str> = tokens.collect();
         let data = parse_rdata(&rtype, &rest, origin.as_ref(), line_no)?;
-        records.push(Record { name: owner, ttl, data });
+        records.push(Record {
+            name: owner,
+            ttl,
+            data,
+        });
     }
     Ok(records)
 }
@@ -172,8 +196,7 @@ fn parse_rdata(
         }
         "TLSA" => {
             need(4)?;
-            let parse_u8 =
-                |s: &str| s.parse::<u8>().map_err(|_| err(line, "bad TLSA field"));
+            let parse_u8 = |s: &str| s.parse::<u8>().map_err(|_| err(line, "bad TLSA field"));
             let association = (0..args[3].len())
                 .step_by(2)
                 .map(|i| {
@@ -210,13 +233,26 @@ pub fn serialize(origin: &DomainName, records: &[Record]) -> String {
             RData::Ns(n) => format!("NS {n}."),
             RData::Cname(c) => format!("CNAME {c}."),
             RData::Txt(t) => format!("TXT \"{t}\""),
-            RData::Soa { mname, rname, serial } => {
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+            } => {
                 format!("SOA {mname}. {rname}. {serial}")
             }
-            RData::Caa { critical, tag, value } => {
+            RData::Caa {
+                critical,
+                tag,
+                value,
+            } => {
                 format!("CAA {} {tag} \"{value}\"", if *critical { 128 } else { 0 })
             }
-            RData::Tlsa { usage, selector, matching_type, association } => {
+            RData::Tlsa {
+                usage,
+                selector,
+                matching_type,
+                association,
+            } => {
                 let hex: String = association.iter().map(|b| format!("{b:02x}")).collect();
                 format!("TLSA {usage} {selector} {matching_type} {hex}")
             }
@@ -238,7 +274,10 @@ pub fn serialize_zone(zone: &Zone) -> String {
 /// The scanner-side extraction: the unique names registered directly
 /// under `tld` that appear anywhere in the zone file (owner names of NS
 /// delegations, per CZDS zone-file shape).
-pub fn registered_names(text: &str, tld: &DomainName) -> Result<BTreeSet<DomainName>, ZoneFileError> {
+pub fn registered_names(
+    text: &str,
+    tld: &DomainName,
+) -> Result<BTreeSet<DomainName>, ZoneFileError> {
     let records = parse(text)?;
     let mut names = BTreeSet::new();
     for record in &records {
@@ -301,7 +340,11 @@ www IN CNAME @
         let records = parse(text).unwrap();
         assert_eq!(
             records[0].data,
-            RData::Soa { mname: dn("ns1.foo.com"), rname: dn("hostmaster.foo.com"), serial: 42 }
+            RData::Soa {
+                mname: dn("ns1.foo.com"),
+                rname: dn("hostmaster.foo.com"),
+                serial: 42
+            }
         );
         assert_eq!(records[1].data, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
         assert_eq!(records[2].data, RData::Cname(dn("foo.com")));
@@ -317,11 +360,20 @@ _443._tcp IN TLSA 3 1 1 aabbccdd
         let records = parse(text).unwrap();
         assert_eq!(
             records[0].data,
-            RData::Caa { critical: true, tag: "issue".into(), value: "letsencrypt.org".into() }
+            RData::Caa {
+                critical: true,
+                tag: "issue".into(),
+                value: "letsencrypt.org".into()
+            }
         );
         assert_eq!(
             records[1].data,
-            RData::Tlsa { usage: 3, selector: 1, matching_type: 1, association: vec![0xaa, 0xbb, 0xcc, 0xdd] }
+            RData::Tlsa {
+                usage: 3,
+                selector: 1,
+                matching_type: 1,
+                association: vec![0xaa, 0xbb, 0xcc, 0xdd]
+            }
         );
     }
 
@@ -358,7 +410,9 @@ _443._tcp IN TLSA 3 1 1 aabbccdd
         let names = registered_names(SAMPLE, &dn("com")).unwrap();
         assert_eq!(
             names,
-            [dn("foo.com"), dn("bar.com")].into_iter().collect::<BTreeSet<_>>()
+            [dn("foo.com"), dn("bar.com")]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
         // Deep delegations attribute to the 2LD.
         let deep = "$ORIGIN com.\nsub.deep IN NS ns1.example.net.\n";

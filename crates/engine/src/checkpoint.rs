@@ -1,0 +1,168 @@
+//! Checkpoint/resume of completed shards.
+//!
+//! Format: one JSON object per file —
+//!
+//! ```json
+//! {
+//!   "fingerprint": 1234567890,
+//!   "shards": 4,
+//!   "completed": [
+//!     { "shard": 0, "output": { "shard": 0, "kc": [...], "rc": [...],
+//!       "mtd": [...] }, "metrics": { ... } }
+//!   ]
+//! }
+//! ```
+//!
+//! `fingerprint` is [`worldsim::WorldDatasets::fingerprint`] and `shards`
+//! the partition width; a checkpoint only resumes a run over the *same*
+//! bundle at the *same* shard count, otherwise it is discarded and
+//! rewritten. Degraded shards are never recorded, so a resumed run retries
+//! exactly the shards that have not completed.
+
+use crate::metrics::ShardMetrics;
+use serde::{Deserialize, Serialize};
+use stale_core::detector::key_compromise::ShardMatch;
+use stale_core::staleness::StaleCertRecord;
+use std::path::Path;
+
+/// Everything one shard's detectors produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardOutput {
+    /// Shard index.
+    pub shard: usize,
+    /// Key-compromise join matches.
+    pub kc: Vec<ShardMatch>,
+    /// Registrant-change records with their global change indices.
+    pub rc: Vec<(usize, StaleCertRecord)>,
+    /// Managed-TLS departure records.
+    pub mtd: Vec<StaleCertRecord>,
+}
+
+/// A finished shard, as persisted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedShard {
+    /// Shard index.
+    pub shard: usize,
+    /// Its detector outputs.
+    pub output: ShardOutput,
+    /// Its timings.
+    pub metrics: ShardMetrics,
+}
+
+/// The checkpoint file contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Dataset-bundle fingerprint this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// Partition width it was taken at.
+    pub shards: usize,
+    /// Completed shards, in completion order.
+    pub completed: Vec<CompletedShard>,
+}
+
+impl Checkpoint {
+    /// Fresh, empty checkpoint for a run.
+    pub fn new(fingerprint: u64, shards: usize) -> Self {
+        Checkpoint {
+            fingerprint,
+            shards,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Load from `path` if it exists *and* matches `fingerprint`/`shards`;
+    /// a missing, unreadable, malformed or mismatched file yields a fresh
+    /// checkpoint (mismatches are stale state, not errors).
+    pub fn load_or_new(path: &Path, fingerprint: u64, shards: usize) -> Self {
+        let fresh = || Checkpoint::new(fingerprint, shards);
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return fresh();
+        };
+        match serde_json::from_str::<Checkpoint>(&text) {
+            Ok(cp) if cp.fingerprint == fingerprint && cp.shards == shards => cp,
+            _ => fresh(),
+        }
+    }
+
+    /// Persist to `path` (whole-file rewrite; checkpoints are small).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).map_err(std::io::Error::other)?,
+        )
+    }
+
+    /// Whether `shard` already completed.
+    pub fn has(&self, shard: usize) -> bool {
+        self.completed.iter().any(|c| c.shard == shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 42,
+            shards: 2,
+            completed: vec![CompletedShard {
+                shard: 1,
+                output: ShardOutput {
+                    shard: 1,
+                    kc: vec![],
+                    rc: vec![],
+                    mtd: vec![],
+                },
+                metrics: ShardMetrics {
+                    shard: 1,
+                    wall_us: 10,
+                    kc_us: 3,
+                    rc_us: 3,
+                    mtd_us: 4,
+                    items_in: 7,
+                    items_out: 0,
+                    attempts: 1,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_validation() {
+        let dir = std::env::temp_dir().join("stale_engine_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+
+        let loaded = Checkpoint::load_or_new(&path, 42, 2);
+        assert_eq!(loaded, cp);
+        assert!(loaded.has(1));
+        assert!(!loaded.has(0));
+
+        // Wrong fingerprint or width → fresh.
+        assert!(Checkpoint::load_or_new(&path, 43, 2).completed.is_empty());
+        assert!(Checkpoint::load_or_new(&path, 42, 3).completed.is_empty());
+        // Missing file → fresh.
+        assert!(Checkpoint::load_or_new(&dir.join("nope.json"), 42, 2)
+            .completed
+            .is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_file_is_fresh() {
+        let dir = std::env::temp_dir().join("stale_engine_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json {").unwrap();
+        assert!(Checkpoint::load_or_new(&path, 1, 1).completed.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,57 @@
+//! Engine configuration.
+
+use std::path::PathBuf;
+
+/// Tuning knobs for one [`crate::Engine`] run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shards the datasets are partitioned into. `1` degrades to
+    /// a serial run through the same partition/merge machinery.
+    pub shards: usize,
+    /// Worker threads draining the shard queue. Capped at `shards`.
+    pub workers: usize,
+    /// Checkpoint file: completed shards are appended after each finish
+    /// and skipped when re-running against the same dataset bundle.
+    pub checkpoint: Option<PathBuf>,
+    /// Fault injection (tests / `repro --fail-shard`): these shards panic
+    /// on every attempt and end up degraded.
+    pub fail_shards: Vec<usize>,
+    /// Fault injection: these shards panic on their first attempt only,
+    /// exercising the retry path.
+    pub fail_once_shards: Vec<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let parallelism = available_parallelism();
+        EngineConfig {
+            shards: parallelism,
+            workers: parallelism,
+            checkpoint: None,
+            fail_shards: Vec::new(),
+            fail_once_shards: Vec::new(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Worker count actually used: `workers`, clamped to `[1, shards]`.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.clamp(1, self.shards.max(1))
+    }
+}
+
+/// The host's available parallelism, defaulting to 1 when unknown.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

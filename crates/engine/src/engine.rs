@@ -1,0 +1,237 @@
+//! The engine: partition → supervise → merge.
+
+use crate::checkpoint::{Checkpoint, CompletedShard, ShardOutput};
+use crate::config::EngineConfig;
+use crate::metrics::{EngineMetrics, ShardMetrics, StageMetrics};
+use crate::partition::{mtd_routing_key, partition, shard_of, ShardInput};
+use crate::supervisor::{run_shards, DegradedShard};
+use psl::SuffixList;
+use stale_core::detector::key_compromise::{self, RevocationAnalysis};
+use stale_core::detector::managed_tls::{self, ManagedTlsDetector};
+use stale_core::detector::registrant_change::{self, RegistrantChangeDetector};
+use stale_core::detector::DetectionSuite;
+use std::time::Instant;
+use worldsim::WorldDatasets;
+
+/// Errors the engine itself can raise (detector panics degrade shards
+/// instead of erroring; see [`EngineReport::degraded`]).
+#[derive(Debug)]
+pub enum EngineError {
+    /// A checkpoint file could not be written.
+    Checkpoint(std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Checkpoint(e) => write!(f, "cannot write checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Everything one engine run produced.
+pub struct EngineReport {
+    /// Merged detector outputs — byte-identical across shard counts.
+    pub suite: DetectionSuite,
+    /// Shards that kept panicking and contributed no results.
+    pub degraded: Vec<DegradedShard>,
+    /// Stage/shard observability.
+    pub metrics: EngineMetrics,
+    /// Partition width of the run.
+    pub shards: usize,
+}
+
+impl EngineReport {
+    /// Whether every shard contributed (a degraded run is incomplete and
+    /// the repro binary exits non-zero on it).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
+/// The sharded detection engine. See the crate docs for the layering and
+/// the determinism guarantee.
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Build with a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Convenience: default configuration at `shards`.
+    pub fn with_shards(shards: usize) -> Self {
+        Engine::new(EngineConfig::with_shards(shards))
+    }
+
+    /// Run the three detectors over `data`, sharded per the
+    /// configuration, and merge deterministically.
+    pub fn run(&self, data: &WorldDatasets, psl: &SuffixList) -> Result<EngineReport, EngineError> {
+        let n = self.config.shards.max(1);
+        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+
+        // Stage 1: partition.
+        let partition_start = Instant::now();
+        let parts = partition(data, psl, n);
+        let routed: usize = parts.shards.iter().map(ShardInput::items).sum();
+        let stage_partition = StageMetrics {
+            name: "partition".to_string(),
+            wall_us: partition_start.elapsed().as_micros() as u64,
+            items_in: parts.corpus_size + parts.change_count,
+            items_out: routed,
+        };
+
+        // Checkpoint: restore completed shards, run the rest.
+        let fingerprint = data.fingerprint();
+        let mut checkpoint = match &self.config.checkpoint {
+            Some(path) => Checkpoint::load_or_new(path, fingerprint, n),
+            None => Checkpoint::new(fingerprint, n),
+        };
+        let resumed_shards = checkpoint.completed.len();
+        let jobs: Vec<usize> = (0..n).filter(|s| !checkpoint.has(*s)).collect();
+
+        // Stage 2: detect, on the worker pool.
+        let detect_start = Instant::now();
+        let config = &self.config;
+        let shard_inputs = &parts.shards;
+        let run_shard = |shard: usize, attempt: u32| -> (ShardOutput, ShardMetrics) {
+            if config.fail_shards.contains(&shard)
+                || (config.fail_once_shards.contains(&shard) && attempt == 1)
+            {
+                panic!("injected failure in shard {shard} (attempt {attempt})");
+            }
+            run_one_shard(&shard_inputs[shard], data, psl, n, attempt)
+        };
+
+        let mut checkpoint_error: Option<std::io::Error> = None;
+        let (results, degraded, queue_depths) = run_shards(
+            jobs,
+            config.effective_workers(),
+            run_shard,
+            |shard, attempts, value: &(ShardOutput, ShardMetrics)| {
+                let (output, metrics) = value;
+                let mut metrics = metrics.clone();
+                metrics.attempts = attempts;
+                checkpoint.completed.push(CompletedShard {
+                    shard,
+                    output: output.clone(),
+                    metrics,
+                });
+                if let Some(path) = &config.checkpoint {
+                    if let Err(e) = checkpoint.save(path) {
+                        checkpoint_error.get_or_insert(e);
+                    }
+                }
+            },
+        );
+        drop(results); // completion order lives in `checkpoint.completed`
+        if let Some(e) = checkpoint_error {
+            return Err(EngineError::Checkpoint(e));
+        }
+        let stage_detect_wall = detect_start.elapsed().as_micros() as u64;
+
+        // Collect outputs (restored + fresh) in shard order.
+        let mut completed = checkpoint.completed.clone();
+        completed.sort_by_key(|c| c.shard);
+        let emitted: usize = completed
+            .iter()
+            .map(|c| c.output.kc.len() + c.output.rc.len() + c.output.mtd.len())
+            .sum();
+        let stage_detect = StageMetrics {
+            name: "detect".to_string(),
+            wall_us: stage_detect_wall,
+            items_in: routed,
+            items_out: emitted,
+        };
+
+        // Stage 3: deterministic merge.
+        let merge_start = Instant::now();
+        let kc: Vec<_> = completed.iter().map(|c| c.output.kc.clone()).collect();
+        let rc: Vec<_> = completed.iter().map(|c| c.output.rc.clone()).collect();
+        let mtd: Vec<_> = completed.iter().map(|c| c.output.mtd.clone()).collect();
+        let revocations = key_compromise::merge_shards(data.crl.records().len(), cutoff, kc);
+        let key_compromise = revocations.stale_records();
+        let registrant_change = registrant_change::merge_shards(rc);
+        let managed_tls = managed_tls::merge_shards(mtd);
+        let suite = DetectionSuite {
+            revocations,
+            key_compromise,
+            registrant_change,
+            managed_tls,
+        };
+        let merged =
+            suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
+        let stage_merge = StageMetrics {
+            name: "merge".to_string(),
+            wall_us: merge_start.elapsed().as_micros() as u64,
+            items_in: emitted,
+            items_out: merged,
+        };
+
+        let metrics = EngineMetrics {
+            stages: vec![stage_partition, stage_detect, stage_merge],
+            shards: completed.iter().map(|c| c.metrics.clone()).collect(),
+            queue_depths,
+            resumed_shards,
+        };
+        Ok(EngineReport {
+            suite,
+            degraded,
+            metrics,
+            shards: n,
+        })
+    }
+}
+
+/// Run all three detectors on one shard's slice.
+fn run_one_shard(
+    input: &ShardInput<'_>,
+    data: &WorldDatasets,
+    psl: &SuffixList,
+    shards: usize,
+    attempt: u32,
+) -> (ShardOutput, ShardMetrics) {
+    let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+    let start = Instant::now();
+
+    let kc_start = Instant::now();
+    let kc = key_compromise::join_shard(input.kc_certs.iter().copied(), &data.crl, cutoff);
+    let kc_us = kc_start.elapsed().as_micros() as u64;
+
+    let rc_start = Instant::now();
+    let rc = RegistrantChangeDetector::new(psl)
+        .detect_shard(&input.rc_changes, input.rc_certs.iter().copied());
+    let rc_us = rc_start.elapsed().as_micros() as u64;
+
+    let mtd_start = Instant::now();
+    let id = input.id;
+    let mtd = ManagedTlsDetector::new(&data.cdn_config, psl).detect_shard(
+        &data.adns,
+        input.mtd_certs.iter().copied(),
+        data.adns_window,
+        |domain| shard_of(&mtd_routing_key(psl, domain), shards) == id,
+    );
+    let mtd_us = mtd_start.elapsed().as_micros() as u64;
+
+    let output = ShardOutput {
+        shard: input.id,
+        kc,
+        rc,
+        mtd,
+    };
+    let metrics = ShardMetrics {
+        shard: input.id,
+        wall_us: start.elapsed().as_micros() as u64,
+        kc_us,
+        rc_us,
+        mtd_us,
+        items_in: input.items(),
+        items_out: output.kc.len() + output.rc.len() + output.mtd.len(),
+        attempts: attempt,
+    };
+    (output, metrics)
+}

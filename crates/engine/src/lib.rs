@@ -1,0 +1,47 @@
+//! Sharded parallel detection engine.
+//!
+//! The three detectors of [`stale_core::detector`] are embarrassingly
+//! parallel once their inputs are partitioned by effective second-level
+//! domain (e2LD): every stale-certificate record is derived from one
+//! certificate and one event (a CRL entry, a registrant change, or a CDN
+//! departure), and both sides of each join can be routed to the same shard
+//! by a hash of the event's domain. This crate adds three layers on top of
+//! the shard-local detector APIs:
+//!
+//! 1. **Partitioner** ([`partition`]) — slices a
+//!    [`worldsim::WorldDatasets`] bundle into self-contained
+//!    [`partition::ShardInput`]s. CRL entries are keyed by `(AKI, serial)`
+//!    rather than by domain, so the CRL is broadcast to every shard;
+//!    certificates and registrant changes are routed by e2LD, with
+//!    cruise-liner certificates duplicated into every shard that owns one
+//!    of their customer domains.
+//! 2. **Supervisor** ([`supervisor`]) — a fixed worker pool over a bounded
+//!    work queue. A panicking shard is isolated, retried once, and then
+//!    reported as a [`supervisor::DegradedShard`] instead of aborting the
+//!    run. Completed shards are checkpointed to JSON
+//!    ([`checkpoint`]) and skipped on resume.
+//! 3. **Metrics** ([`metrics`]) — per-stage wall time, items in/out,
+//!    queue depths and shard skew, rendered as a summary table by the
+//!    repro binary.
+//!
+//! **Determinism guarantee:** for a fixed dataset bundle,
+//! [`Engine::run`] produces byte-identical reports for every shard count,
+//! including `shards = 1`, and identical to the serial
+//! [`stale_core::detector::DetectionSuite::run`]. The merge step orders
+//! key-compromise matches by CRL index, registrant-change records by the
+//! global change enumeration, and managed-TLS records by customer domain —
+//! exactly the orders the serial detectors emit.
+
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod partition;
+pub mod supervisor;
+
+pub use checkpoint::{Checkpoint, CompletedShard, ShardOutput};
+pub use config::EngineConfig;
+pub use engine::{Engine, EngineError, EngineReport};
+pub use metrics::{EngineMetrics, ShardMetrics, StageMetrics};
+pub use partition::{partition, Partition, ShardInput};
+pub use supervisor::DegradedShard;

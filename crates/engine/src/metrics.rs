@@ -1,0 +1,175 @@
+//! Layer 3: the engine's lightweight metrics registry.
+//!
+//! Wall times are measured with `std::time::Instant` and recorded in
+//! microseconds; they are observability only and never feed back into
+//! results (which stay byte-deterministic).
+
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage (partition, detect, merge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage name.
+    pub name: String,
+    /// Wall time, microseconds.
+    pub wall_us: u64,
+    /// Items entering the stage.
+    pub items_in: usize,
+    /// Items leaving the stage.
+    pub items_out: usize,
+}
+
+/// One shard's detector timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Total wall time, microseconds.
+    pub wall_us: u64,
+    /// Key-compromise join time.
+    pub kc_us: u64,
+    /// Registrant-change detection time.
+    pub rc_us: u64,
+    /// Managed-TLS detection time.
+    pub mtd_us: u64,
+    /// Items routed into the shard.
+    pub items_in: usize,
+    /// Matches/records the shard emitted.
+    pub items_out: usize,
+    /// Attempts taken (2 means the first attempt panicked).
+    pub attempts: u32,
+}
+
+/// The whole run's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Pipeline stages, in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Per-shard detail, in shard order (degraded shards absent).
+    pub shards: Vec<ShardMetrics>,
+    /// Queue depth observed at each job pop, in pop order.
+    pub queue_depths: Vec<usize>,
+    /// Shards restored from a checkpoint instead of recomputed.
+    pub resumed_shards: usize,
+}
+
+impl EngineMetrics {
+    /// Ratio of the busiest shard's input to the mean shard input
+    /// (1.0 = perfectly balanced). `None` with no shard data.
+    pub fn shard_skew(&self) -> Option<f64> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let total: usize = self.shards.iter().map(|s| s.items_in).sum();
+        let mean = total as f64 / self.shards.len() as f64;
+        if mean == 0.0 {
+            return Some(1.0);
+        }
+        let max = self.shards.iter().map(|s| s.items_in).max().unwrap_or(0);
+        Some(max as f64 / mean)
+    }
+
+    /// Deepest queue observed.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Render the human-readable summary table the repro binary prints.
+    pub fn render_table(&self) -> String {
+        let human = |us: u64| -> String {
+            if us < 1_000 {
+                format!("{us} µs")
+            } else if us < 1_000_000 {
+                format!("{:.2} ms", us as f64 / 1_000.0)
+            } else {
+                format!("{:.3} s", us as f64 / 1_000_000.0)
+            }
+        };
+        let mut out = String::new();
+        out.push_str("engine metrics\n");
+        out.push_str("  stage         wall        in        out\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<12}  {:>9}  {:>8}  {:>8}\n",
+                s.name,
+                human(s.wall_us),
+                s.items_in,
+                s.items_out
+            ));
+        }
+        if !self.shards.is_empty() {
+            out.push_str(
+                "  shard         wall        kc        rc       mtd        in       out  att\n",
+            );
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "  {:<12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>3}\n",
+                    format!("#{}", s.shard),
+                    human(s.wall_us),
+                    human(s.kc_us),
+                    human(s.rc_us),
+                    human(s.mtd_us),
+                    s.items_in,
+                    s.items_out,
+                    s.attempts
+                ));
+            }
+        }
+        if let Some(skew) = self.shard_skew() {
+            out.push_str(&format!(
+                "  skew {:.2}x, max queue depth {}, resumed {} shard(s)\n",
+                skew,
+                self.max_queue_depth(),
+                self.resumed_shards
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(id: usize, items_in: usize) -> ShardMetrics {
+        ShardMetrics {
+            shard: id,
+            wall_us: 1500,
+            kc_us: 500,
+            rc_us: 500,
+            mtd_us: 500,
+            items_in,
+            items_out: 1,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn skew_and_depth() {
+        let mut m = EngineMetrics::default();
+        assert_eq!(m.shard_skew(), None);
+        m.shards = vec![shard(0, 10), shard(1, 30)];
+        m.queue_depths = vec![2, 1, 0];
+        assert_eq!(m.shard_skew(), Some(1.5));
+        assert_eq!(m.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn table_mentions_stages_and_shards() {
+        let m = EngineMetrics {
+            stages: vec![StageMetrics {
+                name: "partition".into(),
+                wall_us: 1234,
+                items_in: 10,
+                items_out: 10,
+            }],
+            shards: vec![shard(0, 5)],
+            queue_depths: vec![1, 0],
+            resumed_shards: 0,
+        };
+        let t = m.render_table();
+        assert!(t.contains("partition"));
+        assert!(t.contains("#0"));
+        assert!(t.contains("skew"));
+    }
+}

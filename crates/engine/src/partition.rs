@@ -1,0 +1,175 @@
+//! Layer 1: slicing a dataset bundle into self-contained shard inputs.
+//!
+//! Routing rules (all keyed through [`fnv1a64`] over the routing domain):
+//!
+//! * **Key compromise** — certificates are routed by the e2LD of their
+//!   first SAN. The CRL is keyed by `(AKI, serial)`, not by domain, so it
+//!   cannot be partitioned the same way: every worker scans the full CRL
+//!   against its local certificate index (a broadcast join). The merge
+//!   step resolves certificates that collide on `(AKI, serial)` across
+//!   shards.
+//! * **Registrant change** — changes are routed by their (e2LD) domain; a
+//!   certificate is duplicated into every shard that owns one of its SAN
+//!   e2LDs, so each change sees every certificate naming its domain.
+//! * **Managed TLS** — only provider-managed (marker-carrying)
+//!   certificates participate. Each is duplicated into every shard owning
+//!   one of its customer domains' routing keys; the worker-side `owned`
+//!   predicate ensures each customer is evaluated by exactly one shard.
+
+use ct::monitor::DedupedCert;
+use psl::SuffixList;
+use stale_core::detector::managed_tls::ManagedTlsDetector;
+use stale_core::detector::registrant_change::{
+    enumerate_changes, IndexedChange, RegistrantChangeDetector,
+};
+use stale_types::DomainName;
+use worldsim::WorldDatasets;
+
+/// FNV-1a over a byte string — the engine's stable routing hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard a routing domain belongs to.
+pub fn shard_of(key: &DomainName, shards: usize) -> usize {
+    (fnv1a64(key.as_str().as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// The routing key for a managed-TLS customer domain: its e2LD, falling
+/// back to the domain itself when the suffix list cannot split it. Workers
+/// and the partitioner must agree on this function.
+pub fn mtd_routing_key(psl: &SuffixList, domain: &DomainName) -> DomainName {
+    psl.e2ld_of_san(domain).unwrap_or_else(|_| domain.clone())
+}
+
+/// Everything one worker needs to run all three detectors on its slice.
+pub struct ShardInput<'w> {
+    /// Shard index in `0..shards`.
+    pub id: usize,
+    /// Certificates this shard indexes for the CRL join.
+    pub kc_certs: Vec<&'w DedupedCert>,
+    /// Registrant changes owned by this shard (with global indices).
+    pub rc_changes: Vec<IndexedChange>,
+    /// Certificates visible to this shard's registrant changes.
+    pub rc_certs: Vec<&'w DedupedCert>,
+    /// Managed certificates naming a customer owned by this shard.
+    pub mtd_certs: Vec<&'w DedupedCert>,
+}
+
+impl ShardInput<'_> {
+    /// Total items routed into this shard (the skew measure).
+    pub fn items(&self) -> usize {
+        self.kc_certs.len() + self.rc_changes.len() + self.rc_certs.len() + self.mtd_certs.len()
+    }
+}
+
+/// The partitioned bundle.
+pub struct Partition<'w> {
+    /// One input per shard, in shard order.
+    pub shards: Vec<ShardInput<'w>>,
+    /// Certificates in the corpus (each shard's `kc_certs` partition this).
+    pub corpus_size: usize,
+    /// Registrant changes enumerated (partitioned across shards).
+    pub change_count: usize,
+}
+
+/// Slice `data` into `n` self-contained shard inputs. Iteration order of
+/// the corpus (cert-id order) is preserved within every shard, and the
+/// union of shard inputs covers exactly the serial detectors' inputs.
+pub fn partition<'w>(data: &'w WorldDatasets, psl: &SuffixList, n: usize) -> Partition<'w> {
+    let n = n.max(1);
+    let mut shards: Vec<ShardInput<'w>> = (0..n)
+        .map(|id| ShardInput {
+            id,
+            kc_certs: Vec::new(),
+            rc_changes: Vec::new(),
+            rc_certs: Vec::new(),
+            mtd_certs: Vec::new(),
+        })
+        .collect();
+
+    let rc_detector = RegistrantChangeDetector::new(psl);
+    let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
+
+    let mut corpus_size = 0;
+    for cert in data.monitor.corpus_unfiltered() {
+        corpus_size += 1;
+        let sans = cert.certificate.tbs.san();
+
+        // Key compromise: one owner, by the first SAN's e2LD.
+        let kc_shard = match sans.first() {
+            Some(first) => {
+                let key = psl.e2ld_of_san(first).unwrap_or_else(|_| first.clone());
+                shard_of(&key, n)
+            }
+            None => 0,
+        };
+        shards[kc_shard].kc_certs.push(cert);
+
+        // Registrant change: duplicated to every shard owning a SAN e2LD.
+        let mut rc_shards: Vec<usize> = rc_detector
+            .cert_e2lds(cert)
+            .iter()
+            .map(|e2ld| shard_of(e2ld, n))
+            .collect();
+        rc_shards.sort_unstable();
+        rc_shards.dedup();
+        for s in rc_shards {
+            shards[s].rc_certs.push(cert);
+        }
+
+        // Managed TLS: duplicated to every shard owning a customer domain.
+        if mtd_detector.is_managed_cert(cert) {
+            let mut mtd_shards: Vec<usize> = mtd_detector
+                .customer_domains(cert)
+                .into_iter()
+                .filter(|d| !d.is_wildcard())
+                .map(|d| shard_of(&mtd_routing_key(psl, d), n))
+                .collect();
+            mtd_shards.sort_unstable();
+            mtd_shards.dedup();
+            for s in mtd_shards {
+                shards[s].mtd_certs.push(cert);
+            }
+        }
+    }
+
+    let changes = enumerate_changes(&data.whois);
+    let change_count = changes.len();
+    for change in changes {
+        let s = shard_of(&change.domain, n);
+        shards[s].rc_changes.push(change);
+    }
+
+    Partition {
+        shards,
+        corpus_size,
+        change_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vector for the empty string and "a" (FNV-1a 64-bit).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn shard_of_is_in_range() {
+        let d = stale_types::domain::dn("example.com");
+        for n in 1..10 {
+            assert!(shard_of(&d, n) < n);
+        }
+        assert_eq!(shard_of(&d, 1), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Layer 2: the worker pool with panic isolation and retry.
+//!
+//! Shards are jobs on a shared queue drained by a fixed pool of scoped
+//! threads. A shard that panics is caught with `catch_unwind`, retried
+//! once in place, and — if it panics again — reported as a
+//! [`DegradedShard`] while every other shard's results survive. Results
+//! flow back over a bounded channel so the supervisor can checkpoint each
+//! completion incrementally.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A shard that kept panicking and was abandoned after its retries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedShard {
+    /// Shard index.
+    pub shard: usize,
+    /// The panic payload of the final attempt.
+    pub error: String,
+    /// Attempts made (retry policy: 2).
+    pub attempts: u32,
+}
+
+/// How often a failing shard is attempted before it degrades.
+pub const MAX_ATTEMPTS: u32 = 2;
+
+/// Outcome of one job, as sent back to the supervisor.
+enum JobResult<T> {
+    Done {
+        shard: usize,
+        attempts: u32,
+        value: T,
+    },
+    Failed(DegradedShard),
+}
+
+/// Depth of the job queue when a worker popped, in pop order.
+pub type QueueDepths = Vec<usize>;
+
+/// A finished shard as `(shard, attempts, value)`; `None` if degraded.
+pub type ShardResult<T> = Option<(usize, u32, T)>;
+
+/// Run `jobs` shard jobs on `workers` threads. `run(shard, attempt)` does
+/// the work (attempt counts from 1); `on_complete(shard, attempts, &T)` is
+/// called on the supervisor thread after each success, in completion
+/// order (for incremental checkpointing). Returns per-shard results in
+/// shard order (`None` for degraded shards), the degraded list sorted by
+/// shard, and the observed queue depths.
+pub fn run_shards<T, F>(
+    jobs: Vec<usize>,
+    workers: usize,
+    run: F,
+    mut on_complete: impl FnMut(usize, u32, &T),
+) -> (Vec<ShardResult<T>>, Vec<DegradedShard>, QueueDepths)
+where
+    T: Send,
+    F: Fn(usize, u32) -> T + Sync,
+{
+    let max_shard = jobs.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let total = jobs.len();
+    let workers = workers.clamp(1, total.max(1));
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(jobs.into());
+    let depths: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    // Bounded: workers block rather than buffering unbounded results.
+    let (tx, rx) = mpsc::sync_channel::<JobResult<T>>(workers * 2);
+
+    let mut results: Vec<ShardResult<T>> = (0..max_shard).map(|_| None).collect();
+    let mut degraded: Vec<DegradedShard> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let depths = &depths;
+            let run = &run;
+            scope.spawn(move || loop {
+                let shard = {
+                    let mut q = queue.lock().unwrap();
+                    let job = q.pop_front();
+                    if job.is_some() {
+                        depths.lock().unwrap().push(q.len());
+                    }
+                    job
+                };
+                let Some(shard) = shard else { break };
+                let mut attempt = 1;
+                let outcome = loop {
+                    match catch_unwind(AssertUnwindSafe(|| run(shard, attempt))) {
+                        Ok(value) => {
+                            break JobResult::Done {
+                                shard,
+                                attempts: attempt,
+                                value,
+                            };
+                        }
+                        Err(payload) if attempt < MAX_ATTEMPTS => {
+                            drop(payload);
+                            attempt += 1;
+                        }
+                        Err(payload) => {
+                            break JobResult::Failed(DegradedShard {
+                                shard,
+                                error: panic_message(payload),
+                                attempts: attempt,
+                            });
+                        }
+                    }
+                };
+                if tx.send(outcome).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        for outcome in rx.iter().take(total) {
+            match outcome {
+                JobResult::Done {
+                    shard,
+                    attempts,
+                    value,
+                } => {
+                    on_complete(shard, attempts, &value);
+                    results[shard] = Some((shard, attempts, value));
+                }
+                JobResult::Failed(d) => degraded.push(d),
+            }
+        }
+    });
+
+    degraded.sort_by_key(|d| d.shard);
+    (results, degraded, depths.into_inner().unwrap())
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_complete() {
+        let (results, degraded, depths) =
+            run_shards(vec![0, 1, 2, 3], 2, |shard, _| shard * 10, |_, _, _| {});
+        assert!(degraded.is_empty());
+        let values: Vec<usize> = results.into_iter().map(|r| r.unwrap().2).collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+        assert_eq!(depths.len(), 4);
+    }
+
+    #[test]
+    fn panicking_shard_degrades_others_survive() {
+        let (results, degraded, _) = run_shards(
+            vec![0, 1, 2],
+            2,
+            |shard, _| {
+                if shard == 1 {
+                    panic!("shard 1 is cursed");
+                }
+                shard
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].shard, 1);
+        assert_eq!(degraded[0].attempts, MAX_ATTEMPTS);
+        assert!(degraded[0].error.contains("cursed"));
+        assert!(results[0].is_some() && results[1].is_none() && results[2].is_some());
+    }
+
+    #[test]
+    fn first_attempt_panic_is_retried() {
+        let tries = AtomicUsize::new(0);
+        let (results, degraded, _) = run_shards(
+            vec![0],
+            1,
+            |shard, attempt| {
+                tries.fetch_add(1, Ordering::SeqCst);
+                if attempt == 1 {
+                    panic!("transient");
+                }
+                shard + 100
+            },
+            |_, _, _| {},
+        );
+        assert!(degraded.is_empty());
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+        let (shard, attempts, value) = results[0].unwrap();
+        assert_eq!((shard, attempts, value), (0, 2, 100));
+    }
+
+    #[test]
+    fn completion_callback_sees_every_success() {
+        let mut seen = Vec::new();
+        run_shards(
+            vec![3, 5],
+            2,
+            |shard, _| shard,
+            |shard, _, _| seen.push(shard),
+        );
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 5]);
+    }
+}

@@ -24,7 +24,11 @@ pub struct ServerIdentity {
 impl ServerIdentity {
     /// Identity with a single (leaf) certificate.
     pub fn new(leaf: Certificate, key: KeyPair) -> ServerIdentity {
-        ServerIdentity { chain: vec![leaf], key, staple: None }
+        ServerIdentity {
+            chain: vec![leaf],
+            key,
+            staple: None,
+        }
     }
 
     /// Attach an intermediate/root chain tail.
@@ -50,7 +54,10 @@ pub struct Server {
 impl Server {
     /// Empty server.
     pub fn new() -> Server {
-        Server { identities: Vec::new(), alpn: vec![Alpn::h2(), Alpn::http11()] }
+        Server {
+            identities: Vec::new(),
+            alpn: vec![Alpn::h2(), Alpn::http11()],
+        }
     }
 
     /// Add an identity.

@@ -9,8 +9,8 @@ use stale_core::mitigation::revocation_policy::{
     connection_outcome, ConnectionOutcome, NetworkCondition,
 };
 use stale_types::{Date, DomainName};
-use x509::validate::{validate_chain, ValidationError};
 use std::fmt;
+use x509::validate::{validate_chain, ValidationError};
 
 /// Handshake failures, in the order a client detects them.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,7 +128,9 @@ fn handshake_inner(
     };
     transcript.server_hello(&server_hello);
     // <- Certificate
-    let cert_msg = CertificateMsg { chain: identity.chain.clone() };
+    let cert_msg = CertificateMsg {
+        chain: identity.chain.clone(),
+    };
     transcript.certificate(&cert_msg);
     // <- CertificateVerify: signature over the transcript with the leaf
     // key. This is the proof-of-possession step — a stolen certificate
@@ -137,10 +139,17 @@ fn handshake_inner(
         signature: SimSig::sign(identity.key.private(), &transcript.verify_bytes()),
     };
     // --- client-side checks ---
-    let leaf = cert_msg.chain.first().ok_or(HandshakeError::KeyPossessionFailed)?;
+    let leaf = cert_msg
+        .chain
+        .first()
+        .ok_or(HandshakeError::KeyPossessionFailed)?;
     validate_chain(&cert_msg.chain, &client.trusted_roots, sni, date)
         .map_err(HandshakeError::Validation)?;
-    if !SimSig::verify(&leaf.tbs.public_key, &transcript.verify_bytes(), &verify.signature) {
+    if !SimSig::verify(
+        &leaf.tbs.public_key,
+        &transcript.verify_bytes(),
+        &verify.signature,
+    ) {
         return Err(HandshakeError::KeyPossessionFailed);
     }
     // CRLite (pushed revocation): checked before any network fetch.
@@ -188,13 +197,13 @@ fn handshake_inner(
         match outcome {
             ConnectionOutcome::Accepted => {}
             ConnectionOutcome::RejectedRevoked => return Err(HandshakeError::Revoked),
-            ConnectionOutcome::RejectedNoStatus => {
-                return Err(HandshakeError::NoRevocationStatus)
-            }
+            ConnectionOutcome::RejectedNoStatus => return Err(HandshakeError::NoRevocationStatus),
         }
     }
     // Finished: both sides bind the transcript.
-    let finished = Finished { verify_data: transcript.hash() };
+    let finished = Finished {
+        verify_data: transcript.hash(),
+    };
     if finished.verify_data != transcript.hash() {
         return Err(HandshakeError::TranscriptMismatch);
     }
@@ -236,7 +245,12 @@ mod tests {
             .sign(&root);
         let mut server = Server::new();
         server.add_identity(ServerIdentity::new(leaf.clone(), leaf_key.clone()));
-        Pki { root, server, leaf_key, leaf }
+        Pki {
+            root,
+            server,
+            leaf_key,
+            leaf,
+        }
     }
 
     #[test]
@@ -281,7 +295,9 @@ mod tests {
         let pki = pki(&["foo.com"]);
         // An attacker with the certificate but a different key.
         let wrong_key = KeyPair::from_seed([66; 32]);
-        let mitm = Mitm { identity: ServerIdentity::new(pki.leaf.clone(), wrong_key) };
+        let mitm = Mitm {
+            identity: ServerIdentity::new(pki.leaf.clone(), wrong_key),
+        };
         let client = Client::new(vec![pki.root.public()]);
         assert!(matches!(
             connect_via(&client, &pki.server, &mitm, &dn("foo.com"), d("2022-06-01")),
@@ -311,13 +327,27 @@ mod tests {
         real_server.add_identity(ServerIdentity::new(new_leaf, new_key));
         let client = Client::new(vec![pki.root.public()]);
         // MITM splices in the old (stale) identity: accepted.
-        let session =
-            connect_via(&client, &real_server, &mitm, &dn("transferred.com"), d("2022-08-01"))
-                .unwrap();
-        assert_eq!(session.peer_certificate, pki.leaf, "client sees the attacker's cert");
+        let session = connect_via(
+            &client,
+            &real_server,
+            &mitm,
+            &dn("transferred.com"),
+            d("2022-08-01"),
+        )
+        .unwrap();
+        assert_eq!(
+            session.peer_certificate, pki.leaf,
+            "client sees the attacker's cert"
+        );
         // After the stale certificate expires, the attack dies.
         assert!(matches!(
-            connect_via(&client, &real_server, &mitm, &dn("transferred.com"), d("2023-03-01")),
+            connect_via(
+                &client,
+                &real_server,
+                &mitm,
+                &dn("transferred.com"),
+                d("2023-03-01")
+            ),
             Err(HandshakeError::Validation(ValidationError::Expired { .. }))
         ));
     }
@@ -326,13 +356,20 @@ mod tests {
     fn crlite_client_blocks_revoked_stale_cert() {
         use stale_core::mitigation::crlite::CrliteFilter;
         let pki = pki(&["victim.com"]);
-        let mitm =
-            Mitm { identity: ServerIdentity::new(pki.leaf.clone(), pki.leaf_key.clone()) };
+        let mitm = Mitm {
+            identity: ServerIdentity::new(pki.leaf.clone(), pki.leaf_key.clone()),
+        };
         let filter = CrliteFilter::build(&[pki.leaf.cert_id()], &[pki.leaf.cert_id()]);
         let client = Client::new(vec![pki.root.public()]).with_crlite(filter);
         assert!(
             matches!(
-                connect_via(&client, &pki.server, &mitm, &dn("victim.com"), d("2022-06-01")),
+                connect_via(
+                    &client,
+                    &pki.server,
+                    &mitm,
+                    &dn("victim.com"),
+                    d("2022-06-01")
+                ),
                 Err(HandshakeError::CrliteHit)
             ),
             "pushed revocation beats the on-path OCSP block"

@@ -93,7 +93,9 @@ impl Default for Transcript {
 impl Transcript {
     /// Empty transcript.
     pub fn new() -> Self {
-        Transcript { hasher: Sha256::new() }
+        Transcript {
+            hasher: Sha256::new(),
+        }
     }
 
     /// Absorb the ClientHello.
@@ -145,7 +147,11 @@ mod tests {
     use stale_types::domain::dn;
 
     fn hello() -> ClientHello {
-        ClientHello { random: [1; 32], sni: dn("foo.com"), alpn: vec![Alpn::h2()] }
+        ClientHello {
+            random: [1; 32],
+            sni: dn("foo.com"),
+            alpn: vec![Alpn::h2()],
+        }
     }
 
     #[test]
@@ -153,13 +159,19 @@ mod tests {
         let mut a = Transcript::new();
         a.client_hello(&hello());
         let mut b = Transcript::new();
-        b.client_hello(&ClientHello { sni: dn("bar.com"), ..hello() });
+        b.client_hello(&ClientHello {
+            sni: dn("bar.com"),
+            ..hello()
+        });
         assert_ne!(a.hash(), b.hash(), "SNI is bound into the transcript");
         let mut c = Transcript::new();
         c.client_hello(&hello());
         assert_eq!(a.hash(), c.hash(), "same messages, same hash");
         // Adding a ServerHello changes it.
-        c.server_hello(&ServerHello { random: [2; 32], alpn: Some(Alpn::h2()) });
+        c.server_hello(&ServerHello {
+            random: [2; 32],
+            alpn: Some(Alpn::h2()),
+        });
         assert_ne!(a.hash(), c.hash());
     }
 

@@ -77,7 +77,7 @@ impl SuffixList {
         let labels: Vec<&str> = name.labels().collect();
         let n = labels.len();
         let mut best: usize = 1; // implicit default rule `*`
-        // Consider every suffix of the name, longest first.
+                                 // Consider every suffix of the name, longest first.
         for start in 0..n {
             let candidate = labels[start..].join(".");
             match self.rules.get(&candidate) {
@@ -207,14 +207,20 @@ mod tests {
     fn unknown_tld_uses_default_rule() {
         let l = list();
         assert_eq!(l.etld(&dn("foo.unknowntld")), dn("unknowntld"));
-        assert_eq!(l.e2ld(&dn("a.foo.unknowntld")).unwrap(), dn("foo.unknowntld"));
+        assert_eq!(
+            l.e2ld(&dn("a.foo.unknowntld")).unwrap(),
+            dn("foo.unknowntld")
+        );
     }
 
     #[test]
     fn wildcard_san_strips_star() {
         let l = list();
         assert_eq!(l.e2ld_of_san(&dn("*.foo.com")).unwrap(), dn("foo.com"));
-        assert_eq!(l.e2ld_of_san(&dn("*.a.foo.co.uk")).unwrap(), dn("foo.co.uk"));
+        assert_eq!(
+            l.e2ld_of_san(&dn("*.a.foo.co.uk")).unwrap(),
+            dn("foo.co.uk")
+        );
         assert_eq!(l.e2ld_of_san(&dn("bar.foo.com")).unwrap(), dn("foo.com"));
     }
 

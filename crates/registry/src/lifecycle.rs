@@ -123,12 +123,30 @@ mod tests {
         let exp = r.expiration_date;
         assert_eq!(r.state_at(exp.pred(), &p), DomainState::Active);
         assert_eq!(r.state_at(exp, &p), DomainState::ExpiredGrace);
-        assert_eq!(r.state_at(exp + Duration::days(44), &p), DomainState::ExpiredGrace);
-        assert_eq!(r.state_at(exp + Duration::days(45), &p), DomainState::Redemption);
-        assert_eq!(r.state_at(exp + Duration::days(74), &p), DomainState::Redemption);
-        assert_eq!(r.state_at(exp + Duration::days(75), &p), DomainState::PendingDelete);
-        assert_eq!(r.state_at(exp + Duration::days(79), &p), DomainState::PendingDelete);
-        assert_eq!(r.state_at(exp + Duration::days(80), &p), DomainState::Released);
+        assert_eq!(
+            r.state_at(exp + Duration::days(44), &p),
+            DomainState::ExpiredGrace
+        );
+        assert_eq!(
+            r.state_at(exp + Duration::days(45), &p),
+            DomainState::Redemption
+        );
+        assert_eq!(
+            r.state_at(exp + Duration::days(74), &p),
+            DomainState::Redemption
+        );
+        assert_eq!(
+            r.state_at(exp + Duration::days(75), &p),
+            DomainState::PendingDelete
+        );
+        assert_eq!(
+            r.state_at(exp + Duration::days(79), &p),
+            DomainState::PendingDelete
+        );
+        assert_eq!(
+            r.state_at(exp + Duration::days(80), &p),
+            DomainState::Released
+        );
     }
 
     #[test]

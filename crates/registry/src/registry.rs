@@ -136,7 +136,10 @@ impl Registry {
             let actual = reg.release_date(&self.policy);
             if actual <= date {
                 self.registrations.remove(&domain);
-                self.events.push(RegistryEvent::Released { domain, date: actual });
+                self.events.push(RegistryEvent::Released {
+                    domain,
+                    date: actual,
+                });
             } else {
                 // Renewed since the entry was queued; requeue at the new
                 // release date (strictly later, so the loop terminates).
@@ -164,7 +167,9 @@ impl Registry {
             "domain must be under the registry TLD"
         );
         if let Some(existing) = self.registrations.get(&domain) {
-            return Err(RegistryError::NotAvailable(existing.state_at(self.clock, &self.policy)));
+            return Err(RegistryError::NotAvailable(
+                existing.state_at(self.clock, &self.policy),
+            ));
         }
         let re_registration = self
             .events
@@ -184,7 +189,8 @@ impl Registry {
             creation_date: self.clock,
             re_registration,
         });
-        self.release_queue.push(Reverse((reg.release_date(&self.policy), domain.clone())));
+        self.release_queue
+            .push(Reverse((reg.release_date(&self.policy), domain.clone())));
         Ok(self.registrations.entry(domain).or_insert(reg))
     }
 
@@ -206,7 +212,10 @@ impl Registry {
         reg.updated_date = clock;
         let new_expiration = reg.expiration_date;
         let release = reg.release_date(&policy);
-        self.events.push(RegistryEvent::Renewed { domain: domain.clone(), new_expiration });
+        self.events.push(RegistryEvent::Renewed {
+            domain: domain.clone(),
+            new_expiration,
+        });
         self.release_queue.push(Reverse((release, domain.clone())));
         Ok(new_expiration)
     }
@@ -285,7 +294,8 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         let reg = r.registration(&dn("foo.com")).unwrap();
         assert_eq!(reg.creation_date, d("2020-01-01"));
         assert_eq!(reg.expiration_date, d("2020-12-31"));
@@ -296,7 +306,8 @@ mod tests {
     #[test]
     fn double_registration_rejected() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         assert!(matches!(
             r.register(dn("foo.com"), AccountId(2), 0, Duration::days(365)),
             Err(RegistryError::NotAvailable(DomainState::Active))
@@ -306,17 +317,18 @@ mod tests {
     #[test]
     fn expiration_release_and_reregistration() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         // Not renewed; advance past release (365 + 80 days).
         r.advance_to(d("2021-03-25"));
         assert_eq!(r.state(&dn("foo.com")), DomainState::Released);
         assert!(r.available(&dn("foo.com")));
-        assert!(r
-            .events()
-            .iter()
-            .any(|e| matches!(e, RegistryEvent::Released { domain, .. } if *domain == dn("foo.com"))));
+        assert!(r.events().iter().any(
+            |e| matches!(e, RegistryEvent::Released { domain, .. } if *domain == dn("foo.com"))
+        ));
         // Drop-catch by a new registrant: fresh creation date.
-        r.register(dn("foo.com"), AccountId(99), 1, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(99), 1, Duration::days(365))
+            .unwrap();
         let reg = r.registration(&dn("foo.com")).unwrap();
         assert_eq!(reg.creation_date, d("2021-03-25"));
         assert_eq!(reg.registrant, AccountId(99));
@@ -330,17 +342,22 @@ mod tests {
     #[test]
     fn renewal_keeps_creation_date() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         r.advance_to(d("2020-12-01"));
         let new_exp = r.renew(&dn("foo.com"), Duration::days(365)).unwrap();
         assert_eq!(new_exp, d("2021-12-31"));
-        assert_eq!(r.registration(&dn("foo.com")).unwrap().creation_date, d("2020-01-01"));
+        assert_eq!(
+            r.registration(&dn("foo.com")).unwrap().creation_date,
+            d("2020-01-01")
+        );
     }
 
     #[test]
     fn late_renewal_in_grace() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         r.advance_to(d("2021-01-20")); // in grace
         assert_eq!(r.state(&dn("foo.com")), DomainState::ExpiredGrace);
         let new_exp = r.renew(&dn("foo.com"), Duration::days(365)).unwrap();
@@ -351,9 +368,10 @@ mod tests {
     #[test]
     fn renewal_after_pending_delete_rejected() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         r.advance_to(d("2021-03-20")); // day 444: pending delete (380..385)
-        // foo.com expired 2020-12-31; +45+30 = 2021-03-16 redemption ends.
+                                       // foo.com expired 2020-12-31; +45+30 = 2021-03-16 redemption ends.
         assert!(matches!(
             r.renew(&dn("foo.com"), Duration::days(365)),
             Err(RegistryError::WrongState(DomainState::PendingDelete))
@@ -363,12 +381,17 @@ mod tests {
     #[test]
     fn transfer_preserves_creation_date() {
         let mut r = registry();
-        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        r.register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         r.advance_to(d("2020-06-01"));
         r.transfer(&dn("foo.com"), AccountId(2)).unwrap();
         let reg = r.registration(&dn("foo.com")).unwrap();
         assert_eq!(reg.registrant, AccountId(2));
-        assert_eq!(reg.creation_date, d("2020-01-01"), "transfer leaves creation date");
+        assert_eq!(
+            reg.creation_date,
+            d("2020-01-01"),
+            "transfer leaves creation date"
+        );
         assert_eq!(reg.updated_date, d("2020-06-01"));
     }
 

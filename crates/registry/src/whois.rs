@@ -53,20 +53,30 @@ impl WhoisDataset {
         let dates = self.creations.entry(domain).or_default();
         if dates.last() != Some(&creation_date) {
             debug_assert!(
-                dates.last().map_or(true, |last| *last < creation_date),
+                dates.last().is_none_or(|last| *last < creation_date),
                 "creation dates must be observed in order"
             );
             dates.push(creation_date);
         }
-        self.window_start =
-            Some(self.window_start.map_or(creation_date, |w| w.min(creation_date)));
-        self.window_end = Some(self.window_end.map_or(creation_date, |w| w.max(creation_date)));
+        self.window_start = Some(
+            self.window_start
+                .map_or(creation_date, |w| w.min(creation_date)),
+        );
+        self.window_end = Some(
+            self.window_end
+                .map_or(creation_date, |w| w.max(creation_date)),
+        );
     }
 
     /// Ingest every registration event from a registry's event log.
     pub fn ingest_registry(&mut self, registry: &Registry) {
         for event in registry.events() {
-            if let RegistryEvent::Registered { domain, creation_date, .. } = event {
+            if let RegistryEvent::Registered {
+                domain,
+                creation_date,
+                ..
+            } = event
+            {
                 self.observe(domain.clone(), *creation_date);
             }
         }
@@ -123,7 +133,10 @@ mod tests {
         ds.observe(dn("foo.com"), d("2020-01-01"));
         ds.observe(dn("foo.com"), d("2020-01-01"));
         ds.observe(dn("foo.com"), d("2021-06-01"));
-        assert_eq!(ds.creation_dates(&dn("foo.com")), &[d("2020-01-01"), d("2021-06-01")]);
+        assert_eq!(
+            ds.creation_dates(&dn("foo.com")),
+            &[d("2020-01-01"), d("2021-06-01")]
+        );
         assert_eq!(ds.record_count(), 2);
     }
 
@@ -140,10 +153,14 @@ mod tests {
     #[test]
     fn ingest_registry_end_to_end() {
         let mut registry = Registry::new(dn("com"), d("2019-01-01"));
-        registry.register(dn("foo.com"), AccountId(1), 0, Duration::days(365)).unwrap();
+        registry
+            .register(dn("foo.com"), AccountId(1), 0, Duration::days(365))
+            .unwrap();
         // Let it lapse and be re-registered (release = +365+80 days).
         registry.advance_to(d("2020-04-01"));
-        registry.register(dn("foo.com"), AccountId(2), 1, Duration::days(365)).unwrap();
+        registry
+            .register(dn("foo.com"), AccountId(2), 1, Duration::days(365))
+            .unwrap();
         let mut ds = WhoisDataset::new();
         ds.ingest_registry(&registry);
         assert_eq!(ds.creation_dates(&dn("foo.com")).len(), 2);
@@ -155,7 +172,9 @@ mod tests {
     #[test]
     fn whois_lookup_reflects_registration() {
         let mut registry = Registry::new(dn("com"), d("2020-01-01"));
-        registry.register(dn("foo.com"), AccountId(7), 3, Duration::days(730)).unwrap();
+        registry
+            .register(dn("foo.com"), AccountId(7), 3, Duration::days(730))
+            .unwrap();
         let rec = whois_lookup(&registry, &dn("foo.com")).unwrap();
         assert_eq!(rec.creation_date, d("2020-01-01"));
         assert_eq!(rec.registrar, 3);

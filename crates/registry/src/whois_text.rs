@@ -62,7 +62,11 @@ impl std::error::Error for WhoisParseError {}
 /// the registry-controlled dates stay visible, which is exactly why the
 /// paper's method survives redaction.
 pub fn render(record: &WhoisRecord, dialect: WhoisDialect, redacted: bool) -> String {
-    let registrant = if redacted { "REDACTED FOR PRIVACY" } else { "Registrant Name: On File" };
+    let registrant = if redacted {
+        "REDACTED FOR PRIVACY"
+    } else {
+        "Registrant Name: On File"
+    };
     match dialect {
         WhoisDialect::Verisign => format!(
             "   Domain Name: {}\n   Registrar: Registrar {}\n   Creation Date: {}T00:00:00Z\n   Registry Expiry Date: {}T00:00:00Z\n   Updated Date: {}T00:00:00Z\n   Registrant: {}\n   >>> Last update of whois database <<<\n",
@@ -95,12 +99,21 @@ pub fn render(record: &WhoisRecord, dialect: WhoisDialect, redacted: bool) -> St
 }
 
 /// Labels that mean "registry creation date" across dialects, lowercase.
-const CREATION_LABELS: &[&str] =
-    &["creation date", "created", "domain_create_date", "create date", "registered on"];
+const CREATION_LABELS: &[&str] = &[
+    "creation date",
+    "created",
+    "domain_create_date",
+    "create date",
+    "registered on",
+];
 
 /// Labels that mean "expiry date".
-const EXPIRY_LABELS: &[&str] =
-    &["registry expiry date", "expires", "domain_expiry_date", "expiry date"];
+const EXPIRY_LABELS: &[&str] = &[
+    "registry expiry date",
+    "expires",
+    "domain_expiry_date",
+    "expiry date",
+];
 
 /// Labels that mean "last updated".
 const UPDATED_LABELS: &[&str] = &["updated date", "changed", "last_modified", "last updated"];
@@ -136,21 +149,29 @@ pub fn parse(text: &str) -> Result<ParsedWhois, WhoisParseError> {
     let redacted = text.to_ascii_lowercase().contains("redacted");
     for raw_line in text.lines() {
         let line = raw_line.trim();
-        let Some((label, value)) = line.split_once([':', '=']) else { continue };
+        let Some((label, value)) = line.split_once([':', '=']) else {
+            continue;
+        };
         let label = label.trim().to_ascii_lowercase();
         let value = value.trim();
         if value.is_empty() {
             continue;
         }
         if (label == "domain name" || label == "domain") && domain.is_none() {
-            domain = Some(DomainName::parse(value).map_err(|_| WhoisParseError::BadField {
-                field: label.clone(),
-                value: value.to_string(),
-            })?);
+            domain = Some(
+                DomainName::parse(value).map_err(|_| WhoisParseError::BadField {
+                    field: label.clone(),
+                    value: value.to_string(),
+                })?,
+            );
         } else if CREATION_LABELS.contains(&label.as_str()) && creation.is_none() {
-            creation = Some(parse_date_lenient(value).ok_or_else(|| {
-                WhoisParseError::BadField { field: label.clone(), value: value.to_string() }
-            })?);
+            creation =
+                Some(
+                    parse_date_lenient(value).ok_or_else(|| WhoisParseError::BadField {
+                        field: label.clone(),
+                        value: value.to_string(),
+                    })?,
+                );
         } else if EXPIRY_LABELS.contains(&label.as_str()) && expiry.is_none() {
             expiry = parse_date_lenient(value);
         } else if UPDATED_LABELS.contains(&label.as_str()) && updated.is_none() {
@@ -183,14 +204,21 @@ mod tests {
 
     #[test]
     fn every_dialect_roundtrips_thin_fields() {
-        for dialect in [WhoisDialect::Verisign, WhoisDialect::Legacy, WhoisDialect::Terse] {
+        for dialect in [
+            WhoisDialect::Verisign,
+            WhoisDialect::Legacy,
+            WhoisDialect::Terse,
+        ] {
             for redacted in [false, true] {
                 let text = render(&record(), dialect, redacted);
-                let parsed = parse(&text)
-                    .unwrap_or_else(|e| panic!("{dialect:?} redacted={redacted}: {e}"));
+                let parsed =
+                    parse(&text).unwrap_or_else(|e| panic!("{dialect:?} redacted={redacted}: {e}"));
                 assert_eq!(parsed.domain, dn("foo.com"), "{dialect:?}");
                 assert_eq!(parsed.creation_date, Date::parse("2016-01-01").unwrap());
-                assert_eq!(parsed.expiration_date, Some(Date::parse("2023-01-01").unwrap()));
+                assert_eq!(
+                    parsed.expiration_date,
+                    Some(Date::parse("2023-01-01").unwrap())
+                );
                 assert_eq!(parsed.redacted, redacted);
             }
         }
@@ -236,6 +264,9 @@ mod tests {
         // Some registrars append their own (unreliable) dates after the
         // registry block; the parser keeps the first.
         let text = "Domain: foo.com\ncreated: 2016-01-01\ncreated: 1999-09-09\n";
-        assert_eq!(parse(text).unwrap().creation_date, Date::parse("2016-01-01").unwrap());
+        assert_eq!(
+            parse(text).unwrap().creation_date,
+            Date::parse("2016-01-01").unwrap()
+        );
     }
 }

@@ -17,10 +17,10 @@
 
 use crate::staleness::{StaleCertRecord, StalenessClass};
 use ca::scraper::CrlDataset;
-use ct::monitor::CtMonitor;
+use ct::monitor::{CtMonitor, DedupedCert};
 use serde::{Deserialize, Serialize};
 use stale_types::{CertId, Date, DateInterval, Duration, KeyId, SerialNumber};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use x509::revocation::RevocationReason;
 
 /// How many filtered revocations fell to each §4.1 filter.
@@ -41,7 +41,7 @@ pub struct RevocationFilterStats {
 }
 
 /// One revocation joined with its certificate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RevokedCert {
     /// CT dedup identity.
     pub cert_id: CertId,
@@ -76,41 +76,70 @@ fn thirteen_months() -> Duration {
     Duration::days(396)
 }
 
-impl RevocationAnalysis {
-    /// Join `crl` against `monitor` with the §4.1 filters;
-    /// `collection_start` is the first day of CRL collection.
-    pub fn run(crl: &CrlDataset, monitor: &CtMonitor, collection_start: Date) -> Self {
-        let cutoff = collection_start - thirteen_months();
-        // Hash join: (AKI, serial) → certificate. The ablation bench
-        // compares this against a sort-merge join.
-        let mut index: HashMap<(KeyId, SerialNumber), &ct::monitor::DedupedCert> = HashMap::new();
-        for cert in monitor.corpus_unfiltered() {
-            if let Some(aki) = cert.certificate.tbs.authority_key_id() {
-                index.insert((aki, cert.certificate.tbs.serial), cert);
+/// How a shard classified one `(CRL record, certificate)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinOutcome {
+    /// Revoked before `notBefore` (filter 2).
+    RevokedBeforeValid,
+    /// Revoked on/after `notAfter` (filter 3).
+    RevokedAfterExpiry,
+    /// Revocation date before the 13-month cutoff (filter 4).
+    RevokedTooEarly,
+    /// Survived all filters.
+    Kept(RevokedCert),
+}
+
+/// A shard-local join hit for one CRL record. The merge step keeps, per
+/// CRL index, the match whose `cert_id` is largest — the same winner the
+/// serial hash join's insert-overwrite produces over a cert-id-ordered
+/// corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMatch {
+    /// Index of the record in `CrlDataset::records()`.
+    pub crl_index: usize,
+    /// The certificate this shard matched to the record.
+    pub cert_id: CertId,
+    /// Filter classification of that pair.
+    pub outcome: JoinOutcome,
+}
+
+/// Shard-local half of the §4.1 join: index this shard's certificates by
+/// `(AKI, serial)` and scan the full CRL against them. CRL records that
+/// match no local certificate produce nothing; the merge step accounts
+/// them as unmatched.
+pub fn join_shard<'m>(
+    certs: impl IntoIterator<Item = &'m DedupedCert>,
+    crl: &CrlDataset,
+    cutoff: Date,
+) -> Vec<ShardMatch> {
+    // Hash join: (AKI, serial) → certificate, max cert_id winning ties so
+    // shard-local results are independent of input order. The ablation
+    // bench compares this against a sort-merge join.
+    let mut index: HashMap<(KeyId, SerialNumber), &DedupedCert> = HashMap::new();
+    for cert in certs {
+        if let Some(aki) = cert.certificate.tbs.authority_key_id() {
+            let slot = index
+                .entry((aki, cert.certificate.tbs.serial))
+                .or_insert(cert);
+            if cert.cert_id > slot.cert_id {
+                *slot = cert;
             }
         }
-        let mut stats = RevocationFilterStats { total: crl.records().len(), ..Default::default() };
-        let mut matched = Vec::new();
-        for rec in crl.records() {
-            let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
-                stats.unmatched += 1;
-                continue;
-            };
-            let tbs = &cert.certificate.tbs;
-            if rec.revocation_date < tbs.not_before() {
-                stats.revoked_before_valid += 1;
-                continue;
-            }
-            if rec.revocation_date >= tbs.not_after() {
-                stats.revoked_after_expiry += 1;
-                continue;
-            }
-            if rec.revocation_date < cutoff {
-                stats.revoked_too_early += 1;
-                continue;
-            }
-            stats.kept += 1;
-            matched.push(RevokedCert {
+    }
+    let mut matches = Vec::new();
+    for (crl_index, rec) in crl.records().iter().enumerate() {
+        let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
+            continue;
+        };
+        let tbs = &cert.certificate.tbs;
+        let outcome = if rec.revocation_date < tbs.not_before() {
+            JoinOutcome::RevokedBeforeValid
+        } else if rec.revocation_date >= tbs.not_after() {
+            JoinOutcome::RevokedAfterExpiry
+        } else if rec.revocation_date < cutoff {
+            JoinOutcome::RevokedTooEarly
+        } else {
+            JoinOutcome::Kept(RevokedCert {
                 cert_id: cert.cert_id,
                 authority_key_id: rec.authority_key_id,
                 serial: rec.serial,
@@ -119,9 +148,72 @@ impl RevocationAnalysis {
                 validity: tbs.validity,
                 issuer: tbs.issuer.common_name.clone(),
                 fqdns: tbs.san().to_vec(),
-            });
+            })
+        };
+        matches.push(ShardMatch {
+            crl_index,
+            cert_id: cert.cert_id,
+            outcome,
+        });
+    }
+    matches
+}
+
+/// Deterministic merge of shard-local joins: per CRL index keep the match
+/// with the largest `cert_id`, tally filter stats, and emit survivors in
+/// CRL-record order. `total` is the full CRL length; indexes no shard
+/// matched count as unmatched.
+pub fn merge_shards(
+    total: usize,
+    cutoff: Date,
+    shards: Vec<Vec<ShardMatch>>,
+) -> RevocationAnalysis {
+    let mut best: BTreeMap<usize, ShardMatch> = BTreeMap::new();
+    for m in shards.into_iter().flatten() {
+        match best.get(&m.crl_index) {
+            Some(cur) if cur.cert_id >= m.cert_id => {}
+            _ => {
+                best.insert(m.crl_index, m);
+            }
         }
-        RevocationAnalysis { matched, stats, cutoff }
+    }
+    let mut stats = RevocationFilterStats {
+        total,
+        ..Default::default()
+    };
+    stats.unmatched = total - best.len();
+    let mut matched = Vec::new();
+    for m in best.into_values() {
+        match m.outcome {
+            JoinOutcome::RevokedBeforeValid => stats.revoked_before_valid += 1,
+            JoinOutcome::RevokedAfterExpiry => stats.revoked_after_expiry += 1,
+            JoinOutcome::RevokedTooEarly => stats.revoked_too_early += 1,
+            JoinOutcome::Kept(cert) => {
+                stats.kept += 1;
+                matched.push(cert);
+            }
+        }
+    }
+    RevocationAnalysis {
+        matched,
+        stats,
+        cutoff,
+    }
+}
+
+impl RevocationAnalysis {
+    /// The revocation-date cutoff for a given first day of CRL collection.
+    pub fn cutoff_for(collection_start: Date) -> Date {
+        collection_start - thirteen_months()
+    }
+
+    /// Join `crl` against `monitor` with the §4.1 filters;
+    /// `collection_start` is the first day of CRL collection. This is the
+    /// single-shard composition of [`join_shard`] and [`merge_shards`].
+    pub fn run(crl: &CrlDataset, monitor: &CtMonitor, collection_start: Date) -> Self {
+        let cutoff = Self::cutoff_for(collection_start);
+        let matches = join_shard(monitor.corpus_unfiltered(), crl, cutoff);
+        merge_shards(crl.records().len(), cutoff, vec![matches])
     }
 
     /// The key-compromise subset as stale certificate records.

@@ -14,7 +14,7 @@ use ct::monitor::{CtMonitor, DedupedCert};
 use dns::scan::{DailyScanner, DnsHistory};
 use psl::SuffixList;
 use stale_types::{Date, DateInterval, DomainName};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The managed-TLS departure detector.
 pub struct ManagedTlsDetector<'a> {
@@ -31,8 +31,12 @@ impl<'a> ManagedTlsDetector<'a> {
     /// Whether `san` is the provider's marker name (e.g.
     /// `sni12345.cloudflaressl.com`).
     pub fn is_marker_san(&self, san: &DomainName) -> bool {
-        let Some(base) = &self.config.marker_base else { return false };
-        let Ok(base) = DomainName::parse(base) else { return false };
+        let Some(base) = &self.config.marker_base else {
+            return false;
+        };
+        let Ok(base) = DomainName::parse(base) else {
+            return false;
+        };
         san.is_subdomain_of(&base)
             && san != &base
             && san.labels().next().is_some_and(|l| l.starts_with("sni"))
@@ -40,7 +44,11 @@ impl<'a> ManagedTlsDetector<'a> {
 
     /// Whether a certificate is provider-managed (carries the marker).
     pub fn is_managed_cert(&self, cert: &DedupedCert) -> bool {
-        cert.certificate.tbs.san().iter().any(|s| self.is_marker_san(s))
+        cert.certificate
+            .tbs
+            .san()
+            .iter()
+            .any(|s| self.is_marker_san(s))
     }
 
     /// Customer domains on a managed certificate (everything except the
@@ -55,15 +63,39 @@ impl<'a> ManagedTlsDetector<'a> {
     }
 
     /// Detect departures over `window` and return the stale certificates.
+    /// This is the single-shard composition of [`Self::detect_shard`] and
+    /// [`merge_shards`].
     pub fn detect(
         &self,
         adns: &DnsHistory,
         monitor: &CtMonitor,
         window: DateInterval,
     ) -> Vec<StaleCertRecord> {
-        // Customer domain → managed certificates naming it.
-        let mut by_customer: HashMap<&DomainName, Vec<&DedupedCert>> = HashMap::new();
-        for cert in monitor.corpus_unfiltered() {
+        merge_shards(vec![self.detect_shard(
+            adns,
+            monitor.corpus_unfiltered(),
+            window,
+            |_| true,
+        )])
+    }
+
+    /// Shard-local detection over a subset of the corpus. `owned` decides
+    /// which customer domains this shard is responsible for: the
+    /// partitioner duplicates a managed certificate into every shard that
+    /// owns one of its customer domains, and the predicate stops the
+    /// duplicates from double-reporting — each `(customer, departures)`
+    /// group is evaluated by exactly one shard.
+    pub fn detect_shard<'m>(
+        &self,
+        adns: &DnsHistory,
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+        window: DateInterval,
+        owned: impl Fn(&DomainName) -> bool,
+    ) -> Vec<StaleCertRecord> {
+        // Customer domain → managed certificates naming it, in sorted
+        // customer order so shard output is independent of input order.
+        let mut by_customer: BTreeMap<&DomainName, Vec<&DedupedCert>> = BTreeMap::new();
+        for cert in certs {
             if !self.is_managed_cert(cert) {
                 continue;
             }
@@ -73,8 +105,14 @@ impl<'a> ManagedTlsDetector<'a> {
                 if domain.is_wildcard() {
                     continue;
                 }
+                if !owned(domain) {
+                    continue;
+                }
                 by_customer.entry(domain).or_default().push(cert);
             }
+        }
+        for certs in by_customer.values_mut() {
+            certs.sort_by_key(|c| c.cert_id);
         }
         let mut records = Vec::new();
         for (domain, certs) in &by_customer {
@@ -93,7 +131,9 @@ impl<'a> ManagedTlsDetector<'a> {
                                     self.psl
                                         .e2ld_of_san(s)
                                         .ok()
-                                        .and_then(|e| self.psl.e2ld_of_san(domain).ok().map(|d| e == d))
+                                        .and_then(|e| {
+                                            self.psl.e2ld_of_san(domain).ok().map(|d| e == d)
+                                        })
                                         .unwrap_or(false)
                                 })
                                 .cloned()
@@ -135,6 +175,16 @@ impl<'a> ManagedTlsDetector<'a> {
         }
         departures
     }
+}
+
+/// Deterministic merge: a stable sort by customer domain. Each customer is
+/// wholly owned by one shard, so shard-local order (departure-major, then
+/// cert id) is preserved within a domain and the result equals the serial
+/// sorted-customer iteration.
+pub fn merge_shards(shards: Vec<Vec<StaleCertRecord>>) -> Vec<StaleCertRecord> {
+    let mut all: Vec<StaleCertRecord> = shards.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.domain.cmp(&b.domain));
+    all
 }
 
 #[cfg(test)]

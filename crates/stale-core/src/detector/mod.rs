@@ -31,14 +31,19 @@ impl DetectionSuite {
             data.crl_window.start,
         );
         let key_compromise = revocations.stale_records();
-        let registrant_change =
-            registrant_change::RegistrantChangeDetector::new(psl).detect(&data.whois, &data.monitor);
+        let registrant_change = registrant_change::RegistrantChangeDetector::new(psl)
+            .detect(&data.whois, &data.monitor);
         let managed_tls = managed_tls::ManagedTlsDetector::new(&data.cdn_config, psl).detect(
             &data.adns,
             &data.monitor,
             data.adns_window,
         );
-        DetectionSuite { revocations, key_compromise, registrant_change, managed_tls }
+        DetectionSuite {
+            revocations,
+            key_compromise,
+            registrant_change,
+            managed_tls,
+        }
     }
 
     /// Records of one class.

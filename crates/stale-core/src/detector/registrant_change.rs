@@ -10,11 +10,24 @@
 //! (§4.4), so its counts are a lower bound.
 
 use crate::staleness::{StaleCertRecord, StalenessClass};
-use ct::monitor::CtMonitor;
+use ct::monitor::{CtMonitor, DedupedCert};
 use psl::SuffixList;
 use registry::whois::WhoisDataset;
 use stale_types::{Date, DomainName};
 use std::collections::HashMap;
+
+/// A registrant change with its global position in the sorted
+/// `WhoisDataset::registrant_changes()` enumeration. The index is the
+/// merge key that restores serial output order across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedChange {
+    /// Position in the global change enumeration.
+    pub index: usize,
+    /// The re-registered domain (an e2LD).
+    pub domain: DomainName,
+    /// The new registry creation date.
+    pub creation: Date,
+}
 
 /// The registrant-change detector.
 pub struct RegistrantChangeDetector<'a> {
@@ -27,37 +40,53 @@ impl<'a> RegistrantChangeDetector<'a> {
         RegistrantChangeDetector { psl }
     }
 
-    /// Index the corpus by SAN e2LD.
-    fn index_corpus<'m>(
-        &self,
-        monitor: &'m CtMonitor,
-    ) -> HashMap<DomainName, Vec<&'m ct::monitor::DedupedCert>> {
-        let mut index: HashMap<DomainName, Vec<&ct::monitor::DedupedCert>> = HashMap::new();
-        for cert in monitor.corpus_unfiltered() {
-            let mut seen_e2lds: Vec<DomainName> = Vec::new();
-            for san in cert.certificate.tbs.san() {
-                if let Ok(e2ld) = self.psl.e2ld_of_san(san) {
-                    if !seen_e2lds.contains(&e2ld) {
-                        seen_e2lds.push(e2ld);
-                    }
+    /// The SAN e2LDs of one certificate, deduplicated in SAN order. This
+    /// is also the partitioner's routing key set for the certificate.
+    pub fn cert_e2lds(&self, cert: &DedupedCert) -> Vec<DomainName> {
+        let mut seen_e2lds: Vec<DomainName> = Vec::new();
+        for san in cert.certificate.tbs.san() {
+            if let Ok(e2ld) = self.psl.e2ld_of_san(san) {
+                if !seen_e2lds.contains(&e2ld) {
+                    seen_e2lds.push(e2ld);
                 }
             }
-            for e2ld in seen_e2lds {
+        }
+        seen_e2lds
+    }
+
+    /// Index a set of certificates by SAN e2LD.
+    fn index_certs<'m>(
+        &self,
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+    ) -> HashMap<DomainName, Vec<&'m DedupedCert>> {
+        let mut index: HashMap<DomainName, Vec<&DedupedCert>> = HashMap::new();
+        for cert in certs {
+            for e2ld in self.cert_e2lds(cert) {
                 index.entry(e2ld).or_default().push(cert);
             }
         }
         index
     }
 
-    /// Detect stale certificates for every registrant change in `whois`.
-    pub fn detect(&self, whois: &WhoisDataset, monitor: &CtMonitor) -> Vec<StaleCertRecord> {
-        let index = self.index_corpus(monitor);
+    /// Shard-local detection: match this shard's registrant changes
+    /// against this shard's certificates. Each change must arrive with
+    /// *all* certificates naming its domain (the partitioner duplicates
+    /// cruise-liner certificates into every shard owning one of their
+    /// e2LDs), so every emitted record is wholly owned by one shard.
+    pub fn detect_shard<'m>(
+        &self,
+        changes: &[IndexedChange],
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+    ) -> Vec<(usize, StaleCertRecord)> {
+        let index = self.index_certs(certs);
         let mut records = Vec::new();
-        for (domain, creation) in whois.registrant_changes() {
-            let Some(certs) = index.get(domain) else { continue };
+        for change in changes {
+            let Some(certs) = index.get(&change.domain) else {
+                continue;
+            };
             for cert in certs {
                 let tbs = &cert.certificate.tbs;
-                if spans(tbs.not_before(), creation, tbs.not_after()) {
+                if spans(tbs.not_before(), change.creation, tbs.not_after()) {
                     // The relevant FQDNs are the SANs under the changed
                     // e2LD (a cruise-liner certificate names many other
                     // customers that are *not* stale).
@@ -65,24 +94,63 @@ impl<'a> RegistrantChangeDetector<'a> {
                         .san()
                         .iter()
                         .filter(|san| {
-                            self.psl.e2ld_of_san(san).map(|e| e == *domain).unwrap_or(false)
+                            self.psl
+                                .e2ld_of_san(san)
+                                .map(|e| e == change.domain)
+                                .unwrap_or(false)
                         })
                         .cloned()
                         .collect();
-                    records.push(StaleCertRecord {
-                        cert_id: cert.cert_id,
-                        class: StalenessClass::RegistrantChange,
-                        domain: domain.clone(),
-                        fqdns,
-                        issuer: tbs.issuer.common_name.clone(),
-                        invalidation: creation,
-                        validity: tbs.validity,
-                    });
+                    records.push((
+                        change.index,
+                        StaleCertRecord {
+                            cert_id: cert.cert_id,
+                            class: StalenessClass::RegistrantChange,
+                            domain: change.domain.clone(),
+                            fqdns,
+                            issuer: tbs.issuer.common_name.clone(),
+                            invalidation: change.creation,
+                            validity: tbs.validity,
+                        },
+                    ));
                 }
             }
         }
         records
     }
+
+    /// Detect stale certificates for every registrant change in `whois`.
+    /// This is the single-shard composition of [`Self::detect_shard`] and
+    /// [`merge_shards`].
+    pub fn detect(&self, whois: &WhoisDataset, monitor: &CtMonitor) -> Vec<StaleCertRecord> {
+        let changes = enumerate_changes(whois);
+        merge_shards(vec![
+            self.detect_shard(&changes, monitor.corpus_unfiltered())
+        ])
+    }
+}
+
+/// The global, order-defining enumeration of registrant changes (sorted by
+/// domain, then chronological within a domain).
+pub fn enumerate_changes(whois: &WhoisDataset) -> Vec<IndexedChange> {
+    whois
+        .registrant_changes()
+        .enumerate()
+        .map(|(index, (domain, creation))| IndexedChange {
+            index,
+            domain: domain.clone(),
+            creation,
+        })
+        .collect()
+}
+
+/// Deterministic merge: sort by `(global change index, cert_id)`, which is
+/// exactly the serial emission order (changes in enumeration order, and
+/// within a change the corpus is scanned in cert-id order).
+pub fn merge_shards(shards: Vec<Vec<(usize, StaleCertRecord)>>) -> Vec<StaleCertRecord> {
+    let mut all: Vec<(usize, StaleCertRecord)> = shards.into_iter().flatten().collect();
+    all.sort_by_key(|(index, record)| (*index, record.cert_id));
+    all.into_iter().map(|(_, record)| record).collect()
 }
 
 /// `notBefore < creation < notAfter`, strictly, per §4.2.
@@ -134,7 +202,12 @@ mod tests {
     #[test]
     fn spanning_cert_detected() {
         let psl = SuffixList::default_list();
-        let m = monitor(vec![cert(1, &["foo.com", "www.foo.com"], "2021-01-01", 398)]);
+        let m = monitor(vec![cert(
+            1,
+            &["foo.com", "www.foo.com"],
+            "2021-01-01",
+            398,
+        )]);
         let w = whois(&[("foo.com", "2015-05-05", "2021-06-01")]);
         let records = RegistrantChangeDetector::new(&psl).detect(&w, &m);
         assert_eq!(records.len(), 1);
@@ -154,11 +227,13 @@ mod tests {
     fn non_spanning_certs_ignored() {
         let psl = SuffixList::default_list();
         let m = monitor(vec![
-            cert(1, &["foo.com"], "2020-01-01", 90),  // expired before change
-            cert(2, &["foo.com"], "2021-07-01", 90),  // issued after change
+            cert(1, &["foo.com"], "2020-01-01", 90), // expired before change
+            cert(2, &["foo.com"], "2021-07-01", 90), // issued after change
         ]);
         let w = whois(&[("foo.com", "2015-05-05", "2021-06-01")]);
-        assert!(RegistrantChangeDetector::new(&psl).detect(&w, &m).is_empty());
+        assert!(RegistrantChangeDetector::new(&psl)
+            .detect(&w, &m)
+            .is_empty());
     }
 
     #[test]
@@ -168,7 +243,9 @@ mod tests {
         // not < creation).
         let m = monitor(vec![cert(1, &["foo.com"], "2021-06-01", 90)]);
         let w = whois(&[("foo.com", "2015-05-05", "2021-06-01")]);
-        assert!(RegistrantChangeDetector::new(&psl).detect(&w, &m).is_empty());
+        assert!(RegistrantChangeDetector::new(&psl)
+            .detect(&w, &m)
+            .is_empty());
     }
 
     #[test]
@@ -217,6 +294,8 @@ mod tests {
         let m = monitor(vec![cert(1, &["foo.com"], "2021-01-01", 398)]);
         let mut w = WhoisDataset::new();
         w.observe(dn("foo.com"), d("2021-02-01"));
-        assert!(RegistrantChangeDetector::new(&psl).detect(&w, &m).is_empty());
+        assert!(RegistrantChangeDetector::new(&psl)
+            .detect(&w, &m)
+            .is_empty());
     }
 }

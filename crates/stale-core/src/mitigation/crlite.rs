@@ -58,7 +58,8 @@ impl BloomFilter {
     /// Probabilistic membership: false positives possible, false
     /// negatives impossible.
     pub fn contains(&self, id: &CertId) -> bool {
-        self.positions(id).all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+        self.positions(id)
+            .all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
     }
 
     /// Size in bytes.
@@ -84,8 +85,11 @@ impl CrliteFilter {
         // include[i] = ids the current level must match;
         // exclude = ids it must (eventually) not match.
         let mut include: Vec<CertId> = revoked.to_vec();
-        let mut exclude: Vec<CertId> =
-            population.iter().filter(|id| !revoked.contains(id)).cloned().collect();
+        let mut exclude: Vec<CertId> = population
+            .iter()
+            .filter(|id| !revoked.contains(id))
+            .cloned()
+            .collect();
         let mut salt = 0u32;
         while !include.is_empty() {
             let mut filter = BloomFilter::sized_for(include.len(), salt);
@@ -94,8 +98,11 @@ impl CrliteFilter {
             }
             // False positives among the excluded set become the next
             // level's include set.
-            let false_positives: Vec<CertId> =
-                exclude.iter().filter(|id| filter.contains(id)).cloned().collect();
+            let false_positives: Vec<CertId> = exclude
+                .iter()
+                .filter(|id| filter.contains(id))
+                .cloned()
+                .collect();
             levels.push(filter);
             exclude = include;
             include = false_positives;
@@ -197,7 +204,11 @@ mod tests {
         // Shipping raw 32-byte ids for the whole population would cost
         // 640 KB; the cascade should be far below even the revoked list.
         let raw_population = population.len() * 32;
-        assert!(filter.byte_size() * 20 < raw_population, "{} bytes", filter.byte_size());
+        assert!(
+            filter.byte_size() * 20 < raw_population,
+            "{} bytes",
+            filter.byte_size()
+        );
     }
 
     #[test]

@@ -42,9 +42,12 @@ impl DaneDeployment {
     /// Whether a presented key matches a TLSA record.
     pub fn matches(&self, record: &RData, key: &PublicKey) -> bool {
         match record {
-            RData::Tlsa { usage: 3, selector: 1, matching_type: 1, association } => {
-                association.as_slice() == sha256(key.as_bytes())
-            }
+            RData::Tlsa {
+                usage: 3,
+                selector: 1,
+                matching_type: 1,
+                association,
+            } => association.as_slice() == sha256(key.as_bytes()),
             _ => false,
         }
     }
@@ -61,10 +64,7 @@ impl DaneDeployment {
 ///
 /// Each stale certificate's months-long window collapses to (at most) one
 /// TTL per affected domain.
-pub fn dane_staleness_days(
-    records: &[StaleCertRecord],
-    deployment: DaneDeployment,
-) -> (f64, f64) {
+pub fn dane_staleness_days(records: &[StaleCertRecord], deployment: DaneDeployment) -> (f64, f64) {
     let pki: i64 = records.iter().map(|r| r.staleness_days().num_days()).sum();
     let dane = records.len() as f64 * deployment.staleness_days();
     (pki as f64, dane)

@@ -48,7 +48,10 @@ pub enum ConnectionOutcome {
 
 /// Whether the certificate demands stapling (RFC 7633).
 pub fn requires_staple(cert: &Certificate) -> bool {
-    cert.tbs.extensions.iter().any(|e| matches!(e, Extension::MustStaple))
+    cert.tbs
+        .extensions
+        .iter()
+        .any(|e| matches!(e, Extension::MustStaple))
 }
 
 /// Evaluate the revocation step of a TLS handshake.
@@ -159,36 +162,76 @@ mod tests {
                     .must_staple(),
             )
         };
-        Fixture { ca, cert, stapled_cert }
+        Fixture {
+            ca,
+            cert,
+            stapled_cert,
+        }
     }
 
     #[test]
     fn revoked_cert_blocked_only_when_check_completes() {
         let mut f = fixture();
-        f.ca.revoke(f.cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise)
-            .unwrap();
+        f.ca.revoke(
+            f.cert.tbs.serial,
+            d("2022-03-01"),
+            RevocationReason::KeyCompromise,
+        )
+        .unwrap();
         let today = d("2022-03-10");
         let fetch = || respond(&f.ca, f.cert.tbs.serial, today);
         let key = f.ca.public_key();
         // Chrome-style: accepted, revocation never consulted.
         assert_eq!(
-            connection_outcome(&f.cert, RevocationPolicy::NoCheck, NetworkCondition::Normal, None, &key, today, fetch),
+            connection_outcome(
+                &f.cert,
+                RevocationPolicy::NoCheck,
+                NetworkCondition::Normal,
+                None,
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::Accepted
         );
         // Soft-fail with working network: rejected.
         assert_eq!(
-            connection_outcome(&f.cert, RevocationPolicy::SoftFail, NetworkCondition::Normal, None, &key, today, fetch),
+            connection_outcome(
+                &f.cert,
+                RevocationPolicy::SoftFail,
+                NetworkCondition::Normal,
+                None,
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::RejectedRevoked
         );
         // Soft-fail with an on-path attacker dropping OCSP: ACCEPTED —
         // the §2.4 circumvention.
         assert_eq!(
-            connection_outcome(&f.cert, RevocationPolicy::SoftFail, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            connection_outcome(
+                &f.cert,
+                RevocationPolicy::SoftFail,
+                NetworkCondition::OcspBlocked,
+                None,
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::Accepted
         );
         // Hard-fail resists the same attacker.
         assert_eq!(
-            connection_outcome(&f.cert, RevocationPolicy::HardFail, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            connection_outcome(
+                &f.cert,
+                RevocationPolicy::HardFail,
+                NetworkCondition::OcspBlocked,
+                None,
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::RejectedNoStatus
         );
     }
@@ -203,13 +246,29 @@ mod tests {
         assert!(!requires_staple(&f.cert));
         // No staple presented: rejected even under the laxest policy.
         assert_eq!(
-            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, None, &key, today, fetch),
+            connection_outcome(
+                &f.stapled_cert,
+                RevocationPolicy::NoCheck,
+                NetworkCondition::OcspBlocked,
+                None,
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::RejectedNoStatus
         );
         // Fresh Good staple: accepted.
         let staple = respond(&f.ca, f.stapled_cert.tbs.serial, today);
         assert_eq!(
-            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, Some(&staple), &key, today, fetch),
+            connection_outcome(
+                &f.stapled_cert,
+                RevocationPolicy::NoCheck,
+                NetworkCondition::OcspBlocked,
+                Some(&staple),
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::Accepted
         );
     }
@@ -223,7 +282,15 @@ mod tests {
         let later = d("2022-02-20");
         let fetch = || respond(&f.ca, f.stapled_cert.tbs.serial, later);
         assert_eq!(
-            connection_outcome(&f.stapled_cert, RevocationPolicy::NoCheck, NetworkCondition::OcspBlocked, Some(&staple), &key, later, fetch),
+            connection_outcome(
+                &f.stapled_cert,
+                RevocationPolicy::NoCheck,
+                NetworkCondition::OcspBlocked,
+                Some(&staple),
+                &key,
+                later,
+                fetch
+            ),
             ConnectionOutcome::RejectedNoStatus
         );
     }
@@ -231,14 +298,26 @@ mod tests {
     #[test]
     fn revoked_staple_rejected() {
         let mut f = fixture();
-        f.ca.revoke(f.stapled_cert.tbs.serial, d("2022-03-01"), RevocationReason::KeyCompromise)
-            .unwrap();
+        f.ca.revoke(
+            f.stapled_cert.tbs.serial,
+            d("2022-03-01"),
+            RevocationReason::KeyCompromise,
+        )
+        .unwrap();
         let today = d("2022-03-05");
         let key = f.ca.public_key();
         let staple = respond(&f.ca, f.stapled_cert.tbs.serial, today);
         let fetch = || respond(&f.ca, f.stapled_cert.tbs.serial, today);
         assert_eq!(
-            connection_outcome(&f.stapled_cert, RevocationPolicy::SoftFail, NetworkCondition::Normal, Some(&staple), &key, today, fetch),
+            connection_outcome(
+                &f.stapled_cert,
+                RevocationPolicy::SoftFail,
+                NetworkCondition::Normal,
+                Some(&staple),
+                &key,
+                today,
+                fetch
+            ),
             ConnectionOutcome::RejectedRevoked
         );
     }

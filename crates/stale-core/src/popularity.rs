@@ -57,7 +57,11 @@ pub fn popularity_breakdown(
             }
         }
     }
-    PopularityBreakdown { label: label.into(), bucket_counts, total_domains: e2lds.len() }
+    PopularityBreakdown {
+        label: label.into(),
+        bucket_counts,
+        total_domains: e2lds.len(),
+    }
 }
 
 #[cfg(test)]
@@ -83,9 +87,11 @@ mod tests {
 
     fn archive(entries: &[(&str, u32)]) -> PopularityArchive {
         let mut a = PopularityArchive::new();
-        let ranks: HashMap<_, _> =
-            entries.iter().map(|(d, r)| (dn(d), *r)).collect();
-        a.add_sample(RankSample { date: Date::parse("2020-01-01").unwrap(), ranks });
+        let ranks: HashMap<_, _> = entries.iter().map(|(d, r)| (dn(d), *r)).collect();
+        a.add_sample(RankSample {
+            date: Date::parse("2020-01-01").unwrap(),
+            ranks,
+        });
         a
     }
 
@@ -98,11 +104,10 @@ mod tests {
             ("d.com", 500_000),
         ]);
         let psl = SuffixList::default_list();
-        let records: Vec<StaleCertRecord> =
-            ["a.com", "b.com", "c.com", "d.com", "unranked.com"]
-                .iter()
-                .map(|d| record(d))
-                .collect();
+        let records: Vec<StaleCertRecord> = ["a.com", "b.com", "c.com", "d.com", "unranked.com"]
+            .iter()
+            .map(|d| record(d))
+            .collect();
         let breakdown = popularity_breakdown("Test", &records, &archive, &psl);
         assert_eq!(breakdown.bucket_counts, [1, 2, 3, 4]);
         assert_eq!(breakdown.total_domains, 5);

@@ -46,7 +46,13 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
             cell.to_string()
         }
     };
-    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -95,6 +101,7 @@ pub fn curve_plot(points: &[(i64, f64)], cols: usize, rows: usize) -> String {
         }
     };
     let mut grid = vec![vec![' '; cols]; rows];
+    #[allow(clippy::needless_range_loop)] // the row index varies per column
     for c in 0..cols {
         let x = x_min + (x_max - x_min) * c as i64 / (cols.max(2) - 1) as i64;
         let y = sample(x).clamp(0.0, 1.0);
@@ -139,7 +146,10 @@ mod tests {
         // Borders + header + 2 rows = 6 lines.
         assert_eq!(lines.len(), 6);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "all lines same width");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "all lines same width"
+        );
         assert!(out.contains("| Key compromise |"));
     }
 
@@ -147,7 +157,10 @@ mod tests {
     fn csv_escaping() {
         let out = render_csv(
             &["a", "b"],
-            &[vec!["plain".into(), "has,comma".into()], vec!["has\"quote".into(), "x".into()]],
+            &[
+                vec!["plain".into(), "has,comma".into()],
+                vec!["has\"quote".into(), "x".into()],
+            ],
         );
         assert!(out.contains("\"has,comma\""));
         assert!(out.contains("\"has\"\"quote\""));
@@ -163,7 +176,11 @@ mod tests {
     #[test]
     fn bar_chart_scales_to_max() {
         let out = bar_chart(
-            &[("2021-11".into(), 100.0), ("2021-12".into(), 50.0), ("2022-01".into(), 0.0)],
+            &[
+                ("2021-11".into(), 100.0),
+                ("2021-12".into(), 50.0),
+                ("2022-01".into(), 0.0),
+            ],
             20,
         );
         let lines: Vec<&str> = out.lines().collect();

@@ -67,7 +67,9 @@ pub fn reputation_report(
     let mut report = ReputationReport::default();
     for domain in domains.into_iter().take(sample_cap) {
         report.sampled += 1;
-        let Some(rep) = feed.query(domain) else { continue };
+        let Some(rep) = feed.query(domain) else {
+            continue;
+        };
         if rep.vendor_count < VENDOR_THRESHOLD {
             continue;
         }
@@ -133,7 +135,10 @@ mod tests {
     #[test]
     fn flags_above_threshold_with_prior_activity() {
         let mut feed = ReputationFeed::new();
-        feed.insert(dn("evil.com"), rep(&["backdoor"], &["phishing"], "2020-06-01", 9));
+        feed.insert(
+            dn("evil.com"),
+            rep(&["backdoor"], &["phishing"], "2020-06-01", 9),
+        );
         feed.insert(dn("meh.com"), rep(&[], &["malicious"], "2020-06-01", 3)); // below bar
         feed.insert(dn("late.com"), rep(&[], &["malware"], "2022-06-01", 9)); // after change
         let records = vec![
@@ -156,8 +161,9 @@ mod tests {
     #[test]
     fn sample_cap_limits_queries() {
         let feed = ReputationFeed::new();
-        let records: Vec<StaleCertRecord> =
-            (0..10).map(|i| record(&format!("d{i}.com"), "2021-01-01")).collect();
+        let records: Vec<StaleCertRecord> = (0..10)
+            .map(|i| record(&format!("d{i}.com"), "2021-01-01"))
+            .collect();
         let report = reputation_report(&records, &feed, 3);
         assert_eq!(report.sampled, 3);
     }
@@ -167,7 +173,10 @@ mod tests {
         let mut feed = ReputationFeed::new();
         feed.insert(dn("mw.com"), rep(&["virus"], &[], "2020-01-01", 6));
         feed.insert(dn("url.com"), rep(&[], &["phishing"], "2020-01-01", 6));
-        let records = vec![record("mw.com", "2021-01-01"), record("url.com", "2021-01-01")];
+        let records = vec![
+            record("mw.com", "2021-01-01"),
+            record("url.com", "2021-01-01"),
+        ];
         let report = reputation_report(&records, &feed, usize::MAX);
         assert_eq!(report.malware_only, 1);
         assert_eq!(report.url_only, 1);

@@ -204,6 +204,9 @@ mod tests {
     #[test]
     fn class_labels() {
         assert_eq!(StalenessClass::KeyCompromise.label(), "Key compromise");
-        assert_eq!(StalenessClass::ManagedTlsDeparture.label(), "Managed TLS departure");
+        assert_eq!(
+            StalenessClass::ManagedTlsDeparture.label(),
+            "Managed TLS departure"
+        );
     }
 }

@@ -135,7 +135,10 @@ impl MonthlySeries {
 
     /// The month with the highest count.
     pub fn peak(&self) -> Option<(YearMonth, u64)> {
-        self.counts.iter().max_by_key(|(_, &c)| c).map(|(&ym, &c)| (ym, c))
+        self.counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&ym, &c)| (ym, c))
     }
 }
 
@@ -185,8 +188,11 @@ impl GroupedMonthlySeries {
 
     /// Totals per group, descending.
     pub fn totals(&self) -> Vec<(String, u64)> {
-        let mut totals: Vec<(String, u64)> =
-            self.groups.iter().map(|(k, s)| (k.clone(), s.total())).collect();
+        let mut totals: Vec<(String, u64)> = self
+            .groups
+            .iter()
+            .map(|(k, s)| (k.clone(), s.total()))
+            .collect();
         totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         totals
     }

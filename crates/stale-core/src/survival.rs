@@ -25,12 +25,16 @@ impl SurvivalCurve {
             .into_iter()
             .map(|r| r.days_to_invalidation().num_days().max(0))
             .collect();
-        SurvivalCurve { cdf: Cdf::new(samples) }
+        SurvivalCurve {
+            cdf: Cdf::new(samples),
+        }
     }
 
     /// Build from raw day counts.
     pub fn from_days(days: Vec<i64>) -> Self {
-        SurvivalCurve { cdf: Cdf::new(days) }
+        SurvivalCurve {
+            cdf: Cdf::new(days),
+        }
     }
 
     /// `S(t) = P(T > t)`: proportion not yet stale after `t` days.
@@ -57,7 +61,11 @@ impl SurvivalCurve {
 
     /// `(t, S(t))` plot points.
     pub fn points(&self) -> Vec<(i64, f64)> {
-        self.cdf.points().into_iter().map(|(t, p)| (t, 1.0 - p)).collect()
+        self.cdf
+            .points()
+            .into_iter()
+            .map(|(t, p)| (t, 1.0 - p))
+            .collect()
     }
 
     /// Median days to invalidation.
@@ -112,7 +120,7 @@ mod tests {
 
     #[test]
     fn from_records_clamps_negative() {
-        use crate::staleness::{StalenessClass, StaleCertRecord};
+        use crate::staleness::{StaleCertRecord, StalenessClass};
         use stale_types::{domain::dn, CertId, Date, DateInterval};
         // Invalidation before issuance (possible for registrant change
         // detected against a cert issued later by the *old* owner's CDN):

@@ -96,9 +96,7 @@ impl InvalidationEvent {
             | InvalidationEvent::DomainUseChange
             | InvalidationEvent::KeyOwnershipChange
             | InvalidationEvent::KeyUseChange
-            | InvalidationEvent::ManagedTlsDeparture => {
-                CertInfoCategory::SubscriberAuthentication
-            }
+            | InvalidationEvent::ManagedTlsDeparture => CertInfoCategory::SubscriberAuthentication,
             InvalidationEvent::KeyAuthorizationChange => CertInfoCategory::KeyAuthorization,
             InvalidationEvent::RevocationInfoChange => CertInfoCategory::IssuerInformation,
         }
@@ -122,12 +120,8 @@ impl InvalidationEvent {
         match self {
             InvalidationEvent::DomainOwnershipChange
             | InvalidationEvent::KeyOwnershipChange
-            | InvalidationEvent::ManagedTlsDeparture => {
-                SecurityImpact::ThirdPartyImpersonation
-            }
-            InvalidationEvent::KeyAuthorizationChange => {
-                SecurityImpact::FirstPartyOverPermissioned
-            }
+            | InvalidationEvent::ManagedTlsDeparture => SecurityImpact::ThirdPartyImpersonation,
+            InvalidationEvent::KeyAuthorizationChange => SecurityImpact::FirstPartyOverPermissioned,
             _ => SecurityImpact::FirstPartyMinimal,
         }
     }
@@ -148,9 +142,7 @@ impl InvalidationEvent {
             RevocationReason::KeyCompromise => Some(InvalidationEvent::KeyOwnershipChange),
             RevocationReason::Superseded => Some(InvalidationEvent::KeyUseChange),
             RevocationReason::CessationOfOperation => Some(InvalidationEvent::DomainUseChange),
-            RevocationReason::AffiliationChanged => {
-                Some(InvalidationEvent::DomainOwnershipChange)
-            }
+            RevocationReason::AffiliationChanged => Some(InvalidationEvent::DomainOwnershipChange),
             _ => None,
         }
     }
@@ -197,9 +189,18 @@ mod tests {
     #[test]
     fn control_changes() {
         use ControlChange::*;
-        assert_eq!(InvalidationEvent::DomainOwnershipChange.control_change(), Some(Ownership));
-        assert_eq!(InvalidationEvent::ManagedTlsDeparture.control_change(), Some(Use));
-        assert_eq!(InvalidationEvent::RevocationInfoChange.control_change(), None);
+        assert_eq!(
+            InvalidationEvent::DomainOwnershipChange.control_change(),
+            Some(Ownership)
+        );
+        assert_eq!(
+            InvalidationEvent::ManagedTlsDeparture.control_change(),
+            Some(Use)
+        );
+        assert_eq!(
+            InvalidationEvent::RevocationInfoChange.control_change(),
+            None
+        );
     }
 
     #[test]

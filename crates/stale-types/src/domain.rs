@@ -19,15 +19,23 @@ impl DomainName {
     pub fn parse(input: &str) -> Result<Self> {
         let trimmed = input.strip_suffix('.').unwrap_or(input);
         if trimmed.is_empty() {
-            return Err(Error::InvalidDomain { input: input.into(), reason: "empty name" });
+            return Err(Error::InvalidDomain {
+                input: input.into(),
+                reason: "empty name",
+            });
         }
         if trimmed.len() > 253 {
-            return Err(Error::InvalidDomain { input: input.into(), reason: "name too long" });
+            return Err(Error::InvalidDomain {
+                input: input.into(),
+                reason: "name too long",
+            });
         }
         let lower = trimmed.to_ascii_lowercase();
         for (i, label) in lower.split('.').enumerate() {
-            validate_label(label, i == 0)
-                .map_err(|reason| Error::InvalidDomain { input: input.into(), reason })?;
+            validate_label(label, i == 0).map_err(|reason| Error::InvalidDomain {
+                input: input.into(),
+                reason,
+            })?;
         }
         Ok(DomainName(lower))
     }
@@ -54,7 +62,9 @@ impl DomainName {
 
     /// The name with the leftmost label removed, if more than one remains.
     pub fn parent(&self) -> Option<DomainName> {
-        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_string()))
+        self.0
+            .split_once('.')
+            .map(|(_, rest)| DomainName(rest.to_string()))
     }
 
     /// Whether `self` equals `ancestor` or is a subdomain of it.
@@ -142,14 +152,21 @@ mod tests {
     #[test]
     fn normalisation() {
         assert_eq!(DomainName::parse("FOO.Com.").unwrap().as_str(), "foo.com");
-        assert_eq!(DomainName::parse("foo.com").unwrap(), DomainName::parse("FOO.COM").unwrap());
+        assert_eq!(
+            DomainName::parse("foo.com").unwrap(),
+            DomainName::parse("FOO.COM").unwrap()
+        );
     }
 
     #[test]
     fn rejects_bad_names() {
-        for bad in ["", ".", "foo..com", "-foo.com", "foo-.com", "f*o.com", "foo.c om", "a.*.com"]
-        {
-            assert!(DomainName::parse(bad).is_err(), "{bad:?} should be rejected");
+        for bad in [
+            "", ".", "foo..com", "-foo.com", "foo-.com", "f*o.com", "foo.c om", "a.*.com",
+        ] {
+            assert!(
+                DomainName::parse(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
         let long_label = format!("{}.com", "a".repeat(64));
         assert!(DomainName::parse(&long_label).is_err());
@@ -182,8 +199,14 @@ mod tests {
     fn wildcard_matching() {
         let w = dn("*.foo.com");
         assert!(w.matches(&dn("bar.foo.com")));
-        assert!(!w.matches(&dn("foo.com")), "wildcard does not match the bare parent");
-        assert!(!w.matches(&dn("a.b.foo.com")), "wildcard matches exactly one label");
+        assert!(
+            !w.matches(&dn("foo.com")),
+            "wildcard does not match the bare parent"
+        );
+        assert!(
+            !w.matches(&dn("a.b.foo.com")),
+            "wildcard matches exactly one label"
+        );
         assert!(dn("foo.com").matches(&dn("foo.com")));
         assert!(!dn("foo.com").matches(&dn("bar.com")));
     }

@@ -71,7 +71,10 @@ impl DateInterval {
     /// staleness window of a certificate invalidated at `from`.
     pub fn suffix_from(&self, from: Date) -> DateInterval {
         let start = from.max(self.start).min(self.end);
-        DateInterval { start, end: self.end }
+        DateInterval {
+            start,
+            end: self.end,
+        }
     }
 
     /// Truncate the interval so its length is at most `max_len`.
@@ -83,7 +86,10 @@ impl DateInterval {
         if self.len() <= max_len {
             *self
         } else {
-            DateInterval { start: self.start, end: self.start + max_len }
+            DateInterval {
+                start: self.start,
+                end: self.start + max_len,
+            }
         }
     }
 

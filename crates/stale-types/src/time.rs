@@ -88,9 +88,15 @@ impl YearMonth {
     /// The month immediately after this one.
     pub fn next(self) -> Self {
         if self.month == 12 {
-            YearMonth { year: self.year + 1, month: 1 }
+            YearMonth {
+                year: self.year + 1,
+                month: 1,
+            }
         } else {
-            YearMonth { year: self.year, month: self.month + 1 }
+            YearMonth {
+                year: self.year,
+                month: self.month + 1,
+            }
         }
     }
 
@@ -116,7 +122,9 @@ impl fmt::Display for YearMonth {
 /// `Ord` follows chronological order. Arithmetic with [`Duration`] is exact
 /// day arithmetic; there are no time zones or leap seconds at this
 /// granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Date(i64);
 
@@ -137,11 +145,15 @@ impl Date {
     /// Build from a Gregorian `(year, month, day)` triple.
     pub fn from_ymd(year: i32, month: u8, day: u8) -> Result<Self> {
         if !(1..=12).contains(&month) {
-            return Err(Error::InvalidDate(format!("{year:04}-{month:02}-{day:02}: bad month")));
+            return Err(Error::InvalidDate(format!(
+                "{year:04}-{month:02}-{day:02}: bad month"
+            )));
         }
         let max_day = Month(month).len(year);
         if day == 0 || day > max_day {
-            return Err(Error::InvalidDate(format!("{year:04}-{month:02}-{day:02}: bad day")));
+            return Err(Error::InvalidDate(format!(
+                "{year:04}-{month:02}-{day:02}: bad day"
+            )));
         }
         Ok(Date(days_from_civil(year, month as i64, day as i64)))
     }
@@ -194,12 +206,20 @@ impl Date {
 
     /// Chronologically smaller of two dates.
     pub fn min(self, other: Date) -> Date {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Chronologically larger of two dates.
     pub fn max(self, other: Date) -> Date {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Iterate every date in `[self, end)`.
@@ -287,9 +307,18 @@ mod tests {
     #[test]
     fn known_dates() {
         // Values checked against `date -d @... -u`.
-        assert_eq!(Date::from_ymd(2020, 9, 1).unwrap().days_since_epoch(), 18506);
-        assert_eq!(Date::from_ymd(2023, 5, 12).unwrap().days_since_epoch(), 19489);
-        assert_eq!(Date::from_ymd(2000, 2, 29).unwrap().days_since_epoch(), 11016);
+        assert_eq!(
+            Date::from_ymd(2020, 9, 1).unwrap().days_since_epoch(),
+            18506
+        );
+        assert_eq!(
+            Date::from_ymd(2023, 5, 12).unwrap().days_since_epoch(),
+            19489
+        );
+        assert_eq!(
+            Date::from_ymd(2000, 2, 29).unwrap().days_since_epoch(),
+            11016
+        );
     }
 
     #[test]
@@ -337,11 +366,31 @@ mod tests {
     #[test]
     fn year_month_bucketing() {
         let d = Date::parse("2018-11-30").unwrap();
-        assert_eq!(d.year_month(), YearMonth { year: 2018, month: 11 });
-        assert_eq!(d.year_month().next(), YearMonth { year: 2018, month: 12 });
-        assert_eq!(d.year_month().next().next(), YearMonth { year: 2019, month: 1 });
         assert_eq!(
-            YearMonth::new(2018, 1).unwrap().months_until(YearMonth::new(2019, 3).unwrap()),
+            d.year_month(),
+            YearMonth {
+                year: 2018,
+                month: 11
+            }
+        );
+        assert_eq!(
+            d.year_month().next(),
+            YearMonth {
+                year: 2018,
+                month: 12
+            }
+        );
+        assert_eq!(
+            d.year_month().next().next(),
+            YearMonth {
+                year: 2019,
+                month: 1
+            }
+        );
+        assert_eq!(
+            YearMonth::new(2018, 1)
+                .unwrap()
+                .months_until(YearMonth::new(2019, 3).unwrap()),
             14
         );
         assert!(YearMonth::new(2018, 13).is_err());

@@ -200,7 +200,11 @@ mod tests {
 
     #[test]
     fn presets_are_coherent() {
-        for cfg in [ScenarioConfig::paper2023(), ScenarioConfig::small(), ScenarioConfig::tiny()] {
+        for cfg in [
+            ScenarioConfig::paper2023(),
+            ScenarioConfig::small(),
+            ScenarioConfig::tiny(),
+        ] {
             assert!(cfg.start < cfg.end);
             assert!(cfg.sim_days() > 300);
             assert!(cfg.adns_window.start >= cfg.start && cfg.adns_window.end <= cfg.end);
@@ -231,7 +235,10 @@ mod tests {
     #[test]
     fn le_share_zero_before_launch() {
         let cfg = ScenarioConfig::paper2023();
-        assert_eq!(cfg.eras.le_share.at(Date::parse("2014-01-01").unwrap()), 0.0);
+        assert_eq!(
+            cfg.eras.le_share.at(Date::parse("2014-01-01").unwrap()),
+            0.0
+        );
         assert!(cfg.eras.le_share.at(Date::parse("2020-01-01").unwrap()) > 0.5);
     }
 }

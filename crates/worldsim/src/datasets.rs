@@ -84,6 +84,36 @@ pub struct DatasetSummary {
 }
 
 impl WorldDatasets {
+    /// A cheap structural fingerprint of the dataset bundle, used by the
+    /// engine's checkpoint files to refuse resuming against a different
+    /// world. Folds dataset sizes and window bounds through FNV-1a; it is
+    /// not cryptographic and does not hash certificate bodies.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.monitor.dedup_count() as u64);
+        mix(self.ct_raw_entries as u64);
+        mix(self.ct_log_count as u64);
+        mix(self.crl.len() as u64);
+        mix(self.whois.record_count() as u64);
+        mix(self.whois.domain_count() as u64);
+        mix(self.adns.domain_count() as u64);
+        for window in [self.sim_window, self.adns_window, self.crl_window] {
+            for date in [window.start, window.end] {
+                let (y, m, d) = date.ymd();
+                mix(((y as u64) << 16) | ((m as u64) << 8) | d as u64);
+            }
+        }
+        h
+    }
+
     /// Build the Table 3 summary.
     pub fn summary(&self) -> DatasetSummary {
         let mut rows = Vec::new();

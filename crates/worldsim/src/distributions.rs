@@ -63,13 +63,18 @@ impl Timeline {
             .map(|(s, v)| (Date::parse(s).expect("valid timeline date"), *v))
             .collect();
         assert!(!knots.is_empty(), "timeline needs at least one knot");
-        assert!(knots.windows(2).all(|w| w[0].0 <= w[1].0), "knots must be date-ordered");
+        assert!(
+            knots.windows(2).all(|w| w[0].0 <= w[1].0),
+            "knots must be date-ordered"
+        );
         Timeline { knots }
     }
 
     /// A constant function.
     pub fn constant(value: f64) -> Timeline {
-        Timeline { knots: vec![(Date::EPOCH, value)] }
+        Timeline {
+            knots: vec![(Date::EPOCH, value)],
+        }
     }
 
     /// Value at `date`: linear interpolation between knots, clamped at the
@@ -92,7 +97,9 @@ impl Timeline {
 
     /// Scale every knot value by `factor`.
     pub fn scaled(&self, factor: f64) -> Timeline {
-        Timeline { knots: self.knots.iter().map(|(d, v)| (*d, v * factor)).collect() }
+        Timeline {
+            knots: self.knots.iter().map(|(d, v)| (*d, v * factor)).collect(),
+        }
     }
 }
 
@@ -123,7 +130,9 @@ mod tests {
     fn exponential_mean_close() {
         let mut r = rng();
         let n = 20_000;
-        let total: i64 = (0..n).map(|_| exponential_days(&mut r, 30.0).num_days()).sum();
+        let total: i64 = (0..n)
+            .map(|_| exponential_days(&mut r, 30.0).num_days())
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 30.0).abs() < 1.5, "mean {mean}");
     }
@@ -141,7 +150,10 @@ mod tests {
         // share of domains is popular".
         assert!(top_1pct > 0.0005 && top_1pct < 0.2, "top share {top_1pct}");
         let bottom_half = ranks.iter().filter(|&&x| x > 500_000).count() as f64 / n as f64;
-        assert!(bottom_half > 0.5, "most domains are unpopular: {bottom_half}");
+        assert!(
+            bottom_half > 0.5,
+            "most domains are unpopular: {bottom_half}"
+        );
     }
 
     #[test]

@@ -75,11 +75,17 @@ mod tests {
         let mut archive = PopularityArchive::new();
         let mut r1 = HashMap::new();
         r1.insert(dn("foo.com"), 5000u32);
-        archive.add_sample(RankSample { date: Date::parse("2014-01-01").unwrap(), ranks: r1 });
+        archive.add_sample(RankSample {
+            date: Date::parse("2014-01-01").unwrap(),
+            ranks: r1,
+        });
         let mut r2 = HashMap::new();
         r2.insert(dn("foo.com"), 800u32);
         r2.insert(dn("bar.com"), 100_000u32);
-        archive.add_sample(RankSample { date: Date::parse("2014-07-01").unwrap(), ranks: r2 });
+        archive.add_sample(RankSample {
+            date: Date::parse("2014-07-01").unwrap(),
+            ranks: r2,
+        });
         assert_eq!(archive.best_rank(&dn("foo.com")), Some(800));
         assert_eq!(archive.best_rank(&dn("bar.com")), Some(100_000));
         assert_eq!(archive.best_rank(&dn("ghost.com")), None);

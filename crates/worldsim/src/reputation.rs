@@ -113,7 +113,10 @@ mod tests {
         assert!(hot.above_threshold());
         assert!(hot.has_malware());
         assert!(!hot.has_url_verdict());
-        let cold = DomainReputation { vendor_count: 3, ..hot.clone() };
+        let cold = DomainReputation {
+            vendor_count: 3,
+            ..hot.clone()
+        };
         assert!(!cold.above_threshold());
     }
 

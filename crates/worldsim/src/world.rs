@@ -29,7 +29,9 @@ use x509::Certificate;
 
 use crate::config::ScenarioConfig;
 use crate::datasets::{CompromiseEvent, GroundTruth, WorldDatasets};
-use crate::distributions::{chance, exponential_days, popularity_rank, rate_to_count, weighted_choice};
+use crate::distributions::{
+    chance, exponential_days, popularity_rank, rate_to_count, weighted_choice,
+};
 use crate::popularity::{PopularityArchive, RankSample};
 use crate::reputation::{DomainReputation, ReputationFeed, MALWARE_FAMILIES, URL_LABELS};
 
@@ -167,14 +169,14 @@ impl World {
             CaId(10),
             "COMODO ECC DV Secure Server CA 2",
             mk_key(&mut rng),
-            CaPolicy { default_lifetime: Duration::days(365), ..CaPolicy::commercial() },
+            CaPolicy {
+                default_lifetime: Duration::days(365),
+                ..CaPolicy::commercial()
+            },
         )
         .with_organization("COMODO (fronting Cloudflare)");
-        let cdn = ManagedTlsProvider::new(
-            ProviderConfig::cloudflare_cruise_liner(),
-            comodo,
-            rng.gen(),
-        );
+        let cdn =
+            ManagedTlsProvider::new(ProviderConfig::cloudflare_cruise_liner(), comodo, rng.gen());
         let hosts = vec![
             WebHost::new(
                 "cpanel-shared",
@@ -360,12 +362,16 @@ impl World {
                 CaId(11),
                 "CloudFlare ECC CA-2",
                 KeyPair::generate(&mut self.rng),
-                CaPolicy { default_lifetime: Duration::days(365), ..CaPolicy::commercial() },
+                CaPolicy {
+                    default_lifetime: Duration::days(365),
+                    ..CaPolicy::commercial()
+                },
             )
             .with_organization("Cloudflare");
             let retired = self.cdn.switch_ca(own_ca);
             self.retired_cdn_cas.push(retired);
-            self.cdn.reconfigure(ProviderConfig::cloudflare_per_domain());
+            self.cdn
+                .reconfigure(ProviderConfig::cloudflare_per_domain());
         }
         if !self.breach_fired && self.cfg.host_breach.is_some_and(|b| date >= b) {
             self.breach_fired = true;
@@ -391,13 +397,21 @@ impl World {
             let owner = self.fresh_account();
             self.registries[registry_idx].advance_to(date);
             if self.registries[registry_idx]
-                .register(name.clone(), owner, self.rng.gen_range(0..8), self.cfg.registration_term)
+                .register(
+                    name.clone(),
+                    owner,
+                    self.rng.gen_range(0..8),
+                    self.cfg.registration_term,
+                )
                 .is_err()
             {
                 continue;
             }
             self.insert_sim_domain(name.clone(), owner, registry_idx, date);
-            self.schedule_at(date + self.cfg.registration_term, Event::DomainDecision(name.clone()));
+            self.schedule_at(
+                date + self.cfg.registration_term,
+                Event::DomainDecision(name.clone()),
+            );
             self.setup_https(&name, date);
         }
     }
@@ -447,7 +461,9 @@ impl World {
         let self_w = (1.0 - cdn_w - host_w).max(0.0);
         match weighted_choice(&mut self.rng, &[cdn_w, host_w, self_w]) {
             0 => {
-                let cert = self.cdn.enroll(name.clone(), date, &mut self.pool, &mut self.dns);
+                let cert = self
+                    .cdn
+                    .enroll(name.clone(), date, &mut self.pool, &mut self.dns);
                 self.post_issue(&cert, CaRef::Cdn, date);
                 if let Some(d) = self.domains.get_mut(name) {
                     d.hosting = Some(Hosting::Cdn);
@@ -497,7 +513,9 @@ impl World {
     }
 
     fn issue_self(&mut self, name: &DomainName, date: Date) {
-        let Some(d) = self.domains.get(name) else { return };
+        let Some(d) = self.domains.get(name) else {
+            return;
+        };
         let mut sans = vec![d.primary_san.clone()];
         if d.add_www && d.primary_san == *name {
             sans.push(name.prepend("www").expect("valid label"));
@@ -515,11 +533,16 @@ impl World {
         self.post_issue(&cert, CaRef::SelfCa(ca_idx), date);
         // Schedule the next renewal a little before expiry.
         let jitter = Duration::days(self.rng.gen_range(3..15));
-        self.schedule_at(cert.tbs.not_after() - jitter, Event::RenewCert(name.clone()));
+        self.schedule_at(
+            cert.tbs.not_after() - jitter,
+            Event::RenewCert(name.clone()),
+        );
     }
 
     fn renew_self_cert(&mut self, name: &DomainName, date: Date) {
-        let Some(d) = self.domains.get(name) else { return };
+        let Some(d) = self.domains.get(name) else {
+            return;
+        };
         if !d.alive || d.hosting != Some(Hosting::SelfManaged) {
             return;
         }
@@ -549,20 +572,30 @@ impl World {
     }
 
     fn domain_decision(&mut self, name: &DomainName, date: Date) {
-        let Some(d) = self.domains.get(name) else { return };
+        let Some(d) = self.domains.get(name) else {
+            return;
+        };
         if !d.alive {
             return;
         }
         let registry_idx = d.registry_idx;
         if chance(&mut self.rng, self.cfg.domain_renewal_prob) {
             self.registries[registry_idx].advance_to(date);
-            if self.registries[registry_idx].renew(name, self.cfg.registration_term).is_ok() {
+            if self.registries[registry_idx]
+                .renew(name, self.cfg.registration_term)
+                .is_ok()
+            {
                 // Occasional invisible ownership transfer (§4.4 blind
                 // spot): same registration, new hands.
                 if chance(&mut self.rng, 0.02) {
                     let new_owner = self.fresh_account();
-                    if self.registries[registry_idx].transfer(name, new_owner).is_ok() {
-                        self.ground_truth.invisible_transfers.push((name.clone(), date));
+                    if self.registries[registry_idx]
+                        .transfer(name, new_owner)
+                        .is_ok()
+                    {
+                        self.ground_truth
+                            .invisible_transfers
+                            .push((name.clone(), date));
                         if let Some(d) = self.domains.get_mut(name) {
                             d.owner = new_owner;
                             d.owner_since = date;
@@ -586,7 +619,9 @@ impl World {
     }
 
     fn release_domain(&mut self, name: &DomainName, date: Date) {
-        let Some(d) = self.domains.get_mut(name) else { return };
+        let Some(d) = self.domains.get_mut(name) else {
+            return;
+        };
         if !d.alive {
             return;
         }
@@ -597,11 +632,14 @@ impl World {
             host.force_remove(name);
         }
         // The zone goes dark.
-        self.dns.record_change(name.clone(), date, DnsView::default());
+        self.dns
+            .record_change(name.clone(), date, DnsView::default());
     }
 
     fn reregister(&mut self, name: &DomainName, date: Date) {
-        let Some(d) = self.domains.get(name) else { return };
+        let Some(d) = self.domains.get(name) else {
+            return;
+        };
         if d.alive {
             return; // somehow resurrected already
         }
@@ -610,12 +648,19 @@ impl World {
         self.registries[registry_idx].advance_to(date);
         let new_owner = self.fresh_account();
         if self.registries[registry_idx]
-            .register(name.clone(), new_owner, self.rng.gen_range(0..8), self.cfg.registration_term)
+            .register(
+                name.clone(),
+                new_owner,
+                self.rng.gen_range(0..8),
+                self.cfg.registration_term,
+            )
             .is_err()
         {
             return;
         }
-        self.ground_truth.registrant_changes.push((name.clone(), date));
+        self.ground_truth
+            .registrant_changes
+            .push((name.clone(), date));
         // Was the prior owner malicious? (Table 5's ≈1%.)
         if chance(&mut self.rng, self.cfg.malicious_prior_owner_prob) {
             self.insert_reputation(name, prior_owner_since, date);
@@ -626,7 +671,10 @@ impl World {
             d.owner_since = date;
             d.key = KeyPair::generate(&mut self.rng);
         }
-        self.schedule_at(date + self.cfg.registration_term, Event::DomainDecision(name.clone()));
+        self.schedule_at(
+            date + self.cfg.registration_term,
+            Event::DomainDecision(name.clone()),
+        );
         self.setup_https(name, date);
     }
 
@@ -654,7 +702,12 @@ impl World {
         let vendor_count = self.rng.gen_range(5..40);
         self.reputation.insert(
             name.clone(),
-            DomainReputation { malware_families, url_labels, first_submission, vendor_count },
+            DomainReputation {
+                malware_families,
+                url_labels,
+                first_submission,
+                vendor_count,
+            },
         );
     }
 
@@ -662,7 +715,9 @@ impl World {
         if !self.cdn.is_customer(name) {
             return;
         }
-        let Some(d) = self.domains.get(name) else { return };
+        let Some(d) = self.domains.get(name) else {
+            return;
+        };
         if !d.alive {
             return;
         }
@@ -673,7 +728,8 @@ impl World {
                 dnn(&format!("ns1.hostpool{k}.net")),
                 dnn(&format!("ns2.hostpool{k}.net")),
             ]);
-            self.cdn.depart(name, date, view, &mut self.pool, &mut self.dns);
+            self.cdn
+                .depart(name, date, view, &mut self.pool, &mut self.dns);
             let ca_idx = self.pick_self_ca(date);
             if let Some(d) = self.domains.get_mut(name) {
                 d.hosting = Some(Hosting::SelfManaged);
@@ -685,7 +741,8 @@ impl World {
             // Departure first (records DNS change to a placeholder), then
             // the host points DNS at its own edge.
             let view = self.hosts[host_idx].hosted_view();
-            self.cdn.depart(name, date, view, &mut self.pool, &mut self.dns);
+            self.cdn
+                .depart(name, date, view, &mut self.pool, &mut self.dns);
             let cert = self.hosts[host_idx].host(name.clone(), date, &mut self.pool, &mut self.dns);
             self.post_issue(&cert, CaRef::Host(host_idx), date);
             if let Some(d) = self.domains.get_mut(name) {
@@ -742,7 +799,11 @@ impl World {
                 CaRef::Cdn => self.cdn.ca().key_id(),
                 CaRef::Host(i) => self.hosts[i].ca().key_id(),
             };
-            self.ground_truth.compromises.push(CompromiseEvent { ca_key, serial, date });
+            self.ground_truth.compromises.push(CompromiseEvent {
+                ca_key,
+                serial,
+                date,
+            });
         }
     }
 
@@ -849,7 +910,11 @@ mod tests {
     #[test]
     fn tiny_world_runs_and_produces_all_datasets() {
         let data = World::run(ScenarioConfig::tiny());
-        assert!(data.monitor.dedup_count() > 100, "certs: {}", data.monitor.dedup_count());
+        assert!(
+            data.monitor.dedup_count() > 100,
+            "certs: {}",
+            data.monitor.dedup_count()
+        );
         assert!(data.ct_raw_entries >= data.monitor.dedup_count());
         assert!(data.whois.domain_count() > 100);
         assert!(data.adns.domain_count() > 100);
@@ -863,7 +928,10 @@ mod tests {
         let b = World::run(ScenarioConfig::tiny());
         assert_eq!(a.monitor.dedup_count(), b.monitor.dedup_count());
         assert_eq!(a.crl.len(), b.crl.len());
-        assert_eq!(a.ground_truth.registrant_changes, b.ground_truth.registrant_changes);
+        assert_eq!(
+            a.ground_truth.registrant_changes,
+            b.ground_truth.registrant_changes
+        );
         assert_eq!(a.ground_truth.cdn_departures, b.ground_truth.cdn_departures);
     }
 
@@ -921,7 +989,10 @@ mod tests {
     fn compromises_appear_in_crl_feed() {
         let data = World::run(ScenarioConfig::tiny());
         use x509::revocation::RevocationReason;
-        let kc: Vec<_> = data.crl.with_reason(RevocationReason::KeyCompromise).collect();
+        let kc: Vec<_> = data
+            .crl
+            .with_reason(RevocationReason::KeyCompromise)
+            .collect();
         assert!(!kc.is_empty(), "key compromise revocations collected");
         // The breach serials are among them.
         let breach_found = data
@@ -936,7 +1007,11 @@ mod tests {
     #[test]
     fn popularity_samples_taken() {
         let data = World::run(ScenarioConfig::tiny());
-        assert!(data.popularity.sample_count() >= 2, "{}", data.popularity.sample_count());
+        assert!(
+            data.popularity.sample_count() >= 2,
+            "{}",
+            data.popularity.sample_count()
+        );
     }
 
     #[test]
@@ -962,8 +1037,16 @@ mod scale_tests {
         eprintln!("raw entries: {}", data.ct_raw_entries);
         eprintln!("whois domains: {}", data.whois.domain_count());
         eprintln!("crl records: {}", data.crl.len());
-        eprintln!("kc records: {}", data.crl.with_reason(x509::revocation::RevocationReason::KeyCompromise).count());
-        eprintln!("registrant changes: {}", data.ground_truth.registrant_changes.len());
+        eprintln!(
+            "kc records: {}",
+            data.crl
+                .with_reason(x509::revocation::RevocationReason::KeyCompromise)
+                .count()
+        );
+        eprintln!(
+            "registrant changes: {}",
+            data.ground_truth.registrant_changes.len()
+        );
         eprintln!("cdn departures: {}", data.ground_truth.cdn_departures.len());
         eprintln!("compromises: {}", data.ground_truth.compromises.len());
         eprintln!("breach serials: {}", data.ground_truth.breach_serials.len());
@@ -1024,7 +1107,10 @@ mod history_tests {
         let mut commercial = 0usize;
         for cert in data.monitor.corpus_unfiltered() {
             let tbs = &cert.certificate.tbs;
-            let managed = tbs.san().iter().any(|s| s.as_str().ends_with("cloudflaressl.com"));
+            let managed = tbs
+                .san()
+                .iter()
+                .any(|s| s.as_str().ends_with("cloudflaressl.com"));
             let hosted = tbs.issuer.common_name.contains("cPanel")
                 || tbs.issuer.organization.as_deref() == Some("GoDaddy");
             if managed || hosted {

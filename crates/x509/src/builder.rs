@@ -1,8 +1,8 @@
 //! Fluent certificate construction and signing.
 
 use crate::cert::{
-    Certificate, EkuPurpose, Extension, KeyUsage, Name, SignedCertificateTimestamp,
-    TbsCertificate, Version,
+    Certificate, EkuPurpose, Extension, KeyUsage, Name, SignedCertificateTimestamp, TbsCertificate,
+    Version,
 };
 use crypto::{KeyPair, PublicKey, SimSig};
 use stale_types::{Date, DateInterval, DomainName, Duration, KeyId, SerialNumber};
@@ -134,9 +134,8 @@ impl CertificateBuilder {
 
     /// Set validity from a start date and a lifetime.
     pub fn validity_days(mut self, not_before: Date, lifetime: Duration) -> Self {
-        self.validity = Some(
-            DateInterval::from_start(not_before, lifetime).expect("non-negative lifetime"),
-        );
+        self.validity =
+            Some(DateInterval::from_start(not_before, lifetime).expect("non-negative lifetime"));
         self
     }
 
@@ -200,12 +199,17 @@ impl CertificateBuilder {
         if !self.sans.is_empty() {
             extensions.push(Extension::SubjectAltName(self.sans.clone()));
         }
-        extensions.push(Extension::BasicConstraints { ca: self.is_ca, path_len: self.path_len });
+        extensions.push(Extension::BasicConstraints {
+            ca: self.is_ca,
+            path_len: self.path_len,
+        });
         extensions.push(Extension::KeyUsage(self.key_usage));
         if !self.eku.is_empty() {
             extensions.push(Extension::ExtendedKeyUsage(self.eku.clone()));
         }
-        extensions.push(Extension::SubjectKeyId(KeyId::from_bytes(self.public_key.key_id())));
+        extensions.push(Extension::SubjectKeyId(KeyId::from_bytes(
+            self.public_key.key_id(),
+        )));
         if let Some(url) = &self.crl_url {
             extensions.push(Extension::CrlDistributionPoint(url.clone()));
         }
@@ -249,7 +253,8 @@ impl CertificateBuilder {
             .position(|e| matches!(e, Extension::SubjectKeyId(_)))
             .map(|i| i + 1)
             .unwrap_or(tbs.extensions.len());
-        tbs.extensions.insert(ski_pos, Extension::AuthorityKeyId(aki));
+        tbs.extensions
+            .insert(ski_pos, Extension::AuthorityKeyId(aki));
         let signature = SimSig::sign(issuer_key.private(), &tbs.encode(false));
         Certificate { tbs, signature }
     }
@@ -277,9 +282,16 @@ mod tests {
         assert_eq!(cert.tbs.san().len(), 2);
         assert!(!cert.tbs.is_ca());
         assert_eq!(cert.tbs.lifetime(), Duration::days(398));
-        assert_eq!(cert.tbs.authority_key_id(), Some(KeyId::from_bytes(ca.public().key_id())));
+        assert_eq!(
+            cert.tbs.authority_key_id(),
+            Some(KeyId::from_bytes(ca.public().key_id()))
+        );
         // Signature verifies under the CA key.
-        assert!(SimSig::verify(&ca.public(), &cert.tbs.encode(false), &cert.signature));
+        assert!(SimSig::verify(
+            &ca.public(),
+            &cert.tbs.encode(false),
+            &cert.signature
+        ));
     }
 
     #[test]

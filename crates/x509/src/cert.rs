@@ -37,12 +37,18 @@ pub struct Name {
 impl Name {
     /// A bare common name.
     pub fn cn(common_name: impl Into<String>) -> Self {
-        Name { common_name: common_name.into(), organization: None }
+        Name {
+            common_name: common_name.into(),
+            organization: None,
+        }
     }
 
     /// Common name plus organization.
     pub fn cn_org(common_name: impl Into<String>, org: impl Into<String>) -> Self {
-        Name { common_name: common_name.into(), organization: Some(org.into()) }
+        Name {
+            common_name: common_name.into(),
+            organization: Some(org.into()),
+        }
     }
 }
 
@@ -63,12 +69,21 @@ pub struct KeyUsage {
 impl KeyUsage {
     /// The usual TLS server leaf profile.
     pub fn tls_leaf() -> Self {
-        KeyUsage { digital_signature: true, key_encipherment: true, ..Default::default() }
+        KeyUsage {
+            digital_signature: true,
+            key_encipherment: true,
+            ..Default::default()
+        }
     }
 
     /// The usual CA profile.
     pub fn ca() -> Self {
-        KeyUsage { key_cert_sign: true, crl_sign: true, digital_signature: true, ..Default::default() }
+        KeyUsage {
+            key_cert_sign: true,
+            crl_sign: true,
+            digital_signature: true,
+            ..Default::default()
+        }
     }
 
     fn to_bits(self) -> u8 {
@@ -267,7 +282,9 @@ impl TbsCertificate {
 
     /// Whether this is a precertificate (poison present).
     pub fn is_precert(&self) -> bool {
-        self.extensions.iter().any(|e| matches!(e, Extension::PrecertPoison))
+        self.extensions
+            .iter()
+            .any(|e| matches!(e, Extension::PrecertPoison))
     }
 
     /// DER-encode the TBS. When `for_dedup` is set, CT components are
@@ -313,7 +330,9 @@ impl TbsCertificate {
         let subject = decode_name(&mut seq)?;
         let key_bytes = seq.octets()?;
         let public_key = PublicKey(
-            key_bytes.try_into().map_err(|_| DerError::BadContent("public key length"))?,
+            key_bytes
+                .try_into()
+                .map_err(|_| DerError::BadContent("public key length"))?,
         );
         let mut exts_dec = seq.nested(Tag::Context0)?;
         let mut extensions = Vec::new();
@@ -322,7 +341,15 @@ impl TbsCertificate {
         }
         seq.finish()?;
         top.finish()?;
-        Ok(TbsCertificate { version, serial, issuer, validity, subject, public_key, extensions })
+        Ok(TbsCertificate {
+            version,
+            serial,
+            issuer,
+            validity,
+            subject,
+            public_key,
+            extensions,
+        })
     }
 }
 
@@ -349,7 +376,10 @@ fn decode_name(d: &mut Decoder<'_>) -> Result<Name, DerError> {
         None
     };
     n.finish()?;
-    Ok(Name { common_name, organization })
+    Ok(Name {
+        common_name,
+        organization,
+    })
 }
 
 fn encode_extension(e: &mut Encoder, ext: &Extension) {
@@ -419,9 +449,8 @@ fn decode_extension(d: &mut Decoder<'_>) -> Result<Extension, DerError> {
             let mut names = Vec::new();
             while !s.is_empty() {
                 let raw = s.utf8()?;
-                names.push(
-                    DomainName::parse(raw).map_err(|_| DerError::BadContent("invalid SAN"))?,
-                );
+                names
+                    .push(DomainName::parse(raw).map_err(|_| DerError::BadContent("invalid SAN"))?);
             }
             Extension::SubjectAltName(names)
         }
@@ -450,7 +479,9 @@ fn decode_extension(d: &mut Decoder<'_>) -> Result<Extension, DerError> {
         5 | 6 => {
             let bytes = x.octets()?;
             let id = KeyId::from_bytes(
-                bytes.try_into().map_err(|_| DerError::BadContent("key id length"))?,
+                bytes
+                    .try_into()
+                    .map_err(|_| DerError::BadContent("key id length"))?,
             );
             if code == 5 {
                 Extension::SubjectKeyId(id)
@@ -533,7 +564,10 @@ impl Certificate {
         // capturing its raw bytes.
         let (tag, tbs_content) = seq.any()?;
         if tag != Tag::Sequence {
-            return Err(DerError::UnexpectedTag { expected: Tag::Sequence, found: tag });
+            return Err(DerError::UnexpectedTag {
+                expected: Tag::Sequence,
+                found: tag,
+            });
         }
         // Rebuild the full TLV for TbsCertificate::decode.
         let mut tbs_der = Encoder::new();
@@ -545,7 +579,9 @@ impl Certificate {
         let tbs = TbsCertificate::decode(&tbs_der.into_inner())?;
         let sig_bytes = seq.octets()?;
         let signature = Signature(
-            sig_bytes.try_into().map_err(|_| DerError::BadContent("signature length"))?,
+            sig_bytes
+                .try_into()
+                .map_err(|_| DerError::BadContent("signature length"))?,
         );
         seq.finish()?;
         top.finish()?;
@@ -574,7 +610,10 @@ mod tests {
             public_key: key.public(),
             extensions: vec![
                 Extension::SubjectAltName(vec![dn("foo.com"), dn("*.foo.com")]),
-                Extension::BasicConstraints { ca: false, path_len: None },
+                Extension::BasicConstraints {
+                    ca: false,
+                    path_len: None,
+                },
                 Extension::KeyUsage(KeyUsage::tls_leaf()),
                 Extension::ExtendedKeyUsage(vec![EkuPurpose::ServerAuth, EkuPurpose::ClientAuth]),
                 Extension::SubjectKeyId(KeyId::from_bytes(key.public().key_id())),
@@ -609,13 +648,21 @@ mod tests {
         let mut precert_tbs = sample_tbs();
         precert_tbs.extensions.push(Extension::PrecertPoison);
         let mut final_tbs = sample_tbs();
-        final_tbs.extensions.push(Extension::SctList(vec![SignedCertificateTimestamp {
-            log_id: [7; 32],
-            timestamp: Date::parse("2022-01-01").unwrap(),
-        }]));
+        final_tbs
+            .extensions
+            .push(Extension::SctList(vec![SignedCertificateTimestamp {
+                log_id: [7; 32],
+                timestamp: Date::parse("2022-01-01").unwrap(),
+            }]));
         let sig = crypto::SimSig::sign(key.private(), b"x");
-        let precert = Certificate { tbs: precert_tbs, signature: sig };
-        let final_cert = Certificate { tbs: final_tbs, signature: sig };
+        let precert = Certificate {
+            tbs: precert_tbs,
+            signature: sig,
+        };
+        let final_cert = Certificate {
+            tbs: final_tbs,
+            signature: sig,
+        };
         assert_eq!(precert.cert_id(), final_cert.cert_id());
         // But their full fingerprints differ.
         assert_ne!(precert.fingerprint(), final_cert.fingerprint());
@@ -627,10 +674,16 @@ mod tests {
     fn different_san_different_cert_id() {
         let key = KeyPair::from_seed([2; 32]);
         let sig = crypto::SimSig::sign(key.private(), b"x");
-        let a = Certificate { tbs: sample_tbs(), signature: sig };
+        let a = Certificate {
+            tbs: sample_tbs(),
+            signature: sig,
+        };
         let mut tbs2 = sample_tbs();
         tbs2.extensions[0] = Extension::SubjectAltName(vec![dn("bar.com")]);
-        let b = Certificate { tbs: tbs2, signature: sig };
+        let b = Certificate {
+            tbs: tbs2,
+            signature: sig,
+        };
         assert_ne!(a.cert_id(), b.cert_id());
     }
 
@@ -649,12 +702,22 @@ mod tests {
     #[test]
     fn all_extension_variants_roundtrip() {
         let mut tbs = sample_tbs();
-        tbs.extensions.push(Extension::AuthorityInfoAccess("http://ocsp.example".into()));
-        tbs.extensions.push(Extension::BasicConstraints { ca: true, path_len: Some(2) });
+        tbs.extensions
+            .push(Extension::AuthorityInfoAccess("http://ocsp.example".into()));
+        tbs.extensions.push(Extension::BasicConstraints {
+            ca: true,
+            path_len: Some(2),
+        });
         tbs.extensions.push(Extension::PrecertPoison);
         tbs.extensions.push(Extension::SctList(vec![
-            SignedCertificateTimestamp { log_id: [1; 32], timestamp: Date::from_days(19000) },
-            SignedCertificateTimestamp { log_id: [2; 32], timestamp: Date::from_days(19001) },
+            SignedCertificateTimestamp {
+                log_id: [1; 32],
+                timestamp: Date::from_days(19000),
+            },
+            SignedCertificateTimestamp {
+                log_id: [2; 32],
+                timestamp: Date::from_days(19001),
+            },
         ]));
         let der = tbs.encode(false);
         assert_eq!(TbsCertificate::decode(&der).unwrap(), tbs);

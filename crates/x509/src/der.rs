@@ -150,8 +150,7 @@ impl Encoder {
         while start < 7 {
             let cur = bytes[start];
             let next = bytes[start + 1];
-            let redundant =
-                (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0);
+            let redundant = (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0);
             if redundant {
                 start += 1;
             } else {
@@ -164,7 +163,11 @@ impl Encoder {
 
     /// Append a boolean.
     pub fn boolean(&mut self, value: bool) -> &mut Self {
-        write_tlv(&mut self.buf, Tag::Boolean, &[if value { 0xFF } else { 0x00 }]);
+        write_tlv(
+            &mut self.buf,
+            Tag::Boolean,
+            &[if value { 0xFF } else { 0x00 }],
+        );
         self
     }
 
@@ -253,7 +256,10 @@ impl<'a> Decoder<'a> {
             if n == 0 || n > 8 {
                 return Err(DerError::BadLength);
             }
-            let bytes = self.input.get(self.pos..self.pos + n).ok_or(DerError::Truncated)?;
+            let bytes = self
+                .input
+                .get(self.pos..self.pos + n)
+                .ok_or(DerError::Truncated)?;
             self.pos += n;
             let mut v: u64 = 0;
             for &b in bytes {
@@ -267,7 +273,10 @@ impl<'a> Decoder<'a> {
     /// Consume the next TLV, returning `(tag, content)`.
     pub fn any(&mut self) -> Result<(Tag, &'a [u8]), DerError> {
         let (tag, len) = self.read_header()?;
-        let content = self.input.get(self.pos..self.pos + len).ok_or(DerError::Truncated)?;
+        let content = self
+            .input
+            .get(self.pos..self.pos + len)
+            .ok_or(DerError::Truncated)?;
         self.pos += len;
         Ok((tag, content))
     }
@@ -276,7 +285,10 @@ impl<'a> Decoder<'a> {
     pub fn expect(&mut self, tag: Tag) -> Result<&'a [u8], DerError> {
         let found = self.peek_tag()?;
         if found != tag {
-            return Err(DerError::UnexpectedTag { expected: tag, found });
+            return Err(DerError::UnexpectedTag {
+                expected: tag,
+                found,
+            });
         }
         Ok(self.any()?.1)
     }
@@ -375,7 +387,17 @@ mod tests {
 
     #[test]
     fn uint_roundtrips() {
-        for v in [0u128, 1, 127, 128, 255, 256, 0xDEADBEEF, u64::MAX as u128, u128::MAX >> 8] {
+        for v in [
+            0u128,
+            1,
+            127,
+            128,
+            255,
+            256,
+            0xDEADBEEF,
+            u64::MAX as u128,
+            u128::MAX >> 8,
+        ] {
             roundtrip_uint(v);
         }
     }
@@ -440,7 +462,10 @@ mod tests {
     #[test]
     fn decode_errors() {
         assert_eq!(Decoder::new(&[]).peek_tag(), Err(DerError::Truncated));
-        assert_eq!(Decoder::new(&[0x7E, 0x00]).peek_tag(), Err(DerError::UnknownTag(0x7E)));
+        assert_eq!(
+            Decoder::new(&[0x7E, 0x00]).peek_tag(),
+            Err(DerError::UnknownTag(0x7E))
+        );
         // Declared length exceeds input.
         let mut d = Decoder::new(&[0x04, 0x05, 0x01]);
         assert_eq!(d.octets(), Err(DerError::Truncated));

@@ -27,8 +27,8 @@ pub mod validate;
 
 pub use builder::CertificateBuilder;
 pub use cert::{
-    Certificate, EkuPurpose, Extension, KeyUsage, Name, SignedCertificateTimestamp,
-    TbsCertificate, Version,
+    Certificate, EkuPurpose, Extension, KeyUsage, Name, SignedCertificateTimestamp, TbsCertificate,
+    Version,
 };
 pub use revocation::{Crl, CrlEntry, RevocationReason};
 pub use validate::{validate_chain, ValidationError};

@@ -15,12 +15,24 @@ const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwx
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
         out.push(ALPHABET[(n >> 18) as usize & 63] as char);
         out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -151,7 +163,9 @@ mod tests {
         assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
         assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
         assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
-        for v in ["", "Zg==", "Zm8=", "Zm9v", "Zm9vYg==", "Zm9vYmE=", "Zm9vYmFy"] {
+        for v in [
+            "", "Zg==", "Zm8=", "Zm9v", "Zm9vYg==", "Zm9vYmE=", "Zm9vYmFy",
+        ] {
             let decoded = base64_decode(v).unwrap();
             assert_eq!(base64_encode(&decoded), v, "vector {v}");
         }
@@ -162,13 +176,20 @@ mod tests {
     fn base64_roundtrip_all_lengths() {
         for len in 0..100 {
             let data: Vec<u8> = (0..len as u8).collect();
-            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data, "len {len}");
+            assert_eq!(
+                base64_decode(&base64_encode(&data)).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 
     #[test]
     fn base64_rejects_garbage() {
-        assert!(matches!(base64_decode("Zm9*"), Err(PemError::BadBase64Char('*'))));
+        assert!(matches!(
+            base64_decode("Zm9*"),
+            Err(PemError::BadBase64Char('*'))
+        ));
         assert!(matches!(base64_decode("Z"), Err(PemError::BadLength)));
         // Whitespace tolerated.
         assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
@@ -218,8 +239,14 @@ mod tests {
     fn wrong_label_rejected() {
         let cert = sample_cert();
         let pem = certificate_to_pem(&cert);
-        assert!(matches!(pem_decode("X509 CRL", &pem), Err(PemError::BadArmor)));
-        assert!(matches!(certificate_from_pem("no armor here"), Err(PemError::BadArmor)));
+        assert!(matches!(
+            pem_decode("X509 CRL", &pem),
+            Err(PemError::BadArmor)
+        ));
+        assert!(matches!(
+            certificate_from_pem("no armor here"),
+            Err(PemError::BadArmor)
+        ));
     }
 
     #[test]

@@ -124,7 +124,13 @@ impl Crl {
         let aki = KeyId::from_bytes(issuer_key.public().key_id());
         let tbs = Self::encode_tbs(&aki, this_update, next_update, &entries);
         let signature = SimSig::sign(issuer_key.private(), &tbs);
-        Crl { authority_key_id: aki, this_update, next_update, entries, signature }
+        Crl {
+            authority_key_id: aki,
+            this_update,
+            next_update,
+            entries,
+            signature,
+        }
     }
 
     fn encode_tbs(
@@ -151,8 +157,12 @@ impl Crl {
 
     /// Full DER encoding `SEQUENCE { tbs, signature }`.
     pub fn encode(&self) -> Vec<u8> {
-        let tbs =
-            Self::encode_tbs(&self.authority_key_id, self.this_update, self.next_update, &self.entries);
+        let tbs = Self::encode_tbs(
+            &self.authority_key_id,
+            self.this_update,
+            self.next_update,
+            &self.entries,
+        );
         let mut e = Encoder::new();
         e.raw(&tbs);
         e.octets(self.signature.as_bytes());
@@ -166,7 +176,9 @@ impl Crl {
         let mut tbs = outer.nested(Tag::Sequence)?;
         let aki_bytes = tbs.octets()?;
         let authority_key_id = KeyId::from_bytes(
-            aki_bytes.try_into().map_err(|_| DerError::BadContent("aki length"))?,
+            aki_bytes
+                .try_into()
+                .map_err(|_| DerError::BadContent("aki length"))?,
         );
         let this_update = Date::from_days(tbs.int()?);
         let next_update = Date::from_days(tbs.int()?);
@@ -180,16 +192,28 @@ impl Crl {
             let reason =
                 RevocationReason::from_code(code).ok_or(DerError::BadContent("reason code"))?;
             item.finish()?;
-            entries.push(CrlEntry { serial, revocation_date, reason });
+            entries.push(CrlEntry {
+                serial,
+                revocation_date,
+                reason,
+            });
         }
         tbs.finish()?;
         let sig_bytes = outer.octets()?;
         let signature = Signature(
-            sig_bytes.try_into().map_err(|_| DerError::BadContent("signature length"))?,
+            sig_bytes
+                .try_into()
+                .map_err(|_| DerError::BadContent("signature length"))?,
         );
         outer.finish()?;
         top.finish()?;
-        Ok(Crl { authority_key_id, this_update, next_update, entries, signature })
+        Ok(Crl {
+            authority_key_id,
+            this_update,
+            next_update,
+            entries,
+            signature,
+        })
     }
 
     /// Verify the CRL signature under the issuer's public key.
@@ -264,7 +288,10 @@ mod tests {
     fn find_by_serial() {
         let key = KeyPair::from_seed([10; 32]);
         let crl = sample_crl(&key);
-        assert_eq!(crl.find(SerialNumber(100)).unwrap().reason, RevocationReason::KeyCompromise);
+        assert_eq!(
+            crl.find(SerialNumber(100)).unwrap().reason,
+            RevocationReason::KeyCompromise
+        );
         assert!(crl.find(SerialNumber(999)).is_none());
     }
 

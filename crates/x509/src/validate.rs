@@ -80,7 +80,9 @@ pub fn validate_chain(
 ) -> Result<(), ValidationError> {
     let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
     if !matches_hostname(leaf, hostname) {
-        return Err(ValidationError::HostnameMismatch { requested: hostname.to_string() });
+        return Err(ValidationError::HostnameMismatch {
+            requested: hostname.to_string(),
+        });
     }
     for (i, cert) in chain.iter().enumerate() {
         if !cert.tbs.validity.contains(date) {
@@ -93,7 +95,11 @@ pub fn validate_chain(
         if !issuer.tbs.is_ca() {
             return Err(ValidationError::NotACa { index: i + 1 });
         }
-        if !SimSig::verify(&issuer.tbs.public_key, &child.tbs.encode(false), &child.signature) {
+        if !SimSig::verify(
+            &issuer.tbs.public_key,
+            &child.tbs.encode(false),
+            &child.signature,
+        ) {
             return Err(ValidationError::BadSignature { index: i });
         }
     }
@@ -108,7 +114,11 @@ pub fn validate_chain(
     if !anchored {
         // Self-signed trusted root included directly?
         let self_trusted = trusted_roots.contains(&last.tbs.public_key)
-            && SimSig::verify(&last.tbs.public_key, &last.tbs.encode(false), &last.signature);
+            && SimSig::verify(
+                &last.tbs.public_key,
+                &last.tbs.encode(false),
+                &last.signature,
+            );
         if !self_trusted {
             return Err(ValidationError::UntrustedRoot);
         }
@@ -147,7 +157,11 @@ mod tests {
             .sans(leaf_sans.iter().map(|s| dn(s)))
             .validity_days(start, Duration::days(90))
             .sign(&inter);
-        Pki { root, inter, chain: vec![leaf, inter_cert] }
+        Pki {
+            root,
+            inter,
+            chain: vec![leaf, inter_cert],
+        }
     }
 
     #[test]
@@ -155,8 +169,14 @@ mod tests {
         let pki = build_pki(&["foo.com", "*.foo.com"]);
         let roots = [pki.root.public()];
         let date = Date::parse("2022-02-01").unwrap();
-        assert_eq!(validate_chain(&pki.chain, &roots, &dn("foo.com"), date), Ok(()));
-        assert_eq!(validate_chain(&pki.chain, &roots, &dn("api.foo.com"), date), Ok(()));
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("foo.com"), date),
+            Ok(())
+        );
+        assert_eq!(
+            validate_chain(&pki.chain, &roots, &dn("api.foo.com"), date),
+            Ok(())
+        );
     }
 
     #[test]
@@ -202,8 +222,7 @@ mod tests {
         let mut pki = build_pki(&["foo.com"]);
         // Re-sign the leaf with a key other than the intermediate.
         let mallory = KeyPair::from_seed([66; 32]);
-        pki.chain[0].signature =
-            SimSig::sign(mallory.private(), &pki.chain[0].tbs.encode(false));
+        pki.chain[0].signature = SimSig::sign(mallory.private(), &pki.chain[0].tbs.encode(false));
         let roots = [pki.root.public()];
         let date = Date::parse("2022-02-01").unwrap();
         assert_eq!(

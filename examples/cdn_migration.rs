@@ -34,7 +34,10 @@ fn main() {
         stale_types::CaId(10),
         "COMODO ECC DV Secure Server CA 2",
         crypto::KeyPair::from_seed([10; 32]),
-        CaPolicy { default_lifetime: Duration::days(365), ..CaPolicy::commercial() },
+        CaPolicy {
+            default_lifetime: Duration::days(365),
+            ..CaPolicy::commercial()
+        },
     );
     let mut provider =
         ManagedTlsProvider::new(ProviderConfig::cloudflare_cruise_liner(), comodo, 7);

@@ -52,7 +52,9 @@ fn main() {
 
     // 1. Alice registers shop.com and sets up DNS.
     let alice = AccountId(1);
-    registry.register(dn("shop.com"), alice, 0, Duration::days(365)).expect("fresh name");
+    registry
+        .register(dn("shop.com"), alice, 0, Duration::days(365))
+        .expect("fresh name");
     resolver.add_zone(Zone::new(dn("shop.com")));
     println!("2020-01-01  alice registers shop.com");
 
@@ -60,14 +62,23 @@ fn main() {
     let alice_acct_key = crypto::KeyPair::from_seed([2; 32]);
     let alice_tls_key = crypto::KeyPair::from_seed([3; 32]);
     let order = acme.new_order(&ca, alice, vec![dn("shop.com")], d("2020-06-01"));
-    let challenge = acme.challenge(order, &dn("shop.com"), ChallengeType::Dns01).expect("order");
+    let challenge = acme
+        .challenge(order, &dn("shop.com"), ChallengeType::Dns01)
+        .expect("order");
     let key_auth = challenge.key_authorization(&alice_acct_key.public());
     resolver
         .zone_mut(&dn("shop.com"))
         .expect("zone exists")
         .add_data(challenge.dns_name(), RData::Txt(key_auth));
-    acme.validate(order, &challenge, &alice_acct_key.public(), &resolver, &web, d("2020-06-01"))
-        .expect("dns-01 passes");
+    acme.validate(
+        order,
+        &challenge,
+        &alice_acct_key.public(),
+        &resolver,
+        &web,
+        d("2020-06-01"),
+    )
+    .expect("dns-01 passes");
     let cert = acme
         .finalize(
             order,
@@ -92,8 +103,13 @@ fn main() {
 
     // 3. Bob drop-catches it.
     let bob = AccountId(2);
-    registry.register(dn("shop.com"), bob, 1, Duration::days(365)).expect("drop-catch");
-    let new_creation = registry.registration(&dn("shop.com")).expect("live").creation_date;
+    registry
+        .register(dn("shop.com"), bob, 1, Duration::days(365))
+        .expect("drop-catch");
+    let new_creation = registry
+        .registration(&dn("shop.com"))
+        .expect("live")
+        .creation_date;
     println!("2021-03-25  bob re-registers shop.com (creation date {new_creation})");
 
     // 4. Alice's certificate still validates for Bob's domain.
@@ -111,7 +127,10 @@ fn main() {
             Err(e) => format!("rejected ({e})"),
         }
     );
-    assert!(verdict.is_ok(), "the stale certificate is precisely the threat");
+    assert!(
+        verdict.is_ok(),
+        "the stale certificate is precisely the threat"
+    );
 
     // The detector sees it from WHOIS + CT alone.
     let mut whois = WhoisDataset::new();

@@ -52,8 +52,12 @@ fn main() {
 
     // The key leaks; the CA revokes with keyCompromise. The certificate
     // remains cryptographically valid for another ~10 months.
-    ca.revoke(cert.tbs.serial, d("2022-02-15"), RevocationReason::KeyCompromise)
-        .expect("revocation");
+    ca.revoke(
+        cert.tbs.serial,
+        d("2022-02-15"),
+        RevocationReason::KeyCompromise,
+    )
+    .expect("revocation");
     let today = d("2022-03-01");
     println!(
         "bank.com cert revoked (keyCompromise) on 2022-02-15; expires {}\n",
@@ -61,7 +65,7 @@ fn main() {
     );
 
     println!("client policy matrix (attacker on-path with the stolen key):");
-    println!("{:<34} {:<14} {}", "policy", "network", "outcome");
+    println!("{:<34} {:<14} outcome", "policy", "network");
     let fetch = || respond(&ca, cert.tbs.serial, today);
     for (policy, name) in [
         (RevocationPolicy::NoCheck, "NoCheck (Chrome/Edge)"),
@@ -72,16 +76,13 @@ fn main() {
             (NetworkCondition::Normal, "normal"),
             (NetworkCondition::OcspBlocked, "OCSP blocked"),
         ] {
-            let outcome = connection_outcome(
-                &cert,
-                policy,
-                network,
-                None,
-                &ca.public_key(),
-                today,
-                fetch,
-            );
-            let marker = if outcome == ConnectionOutcome::Accepted { "⚠" } else { " " };
+            let outcome =
+                connection_outcome(&cert, policy, network, None, &ca.public_key(), today, fetch);
+            let marker = if outcome == ConnectionOutcome::Accepted {
+                "⚠"
+            } else {
+                " "
+            };
             println!("{marker}{name:<33} {net_name:<14} {outcome:?}");
         }
     }

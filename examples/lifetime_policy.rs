@@ -10,7 +10,9 @@
 use stale_tls::prelude::*;
 
 fn main() {
-    let preset = std::env::args().nth(1).unwrap_or_else(|| "tiny".to_string());
+    let preset = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tiny".to_string());
     let cfg = match preset.as_str() {
         "small" => ScenarioConfig::small(),
         "paper" => ScenarioConfig::paper2023(),
@@ -28,7 +30,10 @@ fn main() {
     ];
 
     println!("max-lifetime sweep: staleness-days reduction (%)");
-    println!("{:>8} {:>16} {:>18} {:>20}", "cap", "key compromise", "registrant change", "managed TLS dept.");
+    println!(
+        "{:>8} {:>16} {:>18} {:>20}",
+        "cap", "key compromise", "registrant change", "managed TLS dept."
+    );
     for cap in [30, 45, 60, 90, 120, 180, 215, 300, 398] {
         print!("{cap:>7}d");
         for class in classes {

@@ -19,7 +19,10 @@ fn main() {
     );
     println!("  CRL feed:  {} revocations", data.crl.len());
     println!("  WHOIS:     {} domains", data.whois.domain_count());
-    println!("  aDNS:      {} domains scanned daily", data.adns.domain_count());
+    println!(
+        "  aDNS:      {} domains scanned daily",
+        data.adns.domain_count()
+    );
 
     // Run the paper's three detectors (§4.1–§4.3).
     let psl = SuffixList::default_list();
@@ -32,8 +35,10 @@ fn main() {
     ] {
         let records = suite.records(class);
         let median = {
-            let mut days: Vec<i64> =
-                records.iter().map(|r| r.staleness_days().num_days()).collect();
+            let mut days: Vec<i64> = records
+                .iter()
+                .map(|r| r.staleness_days().num_days())
+                .collect();
             days.sort_unstable();
             days.get(days.len() / 2).copied().unwrap_or(0)
         };

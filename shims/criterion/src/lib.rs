@@ -1,0 +1,315 @@
+//! Offline shim for `criterion` 0.5 — the API subset this workspace uses.
+//!
+//! Wall-clock measurement only: per benchmark it runs a warmup iteration,
+//! sizes the per-sample iteration count to roughly 20 ms, then records
+//! `sample_size` samples and prints mean/min per iteration. When the
+//! `BENCH_JSON` environment variable names a file, results are merged into
+//! it as a JSON object keyed by benchmark id — that is how the repo's
+//! `BENCH_*.json` baselines are recorded.
+
+use serde::value::Value;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation (informational in this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Measure the closure. Mirrors `criterion::Bencher::iter`.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup + estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let samples = self.sample_size.max(2);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.result = Some((mean, min, samples, iters));
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// No-op in the shim (CLI args are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let record = run_one(id.to_string(), self.sample_size, None, f);
+        report(&record);
+        self.records.push(record);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = export_json(&path, &self.records) {
+                    eprintln!("criterion shim: cannot write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks (`group_name/bench_name` ids).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let record = run_one(full, samples, self.throughput, f);
+        report(&record);
+        self.parent.records.push(record);
+        self
+    }
+
+    /// End the group (kept for API parity; bookkeeping happens eagerly).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> Record {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    let (mean_ns, min_ns, samples, iters) = b
+        .result
+        .unwrap_or_else(|| panic!("benchmark `{id}` never called Bencher::iter"));
+    Record {
+        id,
+        mean_ns,
+        min_ns,
+        samples,
+        iters_per_sample: iters,
+        throughput,
+    }
+}
+
+fn report(r: &Record) {
+    let human = |ns: f64| -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.3} s", ns / 1_000_000_000.0)
+        }
+    };
+    let mut line = format!(
+        "{:<44} mean {:>12}   min {:>12}   ({} samples x {} iters)",
+        r.id,
+        human(r.mean_ns),
+        human(r.min_ns),
+        r.samples,
+        r.iters_per_sample
+    );
+    if let Some(Throughput::Bytes(bytes)) = r.throughput {
+        let gib_s = bytes as f64 / r.mean_ns * 1e9 / (1u64 << 30) as f64;
+        line.push_str(&format!("   {gib_s:.2} GiB/s"));
+    }
+    println!("{line}");
+}
+
+/// Merge `records` into the JSON object at `path` (created if missing).
+fn export_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str::<Value>(&text)
+            .ok()
+            .and_then(|v| match v {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            })
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    for r in records {
+        let entry = Value::Obj(vec![
+            ("mean_ns".to_string(), Value::Float(r.mean_ns)),
+            ("min_ns".to_string(), Value::Float(r.min_ns)),
+            ("samples".to_string(), Value::UInt(r.samples as u128)),
+            (
+                "iters_per_sample".to_string(),
+                Value::UInt(r.iters_per_sample as u128),
+            ),
+        ]);
+        root.retain(|(k, _)| k != &r.id);
+        root.push((r.id.clone(), entry));
+    }
+    std::fs::write(path, Value::Obj(root).to_json(Some(2)))
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(100));
+        group.bench_function("inner", |b| b.iter(|| black_box(42)));
+        group.finish();
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[1].id, "grp/inner");
+        assert!(c.records.iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn json_export_merges() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        let rec = |id: &str, mean: f64| Record {
+            id: id.to_string(),
+            mean_ns: mean,
+            min_ns: mean,
+            samples: 2,
+            iters_per_sample: 1,
+            throughput: None,
+        };
+        export_json(path_str, &[rec("a", 1.0), rec("b", 2.0)]).unwrap();
+        export_json(path_str, &[rec("b", 3.0), rec("c", 4.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("a").is_some());
+        assert_eq!(
+            v.get("b").unwrap().get("mean_ns").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert!(v.get("c").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

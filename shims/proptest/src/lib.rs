@@ -1,0 +1,777 @@
+//! Offline shim for `proptest` 1 — the API subset this workspace uses.
+//!
+//! Key differences from real proptest (see `shims/README.md`):
+//! * the per-test RNG is seeded from the test's name, so runs are fully
+//!   deterministic and failures reproduce;
+//! * failing cases are reported but **not shrunk**;
+//! * string strategies support the character-class regex subset the
+//!   workspace uses (`[a-z]`, ranges, escapes, `{m,n}`/`{n}`/`*`/`+`/`?`),
+//!   not full regex.
+
+/// Test-case driving: config, RNG, pass/reject/fail plumbing.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` rejection — the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// An assumption rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The RNG handed to strategies; seeded from the test name.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Deterministic RNG for the named test.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Drive one proptest-block test: draw cases until `config.cases`
+    /// successes, panicking on the first failure.
+    pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).saturating_add(256);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejected}; last: {why})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing cases:\n{msg}\n\
+                         (shim proptest does not shrink; rerun reproduces deterministically)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: how to generate values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing `pred`, re-drawing (bounded) instead.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+    }
+
+    /// Always the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.reason)
+        }
+    }
+
+    /// `prop_oneof!` support: uniform choice between boxed strategies.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the macro's boxed arms.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Box a strategy for `Union` (monomorphization helper for the macro).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Character-class regex subset strings: `"[a-z][a-z0-9-]{0,8}"` etc.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c =
+                        unescape(chars.get(i).copied().unwrap_or_else(|| {
+                            panic!("string strategy `{pattern}`: dangling escape")
+                        }));
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..count {
+                let idx = rng.gen_range(0..alphabet.len());
+                out.push(alphabet[idx]);
+            }
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class starting just after the `[`; returns the
+    /// expanded alphabet and the index just past the `]`.
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        let mut alphabet = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            // Range `a-z` unless the `-` is the final class member.
+            if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                i += 1;
+                let end = if chars[i] == '\\' {
+                    i += 1;
+                    unescape(chars[i])
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                alphabet.extend((c as u32..=end as u32).filter_map(char::from_u32));
+            } else {
+                alphabet.push(c);
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "string strategy `{pattern}`: unterminated character class"
+        );
+        assert!(
+            !alphabet.is_empty(),
+            "string strategy `{pattern}`: empty character class"
+        );
+        (alphabet, i + 1)
+    }
+
+    /// Parse an optional quantifier at `i`; returns (min, max, next index).
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("string strategy `{pattern}`: unclosed {{"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A:0)
+        (A:0, B:1)
+        (A:0, B:1, C:2)
+        (A:0, B:1, C:2, D:3)
+        (A:0, B:1, C:2, D:3, E:4)
+        (A:0, B:1, C:2, D:3, E:4, F:5)
+        (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+        (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+    );
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Anything usable as a collection size.
+        pub trait SizeRange {
+            /// Draw a length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl SizeRange for RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy for `Option<S::Value>`.
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // Same bias as real proptest's default: 3:1 towards Some.
+                if rng.gen_range(0u32..4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+
+        /// `prop::option::of`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::arbitrary::Arbitrary;
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy choosing one of the given values.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// `prop::sample::select`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select from empty options");
+            Select(options)
+        }
+
+        /// A deferred index into a collection of yet-unknown length.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolve against a concrete length.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.gen())
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `[S::Value; N]`.
+        pub struct UniformArray<S, const N: usize>(S);
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.0.generate(rng))
+            }
+        }
+
+        macro_rules! uniform_fn {
+            ($($name:ident => $n:literal),*) => {$(
+                /// Array of the given size, each element from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray(element)
+                }
+            )*};
+        }
+        uniform_fn!(
+            uniform4 => 4, uniform8 => 8, uniform16 => 16,
+            uniform20 => 20, uniform32 => 32
+        );
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define a block of property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: one `#[test]` fn per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])+
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            $crate::test_runner::run_cases($cfg, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __proptest_outcome
+            });
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Reject the current case (re-drawn, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..10, 5i64..6), c in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z][a-z0-9-]{0,8}[a-z0-9]") {
+            prop_assert!(s.len() >= 2 && s.len() <= 10);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '-'));
+        }
+
+        #[test]
+        fn collections_and_options(v in prop::collection::vec(any::<u8>(), 1..16),
+                                   o in prop::option::of(0u8..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            if let Some(x) = o {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_filter_map(x in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(101u32),
+            (200u32..300).prop_filter("even only", |v| v % 2 == 0),
+        ]) {
+            let small_even = x < 20 && x % 2 == 0;
+            let sentinel = x == 101;
+            let big_even = (200..300).contains(&x) && x % 2 == 0;
+            prop_assert!(small_even || sentinel || big_even);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn assume_rejects(x in 0u8..4) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = prop::collection::vec(any::<u64>(), 4..5);
+        let a = strat.generate(&mut TestRng::from_name("fixed"));
+        let b = strat.generate(&mut TestRng::from_name("fixed"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::from_name("index");
+        for len in [1usize, 2, 63] {
+            let idx = any::<prop::sample::Index>().generate(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline shim for `serde` 1 — the API subset this workspace uses.
+//!
+//! Rather than serde's visitor architecture, serialization goes through a
+//! self-describing [`value::Value`] tree: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one. `serde_json` (the sibling shim) renders and
+//! parses the JSON text form. The derive macros in `serde_derive` support
+//! plain structs, tuple structs, enums (externally tagged, like real
+//! serde), `#[serde(skip)]` and `#[serde(transparent)]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+/// The self-describing data model.
+pub mod value {
+    /// A JSON-shaped value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// null / missing.
+        Null,
+        /// true / false.
+        Bool(bool),
+        /// Signed integer.
+        Int(i128),
+        /// Unsigned integer beyond `i128` (or any `u128`).
+        UInt(u128),
+        /// Floating point.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object; insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Look up an object field.
+        pub fn get(&self, name: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as a signed integer, if exactly representable.
+        pub fn as_i128(&self) -> Option<i128> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i128::try_from(*u).ok(),
+                Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i128),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer, if exactly representable.
+        pub fn as_u128(&self) -> Option<u128> {
+            match self {
+                Value::UInt(u) => Some(*u),
+                Value::Int(i) => u128::try_from(*i).ok(),
+                Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.8e19 => Some(*f as u128),
+                _ => None,
+            }
+        }
+
+        /// The value as a float.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Float(f) => Some(*f),
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+
+        /// Render as compact JSON text (used for non-string map keys).
+        pub fn to_json_compact(&self) -> String {
+            let mut out = String::new();
+            write_json(self, &mut out, None, 0);
+            out
+        }
+
+        /// Render as JSON text, pretty-printed when `indent` is given.
+        pub fn to_json(&self, indent: Option<usize>) -> String {
+            let mut out = String::new();
+            write_json(self, &mut out, indent, 0);
+            out
+        }
+    }
+
+    fn write_json(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes a `.` or exponent.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json(item, out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_json(item, out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_json_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Serialization.
+pub mod ser {
+    use crate::value::Value;
+    use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+    /// Convert `self` into a [`Value`].
+    pub trait Serialize {
+        /// Produce the value tree.
+        fn serialize(&self) -> Value;
+    }
+
+    macro_rules! ser_signed {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize(&self) -> Value { Value::Int(*self as i128) }
+            }
+        )*};
+    }
+    ser_signed!(i8, i16, i32, i64, i128, isize);
+
+    macro_rules! ser_unsigned {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize(&self) -> Value { Value::UInt(*self as u128) }
+            }
+        )*};
+    }
+    ser_unsigned!(u8, u16, u32, u64, u128, usize);
+
+    impl Serialize for f32 {
+        fn serialize(&self) -> Value {
+            Value::Float(*self as f64)
+        }
+    }
+    impl Serialize for f64 {
+        fn serialize(&self) -> Value {
+            Value::Float(*self)
+        }
+    }
+    impl Serialize for bool {
+        fn serialize(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+    impl Serialize for char {
+        fn serialize(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+    impl Serialize for String {
+        fn serialize(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+    impl Serialize for str {
+        fn serialize(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+    impl Serialize for () {
+        fn serialize(&self) -> Value {
+            Value::Null
+        }
+    }
+    impl Serialize for Value {
+        fn serialize(&self) -> Value {
+            self.clone()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize(&self) -> Value {
+            (**self).serialize()
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize(&self) -> Value {
+            (**self).serialize()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize(&self) -> Value {
+            match self {
+                Some(v) => v.serialize(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize(&self) -> Value {
+            Value::Arr(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize(&self) -> Value {
+            Value::Arr(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize(&self) -> Value {
+            Value::Arr(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for BTreeSet<T> {
+        fn serialize(&self) -> Value {
+            Value::Arr(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+    impl<T: Serialize> Serialize for HashSet<T> {
+        fn serialize(&self) -> Value {
+            Value::Arr(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+
+    /// A serialized map key: strings stay as-is, anything else becomes its
+    /// compact JSON text.
+    pub fn key_string<K: Serialize>(key: &K) -> String {
+        match key.serialize() {
+            Value::Str(s) => s,
+            other => other.to_json_compact(),
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize(&self) -> Value {
+            Value::Obj(
+                self.iter()
+                    .map(|(k, v)| (key_string(k), v.serialize()))
+                    .collect(),
+            )
+        }
+    }
+    impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+        fn serialize(&self) -> Value {
+            // Sort keys so the output is deterministic across runs.
+            let mut fields: Vec<(String, Value)> = self
+                .iter()
+                .map(|(k, v)| (key_string(k), v.serialize()))
+                .collect();
+            fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+            Value::Obj(fields)
+        }
+    }
+
+    macro_rules! ser_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize(&self) -> Value {
+                    Value::Arr(vec![$(self.$idx.serialize()),+])
+                }
+            }
+        )*};
+    }
+    ser_tuple! {
+        (A:0)
+        (A:0, B:1)
+        (A:0, B:1, C:2)
+        (A:0, B:1, C:2, D:3)
+        (A:0, B:1, C:2, D:3, E:4)
+        (A:0, B:1, C:2, D:3, E:4, F:5)
+    }
+}
+
+/// Deserialization.
+pub mod de {
+    use crate::value::Value;
+    use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+    use std::fmt;
+
+    /// Deserialization failure.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Build from a message.
+        pub fn msg(m: impl Into<String>) -> Error {
+            Error(m.into())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Reconstruct `Self` from a [`Value`].
+    pub trait Deserialize: Sized {
+        /// Consume the value tree.
+        fn deserialize(v: &Value) -> Result<Self, Error>;
+    }
+
+    /// Derive-macro helper: extract and deserialize an object field.
+    /// Missing fields deserialize from `Null` so `Option` defaults to
+    /// `None`.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        let inner = v.get(name).unwrap_or(&Value::Null);
+        T::deserialize(inner).map_err(|e| Error(format!("field `{name}`: {}", e.0)))
+    }
+
+    /// Derive-macro helper: extract and deserialize an array element.
+    pub fn element<T: Deserialize>(v: &Value, idx: usize) -> Result<T, Error> {
+        match v {
+            Value::Arr(items) => {
+                let item = items
+                    .get(idx)
+                    .ok_or_else(|| Error(format!("missing tuple element {idx}")))?;
+                T::deserialize(item).map_err(|e| Error(format!("element {idx}: {}", e.0)))
+            }
+            other => Err(Error(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    macro_rules! de_signed {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn deserialize(v: &Value) -> Result<Self, Error> {
+                    let i = v.as_i128().ok_or_else(|| {
+                        Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v))
+                    })?;
+                    <$t>::try_from(i).map_err(|_| Error(format!("{i} out of range")))
+                }
+            }
+        )*};
+    }
+    de_signed!(i8, i16, i32, i64, i128, isize);
+
+    macro_rules! de_unsigned {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn deserialize(v: &Value) -> Result<Self, Error> {
+                    let u = v.as_u128().ok_or_else(|| {
+                        Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v))
+                    })?;
+                    <$t>::try_from(u).map_err(|_| Error(format!("{u} out of range")))
+                }
+            }
+        )*};
+    }
+    de_unsigned!(u8, u16, u32, u64, u128, usize);
+
+    impl Deserialize for f64 {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            v.as_f64()
+                .ok_or_else(|| Error(format!("expected float, got {v:?}")))
+        }
+    }
+    impl Deserialize for f32 {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            f64::deserialize(v).map(|f| f as f32)
+        }
+    }
+    impl Deserialize for bool {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                other => Err(Error(format!("expected bool, got {other:?}"))),
+            }
+        }
+    }
+    impl Deserialize for char {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+                other => Err(Error(format!("expected single-char string, got {other:?}"))),
+            }
+        }
+    }
+    impl Deserialize for String {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(Error(format!("expected string, got {other:?}"))),
+            }
+        }
+    }
+    impl Deserialize for () {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(()),
+                other => Err(Error(format!("expected null, got {other:?}"))),
+            }
+        }
+    }
+
+    impl Deserialize for Value {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            Ok(v.clone())
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            T::deserialize(v).map(Box::new)
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::deserialize(other).map(Some),
+            }
+        }
+    }
+
+    fn arr(v: &Value) -> Result<&[Value], Error> {
+        match v {
+            Value::Arr(items) => Ok(items),
+            other => Err(Error(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            arr(v)?.iter().map(T::deserialize).collect()
+        }
+    }
+
+    impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            let items = Vec::<T>::deserialize(v)?;
+            let len = items.len();
+            items
+                .try_into()
+                .map_err(|_| Error(format!("expected array of {N}, got {len}")))
+        }
+    }
+
+    impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            arr(v)?.iter().map(T::deserialize).collect()
+        }
+    }
+    impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            arr(v)?.iter().map(T::deserialize).collect()
+        }
+    }
+
+    /// Reverse of [`crate::ser::key_string`]: keys first deserialize as a
+    /// string, then (for non-string key types) as a parsed scalar.
+    pub fn key_value<K: Deserialize>(key: &str) -> Result<K, Error> {
+        if let Ok(k) = K::deserialize(&Value::Str(key.to_string())) {
+            return Ok(k);
+        }
+        let reparsed = if key == "true" || key == "false" {
+            Value::Bool(key == "true")
+        } else if let Ok(i) = key.parse::<i128>() {
+            Value::Int(i)
+        } else if let Ok(u) = key.parse::<u128>() {
+            Value::UInt(u)
+        } else if let Ok(f) = key.parse::<f64>() {
+            Value::Float(f)
+        } else {
+            return Err(Error(format!("cannot interpret map key {key:?}")));
+        };
+        K::deserialize(&reparsed)
+    }
+
+    impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Obj(fields) => fields
+                    .iter()
+                    .map(|(k, val)| Ok((key_value(k)?, V::deserialize(val)?)))
+                    .collect(),
+                other => Err(Error(format!("expected object, got {other:?}"))),
+            }
+        }
+    }
+    impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Obj(fields) => fields
+                    .iter()
+                    .map(|(k, val)| Ok((key_value(k)?, V::deserialize(val)?)))
+                    .collect(),
+                other => Err(Error(format!("expected object, got {other:?}"))),
+            }
+        }
+    }
+
+    macro_rules! de_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize(v: &Value) -> Result<Self, Error> {
+                    Ok(($(super::de::element::<$name>(v, $idx)?,)+))
+                }
+            }
+        )*};
+    }
+    de_tuple! {
+        (A:0)
+        (A:0, B:1)
+        (A:0, B:1, C:2)
+        (A:0, B:1, C:2, D:3)
+        (A:0, B:1, C:2, D:3, E:4)
+        (A:0, B:1, C:2, D:3, E:4, F:5)
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline shim for `serde_derive` — `#[derive(Serialize, Deserialize)]`
+//! targeting the shim `serde` crate's `Value`-based data model.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the type
+//! definition is parsed directly from the `proc_macro::TokenStream` and the
+//! impls are emitted as formatted source text. Supports plain (non-generic)
+//! structs — named, tuple, unit — and enums with unit / tuple / named
+//! variants (externally tagged), plus the `#[serde(skip)]` and
+//! `#[serde(transparent)]` attributes. That is the full surface this
+//! workspace uses; generics are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// Field name for named fields, decimal index for tuple fields.
+    name: String,
+    skip: bool,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derive `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let body = match &c.kind {
+        Kind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Kind::NamedStruct(fields) | Kind::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let newtype_like = matches!(c.kind, Kind::TupleStruct(_)) && live.len() == 1;
+            if c.transparent || newtype_like {
+                let inner = live.first().expect("transparent struct with no live field");
+                format!(
+                    "::serde::ser::Serialize::serialize(&self.{})",
+                    member(&inner.name)
+                )
+            } else if matches!(c.kind, Kind::NamedStruct(_)) {
+                let entries: Vec<String> = live
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::ser::Serialize::serialize(&self.{}))",
+                            f.name,
+                            member(&f.name)
+                        )
+                    })
+                    .collect();
+                format!("::serde::value::Value::Obj(vec![{}])", entries.join(", "))
+            } else {
+                let entries: Vec<String> = live
+                    .iter()
+                    .map(|f| format!("::serde::ser::Serialize::serialize(&self.{})", f.name))
+                    .collect();
+                format!("::serde::value::Value::Arr(vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&c.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         \tfn serialize(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}\n",
+        name = c.name,
+    );
+    out.parse().expect("derived Serialize impl failed to parse")
+}
+
+/// Derive `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: Default::default()", f.name)
+                    } else if c.transparent {
+                        format!("{}: ::serde::de::Deserialize::deserialize(v)?", f.name)
+                    } else {
+                        format!("{n}: ::serde::de::field(v, {n:?})?", n = f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        "Default::default()".to_string()
+                    } else if c.transparent || live.len() == 1 {
+                        "::serde::de::Deserialize::deserialize(v)?".to_string()
+                    } else {
+                        format!("::serde::de::element(v, {})?", f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Kind::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+         \tfn deserialize(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }}\n\
+         }}\n",
+    );
+    out.parse()
+        .expect("derived Deserialize impl failed to parse")
+}
+
+/// `r#type` → `type` for JSON names; member access keeps the raw form.
+fn json_name(name: &str) -> &str {
+    name.strip_prefix("r#").unwrap_or(name)
+}
+
+fn member(name: &str) -> &str {
+    name
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = json_name(vname);
+    match &v.body {
+        VariantBody::Unit => {
+            format!("{enum_name}::{vname} => ::serde::value::Value::Str({tag:?}.to_string()),")
+        }
+        VariantBody::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => ::serde::value::Value::Obj(vec![({tag:?}.to_string(), \
+             ::serde::ser::Serialize::serialize(f0))]),"
+        ),
+        VariantBody::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let sers: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::ser::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::value::Value::Obj(vec![({tag:?}.to_string(), \
+                 ::serde::value::Value::Arr(vec![{}]))]),",
+                binds.join(", "),
+                sers.join(", ")
+            )
+        }
+        VariantBody::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::ser::Serialize::serialize({}))",
+                        json_name(&f.name),
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::value::Value::Obj(vec![({tag:?}.to_string(), \
+                 ::serde::value::Value::Obj(vec![{}]))]),",
+                binds.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("{ ");
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.body, VariantBody::Unit))
+        .map(|v| format!("{:?} => return Ok({name}::{}),", json_name(&v.name), v.name))
+        .collect();
+    if !unit_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::serde::value::Value::Str(s) = v {{ match s.as_str() {{ {} _ => {{}} }} }} ",
+            unit_arms.join(" ")
+        ));
+    }
+    for v in variants {
+        let vname = &v.name;
+        let tag = json_name(vname);
+        match &v.body {
+            VariantBody::Unit => {}
+            VariantBody::Tuple(1) => out.push_str(&format!(
+                "if let Some(inner) = v.get({tag:?}) {{ return \
+                 Ok({name}::{vname}(::serde::de::Deserialize::deserialize(inner)?)); }} "
+            )),
+            VariantBody::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::element(inner, {i})?"))
+                    .collect();
+                out.push_str(&format!(
+                    "if let Some(inner) = v.get({tag:?}) {{ return Ok({name}::{vname}({})); }} ",
+                    elems.join(", ")
+                ));
+            }
+            VariantBody::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: Default::default()", f.name)
+                        } else {
+                            format!(
+                                "{}: ::serde::de::field(inner, {:?})?",
+                                f.name,
+                                json_name(&f.name)
+                            )
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let Some(inner) = v.get({tag:?}) {{ return Ok({name}::{vname} {{ {} }}); }} ",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "Err(::serde::de::Error::msg(format!(\"no variant of {name} matches {{v:?}}\"))) }}"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = parse_attrs(&tokens, &mut i);
+    let transparent = attrs.iter().any(|a| a == "transparent");
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Container {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Consume leading `#[...]` attributes; return the idents found inside any
+/// `#[serde(...)]` among them.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut words = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde_derive shim: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(word) = t {
+                            words.push(word.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+    words
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas (commas nested inside
+/// `<...>` generic arguments do not split).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            let attrs = parse_attrs(&part, &mut i);
+            skip_visibility(&part, &mut i);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other}"),
+            };
+            Field {
+                name,
+                skip: attrs.iter().any(|a| a == "skip"),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, part)| {
+            let mut i = 0;
+            let attrs = parse_attrs(&part, &mut i);
+            Field {
+                name: idx.to_string(),
+                skip: attrs.iter().any(|a| a == "skip"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            let _attrs = parse_attrs(&part, &mut i);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected variant name, got {other}"),
+            };
+            i += 1;
+            let body = match part.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantBody::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantBody::Named(parse_named_fields(g.stream()))
+                }
+                // Unit variant, possibly with `= discriminant` (ignored).
+                _ => VariantBody::Unit,
+            };
+            Variant { name, body }
+        })
+        .collect()
+}

@@ -36,6 +36,7 @@ pub use cdn;
 pub use crypto;
 pub use ct;
 pub use dns;
+pub use engine;
 pub use handshake;
 pub use psl;
 pub use registry;
@@ -48,6 +49,7 @@ pub use x509;
 pub mod prelude {
     pub use ca::authority::{CertificateAuthority, IssuanceRequest};
     pub use ca::policy::CaPolicy;
+    pub use engine::{Engine, EngineConfig, EngineReport};
     pub use psl::SuffixList;
     pub use stale_core::detector::DetectionSuite;
     pub use stale_core::lifetime_sim::LifetimeSimulation;

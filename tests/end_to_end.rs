@@ -17,8 +17,12 @@ fn suite() -> (worldsim::WorldDatasets, DetectionSuite) {
 #[test]
 fn registrant_change_detection_is_sound_and_complete() {
     let (data, suite) = suite();
-    let truth: BTreeSet<(DomainName, Date)> =
-        data.ground_truth.registrant_changes.iter().cloned().collect();
+    let truth: BTreeSet<(DomainName, Date)> = data
+        .ground_truth
+        .registrant_changes
+        .iter()
+        .cloned()
+        .collect();
     // Soundness: every detected record corresponds to a real re-registration.
     for record in &suite.registrant_change {
         assert!(
@@ -50,7 +54,10 @@ fn registrant_change_detection_is_sound_and_complete() {
         }
     }
     assert_eq!(suite.registrant_change.len(), expected);
-    assert!(expected > 0, "scenario produced detectable registrant changes");
+    assert!(
+        expected > 0,
+        "scenario produced detectable registrant changes"
+    );
 }
 
 #[test]
@@ -107,9 +114,7 @@ fn managed_tls_departures_match_ground_truth_within_window() {
         .ground_truth
         .cdn_departures
         .iter()
-        .filter(|(_, when)| {
-            data.adns_window.contains(*when) && *when != data.adns_window.start
-        })
+        .filter(|(_, when)| data.adns_window.contains(*when) && *when != data.adns_window.start)
         .collect();
     let detected_domains: BTreeSet<&DomainName> =
         suite.managed_tls.iter().map(|r| &r.domain).collect();
@@ -128,8 +133,12 @@ fn key_compromise_detection_matches_crl_ground_truth() {
     let (data, suite) = suite();
     // Every detected KC record joins back to a real compromise or the
     // scripted breach.
-    let truth_serials: BTreeSet<_> =
-        data.ground_truth.compromises.iter().map(|c| (c.ca_key, c.serial)).collect();
+    let truth_serials: BTreeSet<_> = data
+        .ground_truth
+        .compromises
+        .iter()
+        .map(|c| (c.ca_key, c.serial))
+        .collect();
     for record in &suite.key_compromise {
         // Find the revocation backing the record.
         let backing = suite

@@ -1,0 +1,77 @@
+//! The engine's determinism guarantee: for any world and any shard count,
+//! the sharded engine's merged report is byte-identical to the serial
+//! `DetectionSuite::run`.
+
+use proptest::prelude::*;
+use stale_tls::engine::{Engine, EngineConfig};
+use stale_tls::prelude::*;
+
+/// The comparable byte form of a suite: the full revocation join (matches,
+/// stats, cutoff) plus the three record streams, serialised to JSON.
+fn suite_bytes(suite: &DetectionSuite) -> String {
+    serde_json::to_string(&(
+        &suite.revocations.matched,
+        &suite.revocations.stats,
+        &suite.revocations.cutoff,
+        &suite.key_compromise,
+        &suite.registrant_change,
+        &suite.managed_tls,
+    ))
+    .expect("suite serialises")
+}
+
+#[test]
+fn engine_matches_serial_on_fixed_tiny_world() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let serial = suite_bytes(&DetectionSuite::run(&data, &psl));
+    for shards in [1, 2, 4, 7] {
+        let report = Engine::with_shards(shards)
+            .run(&data, &psl)
+            .expect("engine runs");
+        assert!(report.is_complete());
+        assert_eq!(suite_bytes(&report.suite), serial, "shards={shards}");
+    }
+}
+
+#[test]
+fn single_shard_engine_uses_same_machinery() {
+    // shards=1 must still route through partition + merge, not a bypass:
+    // its metrics carry all three stages and exactly one shard entry.
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let report = Engine::with_shards(1)
+        .run(&data, &psl)
+        .expect("engine runs");
+    let stages: Vec<&str> = report
+        .metrics
+        .stages
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(stages, ["partition", "detect", "merge"]);
+    assert_eq!(report.metrics.shards.len(), 1);
+    assert_eq!(report.shards, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random small worlds, shard counts 1/2/7: serial and parallel
+    /// reports are byte-identical.
+    #[test]
+    fn engine_equivalent_to_serial_on_random_worlds(seed in any::<u64>()) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        let serial = suite_bytes(&DetectionSuite::run(&data, &psl));
+        for shards in [1usize, 2, 7] {
+            let report = Engine::new(EngineConfig::with_shards(shards))
+                .run(&data, &psl)
+                .expect("engine runs");
+            prop_assert!(report.is_complete(), "shards={} degraded", shards);
+            prop_assert_eq!(&suite_bytes(&report.suite), &serial, "shards={}", shards);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Supervisor fault tolerance: panic isolation, retry, degraded-shard
+//! reporting, and checkpoint/resume.
+
+use stale_tls::engine::{Engine, EngineConfig};
+use stale_tls::prelude::*;
+
+fn world() -> (WorldDatasets, SuffixList) {
+    (
+        World::run(ScenarioConfig::tiny()),
+        SuffixList::default_list(),
+    )
+}
+
+fn record_key(r: &StaleCertRecord) -> (stale_tls::stale_types::CertId, String, Date) {
+    (r.cert_id, r.domain.to_string(), r.invalidation)
+}
+
+#[test]
+fn injected_panic_degrades_shard_but_others_survive() {
+    let (data, psl) = world();
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+    assert!(clean.is_complete());
+
+    let mut cfg = EngineConfig::with_shards(4);
+    cfg.fail_shards = vec![2];
+    let report = Engine::new(cfg)
+        .run(&data, &psl)
+        .expect("degraded run still returns");
+
+    assert!(!report.is_complete());
+    assert_eq!(report.degraded.len(), 1);
+    let d = &report.degraded[0];
+    assert_eq!(d.shard, 2);
+    assert_eq!(
+        d.attempts, 2,
+        "poisoned shard is retried once before degrading"
+    );
+    assert!(d.error.contains("injected failure"));
+
+    // The degraded shard contributed nothing, but every record that did
+    // come back belongs to the clean run's output.
+    let clean_keys: std::collections::BTreeSet<_> =
+        clean.suite.all_records().map(record_key).collect();
+    let degraded_count = report.suite.all_records().count();
+    assert!(
+        degraded_count > 0,
+        "three healthy shards still produce results"
+    );
+    assert!(degraded_count < clean.suite.all_records().count());
+    for r in report.suite.all_records() {
+        assert!(
+            clean_keys.contains(&record_key(r)),
+            "unexpected record {r:?}"
+        );
+    }
+    // Shard 2 has no metrics entry; the others do.
+    assert_eq!(report.metrics.shards.len(), 3);
+    assert!(report.metrics.shards.iter().all(|s| s.shard != 2));
+}
+
+#[test]
+fn transient_panic_is_retried_and_results_are_intact() {
+    let (data, psl) = world();
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+
+    let mut cfg = EngineConfig::with_shards(4);
+    cfg.fail_once_shards = vec![1];
+    let report = Engine::new(cfg).run(&data, &psl).expect("retried run");
+
+    assert!(report.is_complete(), "one panic is retried, not degraded");
+    let retried = report
+        .metrics
+        .shards
+        .iter()
+        .find(|s| s.shard == 1)
+        .expect("shard 1 ran");
+    assert_eq!(retried.attempts, 2);
+    assert_eq!(
+        report
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+        clean
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn checkpoint_resume_skips_completed_shards_and_matches() {
+    let (data, psl) = world();
+    let dir = std::env::temp_dir().join("stale_engine_fault_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.json");
+    let _ = std::fs::remove_file(&path);
+
+    let mut cfg = EngineConfig::with_shards(4);
+    cfg.checkpoint = Some(path.clone());
+    let first = Engine::new(cfg.clone())
+        .run(&data, &psl)
+        .expect("first run");
+    assert!(first.is_complete());
+    assert_eq!(first.metrics.resumed_shards, 0);
+
+    let second = Engine::new(cfg).run(&data, &psl).expect("resumed run");
+    assert!(second.is_complete());
+    assert_eq!(
+        second.metrics.resumed_shards, 4,
+        "all shards restored from checkpoint"
+    );
+    assert_eq!(
+        second
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+        first
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn degraded_shard_is_not_checkpointed_and_recovers_on_rerun() {
+    let (data, psl) = world();
+    let dir = std::env::temp_dir().join("stale_engine_fault_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("recover.json");
+    let _ = std::fs::remove_file(&path);
+
+    let mut failing = EngineConfig::with_shards(4);
+    failing.checkpoint = Some(path.clone());
+    failing.fail_shards = vec![0];
+    let broken = Engine::new(failing).run(&data, &psl).expect("degraded run");
+    assert!(!broken.is_complete());
+
+    // Re-run without the fault: shard 0 is retried (it was never saved),
+    // the other three resume from the checkpoint.
+    let mut healthy = EngineConfig::with_shards(4);
+    healthy.checkpoint = Some(path.clone());
+    let recovered = Engine::new(healthy).run(&data, &psl).expect("recovery run");
+    assert!(recovered.is_complete());
+    assert_eq!(recovered.metrics.resumed_shards, 3);
+
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+    assert_eq!(
+        recovered
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+        clean
+            .suite
+            .all_records()
+            .map(record_key)
+            .collect::<Vec<_>>(),
+    );
+    let _ = std::fs::remove_file(&path);
+}

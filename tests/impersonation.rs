@@ -29,7 +29,10 @@ fn former_cdn_impersonates_departed_customer_via_handshake() {
         CaId(10),
         "CDN CA",
         cdn_root.clone(),
-        CaPolicy { default_lifetime: Duration::days(365), ..CaPolicy::commercial() },
+        CaPolicy {
+            default_lifetime: Duration::days(365),
+            ..CaPolicy::commercial()
+        },
     );
     let mut provider = ManagedTlsProvider::new(ProviderConfig::cloudflare_per_domain(), cdn_ca, 3);
     let mut ct = LogPool::with_yearly_shards("imp", 21, 2022, 2025);
@@ -85,9 +88,17 @@ fn former_cdn_impersonates_departed_customer_via_handshake() {
     // provider to receive a cert under the same infrastructure.
     // Simpler and still faithful: possession fails without the key.
     let not_the_key = KeyPair::from_seed([99; 32]);
-    let fake_mitm = Mitm { identity: ServerIdentity::new(stale_cert.clone(), not_the_key) };
+    let fake_mitm = Mitm {
+        identity: ServerIdentity::new(stale_cert.clone(), not_the_key),
+    };
     assert!(matches!(
-        connect_via(&client, &real_server, &fake_mitm, &dn("shop.com"), d("2022-08-15")),
+        connect_via(
+            &client,
+            &real_server,
+            &fake_mitm,
+            &dn("shop.com"),
+            d("2022-08-15")
+        ),
         Err(HandshakeError::KeyPossessionFailed)
     ));
 
@@ -103,10 +114,21 @@ fn former_cdn_impersonates_departed_customer_via_handshake() {
         .san(dn("*.shop.com"))
         .validity_days(d("2022-04-05"), Duration::days(365))
         .sign(&attacker_ca);
-    let mitm = Mitm { identity: ServerIdentity::new(attacker_cert.clone(), attacker_key) };
-    let hijacked =
-        connect_via(&client, &real_server, &mitm, &dn("shop.com"), d("2022-08-15")).unwrap();
-    assert_eq!(hijacked.peer_certificate, attacker_cert, "client talked to the third party");
+    let mitm = Mitm {
+        identity: ServerIdentity::new(attacker_cert.clone(), attacker_key),
+    };
+    let hijacked = connect_via(
+        &client,
+        &real_server,
+        &mitm,
+        &dn("shop.com"),
+        d("2022-08-15"),
+    )
+    .unwrap();
+    assert_eq!(
+        hijacked.peer_certificate, attacker_cert,
+        "client talked to the third party"
+    );
 
     // --- A CRLite-equipped client blocks it once the cert is known
     // revoked (pushed filter, nothing to drop on-path).
@@ -116,7 +138,13 @@ fn former_cdn_impersonates_departed_customer_via_handshake() {
     );
     let hardened = Client::new(roots).with_crlite(filter);
     assert!(matches!(
-        connect_via(&hardened, &real_server, &mitm, &dn("shop.com"), d("2022-08-15")),
+        connect_via(
+            &hardened,
+            &real_server,
+            &mitm,
+            &dn("shop.com"),
+            d("2022-08-15")
+        ),
         Err(HandshakeError::CrliteHit)
     ));
     // The honest server still works for the hardened client.
@@ -125,7 +153,13 @@ fn former_cdn_impersonates_departed_customer_via_handshake() {
 
     // --- Expiry is the final backstop.
     assert!(matches!(
-        connect_via(&client, &real_server, &mitm, &dn("shop.com"), d("2023-06-01")),
+        connect_via(
+            &client,
+            &real_server,
+            &mitm,
+            &dn("shop.com"),
+            d("2023-06-01")
+        ),
         Err(HandshakeError::Validation(_))
     ));
 }
@@ -147,8 +181,12 @@ fn must_staple_resists_the_on_path_attacker() {
     let _ = &mut ct;
     // The attacker steals the key AND the certificate, but cannot mint a
     // fresh Good staple after revocation.
-    ca.revoke(cert.tbs.serial, d("2022-03-01"), x509::revocation::RevocationReason::KeyCompromise)
-        .unwrap();
+    ca.revoke(
+        cert.tbs.serial,
+        d("2022-03-01"),
+        x509::revocation::RevocationReason::KeyCompromise,
+    )
+    .unwrap();
     let today = d("2022-04-01");
     let mitm = Mitm {
         identity: ServerIdentity::new(cert.clone(), victim_key.clone()),
@@ -168,7 +206,13 @@ fn must_staple_resists_the_on_path_attacker() {
     // NB: the issuer key for staple verification comes from the trust
     // store in a one-cert chain.
     assert!(matches!(
-        connect_via(&client, &victim_server, &mitm_with_staple, &dn("pinned.com"), today),
+        connect_via(
+            &client,
+            &victim_server,
+            &mitm_with_staple,
+            &dn("pinned.com"),
+            today
+        ),
         Err(HandshakeError::Revoked)
     ));
 }

@@ -37,7 +37,11 @@ fn dns_history_json_roundtrip() {
         d("2022-08-01"),
         DnsView::with_ns([dn("anna.ns.cloudflare.com")]),
     );
-    history.record_change(dn("foo.com"), d("2022-09-15"), DnsView::with_ns([dn("ns1.away.net")]));
+    history.record_change(
+        dn("foo.com"),
+        d("2022-09-15"),
+        DnsView::with_ns([dn("ns1.away.net")]),
+    );
     let json = serde_json::to_string(&history).unwrap();
     let back: DnsHistory = serde_json::from_str(&json).unwrap();
     assert_eq!(back.domain_count(), 1);
@@ -53,7 +57,10 @@ fn popularity_and_reputation_json_roundtrip() {
     let mut archive = PopularityArchive::new();
     let mut ranks = std::collections::HashMap::new();
     ranks.insert(dn("foo.com"), 777u32);
-    archive.add_sample(RankSample { date: d("2020-01-01"), ranks });
+    archive.add_sample(RankSample {
+        date: d("2020-01-01"),
+        ranks,
+    });
     let json = serde_json::to_string(&archive).unwrap();
     let back: PopularityArchive = serde_json::from_str(&json).unwrap();
     assert_eq!(back.best_rank(&dn("foo.com")), Some(777));

@@ -31,8 +31,12 @@ fn d(s: &str) -> Date {
 fn certificate_lifecycle_end_to_end() {
     // --- Issuance through ACME with dns-01 against the dns crate.
     let ca_key = KeyPair::from_seed([1; 32]);
-    let mut ca =
-        CertificateAuthority::new(CaId(1), "Interop CA", ca_key.clone(), CaPolicy::commercial());
+    let mut ca = CertificateAuthority::new(
+        CaId(1),
+        "Interop CA",
+        ca_key.clone(),
+        CaPolicy::commercial(),
+    );
     let mut ct = LogPool::with_yearly_shards("interop", 4, 2022, 2024);
     let mut acme = AcmeServer::new();
     let mut resolver = Resolver::new();
@@ -41,15 +45,31 @@ fn certificate_lifecycle_end_to_end() {
     let tls_key = KeyPair::from_seed([3; 32]);
 
     let order = acme.new_order(&ca, AccountId(1), vec![dn("site.com")], d("2022-05-01"));
-    let challenge = acme.challenge(order, &dn("site.com"), ChallengeType::Dns01).unwrap();
-    resolver
-        .zone_mut(&dn("site.com"))
-        .unwrap()
-        .add_data(challenge.dns_name(), RData::Txt(challenge.key_authorization(&account_key.public())));
-    acme.validate(order, &challenge, &account_key.public(), &resolver, &WebServer::new(), d("2022-05-01"))
+    let challenge = acme
+        .challenge(order, &dn("site.com"), ChallengeType::Dns01)
         .unwrap();
+    resolver.zone_mut(&dn("site.com")).unwrap().add_data(
+        challenge.dns_name(),
+        RData::Txt(challenge.key_authorization(&account_key.public())),
+    );
+    acme.validate(
+        order,
+        &challenge,
+        &account_key.public(),
+        &resolver,
+        &WebServer::new(),
+        d("2022-05-01"),
+    )
+    .unwrap();
     let cert = acme
-        .finalize(order, tls_key.public(), None, &mut ca, &mut ct, d("2022-05-01"))
+        .finalize(
+            order,
+            tls_key.public(),
+            None,
+            &mut ca,
+            &mut ct,
+            d("2022-05-01"),
+        )
         .unwrap();
 
     // --- The precert is in a CT log with a verifiable inclusion proof.
@@ -60,7 +80,11 @@ fn certificate_lifecycle_end_to_end() {
         .expect("precert logged somewhere");
     let entry = &log.entries()[0];
     assert!(entry.certificate.tbs.is_precert());
-    assert_eq!(entry.certificate.cert_id(), cert.cert_id(), "precert dedups with final");
+    assert_eq!(
+        entry.certificate.cert_id(),
+        cert.cert_id(),
+        "precert dedups with final"
+    );
     let sth = log.tree_head(d("2022-05-02"));
     assert!(log.verify_tree_head(&sth));
     let proof = log.inclusion_proof(entry.index, sth.tree_size).unwrap();
@@ -81,12 +105,22 @@ fn certificate_lifecycle_end_to_end() {
 
     // --- A TLS client accepts the chain.
     assert_eq!(
-        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2022-06-01")),
+        validate_chain(
+            std::slice::from_ref(&cert),
+            &[ca_key.public()],
+            &dn("site.com"),
+            d("2022-06-01")
+        ),
         Ok(())
     );
 
     // --- Key compromise: revoke, publish, scrape, join.
-    ca.revoke(cert.tbs.serial, d("2022-07-01"), RevocationReason::KeyCompromise).unwrap();
+    ca.revoke(
+        cert.tbs.serial,
+        d("2022-07-01"),
+        RevocationReason::KeyCompromise,
+    )
+    .unwrap();
     let mut scraper = CrlScraper::new(9);
     let window = DateInterval::new(d("2022-11-01"), d("2022-11-08")).unwrap();
     let (crl_data, stats) = scraper.scrape(&[&ca], window);
@@ -109,12 +143,22 @@ fn certificate_lifecycle_end_to_end() {
     // --- Validation still passes (revocation checking is ineffective in
     // browsers — §2.4; expiry is the only backstop).
     assert_eq!(
-        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2022-12-01")),
+        validate_chain(
+            std::slice::from_ref(&cert),
+            &[ca_key.public()],
+            &dn("site.com"),
+            d("2022-12-01")
+        ),
         Ok(())
     );
     // Until expiry.
     assert_eq!(
-        validate_chain(std::slice::from_ref(&cert), &[ca_key.public()], &dn("site.com"), d("2023-07-01")),
+        validate_chain(
+            std::slice::from_ref(&cert),
+            &[ca_key.public()],
+            &dn("site.com"),
+            d("2023-07-01")
+        ),
         Err(ValidationError::Expired { index: 0 })
     );
 }
@@ -141,7 +185,10 @@ fn wire_format_scan_agrees_with_history() {
     };
     history.record_change(dn("foo.com"), d("2022-08-01"), view.clone());
     assert_eq!(scanned, view);
-    assert_eq!(history.view_at(&dn("foo.com"), d("2022-08-01")), Some(&view));
+    assert_eq!(
+        history.view_at(&dn("foo.com"), d("2022-08-01")),
+        Some(&view)
+    );
 }
 
 #[test]

@@ -23,9 +23,13 @@ fn arb_label() -> impl Strategy<Value = String> {
 }
 
 fn arb_domain() -> impl Strategy<Value = DomainName> {
-    (arb_label(), prop::sample::select(vec!["com", "net", "org", "co.uk"])).prop_map(
-        |(label, tld)| DomainName::parse(&format!("{label}.{tld}")).expect("constructed valid"),
+    (
+        arb_label(),
+        prop::sample::select(vec!["com", "net", "org", "co.uk"]),
     )
+        .prop_map(|(label, tld)| {
+            DomainName::parse(&format!("{label}.{tld}")).expect("constructed valid")
+        })
 }
 
 fn arb_date() -> impl Strategy<Value = Date> {
@@ -41,9 +45,8 @@ fn arb_interval() -> impl Strategy<Value = DateInterval> {
 fn arb_extension() -> impl Strategy<Value = Extension> {
     prop_oneof![
         prop::collection::vec(arb_domain(), 1..4).prop_map(Extension::SubjectAltName),
-        (any::<bool>(), prop::option::of(0u8..4)).prop_map(|(ca, path_len)| {
-            Extension::BasicConstraints { ca, path_len }
-        }),
+        (any::<bool>(), prop::option::of(0u8..4))
+            .prop_map(|(ca, path_len)| { Extension::BasicConstraints { ca, path_len } }),
         (any::<bool>(), any::<bool>()).prop_map(|(ds, ke)| {
             Extension::KeyUsage(KeyUsage {
                 digital_signature: ds,
@@ -70,15 +73,17 @@ fn arb_tbs() -> impl Strategy<Value = TbsCertificate> {
         prop::array::uniform32(any::<u8>()),
         prop::collection::vec(arb_extension(), 0..6),
     )
-        .prop_map(|(serial, issuer, validity, subject, key, extensions)| TbsCertificate {
-            version: Version::V3,
-            serial: stale_types::SerialNumber(serial),
-            issuer: Name::cn(issuer),
-            validity,
-            subject: Name::cn(subject.as_str()),
-            public_key: crypto::PublicKey(key),
-            extensions,
-        })
+        .prop_map(
+            |(serial, issuer, validity, subject, key, extensions)| TbsCertificate {
+                version: Version::V3,
+                serial: stale_types::SerialNumber(serial),
+                issuer: Name::cn(issuer),
+                validity,
+                subject: Name::cn(subject.as_str()),
+                public_key: crypto::PublicKey(key),
+                extensions,
+            },
+        )
 }
 
 // ---------------------------------------------------------------------
