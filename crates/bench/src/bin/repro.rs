@@ -3,6 +3,8 @@
 //! ```text
 //! repro [preset] [experiment...] [--csv DIR] [--shards N]
 //!       [--checkpoint FILE] [--fail-shard K]...
+//!       [--incremental] [--through DATE] [--day-batch N]
+//!       [--checkpoint-every N]
 //!
 //! presets:     paper (default) | small | tiny
 //! experiments: table3 table4 table5 table6 table7
@@ -11,10 +13,19 @@
 //! engine:      --shards N       partition width (default: available
 //!                               parallelism; results are byte-identical
 //!                               for every N)
-//!              --checkpoint F   JSON checkpoint; completed shards are
-//!                               skipped when re-running the same world
+//!              --checkpoint F   JSON checkpoint; batch mode skips
+//!                               completed shards, incremental mode
+//!                               resumes after the last ingested day
 //!              --fail-shard K   inject a persistent panic into shard K
 //!                               (testing; the run degrades and exits 1)
+//! incremental: --incremental    replay the world's day feed through
+//!                               persistent detector state; reports are
+//!                               byte-identical to batch mode
+//!              --through DATE   stop after ingesting DATE (catch-up runs)
+//!              --day-batch N    days per ingested delta (default 1)
+//!              --checkpoint-every N
+//!                               snapshot detector state every N ingested
+//!                               days (default 1; needs --checkpoint)
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 when any shard degraded or an engine
@@ -30,6 +41,7 @@ fn main() {
     let mut wanted: Vec<&str> = Vec::new();
     let mut csv_dir: Option<String> = None;
     let mut engine_cfg = EngineConfig::default();
+    let mut incremental = false;
     let mut args_iter = args.iter().peekable();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
@@ -66,6 +78,39 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--incremental" => incremental = true,
+            "--through" => {
+                engine_cfg.through = match args_iter
+                    .next()
+                    .and_then(|v| stale_types::Date::parse(v).ok())
+                {
+                    Some(d) => Some(d),
+                    None => {
+                        eprintln!("--through needs a YYYY-MM-DD date");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--day-batch" => {
+                engine_cfg.day_batch = match args_iter.next().and_then(|v| v.parse::<usize>().ok())
+                {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--day-batch needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--checkpoint-every" => {
+                engine_cfg.checkpoint_every_days =
+                    match args_iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--checkpoint-every needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    };
+            }
             other => wanted.push(other),
         }
     }
@@ -77,15 +122,24 @@ fn main() {
         "tiny" => ScenarioConfig::tiny(),
         _ => ScenarioConfig::paper2023(),
     };
+    let mode = if incremental {
+        format!(" [incremental, day-batch {}]", engine_cfg.day_batch.max(1))
+    } else {
+        String::new()
+    };
     eprintln!(
-        "simulating world: preset={preset}, {} days, seed {}, {} shard(s) x {} worker(s)",
+        "simulating world: preset={preset}, {} days, seed {}, {} shard(s) x {} worker(s){mode}",
         cfg.sim_days(),
         cfg.seed,
         engine_cfg.shards,
         engine_cfg.effective_workers(),
     );
     let started = std::time::Instant::now();
-    let run = match Experiments::with_engine(cfg, engine_cfg) {
+    let run = match if incremental {
+        Experiments::with_engine_incremental(cfg, engine_cfg)
+    } else {
+        Experiments::with_engine(cfg, engine_cfg)
+    } {
         Ok(run) => run,
         Err(e) => {
             eprintln!("engine error: {e}");
@@ -96,6 +150,12 @@ fn main() {
         "world + detection ready in {:.1}s\n",
         started.elapsed().as_secs_f64()
     );
+    if incremental {
+        eprintln!(
+            "incremental replay emitted {} stale event(s)",
+            run.events.len()
+        );
+    }
     let experiments = &run.experiments;
     let mut failed = false;
     for name in wanted {

@@ -38,6 +38,9 @@ pub struct EngineRun {
     pub metrics: EngineMetrics,
     /// Partition width used.
     pub shards: usize,
+    /// Stale events in discovery order (incremental runs; empty in batch
+    /// mode, where everything lands at once).
+    pub events: Vec<stale_core::incremental::StaleEvent>,
 }
 
 impl Experiments {
@@ -68,6 +71,32 @@ impl Experiments {
             degraded: report.degraded,
             metrics: report.metrics,
             shards: report.shards,
+            events: report.events,
+        })
+    }
+
+    /// Simulate a world and run the detectors through the engine's
+    /// incremental driver: the day feed is replayed delta by delta into
+    /// persistent detector state. The merged suite — and therefore every
+    /// rendered table and figure — is byte-identical to the batch paths
+    /// when the feed is drained (`EngineConfig::through` unset).
+    pub fn with_engine_incremental(
+        cfg: ScenarioConfig,
+        engine_cfg: EngineConfig,
+    ) -> Result<EngineRun, EngineError> {
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        let report = Engine::new(engine_cfg).run_incremental(&data, &psl)?;
+        Ok(EngineRun {
+            experiments: Experiments {
+                data,
+                psl,
+                suite: report.suite,
+            },
+            degraded: report.degraded,
+            metrics: report.metrics,
+            shards: report.shards,
+            events: report.events,
         })
     }
 

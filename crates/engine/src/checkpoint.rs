@@ -1,6 +1,7 @@
-//! Checkpoint/resume of completed shards.
+//! Checkpoint/resume: completed shards (batch, schema v1) and persistent
+//! detector state (incremental, schema v2).
 //!
-//! Format: one JSON object per file —
+//! **Schema v1** (batch mode) — one JSON object per file:
 //!
 //! ```json
 //! {
@@ -13,16 +14,37 @@
 //! }
 //! ```
 //!
-//! `fingerprint` is [`worldsim::WorldDatasets::fingerprint`] and `shards`
-//! the partition width; a checkpoint only resumes a run over the *same*
-//! bundle at the *same* shard count, otherwise it is discarded and
-//! rewritten. Degraded shards are never recorded, so a resumed run retries
-//! exactly the shards that have not completed.
+//! **Schema v2** (incremental mode) — the per-shard detector state after
+//! the last ingested day:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "fingerprint": 1234567890,
+//!   "shards": 4,
+//!   "through": "2022-11-30",
+//!   "states": [
+//!     { "shard": 0, "kc": { "index": [...] }, "rc": { ... },
+//!       "mtd": { ... } }
+//!   ]
+//! }
+//! ```
+//!
+//! In both schemas `fingerprint` is
+//! [`worldsim::WorldDatasets::fingerprint`] and `shards` the partition
+//! width; a checkpoint only resumes a run over the *same* bundle at the
+//! *same* shard count, otherwise it is discarded and rewritten. The
+//! explicit `version` field keeps the two schemas from being confused for
+//! one another: a v1 file fails v2 validation (no `version`) and vice
+//! versa (no `completed`). Certificate bodies are never persisted — v2
+//! stores `cert_id`s and re-resolves them from the CT monitor on resume.
 
 use crate::metrics::ShardMetrics;
 use serde::{Deserialize, Serialize};
 use stale_core::detector::key_compromise::ShardMatch;
+use stale_core::incremental::{SavedKc, SavedMtd, SavedRc};
 use stale_core::staleness::StaleCertRecord;
+use stale_types::Date;
 use std::path::Path;
 
 /// Everything one shard's detectors produced.
@@ -103,6 +125,70 @@ impl Checkpoint {
     }
 }
 
+/// One shard's incremental detector state, as persisted (schema v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStateSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// §4.1 join state.
+    pub kc: SavedKc,
+    /// §4.2 state.
+    pub rc: SavedRc,
+    /// §4.3 state.
+    pub mtd: SavedMtd,
+}
+
+/// The incremental checkpoint file contents (schema v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    /// Schema version; always 2.
+    pub version: u32,
+    /// Dataset-bundle fingerprint this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// Partition width it was taken at.
+    pub shards: usize,
+    /// Last day whose delta has been ingested.
+    pub through: Date,
+    /// Per-shard detector state, in shard order.
+    pub states: Vec<ShardStateSnapshot>,
+}
+
+impl StreamCheckpoint {
+    /// The current schema version.
+    pub const VERSION: u32 = 2;
+
+    /// Load from `path` if it exists and matches `fingerprint`/`shards` at
+    /// schema v2. Anything else — missing, unreadable, malformed, a v1
+    /// file, or a mismatched run — yields `None` (start fresh).
+    pub fn load(path: &Path, fingerprint: u64, shards: usize) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        match serde_json::from_str::<StreamCheckpoint>(&text) {
+            Ok(cp)
+                if cp.version == Self::VERSION
+                    && cp.fingerprint == fingerprint
+                    && cp.shards == shards
+                    && cp.states.len() == shards =>
+            {
+                Some(cp)
+            }
+            _ => None,
+        }
+    }
+
+    /// Persist to `path` (whole-file rewrite).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(
+            path,
+            serde_json::to_string(self).map_err(std::io::Error::other)?,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +240,38 @@ mod tests {
             .completed
             .is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_checkpoint_roundtrip_and_validation() {
+        let dir = std::env::temp_dir().join("stale_engine_ckpt_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.json");
+        let cp = StreamCheckpoint {
+            version: StreamCheckpoint::VERSION,
+            fingerprint: 42,
+            shards: 1,
+            through: Date::parse("2022-11-30").unwrap(),
+            states: vec![ShardStateSnapshot {
+                shard: 0,
+                kc: SavedKc::default(),
+                rc: SavedRc::default(),
+                mtd: SavedMtd::default(),
+            }],
+        };
+        cp.save(&path).unwrap();
+        assert_eq!(StreamCheckpoint::load(&path, 42, 1), Some(cp.clone()));
+        // Wrong fingerprint, width, or missing file → None.
+        assert_eq!(StreamCheckpoint::load(&path, 43, 1), None);
+        assert_eq!(StreamCheckpoint::load(&path, 42, 2), None);
+        assert_eq!(StreamCheckpoint::load(&dir.join("nope.json"), 42, 1), None);
+        // A v1 file is not a v2 checkpoint, and vice versa.
+        let v1_path = dir.join("v1.json");
+        sample().save(&v1_path).unwrap();
+        assert_eq!(StreamCheckpoint::load(&v1_path, 42, 2), None);
+        assert!(Checkpoint::load_or_new(&path, 42, 1).completed.is_empty());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&v1_path);
     }
 
     #[test]

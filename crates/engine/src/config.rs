@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use stale_types::Date;
 use std::path::PathBuf;
 
 /// Tuning knobs for one [`crate::Engine`] run.
@@ -10,8 +11,12 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Worker threads draining the shard queue. Capped at `shards`.
     pub workers: usize,
-    /// Checkpoint file: completed shards are appended after each finish
-    /// and skipped when re-running against the same dataset bundle.
+    /// Checkpoint file. Batch mode ([`crate::Engine::run`]): completed
+    /// shards are appended after each finish and skipped when re-running
+    /// against the same dataset bundle. Incremental mode
+    /// ([`crate::Engine::run_incremental`]): per-shard detector state is
+    /// snapshotted (schema v2) and the run resumes after the last
+    /// checkpointed day.
     pub checkpoint: Option<PathBuf>,
     /// Fault injection (tests / `repro --fail-shard`): these shards panic
     /// on every attempt and end up degraded.
@@ -19,6 +24,16 @@ pub struct EngineConfig {
     /// Fault injection: these shards panic on their first attempt only,
     /// exercising the retry path.
     pub fail_once_shards: Vec<usize>,
+    /// Incremental mode: days ingested per delta (1 = strictly daily;
+    /// larger batches amortise routing overhead, results are identical).
+    pub day_batch: usize,
+    /// Incremental mode: stop after ingesting this day (catch-up through a
+    /// cutoff). `None` drains the full feed.
+    pub through: Option<Date>,
+    /// Incremental mode: write the state checkpoint after at least this
+    /// many ingested days (when `checkpoint` is set). The final state is
+    /// always written.
+    pub checkpoint_every_days: usize,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +45,9 @@ impl Default for EngineConfig {
             checkpoint: None,
             fail_shards: Vec::new(),
             fail_once_shards: Vec::new(),
+            day_batch: 1,
+            through: None,
+            checkpoint_every_days: 1,
         }
     }
 }

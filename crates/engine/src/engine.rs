@@ -41,6 +41,9 @@ pub struct EngineReport {
     pub metrics: EngineMetrics,
     /// Partition width of the run.
     pub shards: usize,
+    /// Stale events in discovery order (incremental runs only; batch runs
+    /// leave this empty — every record lands at once).
+    pub events: Vec<stale_core::incremental::StaleEvent>,
 }
 
 impl EngineReport {
@@ -54,7 +57,7 @@ impl EngineReport {
 /// The sharded detection engine. See the crate docs for the layering and
 /// the determinism guarantee.
 pub struct Engine {
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
 }
 
 impl Engine {
@@ -153,16 +156,7 @@ impl Engine {
         let kc: Vec<_> = completed.iter().map(|c| c.output.kc.clone()).collect();
         let rc: Vec<_> = completed.iter().map(|c| c.output.rc.clone()).collect();
         let mtd: Vec<_> = completed.iter().map(|c| c.output.mtd.clone()).collect();
-        let revocations = key_compromise::merge_shards(data.crl.records().len(), cutoff, kc);
-        let key_compromise = revocations.stale_records();
-        let registrant_change = registrant_change::merge_shards(rc);
-        let managed_tls = managed_tls::merge_shards(mtd);
-        let suite = DetectionSuite {
-            revocations,
-            key_compromise,
-            registrant_change,
-            managed_tls,
-        };
+        let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
         let merged =
             suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
         let stage_merge = StageMetrics {
@@ -177,13 +171,38 @@ impl Engine {
             shards: completed.iter().map(|c| c.metrics.clone()).collect(),
             queue_depths,
             resumed_shards,
+            ingest: None,
         };
         Ok(EngineReport {
             suite,
             degraded,
             metrics,
             shards: n,
+            events: Vec::new(),
         })
+    }
+}
+
+/// The shared deterministic merge: exactly the three per-detector merge
+/// functions, composed into a [`DetectionSuite`]. Both the batch and the
+/// incremental drivers end here, which is what makes their reports
+/// byte-identical.
+pub(crate) fn merge_suite(
+    crl_total: usize,
+    cutoff: stale_types::Date,
+    kc: Vec<Vec<key_compromise::ShardMatch>>,
+    rc: Vec<Vec<(usize, stale_core::staleness::StaleCertRecord)>>,
+    mtd: Vec<Vec<stale_core::staleness::StaleCertRecord>>,
+) -> DetectionSuite {
+    let revocations = key_compromise::merge_shards(crl_total, cutoff, kc);
+    let key_compromise = revocations.stale_records();
+    let registrant_change = registrant_change::merge_shards(rc);
+    let managed_tls = managed_tls::merge_shards(mtd);
+    DetectionSuite {
+        revocations,
+        key_compromise,
+        registrant_change,
+        managed_tls,
     }
 }
 

@@ -24,6 +24,16 @@
 //!    queue depths and shard skew, rendered as a summary table by the
 //!    repro binary.
 //!
+//! A fourth layer, the **streaming driver** ([`stream`],
+//! [`Engine::run_incremental`]), replays a [`worldsim::DayFeed`] through
+//! persistent per-shard detector state ([`stale_core::incremental`])
+//! instead of handing each shard its whole slice at once: one day-delta
+//! at a time, routed by the same partition rules, emitting
+//! [`stale_core::incremental::StaleEvent`]s as staleness periods open,
+//! with state checkpointed per day (schema v2) and resumed across runs.
+//! Its final report reuses the batch merge and is byte-identical to
+//! [`Engine::run`] over the same bundle.
+//!
 //! **Determinism guarantee:** for a fixed dataset bundle,
 //! [`Engine::run`] produces byte-identical reports for every shard count,
 //! including `shards = 1`, and identical to the serial
@@ -37,11 +47,14 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod partition;
+pub mod stream;
 pub mod supervisor;
 
-pub use checkpoint::{Checkpoint, CompletedShard, ShardOutput};
+pub use checkpoint::{
+    Checkpoint, CompletedShard, ShardOutput, ShardStateSnapshot, StreamCheckpoint,
+};
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineError, EngineReport};
-pub use metrics::{EngineMetrics, ShardMetrics, StageMetrics};
+pub use metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, ShardMetrics, StageMetrics};
 pub use partition::{partition, Partition, ShardInput};
 pub use supervisor::DegradedShard;

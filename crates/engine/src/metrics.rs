@@ -40,6 +40,54 @@ pub struct ShardMetrics {
     pub attempts: u32,
 }
 
+/// One ingested day-batch in incremental mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestBatchMetrics {
+    /// Last day the batch covers.
+    pub day: String,
+    /// Days in the batch.
+    pub days: usize,
+    /// Wall time to route + ingest the batch across all shards.
+    pub wall_us: u64,
+    /// Delta items ingested (certificates, CRL records, WHOIS pairs, DNS
+    /// changes).
+    pub items: usize,
+    /// Stale events emitted by the batch.
+    pub events: usize,
+}
+
+/// Incremental-mode ingest observability: per-day (per-batch) latency.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestMetrics {
+    /// Configured days per delta.
+    pub day_batch: usize,
+    /// Total days ingested this run (excludes checkpoint-resumed days).
+    pub days: usize,
+    /// Per-batch detail, in feed order.
+    pub batches: Vec<IngestBatchMetrics>,
+}
+
+impl IngestMetrics {
+    /// Mean wall time per ingested day.
+    pub fn mean_day_us(&self) -> u64 {
+        if self.days == 0 {
+            return 0;
+        }
+        let total: u64 = self.batches.iter().map(|b| b.wall_us).sum();
+        total / self.days as u64
+    }
+
+    /// The slowest batch, if any.
+    pub fn slowest(&self) -> Option<&IngestBatchMetrics> {
+        self.batches.iter().max_by_key(|b| b.wall_us)
+    }
+
+    /// Total stale events emitted.
+    pub fn events(&self) -> usize {
+        self.batches.iter().map(|b| b.events).sum()
+    }
+}
+
 /// The whole run's metrics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineMetrics {
@@ -51,6 +99,8 @@ pub struct EngineMetrics {
     pub queue_depths: Vec<usize>,
     /// Shards restored from a checkpoint instead of recomputed.
     pub resumed_shards: usize,
+    /// Incremental-mode ingest detail (`None` for batch runs).
+    pub ingest: Option<IngestMetrics>,
 }
 
 impl EngineMetrics {
@@ -123,6 +173,28 @@ impl EngineMetrics {
                 self.resumed_shards
             ));
         }
+        if let Some(ingest) = &self.ingest {
+            out.push_str(&format!(
+                "  ingest: {} day(s) in {} batch(es) of {}, {} event(s), mean {}/day",
+                ingest.days,
+                ingest.batches.len(),
+                ingest.day_batch,
+                ingest.events(),
+                human(ingest.mean_day_us()),
+            ));
+            if let Some(slow) = ingest.slowest() {
+                out.push_str(&format!(
+                    ", slowest batch {} ({} items) {}",
+                    slow.day,
+                    slow.items,
+                    human(slow.wall_us)
+                ));
+            }
+            if self.resumed_shards > 0 {
+                out.push_str(&format!(", resumed {} shard(s)", self.resumed_shards));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -166,6 +238,7 @@ mod tests {
             shards: vec![shard(0, 5)],
             queue_depths: vec![1, 0],
             resumed_shards: 0,
+            ingest: None,
         };
         let t = m.render_table();
         assert!(t.contains("partition"));

@@ -1,0 +1,374 @@
+//! The incremental streaming driver: day-deltas → persistent shard state.
+//!
+//! [`Engine::run_incremental`] replays a [`worldsim::DayFeed`] through the
+//! same shard partition the batch driver uses, but instead of handing each
+//! shard its complete slice at once, it routes one [`worldsim::DayDelta`]
+//! at a time into per-shard [`stale_core::incremental`] detector state.
+//! Every delta emits [`stale_core::incremental::StaleEvent`]s as staleness
+//! periods open; the final report is produced by `finish()`ing each
+//! shard's state and running the **same** deterministic merge as batch
+//! mode ([`crate::engine::merge_suite`]), which is what makes the two
+//! drivers byte-identical over the same bundle.
+//!
+//! Routing mirrors [`crate::partition::partition`] rule for rule:
+//!
+//! * certificates → first-SAN e2LD shard (key compromise), every SAN-e2LD
+//!   shard (registrant change), every customer-routing-key shard (managed
+//!   TLS, marker certificates only);
+//! * CRL records → broadcast to every shard (the join key is `(AKI,
+//!   serial)`, not a domain);
+//! * WHOIS observations → the domain's shard;
+//! * DNS change-log entries → the scan target's customer-routing-key
+//!   shard, which is exactly the set of domains the shard's `owned`
+//!   predicate accepts in batch mode.
+//!
+//! With `EngineConfig::checkpoint` set, the per-shard state is snapshotted
+//! (schema v2, [`crate::checkpoint::StreamCheckpoint`]) every
+//! `checkpoint_every_days` ingested days and after the final delta; a
+//! matching checkpoint resumes ingestion after its last recorded day.
+
+use crate::checkpoint::{ShardStateSnapshot, StreamCheckpoint};
+use crate::engine::{merge_suite, Engine, EngineError, EngineReport};
+use crate::metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, StageMetrics};
+use crate::partition::{mtd_routing_key, shard_of};
+use psl::SuffixList;
+use stale_core::detector::key_compromise::RevocationAnalysis;
+use stale_core::detector::managed_tls::ManagedTlsDetector;
+use stale_core::detector::registrant_change::{enumerate_changes, RegistrantChangeDetector};
+use stale_core::incremental::{KcIncremental, MtdIncremental, RcIncremental, StaleEvent};
+use stale_core::staleness::StaleCertRecord;
+use stale_types::{Date, DomainName};
+use std::collections::HashMap;
+use std::time::Instant;
+use worldsim::{DayDelta, DayFeed, WorldDatasets};
+
+/// One shard's live incremental state.
+struct ShardState<'w> {
+    kc: KcIncremental<'w>,
+    rc: RcIncremental<'w>,
+    mtd: MtdIncremental<'w>,
+}
+
+impl Engine {
+    /// Run the detectors incrementally: replay the bundle's day feed
+    /// through persistent per-shard state, emitting stale events per
+    /// delta, and finish with the batch driver's deterministic merge.
+    ///
+    /// The resulting [`EngineReport::suite`] is byte-identical to
+    /// [`Engine::run`] over the same bundle when the feed is drained
+    /// (`through` unset or past the last feed day).
+    pub fn run_incremental(
+        &self,
+        data: &WorldDatasets,
+        psl: &SuffixList,
+    ) -> Result<EngineReport, EngineError> {
+        let n = self.config.shards.max(1);
+        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+        let rc_detector = RegistrantChangeDetector::new(psl);
+        let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
+
+        // Stage 1: index the bundle by observability day.
+        let feed_start = Instant::now();
+        let feed = DayFeed::new(data);
+        let feed_items = feed.delta(feed.start(), feed.end()).items();
+        let through = self.config.through.unwrap_or(feed.end()).min(feed.end());
+        let stage_feed = StageMetrics {
+            name: "feed".to_string(),
+            wall_us: feed_start.elapsed().as_micros() as u64,
+            items_in: feed_items,
+            items_out: feed_items,
+        };
+
+        // Checkpoint: resume detector state after the last ingested day. A
+        // checkpoint past `through` is unusable (its state already
+        // contains days the caller asked to exclude) and is discarded.
+        let fingerprint = data.fingerprint();
+        let restored = self.config.checkpoint.as_ref().and_then(|path| {
+            StreamCheckpoint::load(path, fingerprint, n).filter(|cp| cp.through <= through)
+        });
+        let resumed_shards = if restored.is_some() { n } else { 0 };
+        let (mut states, resume_from) = match &restored {
+            Some(cp) => {
+                let states = cp
+                    .states
+                    .iter()
+                    .map(|s| ShardState {
+                        kc: KcIncremental::restore(
+                            &s.kc,
+                            &data.monitor,
+                            &data.crl,
+                            cp.through,
+                            cutoff,
+                        ),
+                        rc: RcIncremental::restore(&s.rc, &data.monitor, &rc_detector),
+                        mtd: MtdIncremental::restore(&s.mtd, &data.monitor, data.adns_window),
+                    })
+                    .collect::<Vec<_>>();
+                (states, cp.through.succ())
+            }
+            None => {
+                let states = (0..n)
+                    .map(|_| ShardState {
+                        kc: KcIncremental::new(cutoff),
+                        rc: RcIncremental::new(),
+                        mtd: MtdIncremental::new(data.adns_window),
+                    })
+                    .collect::<Vec<_>>();
+                (states, feed.start())
+            }
+        };
+
+        // Stage 2: ingest day-deltas, one batch of `day_batch` days at a
+        // time, routing each item per the partitioner's rules.
+        let ingest_start = Instant::now();
+        let day_batch = self.config.day_batch.max(1);
+        let mut ingest = IngestMetrics {
+            day_batch,
+            days: 0,
+            batches: Vec::new(),
+        };
+        let mut events: Vec<StaleEvent> = Vec::new();
+        let mut ingested_total = 0usize;
+        let mut last_ingested: Option<Date> = restored.as_ref().map(|cp| cp.through);
+        let mut days_since_ckpt = 0usize;
+        for (from, to) in tile(resume_from, through, day_batch) {
+            let batch_start = Instant::now();
+            let delta = feed.delta(from, to);
+            let routed = route(&delta, psl, &rc_detector, &mtd_detector, n);
+            let events_before = events.len();
+            for (id, state) in states.iter_mut().enumerate() {
+                let r = &routed[id];
+                events.extend(apply(
+                    state,
+                    to,
+                    r,
+                    &delta,
+                    &rc_detector,
+                    &mtd_detector,
+                    |d| shard_of(&mtd_routing_key(psl, d), n) == id,
+                ));
+            }
+            let batch_events = events.len() - events_before;
+            let days = ((to - from).num_days() + 1) as usize;
+            ingest.days += days;
+            ingest.batches.push(IngestBatchMetrics {
+                day: to.to_string(),
+                days,
+                wall_us: batch_start.elapsed().as_micros() as u64,
+                items: delta.items(),
+                events: batch_events,
+            });
+            ingested_total += delta.items();
+            last_ingested = Some(to);
+            days_since_ckpt += days;
+
+            if days_since_ckpt >= self.config.checkpoint_every_days.max(1) {
+                self.write_checkpoint(fingerprint, n, to, &states)?;
+                days_since_ckpt = 0;
+            }
+        }
+        // The final state is always persisted (when checkpointing at all).
+        if let Some(to) = last_ingested {
+            if days_since_ckpt > 0 {
+                self.write_checkpoint(fingerprint, n, to, &states)?;
+            }
+        }
+        let stage_ingest = StageMetrics {
+            name: "ingest".to_string(),
+            wall_us: ingest_start.elapsed().as_micros() as u64,
+            items_in: ingested_total,
+            items_out: events.len(),
+        };
+
+        // Stage 3: finish each shard's state and run the batch merge.
+        let merge_start = Instant::now();
+        let kc: Vec<_> = states.iter().map(|s| s.kc.finish()).collect();
+        let change_index: HashMap<(DomainName, Date), usize> = enumerate_changes(&data.whois)
+            .into_iter()
+            .map(|c| ((c.domain, c.creation), c.index))
+            .collect();
+        let rc: Vec<Vec<(usize, StaleCertRecord)>> = states
+            .iter()
+            .map(|s| {
+                s.rc.finish()
+                    .into_iter()
+                    .map(|(domain, creation, record)| {
+                        let index = *change_index
+                            .get(&(domain, creation))
+                            .expect("ingested change exists in the global enumeration");
+                        (index, record)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mtd: Vec<_> = states
+            .iter_mut()
+            .map(|s| s.mtd.finish(&mtd_detector))
+            .collect();
+        let emitted: usize = kc.iter().map(Vec::len).sum::<usize>()
+            + rc.iter().map(Vec::len).sum::<usize>()
+            + mtd.iter().map(Vec::len).sum::<usize>();
+        let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
+        let merged =
+            suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
+        let stage_merge = StageMetrics {
+            name: "merge".to_string(),
+            wall_us: merge_start.elapsed().as_micros() as u64,
+            items_in: emitted,
+            items_out: merged,
+        };
+
+        let metrics = EngineMetrics {
+            stages: vec![stage_feed, stage_ingest, stage_merge],
+            shards: Vec::new(),
+            queue_depths: Vec::new(),
+            resumed_shards,
+            ingest: Some(ingest),
+        };
+        Ok(EngineReport {
+            suite,
+            degraded: Vec::new(),
+            metrics,
+            shards: n,
+            events,
+        })
+    }
+
+    fn write_checkpoint(
+        &self,
+        fingerprint: u64,
+        shards: usize,
+        through: Date,
+        states: &[ShardState<'_>],
+    ) -> Result<(), EngineError> {
+        let Some(path) = &self.config.checkpoint else {
+            return Ok(());
+        };
+        let cp = StreamCheckpoint {
+            version: StreamCheckpoint::VERSION,
+            fingerprint,
+            shards,
+            through,
+            states: states
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardStateSnapshot {
+                    shard,
+                    kc: s.kc.save(),
+                    rc: s.rc.save(),
+                    mtd: s.mtd.save(),
+                })
+                .collect(),
+        };
+        cp.save(path).map_err(EngineError::Checkpoint)
+    }
+}
+
+/// Consecutive `[from, to]` windows of `step` days tiling `[from, through]`.
+fn tile(from: Date, through: Date, step: usize) -> Vec<(Date, Date)> {
+    let step = step.max(1) as i64;
+    let mut out = Vec::new();
+    let mut from = from;
+    while from <= through {
+        let to = (from + stale_types::Duration::days(step - 1)).min(through);
+        out.push((from, to));
+        from = to.succ();
+    }
+    out
+}
+
+/// One shard's routed slice of a delta (indexes into the delta's vectors
+/// are avoided — references are cheap and keep the ingest call sites flat).
+#[derive(Default)]
+struct RoutedDelta<'w> {
+    kc_certs: Vec<&'w ct::monitor::DedupedCert>,
+    rc_certs: Vec<&'w ct::monitor::DedupedCert>,
+    mtd_certs: Vec<&'w ct::monitor::DedupedCert>,
+    whois: Vec<(&'w DomainName, Date)>,
+    dns: Vec<(Date, &'w DomainName, &'w dns::scan::DnsView)>,
+}
+
+/// Route one delta's items into per-shard slices, mirroring
+/// [`crate::partition::partition`] exactly. The CRL is not routed — it is
+/// broadcast, so every shard ingests `delta.crl` directly.
+fn route<'w>(
+    delta: &DayDelta<'w>,
+    psl: &SuffixList,
+    rc_detector: &RegistrantChangeDetector<'_>,
+    mtd_detector: &ManagedTlsDetector<'_>,
+    n: usize,
+) -> Vec<RoutedDelta<'w>> {
+    let mut routed: Vec<RoutedDelta<'w>> = (0..n).map(|_| RoutedDelta::default()).collect();
+    for cert in &delta.certs {
+        let sans = cert.certificate.tbs.san();
+        let kc_shard = match sans.first() {
+            Some(first) => {
+                let key = psl.e2ld_of_san(first).unwrap_or_else(|_| first.clone());
+                shard_of(&key, n)
+            }
+            None => 0,
+        };
+        routed[kc_shard].kc_certs.push(cert);
+
+        let mut rc_shards: Vec<usize> = rc_detector
+            .cert_e2lds(cert)
+            .iter()
+            .map(|e2ld| shard_of(e2ld, n))
+            .collect();
+        rc_shards.sort_unstable();
+        rc_shards.dedup();
+        for s in rc_shards {
+            routed[s].rc_certs.push(cert);
+        }
+
+        if mtd_detector.is_managed_cert(cert) {
+            let mut mtd_shards: Vec<usize> = mtd_detector
+                .customer_domains(cert)
+                .into_iter()
+                .filter(|d| !d.is_wildcard())
+                .map(|d| shard_of(&mtd_routing_key(psl, d), n))
+                .collect();
+            mtd_shards.sort_unstable();
+            mtd_shards.dedup();
+            for s in mtd_shards {
+                routed[s].mtd_certs.push(cert);
+            }
+        }
+    }
+    for (domain, creation) in &delta.whois {
+        routed[shard_of(domain, n)].whois.push((domain, *creation));
+    }
+    for (date, domain, view) in &delta.dns {
+        let s = shard_of(&mtd_routing_key(psl, domain), n);
+        routed[s].dns.push((*date, domain, view));
+    }
+    routed
+}
+
+/// Ingest one shard's routed slice into its state, in detector order.
+fn apply<'w>(
+    state: &mut ShardState<'w>,
+    discovered: Date,
+    routed: &RoutedDelta<'w>,
+    delta: &DayDelta<'w>,
+    rc_detector: &RegistrantChangeDetector<'_>,
+    mtd_detector: &ManagedTlsDetector<'_>,
+    owned: impl Fn(&DomainName) -> bool,
+) -> Vec<StaleEvent> {
+    let mut events = state
+        .kc
+        .ingest_day(discovered, &routed.kc_certs, &delta.crl);
+    events.extend(
+        state
+            .rc
+            .ingest_day(discovered, rc_detector, &routed.rc_certs, &routed.whois),
+    );
+    events.extend(state.mtd.ingest_day(
+        discovered,
+        mtd_detector,
+        &routed.mtd_certs,
+        &routed.dns,
+        owned,
+    ));
+    events
+}

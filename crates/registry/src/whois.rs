@@ -87,6 +87,16 @@ impl WhoisDataset {
         self.creations.get(domain).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Every `(domain, creation_date)` pair ever observed, in domain order
+    /// and chronological within a domain. This is the raw longitudinal
+    /// feed the incremental day-feed slices; [`Self::registrant_changes`]
+    /// is the same stream minus each domain's first registration.
+    pub fn observations(&self) -> impl Iterator<Item = (&DomainName, Date)> {
+        self.creations
+            .iter()
+            .flat_map(|(domain, dates)| dates.iter().map(move |d| (domain, *d)))
+    }
+
     /// Re-registration events: every creation date after a domain's first,
     /// i.e. the dates at which the registrant (presumably) changed.
     pub fn registrant_changes(&self) -> impl Iterator<Item = (&DomainName, Date)> {

@@ -16,7 +16,7 @@
 //! the invalidation event occurred.
 
 use crate::staleness::{StaleCertRecord, StalenessClass};
-use ca::scraper::CrlDataset;
+use ca::scraper::{CrlDataset, RevocationRecord};
 use ct::monitor::{CtMonitor, DedupedCert};
 use serde::{Deserialize, Serialize};
 use stale_types::{CertId, Date, DateInterval, Duration, KeyId, SerialNumber};
@@ -61,6 +61,26 @@ pub struct RevokedCert {
     pub fqdns: Vec<stale_types::DomainName>,
 }
 
+impl RevokedCert {
+    /// View this revocation as a key-compromise stale record (invalidation
+    /// at the revocation date).
+    pub fn stale_record(&self) -> StaleCertRecord {
+        StaleCertRecord {
+            cert_id: self.cert_id,
+            class: StalenessClass::KeyCompromise,
+            domain: self
+                .fqdns
+                .first()
+                .cloned()
+                .unwrap_or_else(|| stale_types::domain::dn("unknown.invalid")),
+            fqdns: self.fqdns.clone(),
+            issuer: self.issuer.clone(),
+            invalidation: self.revocation_date,
+            validity: self.validity,
+        }
+    }
+}
+
 /// The CRL × CT join result.
 pub struct RevocationAnalysis {
     /// Joined, filtered revocations (all reasons).
@@ -103,6 +123,31 @@ pub struct ShardMatch {
     pub outcome: JoinOutcome,
 }
 
+/// Classify one `(CRL record, certificate)` pair through the §4.1 filter
+/// chain. Both the batch join and the incremental ingest path go through
+/// this single function so they cannot disagree.
+pub fn classify(rec: &RevocationRecord, cert: &DedupedCert, cutoff: Date) -> JoinOutcome {
+    let tbs = &cert.certificate.tbs;
+    if rec.revocation_date < tbs.not_before() {
+        JoinOutcome::RevokedBeforeValid
+    } else if rec.revocation_date >= tbs.not_after() {
+        JoinOutcome::RevokedAfterExpiry
+    } else if rec.revocation_date < cutoff {
+        JoinOutcome::RevokedTooEarly
+    } else {
+        JoinOutcome::Kept(RevokedCert {
+            cert_id: cert.cert_id,
+            authority_key_id: rec.authority_key_id,
+            serial: rec.serial,
+            reason: rec.reason,
+            revocation_date: rec.revocation_date,
+            validity: tbs.validity,
+            issuer: tbs.issuer.common_name.clone(),
+            fqdns: tbs.san().to_vec(),
+        })
+    }
+}
+
 /// Shard-local half of the §4.1 join: index this shard's certificates by
 /// `(AKI, serial)` and scan the full CRL against them. CRL records that
 /// match no local certificate produce nothing; the merge step accounts
@@ -131,29 +176,10 @@ pub fn join_shard<'m>(
         let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
             continue;
         };
-        let tbs = &cert.certificate.tbs;
-        let outcome = if rec.revocation_date < tbs.not_before() {
-            JoinOutcome::RevokedBeforeValid
-        } else if rec.revocation_date >= tbs.not_after() {
-            JoinOutcome::RevokedAfterExpiry
-        } else if rec.revocation_date < cutoff {
-            JoinOutcome::RevokedTooEarly
-        } else {
-            JoinOutcome::Kept(RevokedCert {
-                cert_id: cert.cert_id,
-                authority_key_id: rec.authority_key_id,
-                serial: rec.serial,
-                reason: rec.reason,
-                revocation_date: rec.revocation_date,
-                validity: tbs.validity,
-                issuer: tbs.issuer.common_name.clone(),
-                fqdns: tbs.san().to_vec(),
-            })
-        };
         matches.push(ShardMatch {
             crl_index,
             cert_id: cert.cert_id,
-            outcome,
+            outcome: classify(rec, cert, cutoff),
         });
     }
     matches
@@ -221,41 +247,14 @@ impl RevocationAnalysis {
         self.matched
             .iter()
             .filter(|r| r.reason == RevocationReason::KeyCompromise)
-            .map(|r| StaleCertRecord {
-                cert_id: r.cert_id,
-                class: StalenessClass::KeyCompromise,
-                domain: r
-                    .fqdns
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| stale_types::domain::dn("unknown.invalid")),
-                fqdns: r.fqdns.clone(),
-                issuer: r.issuer.clone(),
-                invalidation: r.revocation_date,
-                validity: r.validity,
-            })
+            .map(RevokedCert::stale_record)
             .collect()
     }
 
     /// All matched revocations as records (for the Table 4 "Revoked: all"
     /// row), each treated as an invalidation at its revocation date.
     pub fn all_as_records(&self) -> Vec<StaleCertRecord> {
-        self.matched
-            .iter()
-            .map(|r| StaleCertRecord {
-                cert_id: r.cert_id,
-                class: StalenessClass::KeyCompromise,
-                domain: r
-                    .fqdns
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| stale_types::domain::dn("unknown.invalid")),
-                fqdns: r.fqdns.clone(),
-                issuer: r.issuer.clone(),
-                invalidation: r.revocation_date,
-                validity: r.validity,
-            })
-            .collect()
+        self.matched.iter().map(RevokedCert::stale_record).collect()
     }
 }
 

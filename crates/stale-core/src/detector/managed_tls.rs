@@ -118,35 +118,53 @@ impl<'a> ManagedTlsDetector<'a> {
         for (domain, certs) in &by_customer {
             for departure in self.departures_for(adns, domain, window) {
                 for cert in certs {
-                    let tbs = &cert.certificate.tbs;
-                    if tbs.validity.contains(departure) {
-                        records.push(StaleCertRecord {
-                            cert_id: cert.cert_id,
-                            class: StalenessClass::ManagedTlsDeparture,
-                            domain: (*domain).clone(),
-                            fqdns: tbs
-                                .san()
-                                .iter()
-                                .filter(|s| {
-                                    self.psl
-                                        .e2ld_of_san(s)
-                                        .ok()
-                                        .and_then(|e| {
-                                            self.psl.e2ld_of_san(domain).ok().map(|d| e == d)
-                                        })
-                                        .unwrap_or(false)
-                                })
-                                .cloned()
-                                .collect(),
-                            issuer: tbs.issuer.common_name.clone(),
-                            invalidation: departure,
-                            validity: tbs.validity,
-                        });
+                    if let Some(record) = self.stale_record(domain, departure, cert) {
+                        records.push(record);
                     }
                 }
             }
         }
         records
+    }
+
+    /// The §4.3 test for one `(customer, departure, certificate)` triple:
+    /// if the certificate was still valid at the departure, build its
+    /// stale record. Shared by the batch and incremental paths.
+    pub fn stale_record(
+        &self,
+        domain: &DomainName,
+        departure: Date,
+        cert: &DedupedCert,
+    ) -> Option<StaleCertRecord> {
+        let tbs = &cert.certificate.tbs;
+        if !tbs.validity.contains(departure) {
+            return None;
+        }
+        Some(StaleCertRecord {
+            cert_id: cert.cert_id,
+            class: StalenessClass::ManagedTlsDeparture,
+            domain: domain.clone(),
+            fqdns: tbs
+                .san()
+                .iter()
+                .filter(|s| {
+                    self.psl
+                        .e2ld_of_san(s)
+                        .ok()
+                        .and_then(|e| self.psl.e2ld_of_san(domain).ok().map(|d| e == d))
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect(),
+            issuer: tbs.issuer.common_name.clone(),
+            invalidation: departure,
+            validity: tbs.validity,
+        })
+    }
+
+    /// Whether a DNS view shows delegation to this provider.
+    pub fn is_delegated(&self, view: &dns::scan::DnsView) -> bool {
+        view.any_delegation(|n| self.config.is_delegation_target(n))
     }
 
     /// Days in `window` on which `domain` departed the provider: provider
@@ -162,13 +180,13 @@ impl<'a> ManagedTlsDetector<'a> {
         for (day, next_day) in DailyScanner::new(window.start, window.end) {
             let on_before = adns
                 .view_at(domain, day)
-                .is_some_and(|v| v.any_delegation(|n| self.config.is_delegation_target(n)));
+                .is_some_and(|v| self.is_delegated(v));
             if !on_before {
                 continue;
             }
             let on_after = adns
                 .view_at(domain, next_day)
-                .is_some_and(|v| v.any_delegation(|n| self.config.is_delegation_target(n)));
+                .is_some_and(|v| self.is_delegated(v));
             if !on_after {
                 departures.push(next_day);
             }

@@ -85,38 +85,51 @@ impl<'a> RegistrantChangeDetector<'a> {
                 continue;
             };
             for cert in certs {
-                let tbs = &cert.certificate.tbs;
-                if spans(tbs.not_before(), change.creation, tbs.not_after()) {
-                    // The relevant FQDNs are the SANs under the changed
-                    // e2LD (a cruise-liner certificate names many other
-                    // customers that are *not* stale).
-                    let fqdns: Vec<DomainName> = tbs
-                        .san()
-                        .iter()
-                        .filter(|san| {
-                            self.psl
-                                .e2ld_of_san(san)
-                                .map(|e| e == change.domain)
-                                .unwrap_or(false)
-                        })
-                        .cloned()
-                        .collect();
-                    records.push((
-                        change.index,
-                        StaleCertRecord {
-                            cert_id: cert.cert_id,
-                            class: StalenessClass::RegistrantChange,
-                            domain: change.domain.clone(),
-                            fqdns,
-                            issuer: tbs.issuer.common_name.clone(),
-                            invalidation: change.creation,
-                            validity: tbs.validity,
-                        },
-                    ));
+                if let Some(record) = self.stale_record(&change.domain, change.creation, cert) {
+                    records.push((change.index, record));
                 }
             }
         }
         records
+    }
+
+    /// The §4.2 test for one `(change, certificate)` pair: if the
+    /// certificate's validity strictly spans the new creation date, build
+    /// its stale record. Both the batch and incremental paths call this,
+    /// so they cannot disagree on the span test or the record shape.
+    pub fn stale_record(
+        &self,
+        domain: &DomainName,
+        creation: Date,
+        cert: &DedupedCert,
+    ) -> Option<StaleCertRecord> {
+        let tbs = &cert.certificate.tbs;
+        if !spans(tbs.not_before(), creation, tbs.not_after()) {
+            return None;
+        }
+        // The relevant FQDNs are the SANs under the changed e2LD (a
+        // cruise-liner certificate names many other customers that are
+        // *not* stale).
+        let fqdns: Vec<DomainName> = tbs
+            .san()
+            .iter()
+            .filter(|san| {
+                self.psl
+                    .e2ld_of_san(san)
+                    .map(|e| e == *domain)
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        Some(StaleCertRecord {
+            cert_id: cert.cert_id,
+            class: StalenessClass::RegistrantChange,
+            domain: domain.clone(),
+            fqdns,
+            issuer: tbs.issuer.common_name.clone(),
+            invalidation: creation,
+            validity: tbs.validity,
+        })
     }
 
     /// Detect stale certificates for every registrant change in `whois`.

@@ -1,0 +1,755 @@
+//! Persistent per-shard detector state for incremental (daily) ingestion.
+//!
+//! The batch detectors re-scan the full ten-year corpus on every run. The
+//! types here let each detector instead *accumulate* state day by day —
+//! the way the paper's feeds actually arrive (daily CRL downloads, WHOIS
+//! snapshots, neighbouring-day aDNS diffs) — and emit [`StaleEvent`]s as
+//! soon as a staleness period opens:
+//!
+//! * [`KcIncremental`] — the §4.1 CRL × CT join as a symmetric hash join:
+//!   an `(AKI, serial)` → certificate index on one side, the CRL records
+//!   seen so far on the other, each new arrival probing the opposite side.
+//! * [`RcIncremental`] — §4.2 with an interned e2LD table: per-domain
+//!   creation-date ledgers detect re-registrations locally, and late
+//!   arrivals on either side (change or certificate) re-probe the other.
+//! * [`MtdIncremental`] — §4.3 as a delegation status machine per scan
+//!   target plus an open departure ledger per customer; certificates and
+//!   departures pair up regardless of arrival order.
+//!
+//! Each state's `finish()` reconstructs **exactly** the batch detector's
+//! shard output, so the engine's existing deterministic merges produce
+//! byte-identical reports (`tests/incremental_equivalence.rs` asserts
+//! this). Each state also round-trips through a compact `Saved*` form
+//! (certificate bodies are re-resolved from the CT monitor by id) — the
+//! engine's checkpoint schema v2.
+
+use crate::detector::key_compromise::{self, JoinOutcome, ShardMatch};
+use crate::detector::managed_tls::ManagedTlsDetector;
+use crate::detector::registrant_change::RegistrantChangeDetector;
+use crate::staleness::StaleCertRecord;
+use ca::scraper::{CrlDataset, RevocationRecord};
+use ct::monitor::{CtMonitor, DedupedCert};
+use dns::scan::DnsView;
+use serde::{Deserialize, Serialize};
+use stale_types::{CertId, Date, DateInterval, DomainName, KeyId, SerialNumber};
+use std::collections::{BTreeMap, HashMap};
+use x509::revocation::RevocationReason;
+
+/// A staleness period opening, discovered during incremental ingestion.
+///
+/// Events are the streaming mode's notification surface: one per
+/// newly-discovered (or improved) stale pairing, stamped with the feed day
+/// that revealed it. The authoritative report is still `finish()` + merge;
+/// events may be revised (key compromise re-pairs a CRL record when a
+/// higher `cert_id` duplicate arrives later, exactly like the batch join's
+/// insert-overwrite).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaleEvent {
+    /// Feed day on which the pairing became visible.
+    pub discovered: Date,
+    /// The stale certificate record it opens.
+    pub record: StaleCertRecord,
+}
+
+/// An interning table for domain names: dense `u32` ids for hash-heavy
+/// per-domain state, with the original names recoverable for output.
+#[derive(Debug, Default, Clone)]
+pub struct DomainInterner {
+    ids: HashMap<DomainName, u32>,
+    names: Vec<DomainName>,
+}
+
+impl DomainInterner {
+    /// Empty table.
+    pub fn new() -> Self {
+        DomainInterner::default()
+    }
+
+    /// Id for `domain`, allocating on first sight.
+    pub fn intern(&mut self, domain: &DomainName) -> u32 {
+        if let Some(id) = self.ids.get(domain) {
+            return *id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(domain.clone());
+        self.ids.insert(domain.clone(), id);
+        id
+    }
+
+    /// Id for `domain` if already interned.
+    pub fn get(&self, domain: &DomainName) -> Option<u32> {
+        self.ids.get(domain).copied()
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, id: u32) -> &DomainName {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4.1 key compromise
+// ---------------------------------------------------------------------------
+
+/// Incremental CRL × CT join state for one shard.
+#[derive(Clone)]
+pub struct KcIncremental<'w> {
+    cutoff: Date,
+    /// `(AKI, serial)` → certificate, max `cert_id` winning ties (the
+    /// batch join's insert-overwrite winner over a cert-id-ordered corpus).
+    index: HashMap<(KeyId, SerialNumber), &'w DedupedCert>,
+    /// CRL records seen so far, by global CRL index.
+    seen: BTreeMap<usize, &'w RevocationRecord>,
+    /// Join key → CRL indexes seen under it (probe side for late certs).
+    seen_by_key: HashMap<(KeyId, SerialNumber), Vec<usize>>,
+}
+
+/// Compact checkpoint form of [`KcIncremental`]: the certificate index
+/// only. The CRL side is rebuilt from the dataset (records observed on or
+/// before the checkpoint day), which is cheap relative to re-routing and
+/// re-indexing the certificate corpus.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SavedKc {
+    /// `(AKI, serial, winning cert id)` rows of the join index.
+    pub index: Vec<(KeyId, SerialNumber, CertId)>,
+}
+
+impl<'w> KcIncremental<'w> {
+    /// Fresh state with the §4.1 revocation-date cutoff.
+    pub fn new(cutoff: Date) -> Self {
+        KcIncremental {
+            cutoff,
+            index: HashMap::new(),
+            seen: BTreeMap::new(),
+            seen_by_key: HashMap::new(),
+        }
+    }
+
+    /// Ingest one day-delta slice: certificates first seen and CRL records
+    /// first observed in the range. Emits an event per kept key-compromise
+    /// pairing discovered (or improved) by this delta.
+    pub fn ingest_day(
+        &mut self,
+        discovered: Date,
+        certs: &[&'w DedupedCert],
+        crl: &[(usize, &'w RevocationRecord)],
+    ) -> Vec<StaleEvent> {
+        let mut events = Vec::new();
+        for cert in certs {
+            let Some(aki) = cert.certificate.tbs.authority_key_id() else {
+                continue;
+            };
+            let key = (aki, cert.certificate.tbs.serial);
+            let slot = self.index.entry(key).or_insert(cert);
+            if slot.cert_id > cert.cert_id {
+                continue; // an earlier arrival already wins
+            }
+            *slot = cert;
+            // This certificate is now the winner: re-probe every CRL
+            // record already seen under the key.
+            if let Some(indexes) = self.seen_by_key.get(&key) {
+                for idx in indexes {
+                    let rec = self.seen[idx];
+                    push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
+                }
+            }
+        }
+        for (idx, rec) in crl {
+            self.seen.insert(*idx, rec);
+            self.seen_by_key
+                .entry((rec.authority_key_id, rec.serial))
+                .or_default()
+                .push(*idx);
+            if let Some(cert) = self.index.get(&(rec.authority_key_id, rec.serial)) {
+                push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
+            }
+        }
+        events
+    }
+
+    /// The shard's join matches so far — exactly what the batch
+    /// [`key_compromise::join_shard`] returns over the same certificates
+    /// and the CRL records seen so far, in CRL-index order.
+    pub fn finish(&self) -> Vec<ShardMatch> {
+        let mut matches = Vec::new();
+        for (crl_index, rec) in &self.seen {
+            let Some(cert) = self.index.get(&(rec.authority_key_id, rec.serial)) else {
+                continue;
+            };
+            matches.push(ShardMatch {
+                crl_index: *crl_index,
+                cert_id: cert.cert_id,
+                outcome: key_compromise::classify(rec, cert, self.cutoff),
+            });
+        }
+        matches
+    }
+
+    /// Checkpoint form (certificate index only; see [`SavedKc`]).
+    pub fn save(&self) -> SavedKc {
+        let mut index: Vec<(KeyId, SerialNumber, CertId)> = self
+            .index
+            .iter()
+            .map(|((aki, serial), cert)| (*aki, *serial, cert.cert_id))
+            .collect();
+        index.sort_by_key(|(_, _, id)| *id);
+        SavedKc { index }
+    }
+
+    /// Rebuild from a checkpoint: certificates are re-resolved from the
+    /// monitor by id, and the CRL side is re-seeded with every record
+    /// observed on or before `through`.
+    pub fn restore(
+        saved: &SavedKc,
+        monitor: &'w CtMonitor,
+        crl: &'w CrlDataset,
+        through: Date,
+        cutoff: Date,
+    ) -> Self {
+        let mut state = KcIncremental::new(cutoff);
+        for (aki, serial, cert_id) in &saved.index {
+            let cert = monitor
+                .get(cert_id)
+                .expect("checkpointed certificate exists in the monitor");
+            state.index.insert((*aki, *serial), cert);
+        }
+        for (idx, rec) in crl.records().iter().enumerate() {
+            if rec.observed <= through {
+                state.seen.insert(idx, rec);
+                state
+                    .seen_by_key
+                    .entry((rec.authority_key_id, rec.serial))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        state
+    }
+}
+
+fn push_kc_event(
+    events: &mut Vec<StaleEvent>,
+    discovered: Date,
+    rec: &RevocationRecord,
+    cert: &DedupedCert,
+    cutoff: Date,
+) {
+    if rec.reason != RevocationReason::KeyCompromise {
+        return;
+    }
+    if let JoinOutcome::Kept(revoked) = key_compromise::classify(rec, cert, cutoff) {
+        events.push(StaleEvent {
+            discovered,
+            record: revoked.stale_record(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 registrant change
+// ---------------------------------------------------------------------------
+
+/// Incremental registrant-change state for one shard.
+#[derive(Clone)]
+pub struct RcIncremental<'w> {
+    /// Interned e2LD table shared by both sides of the join.
+    interner: DomainInterner,
+    /// e2LD id → certificates naming it (arrival order; the merge sorts).
+    certs_by_e2ld: HashMap<u32, Vec<&'w DedupedCert>>,
+    /// e2LD id → every creation date observed, chronological. Entries
+    /// after the first are registrant changes.
+    creations: HashMap<u32, Vec<Date>>,
+    /// Open staleness ledger: every spanning `(change, certificate)` match
+    /// discovered so far, appended as the symmetric join finds it. Keeping
+    /// the ledger online makes [`RcIncremental::finish`] an O(matches)
+    /// copy instead of a full re-derivation.
+    matches: Vec<(u32, Date, StaleCertRecord)>,
+}
+
+/// Compact checkpoint form of [`RcIncremental`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SavedRc {
+    /// e2LD → certificate ids naming it, in arrival order.
+    pub certs_by_e2ld: Vec<(DomainName, Vec<CertId>)>,
+    /// Domain → creation dates observed, chronological.
+    pub creations: Vec<(DomainName, Vec<Date>)>,
+}
+
+impl<'w> RcIncremental<'w> {
+    /// Fresh state.
+    pub fn new() -> Self {
+        RcIncremental {
+            interner: DomainInterner::new(),
+            certs_by_e2ld: HashMap::new(),
+            creations: HashMap::new(),
+            matches: Vec::new(),
+        }
+    }
+
+    /// The interned e2LD table (shared statistics surface).
+    pub fn interner(&self) -> &DomainInterner {
+        &self.interner
+    }
+
+    /// Ingest one day-delta slice: certificates and WHOIS `(domain,
+    /// creation)` observations. A second (or later) creation date for a
+    /// domain is a registrant change; each new arrival on either side
+    /// probes the other, so every spanning `(change, certificate)` pair is
+    /// discovered exactly once.
+    pub fn ingest_day(
+        &mut self,
+        discovered: Date,
+        detector: &RegistrantChangeDetector<'_>,
+        certs: &[&'w DedupedCert],
+        whois: &[(&DomainName, Date)],
+    ) -> Vec<StaleEvent> {
+        let mut events = Vec::new();
+        for cert in certs {
+            for e2ld in detector.cert_e2lds(cert) {
+                let id = self.interner.intern(&e2ld);
+                self.certs_by_e2ld.entry(id).or_default().push(cert);
+                if let Some(dates) = self.creations.get(&id) {
+                    for creation in dates.iter().skip(1) {
+                        if let Some(record) = detector.stale_record(&e2ld, *creation, cert) {
+                            self.matches.push((id, *creation, record.clone()));
+                            events.push(StaleEvent { discovered, record });
+                        }
+                    }
+                }
+            }
+        }
+        for (domain, creation) in whois {
+            let id = self.interner.intern(domain);
+            let dates = self.creations.entry(id).or_default();
+            debug_assert!(
+                dates.last().is_none_or(|last| last < creation),
+                "whois feed must be chronological per domain"
+            );
+            dates.push(*creation);
+            if dates.len() < 2 {
+                continue; // first registration, not a change
+            }
+            if let Some(certs) = self.certs_by_e2ld.get(&id) {
+                for cert in certs {
+                    if let Some(record) = detector.stale_record(domain, *creation, cert) {
+                        self.matches.push((id, *creation, record.clone()));
+                        events.push(StaleEvent { discovered, record });
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// All stale records so far, keyed by their `(domain, creation)`
+    /// change. The engine maps each key to its global change index (the
+    /// batch enumeration order) and reuses the batch merge (which sorts,
+    /// so ledger order is irrelevant). O(matches): the ledger is
+    /// maintained online by [`RcIncremental::ingest_day`].
+    pub fn finish(&self) -> Vec<(DomainName, Date, StaleCertRecord)> {
+        self.matches
+            .iter()
+            .map(|(id, creation, record)| {
+                (self.interner.name(*id).clone(), *creation, record.clone())
+            })
+            .collect()
+    }
+
+    /// Checkpoint form.
+    pub fn save(&self) -> SavedRc {
+        let mut certs_by_e2ld: Vec<(DomainName, Vec<CertId>)> = self
+            .certs_by_e2ld
+            .iter()
+            .map(|(id, certs)| {
+                (
+                    self.interner.name(*id).clone(),
+                    certs.iter().map(|c| c.cert_id).collect(),
+                )
+            })
+            .collect();
+        certs_by_e2ld.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut creations: Vec<(DomainName, Vec<Date>)> = self
+            .creations
+            .iter()
+            .map(|(id, dates)| (self.interner.name(*id).clone(), dates.clone()))
+            .collect();
+        creations.sort_by(|a, b| a.0.cmp(&b.0));
+        SavedRc {
+            certs_by_e2ld,
+            creations,
+        }
+    }
+
+    /// Rebuild from a checkpoint, re-resolving certificates by id. The
+    /// match ledger is not checkpointed; it is re-derived here, once, from
+    /// the restored join state (the full cross product of changes and
+    /// certificates, exactly the pairs ingestion would have discovered).
+    pub fn restore(
+        saved: &SavedRc,
+        monitor: &'w CtMonitor,
+        detector: &RegistrantChangeDetector<'_>,
+    ) -> Self {
+        let mut state = RcIncremental::new();
+        for (domain, cert_ids) in &saved.certs_by_e2ld {
+            let id = state.interner.intern(domain);
+            let certs = cert_ids
+                .iter()
+                .map(|cid| {
+                    monitor
+                        .get(cid)
+                        .expect("checkpointed certificate exists in the monitor")
+                })
+                .collect();
+            state.certs_by_e2ld.insert(id, certs);
+        }
+        for (domain, dates) in &saved.creations {
+            let id = state.interner.intern(domain);
+            state.creations.insert(id, dates.clone());
+        }
+        for (id, dates) in &state.creations {
+            if dates.len() < 2 {
+                continue;
+            }
+            let domain = state.interner.name(*id);
+            let Some(certs) = state.certs_by_e2ld.get(id) else {
+                continue;
+            };
+            for creation in dates.iter().skip(1) {
+                for cert in certs {
+                    if let Some(record) = detector.stale_record(domain, *creation, cert) {
+                        state.matches.push((*id, *creation, record));
+                    }
+                }
+            }
+        }
+        state
+    }
+}
+
+impl Default for RcIncremental<'_> {
+    fn default() -> Self {
+        RcIncremental::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4.3 managed TLS departure
+// ---------------------------------------------------------------------------
+
+/// Incremental managed-TLS-departure state for one shard.
+#[derive(Clone)]
+pub struct MtdIncremental<'w> {
+    /// The aDNS measurement window departures must fall in.
+    window: DateInterval,
+    /// Scan-target interner for the delegation status machine.
+    interner: DomainInterner,
+    /// Interned scan target → currently delegated to the provider.
+    delegated: HashMap<u32, bool>,
+    /// Open departure ledgers: customer → departure days (chronological),
+    /// kept even before any certificate names the customer.
+    departures: BTreeMap<DomainName, Vec<Date>>,
+    /// Customer → managed certificates naming it (owned customers only).
+    certs_by_customer: BTreeMap<DomainName, Vec<&'w DedupedCert>>,
+}
+
+/// Compact checkpoint form of [`MtdIncremental`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SavedMtd {
+    /// Scan targets currently delegated to the provider.
+    pub delegated: Vec<DomainName>,
+    /// Scan targets seen but not currently delegated (distinguishes
+    /// "observed off" from "never observed").
+    pub undelegated: Vec<DomainName>,
+    /// Customer → departure days.
+    pub departures: Vec<(DomainName, Vec<Date>)>,
+    /// Customer → managed certificate ids naming it.
+    pub certs_by_customer: Vec<(DomainName, Vec<CertId>)>,
+}
+
+impl<'w> MtdIncremental<'w> {
+    /// Fresh state for one measurement window.
+    pub fn new(window: DateInterval) -> Self {
+        MtdIncremental {
+            window,
+            interner: DomainInterner::new(),
+            delegated: HashMap::new(),
+            departures: BTreeMap::new(),
+            certs_by_customer: BTreeMap::new(),
+        }
+    }
+
+    /// Ingest one day-delta slice: certificates and DNS change-log entries
+    /// (chronological per domain). A delegated → undelegated transition at
+    /// day `d` inside the window is a departure at `d` (the batch
+    /// neighbouring-day diff sees delegation at `d-1` and none at `d`).
+    /// `owned` is the shard-ownership predicate for customer domains —
+    /// managed certificates are duplicated across shards and must only
+    /// count against customers this shard owns.
+    pub fn ingest_day(
+        &mut self,
+        discovered: Date,
+        detector: &ManagedTlsDetector<'_>,
+        certs: &[&'w DedupedCert],
+        dns: &[(Date, &DomainName, &DnsView)],
+        owned: impl Fn(&DomainName) -> bool,
+    ) -> Vec<StaleEvent> {
+        let mut events = Vec::new();
+        for cert in certs {
+            if !detector.is_managed_cert(cert) {
+                continue;
+            }
+            for domain in detector.customer_domains(cert) {
+                if domain.is_wildcard() || !owned(domain) {
+                    continue;
+                }
+                self.certs_by_customer
+                    .entry(domain.clone())
+                    .or_default()
+                    .push(cert);
+                if let Some(days) = self.departures.get(domain) {
+                    for departure in days {
+                        if let Some(record) = detector.stale_record(domain, *departure, cert) {
+                            events.push(StaleEvent { discovered, record });
+                        }
+                    }
+                }
+            }
+        }
+        for (date, domain, view) in dns {
+            let now = detector.is_delegated(view);
+            let id = self.interner.intern(domain);
+            let before = self.delegated.insert(id, now).unwrap_or(false);
+            // Departure at `date`: the batch scanner compares days
+            // (date-1, date), which must both lie inside the window.
+            if before && !now && *date > self.window.start && *date < self.window.end {
+                self.departures
+                    .entry((*domain).clone())
+                    .or_default()
+                    .push(*date);
+                if let Some(certs) = self.certs_by_customer.get(*domain) {
+                    for cert in certs {
+                        if let Some(record) = detector.stale_record(domain, *date, cert) {
+                            events.push(StaleEvent { discovered, record });
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// All stale records so far, in the batch shard's emission order
+    /// (customers sorted, departures chronological, certificates by id) —
+    /// exactly what [`ManagedTlsDetector::detect_shard`] returns.
+    pub fn finish(&self, detector: &ManagedTlsDetector<'_>) -> Vec<StaleCertRecord> {
+        let mut records = Vec::new();
+        for (domain, certs) in &self.certs_by_customer {
+            let Some(days) = self.departures.get(domain) else {
+                continue;
+            };
+            let mut certs = certs.clone();
+            certs.sort_by_key(|c| c.cert_id);
+            for departure in days {
+                for cert in &certs {
+                    if let Some(record) = detector.stale_record(domain, *departure, cert) {
+                        records.push(record);
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// Checkpoint form.
+    pub fn save(&self) -> SavedMtd {
+        let mut delegated = Vec::new();
+        let mut undelegated = Vec::new();
+        for (id, on) in &self.delegated {
+            let name = self.interner.name(*id).clone();
+            if *on {
+                delegated.push(name);
+            } else {
+                undelegated.push(name);
+            }
+        }
+        delegated.sort();
+        undelegated.sort();
+        SavedMtd {
+            delegated,
+            undelegated,
+            departures: self
+                .departures
+                .iter()
+                .map(|(d, days)| (d.clone(), days.clone()))
+                .collect(),
+            certs_by_customer: self
+                .certs_by_customer
+                .iter()
+                .map(|(d, certs)| (d.clone(), certs.iter().map(|c| c.cert_id).collect()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild from a checkpoint, re-resolving certificates by id.
+    pub fn restore(saved: &SavedMtd, monitor: &'w CtMonitor, window: DateInterval) -> Self {
+        let mut state = MtdIncremental::new(window);
+        for domain in &saved.delegated {
+            let id = state.interner.intern(domain);
+            state.delegated.insert(id, true);
+        }
+        for domain in &saved.undelegated {
+            let id = state.interner.intern(domain);
+            state.delegated.insert(id, false);
+        }
+        for (domain, days) in &saved.departures {
+            state.departures.insert(domain.clone(), days.clone());
+        }
+        for (domain, cert_ids) in &saved.certs_by_customer {
+            let certs = cert_ids
+                .iter()
+                .map(|cid| {
+                    monitor
+                        .get(cid)
+                        .expect("checkpointed certificate exists in the monitor")
+                })
+                .collect();
+            state.certs_by_customer.insert(domain.clone(), certs);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn::provider::ProviderConfig;
+    use crypto::KeyPair;
+    use psl::SuffixList;
+    use stale_types::domain::dn;
+    use stale_types::Duration;
+    use x509::CertificateBuilder;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn interner_roundtrip() -> DomainInterner {
+        let mut i = DomainInterner::new();
+        assert_eq!(i.intern(&dn("a.com")), 0);
+        assert_eq!(i.intern(&dn("b.com")), 1);
+        assert_eq!(i.intern(&dn("a.com")), 0);
+        i
+    }
+
+    #[test]
+    fn interner_is_stable_and_recoverable() {
+        let i = interner_roundtrip();
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(1), &dn("b.com"));
+        assert_eq!(i.get(&dn("a.com")), Some(0));
+        assert_eq!(i.get(&dn("c.com")), None);
+    }
+
+    fn cert(serial: u128, sans: &[&str], nb: &str, days: i64) -> DedupedCert {
+        let c = CertificateBuilder::tls_leaf(KeyPair::from_seed([61; 32]).public())
+            .serial(serial)
+            .issuer_cn("Inc CA")
+            .subject_cn(sans[0])
+            .sans(sans.iter().map(|s| dn(s)))
+            .validity_days(d(nb), Duration::days(days))
+            .sign(&KeyPair::from_seed([60; 32]));
+        DedupedCert {
+            cert_id: c.cert_id(),
+            first_seen: c.tbs.not_before(),
+            entry_count: 1,
+            certificate: c,
+        }
+    }
+
+    #[test]
+    fn rc_pairs_discovered_once_in_either_arrival_order() {
+        let psl = SuffixList::default_list();
+        let detector = RegistrantChangeDetector::new(&psl);
+        let c = cert(1, &["foo.com"], "2021-01-01", 398);
+
+        // Change first, then certificate.
+        let mut a = RcIncremental::new();
+        let foo = dn("foo.com");
+        let e1 = a.ingest_day(
+            d("2021-06-01"),
+            &detector,
+            &[],
+            &[(&foo, d("2015-01-01")), (&foo, d("2021-06-01"))],
+        );
+        assert!(e1.is_empty(), "no certificate yet");
+        let e2 = a.ingest_day(d("2021-06-02"), &detector, &[&c], &[]);
+        assert_eq!(e2.len(), 1);
+        assert_eq!(e2[0].record.invalidation, d("2021-06-01"));
+
+        // Certificate first, then change.
+        let mut b = RcIncremental::new();
+        let e3 = b.ingest_day(d("2021-01-01"), &detector, &[&c], &[]);
+        assert!(e3.is_empty());
+        let e4 = b.ingest_day(
+            d("2021-06-01"),
+            &detector,
+            &[],
+            &[(&foo, d("2015-01-01")), (&foo, d("2021-06-01"))],
+        );
+        assert_eq!(e4.len(), 1);
+        assert_eq!(a.finish().len(), 1);
+        assert_eq!(b.finish().len(), 1);
+    }
+
+    #[test]
+    fn mtd_departure_requires_prior_delegation_and_window() {
+        let psl = SuffixList::default_list();
+        let config = ProviderConfig::cloudflare_cruise_liner();
+        let detector = ManagedTlsDetector::new(&config, &psl);
+        let window = DateInterval::new(d("2022-08-01"), d("2022-10-31")).unwrap();
+        let on = DnsView::with_ns([dn("anna.ns.cloudflare.com")]);
+        let off = DnsView::with_ns([dn("ns1.elsewhere.net")]);
+        let foo = dn("foo.com");
+
+        let mut state = MtdIncremental::new(window);
+        let c = cert(1, &["sni1.cloudflaressl.com", "foo.com"], "2022-03-01", 365);
+        state.ingest_day(d("2022-03-01"), &detector, &[&c], &[], |_| true);
+        // First observation is already off: no departure.
+        let e = state.ingest_day(
+            d("2022-08-05"),
+            &detector,
+            &[],
+            &[(d("2022-08-05"), &foo, &off)],
+            |_| true,
+        );
+        assert!(e.is_empty());
+        // On, then off inside the window: departure.
+        state.ingest_day(
+            d("2022-08-10"),
+            &detector,
+            &[],
+            &[(d("2022-08-10"), &foo, &on)],
+            |_| true,
+        );
+        let e = state.ingest_day(
+            d("2022-09-15"),
+            &detector,
+            &[],
+            &[(d("2022-09-15"), &foo, &off)],
+            |_| true,
+        );
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].record.invalidation, d("2022-09-15"));
+        assert_eq!(state.finish(&detector).len(), 1);
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod detector;
 pub mod first_party;
+pub mod incremental;
 pub mod lifetime_sim;
 pub mod mitigation;
 pub mod popularity;
@@ -36,6 +37,7 @@ pub use detector::key_compromise::{RevocationAnalysis, RevocationFilterStats, Re
 pub use detector::managed_tls::ManagedTlsDetector;
 pub use detector::registrant_change::RegistrantChangeDetector;
 pub use detector::DetectionSuite;
+pub use incremental::{DomainInterner, KcIncremental, MtdIncremental, RcIncremental, StaleEvent};
 pub use lifetime_sim::{CapResult, LifetimeSimulation};
 pub use staleness::{StaleCertRecord, StalenessClass, StalenessSummary};
 pub use survival::SurvivalCurve;

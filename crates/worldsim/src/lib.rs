@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod datasets;
+pub mod dayfeed;
 pub mod distributions;
 pub mod popularity;
 pub mod reputation;
@@ -28,6 +29,7 @@ pub mod world;
 
 pub use config::{EraTable, ScenarioConfig};
 pub use datasets::{DatasetSummary, GroundTruth, WorldDatasets};
+pub use dayfeed::{DayDelta, DayFeed};
 pub use popularity::PopularityArchive;
 pub use reputation::{DomainReputation, ReputationFeed};
 pub use world::World;

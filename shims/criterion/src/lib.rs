@@ -24,6 +24,18 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`] (informational in this
+/// shim; inputs are always materialised one sample at a time).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch them per sample.
+    SmallInput,
+    /// Inputs are expensive to hold.
+    LargeInput,
+    /// Re-create the input for every iteration.
+    PerIteration,
+}
+
 /// One finished measurement.
 #[derive(Debug, Clone)]
 struct Record {
@@ -58,6 +70,39 @@ impl Bencher {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.result = Some((mean, min, samples, iters));
+    }
+
+    /// Measure `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from timing. Mirrors `criterion::Bencher::iter_batched`
+    /// (the [`BatchSize`] hint is accepted for API parity and ignored).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup + estimate (setup outside the clock).
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(20);
+        // Cap per-sample batches: each held input may be large.
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000) as u64;
+        let samples = self.sample_size.max(2);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
             }
             times.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }

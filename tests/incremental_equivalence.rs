@@ -1,0 +1,170 @@
+//! The incremental driver's equivalence guarantee: replaying a world's day
+//! feed through persistent detector state — at any day-batch width, any
+//! shard count, with or without a mid-stream checkpoint/resume — produces
+//! a report byte-identical to the batch engine (and therefore to the
+//! serial detectors; `engine_equivalence.rs` closes that side).
+
+use proptest::prelude::*;
+use stale_tls::engine::{Engine, EngineConfig};
+use stale_tls::prelude::*;
+use stale_tls::worldsim::DayFeed;
+
+/// The comparable byte form of a suite (same shape as
+/// `engine_equivalence.rs` so the two tests guard the same bytes).
+fn suite_bytes(suite: &DetectionSuite) -> String {
+    serde_json::to_string(&(
+        &suite.revocations.matched,
+        &suite.revocations.stats,
+        &suite.revocations.cutoff,
+        &suite.key_compromise,
+        &suite.registrant_change,
+        &suite.managed_tls,
+    ))
+    .expect("suite serialises")
+}
+
+fn incremental_config(shards: usize, day_batch: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::with_shards(shards);
+    cfg.day_batch = day_batch;
+    cfg
+}
+
+#[test]
+fn incremental_matches_batch_on_fixed_tiny_world() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let batch = suite_bytes(
+        &Engine::with_shards(1)
+            .run(&data, &psl)
+            .expect("batch engine runs")
+            .suite,
+    );
+    for shards in [1usize, 2, 7] {
+        for day_batch in [1usize, 7, 30] {
+            let report = Engine::new(incremental_config(shards, day_batch))
+                .run_incremental(&data, &psl)
+                .expect("incremental engine runs");
+            assert!(report.is_complete());
+            assert_eq!(
+                suite_bytes(&report.suite),
+                batch,
+                "shards={shards} day_batch={day_batch}"
+            );
+            // Incremental metrics are populated and account for the feed.
+            let ingest = report.metrics.ingest.as_ref().expect("ingest metrics");
+            assert_eq!(ingest.day_batch, day_batch);
+            let feed = DayFeed::new(&data);
+            assert_eq!(ingest.days, feed.day_count());
+        }
+    }
+}
+
+#[test]
+fn events_accumulate_chronologically_and_cover_kept_records() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let report = Engine::new(incremental_config(2, 1))
+        .run_incremental(&data, &psl)
+        .expect("incremental engine runs");
+    // Discovery dates never run backwards within a shard-ordered batch
+    // replay (each batch's events share the batch's last day).
+    for pair in report.events.windows(2) {
+        assert!(pair[0].discovered <= pair[1].discovered);
+    }
+    // Every event's record is a real detector record shape.
+    for event in &report.events {
+        assert!(!event.record.domain.as_str().is_empty());
+    }
+}
+
+#[test]
+fn checkpoint_resume_mid_stream_is_byte_identical() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let batch = suite_bytes(
+        &Engine::with_shards(1)
+            .run(&data, &psl)
+            .expect("batch engine runs")
+            .suite,
+    );
+    let feed = DayFeed::new(&data);
+    let midpoint =
+        feed.start() + stale_tls::stale_types::Duration::days(feed.day_count() as i64 / 2);
+
+    let dir = std::env::temp_dir().join("stale_incremental_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for shards in [1usize, 2, 7] {
+        let path = dir.join(format!("ckpt_{shards}.json"));
+        let _ = std::fs::remove_file(&path);
+
+        // First half: ingest through the midpoint, checkpointing state.
+        let mut first = incremental_config(shards, 7);
+        first.checkpoint = Some(path.clone());
+        first.through = Some(midpoint);
+        let partial = Engine::new(first)
+            .run_incremental(&data, &psl)
+            .expect("partial run");
+        assert!(partial.metrics.resumed_shards == 0);
+        assert!(path.exists(), "checkpoint written");
+
+        // Second half: a fresh engine resumes from the checkpoint and
+        // drains the rest of the feed.
+        let mut second = incremental_config(shards, 7);
+        second.checkpoint = Some(path.clone());
+        let resumed = Engine::new(second)
+            .run_incremental(&data, &psl)
+            .expect("resumed run");
+        assert_eq!(resumed.metrics.resumed_shards, shards, "shards={shards}");
+        assert_eq!(suite_bytes(&resumed.suite), batch, "shards={shards}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random small worlds × day-batch widths 1/7/30 × shard counts
+    /// 1/2/7: the incremental report is byte-identical to batch, and a
+    /// mid-stream checkpoint/resume split lands on the same bytes.
+    #[test]
+    fn incremental_equivalent_to_batch_on_random_worlds(seed in any::<u64>()) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        let batch = suite_bytes(
+            &Engine::with_shards(2).run(&data, &psl).expect("batch").suite,
+        );
+        let feed = DayFeed::new(&data);
+        let midpoint =
+            feed.start() + stale_tls::stale_types::Duration::days(feed.day_count() as i64 / 2);
+        let dir = std::env::temp_dir().join("stale_incremental_prop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for shards in [1usize, 2, 7] {
+            for day_batch in [1usize, 7, 30] {
+                let report = Engine::new(incremental_config(shards, day_batch))
+                    .run_incremental(&data, &psl)
+                    .expect("incremental");
+                prop_assert_eq!(
+                    &suite_bytes(&report.suite), &batch,
+                    "shards={} day_batch={}", shards, day_batch
+                );
+            }
+            // Checkpoint/resume split at the midpoint.
+            let path = dir.join(format!("ckpt_{seed}_{shards}.json"));
+            let _ = std::fs::remove_file(&path);
+            let mut first = incremental_config(shards, 1);
+            first.checkpoint = Some(path.clone());
+            first.through = Some(midpoint);
+            Engine::new(first).run_incremental(&data, &psl).expect("partial");
+            let mut second = incremental_config(shards, 1);
+            second.checkpoint = Some(path.clone());
+            let resumed = Engine::new(second)
+                .run_incremental(&data, &psl)
+                .expect("resumed");
+            prop_assert_eq!(resumed.metrics.resumed_shards, shards);
+            prop_assert_eq!(&suite_bytes(&resumed.suite), &batch, "resume shards={}", shards);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
