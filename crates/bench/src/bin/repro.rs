@@ -4,7 +4,7 @@
 //! repro [preset] [experiment...] [--csv DIR] [--shards N]
 //!       [--checkpoint FILE] [--fail-shard K]...
 //!       [--incremental] [--through DATE] [--day-batch N]
-//!       [--checkpoint-every N]
+//!       [--checkpoint-every N] [--preflight] [--export-bundle FILE]
 //!
 //! presets:     paper (default) | small | tiny
 //! experiments: table3 table4 table5 table6 table7
@@ -26,6 +26,13 @@
 //!              --checkpoint-every N
 //!                               snapshot detector state every N ingested
 //!                               days (default 1; needs --checkpoint)
+//! preflight:   --preflight      statically validate the serialized world
+//!                               bundle (and the --checkpoint file, if it
+//!                               exists) with stale-lint before any
+//!                               detector runs; exit 1 on diagnostics
+//!              --export-bundle FILE
+//!                               serialize the simulated world as a JSON
+//!                               bundle for `stale-lint preflight`
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 when any shard degraded or an engine
@@ -42,6 +49,8 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut engine_cfg = EngineConfig::default();
     let mut incremental = false;
+    let mut preflight = false;
+    let mut export_bundle: Option<String> = None;
     let mut args_iter = args.iter().peekable();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
@@ -79,6 +88,14 @@ fn main() {
                 }
             },
             "--incremental" => incremental = true,
+            "--preflight" => preflight = true,
+            "--export-bundle" => {
+                export_bundle = args_iter.next().cloned();
+                if export_bundle.is_none() {
+                    eprintln!("--export-bundle needs a file path");
+                    std::process::exit(2);
+                }
+            }
             "--through" => {
                 engine_cfg.through = match args_iter
                     .next()
@@ -135,10 +152,41 @@ fn main() {
         engine_cfg.effective_workers(),
     );
     let started = std::time::Instant::now();
+    let (data, psl) = Experiments::build_world(cfg);
+    if preflight || export_bundle.is_some() {
+        let bundle = worldsim::WorldBundle::from_datasets(&data);
+        let json = match serde_json::to_string_pretty(&bundle) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot serialize world bundle: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(path) = &export_bundle {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write bundle to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote world bundle to {path}");
+        }
+        if preflight {
+            let mut diags = stale_lint::preflight::preflight_str("world-bundle", &json);
+            if let Some(path) = engine_cfg.checkpoint.as_deref().filter(|p| p.exists()) {
+                diags.extend(stale_lint::preflight::preflight_path(path));
+            }
+            if diags.is_empty() {
+                eprintln!("preflight: inputs clean");
+            } else {
+                eprint!("{}", stale_lint::diagnostics::render_human(&diags));
+                eprintln!("preflight: {} diagnostic(s); refusing to run", diags.len());
+                std::process::exit(1);
+            }
+        }
+    }
     let run = match if incremental {
-        Experiments::with_engine_incremental(cfg, engine_cfg)
+        Experiments::with_engine_incremental_on(data, psl, engine_cfg)
     } else {
-        Experiments::with_engine(cfg, engine_cfg)
+        Experiments::with_engine_on(data, psl, engine_cfg)
     } {
         Ok(run) => run,
         Err(e) => {

@@ -46,10 +46,16 @@ pub struct EngineRun {
 impl Experiments {
     /// Simulate a world and run all detectors (serial path).
     pub fn new(cfg: ScenarioConfig) -> Experiments {
-        let data = World::run(cfg);
-        let psl = SuffixList::default_list();
+        let (data, psl) = Experiments::build_world(cfg);
         let suite = DetectionSuite::run(&data, &psl);
         Experiments { data, psl, suite }
+    }
+
+    /// Simulate the world and load the suffix list without running any
+    /// detector — the datasets can then be exported or preflighted before
+    /// being handed to [`Experiments::with_engine_on`].
+    pub fn build_world(cfg: ScenarioConfig) -> (WorldDatasets, SuffixList) {
+        (World::run(cfg), SuffixList::default_list())
     }
 
     /// Simulate a world and run the detectors through the sharded engine.
@@ -59,8 +65,17 @@ impl Experiments {
         cfg: ScenarioConfig,
         engine_cfg: EngineConfig,
     ) -> Result<EngineRun, EngineError> {
-        let data = World::run(cfg);
-        let psl = SuffixList::default_list();
+        let (data, psl) = Experiments::build_world(cfg);
+        Experiments::with_engine_on(data, psl, engine_cfg)
+    }
+
+    /// Run the sharded engine over an already-built world (see
+    /// [`Experiments::build_world`]).
+    pub fn with_engine_on(
+        data: WorldDatasets,
+        psl: SuffixList,
+        engine_cfg: EngineConfig,
+    ) -> Result<EngineRun, EngineError> {
         let report = Engine::new(engine_cfg).run(&data, &psl)?;
         Ok(EngineRun {
             experiments: Experiments {
@@ -84,8 +99,17 @@ impl Experiments {
         cfg: ScenarioConfig,
         engine_cfg: EngineConfig,
     ) -> Result<EngineRun, EngineError> {
-        let data = World::run(cfg);
-        let psl = SuffixList::default_list();
+        let (data, psl) = Experiments::build_world(cfg);
+        Experiments::with_engine_incremental_on(data, psl, engine_cfg)
+    }
+
+    /// Run the incremental engine over an already-built world (see
+    /// [`Experiments::build_world`]).
+    pub fn with_engine_incremental_on(
+        data: WorldDatasets,
+        psl: SuffixList,
+        engine_cfg: EngineConfig,
+    ) -> Result<EngineRun, EngineError> {
         let report = Engine::new(engine_cfg).run_incremental(&data, &psl)?;
         Ok(EngineRun {
             experiments: Experiments {

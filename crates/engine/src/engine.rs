@@ -19,12 +19,18 @@ use worldsim::WorldDatasets;
 pub enum EngineError {
     /// A checkpoint file could not be written.
     Checkpoint(std::io::Error),
+    /// Cross-shard state disagreed at merge time (e.g. an ingested
+    /// registrant change missing from the global enumeration). Always a
+    /// bug or corrupt input, surfaced as an error instead of a panic so
+    /// the caller can diagnose the run.
+    Inconsistent(String),
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Checkpoint(e) => write!(f, "cannot write checkpoint: {e}"),
+            EngineError::Inconsistent(what) => write!(f, "inconsistent engine state: {what}"),
         }
     }
 }
@@ -105,6 +111,9 @@ impl Engine {
             if config.fail_shards.contains(&shard)
                 || (config.fail_once_shards.contains(&shard) && attempt == 1)
             {
+                // The fault-injection feature itself: this panic exercises
+                // the supervisor's isolation and is caught by it.
+                // stale-lint: allow(panic-in-shard)
                 panic!("injected failure in shard {shard} (attempt {attempt})");
             }
             run_one_shard(&shard_inputs[shard], data, psl, n, attempt)

@@ -86,26 +86,24 @@ impl Engine {
         let restored = self.config.checkpoint.as_ref().and_then(|path| {
             StreamCheckpoint::load(path, fingerprint, n).filter(|cp| cp.through <= through)
         });
-        let resumed_shards = if restored.is_some() { n } else { 0 };
-        let (mut states, resume_from) = match &restored {
-            Some(cp) => {
-                let states = cp
-                    .states
-                    .iter()
-                    .map(|s| ShardState {
-                        kc: KcIncremental::restore(
-                            &s.kc,
-                            &data.monitor,
-                            &data.crl,
-                            cp.through,
-                            cutoff,
-                        ),
-                        rc: RcIncremental::restore(&s.rc, &data.monitor, &rc_detector),
-                        mtd: MtdIncremental::restore(&s.mtd, &data.monitor, data.adns_window),
-                    })
-                    .collect::<Vec<_>>();
-                (states, cp.through.succ())
+        // Restoring re-resolves certificates by id; a checkpoint naming a
+        // certificate the monitor does not hold belongs to a different
+        // world and is discarded like any other mismatch.
+        let restored = restored.and_then(|cp| {
+            let mut states = Vec::with_capacity(cp.states.len());
+            for s in &cp.states {
+                let kc =
+                    KcIncremental::restore(&s.kc, &data.monitor, &data.crl, cp.through, cutoff)?;
+                let rc = RcIncremental::restore(&s.rc, &data.monitor, &rc_detector)?;
+                let mtd = MtdIncremental::restore(&s.mtd, &data.monitor, data.adns_window)?;
+                states.push(ShardState { kc, rc, mtd });
             }
+            Some((cp.through, states))
+        });
+        let resumed_shards = if restored.is_some() { n } else { 0 };
+        let restored_through = restored.as_ref().map(|(through, _)| *through);
+        let (mut states, resume_from) = match restored {
+            Some((cp_through, states)) => (states, cp_through.succ()),
             None => {
                 let states = (0..n)
                     .map(|_| ShardState {
@@ -129,15 +127,14 @@ impl Engine {
         };
         let mut events: Vec<StaleEvent> = Vec::new();
         let mut ingested_total = 0usize;
-        let mut last_ingested: Option<Date> = restored.as_ref().map(|cp| cp.through);
+        let mut last_ingested: Option<Date> = restored_through;
         let mut days_since_ckpt = 0usize;
         for (from, to) in tile(resume_from, through, day_batch) {
             let batch_start = Instant::now();
             let delta = feed.delta(from, to);
             let routed = route(&delta, psl, &rc_detector, &mtd_detector, n);
             let events_before = events.len();
-            for (id, state) in states.iter_mut().enumerate() {
-                let r = &routed[id];
+            for (id, (state, r)) in states.iter_mut().zip(&routed).enumerate() {
                 events.extend(apply(
                     state,
                     to,
@@ -187,20 +184,21 @@ impl Engine {
             .into_iter()
             .map(|c| ((c.domain, c.creation), c.index))
             .collect();
-        let rc: Vec<Vec<(usize, StaleCertRecord)>> = states
-            .iter()
-            .map(|s| {
-                s.rc.finish()
-                    .into_iter()
-                    .map(|(domain, creation, record)| {
-                        let index = *change_index
-                            .get(&(domain, creation))
-                            .expect("ingested change exists in the global enumeration");
-                        (index, record)
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut rc: Vec<Vec<(usize, StaleCertRecord)>> = Vec::with_capacity(states.len());
+        for s in &states {
+            let mut shard_rc = Vec::new();
+            for (domain, creation, record) in s.rc.finish() {
+                let key = (domain, creation);
+                let Some(&index) = change_index.get(&key) else {
+                    return Err(EngineError::Inconsistent(format!(
+                        "registrant change for {} at {} has no entry in the global enumeration",
+                        key.0, key.1
+                    )));
+                };
+                shard_rc.push((index, record));
+            }
+            rc.push(shard_rc);
+        }
         let mtd: Vec<_> = states
             .iter_mut()
             .map(|s| s.mtd.finish(&mtd_detector))
@@ -308,7 +306,9 @@ fn route<'w>(
             }
             None => 0,
         };
-        routed[kc_shard].kc_certs.push(cert);
+        if let Some(slot) = routed.get_mut(kc_shard) {
+            slot.kc_certs.push(cert);
+        }
 
         let mut rc_shards: Vec<usize> = rc_detector
             .cert_e2lds(cert)
@@ -318,7 +318,9 @@ fn route<'w>(
         rc_shards.sort_unstable();
         rc_shards.dedup();
         for s in rc_shards {
-            routed[s].rc_certs.push(cert);
+            if let Some(slot) = routed.get_mut(s) {
+                slot.rc_certs.push(cert);
+            }
         }
 
         if mtd_detector.is_managed_cert(cert) {
@@ -331,16 +333,21 @@ fn route<'w>(
             mtd_shards.sort_unstable();
             mtd_shards.dedup();
             for s in mtd_shards {
-                routed[s].mtd_certs.push(cert);
+                if let Some(slot) = routed.get_mut(s) {
+                    slot.mtd_certs.push(cert);
+                }
             }
         }
     }
     for (domain, creation) in &delta.whois {
-        routed[shard_of(domain, n)].whois.push((domain, *creation));
+        if let Some(slot) = routed.get_mut(shard_of(domain, n)) {
+            slot.whois.push((domain, *creation));
+        }
     }
     for (date, domain, view) in &delta.dns {
-        let s = shard_of(&mtd_routing_key(psl, domain), n);
-        routed[s].dns.push((*date, domain, view));
+        if let Some(slot) = routed.get_mut(shard_of(&mtd_routing_key(psl, domain), n)) {
+            slot.dns.push((*date, domain, view));
+        }
     }
     routed
 }

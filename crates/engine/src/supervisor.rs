@@ -79,10 +79,16 @@ where
             let run = &run;
             scope.spawn(move || loop {
                 let shard = {
-                    let mut q = queue.lock().unwrap();
+                    // A poisoned lock only means another worker panicked
+                    // mid-shard; the queue itself is a plain VecDeque and
+                    // stays consistent, so recover and keep draining.
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                     let job = q.pop_front();
                     if job.is_some() {
-                        depths.lock().unwrap().push(q.len());
+                        depths
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(q.len());
                     }
                     job
                 };
@@ -133,7 +139,8 @@ where
     });
 
     degraded.sort_by_key(|d| d.shard);
-    (results, degraded, depths.into_inner().unwrap())
+    let depths = depths.into_inner().unwrap_or_else(|e| e.into_inner());
+    (results, degraded, depths)
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -1,0 +1,173 @@
+//! The committed-baseline ratchet.
+//!
+//! A baseline records, per rule and file, how many findings are
+//! *tolerated* — legacy debt that predates the lint. CI fails only when a
+//! `(rule, file)` bucket grows beyond its baselined count, so new
+//! violations are blocked while old ones can be burned down
+//! incrementally: shrink the code, run `--update-baseline`, commit the
+//! smaller file. The shipped baseline for `panic-in-shard` is empty by
+//! design — that debt was paid before the lint landed.
+
+use crate::diagnostics::Diagnostic;
+use serde::value::Value;
+use std::collections::BTreeMap;
+
+/// Tolerated finding counts, keyed by rule then file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// An empty baseline (tolerates nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a baseline that tolerates exactly the given findings.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for d in diags {
+            *counts
+                .entry(d.rule.to_string())
+                .or_default()
+                .entry(d.file.clone())
+                .or_default() += 1;
+        }
+        Self { counts }
+    }
+
+    /// Parse a baseline file's JSON contents.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(s).map_err(|e| format!("baseline parse: {e}"))?;
+        let Value::Obj(rules) = v else {
+            return Err("baseline parse: top level must be an object".to_string());
+        };
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (rule, files) in rules {
+            let Value::Obj(entries) = files else {
+                return Err(format!(
+                    "baseline parse: rule {rule:?} must map files to counts"
+                ));
+            };
+            let bucket = counts.entry(rule).or_default();
+            for (file, n) in entries {
+                let n = n
+                    .as_i128()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| {
+                        format!("baseline parse: count for {file:?} must be a non-negative integer")
+                    })?;
+                bucket.insert(file, n);
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Serialize for committing (stable key order, pretty-printed).
+    pub fn to_json(&self) -> String {
+        let rules = self
+            .counts
+            .iter()
+            .filter(|(_, files)| !files.is_empty())
+            .map(|(rule, files)| {
+                let entries = files
+                    .iter()
+                    .map(|(file, n)| (file.clone(), Value::UInt(*n as u128)))
+                    .collect();
+                (rule.clone(), Value::Obj(entries))
+            })
+            .collect();
+        let mut out = serde_json::to_string_pretty(&Value::Obj(rules)).unwrap_or_default();
+        out.push('\n');
+        out
+    }
+
+    /// Tolerated count for a `(rule, file)` bucket.
+    pub fn allowance(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The findings that exceed the baseline: for every `(rule, file)`
+    /// bucket whose current count is above its allowance, all of that
+    /// bucket's findings are returned (line numbers shift too easily to
+    /// attribute "the new one").
+    pub fn violations(&self, current: &[Diagnostic]) -> Vec<Diagnostic> {
+        let mut buckets: BTreeMap<(&str, &str), Vec<&Diagnostic>> = BTreeMap::new();
+        for d in current {
+            buckets
+                .entry((d.rule, d.file.as_str()))
+                .or_default()
+                .push(d);
+        }
+        let mut out = Vec::new();
+        for ((rule, file), diags) in buckets {
+            if diags.len() > self.allowance(rule, file) {
+                out.extend(diags.into_iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+
+    fn diag(rule: &'static str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_baseline_reports_everything() {
+        let d = [diag("panic-in-shard", "a.rs", 1)];
+        assert_eq!(Baseline::empty().violations(&d), d.to_vec());
+    }
+
+    #[test]
+    fn within_allowance_is_silent_above_is_loud() {
+        let old = [diag("panic-in-shard", "a.rs", 1)];
+        let base = Baseline::from_diagnostics(&old);
+        assert!(base.violations(&old).is_empty());
+        let grown = [
+            diag("panic-in-shard", "a.rs", 1),
+            diag("panic-in-shard", "a.rs", 7),
+        ];
+        assert_eq!(base.violations(&grown).len(), 2);
+        // A different file is its own bucket.
+        let elsewhere = [diag("panic-in-shard", "b.rs", 1)];
+        assert_eq!(base.violations(&elsewhere).len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let base = Baseline::from_diagnostics(&[
+            diag("panic-in-shard", "a.rs", 1),
+            diag("panic-in-shard", "a.rs", 2),
+            diag("lossy-time-cast", "t.rs", 9),
+        ]);
+        let parsed = Baseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.allowance("panic-in-shard", "a.rs"), 2);
+        assert_eq!(parsed.allowance("panic-in-shard", "b.rs"), 0);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_panic() {
+        assert!(Baseline::from_json("[1,2]").is_err());
+        assert!(Baseline::from_json("{\"r\": 3}").is_err());
+        assert!(Baseline::from_json("{\"r\": {\"f\": -1}}").is_err());
+        assert_eq!(Baseline::from_json("{}").unwrap(), Baseline::empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! `stale-lint` — the workspace's determinism/panic-safety linter and
+//! corpus preflight analyzer.
+//!
+//! ```text
+//! stale-lint source [--root DIR] [--json] [--baseline FILE] [--update-baseline]
+//! stale-lint preflight <FILE> [--json]
+//! stale-lint rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use stale_lint::diagnostics::{render_human, render_json};
+use stale_lint::{preflight, rules, source, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("source") => cmd_source(&args[1..]),
+        Some("preflight") => cmd_preflight(&args[1..]),
+        Some("rules") => cmd_rules(),
+        _ => {
+            eprintln!(
+                "usage: stale-lint source [--root DIR] [--json] [--baseline FILE] [--update-baseline]\n\
+                 \x20      stale-lint preflight <FILE> [--json]\n\
+                 \x20      stale-lint rules"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_source(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--baseline" => match it.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--update-baseline" => update_baseline = true,
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if update_baseline && baseline_path.is_none() {
+        return usage("--update-baseline needs --baseline FILE");
+    }
+
+    let diags = match source::check_tree(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stale-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &baseline_path {
+        if update_baseline {
+            let baseline = Baseline::from_diagnostics(&diags);
+            if let Err(e) = std::fs::write(path, baseline.to_json()) {
+                eprintln!("stale-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "stale-lint: baseline updated with {} finding(s)",
+                diags.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("stale-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("stale-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let violations = baseline.violations(&diags);
+        return report(&violations, json, "source");
+    }
+    report(&diags, json, "source")
+}
+
+fn cmd_preflight(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(PathBuf::from(other));
+            }
+            other => return usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let Some(file) = file else {
+        return usage("preflight needs a bundle or checkpoint file");
+    };
+    let diags = preflight::preflight_path(&file);
+    report(&diags, json, "preflight")
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in rules::ALL {
+        println!("{} ({}): {}", rule.id, rule.severity, rule.describe);
+        for scope in rule.scopes {
+            println!("    scope {scope}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn report(diags: &[stale_lint::Diagnostic], json: bool, pass: &str) -> ExitCode {
+    if json {
+        println!("{}", render_json(diags));
+    } else if diags.is_empty() {
+        eprintln!("stale-lint: {pass} pass clean");
+    } else {
+        print!("{}", render_human(diags));
+        eprintln!("stale-lint: {} {pass} violation(s)", diags.len());
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("stale-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,134 @@
+//! Diagnostic records and their human/JSON renderings.
+
+use std::fmt;
+
+/// How severe a finding is. Every severity counts as a violation against
+/// the baseline; the distinction is informational (a `Warning` marks a
+/// rule whose heuristic can over-approximate, an `Error` a rule whose
+/// hits are always real hazards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Heuristic rule; review the site.
+    Warning,
+    /// Invariant violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `panic-in-shard`).
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Path relative to the scanned root (or the input file for
+    /// preflight findings).
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: usize,
+    /// What is wrong, specifically.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// Render findings as the human-facing table, sorted by file then line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut rows: Vec<&Diagnostic> = diags.iter().collect();
+    rows.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let mut out = String::new();
+    for d in rows {
+        out.push_str(&format!("{d}\n"));
+    }
+    out
+}
+
+/// Render findings as a JSON array (machine output for `--json`).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut rows: Vec<&Diagnostic> = diags.iter().collect();
+    rows.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let mut out = String::from("[");
+    for (i, d) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(d.rule),
+            json_str(&d.severity.to_string()),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping (the fields are ASCII paths and prose).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule: "panic-in-shard",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: "`.unwrap()` in shard path".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_output_is_sorted_and_anchored() {
+        let out = render_human(&[diag("b.rs", 3), diag("a.rs", 9)]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("a.rs:9: error [panic-in-shard]"));
+        assert!(lines[1].starts_with("b.rs:3:"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_sorts() {
+        let mut d = diag("a.rs", 1);
+        d.message = "say \"no\"\n".to_string();
+        let out = render_json(&[d]);
+        assert!(out.contains("\\\"no\\\"\\n"));
+        assert!(out.starts_with('[') && out.ends_with(']'));
+    }
+}

@@ -1,0 +1,43 @@
+//! `stale-lint`: static analysis defending the engine's core guarantees.
+//!
+//! The workspace's determinism contract — sharded merge ≡ serial,
+//! incremental ≡ batch, byte-identical reports — and the supervisor's
+//! panic-isolation boundary are dynamic guarantees: proptests catch
+//! violations only when a seed happens to tickle them. This crate defends
+//! the same invariants *statically*, on two fronts:
+//!
+//! * **Source pass** ([`source`]) — a dependency-free Rust token scanner
+//!   (consistent with the offline shim policy: no syn, no rustc plumbing)
+//!   that walks the workspace's `.rs` files and enforces named rules:
+//!   [`rules::NONDETERMINISTIC_ITERATION`] (`HashMap`/`HashSet` iteration
+//!   in code feeding merges, reports or serialization),
+//!   [`rules::PANIC_IN_SHARD`] (`unwrap`/`expect`/`panic!`/slice-indexing
+//!   inside detector and shard-ingest paths),
+//!   [`rules::WALLCLOCK_IN_DETECTOR`] (`SystemTime::now` in deterministic
+//!   code) and [`rules::LOSSY_TIME_CAST`] (narrowing `as` casts in the
+//!   `stale-types` time arithmetic). Suppression is per-line via a
+//!   `// stale-lint: allow(<rule>)` pragma; CI compares the surviving
+//!   violations against a committed baseline ([`baseline`]) so the count
+//!   can only ratchet down.
+//!
+//! * **Corpus pass** ([`preflight`]) — static validation of a serialized
+//!   [`worldsim::bundle::WorldBundle`] or an engine checkpoint *before*
+//!   anything executes: certificates must DER-decode with non-degenerate
+//!   validity, CRL entries must reference an issuer key present in the CT
+//!   set, per-domain WHOIS/DNS observability streams must be strictly
+//!   chronological, the recomputed fingerprint must match, and checkpoint
+//!   schema v1/v2 invariants must hold. The paper's own pipeline had to
+//!   sanitize its CRL/CT/WHOIS feeds before analysis (§4); this is the
+//!   same discipline applied to our serialized corpora — corrupt inputs
+//!   fail with a named diagnostic, never a panic or a silently-wrong
+//!   report.
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod preflight;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use diagnostics::{Diagnostic, Severity};

@@ -1,0 +1,129 @@
+//! The named lint rules and their scopes.
+//!
+//! A *scope* is a path prefix relative to the scanned root; a rule only
+//! fires inside its scopes. The scopes encode the repo's architecture:
+//! determinism matters wherever data can reach a merge, a report or a
+//! serialization surface, and panic-freedom matters wherever the
+//! supervisor's `catch_unwind` is the only safety net.
+
+use crate::diagnostics::Severity;
+
+/// One source-pass rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier, used in pragmas and the baseline file.
+    pub id: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// Path prefixes (relative, `/`-separated) the rule applies to.
+    pub scopes: &'static [&'static str],
+    /// One-line description (shown by `stale-lint rules`).
+    pub describe: &'static str,
+}
+
+impl Rule {
+    /// Whether `rel_path` falls inside this rule's scopes.
+    pub fn in_scope(&self, rel_path: &str) -> bool {
+        self.scopes.iter().any(|s| rel_path.starts_with(s))
+    }
+}
+
+/// `HashMap`/`HashSet` iteration in code that feeds merges, reports or
+/// serialization: iteration order is nondeterministic, which breaks the
+/// byte-identical-report guarantee. Use `BTreeMap`/`BTreeSet` or sort
+/// explicitly before iterating.
+pub const NONDETERMINISTIC_ITERATION: Rule = Rule {
+    id: "nondeterministic-iteration",
+    severity: Severity::Error,
+    scopes: &["crates/stale-core/src/", "crates/engine/src/"],
+    describe: "HashMap/HashSet iteration reaching merge/report/serialization paths",
+};
+
+/// `unwrap()`/`expect()`/`panic!` anywhere in detector or engine
+/// production code: a panic inside a shard is swallowed by the
+/// supervisor's isolation (degrading the run) and a panic outside it
+/// aborts the pipeline on attacker-observable input. Slice indexing is
+/// additionally flagged in the detector-state modules
+/// ([`PANIC_IN_SHARD_INDEX_SCOPES`]), where inputs arrive from
+/// deserialized checkpoints and routed feeds.
+pub const PANIC_IN_SHARD: Rule = Rule {
+    id: "panic-in-shard",
+    severity: Severity::Error,
+    scopes: &["crates/stale-core/src/", "crates/engine/src/"],
+    describe: "unwrap/expect/panic!/indexing inside detector and shard paths",
+};
+
+/// Where [`PANIC_IN_SHARD`] also flags `x[i]`-style indexing: the shard
+/// ingest and checkpoint-restore paths, whose indices come from routed
+/// feeds and deserialized state rather than local construction.
+pub const PANIC_IN_SHARD_INDEX_SCOPES: &[&str] = &[
+    "crates/stale-core/src/detector/",
+    "crates/stale-core/src/incremental.rs",
+    "crates/engine/src/stream.rs",
+];
+
+/// `SystemTime::now` (or `Instant::now` outside the engine's
+/// metrics-only timing) in deterministic code: wall clocks make results
+/// depend on when the run happened.
+pub const WALLCLOCK_IN_DETECTOR: Rule = Rule {
+    id: "wallclock-in-detector",
+    severity: Severity::Error,
+    scopes: &[
+        "crates/stale-core/src/",
+        "crates/engine/src/",
+        "crates/worldsim/src/",
+    ],
+    describe: "SystemTime::now (wall clock) in deterministic code",
+};
+
+/// Where [`WALLCLOCK_IN_DETECTOR`] also flags `Instant::now`: detector
+/// and simulator code has no business timing itself (the engine's
+/// metrics layer is the sanctioned exception, and its timings never
+/// feed results).
+pub const WALLCLOCK_INSTANT_SCOPES: &[&str] = &["crates/stale-core/src/", "crates/worldsim/src/"];
+
+/// Narrowing `as` casts in the `stale-types` date arithmetic: `as`
+/// silently truncates, and day/month arithmetic overflowing an `i32` or
+/// `u8` corrupts every downstream interval. Use `From`/`TryFrom`, or
+/// justify provably-in-range casts with a pragma.
+pub const LOSSY_TIME_CAST: Rule = Rule {
+    id: "lossy-time-cast",
+    severity: Severity::Warning,
+    scopes: &[
+        "crates/stale-types/src/time.rs",
+        "crates/stale-types/src/interval.rs",
+    ],
+    describe: "narrowing `as` cast in stale-types time arithmetic",
+};
+
+/// Every source-pass rule, in reporting order.
+pub const ALL: &[Rule] = &[
+    NONDETERMINISTIC_ITERATION,
+    PANIC_IN_SHARD,
+    WALLCLOCK_IN_DETECTOR,
+    LOSSY_TIME_CAST,
+];
+
+/// The cast targets [`LOSSY_TIME_CAST`] considers narrowing.
+pub const NARROWING_TARGETS: &[&str] = &["i8", "i16", "i32", "u8", "u16", "u32", "usize", "isize"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_matching_is_prefix_based() {
+        assert!(PANIC_IN_SHARD.in_scope("crates/stale-core/src/stats.rs"));
+        assert!(!PANIC_IN_SHARD.in_scope("crates/x509/src/cert.rs"));
+        assert!(LOSSY_TIME_CAST.in_scope("crates/stale-types/src/time.rs"));
+        assert!(!LOSSY_TIME_CAST.in_scope("crates/stale-types/src/ids.rs"));
+    }
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let mut ids: Vec<&str> = ALL.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL.len());
+    }
+}

@@ -1,0 +1,416 @@
+//! A lightweight Rust token scanner: no external parser, no rustc
+//! plumbing — exactly the subset of lexing the lint rules need.
+//!
+//! The scanner reduces a source file to per-line *code text*: comments
+//! are stripped (collecting `stale-lint: allow(...)` pragmas as it goes),
+//! string/char literal bodies are dropped (so a string containing
+//! `"unwrap()"` never trips a rule), lifetimes are distinguished from
+//! char literals, and `#[cfg(test)]` items are marked so test-only code
+//! is exempt from production-path rules. Rule checkers then work on a
+//! simple token stream per line.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments and literal bodies removed (string
+    /// literals collapse to `""`, char literals to `' '`).
+    pub code: String,
+    /// Rules allowed by a pragma that applies to this line (its own
+    /// trailing pragma plus any pragma-only comment lines directly
+    /// above).
+    pub allow: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Debug, Clone, Default)]
+pub struct Scanned {
+    /// Lines, index 0 = source line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Scan `content` into per-line code text with pragmas and test marks.
+pub fn scan(content: &str) -> Scanned {
+    let raw = strip(content);
+    let lines = apply_pragmas(mark_tests(raw));
+    Scanned { lines }
+}
+
+/// Tokenize one code line. Identifiers (including numeric literals) come
+/// out whole; `::` and `->` are single tokens; every other
+/// non-whitespace char is its own token.
+pub fn tokens(code: &str) -> Vec<String> {
+    let bytes: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(bytes[start..i].iter().collect());
+        } else if c == ':' && bytes.get(i + 1) == Some(&':') {
+            out.push("::".to_string());
+            i += 2;
+        } else if c == '-' && bytes.get(i + 1) == Some(&'>') {
+            out.push("->".to_string());
+            i += 2;
+        } else {
+            out.push(c.to_string());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Intermediate per-line result of literal/comment stripping.
+struct RawLine {
+    code: String,
+    /// Pragma rules found in comments on this exact line.
+    pragma: Vec<String>,
+}
+
+/// Strip comments and literal bodies, collecting pragmas.
+fn strip(content: &str) -> Vec<RawLine> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Str,
+        RawStr(usize),
+        Chr,
+        Block(usize),
+    }
+    let mut out: Vec<RawLine> = Vec::new();
+    let mut state = State::Code;
+    for line in content.split('\n') {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::new();
+        let mut pragma = Vec::new();
+        let mut i = 0;
+        let mut prev_ident = false; // previous emitted char extends an identifier
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        let comment: String = chars[i..].iter().collect();
+                        pragma.extend(parse_pragma(&comment));
+                        break; // rest of the line is comment
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if !prev_ident && (c == 'r' || c == 'b') {
+                        // Possible raw/byte string or byte char prefix.
+                        if let Some(consumed) = literal_prefix(&chars[i..]) {
+                            match consumed {
+                                Prefix::RawStr(hashes, skip) => {
+                                    code.push('"');
+                                    state = State::RawStr(hashes);
+                                    i += skip;
+                                }
+                                Prefix::Str(skip) => {
+                                    code.push('"');
+                                    state = State::Str;
+                                    i += skip;
+                                }
+                                Prefix::Chr(skip) => {
+                                    code.push_str("' '");
+                                    state = State::Chr;
+                                    i += skip;
+                                }
+                            }
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Lifetime or char literal: a lifetime is `'` + an
+                        // identifier *not* closed by another `'`.
+                        let mut j = i + 1;
+                        while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                            j += 1;
+                        }
+                        if j > i + 1 && chars.get(j) != Some(&'\'') {
+                            i = j; // lifetime: drop it entirely
+                        } else {
+                            code.push_str("' '");
+                            state = State::Chr;
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                    prev_ident = code
+                        .chars()
+                        .next_back()
+                        .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        prev_ident = false;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"'
+                        && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes
+                    {
+                        code.push('"');
+                        state = State::Code;
+                        prev_ident = false;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Chr => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '\'' {
+                        state = State::Code;
+                        prev_ident = false;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A still-open string at end of line (multi-line string literal)
+        // stays in its state; a line comment never carries over.
+        out.push(RawLine { code, pragma });
+    }
+    out
+}
+
+enum Prefix {
+    /// Raw string with `n` hashes; consume `skip` chars including the `"`.
+    RawStr(usize, usize),
+    Str(usize),
+    Chr(usize),
+}
+
+/// Recognise `r"`, `r#"`, `b"`, `br#"`, `b'` … at the start of `chars`.
+fn literal_prefix(chars: &[char]) -> Option<Prefix> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0;
+        while chars.get(i + hashes) == Some(&'#') {
+            hashes += 1;
+        }
+        if chars.get(i + hashes) == Some(&'"') {
+            return Some(Prefix::RawStr(hashes, i + hashes + 1));
+        }
+        return None;
+    }
+    if i == 1 {
+        // plain `b` prefix
+        if chars.get(1) == Some(&'"') {
+            return Some(Prefix::Str(2));
+        }
+        if chars.get(1) == Some(&'\'') {
+            return Some(Prefix::Chr(2));
+        }
+    }
+    None
+}
+
+/// Extract `allow(...)` rule ids from a `stale-lint:` pragma comment.
+fn parse_pragma(comment: &str) -> Vec<String> {
+    let Some(at) = comment.find("stale-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[at + "stale-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(end) = inner.find(')') else {
+        return Vec::new();
+    };
+    inner[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Mark every line inside a `#[cfg(test)]` item (the attribute's line
+/// through the item's closing brace).
+fn mark_tests(raw: Vec<RawLine>) -> Vec<(RawLine, bool)> {
+    // Flatten tokens with their line indices.
+    let mut flat: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in raw.iter().enumerate() {
+        for tok in tokens(&line.code) {
+            flat.push((idx, tok));
+        }
+    }
+    let mut test_lines = vec![false; raw.len()];
+    let cfg_test = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut i = 0;
+    while i < flat.len() {
+        let matches_attr = cfg_test
+            .iter()
+            .enumerate()
+            .all(|(k, want)| flat.get(i + k).map(|(_, t)| t.as_str()) == Some(*want));
+        if !matches_attr {
+            i += 1;
+            continue;
+        }
+        // Skip to the item's opening brace, then to its matching close.
+        let mut j = i + cfg_test.len();
+        while j < flat.len() && flat[j].1 != "{" {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < flat.len() {
+            match flat[j].1.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let last = flat.get(j).map(|(l, _)| *l).unwrap_or(raw.len() - 1);
+        for mark in test_lines.iter_mut().take(last + 1).skip(flat[i].0) {
+            *mark = true;
+        }
+        i = j.max(i + 1);
+    }
+    raw.into_iter().zip(test_lines).collect()
+}
+
+/// Resolve pragma scope: a pragma on a comment-only line applies to the
+/// next line carrying code; a trailing pragma applies to its own line.
+fn apply_pragmas(marked: Vec<(RawLine, bool)>) -> Vec<Line> {
+    let mut out = Vec::with_capacity(marked.len());
+    let mut pending: Vec<String> = Vec::new();
+    for (raw, in_test) in marked {
+        let code_empty = raw.code.trim().is_empty();
+        let mut allow = raw.pragma.clone();
+        if code_empty {
+            pending.extend(raw.pragma);
+            out.push(Line {
+                code: raw.code,
+                allow: Vec::new(),
+                in_test,
+            });
+        } else {
+            allow.append(&mut pending);
+            out.push(Line {
+                code: raw.code,
+                allow,
+                in_test,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_and_lifetimes_are_stripped() {
+        let s = scan("let x: &'a str = \"unwrap() // not code\"; // real comment\n");
+        assert_eq!(s.lines[0].code.trim(), "let x: & str = \"\";");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let s = scan("let r = r#\"panic!(\"hi\")\"#; let c = '\\''; let l = 'x';\n");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(!s.lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = scan("a /* one /* two */ still */ b\n/* open\nunwrap()\n*/ c\n");
+        assert_eq!(s.lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(s.lines[2].code, "");
+        assert_eq!(s.lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn pragma_applies_to_own_and_next_line() {
+        let src = "x.unwrap(); // stale-lint: allow(panic-in-shard)\n\
+                   // stale-lint: allow(lossy-time-cast, wallclock-in-detector)\n\
+                   y as u8;\n\
+                   z as u8;\n";
+        let s = scan(src);
+        assert_eq!(s.lines[0].allow, vec!["panic-in-shard"]);
+        assert!(s.lines[1].allow.is_empty());
+        assert_eq!(
+            s.lines[2].allow,
+            vec!["lossy-time-cast", "wallclock-in-detector"]
+        );
+        assert!(
+            s.lines[3].allow.is_empty(),
+            "pragma does not leak past one line"
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn prod() { a(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test && s.lines[2].in_test && s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn tokens_lex_paths_and_arrows() {
+        assert_eq!(
+            tokens("a::b -> c[0]"),
+            vec!["a", "::", "b", "->", "c", "[", "0", "]"]
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! The source pass: apply the [`crate::rules`] to scanned `.rs` files.
+//!
+//! Checks operate on the token stream of each *code* line produced by
+//! [`crate::scan`] — comments, literal bodies and `#[cfg(test)]` items
+//! never trip a rule, and a `// stale-lint: allow(<rule>)` pragma on (or
+//! directly above) a line suppresses that rule there.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{self, Rule};
+use crate::scan::{scan, tokens, Line};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Methods whose call on a `HashMap`/`HashSet` binding means iteration.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Tokens that can't be the base expression of an index operation.
+const NON_INDEX_PREV: &[&str] = &[
+    "in", "mut", "return", "if", "else", "match", "let", "as", "ref", "move", "impl", "dyn",
+    "where", "pub", "use", "crate", "type", "break", "continue", "box",
+];
+
+/// Lint one file's content as if it lived at `rel_path` (slash-separated,
+/// relative to the scanned root). Returns the surviving violations —
+/// pragma-suppressed findings and test code are already excluded.
+pub fn check_file(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    let scanned = scan(content);
+    let toks: Vec<Vec<String>> = scanned.lines.iter().map(|l| tokens(&l.code)).collect();
+    let hashes = tracked_hash_names(&scanned.lines, &toks);
+    let mut out = Vec::new();
+    for (idx, (line, tk)) in scanned.lines.iter().zip(&toks).enumerate() {
+        if line.in_test || tk.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let allowed = |rule: &Rule| line.allow.iter().any(|a| a == rule.id);
+
+        let rule = rules::NONDETERMINISTIC_ITERATION;
+        if rule.in_scope(rel_path) && !allowed(&rule) {
+            check_iteration(rel_path, lineno, tk, &hashes, &rule, &mut out);
+        }
+        let rule = rules::PANIC_IN_SHARD;
+        if rule.in_scope(rel_path) && !allowed(&rule) {
+            check_panics(rel_path, lineno, tk, &rule, &mut out);
+            if rules::PANIC_IN_SHARD_INDEX_SCOPES
+                .iter()
+                .any(|s| rel_path.starts_with(s))
+            {
+                check_indexing(rel_path, lineno, tk, &rule, &mut out);
+            }
+        }
+        let rule = rules::WALLCLOCK_IN_DETECTOR;
+        if rule.in_scope(rel_path) && !allowed(&rule) {
+            check_wallclock(rel_path, lineno, tk, &rule, &mut out);
+        }
+        let rule = rules::LOSSY_TIME_CAST;
+        if rule.in_scope(rel_path) && !allowed(&rule) {
+            check_casts(rel_path, lineno, tk, &rule, &mut out);
+        }
+    }
+    out
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/` and dot
+/// directories), in path order.
+pub fn check_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let content = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(check_file(&rel, &content));
+    }
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Names bound to `HashMap`/`HashSet` anywhere in the file: struct
+/// fields and `let` bindings with an explicit type, plus
+/// `= HashMap::new()`-style initialisations. File-granular on purpose —
+/// a shard-path file is small enough that scope collapse over-approaches
+/// safely.
+fn tracked_hash_names(lines: &[Line], toks: &[Vec<String>]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (line, tk) in lines.iter().zip(toks) {
+        if line.in_test {
+            continue;
+        }
+        for (i, t) in tk.iter().enumerate() {
+            if t != "HashMap" && t != "HashSet" {
+                continue;
+            }
+            // Walk left past a `path::to::` qualifier.
+            let mut q = i;
+            while q >= 2 && tk[q - 1] == "::" && is_ident(&tk[q - 2]) {
+                q -= 2;
+            }
+            if q == 0 {
+                continue;
+            }
+            match tk[q - 1].as_str() {
+                ":" if q >= 2 && is_ident(&tk[q - 2]) => {
+                    names.insert(tk[q - 2].clone());
+                }
+                "=" if q >= 2 && is_ident(&tk[q - 2]) => {
+                    names.insert(tk[q - 2].clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn is_ident(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn check_iteration(
+    file: &str,
+    line: usize,
+    tk: &[String],
+    hashes: &BTreeSet<String>,
+    rule: &Rule,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tk.iter().enumerate() {
+        if !hashes.contains(t) {
+            continue;
+        }
+        // `name.iter()` / `self.name.keys()` …
+        if tk.get(i + 1).map(String::as_str) == Some(".")
+            && tk
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.as_str()))
+            && tk.get(i + 3).map(String::as_str) == Some("(")
+        {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first",
+                    t,
+                    tk[i + 2]
+                ),
+            ));
+            continue;
+        }
+        // `for x in &name {` — direct iteration without a method call.
+        if tk.get(i + 1).map(String::as_str) == Some("{") && preceded_by_in(tk, i) {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                format!(
+                    "`for … in {t}` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether token `i` is the iterated expression of a `for … in` on the
+/// same line (only `&`, `mut`, `self` and `.` may sit between).
+fn preceded_by_in(tk: &[String], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        match tk[j - 1].as_str() {
+            "&" | "mut" | "self" | "." => j -= 1,
+            "in" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn check_panics(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tk.iter().enumerate() {
+        let is_method_call = |name: &str| {
+            t == name && i > 0 && tk[i - 1] == "." && tk.get(i + 1).map(String::as_str) == Some("(")
+        };
+        if is_method_call("unwrap") {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                "`.unwrap()` can panic in a shard path — handle the None/Err case".to_string(),
+            ));
+        } else if is_method_call("expect") {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                "`.expect()` can panic in a shard path — handle the None/Err case".to_string(),
+            ));
+        } else if t == "panic" && tk.get(i + 1).map(String::as_str) == Some("!") {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                "`panic!` in a shard path bypasses error handling — return an error".to_string(),
+            ));
+        }
+    }
+}
+
+fn check_indexing(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tk.iter().enumerate() {
+        if t != "[" || i == 0 {
+            continue;
+        }
+        let prev = tk[i - 1].as_str();
+        let indexable =
+            (is_ident(prev) && !NON_INDEX_PREV.contains(&prev)) || prev == ")" || prev == "]";
+        if indexable {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                format!("`{prev}[…]` indexing can panic in a shard path — use `.get()`"),
+            ));
+        }
+    }
+}
+
+fn check_wallclock(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tk.iter().enumerate() {
+        let calls_now = tk.get(i + 1).map(String::as_str) == Some("::")
+            && tk.get(i + 2).map(String::as_str) == Some("now");
+        if t == "SystemTime" && calls_now {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                "`SystemTime::now` makes results depend on the wall clock — thread dates through the feed".to_string(),
+            ));
+        } else if t == "Instant"
+            && calls_now
+            && rules::WALLCLOCK_INSTANT_SCOPES
+                .iter()
+                .any(|s| file.starts_with(s))
+        {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                "`Instant::now` in detector/simulator code — timing belongs in the engine's metrics layer".to_string(),
+            ));
+        }
+    }
+}
+
+fn check_casts(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tk.iter().enumerate() {
+        if t == "as"
+            && tk
+                .get(i + 1)
+                .is_some_and(|n| rules::NARROWING_TARGETS.contains(&n.as_str()))
+        {
+            out.push(diag(
+                rule,
+                file,
+                line,
+                format!(
+                    "`as {}` silently truncates — use From/TryFrom, or justify the bound with a pragma",
+                    tk[i + 1]
+                ),
+            ));
+        }
+    }
+}
+
+fn diag(rule: &Rule, file: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: rule.id,
+        severity: rule.severity,
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARD_PATH: &str = "crates/stale-core/src/incremental.rs";
+
+    #[test]
+    fn unwrap_and_indexing_flagged_in_shard_scope() {
+        let src = "fn f() {\n    let x = m.get(k).unwrap();\n    let y = v[i];\n}\n";
+        let d = check_file(SHARD_PATH, src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == "panic-in-shard"));
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn indexing_not_flagged_outside_index_scope() {
+        let src = "fn f() { let y = v[i]; }\n";
+        assert!(check_file("crates/engine/src/engine.rs", src).is_empty());
+        let with_unwrap = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            check_file("crates/engine/src/engine.rs", with_unwrap).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_btreemap_not() {
+        let src = "struct S { a: HashMap<u32, u32>, b: BTreeMap<u32, u32> }\n\
+                   fn f(s: &S) {\n\
+                       for x in s.a.iter() {}\n\
+                       for y in &s.b {}\n\
+                       let z = s.a.get(&1);\n\
+                   }\n";
+        let d = check_file("crates/engine/src/merge.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "nondeterministic-iteration");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn for_in_direct_iteration_flagged() {
+        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m {\n    }\n}\n";
+        let d = check_file("crates/stale-core/src/stats.rs", src);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "nondeterministic-iteration" && d.line == 3),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn pragma_and_test_code_suppress() {
+        let src = "fn f() {\n\
+                       x.unwrap(); // stale-lint: allow(panic-in-shard)\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n";
+        assert!(check_file(SHARD_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_cast_rules_fire_in_their_scopes() {
+        let clock = "fn f() { let t = std::time::SystemTime::now(); }\n";
+        assert_eq!(check_file("crates/worldsim/src/world.rs", clock).len(), 1);
+        assert!(check_file("crates/ca/src/scraper.rs", clock).is_empty());
+
+        let cast = "fn f(x: i64) -> i32 { x as i32 }\n";
+        let d = check_file("crates/stale-types/src/time.rs", cast);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lossy-time-cast");
+        let widen = "fn f(x: u8) -> i64 { x as i64 }\n";
+        assert!(check_file("crates/stale-types/src/time.rs", widen).is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! A fixture that must produce zero diagnostics under *every* rule scope:
+//! ordered collections, handled fallbacks, no wall clocks, no narrowing
+//! casts.
+
+use std::collections::BTreeMap;
+
+pub fn summarize(counts: &BTreeMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn safe_first(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn safe_nth(values: &[u64], i: usize) -> Option<u64> {
+    values.get(i).copied()
+}
+
+pub fn widen_day(d: u8) -> i64 {
+    i64::from(d)
+}

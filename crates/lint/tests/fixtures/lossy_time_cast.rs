@@ -1,0 +1,24 @@
+//! Seeded `lossy-time-cast` violations: narrowing `as` casts in date
+//! arithmetic. Widening casts and `From`/`TryFrom` conversions are fine;
+//! a provably-in-range cast may carry a pragma.
+
+pub fn to_day(days: i64) -> u8 {
+    (days % 31) as u8 // MARK narrowing
+}
+
+pub fn to_month_index(ordinal: i64) -> u32 {
+    (ordinal % 12) as u32 // MARK narrowing
+}
+
+pub fn widen(n: u8) -> i64 {
+    i64::from(n)
+}
+
+pub fn bounded_month(m: i64) -> u8 {
+    debug_assert!((1..=12).contains(&m));
+    m as u8 // stale-lint: allow(lossy-time-cast)
+}
+
+pub fn to_wide(n: u32) -> u64 {
+    u64::from(n)
+}

@@ -1,0 +1,36 @@
+//! Seeded `nondeterministic-iteration` violations: iterating a
+//! `HashMap`/`HashSet` binding, by method call or `for … in`, in code
+//! whose output could reach a merge or a report. Point lookups and
+//! `BTreeMap` iteration are fine and must not fire.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn tally(events: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    for (name, n) in events {
+        *counts.entry(name.clone()).or_insert(0) += *n;
+    }
+    let mut out = Vec::new();
+    for (name, n) in counts.iter() { // MARK iter-method
+        out.push((name.clone(), *n));
+    }
+    out
+}
+
+pub fn count_domains(seen: HashSet<String>) -> usize {
+    let mut n = 0;
+    for _domain in &seen { // MARK for-in
+        n += 1;
+    }
+    n
+}
+
+// Tracking is file-granular by name, so the ordered map gets its own:
+// a `BTreeMap` named `counts` would (over-approximately) fire too.
+pub fn ordered(totals: &BTreeMap<String, u64>) -> u64 {
+    totals.values().sum()
+}
+
+pub fn probe(counts: &HashMap<String, u32>) -> u32 {
+    counts.get("x").copied().unwrap_or(0)
+}

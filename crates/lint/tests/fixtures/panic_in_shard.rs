@@ -1,0 +1,33 @@
+//! Seeded `panic-in-shard` violations. `tests/source_rules.rs` lints this
+//! file under a detector-scope virtual path (where indexing is also
+//! flagged) and asserts one diagnostic per `MARK` line. The fixture's real
+//! path is outside every rule scope, so `check_tree` over the repo root
+//! stays clean.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(values: &[u32], map: &BTreeMap<u32, u32>) -> u32 {
+    let first = values.first().unwrap(); // MARK unwrap
+    let second = map.get(first).expect("present"); // MARK expect
+    if *second > 100 {
+        panic!("out of range"); // MARK panic
+    }
+    values[3] // MARK index
+}
+
+pub fn sanctioned(values: &[u32]) -> u32 {
+    values[0] // stale-lint: allow(panic-in-shard)
+}
+
+pub fn handled(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

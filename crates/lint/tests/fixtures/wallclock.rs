@@ -1,0 +1,16 @@
+//! Seeded `wallclock-in-detector` violations. `SystemTime::now` is
+//! flagged throughout the rule's scopes; `Instant::now` only in the
+//! detector/simulator scopes (the engine's metrics layer may time
+//! itself).
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+pub fn stamp() -> u64 {
+    let now = SystemTime::now(); // MARK systemtime
+    now.duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn measure() -> Duration {
+    let begin = Instant::now(); // MARK instant
+    begin.elapsed()
+}

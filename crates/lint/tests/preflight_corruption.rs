@@ -1,0 +1,256 @@
+//! Preflight rejects corrupted serialized inputs — truncated, bit-flipped
+//! or hand-edited — with a named diagnostic and never panics, while a
+//! freshly serialized world bundle and checkpoint pass clean.
+
+use engine::checkpoint::{
+    Checkpoint, CompletedShard, ShardOutput, ShardStateSnapshot, StreamCheckpoint,
+};
+use stale_core::incremental::{SavedKc, SavedMtd, SavedRc};
+use stale_lint::preflight::preflight_str;
+use stale_types::domain::dn;
+use stale_types::{CertId, Date, KeyId, SerialNumber};
+use worldsim::{ScenarioConfig, World, WorldBundle};
+
+fn tiny_bundle_json() -> String {
+    let data = World::run(ScenarioConfig::tiny());
+    let bundle = WorldBundle::from_datasets(&data);
+    serde_json::to_string_pretty(&bundle).expect("serialize bundle")
+}
+
+fn rules(diags: &[stale_lint::Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn fresh_bundle_preflights_clean() {
+    let json = tiny_bundle_json();
+    let diags = preflight_str("bundle", &json);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn truncated_bundle_rejected() {
+    let json = tiny_bundle_json();
+    let truncated = &json[..json.len() / 2];
+    let diags = preflight_str("bundle", truncated);
+    assert_eq!(rules(&diags), ["bundle-parse"], "{diags:?}");
+}
+
+#[test]
+fn bitflipped_certificate_rejected() {
+    let json = tiny_bundle_json();
+    // Corrupt a hex digit of the first certificate's DER length byte.
+    let der = json.find("\"der\": \"").expect("a cert") + "\"der\": \"".len();
+    let mut flipped = json.clone();
+    let target = der + 2;
+    let old = flipped.as_bytes()[target];
+    let new = if old == b'0' { '1' } else { '0' };
+    flipped.replace_range(target..=target, &new.to_string());
+    let diags = preflight_str("bundle", &flipped);
+    assert!(
+        diags.iter().any(|d| d.rule == "cert-der"),
+        "expected cert-der, got {diags:?}"
+    );
+}
+
+#[test]
+fn tampered_count_fails_fingerprint() {
+    let json = tiny_bundle_json();
+    let key = "\"ct_raw_entries\": ";
+    let at = json.find(key).expect("field") + key.len();
+    let mut tampered = json.clone();
+    tampered.insert(at, '9'); // prepend a digit: value changes, JSON stays valid
+    let diags = preflight_str("bundle", &tampered);
+    assert!(
+        diags.iter().any(|d| d.rule == "fingerprint-mismatch"),
+        "expected fingerprint-mismatch, got {diags:?}"
+    );
+}
+
+#[test]
+fn random_single_byte_mutations_never_panic() {
+    let json = tiny_bundle_json();
+    // xorshift64, as in tests/der_roundtrip.rs — deterministic fuzzing.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..200 {
+        let mut bytes = json.clone().into_bytes();
+        let pos = (next() % bytes.len() as u64) as usize;
+        let bit = 1u8 << (next() % 8);
+        bytes[pos] ^= bit;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        // Must return diagnostics or a clean pass — never panic.
+        let _ = preflight_str("bundle", &mutated);
+    }
+}
+
+fn minimal_stream_checkpoint() -> StreamCheckpoint {
+    StreamCheckpoint {
+        version: StreamCheckpoint::VERSION,
+        fingerprint: 7,
+        shards: 1,
+        through: Date::parse("2022-11-30").unwrap(),
+        states: vec![ShardStateSnapshot {
+            shard: 0,
+            kc: SavedKc::default(),
+            rc: SavedRc::default(),
+            mtd: SavedMtd::default(),
+        }],
+    }
+}
+
+#[test]
+fn well_formed_stream_checkpoint_passes() {
+    let json = serde_json::to_string(&minimal_stream_checkpoint()).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn stream_checkpoint_shard_order_violations_named() {
+    let mut cp = minimal_stream_checkpoint();
+    cp.states[0].shard = 3;
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-order"),
+        "{diags:?}"
+    );
+
+    let mut cp = minimal_stream_checkpoint();
+    cp.shards = 4; // declared width disagrees with one saved state
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-shards"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn stream_checkpoint_monotonicity_violations_named() {
+    // kc index with non-increasing cert ids.
+    let mut cp = minimal_stream_checkpoint();
+    cp.states[0].kc = SavedKc {
+        index: vec![
+            (
+                KeyId::from_bytes([1; 20]),
+                SerialNumber(1),
+                CertId::from_bytes([9; 32]),
+            ),
+            (
+                KeyId::from_bytes([1; 20]),
+                SerialNumber(2),
+                CertId::from_bytes([3; 32]),
+            ),
+        ],
+    };
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-monotone"),
+        "{diags:?}"
+    );
+
+    // Unsorted delegated domains, and a domain both delegated and not.
+    let mut cp = minimal_stream_checkpoint();
+    cp.states[0].mtd = SavedMtd {
+        delegated: vec![dn("b.com"), dn("a.com")],
+        undelegated: vec![dn("b.com")],
+        departures: Vec::new(),
+        certs_by_customer: Vec::new(),
+    };
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-order"),
+        "{diags:?}"
+    );
+
+    // Non-chronological per-domain creation dates.
+    let mut cp = minimal_stream_checkpoint();
+    cp.states[0].rc = SavedRc {
+        certs_by_e2ld: Vec::new(),
+        creations: vec![(
+            dn("a.com"),
+            vec![
+                Date::parse("2021-05-01").unwrap(),
+                Date::parse("2020-01-01").unwrap(),
+            ],
+        )],
+    };
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-monotone"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn batch_checkpoint_violations_named() {
+    let cp = Checkpoint {
+        fingerprint: 7,
+        shards: 2,
+        completed: vec![CompletedShard {
+            shard: 5, // out of the declared width
+            output: ShardOutput {
+                shard: 1, // and mislabelled
+                kc: Vec::new(),
+                rc: Vec::new(),
+                mtd: Vec::new(),
+            },
+            metrics: engine::ShardMetrics {
+                shard: 5,
+                wall_us: 0,
+                kc_us: 0,
+                rc_us: 0,
+                mtd_us: 0,
+                items_in: 0,
+                items_out: 0,
+                attempts: 1,
+            },
+        }],
+    };
+    let json = serde_json::to_string(&cp).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    let fired = rules(&diags);
+    assert!(fired.contains(&"checkpoint-shards"), "{diags:?}");
+    assert!(fired.contains(&"checkpoint-order"), "{diags:?}");
+}
+
+#[test]
+fn unrecognized_shape_is_named_not_panicked() {
+    let diags = preflight_str("mystery", "{\"foo\": 1}");
+    assert_eq!(rules(&diags), ["preflight-schema"], "{diags:?}");
+    let diags = preflight_str("garbage", "not json at all {{{");
+    assert_eq!(rules(&diags), ["bundle-parse"], "{diags:?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_corrupted_bundle() {
+    // The CLI contract CI relies on: corrupted input → exit 1, diagnostics
+    // on stdout, no panic.
+    let json = tiny_bundle_json();
+    let dir = std::env::temp_dir().join("stale_lint_preflight_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.json");
+    std::fs::write(&path, &json[..json.len() / 3]).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_stale-lint"))
+        .arg("preflight")
+        .arg(&path)
+        .output()
+        .expect("run stale-lint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bundle-parse"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}

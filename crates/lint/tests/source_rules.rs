@@ -1,0 +1,143 @@
+//! Fixture-driven checks of the source pass: every seeded violation in
+//! `tests/fixtures/` is detected at its marked line, pragmas and test
+//! code suppress, and the clean fixture stays clean under every scope.
+
+use stale_lint::source::check_file;
+
+const PANIC_FIXTURE: &str = include_str!("fixtures/panic_in_shard.rs");
+const NONDET_FIXTURE: &str = include_str!("fixtures/nondet_iteration.rs");
+const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
+const CAST_FIXTURE: &str = include_str!("fixtures/lossy_time_cast.rs");
+const CLEAN_FIXTURE: &str = include_str!("fixtures/clean.rs");
+
+/// 1-indexed lines of `src` carrying a `// MARK` comment.
+fn mark_lines(src: &str) -> Vec<usize> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// MARK"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Sorted 1-indexed lines where `rule` fired.
+fn lines_for(diags: &[stale_lint::Diagnostic], rule: &str) -> Vec<usize> {
+    let mut lines: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+#[test]
+fn panic_fixture_detected_at_every_mark() {
+    // Detector scope: indexing is flagged alongside unwrap/expect/panic!.
+    let diags = check_file("crates/stale-core/src/detector/fixture.rs", PANIC_FIXTURE);
+    assert_eq!(
+        lines_for(&diags, "panic-in-shard"),
+        mark_lines(PANIC_FIXTURE),
+        "{diags:?}"
+    );
+    // No other rule fires on this fixture.
+    assert!(
+        diags.iter().all(|d| d.rule == "panic-in-shard"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_fixture_indexing_only_in_index_scopes() {
+    // Engine scope outside the index list: the `values[3]` mark must NOT
+    // fire, the other three must.
+    let diags = check_file("crates/engine/src/engine_fixture.rs", PANIC_FIXTURE);
+    let lines = lines_for(&diags, "panic-in-shard");
+    let marks = mark_lines(PANIC_FIXTURE);
+    let (index_mark, other_marks) = marks.split_last().unwrap();
+    assert_eq!(lines, other_marks, "{diags:?}");
+    assert!(!lines.contains(index_mark), "{diags:?}");
+}
+
+#[test]
+fn nondet_fixture_detected_at_every_mark() {
+    let diags = check_file("crates/stale-core/src/fixture.rs", NONDET_FIXTURE);
+    assert_eq!(
+        lines_for(&diags, "nondeterministic-iteration"),
+        mark_lines(NONDET_FIXTURE),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.rule == "nondeterministic-iteration"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_fixture_detects_both_clocks_in_simulator_scope() {
+    let diags = check_file("crates/worldsim/src/fixture.rs", WALLCLOCK_FIXTURE);
+    assert_eq!(
+        lines_for(&diags, "wallclock-in-detector"),
+        mark_lines(WALLCLOCK_FIXTURE),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_fixture_permits_instant_in_engine_scope() {
+    // The engine's metrics layer may use Instant::now; SystemTime::now is
+    // still flagged.
+    let diags = check_file("crates/engine/src/fixture.rs", WALLCLOCK_FIXTURE);
+    let lines = lines_for(&diags, "wallclock-in-detector");
+    let marks = mark_lines(WALLCLOCK_FIXTURE);
+    assert_eq!(lines, marks[..1], "{diags:?}");
+}
+
+#[test]
+fn cast_fixture_detected_and_pragma_respected() {
+    let diags = check_file("crates/stale-types/src/time.rs", CAST_FIXTURE);
+    assert_eq!(
+        lines_for(&diags, "lossy-time-cast"),
+        mark_lines(CAST_FIXTURE),
+        "{diags:?}"
+    );
+    // The pragma line casts too — prove it was suppressed, not missed.
+    assert!(CAST_FIXTURE.contains("m as u8 // stale-lint: allow(lossy-time-cast)"));
+}
+
+#[test]
+fn clean_fixture_is_clean_under_every_scope() {
+    for path in [
+        "crates/stale-core/src/detector/fixture.rs",
+        "crates/stale-core/src/incremental.rs",
+        "crates/engine/src/stream.rs",
+        "crates/worldsim/src/fixture.rs",
+        "crates/stale-types/src/time.rs",
+    ] {
+        let diags = check_file(path, CLEAN_FIXTURE);
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn fixtures_are_out_of_scope_at_their_real_paths() {
+    // `check_tree` over the repo root must not trip on the seeded
+    // fixtures themselves: their real paths match no rule scope.
+    for (path, src) in [
+        (
+            "crates/lint/tests/fixtures/panic_in_shard.rs",
+            PANIC_FIXTURE,
+        ),
+        (
+            "crates/lint/tests/fixtures/nondet_iteration.rs",
+            NONDET_FIXTURE,
+        ),
+        ("crates/lint/tests/fixtures/wallclock.rs", WALLCLOCK_FIXTURE),
+        (
+            "crates/lint/tests/fixtures/lossy_time_cast.rs",
+            CAST_FIXTURE,
+        ),
+    ] {
+        assert!(check_file(path, src).is_empty(), "{path}");
+    }
+}

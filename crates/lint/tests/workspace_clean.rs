@@ -1,0 +1,20 @@
+//! The workspace's own source must lint clean: the shipped baseline is
+//! empty, so every rule — including `panic-in-shard` — holds with zero
+//! allowances. This is the test-suite mirror of CI's `stale-lint source`
+//! step.
+
+use stale_lint::baseline::Baseline;
+use stale_lint::source::check_tree;
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_empty_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = check_tree(&root).expect("scan workspace");
+    let violations = Baseline::empty().violations(&diags);
+    assert!(
+        violations.is_empty(),
+        "workspace has non-baselined lint violations:\n{}",
+        stale_lint::diagnostics::render_human(&violations)
+    );
+}

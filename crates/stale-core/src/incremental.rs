@@ -81,9 +81,9 @@ impl DomainInterner {
         self.ids.get(domain).copied()
     }
 
-    /// The name behind an id.
-    pub fn name(&self, id: u32) -> &DomainName {
-        &self.names[id as usize]
+    /// The name behind an id, if the id was ever allocated.
+    pub fn name(&self, id: u32) -> Option<&DomainName> {
+        self.names.get(id as usize)
     }
 
     /// Number of interned names.
@@ -107,7 +107,8 @@ pub struct KcIncremental<'w> {
     cutoff: Date,
     /// `(AKI, serial)` → certificate, max `cert_id` winning ties (the
     /// batch join's insert-overwrite winner over a cert-id-ordered corpus).
-    index: HashMap<(KeyId, SerialNumber), &'w DedupedCert>,
+    /// Ordered so `save()` iterates deterministically.
+    index: BTreeMap<(KeyId, SerialNumber), &'w DedupedCert>,
     /// CRL records seen so far, by global CRL index.
     seen: BTreeMap<usize, &'w RevocationRecord>,
     /// Join key → CRL indexes seen under it (probe side for late certs).
@@ -129,7 +130,7 @@ impl<'w> KcIncremental<'w> {
     pub fn new(cutoff: Date) -> Self {
         KcIncremental {
             cutoff,
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             seen: BTreeMap::new(),
             seen_by_key: HashMap::new(),
         }
@@ -159,7 +160,9 @@ impl<'w> KcIncremental<'w> {
             // record already seen under the key.
             if let Some(indexes) = self.seen_by_key.get(&key) {
                 for idx in indexes {
-                    let rec = self.seen[idx];
+                    let Some(rec) = self.seen.get(idx) else {
+                        continue; // seen_by_key and seen are kept in lockstep
+                    };
                     push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
                 }
             }
@@ -208,19 +211,19 @@ impl<'w> KcIncremental<'w> {
 
     /// Rebuild from a checkpoint: certificates are re-resolved from the
     /// monitor by id, and the CRL side is re-seeded with every record
-    /// observed on or before `through`.
+    /// observed on or before `through`. `None` if the checkpoint names a
+    /// certificate the monitor does not hold — it belongs to a different
+    /// world, and stale state is discarded rather than trusted.
     pub fn restore(
         saved: &SavedKc,
         monitor: &'w CtMonitor,
         crl: &'w CrlDataset,
         through: Date,
         cutoff: Date,
-    ) -> Self {
+    ) -> Option<Self> {
         let mut state = KcIncremental::new(cutoff);
         for (aki, serial, cert_id) in &saved.index {
-            let cert = monitor
-                .get(cert_id)
-                .expect("checkpointed certificate exists in the monitor");
+            let cert = monitor.get(cert_id)?;
             state.index.insert((*aki, *serial), cert);
         }
         for (idx, rec) in crl.records().iter().enumerate() {
@@ -233,7 +236,7 @@ impl<'w> KcIncremental<'w> {
                     .push(idx);
             }
         }
-        state
+        Some(state)
     }
 }
 
@@ -265,10 +268,11 @@ pub struct RcIncremental<'w> {
     /// Interned e2LD table shared by both sides of the join.
     interner: DomainInterner,
     /// e2LD id → certificates naming it (arrival order; the merge sorts).
-    certs_by_e2ld: HashMap<u32, Vec<&'w DedupedCert>>,
+    /// Ordered so `save()` and `restore()` iterate deterministically.
+    certs_by_e2ld: BTreeMap<u32, Vec<&'w DedupedCert>>,
     /// e2LD id → every creation date observed, chronological. Entries
     /// after the first are registrant changes.
-    creations: HashMap<u32, Vec<Date>>,
+    creations: BTreeMap<u32, Vec<Date>>,
     /// Open staleness ledger: every spanning `(change, certificate)` match
     /// discovered so far, appended as the symmetric join finds it. Keeping
     /// the ledger online makes [`RcIncremental::finish`] an O(matches)
@@ -290,8 +294,8 @@ impl<'w> RcIncremental<'w> {
     pub fn new() -> Self {
         RcIncremental {
             interner: DomainInterner::new(),
-            certs_by_e2ld: HashMap::new(),
-            creations: HashMap::new(),
+            certs_by_e2ld: BTreeMap::new(),
+            creations: BTreeMap::new(),
             matches: Vec::new(),
         }
     }
@@ -359,8 +363,9 @@ impl<'w> RcIncremental<'w> {
     pub fn finish(&self) -> Vec<(DomainName, Date, StaleCertRecord)> {
         self.matches
             .iter()
-            .map(|(id, creation, record)| {
-                (self.interner.name(*id).clone(), *creation, record.clone())
+            .filter_map(|(id, creation, record)| {
+                let name = self.interner.name(*id)?;
+                Some((name.clone(), *creation, record.clone()))
             })
             .collect()
     }
@@ -370,18 +375,19 @@ impl<'w> RcIncremental<'w> {
         let mut certs_by_e2ld: Vec<(DomainName, Vec<CertId>)> = self
             .certs_by_e2ld
             .iter()
-            .map(|(id, certs)| {
-                (
-                    self.interner.name(*id).clone(),
-                    certs.iter().map(|c| c.cert_id).collect(),
-                )
+            .filter_map(|(id, certs)| {
+                let name = self.interner.name(*id)?;
+                Some((name.clone(), certs.iter().map(|c| c.cert_id).collect()))
             })
             .collect();
         certs_by_e2ld.sort_by(|a, b| a.0.cmp(&b.0));
         let mut creations: Vec<(DomainName, Vec<Date>)> = self
             .creations
             .iter()
-            .map(|(id, dates)| (self.interner.name(*id).clone(), dates.clone()))
+            .filter_map(|(id, dates)| {
+                let name = self.interner.name(*id)?;
+                Some((name.clone(), dates.clone()))
+            })
             .collect();
         creations.sort_by(|a, b| a.0.cmp(&b.0));
         SavedRc {
@@ -394,45 +400,47 @@ impl<'w> RcIncremental<'w> {
     /// match ledger is not checkpointed; it is re-derived here, once, from
     /// the restored join state (the full cross product of changes and
     /// certificates, exactly the pairs ingestion would have discovered).
+    /// `None` if the checkpoint names a certificate the monitor does not
+    /// hold — stale state from a different world is discarded.
     pub fn restore(
         saved: &SavedRc,
         monitor: &'w CtMonitor,
         detector: &RegistrantChangeDetector<'_>,
-    ) -> Self {
+    ) -> Option<Self> {
         let mut state = RcIncremental::new();
         for (domain, cert_ids) in &saved.certs_by_e2ld {
             let id = state.interner.intern(domain);
             let certs = cert_ids
                 .iter()
-                .map(|cid| {
-                    monitor
-                        .get(cid)
-                        .expect("checkpointed certificate exists in the monitor")
-                })
-                .collect();
+                .map(|cid| monitor.get(cid))
+                .collect::<Option<Vec<_>>>()?;
             state.certs_by_e2ld.insert(id, certs);
         }
         for (domain, dates) in &saved.creations {
             let id = state.interner.intern(domain);
             state.creations.insert(id, dates.clone());
         }
+        let mut matches = Vec::new();
         for (id, dates) in &state.creations {
             if dates.len() < 2 {
                 continue;
             }
-            let domain = state.interner.name(*id);
+            let Some(domain) = state.interner.name(*id) else {
+                continue;
+            };
             let Some(certs) = state.certs_by_e2ld.get(id) else {
                 continue;
             };
             for creation in dates.iter().skip(1) {
                 for cert in certs {
                     if let Some(record) = detector.stale_record(domain, *creation, cert) {
-                        state.matches.push((*id, *creation, record));
+                        matches.push((*id, *creation, record));
                     }
                 }
             }
         }
-        state
+        state.matches = matches;
+        Some(state)
     }
 }
 
@@ -454,7 +462,8 @@ pub struct MtdIncremental<'w> {
     /// Scan-target interner for the delegation status machine.
     interner: DomainInterner,
     /// Interned scan target → currently delegated to the provider.
-    delegated: HashMap<u32, bool>,
+    /// Ordered so `save()` iterates deterministically.
+    delegated: BTreeMap<u32, bool>,
     /// Open departure ledgers: customer → departure days (chronological),
     /// kept even before any certificate names the customer.
     departures: BTreeMap<DomainName, Vec<Date>>,
@@ -482,7 +491,7 @@ impl<'w> MtdIncremental<'w> {
         MtdIncremental {
             window,
             interner: DomainInterner::new(),
-            delegated: HashMap::new(),
+            delegated: BTreeMap::new(),
             departures: BTreeMap::new(),
             certs_by_customer: BTreeMap::new(),
         }
@@ -575,11 +584,13 @@ impl<'w> MtdIncremental<'w> {
         let mut delegated = Vec::new();
         let mut undelegated = Vec::new();
         for (id, on) in &self.delegated {
-            let name = self.interner.name(*id).clone();
+            let Some(name) = self.interner.name(*id) else {
+                continue;
+            };
             if *on {
-                delegated.push(name);
+                delegated.push(name.clone());
             } else {
-                undelegated.push(name);
+                undelegated.push(name.clone());
             }
         }
         delegated.sort();
@@ -601,7 +612,9 @@ impl<'w> MtdIncremental<'w> {
     }
 
     /// Rebuild from a checkpoint, re-resolving certificates by id.
-    pub fn restore(saved: &SavedMtd, monitor: &'w CtMonitor, window: DateInterval) -> Self {
+    /// `None` if the checkpoint names a certificate the monitor does not
+    /// hold — stale state from a different world is discarded.
+    pub fn restore(saved: &SavedMtd, monitor: &'w CtMonitor, window: DateInterval) -> Option<Self> {
         let mut state = MtdIncremental::new(window);
         for domain in &saved.delegated {
             let id = state.interner.intern(domain);
@@ -617,15 +630,11 @@ impl<'w> MtdIncremental<'w> {
         for (domain, cert_ids) in &saved.certs_by_customer {
             let certs = cert_ids
                 .iter()
-                .map(|cid| {
-                    monitor
-                        .get(cid)
-                        .expect("checkpointed certificate exists in the monitor")
-                })
-                .collect();
+                .map(|cid| monitor.get(cid))
+                .collect::<Option<Vec<_>>>()?;
             state.certs_by_customer.insert(domain.clone(), certs);
         }
-        state
+        Some(state)
     }
 }
 
@@ -655,7 +664,8 @@ mod tests {
     fn interner_is_stable_and_recoverable() {
         let i = interner_roundtrip();
         assert_eq!(i.len(), 2);
-        assert_eq!(i.name(1), &dn("b.com"));
+        assert_eq!(i.name(1), Some(&dn("b.com")));
+        assert_eq!(i.name(2), None);
         assert_eq!(i.get(&dn("a.com")), Some(0));
         assert_eq!(i.get(&dn("c.com")), None);
     }

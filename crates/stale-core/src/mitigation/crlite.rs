@@ -41,8 +41,17 @@ impl BloomFilter {
         let mut h = Sha256::new();
         h.update(&self.salt.to_be_bytes()).update(id.as_bytes());
         let digest = h.finalize();
-        let h1 = u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes"));
-        let h2 = u64::from_be_bytes(digest[8..16].try_into().expect("8 bytes")) | 1;
+        // Big-endian fold of digest[0..8] and digest[8..16] without the
+        // slice-length dance.
+        let (mut h1, mut h2) = (0u64, 0u64);
+        for (i, b) in digest.iter().enumerate().take(16) {
+            if i < 8 {
+                h1 = (h1 << 8) | u64::from(*b);
+            } else {
+                h2 = (h2 << 8) | u64::from(*b);
+            }
+        }
+        let h2 = h2 | 1;
         let m = self.bit_count;
         (0..self.hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % m)
     }

@@ -86,11 +86,11 @@ pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
 /// Render an (x, y in \[0,1\]) curve — a CDF or survival function — as a
 /// fixed-height ASCII plot with `cols` sample columns.
 pub fn curve_plot(points: &[(i64, f64)], cols: usize, rows: usize) -> String {
-    if points.is_empty() {
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
         return String::from("(no data)\n");
-    }
-    let x_min = points.first().expect("non-empty").0;
-    let x_max = points.last().expect("non-empty").0.max(x_min + 1);
+    };
+    let x_min = first.0;
+    let x_max = last.0.max(x_min + 1);
     // Sample the step function at `cols` x positions.
     let sample = |x: i64| -> f64 {
         let idx = points.partition_point(|(px, _)| *px <= x);

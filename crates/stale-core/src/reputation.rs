@@ -76,12 +76,14 @@ pub fn reputation_report(
         // Temporal correlation: the malicious activity must have been
         // first seen before the registrant change (i.e. attributable to
         // the prior owner, whose key access the stale cert extends).
-        let change = records
+        let Some(change) = records
             .iter()
             .filter(|r| r.domain == *domain)
             .map(|r| r.invalidation)
             .min()
-            .expect("domain came from records");
+        else {
+            continue; // domain set is drawn from records
+        };
         if rep.first_submission > change {
             continue;
         }

@@ -175,7 +175,9 @@ impl GroupedMonthlySeries {
         }
         let mut other = self.groups.remove("Other").unwrap_or_default();
         for key in small {
-            let series = self.groups.remove(&key).expect("listed");
+            let Some(series) = self.groups.remove(&key) else {
+                continue; // keys were just enumerated from the map
+            };
             for (ym, count) in series.rows() {
                 if count > 0 {
                     other.add_n(ym.first_day(), count);

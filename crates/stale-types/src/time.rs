@@ -107,7 +107,7 @@ impl YearMonth {
 
     /// Number of months between `self` and `other` (`other - self`).
     pub fn months_until(self, other: YearMonth) -> i32 {
-        (other.year - self.year) * 12 + (other.month as i32 - self.month as i32)
+        (other.year - self.year) * 12 + (i32::from(other.month) - i32::from(self.month))
     }
 }
 
@@ -291,7 +291,10 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
     let y = if m <= 2 { y + 1 } else { y };
-    (y as i32, m as u8, d as u8)
+    let year = i32::try_from(y).unwrap_or(if y < 0 { i32::MIN } else { i32::MAX });
+    // m ∈ [1, 12] and d ∈ [1, 31] by the bracketed bounds above — these
+    // casts cannot truncate.
+    (year, m as u8, d as u8) // stale-lint: allow(lossy-time-cast)
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! Serialized world bundles: a [`WorldDatasets`] snapshot on disk.
+//!
+//! A bundle captures everything the measurement pipeline consumes —
+//! certificates as DER, the CRL feed, per-domain WHOIS creation-date
+//! histories and DNS change logs — plus the windows and the structural
+//! fingerprint, in a stable JSON form. `stale-lint preflight` validates a
+//! bundle *before* any detector runs: the fingerprint is recomputable
+//! from the payload ([`WorldBundle::recompute_fingerprint`]), so a
+//! truncated or bit-flipped file fails with a named diagnostic instead
+//! of a panic or a silently-wrong report.
+
+use ct::monitor::DedupedCert;
+use dns::scan::DnsView;
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DateInterval, DomainName};
+
+use crate::datasets::{fold_fingerprint, WorldDatasets};
+
+pub use ca::scraper::RevocationRecord;
+
+/// One certificate in a bundle: the DER body plus its CT observability.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleCert {
+    /// Hex-encoded DER of the full certificate.
+    pub der: String,
+    /// First CT observation day.
+    pub first_seen: Date,
+    /// Raw CT entries deduplicated into this certificate.
+    pub entry_count: usize,
+}
+
+/// A complete serialized world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorldBundle {
+    /// Schema version; see [`WorldBundle::VERSION`].
+    pub version: u32,
+    /// Structural fingerprint of the datasets (same fold the engine's
+    /// checkpoints use).
+    pub fingerprint: u64,
+    /// Simulated window.
+    pub sim_window: DateInterval,
+    /// aDNS scan window.
+    pub adns_window: DateInterval,
+    /// CRL collection window.
+    pub crl_window: DateInterval,
+    /// Raw CT log entries before dedup.
+    pub ct_raw_entries: usize,
+    /// Number of CT logs.
+    pub ct_log_count: usize,
+    /// Deduplicated CT corpus.
+    pub certs: Vec<BundleCert>,
+    /// CRL revocation records.
+    pub crl: Vec<RevocationRecord>,
+    /// Per-domain WHOIS creation-date histories (chronological).
+    pub whois: Vec<(DomainName, Vec<Date>)>,
+    /// Per-domain DNS change logs (chronological).
+    pub dns: Vec<(DomainName, Vec<(Date, DnsView)>)>,
+}
+
+impl WorldBundle {
+    /// Current bundle schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Snapshot a dataset bundle. Certificates, domains and logs are
+    /// emitted in a deterministic order so identical worlds serialize to
+    /// identical bytes.
+    pub fn from_datasets(data: &WorldDatasets) -> Self {
+        let mut certs: Vec<BundleCert> = data
+            .monitor
+            .corpus_unfiltered()
+            .map(|c: &DedupedCert| BundleCert {
+                der: encode_hex(&c.certificate.encode()),
+                first_seen: c.first_seen,
+                entry_count: c.entry_count,
+            })
+            .collect();
+        certs.sort_by(|a, b| (a.first_seen, &a.der).cmp(&(b.first_seen, &b.der)));
+
+        let mut whois_domains: Vec<&DomainName> =
+            data.whois.observations().map(|(d, _)| d).collect();
+        whois_domains.sort();
+        whois_domains.dedup();
+        let whois = whois_domains
+            .into_iter()
+            .map(|d| (d.clone(), data.whois.creation_dates(d).to_vec()))
+            .collect();
+
+        let mut dns_domains: Vec<&DomainName> = data.adns.domains().collect();
+        dns_domains.sort();
+        let dns = dns_domains
+            .into_iter()
+            .map(|d| (d.clone(), data.adns.change_log(d).to_vec()))
+            .collect();
+
+        Self {
+            version: Self::VERSION,
+            fingerprint: data.fingerprint(),
+            sim_window: data.sim_window,
+            adns_window: data.adns_window,
+            crl_window: data.crl_window,
+            ct_raw_entries: data.ct_raw_entries,
+            ct_log_count: data.ct_log_count,
+            certs,
+            crl: data.crl.records().to_vec(),
+            whois,
+            dns,
+        }
+    }
+
+    /// Recompute the structural fingerprint from the payload — the same
+    /// fold [`WorldDatasets::fingerprint`] performs over the live
+    /// datasets. A mismatch against the recorded `fingerprint` field
+    /// means the payload was altered after serialization.
+    pub fn recompute_fingerprint(&self) -> u64 {
+        fold_fingerprint(
+            self.certs.len(),
+            self.ct_raw_entries,
+            self.ct_log_count,
+            self.crl.len(),
+            self.whois.iter().map(|(_, dates)| dates.len()).sum(),
+            self.whois.len(),
+            self.dns.len(),
+            [self.sim_window, self.adns_window, self.crl_window],
+        )
+    }
+}
+
+/// Lowercase hex encoding.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode lowercase/uppercase hex; `None` on odd length or a non-hex
+/// digit.
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        let hex = encode_hex(&data);
+        assert_eq!(hex, "00017f80ff");
+        assert_eq!(decode_hex(&hex).unwrap(), data);
+        assert_eq!(decode_hex("0"), None);
+        assert_eq!(decode_hex("zz"), None);
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -83,35 +83,64 @@ pub struct DatasetSummary {
     pub rows: Vec<(String, String, String)>,
 }
 
+/// Fold the structural fingerprint from its raw components — FNV-1a over
+/// dataset sizes and window bounds. Shared between
+/// [`WorldDatasets::fingerprint`] (live datasets) and
+/// [`crate::bundle::WorldBundle::recompute_fingerprint`] (serialized
+/// payload), so preflight can verify a bundle without rebuilding the
+/// world.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_fingerprint(
+    dedup_count: usize,
+    ct_raw_entries: usize,
+    ct_log_count: usize,
+    crl_len: usize,
+    whois_records: usize,
+    whois_domains: usize,
+    adns_domains: usize,
+    windows: [DateInterval; 3],
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(dedup_count as u64);
+    mix(ct_raw_entries as u64);
+    mix(ct_log_count as u64);
+    mix(crl_len as u64);
+    mix(whois_records as u64);
+    mix(whois_domains as u64);
+    mix(adns_domains as u64);
+    for window in windows {
+        for date in [window.start, window.end] {
+            let (y, m, d) = date.ymd();
+            mix(((y as u64) << 16) | ((m as u64) << 8) | d as u64);
+        }
+    }
+    h
+}
+
 impl WorldDatasets {
     /// A cheap structural fingerprint of the dataset bundle, used by the
     /// engine's checkpoint files to refuse resuming against a different
     /// world. Folds dataset sizes and window bounds through FNV-1a; it is
     /// not cryptographic and does not hash certificate bodies.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for byte in v.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        mix(self.monitor.dedup_count() as u64);
-        mix(self.ct_raw_entries as u64);
-        mix(self.ct_log_count as u64);
-        mix(self.crl.len() as u64);
-        mix(self.whois.record_count() as u64);
-        mix(self.whois.domain_count() as u64);
-        mix(self.adns.domain_count() as u64);
-        for window in [self.sim_window, self.adns_window, self.crl_window] {
-            for date in [window.start, window.end] {
-                let (y, m, d) = date.ymd();
-                mix(((y as u64) << 16) | ((m as u64) << 8) | d as u64);
-            }
-        }
-        h
+        fold_fingerprint(
+            self.monitor.dedup_count(),
+            self.ct_raw_entries,
+            self.ct_log_count,
+            self.crl.len(),
+            self.whois.record_count(),
+            self.whois.domain_count(),
+            self.adns.domain_count(),
+            [self.sim_window, self.adns_window, self.crl_window],
+        )
     }
 
     /// Build the Table 3 summary.

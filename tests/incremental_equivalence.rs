@@ -107,6 +107,29 @@ fn checkpoint_resume_mid_stream_is_byte_identical() {
         assert!(partial.metrics.resumed_shards == 0);
         assert!(path.exists(), "checkpoint written");
 
+        // The v2 snapshot itself is deterministic — detector state is
+        // saved through sorted iteration, so an identical first-half run
+        // writes byte-identical checkpoint state — and it satisfies every
+        // stale-lint preflight invariant (shard order, sorted domain
+        // tables, monotone ledgers).
+        let snapshot = std::fs::read_to_string(&path).expect("read checkpoint");
+        let diags = stale_lint::preflight::preflight_str("checkpoint", &snapshot);
+        assert!(diags.is_empty(), "checkpoint preflight: {diags:?}");
+        let rerun_path = dir.join(format!("ckpt_{shards}_rerun.json"));
+        let _ = std::fs::remove_file(&rerun_path);
+        let mut rerun = incremental_config(shards, 7);
+        rerun.checkpoint = Some(rerun_path.clone());
+        rerun.through = Some(midpoint);
+        Engine::new(rerun)
+            .run_incremental(&data, &psl)
+            .expect("rerun of first half");
+        assert_eq!(
+            std::fs::read_to_string(&rerun_path).expect("read rerun checkpoint"),
+            snapshot,
+            "checkpoint snapshot bytes differ across identical runs (shards={shards})"
+        );
+        let _ = std::fs::remove_file(&rerun_path);
+
         // Second half: a fresh engine resumes from the checkpoint and
         // drains the rest of the feed.
         let mut second = incremental_config(shards, 7);
@@ -157,6 +180,12 @@ proptest! {
             first.checkpoint = Some(path.clone());
             first.through = Some(midpoint);
             Engine::new(first).run_incremental(&data, &psl).expect("partial");
+            // Whatever world the generator produced, the mid-stream state
+            // snapshot upholds the preflight invariants (sorted shard
+            // state, monotone ledgers) that resume depends on.
+            let snapshot = std::fs::read_to_string(&path).expect("read checkpoint");
+            let ckpt_diags = stale_lint::preflight::preflight_str("checkpoint", &snapshot);
+            prop_assert!(ckpt_diags.is_empty(), "checkpoint preflight: {:?}", ckpt_diags);
             let mut second = incremental_config(shards, 1);
             second.checkpoint = Some(path.clone());
             let resumed = Engine::new(second)
