@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices called out in DESIGN.md §7.
+//! Ablation studies for the design choices called out in DESIGN.md §8.
 //!
 //! Each function implements both sides of a design decision so the
 //! Criterion benches (and tests) can compare them on identical inputs:

@@ -5,6 +5,7 @@
 //!       [--checkpoint FILE] [--fail-shard K]...
 //!       [--incremental] [--through DATE] [--day-batch N]
 //!       [--checkpoint-every N] [--preflight] [--export-bundle FILE]
+//!       [--trace-out FILE] [--metrics-json FILE] [--metrics-prom FILE]
 //!
 //! presets:     paper (default) | small | tiny
 //! experiments: table3 table4 table5 table6 table7
@@ -33,6 +34,15 @@
 //!              --export-bundle FILE
 //!                               serialize the simulated world as a JSON
 //!                               bundle for `stale-lint preflight`
+//! observability:
+//!              --trace-out F    enable span tracing, write the trace as
+//!                               JSONL to F, and print the span tree to
+//!                               stderr after the run
+//!              --metrics-json F write the metrics registry (stage walls,
+//!                               shard latency histograms, detector item
+//!                               counters) as stable-schema JSON to F
+//!              --metrics-prom F write the same registry as Prometheus
+//!                               text exposition to F
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 when any shard degraded or an engine
@@ -51,6 +61,9 @@ fn main() {
     let mut incremental = false;
     let mut preflight = false;
     let mut export_bundle: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_prom: Option<String> = None;
     let mut args_iter = args.iter().peekable();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
@@ -93,6 +106,27 @@ fn main() {
                 export_bundle = args_iter.next().cloned();
                 if export_bundle.is_none() {
                     eprintln!("--export-bundle needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--trace-out" => {
+                trace_out = args_iter.next().cloned();
+                if trace_out.is_none() {
+                    eprintln!("--trace-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--metrics-json" => {
+                metrics_json = args_iter.next().cloned();
+                if metrics_json.is_none() {
+                    eprintln!("--metrics-json needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--metrics-prom" => {
+                metrics_prom = args_iter.next().cloned();
+                if metrics_prom.is_none() {
+                    eprintln!("--metrics-prom needs a file path");
                     std::process::exit(2);
                 }
             }
@@ -151,9 +185,23 @@ fn main() {
         engine_cfg.shards,
         engine_cfg.effective_workers(),
     );
+    // Span tracing has buffer costs, so it is opt-in via --trace-out;
+    // the counter/histogram registry always accumulates and is exported
+    // only when a --metrics-* flag asks for it.
+    let obs = if trace_out.is_some() {
+        obs::Obs::enabled()
+    } else {
+        obs::Obs::disabled()
+    };
     let started = std::time::Instant::now();
-    let (data, psl) = Experiments::build_world(cfg);
+    let (data, psl) = {
+        let mut span = obs.span("world.build");
+        let (data, psl) = Experiments::build_world(cfg);
+        span.count("certs", data.monitor.dedup_count() as u64);
+        (data, psl)
+    };
     if preflight || export_bundle.is_some() {
+        let mut span = obs.span("bundle.export");
         let bundle = worldsim::WorldBundle::from_datasets(&data);
         let json = match serde_json::to_string_pretty(&bundle) {
             Ok(j) => j,
@@ -162,6 +210,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        span.count("bytes", json.len() as u64);
         if let Some(path) = &export_bundle {
             if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("cannot write bundle to {path}: {e}");
@@ -170,10 +219,12 @@ fn main() {
             eprintln!("wrote world bundle to {path}");
         }
         if preflight {
+            let mut span = obs.span("preflight");
             let mut diags = stale_lint::preflight::preflight_str("world-bundle", &json);
             if let Some(path) = engine_cfg.checkpoint.as_deref().filter(|p| p.exists()) {
                 diags.extend(stale_lint::preflight::preflight_path(path));
             }
+            span.count("diagnostics", diags.len() as u64);
             if diags.is_empty() {
                 eprintln!("preflight: inputs clean");
             } else {
@@ -184,9 +235,9 @@ fn main() {
         }
     }
     let run = match if incremental {
-        Experiments::with_engine_incremental_on(data, psl, engine_cfg)
+        Experiments::with_engine_incremental_on_obs(data, psl, engine_cfg, obs.clone())
     } else {
-        Experiments::with_engine_on(data, psl, engine_cfg)
+        Experiments::with_engine_on_obs(data, psl, engine_cfg, obs.clone())
     } {
         Ok(run) => run,
         Err(e) => {
@@ -240,6 +291,30 @@ fn main() {
         }
     }
     eprint!("{}", run.metrics.render_table());
+    // Observability exports happen even when shards degraded — a
+    // degraded run is exactly the one worth inspecting afterwards.
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, obs.trace.to_jsonl()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote span trace to {path}");
+        eprint!("{}", obs.trace.render_tree());
+    }
+    if let Some(path) = &metrics_json {
+        if let Err(e) = std::fs::write(path, obs.registry.export_json()) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote metrics JSON to {path}");
+    }
+    if let Some(path) = &metrics_prom {
+        if let Err(e) = std::fs::write(path, obs.registry.export_prom()) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote Prometheus metrics to {path}");
+    }
     for d in &run.degraded {
         eprintln!(
             "DEGRADED shard {} after {} attempt(s): {}",

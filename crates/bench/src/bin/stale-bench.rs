@@ -1,0 +1,126 @@
+//! `stale-bench` — bench-trajectory tooling.
+//!
+//! ```text
+//! stale-bench compare <BASELINE> <CURRENT> [--threshold 0.25]
+//!                     [--min-wall-us 1000] [--out BENCH_obs.json] [--json]
+//! ```
+//!
+//! `BASELINE` and `CURRENT` are metrics-JSON exports from
+//! `repro --metrics-json` — or previous `BENCH_obs.json` comparison
+//! artifacts, whose embedded `current` snapshot is used (so CI can chain
+//! the committed artifact run over run). Exit codes: 0 clean, 1 at least
+//! one stage regressed beyond the threshold, 2 usage/IO error.
+
+use stale_bench::compare::{compare, parse_snapshot, DEFAULT_MIN_WALL_US, DEFAULT_THRESHOLD};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: stale-bench compare <BASELINE> <CURRENT> [--threshold FRACTION] \
+     [--min-wall-us US] [--out PATH] [--json]\n\
+     \n\
+     Diff two metrics-JSON exports (repro --metrics-json) stage by stage.\n\
+     A stage regresses when its wall time exceeds baseline * (1 + threshold)\n\
+     and the baseline is at least the noise floor. Either input may be a\n\
+     previous comparison artifact (its embedded `current` is used).\n\
+     Exit: 0 clean, 1 regression(s), 2 error."
+        .to_string()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("stale-bench: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "compare" {
+        return fail(&format!("unknown subcommand {cmd:?}\n{}", usage()));
+    }
+
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut min_wall_us = DEFAULT_MIN_WALL_US;
+    let mut out_path: Option<String> = None;
+    let mut emit_json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail("--threshold needs a fractional value (e.g. 0.25)");
+                };
+                if !v.is_finite() || v < 0.0 {
+                    return fail("--threshold must be a non-negative finite fraction");
+                }
+                threshold = v;
+            }
+            "--min-wall-us" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return fail("--min-wall-us needs an integer microsecond value");
+                };
+                min_wall_us = v;
+            }
+            "--out" => {
+                let Some(v) = it.next() else {
+                    return fail("--out needs a path");
+                };
+                out_path = Some(v.clone());
+            }
+            "--json" => emit_json = true,
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return fail(&format!("compare needs exactly two inputs\n{}", usage()));
+    };
+
+    let read = |path: &str| -> Result<obs::MetricsSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = match read(baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let current = match read(current_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+
+    let cmp = compare(&baseline, &current, threshold, min_wall_us);
+    let artifact = serde_json::to_string_pretty(&cmp);
+    if let Some(path) = &out_path {
+        let artifact = match &artifact {
+            Ok(a) => a,
+            Err(e) => return fail(&format!("cannot serialize comparison: {e:?}")),
+        };
+        if let Err(e) = std::fs::write(path, format!("{artifact}\n")) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    if emit_json {
+        match &artifact {
+            Ok(a) => println!("{a}"),
+            Err(e) => return fail(&format!("cannot serialize comparison: {e:?}")),
+        }
+    } else {
+        print!("{}", cmp.render_human());
+    }
+
+    if cmp.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

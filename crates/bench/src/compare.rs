@@ -1,0 +1,276 @@
+//! Run-over-run metrics comparison: the machinery behind
+//! `stale-bench compare`.
+//!
+//! Two metrics-JSON exports (see `obs::metrics::METRICS_SCHEMA`, emitted
+//! by `repro --metrics-json`) are diffed stage by stage: every counter
+//! ending in `.wall_us` is a stage wall time, and a stage regresses when
+//! its current wall exceeds the baseline by more than `threshold`
+//! (fractional; 0.25 = +25%). Stages whose baseline wall is below
+//! `min_wall_us` are exempt — microsecond-scale stages are all jitter.
+//!
+//! The result serializes as `BENCH_obs.json` (schema
+//! [`COMPARE_SCHEMA`]), which doubles as the committed CI baseline: it
+//! embeds the `current` snapshot, so the next comparison can chain off a
+//! previous comparison file directly ([`parse_snapshot`] accepts either
+//! form).
+
+use obs::metrics::METRICS_SCHEMA;
+use obs::MetricsSnapshot as Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of the comparison artifact.
+pub const COMPARE_SCHEMA: &str = "stale-bench-obs";
+/// Current comparison schema version.
+pub const COMPARE_VERSION: u32 = 1;
+
+/// Default regression threshold: +25% stage wall.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+/// Default noise floor: stages under 1 ms baseline wall are exempt.
+pub const DEFAULT_MIN_WALL_US: u64 = 1_000;
+
+/// One stage's baseline-vs-current wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDelta {
+    /// Counter name (e.g. `engine.stage.detect.wall_us`).
+    pub name: String,
+    /// Baseline wall, microseconds (0 if the stage is new).
+    pub baseline_us: u64,
+    /// Current wall, microseconds (0 if the stage disappeared).
+    pub current_us: u64,
+    /// current / max(baseline, 1) — finite even for new stages.
+    pub ratio: f64,
+    /// Whether this stage regressed beyond the threshold (and its
+    /// baseline cleared the noise floor).
+    pub regressed: bool,
+}
+
+/// The whole comparison, as written to `BENCH_obs.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Always [`COMPARE_SCHEMA`].
+    pub schema: String,
+    /// Always [`COMPARE_VERSION`].
+    pub version: u32,
+    /// Regression threshold used (fractional).
+    pub threshold: f64,
+    /// Noise floor used, microseconds.
+    pub min_wall_us: u64,
+    /// Per-stage deltas, name-sorted.
+    pub stages: Vec<StageDelta>,
+    /// Count of regressed stages.
+    pub regressions: usize,
+    /// The baseline snapshot compared against.
+    pub baseline: Snapshot,
+    /// The current snapshot — the next run's baseline.
+    pub current: Snapshot,
+}
+
+impl Comparison {
+    /// Whether the run is clean (no stage regressed).
+    pub fn is_clean(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// Human-readable summary table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stage wall-time comparison (threshold +{:.0}%, floor {} µs)\n",
+            self.threshold * 100.0,
+            self.min_wall_us
+        ));
+        out.push_str("  stage                                baseline     current   ratio\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<36} {:>9} µs {:>9} µs  {:>5.2}x{}\n",
+                s.name,
+                s.baseline_us,
+                s.current_us,
+                s.ratio,
+                if s.regressed { "  REGRESSED" } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  {} stage(s), {} regression(s)\n",
+            self.stages.len(),
+            self.regressions
+        ));
+        out
+    }
+}
+
+/// Diff two snapshots' stage wall counters. `threshold` is fractional
+/// (0.25 = +25%); baselines below `min_wall_us` never flag.
+pub fn compare(
+    baseline: &Snapshot,
+    current: &Snapshot,
+    threshold: f64,
+    min_wall_us: u64,
+) -> Comparison {
+    let is_stage_wall = |name: &str| name.ends_with(".wall_us");
+    let mut names: Vec<String> = baseline
+        .counters
+        .keys()
+        .chain(current.counters.keys())
+        .filter(|n| is_stage_wall(n))
+        .cloned()
+        .collect();
+    names.sort();
+    names.dedup();
+
+    let mut stages = Vec::with_capacity(names.len());
+    let mut regressions = 0usize;
+    for name in names {
+        let baseline_us = baseline.counters.get(&name).copied().unwrap_or(0);
+        let current_us = current.counters.get(&name).copied().unwrap_or(0);
+        // max(baseline, 1) keeps the ratio finite for new stages; the
+        // serde shim renders non-finite floats as null, so an infinite
+        // ratio would corrupt the artifact.
+        let ratio = current_us as f64 / baseline_us.max(1) as f64;
+        let regressed = baseline_us >= min_wall_us
+            && (current_us as f64) > (baseline_us as f64) * (1.0 + threshold);
+        if regressed {
+            regressions += 1;
+        }
+        stages.push(StageDelta {
+            name,
+            baseline_us,
+            current_us,
+            ratio,
+            regressed,
+        });
+    }
+    Comparison {
+        schema: COMPARE_SCHEMA.to_string(),
+        version: COMPARE_VERSION,
+        threshold,
+        min_wall_us,
+        stages,
+        regressions,
+        baseline: baseline.clone(),
+        current: current.clone(),
+    }
+}
+
+/// Parse a metrics snapshot out of `text`: either a raw metrics-JSON
+/// export, or a previous comparison artifact (whose embedded `current`
+/// snapshot becomes the baseline — this is how CI chains run over run).
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    if let Ok(snap) = serde_json::from_str::<Snapshot>(text) {
+        if snap.schema == METRICS_SCHEMA {
+            return Ok(snap);
+        }
+    }
+    if let Ok(cmp) = serde_json::from_str::<Comparison>(text) {
+        if cmp.schema == COMPARE_SCHEMA {
+            return Ok(cmp.current);
+        }
+    }
+    Err(format!(
+        "not a {METRICS_SCHEMA} snapshot or {COMPARE_SCHEMA} comparison"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Registry;
+
+    fn snapshot(stages: &[(&str, u64)]) -> Snapshot {
+        let reg = Registry::new();
+        for (name, wall) in stages {
+            reg.add(&format!("engine.stage.{name}.wall_us"), *wall);
+            reg.add(&format!("engine.stage.{name}.items_in"), 10);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let a = snapshot(&[("partition", 50_000), ("detect", 400_000)]);
+        let cmp = compare(&a, &a, DEFAULT_THRESHOLD, DEFAULT_MIN_WALL_US);
+        assert!(cmp.is_clean());
+        assert_eq!(cmp.stages.len(), 2);
+        assert!(cmp.stages.iter().all(|s| (s.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn detects_injected_synthetic_regression() {
+        // The acceptance-criterion case: inflate one stage's wall by 40%
+        // over a 25% threshold and the comparison must flag exactly it.
+        let baseline = snapshot(&[
+            ("partition", 50_000),
+            ("detect", 400_000),
+            ("merge", 20_000),
+        ]);
+        let current = snapshot(&[
+            ("partition", 50_000),
+            ("detect", 560_000),
+            ("merge", 20_000),
+        ]);
+        let cmp = compare(&baseline, &current, 0.25, DEFAULT_MIN_WALL_US);
+        assert!(!cmp.is_clean());
+        assert_eq!(cmp.regressions, 1);
+        let detect = cmp
+            .stages
+            .iter()
+            .find(|s| s.name == "engine.stage.detect.wall_us")
+            .expect("detect stage present");
+        assert!(detect.regressed);
+        assert!((detect.ratio - 1.4).abs() < 1e-9);
+        assert!(cmp
+            .stages
+            .iter()
+            .filter(|s| s.name != "engine.stage.detect.wall_us")
+            .all(|s| !s.regressed));
+    }
+
+    #[test]
+    fn noise_floor_exempts_tiny_stages() {
+        // 10 µs → 100 µs is a 10x blowup but below the 1 ms floor.
+        let baseline = snapshot(&[("merge", 10)]);
+        let current = snapshot(&[("merge", 100)]);
+        let cmp = compare(&baseline, &current, 0.25, DEFAULT_MIN_WALL_US);
+        assert!(cmp.is_clean());
+        assert!((cmp.stages[0].ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_and_vanished_stages_have_finite_ratios() {
+        let baseline = snapshot(&[("detect", 100_000)]);
+        let current = snapshot(&[("ingest", 100_000)]);
+        let cmp = compare(&baseline, &current, 0.25, DEFAULT_MIN_WALL_US);
+        assert!(cmp.stages.iter().all(|s| s.ratio.is_finite()));
+        // A brand-new stage has no baseline to regress from.
+        assert!(cmp.is_clean());
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_chains_as_baseline() {
+        let baseline = snapshot(&[("detect", 100_000)]);
+        let current = snapshot(&[("detect", 110_000)]);
+        let cmp = compare(&baseline, &current, 0.25, DEFAULT_MIN_WALL_US);
+        let json = serde_json::to_string_pretty(&cmp).expect("serializes");
+        let parsed: Comparison = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed, cmp);
+        // parse_snapshot on the artifact yields its `current` snapshot.
+        let chained = parse_snapshot(&json).expect("chains");
+        assert_eq!(chained, current);
+        // ... and on a raw export yields the export.
+        let raw = serde_json::to_string(&baseline).expect("serializes");
+        assert_eq!(parse_snapshot(&raw).expect("raw"), baseline);
+        // Garbage is an error.
+        assert!(parse_snapshot("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn render_human_names_regressions() {
+        let baseline = snapshot(&[("detect", 100_000)]);
+        let current = snapshot(&[("detect", 200_000)]);
+        let cmp = compare(&baseline, &current, 0.25, DEFAULT_MIN_WALL_US);
+        let text = cmp.render_human();
+        assert!(text.contains("engine.stage.detect.wall_us"));
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("1 regression(s)"));
+    }
+}

@@ -76,7 +76,20 @@ impl Experiments {
         psl: SuffixList,
         engine_cfg: EngineConfig,
     ) -> Result<EngineRun, EngineError> {
-        let report = Engine::new(engine_cfg).run(&data, &psl)?;
+        Experiments::with_engine_on_obs(data, psl, engine_cfg, obs::Obs::disabled())
+    }
+
+    /// [`Experiments::with_engine_on`] with an observability bundle
+    /// attached: the caller keeps a clone of `obs` to export the trace
+    /// and metrics after the run. Results are byte-identical with any
+    /// bundle (observability is write-only from the engine's side).
+    pub fn with_engine_on_obs(
+        data: WorldDatasets,
+        psl: SuffixList,
+        engine_cfg: EngineConfig,
+        obs: obs::Obs,
+    ) -> Result<EngineRun, EngineError> {
+        let report = Engine::new(engine_cfg).with_obs(obs).run(&data, &psl)?;
         Ok(EngineRun {
             experiments: Experiments {
                 data,
@@ -110,7 +123,20 @@ impl Experiments {
         psl: SuffixList,
         engine_cfg: EngineConfig,
     ) -> Result<EngineRun, EngineError> {
-        let report = Engine::new(engine_cfg).run_incremental(&data, &psl)?;
+        Experiments::with_engine_incremental_on_obs(data, psl, engine_cfg, obs::Obs::disabled())
+    }
+
+    /// [`Experiments::with_engine_incremental_on`] with an observability
+    /// bundle attached (see [`Experiments::with_engine_on_obs`]).
+    pub fn with_engine_incremental_on_obs(
+        data: WorldDatasets,
+        psl: SuffixList,
+        engine_cfg: EngineConfig,
+        obs: obs::Obs,
+    ) -> Result<EngineRun, EngineError> {
+        let report = Engine::new(engine_cfg)
+            .with_obs(obs)
+            .run_incremental(&data, &psl)?;
         Ok(EngineRun {
             experiments: Experiments {
                 data,

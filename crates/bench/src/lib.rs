@@ -9,6 +9,7 @@
 //! crossovers) is visible at a glance. The `repro` binary drives them.
 
 pub mod ablate;
+pub mod compare;
 pub mod experiments;
 pub mod paper;
 

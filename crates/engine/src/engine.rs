@@ -2,9 +2,10 @@
 
 use crate::checkpoint::{Checkpoint, CompletedShard, ShardOutput};
 use crate::config::EngineConfig;
-use crate::metrics::{EngineMetrics, ShardMetrics, StageMetrics};
+use crate::metrics::{DegradedShardMetrics, EngineMetrics, ShardMetrics, StageMetrics};
 use crate::partition::{mtd_routing_key, partition, shard_of, ShardInput};
 use crate::supervisor::{run_shards, DegradedShard};
+use obs::{Obs, Registry, SpanId};
 use psl::SuffixList;
 use stale_core::detector::key_compromise::{self, RevocationAnalysis};
 use stale_core::detector::managed_tls::{self, ManagedTlsDetector};
@@ -64,12 +65,16 @@ impl EngineReport {
 /// the determinism guarantee.
 pub struct Engine {
     pub(crate) config: EngineConfig,
+    pub(crate) obs: Obs,
 }
 
 impl Engine {
-    /// Build with a configuration.
+    /// Build with a configuration (tracing off).
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            obs: Obs::disabled(),
+        }
     }
 
     /// Convenience: default configuration at `shards`.
@@ -77,37 +82,69 @@ impl Engine {
         Engine::new(EngineConfig::with_shards(shards))
     }
 
+    /// Attach an observability bundle (shared tracer + registry). The
+    /// caller keeps a clone to render/export after the run; observability
+    /// is write-only from the engine's side and never alters results.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The run's observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Run the three detectors over `data`, sharded per the
     /// configuration, and merge deterministically.
     pub fn run(&self, data: &WorldDatasets, psl: &SuffixList) -> Result<EngineReport, EngineError> {
+        let obs = &self.obs;
+        let mut root = obs.span("engine.run");
         let n = self.config.shards.max(1);
+        root.count("shards", n as u64);
         let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
 
         // Stage 1: partition.
         let partition_start = Instant::now();
+        let mut partition_span = root.child("partition");
         let parts = partition(data, psl, n);
         let routed: usize = parts.shards.iter().map(ShardInput::items).sum();
+        partition_span.count("routed", routed as u64);
+        drop(partition_span);
         let stage_partition = StageMetrics {
             name: "partition".to_string(),
             wall_us: partition_start.elapsed().as_micros() as u64,
             items_in: parts.corpus_size + parts.change_count,
             items_out: routed,
         };
+        record_stage(&obs.registry, &stage_partition);
 
         // Checkpoint: restore completed shards, run the rest.
         let fingerprint = data.fingerprint();
+        let mut restore_span = root.child("checkpoint.restore");
         let mut checkpoint = match &self.config.checkpoint {
             Some(path) => Checkpoint::load_or_new(path, fingerprint, n),
             None => Checkpoint::new(fingerprint, n),
         };
         let resumed_shards = checkpoint.completed.len();
+        restore_span.count("resumed_shards", resumed_shards as u64);
+        drop(restore_span);
+        obs.registry
+            .add("engine.resumed_shards", resumed_shards as u64);
+        if resumed_shards > 0 {
+            obs.registry.add("checkpoint.restores", 1);
+        }
         let jobs: Vec<usize> = (0..n).filter(|s| !checkpoint.has(*s)).collect();
 
-        // Stage 2: detect, on the worker pool.
+        // Stage 2: detect, on the worker pool. Each attempt runs under
+        // its own span (child of the detect span, created by the
+        // supervisor); the detector stages nest under the attempt.
         let detect_start = Instant::now();
+        let detect_span = root.child("detect");
+        let detect_id = detect_span.id();
         let config = &self.config;
         let shard_inputs = &parts.shards;
-        let run_shard = |shard: usize, attempt: u32| -> (ShardOutput, ShardMetrics) {
+        let run_shard = |shard: usize, attempt: u32, span: SpanId| -> (ShardOutput, ShardMetrics) {
             if config.fail_shards.contains(&shard)
                 || (config.fail_once_shards.contains(&shard) && attempt == 1)
             {
@@ -116,13 +153,15 @@ impl Engine {
                 // stale-lint: allow(panic-in-shard)
                 panic!("injected failure in shard {shard} (attempt {attempt})");
             }
-            run_one_shard(&shard_inputs[shard], data, psl, n, attempt)
+            run_one_shard(&shard_inputs[shard], data, psl, n, attempt, obs, span)
         };
 
         let mut checkpoint_error: Option<std::io::Error> = None;
         let (results, degraded, queue_depths) = run_shards(
             jobs,
             config.effective_workers(),
+            obs,
+            detect_id,
             run_shard,
             |shard, attempts, value: &(ShardOutput, ShardMetrics)| {
                 let (output, metrics) = value;
@@ -134,13 +173,22 @@ impl Engine {
                     metrics,
                 });
                 if let Some(path) = &config.checkpoint {
+                    let save_start = Instant::now();
                     if let Err(e) = checkpoint.save(path) {
                         checkpoint_error.get_or_insert(e);
                     }
+                    obs.registry.add("checkpoint.saves", 1);
+                    obs.registry.observe_latency_us(
+                        "checkpoint.save_us",
+                        save_start.elapsed().as_micros() as u64,
+                    );
                 }
             },
         );
         drop(results); // completion order lives in `checkpoint.completed`
+        drop(detect_span);
+        obs.registry
+            .record_histogram("engine.queue.depth", &queue_depths);
         if let Some(e) = checkpoint_error {
             return Err(EngineError::Checkpoint(e));
         }
@@ -159,26 +207,38 @@ impl Engine {
             items_in: routed,
             items_out: emitted,
         };
+        record_stage(&obs.registry, &stage_detect);
 
         // Stage 3: deterministic merge.
         let merge_start = Instant::now();
+        let mut merge_span = root.child("merge");
         let kc: Vec<_> = completed.iter().map(|c| c.output.kc.clone()).collect();
         let rc: Vec<_> = completed.iter().map(|c| c.output.rc.clone()).collect();
         let mtd: Vec<_> = completed.iter().map(|c| c.output.mtd.clone()).collect();
         let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
         let merged =
             suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
+        merge_span.count("merged", merged as u64);
+        drop(merge_span);
         let stage_merge = StageMetrics {
             name: "merge".to_string(),
             wall_us: merge_start.elapsed().as_micros() as u64,
             items_in: emitted,
             items_out: merged,
         };
+        record_stage(&obs.registry, &stage_merge);
 
         let metrics = EngineMetrics {
             stages: vec![stage_partition, stage_detect, stage_merge],
             shards: completed.iter().map(|c| c.metrics.clone()).collect(),
-            queue_depths,
+            degraded: degraded
+                .iter()
+                .map(|d| DegradedShardMetrics {
+                    shard: d.shard,
+                    attempts: d.attempts,
+                })
+                .collect(),
+            queue_depth: queue_depths.snapshot(),
             resumed_shards,
             ingest: None,
         };
@@ -190,6 +250,23 @@ impl Engine {
             events: Vec::new(),
         })
     }
+}
+
+/// Accumulate one stage's wall/items into the registry's
+/// `engine.stage.{name}.*` counters (what `stale-bench compare` diffs).
+pub(crate) fn record_stage(registry: &Registry, stage: &StageMetrics) {
+    registry.add(
+        &format!("engine.stage.{}.wall_us", stage.name),
+        stage.wall_us,
+    );
+    registry.add(
+        &format!("engine.stage.{}.items_in", stage.name),
+        stage.items_in as u64,
+    );
+    registry.add(
+        &format!("engine.stage.{}.items_out", stage.name),
+        stage.items_out as u64,
+    );
 }
 
 /// The shared deterministic merge: exactly the three per-detector merge
@@ -215,34 +292,57 @@ pub(crate) fn merge_suite(
     }
 }
 
-/// Run all three detectors on one shard's slice.
+/// Run all three detectors on one shard's slice. Each detector stage runs
+/// under its own span (child of the attempt span `parent`) and reports
+/// item counts through the registry's write-only sink surface.
 fn run_one_shard(
     input: &ShardInput<'_>,
     data: &WorldDatasets,
     psl: &SuffixList,
     shards: usize,
     attempt: u32,
+    obs: &Obs,
+    parent: SpanId,
 ) -> (ShardOutput, ShardMetrics) {
+    let registry = &obs.registry;
     let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
     let start = Instant::now();
 
     let kc_start = Instant::now();
-    let kc = key_compromise::join_shard(input.kc_certs.iter().copied(), &data.crl, cutoff);
+    let mut kc_span = obs.trace.child(parent, "kc");
+    let kc = key_compromise::join_shard_observed(
+        input.kc_certs.iter().copied(),
+        &data.crl,
+        cutoff,
+        registry,
+    );
+    kc_span.count("matches", kc.len() as u64);
+    drop(kc_span);
     let kc_us = kc_start.elapsed().as_micros() as u64;
 
     let rc_start = Instant::now();
-    let rc = RegistrantChangeDetector::new(psl)
-        .detect_shard(&input.rc_changes, input.rc_certs.iter().copied());
+    let mut rc_span = obs.trace.child(parent, "rc");
+    let rc = RegistrantChangeDetector::new(psl).detect_shard_observed(
+        &input.rc_changes,
+        input.rc_certs.iter().copied(),
+        registry,
+    );
+    rc_span.count("records", rc.len() as u64);
+    drop(rc_span);
     let rc_us = rc_start.elapsed().as_micros() as u64;
 
     let mtd_start = Instant::now();
+    let mut mtd_span = obs.trace.child(parent, "mtd");
     let id = input.id;
-    let mtd = ManagedTlsDetector::new(&data.cdn_config, psl).detect_shard(
+    let mtd = ManagedTlsDetector::new(&data.cdn_config, psl).detect_shard_observed(
         &data.adns,
         input.mtd_certs.iter().copied(),
         data.adns_window,
         |domain| shard_of(&mtd_routing_key(psl, domain), shards) == id,
+        registry,
     );
+    mtd_span.count("records", mtd.len() as u64);
+    drop(mtd_span);
     let mtd_us = mtd_start.elapsed().as_micros() as u64;
 
     let output = ShardOutput {
@@ -261,5 +361,9 @@ fn run_one_shard(
         items_out: output.kc.len() + output.rc.len() + output.mtd.len(),
         attempts: attempt,
     };
+    registry.observe_latency_us("engine.shard.wall_us", metrics.wall_us);
+    registry.observe_latency_us("engine.shard.kc_us", kc_us);
+    registry.observe_latency_us("engine.shard.rc_us", rc_us);
+    registry.observe_latency_us("engine.shard.mtd_us", mtd_us);
     (output, metrics)
 }

@@ -1,9 +1,14 @@
-//! Layer 3: the engine's lightweight metrics registry.
+//! Layer 3: the engine's run metrics.
 //!
 //! Wall times are measured with `std::time::Instant` and recorded in
 //! microseconds; they are observability only and never feed back into
-//! results (which stay byte-deterministic).
+//! results (which stay byte-deterministic). Unbounded per-observation
+//! vectors (queue depths, per-batch ingest latencies) are folded into
+//! bounded [`obs::HistogramSnapshot`]s so a large run's metrics stay a
+//! fixed size; exact maxima are preserved (`max_queue_depth` reads the
+//! histogram's exact max, not an estimate).
 
+use obs::HistogramSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One pipeline stage (partition, detect, merge).
@@ -40,6 +45,16 @@ pub struct ShardMetrics {
     pub attempts: u32,
 }
 
+/// A shard that degraded (kept panicking); it contributed no results
+/// but the metrics table still accounts for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Attempts made before the shard was abandoned.
+    pub attempts: u32,
+}
+
 /// One ingested day-batch in incremental mode.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IngestBatchMetrics {
@@ -56,15 +71,25 @@ pub struct IngestBatchMetrics {
     pub events: usize,
 }
 
-/// Incremental-mode ingest observability: per-day (per-batch) latency.
+/// Incremental-mode ingest observability. Per-batch latency is a bounded
+/// histogram (plus the single slowest batch, kept verbatim), so the
+/// metrics stay fixed-size no matter how many days a run replays.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IngestMetrics {
     /// Configured days per delta.
     pub day_batch: usize,
     /// Total days ingested this run (excludes checkpoint-resumed days).
     pub days: usize,
-    /// Per-batch detail, in feed order.
-    pub batches: Vec<IngestBatchMetrics>,
+    /// Batches ingested this run.
+    pub batches: usize,
+    /// Delta items ingested across all batches.
+    pub items: usize,
+    /// Stale events emitted across all batches.
+    pub events: usize,
+    /// Per-batch wall-time distribution (sum = total ingest wall).
+    pub batch_wall: HistogramSnapshot,
+    /// The slowest batch, verbatim.
+    pub slowest: Option<IngestBatchMetrics>,
 }
 
 impl IngestMetrics {
@@ -73,18 +98,17 @@ impl IngestMetrics {
         if self.days == 0 {
             return 0;
         }
-        let total: u64 = self.batches.iter().map(|b| b.wall_us).sum();
-        total / self.days as u64
+        self.batch_wall.sum / self.days as u64
     }
 
     /// The slowest batch, if any.
     pub fn slowest(&self) -> Option<&IngestBatchMetrics> {
-        self.batches.iter().max_by_key(|b| b.wall_us)
+        self.slowest.as_ref()
     }
 
     /// Total stale events emitted.
     pub fn events(&self) -> usize {
-        self.batches.iter().map(|b| b.events).sum()
+        self.events
     }
 }
 
@@ -93,10 +117,14 @@ impl IngestMetrics {
 pub struct EngineMetrics {
     /// Pipeline stages, in execution order.
     pub stages: Vec<StageMetrics>,
-    /// Per-shard detail, in shard order (degraded shards absent).
+    /// Per-shard detail, in shard order (degraded shards listed in
+    /// [`EngineMetrics::degraded`] instead).
     pub shards: Vec<ShardMetrics>,
-    /// Queue depth observed at each job pop, in pop order.
-    pub queue_depths: Vec<usize>,
+    /// Shards that degraded, in shard order.
+    pub degraded: Vec<DegradedShardMetrics>,
+    /// Queue depth observed at each job pop, as a bounded histogram
+    /// (exact max preserved).
+    pub queue_depth: HistogramSnapshot,
     /// Shards restored from a checkpoint instead of recomputed.
     pub resumed_shards: usize,
     /// Incremental-mode ingest detail (`None` for batch runs).
@@ -119,9 +147,9 @@ impl EngineMetrics {
         Some(max as f64 / mean)
     }
 
-    /// Deepest queue observed.
+    /// Deepest queue observed (exact: the histogram tracks max).
     pub fn max_queue_depth(&self) -> usize {
-        self.queue_depths.iter().copied().max().unwrap_or(0)
+        self.queue_depth.max as usize
     }
 
     /// Render the human-readable summary table the repro binary prints.
@@ -147,22 +175,41 @@ impl EngineMetrics {
                 s.items_out
             ));
         }
-        if !self.shards.is_empty() {
+        if !self.shards.is_empty() || !self.degraded.is_empty() {
             out.push_str(
                 "  shard         wall        kc        rc       mtd        in       out  att\n",
             );
-            for s in &self.shards {
-                out.push_str(&format!(
-                    "  {:<12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>3}\n",
-                    format!("#{}", s.shard),
-                    human(s.wall_us),
-                    human(s.kc_us),
-                    human(s.rc_us),
-                    human(s.mtd_us),
-                    s.items_in,
-                    s.items_out,
-                    s.attempts
-                ));
+            // Interleave healthy and degraded rows in shard order, so the
+            // table accounts for every shard instead of skipping failures.
+            let mut healthy = self.shards.iter().peekable();
+            let mut failed = self.degraded.iter().peekable();
+            loop {
+                let next_healthy = healthy.peek().map(|s| s.shard);
+                let next_failed = failed.peek().map(|d| d.shard);
+                match (next_healthy, next_failed) {
+                    (Some(h), Some(f)) if f < h => {
+                        render_degraded_row(&mut out, failed.next());
+                    }
+                    (Some(_), _) => {
+                        if let Some(s) = healthy.next() {
+                            out.push_str(&format!(
+                                "  {:<12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>3}\n",
+                                format!("#{}", s.shard),
+                                human(s.wall_us),
+                                human(s.kc_us),
+                                human(s.rc_us),
+                                human(s.mtd_us),
+                                s.items_in,
+                                s.items_out,
+                                s.attempts
+                            ));
+                        }
+                    }
+                    (None, Some(_)) => {
+                        render_degraded_row(&mut out, failed.next());
+                    }
+                    (None, None) => break,
+                }
             }
         }
         if let Some(skew) = self.shard_skew() {
@@ -175,12 +222,13 @@ impl EngineMetrics {
         }
         if let Some(ingest) = &self.ingest {
             out.push_str(&format!(
-                "  ingest: {} day(s) in {} batch(es) of {}, {} event(s), mean {}/day",
+                "  ingest: {} day(s) in {} batch(es) of {}, {} event(s), mean {}/day (p90 {}/batch)",
                 ingest.days,
-                ingest.batches.len(),
+                ingest.batches,
                 ingest.day_batch,
                 ingest.events(),
                 human(ingest.mean_day_us()),
+                human(ingest.batch_wall.p90),
             ));
             if let Some(slow) = ingest.slowest() {
                 out.push_str(&format!(
@@ -199,9 +247,26 @@ impl EngineMetrics {
     }
 }
 
+fn render_degraded_row(out: &mut String, d: Option<&DegradedShardMetrics>) {
+    if let Some(d) = d {
+        out.push_str(&format!(
+            "  {:<12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>3}\n",
+            format!("#{}", d.shard),
+            "DEGRADED",
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+            d.attempts
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obs::Histogram;
 
     fn shard(id: usize, items_in: usize) -> ShardMetrics {
         ShardMetrics {
@@ -216,14 +281,37 @@ mod tests {
         }
     }
 
+    fn depths(values: &[u64]) -> HistogramSnapshot {
+        let mut h = Histogram::depth();
+        for &v in values {
+            h.observe(v);
+        }
+        h.snapshot()
+    }
+
     #[test]
     fn skew_and_depth() {
         let mut m = EngineMetrics::default();
         assert_eq!(m.shard_skew(), None);
         m.shards = vec![shard(0, 10), shard(1, 30)];
-        m.queue_depths = vec![2, 1, 0];
+        m.queue_depth = depths(&[2, 1, 0]);
         assert_eq!(m.shard_skew(), Some(1.5));
         assert_eq!(m.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn bounded_depth_histogram_preserves_exact_max() {
+        // The histogram replaces the unbounded Vec<usize>: whatever the
+        // observation count, max_queue_depth stays exact.
+        let observations: Vec<u64> = (0..10_000).map(|i| i % 37).collect();
+        let m = EngineMetrics {
+            queue_depth: depths(&observations),
+            ..Default::default()
+        };
+        assert_eq!(m.max_queue_depth(), 36);
+        assert_eq!(m.queue_depth.count, 10_000);
+        // Fixed size: the snapshot's buckets are the ladder, not the data.
+        assert_eq!(m.queue_depth.counts.len(), m.queue_depth.bounds.len() + 1);
     }
 
     #[test]
@@ -236,7 +324,8 @@ mod tests {
                 items_out: 10,
             }],
             shards: vec![shard(0, 5)],
-            queue_depths: vec![1, 0],
+            degraded: Vec::new(),
+            queue_depth: depths(&[1, 0]),
             resumed_shards: 0,
             ingest: None,
         };
@@ -244,5 +333,59 @@ mod tests {
         assert!(t.contains("partition"));
         assert!(t.contains("#0"));
         assert!(t.contains("skew"));
+    }
+
+    #[test]
+    fn table_accounts_for_degraded_shards() {
+        let m = EngineMetrics {
+            stages: Vec::new(),
+            shards: vec![shard(0, 5), shard(2, 5)],
+            degraded: vec![DegradedShardMetrics {
+                shard: 1,
+                attempts: 2,
+            }],
+            queue_depth: depths(&[1, 0]),
+            resumed_shards: 0,
+            ingest: None,
+        };
+        let t = m.render_table();
+        let lines: Vec<&str> = t.lines().collect();
+        let row = |tag: &str| {
+            lines
+                .iter()
+                .position(|l| l.trim_start().starts_with(tag))
+                .unwrap_or_else(|| panic!("no row for {tag} in:\n{t}"))
+        };
+        // Every shard has a row, in shard order, and the degraded row
+        // names the state and the attempts taken.
+        assert!(row("#0") < row("#1") && row("#1") < row("#2"));
+        let degraded_line = lines[row("#1")];
+        assert!(degraded_line.contains("DEGRADED"));
+        assert!(degraded_line.trim_end().ends_with('2'));
+    }
+
+    #[test]
+    fn ingest_mean_uses_histogram_sum() {
+        let mut batch_wall = Histogram::latency_us();
+        batch_wall.observe(100);
+        batch_wall.observe(300);
+        let ingest = IngestMetrics {
+            day_batch: 1,
+            days: 2,
+            batches: 2,
+            items: 10,
+            events: 3,
+            batch_wall: batch_wall.snapshot(),
+            slowest: Some(IngestBatchMetrics {
+                day: "2023-05-02".into(),
+                days: 1,
+                wall_us: 300,
+                items: 7,
+                events: 2,
+            }),
+        };
+        assert_eq!(ingest.mean_day_us(), 200);
+        assert_eq!(ingest.events(), 3);
+        assert_eq!(ingest.slowest().map(|b| b.wall_us), Some(300));
     }
 }

@@ -28,9 +28,10 @@
 //! matching checkpoint resumes ingestion after its last recorded day.
 
 use crate::checkpoint::{ShardStateSnapshot, StreamCheckpoint};
-use crate::engine::{merge_suite, Engine, EngineError, EngineReport};
+use crate::engine::{merge_suite, record_stage, Engine, EngineError, EngineReport};
 use crate::metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, StageMetrics};
 use crate::partition::{mtd_routing_key, shard_of};
+use obs::{CounterSink, Histogram, HistogramSnapshot, SpanId};
 use psl::SuffixList;
 use stale_core::detector::key_compromise::RevocationAnalysis;
 use stale_core::detector::managed_tls::ManagedTlsDetector;
@@ -62,27 +63,35 @@ impl Engine {
         data: &WorldDatasets,
         psl: &SuffixList,
     ) -> Result<EngineReport, EngineError> {
+        let obs = &self.obs;
+        let mut root = obs.span("engine.run_incremental");
         let n = self.config.shards.max(1);
+        root.count("shards", n as u64);
         let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
         let rc_detector = RegistrantChangeDetector::new(psl);
         let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
 
         // Stage 1: index the bundle by observability day.
         let feed_start = Instant::now();
+        let mut feed_span = root.child("feed");
         let feed = DayFeed::new(data);
         let feed_items = feed.delta(feed.start(), feed.end()).items();
         let through = self.config.through.unwrap_or(feed.end()).min(feed.end());
+        feed_span.count("items", feed_items as u64);
+        drop(feed_span);
         let stage_feed = StageMetrics {
             name: "feed".to_string(),
             wall_us: feed_start.elapsed().as_micros() as u64,
             items_in: feed_items,
             items_out: feed_items,
         };
+        record_stage(&obs.registry, &stage_feed);
 
         // Checkpoint: resume detector state after the last ingested day. A
         // checkpoint past `through` is unusable (its state already
         // contains days the caller asked to exclude) and is discarded.
         let fingerprint = data.fingerprint();
+        let restore_span = root.child("checkpoint.restore");
         let restored = self.config.checkpoint.as_ref().and_then(|path| {
             StreamCheckpoint::load(path, fingerprint, n).filter(|cp| cp.through <= through)
         });
@@ -101,6 +110,12 @@ impl Engine {
             Some((cp.through, states))
         });
         let resumed_shards = if restored.is_some() { n } else { 0 };
+        drop(restore_span);
+        obs.registry
+            .add("engine.resumed_shards", resumed_shards as u64);
+        if resumed_shards > 0 {
+            obs.registry.add("checkpoint.restores", 1);
+        }
         let restored_through = restored.as_ref().map(|(through, _)| *through);
         let (mut states, resume_from) = match restored {
             Some((cp_through, states)) => (states, cp_through.succ()),
@@ -122,15 +137,20 @@ impl Engine {
         let day_batch = self.config.day_batch.max(1);
         let mut ingest = IngestMetrics {
             day_batch,
-            days: 0,
-            batches: Vec::new(),
+            ..Default::default()
         };
+        // Per-batch latency is folded into a bounded histogram (plus the
+        // slowest batch verbatim) instead of a per-batch vector, so a
+        // years-long replay's metrics stay fixed-size.
+        let mut batch_wall = Histogram::latency_us();
+        let mut slowest: Option<IngestBatchMetrics> = None;
         let mut events: Vec<StaleEvent> = Vec::new();
         let mut ingested_total = 0usize;
         let mut last_ingested: Option<Date> = restored_through;
         let mut days_since_ckpt = 0usize;
         for (from, to) in tile(resume_from, through, day_batch) {
             let batch_start = Instant::now();
+            let mut batch_span = root.child(&format!("ingest {to}"));
             let delta = feed.delta(from, to);
             let routed = route(&delta, psl, &rc_detector, &mtd_detector, n);
             let events_before = events.len();
@@ -143,31 +163,53 @@ impl Engine {
                     &rc_detector,
                     &mtd_detector,
                     |d| shard_of(&mtd_routing_key(psl, d), n) == id,
+                    &obs.registry,
                 ));
+            }
+            for state in &states {
+                obs.registry.observe_depth(
+                    "engine.ingest.footprint",
+                    (state.kc.footprint() + state.rc.footprint() + state.mtd.footprint()) as u64,
+                );
             }
             let batch_events = events.len() - events_before;
             let days = ((to - from).num_days() + 1) as usize;
-            ingest.days += days;
-            ingest.batches.push(IngestBatchMetrics {
+            batch_span.count("days", days as u64);
+            batch_span.count("items", delta.items() as u64);
+            batch_span.count("events", batch_events as u64);
+            drop(batch_span);
+            let batch = IngestBatchMetrics {
                 day: to.to_string(),
                 days,
                 wall_us: batch_start.elapsed().as_micros() as u64,
                 items: delta.items(),
                 events: batch_events,
-            });
+            };
+            batch_wall.observe(batch.wall_us);
+            obs.registry
+                .observe_latency_us("engine.ingest.batch_wall_us", batch.wall_us);
+            if slowest.as_ref().is_none_or(|s| batch.wall_us > s.wall_us) {
+                slowest = Some(batch.clone());
+            }
+            ingest.days += days;
+            ingest.batches += 1;
+            ingest.items += batch.items;
+            ingest.events += batch.events;
             ingested_total += delta.items();
             last_ingested = Some(to);
             days_since_ckpt += days;
 
             if days_since_ckpt >= self.config.checkpoint_every_days.max(1) {
-                self.write_checkpoint(fingerprint, n, to, &states)?;
+                self.write_checkpoint(fingerprint, n, to, &states, root.id())?;
                 days_since_ckpt = 0;
             }
         }
+        ingest.batch_wall = batch_wall.snapshot();
+        ingest.slowest = slowest;
         // The final state is always persisted (when checkpointing at all).
         if let Some(to) = last_ingested {
             if days_since_ckpt > 0 {
-                self.write_checkpoint(fingerprint, n, to, &states)?;
+                self.write_checkpoint(fingerprint, n, to, &states, root.id())?;
             }
         }
         let stage_ingest = StageMetrics {
@@ -176,9 +218,11 @@ impl Engine {
             items_in: ingested_total,
             items_out: events.len(),
         };
+        record_stage(&obs.registry, &stage_ingest);
 
         // Stage 3: finish each shard's state and run the batch merge.
         let merge_start = Instant::now();
+        let mut merge_span = root.child("merge");
         let kc: Vec<_> = states.iter().map(|s| s.kc.finish()).collect();
         let change_index: HashMap<(DomainName, Date), usize> = enumerate_changes(&data.whois)
             .into_iter()
@@ -209,17 +253,21 @@ impl Engine {
         let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
         let merged =
             suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
+        merge_span.count("merged", merged as u64);
+        drop(merge_span);
         let stage_merge = StageMetrics {
             name: "merge".to_string(),
             wall_us: merge_start.elapsed().as_micros() as u64,
             items_in: emitted,
             items_out: merged,
         };
+        record_stage(&obs.registry, &stage_merge);
 
         let metrics = EngineMetrics {
             stages: vec![stage_feed, stage_ingest, stage_merge],
             shards: Vec::new(),
-            queue_depths: Vec::new(),
+            degraded: Vec::new(),
+            queue_depth: HistogramSnapshot::default(),
             resumed_shards,
             ingest: Some(ingest),
         };
@@ -238,10 +286,14 @@ impl Engine {
         shards: usize,
         through: Date,
         states: &[ShardState<'_>],
+        parent: SpanId,
     ) -> Result<(), EngineError> {
         let Some(path) = &self.config.checkpoint else {
             return Ok(());
         };
+        let save_start = Instant::now();
+        let mut span = self.obs.trace.child(parent, "checkpoint.save");
+        span.count("shards", shards as u64);
         let cp = StreamCheckpoint {
             version: StreamCheckpoint::VERSION,
             fingerprint,
@@ -258,7 +310,14 @@ impl Engine {
                 })
                 .collect(),
         };
-        cp.save(path).map_err(EngineError::Checkpoint)
+        let result = cp.save(path).map_err(EngineError::Checkpoint);
+        drop(span);
+        self.obs.registry.add("checkpoint.saves", 1);
+        self.obs.registry.observe_latency_us(
+            "checkpoint.save_us",
+            save_start.elapsed().as_micros() as u64,
+        );
+        result
     }
 }
 
@@ -353,6 +412,9 @@ fn route<'w>(
 }
 
 /// Ingest one shard's routed slice into its state, in detector order.
+/// Item counts flow into `sink` (`detector.*.ingest.*`), which is
+/// write-only — ingestion cannot depend on what was recorded.
+#[allow(clippy::too_many_arguments)]
 fn apply<'w>(
     state: &mut ShardState<'w>,
     discovered: Date,
@@ -361,21 +423,25 @@ fn apply<'w>(
     rc_detector: &RegistrantChangeDetector<'_>,
     mtd_detector: &ManagedTlsDetector<'_>,
     owned: impl Fn(&DomainName) -> bool,
+    sink: &dyn CounterSink,
 ) -> Vec<StaleEvent> {
     let mut events = state
         .kc
-        .ingest_day(discovered, &routed.kc_certs, &delta.crl);
-    events.extend(
-        state
-            .rc
-            .ingest_day(discovered, rc_detector, &routed.rc_certs, &routed.whois),
-    );
-    events.extend(state.mtd.ingest_day(
+        .ingest_day_observed(discovered, &routed.kc_certs, &delta.crl, sink);
+    events.extend(state.rc.ingest_day_observed(
+        discovered,
+        rc_detector,
+        &routed.rc_certs,
+        &routed.whois,
+        sink,
+    ));
+    events.extend(state.mtd.ingest_day_observed(
         discovered,
         mtd_detector,
         &routed.mtd_certs,
         &routed.dns,
         owned,
+        sink,
     ));
     events
 }

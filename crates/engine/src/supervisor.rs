@@ -6,7 +6,15 @@
 //! [`DegradedShard`] while every other shard's results survive. Results
 //! flow back over a bounded channel so the supervisor can checkpoint each
 //! completion incrementally.
+//!
+//! Observability: every attempt runs under its own span (child of the
+//! caller's detect span), panic recoveries get a marker span, and the
+//! registry accumulates `supervisor.*` counters. Queue depths are
+//! recorded as a bounded [`Histogram`] instead of a per-pop vector, so
+//! supervisor memory stays fixed on arbitrarily large runs. None of this
+//! is read back by the pool: scheduling depends only on the queue.
 
+use obs::{Histogram, Obs, SpanId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,34 +45,34 @@ enum JobResult<T> {
     Failed(DegradedShard),
 }
 
-/// Depth of the job queue when a worker popped, in pop order.
-pub type QueueDepths = Vec<usize>;
-
 /// A finished shard as `(shard, attempts, value)`; `None` if degraded.
 pub type ShardResult<T> = Option<(usize, u32, T)>;
 
-/// Run `jobs` shard jobs on `workers` threads. `run(shard, attempt)` does
-/// the work (attempt counts from 1); `on_complete(shard, attempts, &T)` is
-/// called on the supervisor thread after each success, in completion
+/// Run `jobs` shard jobs on `workers` threads. `run(shard, attempt, span)`
+/// does the work (attempt counts from 1; `span` is the attempt's span id,
+/// for nesting detector child spans); `on_complete(shard, attempts, &T)`
+/// is called on the supervisor thread after each success, in completion
 /// order (for incremental checkpointing). Returns per-shard results in
 /// shard order (`None` for degraded shards), the degraded list sorted by
-/// shard, and the observed queue depths.
+/// shard, and the queue-depth histogram.
 pub fn run_shards<T, F>(
     jobs: Vec<usize>,
     workers: usize,
+    obs: &Obs,
+    parent: SpanId,
     run: F,
     mut on_complete: impl FnMut(usize, u32, &T),
-) -> (Vec<ShardResult<T>>, Vec<DegradedShard>, QueueDepths)
+) -> (Vec<ShardResult<T>>, Vec<DegradedShard>, Histogram)
 where
     T: Send,
-    F: Fn(usize, u32) -> T + Sync,
+    F: Fn(usize, u32, SpanId) -> T + Sync,
 {
     let max_shard = jobs.iter().copied().max().map(|m| m + 1).unwrap_or(0);
     let total = jobs.len();
     let workers = workers.clamp(1, total.max(1));
 
     let queue: Mutex<VecDeque<usize>> = Mutex::new(jobs.into());
-    let depths: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let depths: Mutex<Histogram> = Mutex::new(Histogram::depth());
     // Bounded: workers block rather than buffering unbounded results.
     let (tx, rx) = mpsc::sync_channel::<JobResult<T>>(workers * 2);
 
@@ -88,14 +96,24 @@ where
                         depths
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
-                            .push(q.len());
+                            .observe(q.len() as u64);
                     }
                     job
                 };
                 let Some(shard) = shard else { break };
                 let mut attempt = 1;
                 let outcome = loop {
-                    match catch_unwind(AssertUnwindSafe(|| run(shard, attempt))) {
+                    obs.registry.add("supervisor.attempts", 1);
+                    // The attempt span is created (and dropped) outside
+                    // catch_unwind so a panicking shard never unwinds
+                    // through the guard's Drop.
+                    let span = obs
+                        .trace
+                        .child(parent, &format!("shard {shard} attempt {attempt}"));
+                    let span_id = span.id();
+                    let result = catch_unwind(AssertUnwindSafe(|| run(shard, attempt, span_id)));
+                    drop(span);
+                    match result {
                         Ok(value) => {
                             break JobResult::Done {
                                 shard,
@@ -105,9 +123,18 @@ where
                         }
                         Err(payload) if attempt < MAX_ATTEMPTS => {
                             drop(payload);
+                            obs.registry.add("supervisor.panics_recovered", 1);
+                            obs.registry.add("supervisor.retries", 1);
+                            let mut recovery = obs
+                                .trace
+                                .child(span_id, &format!("panic-recovery shard {shard}"));
+                            recovery.count("attempt", attempt as u64);
+                            drop(recovery);
                             attempt += 1;
                         }
                         Err(payload) => {
+                            obs.registry.add("supervisor.panics_recovered", 1);
+                            obs.registry.add("supervisor.degraded_shards", 1);
                             break JobResult::Failed(DegradedShard {
                                 shard,
                                 error: panic_message(payload),
@@ -161,20 +188,30 @@ mod tests {
 
     #[test]
     fn all_jobs_complete() {
-        let (results, degraded, depths) =
-            run_shards(vec![0, 1, 2, 3], 2, |shard, _| shard * 10, |_, _, _| {});
+        let obs = Obs::disabled();
+        let (results, degraded, depths) = run_shards(
+            vec![0, 1, 2, 3],
+            2,
+            &obs,
+            SpanId::none(),
+            |shard, _, _| shard * 10,
+            |_, _, _| {},
+        );
         assert!(degraded.is_empty());
         let values: Vec<usize> = results.into_iter().map(|r| r.unwrap().2).collect();
         assert_eq!(values, vec![0, 10, 20, 30]);
-        assert_eq!(depths.len(), 4);
+        assert_eq!(depths.count(), 4);
     }
 
     #[test]
     fn panicking_shard_degrades_others_survive() {
+        let obs = Obs::disabled();
         let (results, degraded, _) = run_shards(
             vec![0, 1, 2],
             2,
-            |shard, _| {
+            &obs,
+            SpanId::none(),
+            |shard, _, _| {
                 if shard == 1 {
                     panic!("shard 1 is cursed");
                 }
@@ -187,15 +224,22 @@ mod tests {
         assert_eq!(degraded[0].attempts, MAX_ATTEMPTS);
         assert!(degraded[0].error.contains("cursed"));
         assert!(results[0].is_some() && results[1].is_none() && results[2].is_some());
+        let counters = obs.registry.snapshot().counters;
+        assert_eq!(counters["supervisor.degraded_shards"], 1);
+        assert_eq!(counters["supervisor.panics_recovered"], 2);
+        assert_eq!(counters["supervisor.retries"], 1);
     }
 
     #[test]
     fn first_attempt_panic_is_retried() {
+        let obs = Obs::disabled();
         let tries = AtomicUsize::new(0);
         let (results, degraded, _) = run_shards(
             vec![0],
             1,
-            |shard, attempt| {
+            &obs,
+            SpanId::none(),
+            |shard, attempt, _| {
                 tries.fetch_add(1, Ordering::SeqCst);
                 if attempt == 1 {
                     panic!("transient");
@@ -208,18 +252,53 @@ mod tests {
         assert_eq!(tries.load(Ordering::SeqCst), 2);
         let (shard, attempts, value) = results[0].unwrap();
         assert_eq!((shard, attempts, value), (0, 2, 100));
+        assert_eq!(obs.registry.snapshot().counters["supervisor.attempts"], 2);
     }
 
     #[test]
     fn completion_callback_sees_every_success() {
+        let obs = Obs::disabled();
         let mut seen = Vec::new();
         run_shards(
             vec![3, 5],
             2,
-            |shard, _| shard,
+            &obs,
+            SpanId::none(),
+            |shard, _, _| shard,
             |shard, _, _| seen.push(shard),
         );
         seen.sort_unstable();
         assert_eq!(seen, vec![3, 5]);
+    }
+
+    #[test]
+    fn attempt_spans_nest_under_parent_with_recovery_markers() {
+        let obs = Obs::enabled();
+        let root = obs.span("detect");
+        let root_id = root.id();
+        run_shards(
+            vec![0],
+            1,
+            &obs,
+            root_id,
+            |_, attempt, _| {
+                if attempt == 1 {
+                    panic!("transient");
+                }
+                0usize
+            },
+            |_, _, _| {},
+        );
+        drop(root);
+        let records = obs.trace.records();
+        let attempts: Vec<_> = records
+            .iter()
+            .filter(|r| r.name.starts_with("shard 0 attempt"))
+            .collect();
+        assert_eq!(attempts.len(), 2);
+        assert!(attempts.iter().all(|r| r.parent == Some(0)));
+        assert!(records
+            .iter()
+            .any(|r| r.name.starts_with("panic-recovery shard 0")));
     }
 }

@@ -7,6 +7,10 @@
 //! stale-lint rules
 //! ```
 //!
+//! `preflight` accepts a world bundle, an engine checkpoint (v1 or v2),
+//! a metrics-JSON export (`repro --metrics-json`), or a span-trace JSONL
+//! file (`repro --trace-out`) — the file kind is sniffed from its shape.
+//!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 use stale_lint::diagnostics::{render_human, render_json};
@@ -109,7 +113,7 @@ fn cmd_preflight(args: &[String]) -> ExitCode {
         }
     }
     let Some(file) = file else {
-        return usage("preflight needs a bundle or checkpoint file");
+        return usage("preflight needs a bundle, checkpoint, metrics-JSON or trace-JSONL file");
     };
     let diags = preflight::preflight_path(&file);
     report(&diags, json, "preflight")

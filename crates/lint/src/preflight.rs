@@ -31,6 +31,16 @@
 //! Checkpoint invariants (`checkpoint-*`): schema version, shard count
 //! and ordering, and the sortedness/monotonicity of every saved detector
 //! ledger (what `save()` guarantees and `restore()` assumes).
+//!
+//! Observability exports are accepted too, so CI can preflight the
+//! artifacts `repro --trace-out` / `--metrics-json` emit the same way it
+//! preflights corpora:
+//! * `metrics-schema` — a metrics-JSON export's histograms have
+//!   consistent ladders, counts and quantile ordering
+//!   ([`obs::MetricsSnapshot::validate`]);
+//! * `trace-schema` — a trace-JSONL file's header matches its span
+//!   count, ids are dense and allocation-ordered, and every parent
+//!   precedes its children ([`obs::trace::validate_trace_jsonl`]).
 
 use crate::diagnostics::{Diagnostic, Severity};
 use engine::checkpoint::{Checkpoint, StreamCheckpoint};
@@ -58,15 +68,31 @@ pub fn preflight_path(path: &Path) -> Vec<Diagnostic> {
 
 /// Validate file contents, dispatching on shape: a `certs` field means a
 /// world bundle, `states` a schema-v2 checkpoint, `completed` a
-/// schema-v1 checkpoint.
+/// schema-v1 checkpoint, a `stale-obs-metrics` schema tag a metrics-JSON
+/// export, and a JSONL stream opening with a `stale-obs-trace` header a
+/// span trace.
 pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
+    // A trace export is JSONL, not one JSON document — sniff its header
+    // line before insisting the whole file parses as a single value.
+    if let Some(first) = text.lines().next() {
+        if let Ok(Value::Obj(fields)) = serde_json::from_str::<Value>(first) {
+            if fields
+                .iter()
+                .any(|(k, v)| k == "schema" && *v == Value::Str(obs::trace::TRACE_SCHEMA.into()))
+            {
+                return preflight_trace(label, text);
+            }
+        }
+    }
     let value: Value = match serde_json::from_str(text) {
         Ok(v) => v,
         Err(e) => {
             return vec![diag("bundle-parse", label, format!("not valid JSON: {e}"))];
         }
     };
-    if value.get("certs").is_some() {
+    if matches!(value.get("schema"), Some(Value::Str(s)) if s == obs::metrics::METRICS_SCHEMA) {
+        preflight_metrics(label, text)
+    } else if value.get("certs").is_some() {
         preflight_bundle(label, text)
     } else if value.get("states").is_some() {
         preflight_stream_checkpoint(label, text)
@@ -76,10 +102,38 @@ pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
         vec![diag(
             "preflight-schema",
             label,
-            "file is neither a world bundle (no `certs`) nor a checkpoint (no `states`/`completed`)"
+            "file is neither a world bundle (no `certs`), a checkpoint (no `states`/`completed`), \
+             nor an observability export (no recognized `schema` tag)"
                 .to_string(),
         )]
     }
+}
+
+/// Validate a metrics-JSON export (`repro --metrics-json`).
+pub fn preflight_metrics(label: &str, text: &str) -> Vec<Diagnostic> {
+    let snapshot: obs::MetricsSnapshot = match serde_json::from_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![diag(
+                "metrics-parse",
+                label,
+                format!("does not deserialize as a metrics snapshot: {e}"),
+            )];
+        }
+    };
+    snapshot
+        .validate()
+        .into_iter()
+        .map(|msg| diag("metrics-schema", label, msg))
+        .collect()
+}
+
+/// Validate a span-trace JSONL export (`repro --trace-out`).
+pub fn preflight_trace(label: &str, text: &str) -> Vec<Diagnostic> {
+    obs::trace::validate_trace_jsonl(text)
+        .into_iter()
+        .map(|msg| diag("trace-schema", label, msg))
+        .collect()
 }
 
 /// Validate a serialized [`WorldBundle`].

@@ -254,3 +254,66 @@ fn binary_exits_nonzero_on_corrupted_bundle() {
     assert!(stdout.contains("bundle-parse"), "{stdout}");
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn fresh_metrics_export_preflights_clean() {
+    let registry = obs::Registry::new();
+    registry.add("engine.stage.detect.wall_us", 120_000);
+    registry.observe_latency_us("engine.shard.wall_us", 5_000);
+    registry.observe_depth("engine.queue.depth", 3);
+    let diags = preflight_str("metrics", &registry.export_json());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tampered_metrics_export_rejected() {
+    let registry = obs::Registry::new();
+    registry.observe_latency_us("engine.shard.wall_us", 5_000);
+    // Inflate a bucket count so the histogram's total no longer matches.
+    let tampered = registry
+        .export_json()
+        .replacen("\"count\": 1", "\"count\": 7", 1);
+    let diags = preflight_str("metrics", &tampered);
+    assert_eq!(rules(&diags), ["metrics-schema"], "{diags:?}");
+    // A metrics file that is not even a snapshot parses to metrics-parse.
+    let diags = preflight_str(
+        "metrics",
+        "{\"schema\": \"stale-obs-metrics\", \"version\": \"not a number\"}",
+    );
+    assert_eq!(rules(&diags), ["metrics-parse"], "{diags:?}");
+}
+
+fn tiny_trace_jsonl() -> String {
+    let trace = obs::Trace::enabled();
+    {
+        let root = trace.span("engine.run");
+        let mut child = trace.child(root.id(), "detect");
+        child.count("matches", 3);
+    }
+    trace.to_jsonl()
+}
+
+#[test]
+fn fresh_trace_export_preflights_clean() {
+    let diags = preflight_str("trace", &tiny_trace_jsonl());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn truncated_or_reordered_trace_rejected() {
+    let jsonl = tiny_trace_jsonl();
+    // Drop the last span line: the header's span count no longer matches.
+    let truncated: String = jsonl
+        .lines()
+        .take(jsonl.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = preflight_str("trace", &truncated);
+    assert_eq!(rules(&diags), ["trace-schema"], "{diags:?}");
+
+    // Swap the two span lines: ids fall out of allocation order.
+    let lines: Vec<&str> = jsonl.lines().collect();
+    let swapped = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[1]);
+    let diags = preflight_str("trace", &swapped);
+    assert_eq!(rules(&diags), ["trace-schema"], "{diags:?}");
+}

@@ -157,11 +157,25 @@ pub fn join_shard<'m>(
     crl: &CrlDataset,
     cutoff: Date,
 ) -> Vec<ShardMatch> {
+    join_shard_observed(certs, crl, cutoff, &obs::NullSink)
+}
+
+/// [`join_shard`] reporting item counts (`detector.kc.*`) through a
+/// write-only [`obs::CounterSink`]. The sink has no read surface, so the
+/// join result cannot depend on what was recorded.
+pub fn join_shard_observed<'m>(
+    certs: impl IntoIterator<Item = &'m DedupedCert>,
+    crl: &CrlDataset,
+    cutoff: Date,
+    sink: &dyn obs::CounterSink,
+) -> Vec<ShardMatch> {
     // Hash join: (AKI, serial) → certificate, max cert_id winning ties so
     // shard-local results are independent of input order. The ablation
     // bench compares this against a sort-merge join.
+    let mut scanned: u64 = 0;
     let mut index: HashMap<(KeyId, SerialNumber), &DedupedCert> = HashMap::new();
     for cert in certs {
+        scanned += 1;
         if let Some(aki) = cert.certificate.tbs.authority_key_id() {
             let slot = index
                 .entry((aki, cert.certificate.tbs.serial))
@@ -171,6 +185,8 @@ pub fn join_shard<'m>(
             }
         }
     }
+    sink.add("detector.kc.certs", scanned);
+    sink.add("detector.kc.index_keys", index.len() as u64);
     let mut matches = Vec::new();
     for (crl_index, rec) in crl.records().iter().enumerate() {
         let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
@@ -182,6 +198,8 @@ pub fn join_shard<'m>(
             outcome: classify(rec, cert, cutoff),
         });
     }
+    sink.add("detector.kc.crl_records", crl.records().len() as u64);
+    sink.add("detector.kc.matches", matches.len() as u64);
     matches
 }
 

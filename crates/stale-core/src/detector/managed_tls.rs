@@ -92,6 +92,20 @@ impl<'a> ManagedTlsDetector<'a> {
         window: DateInterval,
         owned: impl Fn(&DomainName) -> bool,
     ) -> Vec<StaleCertRecord> {
+        self.detect_shard_observed(adns, certs, window, owned, &obs::NullSink)
+    }
+
+    /// [`Self::detect_shard`] reporting item counts (`detector.mtd.*`)
+    /// through a write-only [`obs::CounterSink`]; the sink has no read
+    /// surface, so detection cannot depend on what was recorded.
+    pub fn detect_shard_observed<'m>(
+        &self,
+        adns: &DnsHistory,
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+        window: DateInterval,
+        owned: impl Fn(&DomainName) -> bool,
+        sink: &dyn obs::CounterSink,
+    ) -> Vec<StaleCertRecord> {
         // Customer domain → managed certificates naming it, in sorted
         // customer order so shard output is independent of input order.
         let mut by_customer: BTreeMap<&DomainName, Vec<&DedupedCert>> = BTreeMap::new();
@@ -114,6 +128,11 @@ impl<'a> ManagedTlsDetector<'a> {
         for certs in by_customer.values_mut() {
             certs.sort_by_key(|c| c.cert_id);
         }
+        sink.add("detector.mtd.customers", by_customer.len() as u64);
+        sink.add(
+            "detector.mtd.cert_refs",
+            by_customer.values().map(|v| v.len() as u64).sum(),
+        );
         let mut records = Vec::new();
         for (domain, certs) in &by_customer {
             for departure in self.departures_for(adns, domain, window) {
@@ -124,6 +143,7 @@ impl<'a> ManagedTlsDetector<'a> {
                 }
             }
         }
+        sink.add("detector.mtd.records", records.len() as u64);
         records
     }
 

@@ -78,7 +78,26 @@ impl<'a> RegistrantChangeDetector<'a> {
         changes: &[IndexedChange],
         certs: impl IntoIterator<Item = &'m DedupedCert>,
     ) -> Vec<(usize, StaleCertRecord)> {
+        self.detect_shard_observed(changes, certs, &obs::NullSink)
+    }
+
+    /// [`Self::detect_shard`] reporting item counts (`detector.rc.*`)
+    /// through a write-only [`obs::CounterSink`]; the sink has no read
+    /// surface, so detection cannot depend on what was recorded.
+    pub fn detect_shard_observed<'m>(
+        &self,
+        changes: &[IndexedChange],
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+        sink: &dyn obs::CounterSink,
+    ) -> Vec<(usize, StaleCertRecord)> {
         let index = self.index_certs(certs);
+        sink.add("detector.rc.changes", changes.len() as u64);
+        sink.add("detector.rc.indexed_e2lds", index.len() as u64);
+        // Summing lengths is order-independent and the sink is write-only,
+        // so this HashMap walk cannot leak iteration order into results.
+        // stale-lint: allow(nondeterministic-iteration)
+        let cert_refs: u64 = index.values().map(|v| v.len() as u64).sum();
+        sink.add("detector.rc.cert_refs", cert_refs);
         let mut records = Vec::new();
         for change in changes {
             let Some(certs) = index.get(&change.domain) else {
@@ -90,6 +109,7 @@ impl<'a> RegistrantChangeDetector<'a> {
                 }
             }
         }
+        sink.add("detector.rc.records", records.len() as u64);
         records
     }
 

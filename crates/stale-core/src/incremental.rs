@@ -145,6 +145,22 @@ impl<'w> KcIncremental<'w> {
         certs: &[&'w DedupedCert],
         crl: &[(usize, &'w RevocationRecord)],
     ) -> Vec<StaleEvent> {
+        self.ingest_day_observed(discovered, certs, crl, &obs::NullSink)
+    }
+
+    /// [`Self::ingest_day`] reporting item counts
+    /// (`detector.kc.ingest.*`) through a write-only
+    /// [`obs::CounterSink`]; the sink has no read surface, so ingestion
+    /// cannot depend on what was recorded.
+    pub fn ingest_day_observed(
+        &mut self,
+        discovered: Date,
+        certs: &[&'w DedupedCert],
+        crl: &[(usize, &'w RevocationRecord)],
+        sink: &dyn obs::CounterSink,
+    ) -> Vec<StaleEvent> {
+        sink.add("detector.kc.ingest.certs", certs.len() as u64);
+        sink.add("detector.kc.ingest.crl", crl.len() as u64);
         let mut events = Vec::new();
         for cert in certs {
             let Some(aki) = cert.certificate.tbs.authority_key_id() else {
@@ -177,7 +193,14 @@ impl<'w> KcIncremental<'w> {
                 push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
             }
         }
+        sink.add("detector.kc.ingest.events", events.len() as u64);
         events
+    }
+
+    /// Retained-state size: join-index entries plus CRL records seen.
+    /// Observability only (ledger-growth histograms).
+    pub fn footprint(&self) -> usize {
+        self.index.len() + self.seen.len()
     }
 
     /// The shard's join matches so far — exactly what the batch
@@ -317,6 +340,23 @@ impl<'w> RcIncremental<'w> {
         certs: &[&'w DedupedCert],
         whois: &[(&DomainName, Date)],
     ) -> Vec<StaleEvent> {
+        self.ingest_day_observed(discovered, detector, certs, whois, &obs::NullSink)
+    }
+
+    /// [`Self::ingest_day`] reporting item counts
+    /// (`detector.rc.ingest.*`) through a write-only
+    /// [`obs::CounterSink`]; the sink has no read surface, so ingestion
+    /// cannot depend on what was recorded.
+    pub fn ingest_day_observed(
+        &mut self,
+        discovered: Date,
+        detector: &RegistrantChangeDetector<'_>,
+        certs: &[&'w DedupedCert],
+        whois: &[(&DomainName, Date)],
+        sink: &dyn obs::CounterSink,
+    ) -> Vec<StaleEvent> {
+        sink.add("detector.rc.ingest.certs", certs.len() as u64);
+        sink.add("detector.rc.ingest.whois", whois.len() as u64);
         let mut events = Vec::new();
         for cert in certs {
             for e2ld in detector.cert_e2lds(cert) {
@@ -352,7 +392,14 @@ impl<'w> RcIncremental<'w> {
                 }
             }
         }
+        sink.add("detector.rc.ingest.events", events.len() as u64);
         events
+    }
+
+    /// Retained-state size: indexed e2LD cert lists, creation ledgers and
+    /// open matches. Observability only (ledger-growth histograms).
+    pub fn footprint(&self) -> usize {
+        self.certs_by_e2ld.len() + self.creations.len() + self.matches.len()
     }
 
     /// All stale records so far, keyed by their `(domain, creation)`
@@ -512,6 +559,24 @@ impl<'w> MtdIncremental<'w> {
         dns: &[(Date, &DomainName, &DnsView)],
         owned: impl Fn(&DomainName) -> bool,
     ) -> Vec<StaleEvent> {
+        self.ingest_day_observed(discovered, detector, certs, dns, owned, &obs::NullSink)
+    }
+
+    /// [`Self::ingest_day`] reporting item counts
+    /// (`detector.mtd.ingest.*`) through a write-only
+    /// [`obs::CounterSink`]; the sink has no read surface, so ingestion
+    /// cannot depend on what was recorded.
+    pub fn ingest_day_observed(
+        &mut self,
+        discovered: Date,
+        detector: &ManagedTlsDetector<'_>,
+        certs: &[&'w DedupedCert],
+        dns: &[(Date, &DomainName, &DnsView)],
+        owned: impl Fn(&DomainName) -> bool,
+        sink: &dyn obs::CounterSink,
+    ) -> Vec<StaleEvent> {
+        sink.add("detector.mtd.ingest.certs", certs.len() as u64);
+        sink.add("detector.mtd.ingest.dns", dns.len() as u64);
         let mut events = Vec::new();
         for cert in certs {
             if !detector.is_managed_cert(cert) {
@@ -554,7 +619,14 @@ impl<'w> MtdIncremental<'w> {
                 }
             }
         }
+        sink.add("detector.mtd.ingest.events", events.len() as u64);
         events
+    }
+
+    /// Retained-state size: delegation states, departure ledgers and
+    /// customer cert lists. Observability only (ledger-growth histograms).
+    pub fn footprint(&self) -> usize {
+        self.delegated.len() + self.departures.len() + self.certs_by_customer.len()
     }
 
     /// All stale records so far, in the batch shard's emission order

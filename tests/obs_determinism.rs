@@ -1,0 +1,150 @@
+//! The observability hard invariant: tracing and metrics never feed back
+//! into results. Running the engine with a live `Obs` (span tracing on,
+//! registry accumulating) produces a detection suite byte-identical to an
+//! uninstrumented run — in batch and incremental mode, on fixed and
+//! randomly seeded worlds — and the artifacts an instrumented run emits
+//! (`--trace-out` JSONL, `--metrics-json`) round-trip through
+//! `stale-lint preflight` clean.
+
+use proptest::prelude::*;
+use stale_tls::engine::{Engine, EngineConfig};
+use stale_tls::prelude::*;
+
+/// Same comparable byte form as `engine_equivalence.rs` /
+/// `incremental_equivalence.rs`, so all three tests guard the same bytes.
+fn suite_bytes(suite: &DetectionSuite) -> String {
+    serde_json::to_string(&(
+        &suite.revocations.matched,
+        &suite.revocations.stats,
+        &suite.revocations.cutoff,
+        &suite.key_compromise,
+        &suite.registrant_change,
+        &suite.managed_tls,
+    ))
+    .expect("suite serialises")
+}
+
+fn engine(shards: usize, obs: obs::Obs) -> Engine {
+    Engine::new(EngineConfig::with_shards(shards)).with_obs(obs)
+}
+
+#[test]
+fn tracing_on_and_off_are_byte_identical_on_fixed_world() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    for shards in [1usize, 2, 7] {
+        let plain = engine(shards, obs::Obs::disabled())
+            .run(&data, &psl)
+            .expect("uninstrumented batch run");
+        let traced_obs = obs::Obs::enabled();
+        let traced = engine(shards, traced_obs.clone())
+            .run(&data, &psl)
+            .expect("traced batch run");
+        assert_eq!(
+            suite_bytes(&traced.suite),
+            suite_bytes(&plain.suite),
+            "batch shards={shards}"
+        );
+        // The instrumented run actually recorded something.
+        assert!(!traced_obs.trace.records().is_empty());
+        assert!(traced_obs
+            .registry
+            .snapshot()
+            .counters
+            .contains_key("engine.stage.detect.wall_us"));
+
+        let plain = engine(shards, obs::Obs::disabled())
+            .run_incremental(&data, &psl)
+            .expect("uninstrumented incremental run");
+        let traced = engine(shards, obs::Obs::enabled())
+            .run_incremental(&data, &psl)
+            .expect("traced incremental run");
+        assert_eq!(
+            suite_bytes(&traced.suite),
+            suite_bytes(&plain.suite),
+            "incremental shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn emitted_artifacts_preflight_clean() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let obs = obs::Obs::enabled();
+    engine(2, obs.clone())
+        .run(&data, &psl)
+        .expect("traced batch run");
+    engine(2, obs.clone())
+        .run_incremental(&data, &psl)
+        .expect("traced incremental run");
+
+    // What `repro --trace-out` writes validates as a trace file.
+    let jsonl = obs.trace.to_jsonl();
+    let diags = stale_lint::preflight::preflight_str("trace.jsonl", &jsonl);
+    assert!(diags.is_empty(), "trace preflight: {diags:?}");
+    // Both engine modes left their root spans in one shared trace.
+    let tree = obs.trace.render_tree();
+    assert!(tree.contains("engine.run"), "{tree}");
+    assert!(tree.contains("engine.run_incremental"), "{tree}");
+
+    // What `repro --metrics-json` writes validates as a metrics file.
+    let json = obs.registry.export_json();
+    let diags = stale_lint::preflight::preflight_str("metrics.json", &json);
+    assert!(diags.is_empty(), "metrics preflight: {diags:?}");
+    let snapshot = obs.registry.snapshot();
+    for counter in [
+        "engine.stage.partition.wall_us",
+        "engine.stage.detect.wall_us",
+        "engine.stage.merge.wall_us",
+        "engine.stage.ingest.wall_us",
+        "detector.kc.certs",
+        "supervisor.attempts",
+    ] {
+        assert!(
+            snapshot.counters.contains_key(counter),
+            "missing {counter}: {:?}",
+            snapshot.counters.keys().collect::<Vec<_>>()
+        );
+    }
+    assert!(snapshot.histograms.contains_key("engine.shard.wall_us"));
+    assert!(snapshot.histograms.contains_key("engine.queue.depth"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random small worlds: the suite is byte-identical with tracing on
+    /// vs off, batch and incremental, across shard widths.
+    #[test]
+    fn tracing_never_perturbs_results_on_random_worlds(seed in any::<u64>()) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        for shards in [1usize, 3] {
+            let plain = engine(shards, obs::Obs::disabled())
+                .run(&data, &psl)
+                .expect("uninstrumented batch");
+            let traced = engine(shards, obs::Obs::enabled())
+                .run(&data, &psl)
+                .expect("traced batch");
+            prop_assert_eq!(
+                &suite_bytes(&traced.suite),
+                &suite_bytes(&plain.suite),
+                "batch shards={}", shards
+            );
+            let plain = engine(shards, obs::Obs::disabled())
+                .run_incremental(&data, &psl)
+                .expect("uninstrumented incremental");
+            let traced = engine(shards, obs::Obs::enabled())
+                .run_incremental(&data, &psl)
+                .expect("traced incremental");
+            prop_assert_eq!(
+                &suite_bytes(&traced.suite),
+                &suite_bytes(&plain.suite),
+                "incremental shards={}", shards
+            );
+        }
+    }
+}
