@@ -43,6 +43,11 @@
 //!                               counters) as stable-schema JSON to F
 //!              --metrics-prom F write the same registry as Prometheus
 //!                               text exposition to F
+//!              --audit-out F    record per-candidate detector decisions
+//!                               (kept / dropped-with-reason, with source
+//!                               provenance) and write the merged audit as
+//!                               JSONL to F; detector results are
+//!                               byte-identical with auditing on or off
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 when any shard degraded or an engine
@@ -64,6 +69,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut metrics_prom: Option<String> = None;
+    let mut audit_out: Option<String> = None;
     let mut args_iter = args.iter().peekable();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
@@ -129,6 +135,14 @@ fn main() {
                     eprintln!("--metrics-prom needs a file path");
                     std::process::exit(2);
                 }
+            }
+            "--audit-out" => {
+                audit_out = args_iter.next().cloned();
+                if audit_out.is_none() {
+                    eprintln!("--audit-out needs a file path");
+                    std::process::exit(2);
+                }
+                engine_cfg.audit = true;
             }
             "--through" => {
                 engine_cfg.through = match args_iter
@@ -314,6 +328,22 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("wrote Prometheus metrics to {path}");
+    }
+    if let Some(path) = &audit_out {
+        match &run.audit {
+            Some(audit) => {
+                if let Err(e) = std::fs::write(path, audit.to_jsonl()) {
+                    eprintln!("cannot write audit to {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("wrote decision audit to {path}");
+                eprint!("{}", audit.render_coverage());
+            }
+            None => {
+                eprintln!("engine produced no audit despite --audit-out");
+                std::process::exit(1);
+            }
+        }
     }
     for d in &run.degraded {
         eprintln!(

@@ -1,15 +1,27 @@
-//! `stale-bench` — bench-trajectory tooling.
+//! `stale-bench` — bench-trajectory and decision-audit tooling.
 //!
 //! ```text
 //! stale-bench compare <BASELINE> <CURRENT> [--threshold 0.25]
 //!                     [--min-wall-us 1000] [--out BENCH_obs.json] [--json]
+//! stale-bench explain <FINGERPRINT> --audit AUDIT.jsonl
+//! stale-bench report --audit AUDIT.jsonl
 //! ```
 //!
-//! `BASELINE` and `CURRENT` are metrics-JSON exports from
+//! `compare`: `BASELINE` and `CURRENT` are metrics-JSON exports from
 //! `repro --metrics-json` — or previous `BENCH_obs.json` comparison
 //! artifacts, whose embedded `current` snapshot is used (so CI can chain
-//! the committed artifact run over run). Exit codes: 0 clean, 1 at least
-//! one stage regressed beyond the threshold, 2 usage/IO error.
+//! the committed artifact run over run). Stage wall times are held to the
+//! threshold; deterministic `audit.*` count counters present on both
+//! sides must match exactly. Exit codes: 0 clean, 1 at least one stage
+//! regressed or count drifted, 2 usage/IO error.
+//!
+//! `explain`: reconstruct one certificate's full decision chain from a
+//! `repro --audit-out` JSONL export. `FINGERPRINT` may be any unique
+//! prefix. Exit codes: 0 found, 1 unknown/ambiguous fingerprint, 2
+//! usage/IO error.
+//!
+//! `report`: render the per-detector coverage table (candidates, kept,
+//! dropped-by-reason, Table-7-style CRL match rate) from an audit export.
 
 use stale_bench::compare::{compare, parse_snapshot, DEFAULT_MIN_WALL_US, DEFAULT_THRESHOLD};
 use std::process::ExitCode;
@@ -17,12 +29,21 @@ use std::process::ExitCode;
 fn usage() -> String {
     "usage: stale-bench compare <BASELINE> <CURRENT> [--threshold FRACTION] \
      [--min-wall-us US] [--out PATH] [--json]\n\
+     \x20      stale-bench explain <FINGERPRINT> --audit FILE\n\
+     \x20      stale-bench report --audit FILE\n\
      \n\
-     Diff two metrics-JSON exports (repro --metrics-json) stage by stage.\n\
-     A stage regresses when its wall time exceeds baseline * (1 + threshold)\n\
-     and the baseline is at least the noise floor. Either input may be a\n\
-     previous comparison artifact (its embedded `current` is used).\n\
-     Exit: 0 clean, 1 regression(s), 2 error."
+     compare: diff two metrics-JSON exports (repro --metrics-json) stage by\n\
+     stage. A stage regresses when its wall time exceeds baseline *\n\
+     (1 + threshold) and the baseline is at least the noise floor; audit.*\n\
+     count counters present on both sides must match exactly. Either input\n\
+     may be a previous comparison artifact (its embedded `current` is used).\n\
+     Exit: 0 clean, 1 regression(s)/drift(s), 2 error.\n\
+     \n\
+     explain: print one certificate's decision chain from a decision-audit\n\
+     export (repro --audit-out). FINGERPRINT may be a unique prefix.\n\
+     Exit: 0 found, 1 unknown or ambiguous fingerprint, 2 error.\n\
+     \n\
+     report: print the per-detector coverage table from an audit export."
         .to_string()
 }
 
@@ -31,20 +52,71 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{}", usage());
-        return ExitCode::from(2);
+/// Parse `rest` as `[POSITIONAL...] --audit FILE` and load the audit
+/// report, expecting exactly `positional` free arguments.
+fn load_audit(
+    rest: &[String],
+    positional: usize,
+) -> Result<(Vec<String>, obs::AuditReport), String> {
+    let mut free: Vec<String> = Vec::new();
+    let mut audit_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--audit" => {
+                let Some(v) = it.next() else {
+                    return Err("--audit needs a path".to_string());
+                };
+                audit_path = Some(v.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ => free.push(arg.clone()),
+        }
+    }
+    if free.len() != positional {
+        return Err(format!(
+            "expected {positional} positional argument(s), got {}\n{}",
+            free.len(),
+            usage()
+        ));
+    }
+    let Some(path) = audit_path else {
+        return Err(format!("--audit FILE is required\n{}", usage()));
     };
-    if cmd == "--help" || cmd == "-h" || cmd == "help" {
-        println!("{}", usage());
-        return ExitCode::SUCCESS;
-    }
-    if cmd != "compare" {
-        return fail(&format!("unknown subcommand {cmd:?}\n{}", usage()));
-    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = obs::AuditReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((free, report))
+}
 
+fn cmd_explain(rest: &[String]) -> ExitCode {
+    let (free, report) = match load_audit(rest, 1) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    match report.render_explain(&free[0]) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stale-bench: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_report(rest: &[String]) -> ExitCode {
+    let (_, report) = match load_audit(rest, 0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    print!("{}", report.render_coverage());
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(rest: &[String]) -> ExitCode {
     let mut paths: Vec<&String> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
     let mut min_wall_us = DEFAULT_MIN_WALL_US;
@@ -122,5 +194,23 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        "compare" => cmd_compare(rest),
+        "explain" => cmd_explain(rest),
+        "report" => cmd_report(rest),
+        other => fail(&format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }

@@ -8,6 +8,14 @@
 //! (fractional; 0.25 = +25%). Stages whose baseline wall is below
 //! `min_wall_us` are exempt — microsecond-scale stages are all jitter.
 //!
+//! Deterministic *count* counters are held to a stricter standard: every
+//! `audit.*` coverage gauge present in **both** snapshots must match
+//! exactly. These counters are derived from the decision audit, which is
+//! byte-deterministic for a given dataset bundle, so any drift means the
+//! detectors changed behaviour — a hard failure at threshold 0, with no
+//! noise floor. Counters present on only one side (e.g. the baseline
+//! predates auditing) are reported but never flag.
+//!
 //! The result serializes as `BENCH_obs.json` (schema
 //! [`COMPARE_SCHEMA`]), which doubles as the committed CI baseline: it
 //! embeds the `current` snapshot, so the next comparison can chain off a
@@ -44,6 +52,20 @@ pub struct StageDelta {
     pub regressed: bool,
 }
 
+/// One deterministic count counter's baseline-vs-current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountDelta {
+    /// Counter name (e.g. `audit.kc.dropped.crl-unmatched`).
+    pub name: String,
+    /// Baseline value, or `None` when the counter is new.
+    pub baseline: Option<u64>,
+    /// Current value, or `None` when the counter disappeared.
+    pub current: Option<u64>,
+    /// Whether the counter exists on both sides with different values.
+    /// Any such drift is a hard failure — there is no threshold.
+    pub drifted: bool,
+}
+
 /// The whole comparison, as written to `BENCH_obs.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Comparison {
@@ -59,6 +81,12 @@ pub struct Comparison {
     pub stages: Vec<StageDelta>,
     /// Count of regressed stages.
     pub regressions: usize,
+    /// Deterministic `audit.*` count counters, name-sorted. `None` only
+    /// when parsing a pre-audit artifact.
+    pub counts: Option<Vec<CountDelta>>,
+    /// Count of drifted count counters. `None` only when parsing a
+    /// pre-audit artifact (treated as 0).
+    pub count_drifts: Option<usize>,
     /// The baseline snapshot compared against.
     pub baseline: Snapshot,
     /// The current snapshot — the next run's baseline.
@@ -66,9 +94,10 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Whether the run is clean (no stage regressed).
+    /// Whether the run is clean: no stage regressed *and* no
+    /// deterministic count counter drifted.
     pub fn is_clean(&self) -> bool {
-        self.regressions == 0
+        self.regressions == 0 && self.count_drifts.unwrap_or(0) == 0
     }
 
     /// Human-readable summary table.
@@ -95,12 +124,40 @@ impl Comparison {
             self.stages.len(),
             self.regressions
         ));
+        if let Some(counts) = &self.counts {
+            if !counts.is_empty() {
+                out.push_str("deterministic count comparison (audit.*, exact match)\n");
+                out.push_str(
+                    "  counter                                        baseline     current\n",
+                );
+                let fmt = |v: Option<u64>| match v {
+                    Some(n) => n.to_string(),
+                    None => "-".to_string(),
+                };
+                for c in counts {
+                    out.push_str(&format!(
+                        "  {:<44} {:>10}  {:>10}{}\n",
+                        c.name,
+                        fmt(c.baseline),
+                        fmt(c.current),
+                        if c.drifted { "  DRIFTED" } else { "" }
+                    ));
+                }
+                out.push_str(&format!(
+                    "  {} counter(s), {} drift(s)\n",
+                    counts.len(),
+                    self.count_drifts.unwrap_or(0)
+                ));
+            }
+        }
         out
     }
 }
 
 /// Diff two snapshots' stage wall counters. `threshold` is fractional
-/// (0.25 = +25%); baselines below `min_wall_us` never flag.
+/// (0.25 = +25%); baselines below `min_wall_us` never flag. `audit.*`
+/// count counters are additionally diffed at threshold 0: any drift
+/// between values present on both sides is a hard failure.
 pub fn compare(
     baseline: &Snapshot,
     current: &Snapshot,
@@ -140,6 +197,34 @@ pub fn compare(
             regressed,
         });
     }
+    let is_count = |name: &str| name.starts_with("audit.");
+    let mut count_names: Vec<String> = baseline
+        .counters
+        .keys()
+        .chain(current.counters.keys())
+        .filter(|n| is_count(n))
+        .cloned()
+        .collect();
+    count_names.sort();
+    count_names.dedup();
+
+    let mut counts = Vec::with_capacity(count_names.len());
+    let mut count_drifts = 0usize;
+    for name in count_names {
+        let b = baseline.counters.get(&name).copied();
+        let c = current.counters.get(&name).copied();
+        let drifted = matches!((b, c), (Some(b), Some(c)) if b != c);
+        if drifted {
+            count_drifts += 1;
+        }
+        counts.push(CountDelta {
+            name,
+            baseline: b,
+            current: c,
+            drifted,
+        });
+    }
+
     Comparison {
         schema: COMPARE_SCHEMA.to_string(),
         version: COMPARE_VERSION,
@@ -147,6 +232,8 @@ pub fn compare(
         min_wall_us,
         stages,
         regressions,
+        counts: Some(counts),
+        count_drifts: Some(count_drifts),
         baseline: baseline.clone(),
         current: current.clone(),
     }
@@ -261,6 +348,75 @@ mod tests {
         assert_eq!(parse_snapshot(&raw).expect("raw"), baseline);
         // Garbage is an error.
         assert!(parse_snapshot("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn audit_count_drift_is_a_hard_failure() {
+        // A single off-by-one in a coverage counter fails the run even
+        // though every wall time is identical.
+        let mk = |kept: u64| {
+            let reg = Registry::new();
+            reg.add("engine.stage.detect.wall_us", 400_000);
+            reg.add("audit.kc.candidates", 500);
+            reg.add("audit.kc.kept", kept);
+            reg.snapshot()
+        };
+        let cmp = compare(&mk(400), &mk(401), DEFAULT_THRESHOLD, DEFAULT_MIN_WALL_US);
+        assert_eq!(cmp.regressions, 0, "no wall regression");
+        assert_eq!(cmp.count_drifts, Some(1));
+        assert!(!cmp.is_clean());
+        let counts = cmp.counts.as_ref().expect("counts present");
+        let kept = counts
+            .iter()
+            .find(|c| c.name == "audit.kc.kept")
+            .expect("kept counter present");
+        assert!(kept.drifted);
+        assert_eq!((kept.baseline, kept.current), (Some(400), Some(401)));
+        assert!(counts
+            .iter()
+            .filter(|c| c.name != "audit.kc.kept")
+            .all(|c| !c.drifted));
+        let text = cmp.render_human();
+        assert!(text.contains("audit.kc.kept"));
+        assert!(text.contains("DRIFTED"));
+        assert!(text.contains("1 drift(s)"));
+    }
+
+    #[test]
+    fn one_sided_audit_counters_never_drift() {
+        // A baseline from before auditing existed (or with auditing off)
+        // has no audit.* counters — the current run must still be clean.
+        let baseline = snapshot(&[("detect", 100_000)]);
+        let reg = Registry::new();
+        reg.add("engine.stage.detect.wall_us", 100_000);
+        reg.add("engine.stage.detect.items_in", 10);
+        reg.add("audit.rc.candidates", 7);
+        let current = reg.snapshot();
+        let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD, DEFAULT_MIN_WALL_US);
+        assert!(cmp.is_clean());
+        assert_eq!(cmp.count_drifts, Some(0));
+        let counts = cmp.counts.as_ref().expect("counts present");
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].baseline, None);
+        assert_eq!(counts[0].current, Some(7));
+    }
+
+    #[test]
+    fn pre_audit_artifact_still_parses() {
+        // BENCH_obs.json files written before `counts` existed have no
+        // such field; the Option must absorb that, and an absent
+        // count_drifts counts as clean.
+        let baseline = snapshot(&[("detect", 100_000)]);
+        let snap = serde_json::to_string(&baseline).expect("snapshot serializes");
+        let json = format!(
+            "{{\"schema\":\"{COMPARE_SCHEMA}\",\"version\":{COMPARE_VERSION},\
+             \"threshold\":0.25,\"min_wall_us\":1000,\"stages\":[],\
+             \"regressions\":0,\"baseline\":{snap},\"current\":{snap}}}"
+        );
+        let parsed: Comparison = serde_json::from_str(&json).expect("parses without counts");
+        assert_eq!(parsed.counts, None);
+        assert_eq!(parsed.count_drifts, None);
+        assert!(parsed.is_clean());
     }
 
     #[test]

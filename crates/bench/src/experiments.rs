@@ -41,6 +41,8 @@ pub struct EngineRun {
     /// Stale events in discovery order (incremental runs; empty in batch
     /// mode, where everything lands at once).
     pub events: Vec<stale_core::incremental::StaleEvent>,
+    /// Merged decision audit (`EngineConfig::audit`; `None` when off).
+    pub audit: Option<obs::AuditReport>,
 }
 
 impl Experiments {
@@ -100,6 +102,7 @@ impl Experiments {
             metrics: report.metrics,
             shards: report.shards,
             events: report.events,
+            audit: report.audit,
         })
     }
 
@@ -147,6 +150,7 @@ impl Experiments {
             metrics: report.metrics,
             shards: report.shards,
             events: report.events,
+            audit: report.audit,
         })
     }
 

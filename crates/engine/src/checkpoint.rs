@@ -40,12 +40,26 @@
 //! stores `cert_id`s and re-resolves them from the CT monitor on resume.
 
 use crate::metrics::ShardMetrics;
+use obs::audit::Decision;
 use serde::{Deserialize, Serialize};
-use stale_core::detector::key_compromise::ShardMatch;
+use stale_core::detector::key_compromise::{KcLoser, ShardMatch};
 use stale_core::incremental::{SavedKc, SavedMtd, SavedRc};
 use stale_core::staleness::StaleCertRecord;
 use stale_types::Date;
 use std::path::Path;
+
+/// One shard's contribution to the decision audit: the rc/mtd decisions
+/// it emitted plus the kc duplicate-fingerprint losers it observed (kc
+/// decisions proper are derived at merge time from the global join, so
+/// they cannot depend on shard count).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardAudit {
+    /// rc/mtd per-candidate decisions, in shard emission order.
+    pub decisions: Vec<Decision>,
+    /// `(AKI, serial, cert id)` duplicate-fingerprint losers under
+    /// CRL-matched keys.
+    pub kc_losers: Vec<KcLoser>,
+}
 
 /// Everything one shard's detectors produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +72,10 @@ pub struct ShardOutput {
     pub rc: Vec<(usize, StaleCertRecord)>,
     /// Managed-TLS departure records.
     pub mtd: Vec<StaleCertRecord>,
+    /// Decision-audit contribution. `None` when auditing was off (and in
+    /// checkpoints written before the audit existed); an audited run
+    /// discards resumed shards without it and re-runs them.
+    pub audit: Option<ShardAudit>,
 }
 
 /// A finished shard, as persisted.
@@ -204,6 +222,7 @@ mod tests {
                     kc: vec![],
                     rc: vec![],
                     mtd: vec![],
+                    audit: None,
                 },
                 metrics: ShardMetrics {
                     shard: 1,

@@ -34,6 +34,11 @@ pub struct EngineConfig {
     /// many ingested days (when `checkpoint` is set). The final state is
     /// always written.
     pub checkpoint_every_days: usize,
+    /// Record per-candidate decision audits (`repro --audit-out`). The
+    /// audit stream is write-only from the detectors' side and never
+    /// alters results; [`crate::EngineReport::suite`] is byte-identical
+    /// with auditing on or off.
+    pub audit: bool,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +53,7 @@ impl Default for EngineConfig {
             day_batch: 1,
             through: None,
             checkpoint_every_days: 1,
+            audit: false,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The engine: partition → supervise → merge.
 
-use crate::checkpoint::{Checkpoint, CompletedShard, ShardOutput};
+use crate::checkpoint::{Checkpoint, CompletedShard, ShardAudit, ShardOutput};
 use crate::config::EngineConfig;
 use crate::metrics::{DegradedShardMetrics, EngineMetrics, ShardMetrics, StageMetrics};
 use crate::partition::{mtd_routing_key, partition, shard_of, ShardInput};
@@ -51,6 +51,9 @@ pub struct EngineReport {
     /// Stale events in discovery order (incremental runs only; batch runs
     /// leave this empty — every record lands at once).
     pub events: Vec<stale_core::incremental::StaleEvent>,
+    /// Merged decision audit ([`EngineConfig::audit`]); canonical order,
+    /// independent of shard count and of batch vs incremental mode.
+    pub audit: Option<obs::AuditReport>,
 }
 
 impl EngineReport {
@@ -126,6 +129,12 @@ impl Engine {
             Some(path) => Checkpoint::load_or_new(path, fingerprint, n),
             None => Checkpoint::new(fingerprint, n),
         };
+        if self.config.audit {
+            // An audited run can only reuse shards that carry their audit
+            // contribution; older (or unaudited) completions are dropped
+            // and re-run so the merged audit stays complete.
+            checkpoint.completed.retain(|c| c.output.audit.is_some());
+        }
         let resumed_shards = checkpoint.completed.len();
         restore_span.count("resumed_shards", resumed_shards as u64);
         drop(restore_span);
@@ -153,7 +162,16 @@ impl Engine {
                 // stale-lint: allow(panic-in-shard)
                 panic!("injected failure in shard {shard} (attempt {attempt})");
             }
-            run_one_shard(&shard_inputs[shard], data, psl, n, attempt, obs, span)
+            run_one_shard(
+                &shard_inputs[shard],
+                data,
+                psl,
+                n,
+                attempt,
+                obs,
+                span,
+                config.audit,
+            )
         };
 
         let mut checkpoint_error: Option<std::io::Error> = None;
@@ -215,6 +233,22 @@ impl Engine {
         let kc: Vec<_> = completed.iter().map(|c| c.output.kc.clone()).collect();
         let rc: Vec<_> = completed.iter().map(|c| c.output.rc.clone()).collect();
         let mtd: Vec<_> = completed.iter().map(|c| c.output.mtd.clone()).collect();
+        let audit = if self.config.audit {
+            let mut decisions = Vec::new();
+            let mut losers = Vec::new();
+            for c in &completed {
+                if let Some(a) = &c.output.audit {
+                    decisions.extend(a.decisions.iter().cloned());
+                    losers.extend(a.kc_losers.iter().copied());
+                }
+            }
+            decisions.extend(key_compromise::audit_decisions(&data.crl, &kc, &losers));
+            let report = obs::AuditReport::from_decisions(decisions);
+            report.register_coverage(&obs.registry);
+            Some(report)
+        } else {
+            None
+        };
         let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
         let merged =
             suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
@@ -248,6 +282,7 @@ impl Engine {
             metrics,
             shards: n,
             events: Vec::new(),
+            audit,
         })
     }
 }
@@ -294,7 +329,11 @@ pub(crate) fn merge_suite(
 
 /// Run all three detectors on one shard's slice. Each detector stage runs
 /// under its own span (child of the attempt span `parent`) and reports
-/// item counts through the registry's write-only sink surface.
+/// item counts through the registry's write-only sink surface. With
+/// `audit` on, each detector also streams per-candidate decisions into a
+/// fresh per-attempt [`obs::AuditLog`] (fresh so a panicked attempt's
+/// partial stream dies with it).
+#[allow(clippy::too_many_arguments)]
 fn run_one_shard(
     input: &ShardInput<'_>,
     data: &WorldDatasets,
@@ -303,30 +342,51 @@ fn run_one_shard(
     attempt: u32,
     obs: &Obs,
     parent: SpanId,
+    audit: bool,
 ) -> (ShardOutput, ShardMetrics) {
     let registry = &obs.registry;
     let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+    let audit_log = audit.then(obs::AuditLog::new);
     let start = Instant::now();
 
     let kc_start = Instant::now();
     let mut kc_span = obs.trace.child(parent, "kc");
-    let kc = key_compromise::join_shard_observed(
-        input.kc_certs.iter().copied(),
-        &data.crl,
-        cutoff,
-        registry,
-    );
+    let (kc, kc_losers) = if audit {
+        key_compromise::join_shard_audited(
+            input.kc_certs.iter().copied(),
+            &data.crl,
+            cutoff,
+            registry,
+        )
+    } else {
+        let kc = key_compromise::join_shard_observed(
+            input.kc_certs.iter().copied(),
+            &data.crl,
+            cutoff,
+            registry,
+        );
+        (kc, Vec::new())
+    };
     kc_span.count("matches", kc.len() as u64);
     drop(kc_span);
     let kc_us = kc_start.elapsed().as_micros() as u64;
 
     let rc_start = Instant::now();
     let mut rc_span = obs.trace.child(parent, "rc");
-    let rc = RegistrantChangeDetector::new(psl).detect_shard_observed(
-        &input.rc_changes,
-        input.rc_certs.iter().copied(),
-        registry,
-    );
+    let rc_detector = RegistrantChangeDetector::new(psl);
+    let rc = match &audit_log {
+        Some(log) => rc_detector.detect_shard_audited(
+            &input.rc_changes,
+            input.rc_certs.iter().copied(),
+            registry,
+            log,
+        ),
+        None => rc_detector.detect_shard_observed(
+            &input.rc_changes,
+            input.rc_certs.iter().copied(),
+            registry,
+        ),
+    };
     rc_span.count("records", rc.len() as u64);
     drop(rc_span);
     let rc_us = rc_start.elapsed().as_micros() as u64;
@@ -334,13 +394,26 @@ fn run_one_shard(
     let mtd_start = Instant::now();
     let mut mtd_span = obs.trace.child(parent, "mtd");
     let id = input.id;
-    let mtd = ManagedTlsDetector::new(&data.cdn_config, psl).detect_shard_observed(
-        &data.adns,
-        input.mtd_certs.iter().copied(),
-        data.adns_window,
-        |domain| shard_of(&mtd_routing_key(psl, domain), shards) == id,
-        registry,
-    );
+    let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
+    let owned =
+        |domain: &stale_types::DomainName| shard_of(&mtd_routing_key(psl, domain), shards) == id;
+    let mtd = match &audit_log {
+        Some(log) => mtd_detector.detect_shard_audited(
+            &data.adns,
+            input.mtd_certs.iter().copied(),
+            data.adns_window,
+            owned,
+            registry,
+            log,
+        ),
+        None => mtd_detector.detect_shard_observed(
+            &data.adns,
+            input.mtd_certs.iter().copied(),
+            data.adns_window,
+            owned,
+            registry,
+        ),
+    };
     mtd_span.count("records", mtd.len() as u64);
     drop(mtd_span);
     let mtd_us = mtd_start.elapsed().as_micros() as u64;
@@ -350,6 +423,10 @@ fn run_one_shard(
         kc,
         rc,
         mtd,
+        audit: audit_log.map(|log| ShardAudit {
+            decisions: log.drain(),
+            kc_losers,
+        }),
     };
     let metrics = ShardMetrics {
         shard: input.id,

@@ -33,7 +33,7 @@ use crate::metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, StageMetr
 use crate::partition::{mtd_routing_key, shard_of};
 use obs::{CounterSink, Histogram, HistogramSnapshot, SpanId};
 use psl::SuffixList;
-use stale_core::detector::key_compromise::RevocationAnalysis;
+use stale_core::detector::key_compromise::{self, RevocationAnalysis};
 use stale_core::detector::managed_tls::ManagedTlsDetector;
 use stale_core::detector::registrant_change::{enumerate_changes, RegistrantChangeDetector};
 use stale_core::incremental::{KcIncremental, MtdIncremental, RcIncremental, StaleEvent};
@@ -247,6 +247,25 @@ impl Engine {
             .iter_mut()
             .map(|s| s.mtd.finish(&mtd_detector))
             .collect();
+        // Decision audit: rc/mtd decisions re-derived from each shard's
+        // final state, kc decisions expanded from the global join — the
+        // same inputs the batch driver audits, so the merged report is
+        // identical across modes.
+        let audit = if self.config.audit {
+            let mut decisions = Vec::new();
+            let mut losers = Vec::new();
+            for s in &states {
+                decisions.extend(s.rc.decisions());
+                decisions.extend(s.mtd.decisions());
+                losers.extend(s.kc.losers());
+            }
+            decisions.extend(key_compromise::audit_decisions(&data.crl, &kc, &losers));
+            let report = obs::AuditReport::from_decisions(decisions);
+            report.register_coverage(&obs.registry);
+            Some(report)
+        } else {
+            None
+        };
         let emitted: usize = kc.iter().map(Vec::len).sum::<usize>()
             + rc.iter().map(Vec::len).sum::<usize>()
             + mtd.iter().map(Vec::len).sum::<usize>();
@@ -277,6 +296,7 @@ impl Engine {
             metrics,
             shards: n,
             events,
+            audit,
         })
     }
 

@@ -40,7 +40,12 @@
 //!   ([`obs::MetricsSnapshot::validate`]);
 //! * `trace-schema` — a trace-JSONL file's header matches its span
 //!   count, ids are dense and allocation-ordered, and every parent
-//!   precedes its children ([`obs::trace::validate_trace_jsonl`]).
+//!   precedes its children ([`obs::trace::validate_trace_jsonl`]);
+//! * `audit-schema` — a decision-audit JSONL export (`repro
+//!   --audit-out`) has a header whose coverage tallies match its decision
+//!   lines, canonical decision ordering, well-formed fingerprints and
+//!   day stamps, and detector/provenance kinds that agree
+//!   ([`obs::audit::validate_audit_jsonl`]).
 
 use crate::diagnostics::{Diagnostic, Severity};
 use engine::checkpoint::{Checkpoint, StreamCheckpoint};
@@ -69,18 +74,24 @@ pub fn preflight_path(path: &Path) -> Vec<Diagnostic> {
 /// Validate file contents, dispatching on shape: a `certs` field means a
 /// world bundle, `states` a schema-v2 checkpoint, `completed` a
 /// schema-v1 checkpoint, a `stale-obs-metrics` schema tag a metrics-JSON
-/// export, and a JSONL stream opening with a `stale-obs-trace` header a
-/// span trace.
+/// export, and a JSONL stream opening with a `stale-obs-trace` or
+/// `stale-obs-audit` header a span trace or decision audit.
 pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
-    // A trace export is JSONL, not one JSON document — sniff its header
-    // line before insisting the whole file parses as a single value.
+    // Trace and audit exports are JSONL, not one JSON document — sniff
+    // their header line before insisting the whole file parses as a
+    // single value.
     if let Some(first) = text.lines().next() {
         if let Ok(Value::Obj(fields)) = serde_json::from_str::<Value>(first) {
-            if fields
-                .iter()
-                .any(|(k, v)| k == "schema" && *v == Value::Str(obs::trace::TRACE_SCHEMA.into()))
-            {
+            let has_schema = |tag: &str| {
+                fields
+                    .iter()
+                    .any(|(k, v)| k == "schema" && *v == Value::Str(tag.into()))
+            };
+            if has_schema(obs::trace::TRACE_SCHEMA) {
                 return preflight_trace(label, text);
+            }
+            if has_schema(obs::audit::AUDIT_SCHEMA) {
+                return preflight_audit(label, text);
             }
         }
     }
@@ -133,6 +144,14 @@ pub fn preflight_trace(label: &str, text: &str) -> Vec<Diagnostic> {
     obs::trace::validate_trace_jsonl(text)
         .into_iter()
         .map(|msg| diag("trace-schema", label, msg))
+        .collect()
+}
+
+/// Validate a decision-audit JSONL export (`repro --audit-out`).
+pub fn preflight_audit(label: &str, text: &str) -> Vec<Diagnostic> {
+    obs::audit::validate_audit_jsonl(text)
+        .into_iter()
+        .map(|msg| diag("audit-schema", label, msg))
         .collect()
 }
 

@@ -152,6 +152,7 @@ fn stream_checkpoint_monotonicity_violations_named() {
                 CertId::from_bytes([3; 32]),
             ),
         ],
+        losers: None,
     };
     let json = serde_json::to_string(&cp).unwrap();
     let diags = preflight_str("ckpt", &json);
@@ -207,6 +208,7 @@ fn batch_checkpoint_violations_named() {
                 kc: Vec::new(),
                 rc: Vec::new(),
                 mtd: Vec::new(),
+                audit: None,
             },
             metrics: engine::ShardMetrics {
                 shard: 5,
@@ -297,6 +299,94 @@ fn tiny_trace_jsonl() -> String {
 fn fresh_trace_export_preflights_clean() {
     let diags = preflight_str("trace", &tiny_trace_jsonl());
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn tiny_audit_jsonl() -> String {
+    use obs::audit::{AuditReport, Decision, Detector, DropReason, Provenance, Verdict};
+    let decisions = vec![
+        Decision {
+            detector: Detector::Kc,
+            cert: "aa11".to_string(),
+            verdict: Verdict::Kept,
+            provenance: Provenance::CrlEntry {
+                crl_index: 0,
+                authority_key_id: "ab".to_string(),
+                serial: "01".to_string(),
+                revoked: "2021-03-04".to_string(),
+                reason: "keyCompromise".to_string(),
+            },
+        },
+        Decision {
+            detector: Detector::Kc,
+            cert: String::new(),
+            verdict: Verdict::Dropped(DropReason::CrlUnmatched),
+            provenance: Provenance::CrlEntry {
+                crl_index: 1,
+                authority_key_id: "ab".to_string(),
+                serial: "02".to_string(),
+                revoked: "2021-03-05".to_string(),
+                reason: "unspecified".to_string(),
+            },
+        },
+        Decision {
+            detector: Detector::Rc,
+            cert: "bb22".to_string(),
+            verdict: Verdict::Dropped(DropReason::OutsideValidityWindow),
+            provenance: Provenance::WhoisCreation {
+                domain: "a.com".to_string(),
+                created: "2021-06-01".to_string(),
+            },
+        },
+        Decision {
+            detector: Detector::Mtd,
+            cert: "cc33".to_string(),
+            verdict: Verdict::Kept,
+            provenance: Provenance::DnsDeparture {
+                customer: "b.com".to_string(),
+                last_delegated: "2021-07-01".to_string(),
+                departed: "2021-07-02".to_string(),
+            },
+        },
+    ];
+    AuditReport::from_decisions(decisions).to_jsonl()
+}
+
+#[test]
+fn fresh_audit_export_preflights_clean() {
+    let diags = preflight_str("audit", &tiny_audit_jsonl());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn truncated_or_bitflipped_audit_rejected() {
+    let jsonl = tiny_audit_jsonl();
+    // Drop the last decision line: the header's decision count and
+    // coverage tallies no longer match the body.
+    let truncated: String = jsonl
+        .lines()
+        .take(jsonl.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = preflight_str("audit", &truncated);
+    assert_eq!(rules(&diags), ["audit-schema"], "{diags:?}");
+
+    // Flip one fingerprint character out of lowercase hex: the flipped
+    // line is named, the rest of the file still validates.
+    let flipped = jsonl.replacen("\"aa11\"", "\"aaZ1\"", 1);
+    assert_ne!(flipped, jsonl, "tamper target present");
+    let diags = preflight_str("audit", &flipped);
+    assert_eq!(rules(&diags), ["audit-schema"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("lowercase hex")),
+        "{diags:?}"
+    );
+
+    // Rewrite a drop reason to one outside the closed enum (wherever it
+    // appears — header tally and decision line both fail).
+    let unknown = jsonl.replace("\"outside-validity-window\"", "\"cosmic-rays\"");
+    assert_ne!(unknown, jsonl, "tamper target present");
+    let diags = preflight_str("audit", &unknown);
+    assert_eq!(rules(&diags), ["audit-schema"], "{diags:?}");
 }
 
 #[test]

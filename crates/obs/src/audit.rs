@@ -1,0 +1,986 @@
+//! The decision-audit layer: typed per-detector decisions with
+//! provenance, merged into a deterministic corpus-wide audit.
+//!
+//! The paper's headline numbers rest on silent filters — §5.1 drops
+//! outlier CRL entries before the key-compromise join, §4.2 discards
+//! WHOIS records outside certificate validity windows, §6 only counts
+//! customers whose delegation actually departed, and Table 7 reports CRL
+//! *coverage* as a first-class result. This module makes each of those
+//! decisions explicit: every candidate a detector considers yields one
+//! [`Decision`] — kept, or dropped for a reason from the closed
+//! [`DropReason`] enum — carrying the [`Provenance`] that justified it
+//! (source CRL entry, WHOIS creation date, or DNS day pair).
+//!
+//! Like the rest of `stale-obs`, the surface detectors see is
+//! write-only: they receive `&dyn` [`DecisionSink`] and can only emit.
+//! The engine buffers per-shard streams in an [`AuditLog`], then merges
+//! them into an [`AuditReport`] whose decision order is canonical
+//! (independent of shard count and thread interleaving) and whose
+//! per-detector [`CoverageSummary`] satisfies
+//! `candidates == kept + Σ dropped` by construction. The report exports
+//! as JSONL (schema [`AUDIT_SCHEMA`] v[`AUDIT_VERSION`], via
+//! `repro --audit-out`) and [`validate_audit_jsonl`] checks an export
+//! statically — `stale-lint preflight` wraps it.
+
+use crate::CounterSink;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Schema tag on the JSONL header line.
+pub const AUDIT_SCHEMA: &str = "stale-obs-audit";
+/// Current audit schema version.
+pub const AUDIT_VERSION: u32 = 1;
+
+/// Which detector made a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Detector {
+    /// Key compromise (§5): CRL × CT join.
+    Kc,
+    /// Registrant change (§4): WHOIS creation × CT join.
+    Rc,
+    /// Managed TLS departure (§6): DNS delegation × CT join.
+    Mtd,
+}
+
+impl Detector {
+    /// All detectors, in canonical (report) order.
+    pub const ALL: [Detector; 3] = [Detector::Kc, Detector::Rc, Detector::Mtd];
+
+    /// The lowercase tag used in exports and counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Detector::Kc => "kc",
+            Detector::Rc => "rc",
+            Detector::Mtd => "mtd",
+        }
+    }
+
+    /// Parse an export tag.
+    pub fn parse(s: &str) -> Option<Detector> {
+        Detector::ALL.iter().copied().find(|d| d.as_str() == s)
+    }
+}
+
+impl Serialize for Detector {
+    fn serialize(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Detector {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        match v {
+            Value::Str(s) => Detector::parse(s)
+                .ok_or_else(|| serde::de::Error::msg(format!("unknown detector {s:?}"))),
+            other => Err(serde::de::Error::msg(format!(
+                "expected detector string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Why a candidate was dropped — a closed enum mirroring the paper's
+/// filters. Every variant maps to one paper section (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropReason {
+    /// §5.1 / Table 7: a CRL entry whose (AKI, serial) matched no
+    /// certificate in the CT corpus.
+    CrlUnmatched,
+    /// §5.1: revocation date precedes the certificate's validity.
+    RevokedBeforeValid,
+    /// §5.1: revocation date follows the certificate's expiry.
+    RevokedAfterExpiry,
+    /// §5.1: revocation more than 13 months before collection — the
+    /// outlier-CRL filter.
+    CrlOutlier,
+    /// §5.2: several corpus certificates share the CRL entry's key;
+    /// only the newest is analysed, the rest are duplicates.
+    DuplicateFingerprint,
+    /// §4.2 / §6: the triggering event (WHOIS creation or DNS
+    /// departure) falls outside the certificate's validity window.
+    OutsideValidityWindow,
+    /// §6: the customer's delegation never departed in the collection
+    /// window, so its certificates cannot be stale.
+    DelegationStillPresent,
+}
+
+impl DropReason {
+    /// All reasons, in canonical order.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::CrlUnmatched,
+        DropReason::RevokedBeforeValid,
+        DropReason::RevokedAfterExpiry,
+        DropReason::CrlOutlier,
+        DropReason::DuplicateFingerprint,
+        DropReason::OutsideValidityWindow,
+        DropReason::DelegationStillPresent,
+    ];
+
+    /// The kebab-case tag used in exports and counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::CrlUnmatched => "crl-unmatched",
+            DropReason::RevokedBeforeValid => "revoked-before-valid",
+            DropReason::RevokedAfterExpiry => "revoked-after-expiry",
+            DropReason::CrlOutlier => "crl-outlier",
+            DropReason::DuplicateFingerprint => "duplicate-fingerprint",
+            DropReason::OutsideValidityWindow => "outside-validity-window",
+            DropReason::DelegationStillPresent => "delegation-still-present",
+        }
+    }
+
+    /// Parse a kebab-case tag.
+    pub fn parse(s: &str) -> Option<DropReason> {
+        DropReason::ALL.iter().copied().find(|r| r.as_str() == s)
+    }
+}
+
+/// Keep or drop. Serialises as `"kept"` or the drop-reason tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The candidate survived every filter.
+    Kept,
+    /// The candidate was dropped, and why.
+    Dropped(DropReason),
+}
+
+impl Verdict {
+    /// The export tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Kept => "kept",
+            Verdict::Dropped(reason) => reason.as_str(),
+        }
+    }
+}
+
+impl Serialize for Verdict {
+    fn serialize(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Verdict {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        match v {
+            Value::Str(s) if s == "kept" => Ok(Verdict::Kept),
+            Value::Str(s) => DropReason::parse(s)
+                .map(Verdict::Dropped)
+                .ok_or_else(|| serde::de::Error::msg(format!("unknown drop reason {s:?}"))),
+            other => Err(serde::de::Error::msg(format!(
+                "expected verdict string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The source record that justified a decision. Dates are `YYYY-MM-DD`
+/// strings (lexicographic order is chronological order), and the enum is
+/// string/integer-only so `stale-obs` stays dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// A CRL entry (kc candidates).
+    CrlEntry {
+        /// Position of the entry in the CRL dataset.
+        crl_index: u64,
+        /// Issuing authority key id, hex.
+        authority_key_id: String,
+        /// Certificate serial, hex.
+        serial: String,
+        /// Revocation date.
+        revoked: String,
+        /// Revocation reason as recorded on the CRL.
+        reason: String,
+    },
+    /// A WHOIS re-registration event (rc candidates).
+    WhoisCreation {
+        /// The re-registered e2LD.
+        domain: String,
+        /// The new WHOIS creation date.
+        created: String,
+    },
+    /// A DNS delegation departure day pair (mtd candidates).
+    DnsDeparture {
+        /// The customer domain that left the managed platform.
+        customer: String,
+        /// Last day the delegation was observed.
+        last_delegated: String,
+        /// First day it was gone.
+        departed: String,
+    },
+    /// A delegation that never departed (mtd drop provenance).
+    DnsDelegated {
+        /// The customer domain still on the platform.
+        customer: String,
+    },
+}
+
+impl Provenance {
+    /// The `kind` tag used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Provenance::CrlEntry { .. } => "crl-entry",
+            Provenance::WhoisCreation { .. } => "whois-creation",
+            Provenance::DnsDeparture { .. } => "dns-departure",
+            Provenance::DnsDelegated { .. } => "dns-delegated",
+        }
+    }
+}
+
+impl Serialize for Provenance {
+    fn serialize(&self) -> Value {
+        let kind = ("kind".to_string(), Value::Str(self.kind().to_string()));
+        let s = |v: &str| Value::Str(v.to_string());
+        match self {
+            Provenance::CrlEntry {
+                crl_index,
+                authority_key_id,
+                serial,
+                revoked,
+                reason,
+            } => Value::Obj(vec![
+                kind,
+                ("crl_index".to_string(), Value::UInt(u128::from(*crl_index))),
+                ("authority_key_id".to_string(), s(authority_key_id)),
+                ("serial".to_string(), s(serial)),
+                ("revoked".to_string(), s(revoked)),
+                ("reason".to_string(), s(reason)),
+            ]),
+            Provenance::WhoisCreation { domain, created } => Value::Obj(vec![
+                kind,
+                ("domain".to_string(), s(domain)),
+                ("created".to_string(), s(created)),
+            ]),
+            Provenance::DnsDeparture {
+                customer,
+                last_delegated,
+                departed,
+            } => Value::Obj(vec![
+                kind,
+                ("customer".to_string(), s(customer)),
+                ("last_delegated".to_string(), s(last_delegated)),
+                ("departed".to_string(), s(departed)),
+            ]),
+            Provenance::DnsDelegated { customer } => {
+                Value::Obj(vec![kind, ("customer".to_string(), s(customer))])
+            }
+        }
+    }
+}
+
+impl Deserialize for Provenance {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        let kind: String = serde::de::field(v, "kind")?;
+        match kind.as_str() {
+            "crl-entry" => Ok(Provenance::CrlEntry {
+                crl_index: serde::de::field(v, "crl_index")?,
+                authority_key_id: serde::de::field(v, "authority_key_id")?,
+                serial: serde::de::field(v, "serial")?,
+                revoked: serde::de::field(v, "revoked")?,
+                reason: serde::de::field(v, "reason")?,
+            }),
+            "whois-creation" => Ok(Provenance::WhoisCreation {
+                domain: serde::de::field(v, "domain")?,
+                created: serde::de::field(v, "created")?,
+            }),
+            "dns-departure" => Ok(Provenance::DnsDeparture {
+                customer: serde::de::field(v, "customer")?,
+                last_delegated: serde::de::field(v, "last_delegated")?,
+                departed: serde::de::field(v, "departed")?,
+            }),
+            "dns-delegated" => Ok(Provenance::DnsDelegated {
+                customer: serde::de::field(v, "customer")?,
+            }),
+            other => Err(serde::de::Error::msg(format!(
+                "unknown provenance kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One detector decision about one candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Which detector decided.
+    pub detector: Detector,
+    /// Certificate fingerprint (full lowercase hex). Empty only for
+    /// unmatched CRL entries, which have no certificate side.
+    pub cert: String,
+    /// Kept or dropped (and why).
+    pub verdict: Verdict,
+    /// The source record that justified the decision.
+    pub provenance: Provenance,
+}
+
+impl Decision {
+    /// The canonical sort key: detector section (kc, rc, mtd), then the
+    /// provenance's natural order, then the fingerprint. Sorting by this
+    /// key makes a merged audit independent of shard count and thread
+    /// interleaving.
+    pub fn sort_key(&self) -> (u8, u64, &str, &str, &str) {
+        let rank = match self.detector {
+            Detector::Kc => 0,
+            Detector::Rc => 1,
+            Detector::Mtd => 2,
+        };
+        match &self.provenance {
+            Provenance::CrlEntry { crl_index, .. } => (rank, *crl_index, "", "", &self.cert),
+            Provenance::WhoisCreation { domain, created } => (rank, 0, domain, created, &self.cert),
+            Provenance::DnsDeparture {
+                customer, departed, ..
+            } => (rank, 0, customer, departed, &self.cert),
+            Provenance::DnsDelegated { customer } => (rank, 0, customer, "", &self.cert),
+        }
+    }
+}
+
+/// Write-only decision sink. Detector code receives `&dyn DecisionSink`
+/// and can only emit; nothing recorded is readable from inside a
+/// detector, so the byte-identical-results invariant stays structural.
+pub trait DecisionSink: Sync {
+    /// Record one decision.
+    fn decision(&self, d: Decision);
+}
+
+/// A sink that drops everything — the default when auditing is off.
+pub struct NullDecisionSink;
+
+impl DecisionSink for NullDecisionSink {
+    fn decision(&self, _d: Decision) {}
+}
+
+/// An in-memory decision buffer. Cloning shares the buffer; the engine
+/// gives each shard attempt a fresh log so a panicked attempt's partial
+/// stream is discarded with it.
+#[derive(Clone, Default)]
+pub struct AuditLog {
+    inner: Arc<Mutex<Vec<Decision>>>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Take every buffered decision, leaving the log empty.
+    pub fn drain(&self) -> Vec<Decision> {
+        let mut buf = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *buf)
+    }
+}
+
+impl DecisionSink for AuditLog {
+    fn decision(&self, d: Decision) {
+        let mut buf = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        buf.push(d);
+    }
+}
+
+/// Per-detector candidate accounting. The identity
+/// `candidates == kept + Σ dropped` holds by construction when built
+/// through [`AuditReport::from_decisions`], and [`validate_audit_jsonl`]
+/// re-checks it on every export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSummary {
+    /// Candidates the detector considered.
+    pub candidates: u64,
+    /// Candidates that survived every filter.
+    pub kept: u64,
+    /// Dropped candidates by reason tag.
+    pub dropped: BTreeMap<String, u64>,
+}
+
+impl CoverageSummary {
+    /// Total dropped across all reasons.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Whether `candidates == kept + Σ dropped`.
+    pub fn balanced(&self) -> bool {
+        self.candidates == self.kept + self.dropped_total()
+    }
+}
+
+/// The JSONL header line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditHeader {
+    /// Always [`AUDIT_SCHEMA`].
+    pub schema: String,
+    /// Always [`AUDIT_VERSION`].
+    pub version: u32,
+    /// Number of decision lines that follow.
+    pub decisions: usize,
+    /// Per-detector coverage, keyed by detector tag.
+    pub coverage: BTreeMap<String, CoverageSummary>,
+}
+
+/// The merged, canonically ordered audit of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Per-detector coverage, keyed by detector tag.
+    pub coverage: BTreeMap<String, CoverageSummary>,
+    /// Every decision, in canonical order.
+    pub decisions: Vec<Decision>,
+}
+
+impl AuditReport {
+    /// Build a report from an unordered decision stream: sort into
+    /// canonical order and tally coverage.
+    pub fn from_decisions(mut decisions: Vec<Decision>) -> AuditReport {
+        decisions.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut coverage: BTreeMap<String, CoverageSummary> = BTreeMap::new();
+        for det in Detector::ALL {
+            coverage.insert(det.as_str().to_string(), CoverageSummary::default());
+        }
+        for d in &decisions {
+            let cov = coverage.entry(d.detector.as_str().to_string()).or_default();
+            cov.candidates += 1;
+            match d.verdict {
+                Verdict::Kept => cov.kept += 1,
+                Verdict::Dropped(reason) => {
+                    *cov.dropped.entry(reason.as_str().to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        AuditReport {
+            coverage,
+            decisions,
+        }
+    }
+
+    /// Decisions about one certificate, by fingerprint prefix. Returns
+    /// the full fingerprint and its decision chain when the prefix is
+    /// unambiguous.
+    pub fn decisions_for(&self, prefix: &str) -> Result<(String, Vec<&Decision>), String> {
+        if prefix.is_empty() {
+            return Err("empty fingerprint".to_string());
+        }
+        let matching: BTreeSet<&str> = self
+            .decisions
+            .iter()
+            .filter(|d| !d.cert.is_empty() && d.cert.starts_with(prefix))
+            .map(|d| d.cert.as_str())
+            .collect();
+        let mut certs = matching.into_iter();
+        let (first, second) = (certs.next(), certs.next());
+        match (first, second) {
+            (None, _) => Err(format!("no decision mentions fingerprint {prefix:?}")),
+            (Some(cert), None) => {
+                let cert = cert.to_string();
+                let chain = self
+                    .decisions
+                    .iter()
+                    .filter(|d| d.cert == cert)
+                    .collect::<Vec<_>>();
+                Ok((cert, chain))
+            }
+            (Some(a), Some(b)) => Err(format!(
+                "fingerprint prefix {prefix:?} is ambiguous (matches {a}, {b}, ...)"
+            )),
+        }
+    }
+
+    /// Render the decision chain for one certificate (the `stale-bench
+    /// explain` body).
+    pub fn render_explain(&self, prefix: &str) -> Result<String, String> {
+        let (cert, chain) = self.decisions_for(prefix)?;
+        let mut out = format!("fingerprint {cert}\n");
+        out.push_str(&format!("decisions   {}\n", chain.len()));
+        for d in chain {
+            out.push_str(&format!(
+                "  [{}] {:24} {}\n",
+                d.detector.as_str(),
+                d.verdict.as_str(),
+                render_provenance(&d.provenance)
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Render the corpus-wide data-quality summary (the `stale-bench
+    /// report --audit` body): per-detector coverage plus a Table-7-style
+    /// CRL-coverage readout.
+    pub fn render_coverage(&self) -> String {
+        let mut out = String::from("decision audit coverage\n");
+        out.push_str("  detector  candidates        kept     dropped\n");
+        for det in Detector::ALL {
+            let cov = self.coverage.get(det.as_str()).cloned().unwrap_or_default();
+            out.push_str(&format!(
+                "  {:<8}  {:>10}  {:>10}  {:>10}{}\n",
+                det.as_str(),
+                cov.candidates,
+                cov.kept,
+                cov.dropped_total(),
+                if cov.balanced() { "" } else { "  UNBALANCED" },
+            ));
+            for (reason, n) in &cov.dropped {
+                out.push_str(&format!("              {reason:<28} {n:>10}\n"));
+            }
+        }
+        // Table-7-style CRL coverage: of the CRL entries themselves (the
+        // duplicate-fingerprint drops are extra certificate candidates on
+        // top of the entry count), how many matched a corpus cert?
+        if let Some(kc) = self.coverage.get(Detector::Kc.as_str()) {
+            let dups = kc
+                .dropped
+                .get(DropReason::DuplicateFingerprint.as_str())
+                .copied()
+                .unwrap_or(0);
+            let unmatched = kc
+                .dropped
+                .get(DropReason::CrlUnmatched.as_str())
+                .copied()
+                .unwrap_or(0);
+            let entries = kc.candidates.saturating_sub(dups);
+            let matched = entries.saturating_sub(unmatched);
+            let pct = if entries == 0 {
+                0.0
+            } else {
+                100.0 * matched as f64 / entries as f64
+            };
+            out.push_str(&format!(
+                "  crl coverage: {matched}/{entries} entries matched a corpus cert ({pct:.1}%)\n"
+            ));
+        }
+        out
+    }
+
+    /// Register the coverage gauges on a metrics sink:
+    /// `audit.<detector>.candidates`, `.kept`, and
+    /// `.dropped.<reason>`.
+    pub fn register_coverage(&self, sink: &dyn CounterSink) {
+        for (det, cov) in &self.coverage {
+            sink.add(&format!("audit.{det}.candidates"), cov.candidates);
+            sink.add(&format!("audit.{det}.kept"), cov.kept);
+            for (reason, n) in &cov.dropped {
+                sink.add(&format!("audit.{det}.dropped.{reason}"), *n);
+            }
+        }
+    }
+
+    /// Export as JSONL: an [`AuditHeader`] line, then one decision per
+    /// line, in canonical order.
+    pub fn to_jsonl(&self) -> String {
+        let header = AuditHeader {
+            schema: AUDIT_SCHEMA.to_string(),
+            version: AUDIT_VERSION,
+            decisions: self.decisions.len(),
+            coverage: self.coverage.clone(),
+        };
+        let mut out = serde_json::to_string(&header).unwrap_or_default();
+        out.push('\n');
+        for d in &self.decisions {
+            out.push_str(&serde_json::to_string(d).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a report. Coverage is re-tallied
+    /// from the decision lines (use [`validate_audit_jsonl`] to check the
+    /// header agrees).
+    pub fn from_jsonl(text: &str) -> Result<AuditReport, String> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty audit file")?;
+        let header: AuditHeader =
+            serde_json::from_str(first).map_err(|e| format!("audit header: {e}"))?;
+        if header.schema != AUDIT_SCHEMA {
+            return Err(format!(
+                "schema {:?} is not {AUDIT_SCHEMA:?}",
+                header.schema
+            ));
+        }
+        let mut decisions = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let d: Decision =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            decisions.push(d);
+        }
+        Ok(AuditReport::from_decisions(decisions))
+    }
+}
+
+/// One-line human rendering of a provenance record.
+pub fn render_provenance(p: &Provenance) -> String {
+    match p {
+        Provenance::CrlEntry {
+            crl_index,
+            authority_key_id,
+            serial,
+            revoked,
+            reason,
+        } => format!(
+            "crl entry #{crl_index} aki={authority_key_id} serial={serial} revoked={revoked} reason={reason}"
+        ),
+        Provenance::WhoisCreation { domain, created } => {
+            format!("whois creation {domain} created={created}")
+        }
+        Provenance::DnsDeparture {
+            customer,
+            last_delegated,
+            departed,
+        } => format!(
+            "dns departure {customer} last_delegated={last_delegated} departed={departed}"
+        ),
+        Provenance::DnsDelegated { customer } => {
+            format!("dns delegation still present for {customer}")
+        }
+    }
+}
+
+fn is_day(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b.iter().enumerate().all(|(i, c)| match i {
+            4 | 7 => *c == b'-',
+            _ => c.is_ascii_digit(),
+        })
+}
+
+fn is_hex(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+fn check_decision(d: &Decision, lineno: usize, out: &mut Vec<String>) {
+    let kind_ok = matches!(
+        (d.detector, &d.provenance),
+        (Detector::Kc, Provenance::CrlEntry { .. })
+            | (Detector::Rc, Provenance::WhoisCreation { .. })
+            | (Detector::Mtd, Provenance::DnsDeparture { .. })
+            | (Detector::Mtd, Provenance::DnsDelegated { .. })
+    );
+    if !kind_ok {
+        out.push(format!(
+            "line {lineno}: detector {:?} cannot carry {:?} provenance",
+            d.detector.as_str(),
+            d.provenance.kind()
+        ));
+    }
+    if d.cert.is_empty() {
+        if d.verdict != Verdict::Dropped(DropReason::CrlUnmatched) {
+            out.push(format!(
+                "line {lineno}: empty fingerprint on a {:?} decision (only crl-unmatched entries have no certificate side)",
+                d.verdict.as_str()
+            ));
+        }
+    } else if !is_hex(&d.cert) {
+        out.push(format!(
+            "line {lineno}: fingerprint {:?} is not lowercase hex",
+            d.cert
+        ));
+    }
+    let days: Vec<&str> = match &d.provenance {
+        Provenance::CrlEntry { revoked, .. } => vec![revoked],
+        Provenance::WhoisCreation { created, .. } => vec![created],
+        Provenance::DnsDeparture {
+            last_delegated,
+            departed,
+            ..
+        } => vec![last_delegated, departed],
+        Provenance::DnsDelegated { .. } => Vec::new(),
+    };
+    for day in &days {
+        if !is_day(day) {
+            out.push(format!("line {lineno}: malformed day {day:?}"));
+        }
+    }
+    if let Provenance::DnsDeparture {
+        last_delegated,
+        departed,
+        ..
+    } = &d.provenance
+    {
+        // Day strings order lexicographically; the delegation must have
+        // been observed strictly before it departed.
+        if last_delegated.as_str() >= departed.as_str() {
+            out.push(format!(
+                "line {lineno}: departure day pair is not monotone ({last_delegated:?} !< {departed:?})"
+            ));
+        }
+    }
+}
+
+/// Validate a `--audit-out` JSONL export: schema tag and version, every
+/// line parses with a known drop reason, provenance days are well-formed
+/// and monotone, decisions are in canonical order, and the header's
+/// coverage both matches the lines and balances
+/// (`candidates == kept + Σ dropped`). Returns one message per
+/// violation; empty means clean. Pure and panic-free on any input —
+/// `stale-lint preflight` wraps it.
+pub fn validate_audit_jsonl(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else {
+        return vec!["empty file (expected an audit header line)".to_string()];
+    };
+    let header: AuditHeader = match serde_json::from_str(first) {
+        Ok(h) => h,
+        Err(e) => return vec![format!("header line does not parse: {e}")],
+    };
+    if header.schema != AUDIT_SCHEMA {
+        out.push(format!(
+            "header schema {:?} (expected {AUDIT_SCHEMA:?})",
+            header.schema
+        ));
+    }
+    if header.version != AUDIT_VERSION {
+        out.push(format!(
+            "header version {} (expected {AUDIT_VERSION})",
+            header.version
+        ));
+    }
+    let mut decision_lines = 0usize;
+    let mut tally: Vec<Decision> = Vec::new();
+    let mut prev: Option<Decision> = None;
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        decision_lines += 1;
+        let d: Decision = match serde_json::from_str(line) {
+            Ok(d) => d,
+            Err(e) => {
+                out.push(format!(
+                    "line {}: does not parse as a decision: {e}",
+                    lineno + 2
+                ));
+                continue;
+            }
+        };
+        check_decision(&d, lineno + 2, &mut out);
+        if let Some(p) = &prev {
+            if p.sort_key() > d.sort_key() {
+                out.push(format!(
+                    "line {}: decisions out of canonical order",
+                    lineno + 2
+                ));
+            }
+        }
+        prev = Some(d.clone());
+        tally.push(d);
+    }
+    if decision_lines != header.decisions {
+        out.push(format!(
+            "header declares {} decision(s) but the file holds {decision_lines}",
+            header.decisions
+        ));
+    }
+    for (det, cov) in &header.coverage {
+        if Detector::parse(det).is_none() {
+            out.push(format!("header coverage has unknown detector {det:?}"));
+        }
+        if !cov.balanced() {
+            out.push(format!(
+                "coverage for {det:?} does not balance: {} candidates != {} kept + {} dropped",
+                cov.candidates,
+                cov.kept,
+                cov.dropped_total()
+            ));
+        }
+        for reason in cov.dropped.keys() {
+            if DropReason::parse(reason).is_none() {
+                out.push(format!(
+                    "header coverage for {det:?} has unknown drop reason {reason:?}"
+                ));
+            }
+        }
+    }
+    let retallied = AuditReport::from_decisions(tally);
+    for det in Detector::ALL {
+        let from_lines = retallied
+            .coverage
+            .get(det.as_str())
+            .cloned()
+            .unwrap_or_default();
+        let from_header = header
+            .coverage
+            .get(det.as_str())
+            .cloned()
+            .unwrap_or_default();
+        if from_lines != from_header {
+            out.push(format!(
+                "header coverage for {:?} disagrees with the decision lines",
+                det.as_str()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kc(idx: u64, cert: &str, verdict: Verdict) -> Decision {
+        Decision {
+            detector: Detector::Kc,
+            cert: cert.to_string(),
+            verdict,
+            provenance: Provenance::CrlEntry {
+                crl_index: idx,
+                authority_key_id: "aa11".to_string(),
+                serial: "0f".to_string(),
+                revoked: "2023-04-01".to_string(),
+                reason: "keyCompromise".to_string(),
+            },
+        }
+    }
+
+    fn mtd(customer: &str, cert: &str, verdict: Verdict) -> Decision {
+        Decision {
+            detector: Detector::Mtd,
+            cert: cert.to_string(),
+            verdict,
+            provenance: Provenance::DnsDeparture {
+                customer: customer.to_string(),
+                last_delegated: "2023-02-03".to_string(),
+                departed: "2023-02-04".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_balances() {
+        let report = AuditReport::from_decisions(vec![
+            mtd("b.com", "ff02", Verdict::Kept),
+            kc(3, "ab01", Verdict::Dropped(DropReason::CrlOutlier)),
+            kc(1, "", Verdict::Dropped(DropReason::CrlUnmatched)),
+            mtd(
+                "a.com",
+                "ff01",
+                Verdict::Dropped(DropReason::OutsideValidityWindow),
+            ),
+        ]);
+        let keys: Vec<_> = report.decisions.iter().map(Decision::sort_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(report.decisions[0].sort_key().1, 1);
+        for cov in report.coverage.values() {
+            assert!(cov.balanced());
+        }
+        assert_eq!(report.coverage["kc"].candidates, 2);
+        assert_eq!(report.coverage["mtd"].kept, 1);
+        assert_eq!(report.coverage["rc"].candidates, 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_validates() {
+        let report = AuditReport::from_decisions(vec![
+            kc(0, "ab01", Verdict::Kept),
+            kc(1, "", Verdict::Dropped(DropReason::CrlUnmatched)),
+            mtd(
+                "c.com",
+                "ff03",
+                Verdict::Dropped(DropReason::OutsideValidityWindow),
+            ),
+        ]);
+        let jsonl = report.to_jsonl();
+        assert!(validate_audit_jsonl(&jsonl).is_empty(), "{jsonl}");
+        let back = AuditReport::from_jsonl(&jsonl).expect("parses back");
+        assert_eq!(back, report);
+        // Verdicts and reasons export as kebab-case tags.
+        assert!(jsonl.contains("\"crl-unmatched\""));
+        assert!(jsonl.contains("\"outside-validity-window\""));
+        assert!(jsonl.contains("\"kept\""));
+    }
+
+    #[test]
+    fn validation_flags_corruption() {
+        let report = AuditReport::from_decisions(vec![
+            kc(0, "ab01", Verdict::Kept),
+            kc(1, "ab02", Verdict::Dropped(DropReason::CrlOutlier)),
+        ]);
+        let jsonl = report.to_jsonl();
+        // Truncated: header claims more decisions than present.
+        let truncated: Vec<&str> = jsonl.lines().take(2).collect();
+        assert!(!validate_audit_jsonl(&truncated.join("\n")).is_empty());
+        // Unknown drop reason.
+        let garbled = jsonl.replace("crl-outlier", "crl-banana");
+        assert!(!validate_audit_jsonl(&garbled).is_empty());
+        // Out-of-order decisions.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines.swap(1, 2);
+        assert!(!validate_audit_jsonl(&lines.join("\n")).is_empty());
+        // Day corruption breaks the shape check.
+        let bad_day = jsonl.replace("2023-04-01", "2023-0401x");
+        assert!(!validate_audit_jsonl(&bad_day).is_empty());
+        // Not an audit at all.
+        assert!(!validate_audit_jsonl("{\"certs\": []}").is_empty());
+        assert!(!validate_audit_jsonl("").is_empty());
+    }
+
+    #[test]
+    fn validation_checks_monotone_day_pair_and_identity() {
+        let report = AuditReport::from_decisions(vec![mtd("a.com", "ff01", Verdict::Kept)]);
+        let jsonl = report.to_jsonl();
+        let swapped = jsonl.replace("2023-02-04", "2023-02-02");
+        assert!(validate_audit_jsonl(&swapped)
+            .iter()
+            .any(|m| m.contains("not monotone")));
+        // A header whose coverage does not balance is flagged even when
+        // the decision lines are dropped with it.
+        let unbalanced = "{\"schema\":\"stale-obs-audit\",\"version\":1,\"decisions\":0,\
+             \"coverage\":{\"kc\":{\"candidates\":3,\"kept\":1,\"dropped\":{}}}}";
+        assert!(validate_audit_jsonl(unbalanced)
+            .iter()
+            .any(|m| m.contains("does not balance")));
+    }
+
+    #[test]
+    fn explain_matches_unique_prefixes() {
+        let report = AuditReport::from_decisions(vec![
+            kc(0, "ab01", Verdict::Kept),
+            mtd(
+                "a.com",
+                "ab01",
+                Verdict::Dropped(DropReason::OutsideValidityWindow),
+            ),
+            kc(1, "ab9f", Verdict::Dropped(DropReason::CrlOutlier)),
+        ]);
+        let (cert, chain) = report.decisions_for("ab0").expect("unique prefix");
+        assert_eq!(cert, "ab01");
+        assert_eq!(chain.len(), 2);
+        assert!(report.decisions_for("ab").is_err());
+        assert!(report.decisions_for("ff").is_err());
+        assert!(report.decisions_for("").is_err());
+        let rendered = report.render_explain("ab01").expect("renders");
+        assert!(rendered.contains("kept"), "{rendered}");
+        assert!(rendered.contains("outside-validity-window"), "{rendered}");
+        assert!(rendered.contains("crl entry #0"), "{rendered}");
+    }
+
+    #[test]
+    fn coverage_registers_and_renders() {
+        let report = AuditReport::from_decisions(vec![
+            kc(0, "ab01", Verdict::Kept),
+            kc(1, "", Verdict::Dropped(DropReason::CrlUnmatched)),
+            kc(
+                1,
+                "ab02",
+                Verdict::Dropped(DropReason::DuplicateFingerprint),
+            ),
+        ]);
+        let registry = crate::Registry::new();
+        report.register_coverage(&registry);
+        let counters = registry.snapshot().counters;
+        assert_eq!(counters["audit.kc.candidates"], 3);
+        assert_eq!(counters["audit.kc.kept"], 1);
+        assert_eq!(counters["audit.kc.dropped.crl-unmatched"], 1);
+        assert_eq!(counters["audit.kc.dropped.duplicate-fingerprint"], 1);
+        let rendered = report.render_coverage();
+        // Two real CRL entries (the duplicate is an extra cert candidate),
+        // one matched.
+        assert!(rendered.contains("1/2 entries matched"), "{rendered}");
+        assert!(!rendered.contains("UNBALANCED"), "{rendered}");
+    }
+}

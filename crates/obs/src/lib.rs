@@ -31,10 +31,17 @@
 //!    `&dyn CounterSink` and can only `add`; it cannot read anything
 //!    back, which is what makes the determinism invariant structural
 //!    rather than a convention.
+//! 4. **Decision audit** ([`audit`]) — typed kept/dropped decisions
+//!    with provenance, reported through the write-only
+//!    [`audit::DecisionSink`] and merged by the engine into a
+//!    canonically ordered [`audit::AuditReport`] (JSONL schema
+//!    [`audit::AUDIT_SCHEMA`], via `repro --audit-out`).
 
+pub mod audit;
 pub mod metrics;
 pub mod trace;
 
+pub use audit::{AuditLog, AuditReport, Decision, DecisionSink, NullDecisionSink};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use trace::{SpanGuard, SpanId, SpanRecord, Trace, TraceHeader};
 

@@ -396,13 +396,36 @@ impl Registry {
     }
 
     /// Prometheus text exposition: counters as `counter`, histograms as
-    /// cumulative `_bucket{le=...}` series with `_sum`/`_count`.
+    /// cumulative `_bucket{le=...}` series with `_sum`/`_count`. The
+    /// per-reason audit counters (`audit.<det>.dropped.<reason>`) export
+    /// as one labelled family per detector
+    /// (`stale_audit_<det>_dropped{reason="..."}`); label values are
+    /// escaped per the exposition format ([`prom_label_escape`]).
     pub fn export_prom(&self) -> String {
         let snapshot = self.snapshot();
         let mut out = String::new();
+        let mut last_family: Option<String> = None;
         for (name, value) in &snapshot.counters {
-            let prom = prom_name(name);
-            out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+            match split_reason_counter(name) {
+                Some((family, reason)) => {
+                    let prom = prom_name(&family);
+                    // Counters are name-sorted, so one family's reasons
+                    // are adjacent: emit its TYPE line once.
+                    if last_family.as_deref() != Some(prom.as_str()) {
+                        out.push_str(&format!("# TYPE {prom} counter\n"));
+                        last_family = Some(prom.clone());
+                    }
+                    out.push_str(&format!(
+                        "{prom}{{reason=\"{}\"}} {value}\n",
+                        prom_label_escape(&reason)
+                    ));
+                }
+                None => {
+                    last_family = None;
+                    let prom = prom_name(name);
+                    out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+                }
+            }
         }
         for (name, hist) in &snapshot.histograms {
             let prom = prom_name(name);
@@ -410,7 +433,10 @@ impl Registry {
             let mut cum = 0u64;
             for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
                 cum += count;
-                out.push_str(&format!("{prom}_bucket{{le=\"{bound}\"}} {cum}\n"));
+                out.push_str(&format!(
+                    "{prom}_bucket{{le=\"{}\"}} {cum}\n",
+                    prom_label_escape(&bound.to_string())
+                ));
             }
             out.push_str(&format!(
                 "{prom}_bucket{{le=\"+Inf\"}} {}\n{prom}_sum {}\n{prom}_count {}\n",
@@ -419,6 +445,33 @@ impl Registry {
         }
         out
     }
+}
+
+/// Split an `audit.<det>.dropped.<reason>` counter into its labelled
+/// family (`audit.<det>.dropped`) and the `reason` label value.
+fn split_reason_counter(name: &str) -> Option<(String, String)> {
+    let rest = name.strip_prefix("audit.")?;
+    let (det, reason) = rest.split_once(".dropped.")?;
+    if det.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some((format!("audit.{det}.dropped"), reason.to_string()))
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline must be escaped inside the
+/// `label="value"` quotes.
+pub fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Prometheus-safe metric name: `stale_` prefix, non-alphanumerics
@@ -522,6 +575,53 @@ mod tests {
         assert!(prom.contains("# TYPE stale_engine_shard_wall_us histogram"));
         assert!(prom.contains("stale_engine_shard_wall_us_bucket{le=\"+Inf\"} 1"));
         assert!(prom.contains("stale_engine_shard_wall_us_count 1"));
+    }
+
+    #[test]
+    fn prom_label_values_escape_hostile_strings() {
+        // Per the exposition format, `\`, `"` and newline must be
+        // escaped inside label quotes.
+        assert_eq!(prom_label_escape("plain-reason"), "plain-reason");
+        assert_eq!(prom_label_escape(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(prom_label_escape(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(prom_label_escape("two\nlines"), "two\\nlines");
+        assert_eq!(
+            prom_label_escape("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three escapes compose"
+        );
+
+        // A hostile reason tag cannot break out of the quoted label.
+        let reg = Registry::new();
+        reg.add("audit.kc.dropped.evil\"} 9\nbroken 1", 4);
+        let prom = reg.export_prom();
+        assert!(
+            prom.contains("stale_audit_kc_dropped{reason=\"evil\\\"} 9\\nbroken 1\"} 4"),
+            "{prom}"
+        );
+        assert!(!prom.contains("\nbroken 1\n"), "{prom}");
+    }
+
+    #[test]
+    fn prom_exports_reason_counters_as_one_labelled_family() {
+        let reg = Registry::new();
+        reg.add("audit.kc.dropped.crl-outlier", 3);
+        reg.add("audit.kc.dropped.crl-unmatched", 11);
+        reg.add("audit.kc.kept", 5);
+        reg.add("audit.mtd.dropped.outside-validity-window", 2);
+        let prom = reg.export_prom();
+        assert!(prom.contains("# TYPE stale_audit_kc_dropped counter"));
+        assert!(prom.contains("stale_audit_kc_dropped{reason=\"crl-outlier\"} 3"));
+        assert!(prom.contains("stale_audit_kc_dropped{reason=\"crl-unmatched\"} 11"));
+        assert!(prom.contains("stale_audit_mtd_dropped{reason=\"outside-validity-window\"} 2"));
+        // One TYPE line per family, not per reason.
+        assert_eq!(
+            prom.matches("# TYPE stale_audit_kc_dropped counter")
+                .count(),
+            1
+        );
+        // Unlabelled counters keep their plain form.
+        assert!(prom.contains("# TYPE stale_audit_kc_kept counter\nstale_audit_kc_kept 5"));
     }
 
     #[test]

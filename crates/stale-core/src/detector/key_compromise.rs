@@ -20,7 +20,7 @@ use ca::scraper::{CrlDataset, RevocationRecord};
 use ct::monitor::{CtMonitor, DedupedCert};
 use serde::{Deserialize, Serialize};
 use stale_types::{CertId, Date, DateInterval, Duration, KeyId, SerialNumber};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use x509::revocation::RevocationReason;
 
 /// How many filtered revocations fell to each §4.1 filter.
@@ -148,6 +148,11 @@ pub fn classify(rec: &RevocationRecord, cert: &DedupedCert, cutoff: Date) -> Joi
     }
 }
 
+/// A duplicate-fingerprint candidate a shard's join discarded: a
+/// certificate that shares its `(AKI, serial)` key with a CRL-matched
+/// record but lost the newest-cert tiebreak to the shard's winner.
+pub type KcLoser = (KeyId, SerialNumber, CertId);
+
 /// Shard-local half of the §4.1 join: index this shard's certificates by
 /// `(AKI, serial)` and scan the full CRL against them. CRL records that
 /// match no local certificate produce nothing; the merge step accounts
@@ -169,29 +174,57 @@ pub fn join_shard_observed<'m>(
     cutoff: Date,
     sink: &dyn obs::CounterSink,
 ) -> Vec<ShardMatch> {
+    join_shard_audited(certs, crl, cutoff, sink).0
+}
+
+/// [`join_shard_observed`] also returning the duplicate-fingerprint
+/// losers: for every key some CRL record matched, the shard certificates
+/// that lost the newest-cert tiebreak. The loser set is a pure function
+/// of which certificates share a key, so summed over any sharding it is
+/// `certs_with_key - shards_with_key` per key — [`audit_decisions`] adds
+/// the `shards_with_key - 1` losing shard winners back at merge time,
+/// which is what makes the audit shard-count-invariant.
+pub fn join_shard_audited<'m>(
+    certs: impl IntoIterator<Item = &'m DedupedCert>,
+    crl: &CrlDataset,
+    cutoff: Date,
+    sink: &dyn obs::CounterSink,
+) -> (Vec<ShardMatch>, Vec<KcLoser>) {
     // Hash join: (AKI, serial) → certificate, max cert_id winning ties so
     // shard-local results are independent of input order. The ablation
     // bench compares this against a sort-merge join.
     let mut scanned: u64 = 0;
     let mut index: HashMap<(KeyId, SerialNumber), &DedupedCert> = HashMap::new();
+    let mut displaced: BTreeMap<(KeyId, SerialNumber), Vec<CertId>> = BTreeMap::new();
     for cert in certs {
         scanned += 1;
         if let Some(aki) = cert.certificate.tbs.authority_key_id() {
-            let slot = index
-                .entry((aki, cert.certificate.tbs.serial))
-                .or_insert(cert);
-            if cert.cert_id > slot.cert_id {
-                *slot = cert;
+            let key = (aki, cert.certificate.tbs.serial);
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(cert);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let loser = if cert.cert_id > slot.get().cert_id {
+                        slot.insert(cert).cert_id
+                    } else {
+                        cert.cert_id
+                    };
+                    displaced.entry(key).or_default().push(loser);
+                }
             }
         }
     }
     sink.add("detector.kc.certs", scanned);
     sink.add("detector.kc.index_keys", index.len() as u64);
     let mut matches = Vec::new();
+    let mut matched_keys: BTreeSet<(KeyId, SerialNumber)> = BTreeSet::new();
     for (crl_index, rec) in crl.records().iter().enumerate() {
-        let Some(cert) = index.get(&(rec.authority_key_id, rec.serial)) else {
+        let key = (rec.authority_key_id, rec.serial);
+        let Some(cert) = index.get(&key) else {
             continue;
         };
+        matched_keys.insert(key);
         matches.push(ShardMatch {
             crl_index,
             cert_id: cert.cert_id,
@@ -200,7 +233,135 @@ pub fn join_shard_observed<'m>(
     }
     sink.add("detector.kc.crl_records", crl.records().len() as u64);
     sink.add("detector.kc.matches", matches.len() as u64);
-    matches
+    // Only keys a CRL record actually probed yield audit candidates;
+    // losers on never-probed keys were never considered by the detector.
+    let mut losers: Vec<KcLoser> = Vec::new();
+    for (key, mut ids) in displaced {
+        if matched_keys.contains(&key) {
+            ids.sort();
+            losers.extend(ids.into_iter().map(|id| (key.0, key.1, id)));
+        }
+    }
+    (matches, losers)
+}
+
+/// The audit provenance of one CRL entry. Shared by the batch decision
+/// expansion and the incremental event stream so both stamp identical
+/// records.
+pub fn crl_provenance(crl_index: usize, rec: &RevocationRecord) -> obs::audit::Provenance {
+    obs::audit::Provenance::CrlEntry {
+        crl_index: crl_index as u64,
+        authority_key_id: rec.authority_key_id.to_string(),
+        serial: rec.serial.to_string(),
+        revoked: rec.revocation_date.to_string(),
+        reason: format!("{:?}", rec.reason),
+    }
+}
+
+fn kc_decision(
+    cert: String,
+    verdict: obs::audit::Verdict,
+    provenance: obs::audit::Provenance,
+) -> obs::audit::Decision {
+    obs::audit::Decision {
+        detector: obs::audit::Detector::Kc,
+        cert,
+        verdict,
+        provenance,
+    }
+}
+
+/// Expand the merged §4.1 join into per-candidate audit decisions: one
+/// per CRL entry (kept, a date filter, or `crl-unmatched`) plus one
+/// `duplicate-fingerprint` drop per corpus certificate that shared a
+/// matched key but lost the newest-cert tiebreak — whether it lost
+/// inside a shard (`losers`) or its whole shard's winner lost at merge
+/// time. The result is a pure function of the corpus, independent of
+/// shard count.
+pub fn audit_decisions(
+    crl: &CrlDataset,
+    shards: &[Vec<ShardMatch>],
+    losers: &[KcLoser],
+) -> Vec<obs::audit::Decision> {
+    use obs::audit::{DropReason, Verdict};
+    // Per CRL index: the winning match (largest cert_id), as in
+    // `merge_shards`. Per key: every shard winner and the smallest
+    // matched CRL index (where duplicate drops are attributed).
+    let mut best: BTreeMap<usize, &ShardMatch> = BTreeMap::new();
+    let mut key_winners: BTreeMap<(KeyId, SerialNumber), BTreeSet<CertId>> = BTreeMap::new();
+    let mut key_index: BTreeMap<(KeyId, SerialNumber), usize> = BTreeMap::new();
+    for m in shards.iter().flatten() {
+        match best.get(&m.crl_index) {
+            Some(cur) if cur.cert_id >= m.cert_id => {}
+            _ => {
+                best.insert(m.crl_index, m);
+            }
+        }
+        if let Some(rec) = crl.records().get(m.crl_index) {
+            let key = (rec.authority_key_id, rec.serial);
+            key_winners.entry(key).or_default().insert(m.cert_id);
+            let slot = key_index.entry(key).or_insert(m.crl_index);
+            *slot = (*slot).min(m.crl_index);
+        }
+    }
+    let mut decisions = Vec::new();
+    for (crl_index, rec) in crl.records().iter().enumerate() {
+        let provenance = crl_provenance(crl_index, rec);
+        match best.get(&crl_index) {
+            None => decisions.push(kc_decision(
+                String::new(),
+                Verdict::Dropped(DropReason::CrlUnmatched),
+                provenance,
+            )),
+            Some(m) => {
+                let verdict = match &m.outcome {
+                    JoinOutcome::RevokedBeforeValid => {
+                        Verdict::Dropped(DropReason::RevokedBeforeValid)
+                    }
+                    JoinOutcome::RevokedAfterExpiry => {
+                        Verdict::Dropped(DropReason::RevokedAfterExpiry)
+                    }
+                    JoinOutcome::RevokedTooEarly => Verdict::Dropped(DropReason::CrlOutlier),
+                    JoinOutcome::Kept(_) => Verdict::Kept,
+                };
+                decisions.push(kc_decision(m.cert_id.to_string(), verdict, provenance));
+            }
+        }
+    }
+    // Shard winners that lost the cross-shard tiebreak.
+    for (key, winners) in &key_winners {
+        let global = winners.iter().max().copied();
+        for cert_id in winners {
+            if Some(*cert_id) == global {
+                continue;
+            }
+            if let Some((idx, rec)) = key_index
+                .get(key)
+                .and_then(|&i| crl.records().get(i).map(|r| (i, r)))
+            {
+                decisions.push(kc_decision(
+                    cert_id.to_string(),
+                    Verdict::Dropped(DropReason::DuplicateFingerprint),
+                    crl_provenance(idx, rec),
+                ));
+            }
+        }
+    }
+    // Certificates that already lost inside their shard.
+    for (aki, serial, cert_id) in losers {
+        let key = (*aki, *serial);
+        if let Some((idx, rec)) = key_index
+            .get(&key)
+            .and_then(|&i| crl.records().get(i).map(|r| (i, r)))
+        {
+            decisions.push(kc_decision(
+                cert_id.to_string(),
+                Verdict::Dropped(DropReason::DuplicateFingerprint),
+                crl_provenance(idx, rec),
+            ));
+        }
+    }
+    decisions
 }
 
 /// Deterministic merge of shard-local joins: per CRL index keep the match
@@ -385,6 +546,66 @@ mod tests {
         assert_eq!(analysis.cutoff, d("2021-10-01"));
         assert_eq!(analysis.stats.revoked_too_early, 1);
         assert_eq!(analysis.stats.kept, 0);
+    }
+
+    #[test]
+    fn audit_decisions_cover_every_entry_and_are_shard_invariant() {
+        use obs::audit::{AuditReport, DropReason, Verdict};
+        // Three certs share serial 1's key (duplicate fingerprints), one
+        // matches serial 2, serial 99 is unmatched.
+        let certs = vec![
+            cert(1, "2022-06-01", 398),
+            cert(1, "2022-06-02", 398),
+            cert(1, "2022-06-03", 398),
+            cert(2, "2022-06-01", 398),
+        ];
+        let revs = vec![
+            rev(1, "2022-08-01", RevocationReason::KeyCompromise),
+            rev(2, "2022-08-01", RevocationReason::Superseded),
+            rev(99, "2022-08-01", RevocationReason::KeyCompromise),
+        ];
+        let mut monitor = CtMonitor::new();
+        for c in certs {
+            let date = c.tbs.not_before();
+            monitor.ingest(c, date);
+        }
+        let mut crl = CrlDataset::new();
+        for r in revs {
+            crl.add(r);
+        }
+        let cutoff = RevocationAnalysis::cutoff_for(d("2022-11-01"));
+        let corpus: Vec<&DedupedCert> = monitor.corpus_unfiltered().collect();
+
+        let mut reports = Vec::new();
+        for split in 1..=3usize {
+            let mut shards = Vec::new();
+            let mut losers = Vec::new();
+            for s in 0..split {
+                let part = corpus.iter().copied().skip(s).step_by(split);
+                let (m, l) = join_shard_audited(part, &crl, cutoff, &obs::NullSink);
+                shards.push(m);
+                losers.extend(l);
+            }
+            let decisions = audit_decisions(&crl, &shards, &losers);
+            reports.push(AuditReport::from_decisions(decisions));
+        }
+        let first = &reports[0];
+        for other in &reports[1..] {
+            assert_eq!(first, other, "audit differs across shard splits");
+        }
+        let cov = &first.coverage["kc"];
+        assert!(cov.balanced());
+        // 3 CRL entries + 2 duplicate-fingerprint cert candidates.
+        assert_eq!(cov.candidates, 5);
+        assert_eq!(cov.kept, 2);
+        assert_eq!(cov.dropped[DropReason::CrlUnmatched.as_str()], 1);
+        assert_eq!(cov.dropped[DropReason::DuplicateFingerprint.as_str()], 2);
+        // The unmatched entry has no certificate side.
+        assert!(first
+            .decisions
+            .iter()
+            .any(|dec| dec.cert.is_empty()
+                && dec.verdict == Verdict::Dropped(DropReason::CrlUnmatched)));
     }
 
     #[test]

@@ -106,6 +106,26 @@ impl<'a> ManagedTlsDetector<'a> {
         owned: impl Fn(&DomainName) -> bool,
         sink: &dyn obs::CounterSink,
     ) -> Vec<StaleCertRecord> {
+        self.detect_shard_audited(adns, certs, window, owned, sink, &obs::NullDecisionSink)
+    }
+
+    /// [`Self::detect_shard_observed`] also reporting audit decisions
+    /// through a write-only [`obs::DecisionSink`]: one per
+    /// `(customer, departure, certificate)` triple — kept or dropped
+    /// `outside-validity-window` — and, for customers whose delegation
+    /// never departed, one `delegation-still-present` drop per
+    /// certificate. Wildcard SANs are not candidates: they carry no DNS
+    /// signal of their own and are excluded before sharding, so the
+    /// candidate universe stays shard-count-invariant.
+    pub fn detect_shard_audited<'m>(
+        &self,
+        adns: &DnsHistory,
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+        window: DateInterval,
+        owned: impl Fn(&DomainName) -> bool,
+        sink: &dyn obs::CounterSink,
+        audit: &dyn obs::DecisionSink,
+    ) -> Vec<StaleCertRecord> {
         // Customer domain → managed certificates naming it, in sorted
         // customer order so shard output is independent of input order.
         let mut by_customer: BTreeMap<&DomainName, Vec<&DedupedCert>> = BTreeMap::new();
@@ -135,8 +155,16 @@ impl<'a> ManagedTlsDetector<'a> {
         );
         let mut records = Vec::new();
         for (domain, certs) in &by_customer {
-            for departure in self.departures_for(adns, domain, window) {
+            let departures = self.departures_for(adns, domain, window);
+            if departures.is_empty() {
                 for cert in certs {
+                    audit.decision(still_present_decision(domain, cert));
+                }
+                continue;
+            }
+            for departure in departures {
+                for cert in certs {
+                    audit.decision(departure_decision(domain, departure, cert));
                     if let Some(record) = self.stale_record(domain, departure, cert) {
                         records.push(record);
                     }
@@ -212,6 +240,55 @@ impl<'a> ManagedTlsDetector<'a> {
             }
         }
         departures
+    }
+}
+
+/// The audit decision for one `(customer, departure, certificate)`
+/// candidate triple. Both the batch shard loop and the incremental
+/// finish-time derivation build decisions through this single function,
+/// so the two paths cannot disagree. The departure day is the first day
+/// the delegation was gone; the day before is the last it was observed
+/// (§4.3's neighbouring-day comparison).
+pub fn departure_decision(
+    domain: &DomainName,
+    departure: Date,
+    cert: &DedupedCert,
+) -> obs::audit::Decision {
+    use obs::audit::{Decision, Detector, DropReason, Verdict};
+    Decision {
+        detector: Detector::Mtd,
+        cert: cert.cert_id.to_string(),
+        verdict: if cert.certificate.tbs.validity.contains(departure) {
+            Verdict::Kept
+        } else {
+            Verdict::Dropped(DropReason::OutsideValidityWindow)
+        },
+        provenance: departure_provenance(domain, departure),
+    }
+}
+
+/// The audit provenance of one departure: the §4.3 neighbouring-day pair
+/// (last day delegated, first day gone). Shared by the batch decision
+/// builder and the incremental event stream.
+pub fn departure_provenance(domain: &DomainName, departure: Date) -> obs::audit::Provenance {
+    obs::audit::Provenance::DnsDeparture {
+        customer: domain.to_string(),
+        last_delegated: (departure - stale_types::Duration::days(1)).to_string(),
+        departed: departure.to_string(),
+    }
+}
+
+/// The audit decision for a certificate of a customer whose delegation
+/// never departed in the window: dropped `delegation-still-present`.
+pub fn still_present_decision(domain: &DomainName, cert: &DedupedCert) -> obs::audit::Decision {
+    use obs::audit::{Decision, Detector, DropReason, Provenance, Verdict};
+    Decision {
+        detector: Detector::Mtd,
+        cert: cert.cert_id.to_string(),
+        verdict: Verdict::Dropped(DropReason::DelegationStillPresent),
+        provenance: Provenance::DnsDelegated {
+            customer: domain.to_string(),
+        },
     }
 }
 

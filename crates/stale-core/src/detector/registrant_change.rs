@@ -90,6 +90,20 @@ impl<'a> RegistrantChangeDetector<'a> {
         certs: impl IntoIterator<Item = &'m DedupedCert>,
         sink: &dyn obs::CounterSink,
     ) -> Vec<(usize, StaleCertRecord)> {
+        self.detect_shard_audited(changes, certs, sink, &obs::NullDecisionSink)
+    }
+
+    /// [`Self::detect_shard_observed`] also reporting one audit
+    /// [`obs::Decision`] per `(change, certificate)` candidate pair —
+    /// kept, or dropped `outside-validity-window` — through a write-only
+    /// [`obs::DecisionSink`]. Decisions cannot feed back into results.
+    pub fn detect_shard_audited<'m>(
+        &self,
+        changes: &[IndexedChange],
+        certs: impl IntoIterator<Item = &'m DedupedCert>,
+        sink: &dyn obs::CounterSink,
+        audit: &dyn obs::DecisionSink,
+    ) -> Vec<(usize, StaleCertRecord)> {
         let index = self.index_certs(certs);
         sink.add("detector.rc.changes", changes.len() as u64);
         sink.add("detector.rc.indexed_e2lds", index.len() as u64);
@@ -104,6 +118,7 @@ impl<'a> RegistrantChangeDetector<'a> {
                 continue;
             };
             for cert in certs {
+                audit.decision(rc_decision(&change.domain, change.creation, cert));
                 if let Some(record) = self.stale_record(&change.domain, change.creation, cert) {
                     records.push((change.index, record));
                 }
@@ -189,6 +204,38 @@ pub fn merge_shards(shards: Vec<Vec<(usize, StaleCertRecord)>>) -> Vec<StaleCert
 /// `notBefore < creation < notAfter`, strictly, per §4.2.
 fn spans(not_before: Date, creation: Date, not_after: Date) -> bool {
     not_before < creation && creation < not_after
+}
+
+/// Whether a certificate's validity strictly spans a creation date — the
+/// §4.2 candidate test as one reusable predicate.
+pub fn validity_spans(cert: &DedupedCert, creation: Date) -> bool {
+    let tbs = &cert.certificate.tbs;
+    spans(tbs.not_before(), creation, tbs.not_after())
+}
+
+/// The audit decision for one `(registrant change, certificate)`
+/// candidate pair. Both the batch shard loop and the incremental
+/// finish-time derivation build decisions through this single function,
+/// so the two paths cannot disagree.
+pub fn rc_decision(
+    domain: &DomainName,
+    creation: Date,
+    cert: &DedupedCert,
+) -> obs::audit::Decision {
+    use obs::audit::{Decision, Detector, DropReason, Provenance, Verdict};
+    Decision {
+        detector: Detector::Rc,
+        cert: cert.cert_id.to_string(),
+        verdict: if validity_spans(cert, creation) {
+            Verdict::Kept
+        } else {
+            Verdict::Dropped(DropReason::OutsideValidityWindow)
+        },
+        provenance: Provenance::WhoisCreation {
+            domain: domain.to_string(),
+            created: creation.to_string(),
+        },
+    }
 }
 
 #[cfg(test)]

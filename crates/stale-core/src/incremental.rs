@@ -23,16 +23,18 @@
 //! (certificate bodies are re-resolved from the CT monitor by id) — the
 //! engine's checkpoint schema v2.
 
-use crate::detector::key_compromise::{self, JoinOutcome, ShardMatch};
-use crate::detector::managed_tls::ManagedTlsDetector;
-use crate::detector::registrant_change::RegistrantChangeDetector;
+use crate::detector::key_compromise::{self, JoinOutcome, KcLoser, ShardMatch};
+use crate::detector::managed_tls::{self, ManagedTlsDetector};
+use crate::detector::registrant_change::{self, RegistrantChangeDetector};
 use crate::staleness::StaleCertRecord;
 use ca::scraper::{CrlDataset, RevocationRecord};
 use ct::monitor::{CtMonitor, DedupedCert};
 use dns::scan::DnsView;
+use obs::audit::Provenance;
 use serde::{Deserialize, Serialize};
 use stale_types::{CertId, Date, DateInterval, DomainName, KeyId, SerialNumber};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use x509::revocation::RevocationReason;
 
 /// A staleness period opening, discovered during incremental ingestion.
@@ -49,6 +51,11 @@ pub struct StaleEvent {
     pub discovered: Date,
     /// The stale certificate record it opens.
     pub record: StaleCertRecord,
+    /// The source record that revealed the pairing (CRL entry, WHOIS
+    /// creation, DNS departure) — the same provenance the decision-audit
+    /// layer attaches. `Option` only for checkpoint/serde compatibility
+    /// with pre-audit event streams; new emissions always stamp it.
+    pub provenance: Option<Provenance>,
 }
 
 /// An interning table for domain names: dense `u32` ids for hash-heavy
@@ -113,6 +120,10 @@ pub struct KcIncremental<'w> {
     seen: BTreeMap<usize, &'w RevocationRecord>,
     /// Join key → CRL indexes seen under it (probe side for late certs).
     seen_by_key: HashMap<(KeyId, SerialNumber), Vec<usize>>,
+    /// Join key → certificate ids that lost the newest-cert tiebreak
+    /// (every key, whether or not a CRL record ever probed it; the
+    /// [`KcIncremental::losers`] accessor filters to probed keys).
+    losers: BTreeMap<(KeyId, SerialNumber), BTreeSet<CertId>>,
 }
 
 /// Compact checkpoint form of [`KcIncremental`]: the certificate index
@@ -123,6 +134,11 @@ pub struct KcIncremental<'w> {
 pub struct SavedKc {
     /// `(AKI, serial, winning cert id)` rows of the join index.
     pub index: Vec<(KeyId, SerialNumber, CertId)>,
+    /// `(AKI, serial, displaced cert id)` duplicate-fingerprint losers,
+    /// unfiltered. `None` in checkpoints written before the decision
+    /// audit existed; restoring such a checkpoint loses only audit
+    /// coverage (duplicate accounting), never detection results.
+    pub losers: Option<Vec<(KeyId, SerialNumber, CertId)>>,
 }
 
 impl<'w> KcIncremental<'w> {
@@ -133,6 +149,7 @@ impl<'w> KcIncremental<'w> {
             index: BTreeMap::new(),
             seen: BTreeMap::new(),
             seen_by_key: HashMap::new(),
+            losers: BTreeMap::new(),
         }
     }
 
@@ -167,11 +184,26 @@ impl<'w> KcIncremental<'w> {
                 continue;
             };
             let key = (aki, cert.certificate.tbs.serial);
-            let slot = self.index.entry(key).or_insert(cert);
-            if slot.cert_id > cert.cert_id {
-                continue; // an earlier arrival already wins
+            match self.index.entry(key) {
+                Entry::Vacant(slot) => {
+                    slot.insert(cert);
+                }
+                Entry::Occupied(mut slot) => {
+                    if slot.get().cert_id > cert.cert_id {
+                        // An earlier arrival already wins: this one is a
+                        // duplicate-fingerprint loser.
+                        self.losers.entry(key).or_default().insert(cert.cert_id);
+                        continue;
+                    }
+                    if slot.get().cert_id < cert.cert_id {
+                        self.losers
+                            .entry(key)
+                            .or_default()
+                            .insert(slot.get().cert_id);
+                    }
+                    slot.insert(cert);
+                }
             }
-            *slot = cert;
             // This certificate is now the winner: re-probe every CRL
             // record already seen under the key.
             if let Some(indexes) = self.seen_by_key.get(&key) {
@@ -179,7 +211,7 @@ impl<'w> KcIncremental<'w> {
                     let Some(rec) = self.seen.get(idx) else {
                         continue; // seen_by_key and seen are kept in lockstep
                     };
-                    push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
+                    push_kc_event(&mut events, discovered, *idx, rec, cert, self.cutoff);
                 }
             }
         }
@@ -190,7 +222,7 @@ impl<'w> KcIncremental<'w> {
                 .or_default()
                 .push(*idx);
             if let Some(cert) = self.index.get(&(rec.authority_key_id, rec.serial)) {
-                push_kc_event(&mut events, discovered, rec, cert, self.cutoff);
+                push_kc_event(&mut events, discovered, *idx, rec, cert, self.cutoff);
             }
         }
         sink.add("detector.kc.ingest.events", events.len() as u64);
@@ -221,7 +253,25 @@ impl<'w> KcIncremental<'w> {
         matches
     }
 
-    /// Checkpoint form (certificate index only; see [`SavedKc`]).
+    /// Duplicate-fingerprint losers under CRL-probed keys so far, sorted
+    /// by key then certificate id — exactly what the batch
+    /// [`key_compromise::join_shard_audited`] returns over the same
+    /// certificates and the CRL records seen so far. Losers under keys no
+    /// CRL record ever probed are not candidates and are withheld the
+    /// same way the batch join withholds them.
+    pub fn losers(&self) -> Vec<KcLoser> {
+        let mut out = Vec::new();
+        for ((aki, serial), dup_ids) in &self.losers {
+            if !self.seen_by_key.contains_key(&(*aki, *serial)) {
+                continue;
+            }
+            out.extend(dup_ids.iter().map(|id| (*aki, *serial, *id)));
+        }
+        out
+    }
+
+    /// Checkpoint form (certificate index plus the duplicate ledger; see
+    /// [`SavedKc`]).
     pub fn save(&self) -> SavedKc {
         let mut index: Vec<(KeyId, SerialNumber, CertId)> = self
             .index
@@ -229,7 +279,14 @@ impl<'w> KcIncremental<'w> {
             .map(|((aki, serial), cert)| (*aki, *serial, cert.cert_id))
             .collect();
         index.sort_by_key(|(_, _, id)| *id);
-        SavedKc { index }
+        let mut losers = Vec::new();
+        for ((aki, serial), dup_ids) in &self.losers {
+            losers.extend(dup_ids.iter().map(|id| (*aki, *serial, *id)));
+        }
+        SavedKc {
+            index,
+            losers: Some(losers),
+        }
     }
 
     /// Rebuild from a checkpoint: certificates are re-resolved from the
@@ -249,6 +306,13 @@ impl<'w> KcIncremental<'w> {
             let cert = monitor.get(cert_id)?;
             state.index.insert((*aki, *serial), cert);
         }
+        for (aki, serial, cert_id) in saved.losers.iter().flatten() {
+            state
+                .losers
+                .entry((*aki, *serial))
+                .or_default()
+                .insert(*cert_id);
+        }
         for (idx, rec) in crl.records().iter().enumerate() {
             if rec.observed <= through {
                 state.seen.insert(idx, rec);
@@ -266,6 +330,7 @@ impl<'w> KcIncremental<'w> {
 fn push_kc_event(
     events: &mut Vec<StaleEvent>,
     discovered: Date,
+    crl_index: usize,
     rec: &RevocationRecord,
     cert: &DedupedCert,
     cutoff: Date,
@@ -277,6 +342,7 @@ fn push_kc_event(
         events.push(StaleEvent {
             discovered,
             record: revoked.stale_record(),
+            provenance: Some(key_compromise::crl_provenance(crl_index, rec)),
         });
     }
 }
@@ -366,7 +432,14 @@ impl<'w> RcIncremental<'w> {
                     for creation in dates.iter().skip(1) {
                         if let Some(record) = detector.stale_record(&e2ld, *creation, cert) {
                             self.matches.push((id, *creation, record.clone()));
-                            events.push(StaleEvent { discovered, record });
+                            events.push(StaleEvent {
+                                discovered,
+                                record,
+                                provenance: Some(Provenance::WhoisCreation {
+                                    domain: e2ld.to_string(),
+                                    created: creation.to_string(),
+                                }),
+                            });
                         }
                     }
                 }
@@ -387,7 +460,14 @@ impl<'w> RcIncremental<'w> {
                 for cert in certs {
                     if let Some(record) = detector.stale_record(domain, *creation, cert) {
                         self.matches.push((id, *creation, record.clone()));
-                        events.push(StaleEvent { discovered, record });
+                        events.push(StaleEvent {
+                            discovered,
+                            record,
+                            provenance: Some(Provenance::WhoisCreation {
+                                domain: domain.to_string(),
+                                created: creation.to_string(),
+                            }),
+                        });
                     }
                 }
             }
@@ -415,6 +495,34 @@ impl<'w> RcIncremental<'w> {
                 Some((name.clone(), *creation, record.clone()))
             })
             .collect()
+    }
+
+    /// Per-candidate audit decisions for everything ingested so far: one
+    /// per `(change, certificate)` pair — the same candidate universe the
+    /// batch [`registrant_change::detect_shard_audited`] reports over
+    /// this shard's certificates, built through the shared
+    /// [`registrant_change::rc_decision`] so the two paths cannot
+    /// disagree. Emission order is irrelevant; the engine's audit merge
+    /// sorts canonically.
+    pub fn decisions(&self) -> Vec<obs::audit::Decision> {
+        let mut out = Vec::new();
+        for (id, dates) in &self.creations {
+            if dates.len() < 2 {
+                continue;
+            }
+            let Some(domain) = self.interner.name(*id) else {
+                continue;
+            };
+            let Some(certs) = self.certs_by_e2ld.get(id) else {
+                continue;
+            };
+            for creation in dates.iter().skip(1) {
+                for cert in certs {
+                    out.push(registrant_change::rc_decision(domain, *creation, cert));
+                }
+            }
+        }
+        out
     }
 
     /// Checkpoint form.
@@ -593,7 +701,13 @@ impl<'w> MtdIncremental<'w> {
                 if let Some(days) = self.departures.get(domain) {
                     for departure in days {
                         if let Some(record) = detector.stale_record(domain, *departure, cert) {
-                            events.push(StaleEvent { discovered, record });
+                            events.push(StaleEvent {
+                                discovered,
+                                record,
+                                provenance: Some(managed_tls::departure_provenance(
+                                    domain, *departure,
+                                )),
+                            });
                         }
                     }
                 }
@@ -613,7 +727,11 @@ impl<'w> MtdIncremental<'w> {
                 if let Some(certs) = self.certs_by_customer.get(*domain) {
                     for cert in certs {
                         if let Some(record) = detector.stale_record(domain, *date, cert) {
-                            events.push(StaleEvent { discovered, record });
+                            events.push(StaleEvent {
+                                discovered,
+                                record,
+                                provenance: Some(managed_tls::departure_provenance(domain, *date)),
+                            });
                         }
                     }
                 }
@@ -649,6 +767,36 @@ impl<'w> MtdIncremental<'w> {
             }
         }
         records
+    }
+
+    /// Per-candidate audit decisions for everything ingested so far:
+    /// one per `(customer, departure, certificate)` triple, or one
+    /// `delegation-still-present` drop per certificate of a customer
+    /// with no departure — the same candidate universe the batch
+    /// [`ManagedTlsDetector::detect_shard_audited`] reports, built
+    /// through the shared [`managed_tls::departure_decision`] /
+    /// [`managed_tls::still_present_decision`] so the two paths cannot
+    /// disagree. Emission order is irrelevant; the engine's audit merge
+    /// sorts canonically.
+    pub fn decisions(&self) -> Vec<obs::audit::Decision> {
+        let mut out = Vec::new();
+        for (domain, certs) in &self.certs_by_customer {
+            match self.departures.get(domain) {
+                Some(days) if !days.is_empty() => {
+                    for departure in days {
+                        for cert in certs {
+                            out.push(managed_tls::departure_decision(domain, *departure, cert));
+                        }
+                    }
+                }
+                _ => {
+                    for cert in certs {
+                        out.push(managed_tls::still_present_decision(domain, cert));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Checkpoint form.

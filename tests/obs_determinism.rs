@@ -5,6 +5,12 @@
 //! randomly seeded worlds — and the artifacts an instrumented run emits
 //! (`--trace-out` JSONL, `--metrics-json`) round-trip through
 //! `stale-lint preflight` clean.
+//!
+//! The decision audit inherits the same contract: auditing on vs off
+//! never changes the suite, and the audit artifact itself
+//! (`--audit-out` JSONL) is byte-identical across shard widths and
+//! across batch vs incremental mode, preflights clean, and balances
+//! (`candidates == kept + Σ dropped` per detector).
 
 use proptest::prelude::*;
 use stale_tls::engine::{Engine, EngineConfig};
@@ -26,6 +32,12 @@ fn suite_bytes(suite: &DetectionSuite) -> String {
 
 fn engine(shards: usize, obs: obs::Obs) -> Engine {
     Engine::new(EngineConfig::with_shards(shards)).with_obs(obs)
+}
+
+fn audited_engine(shards: usize, obs: obs::Obs) -> Engine {
+    let mut cfg = EngineConfig::with_shards(shards);
+    cfg.audit = true;
+    Engine::new(cfg).with_obs(obs)
 }
 
 #[test]
@@ -111,6 +123,116 @@ fn emitted_artifacts_preflight_clean() {
     assert!(snapshot.histograms.contains_key("engine.queue.depth"));
 }
 
+#[test]
+fn audit_never_perturbs_results_and_is_shard_and_mode_invariant() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+
+    let plain = engine(1, obs::Obs::disabled())
+        .run(&data, &psl)
+        .expect("unaudited batch run");
+    assert!(plain.audit.is_none(), "audit off must not produce a report");
+
+    let mut jsonls: Vec<(String, String)> = Vec::new();
+    for shards in [1usize, 2, 7] {
+        let audited = audited_engine(shards, obs::Obs::disabled())
+            .run(&data, &psl)
+            .expect("audited batch run");
+        assert_eq!(
+            suite_bytes(&audited.suite),
+            suite_bytes(&plain.suite),
+            "audited batch shards={shards} changed the suite"
+        );
+        let report = audited.audit.expect("audit on produces a report");
+        jsonls.push((format!("batch shards={shards}"), report.to_jsonl()));
+
+        let audited = audited_engine(shards, obs::Obs::disabled())
+            .run_incremental(&data, &psl)
+            .expect("audited incremental run");
+        assert_eq!(
+            suite_bytes(&audited.suite),
+            suite_bytes(&plain.suite),
+            "audited incremental shards={shards} changed the suite"
+        );
+        let report = audited.audit.expect("audit on produces a report");
+        jsonls.push((format!("incremental shards={shards}"), report.to_jsonl()));
+    }
+    let (first_label, first) = &jsonls[0];
+    for (label, jsonl) in &jsonls[1..] {
+        assert_eq!(
+            jsonl, first,
+            "audit JSONL differs between {first_label} and {label}"
+        );
+    }
+
+    // The canonical artifact preflights clean and round-trips.
+    let diags = stale_lint::preflight::preflight_str("audit.jsonl", first);
+    assert!(diags.is_empty(), "audit preflight: {diags:?}");
+    let report = obs::AuditReport::from_jsonl(first).expect("audit round-trips");
+
+    // Coverage balances per detector and counted real work.
+    let mut candidates = 0u64;
+    for (det, cov) in &report.coverage {
+        assert!(
+            cov.balanced(),
+            "{det}: {} candidates != {} kept + {} dropped",
+            cov.candidates,
+            cov.kept,
+            cov.dropped_total()
+        );
+        candidates += cov.candidates;
+    }
+    assert!(candidates > 0, "tiny world produced no audit candidates");
+
+    // `explain` reconstructs a decision chain for a real fingerprint.
+    let cert = report
+        .decisions
+        .iter()
+        .find(|d| !d.cert.is_empty())
+        .map(|d| d.cert.clone())
+        .expect("some decision names a certificate");
+    let text = report.render_explain(&cert).expect("explain finds it");
+    assert!(text.contains(&cert), "{text}");
+    assert!(text.contains("decisions"), "{text}");
+}
+
+#[test]
+fn audit_coverage_gauges_reach_the_metrics_registry() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let obs = obs::Obs::enabled();
+    let report = audited_engine(2, obs.clone())
+        .run(&data, &psl)
+        .expect("audited batch run")
+        .audit
+        .expect("audit report");
+    let snapshot = obs.registry.snapshot();
+    for (det, cov) in &report.coverage {
+        assert_eq!(
+            snapshot.counters.get(&format!("audit.{det}.candidates")),
+            Some(&cov.candidates),
+            "audit.{det}.candidates gauge"
+        );
+        assert_eq!(
+            snapshot.counters.get(&format!("audit.{det}.kept")),
+            Some(&cov.kept),
+            "audit.{det}.kept gauge"
+        );
+        for (reason, n) in &cov.dropped {
+            assert_eq!(
+                snapshot
+                    .counters
+                    .get(&format!("audit.{det}.dropped.{reason}")),
+                Some(n),
+                "audit.{det}.dropped.{reason} gauge"
+            );
+        }
+    }
+    // The registry export still preflights clean with the gauges in it.
+    let diags = stale_lint::preflight::preflight_str("metrics.json", &obs.registry.export_json());
+    assert!(diags.is_empty(), "metrics preflight: {diags:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -146,5 +268,45 @@ proptest! {
                 "incremental shards={}", shards
             );
         }
+    }
+
+    /// Random small worlds: the audit artifact is byte-identical across
+    /// shard widths and batch vs incremental, preflights clean, and
+    /// auditing never perturbs the suite.
+    #[test]
+    fn audit_is_deterministic_on_random_worlds(seed in any::<u64>()) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        let plain = engine(1, obs::Obs::disabled())
+            .run(&data, &psl)
+            .expect("unaudited batch");
+        let mut jsonls: Vec<String> = Vec::new();
+        for shards in [1usize, 3] {
+            let audited = audited_engine(shards, obs::Obs::disabled())
+                .run(&data, &psl)
+                .expect("audited batch");
+            prop_assert_eq!(
+                &suite_bytes(&audited.suite),
+                &suite_bytes(&plain.suite),
+                "audited batch shards={}", shards
+            );
+            jsonls.push(audited.audit.expect("audit report").to_jsonl());
+            let audited = audited_engine(shards, obs::Obs::disabled())
+                .run_incremental(&data, &psl)
+                .expect("audited incremental");
+            prop_assert_eq!(
+                &suite_bytes(&audited.suite),
+                &suite_bytes(&plain.suite),
+                "audited incremental shards={}", shards
+            );
+            jsonls.push(audited.audit.expect("audit report").to_jsonl());
+        }
+        for jsonl in &jsonls[1..] {
+            prop_assert_eq!(jsonl, &jsonls[0], "audit JSONL diverged");
+        }
+        let diags = stale_lint::preflight::preflight_str("audit.jsonl", &jsonls[0]);
+        prop_assert!(diags.is_empty(), "audit preflight: {:?}", diags);
     }
 }
