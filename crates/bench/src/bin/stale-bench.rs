@@ -1,10 +1,11 @@
-//! `stale-bench` — bench-trajectory and decision-audit tooling.
+//! `stale-bench` — bench-trajectory, decision-audit and daemon tooling.
 //!
 //! ```text
 //! stale-bench compare <BASELINE> <CURRENT> [--threshold 0.25]
 //!                     [--min-wall-us 1000] [--out BENCH_obs.json] [--json]
-//! stale-bench explain <FINGERPRINT> --audit AUDIT.jsonl
-//! stale-bench report --audit AUDIT.jsonl
+//! stale-bench explain <FINGERPRINT> (--audit AUDIT.jsonl | --server ADDR)
+//! stale-bench report (--audit AUDIT.jsonl | --server ADDR)
+//! stale-bench query <ADDR> <CMD> [ARGS...]
 //! ```
 //!
 //! `compare`: `BASELINE` and `CURRENT` are metrics-JSON exports from
@@ -16,12 +17,20 @@
 //! regressed or count drifted, 2 usage/IO error.
 //!
 //! `explain`: reconstruct one certificate's full decision chain from a
-//! `repro --audit-out` JSONL export. `FINGERPRINT` may be any unique
-//! prefix. Exit codes: 0 found, 1 unknown/ambiguous fingerprint, 2
-//! usage/IO error.
+//! `repro --audit-out` JSONL export — or, with `--server`, from a
+//! resident `stale-served` daemon's live audit store. `FINGERPRINT` may
+//! be any unique prefix; an ambiguous prefix lists its candidates. Exit
+//! codes: 0 found, 1 unknown/ambiguous fingerprint, 2 usage/IO error.
 //!
 //! `report`: render the per-detector coverage table (candidates, kept,
-//! dropped-by-reason, Table-7-style CRL match rate) from an audit export.
+//! dropped-by-reason, Table-7-style CRL match rate) from an audit export
+//! or a daemon.
+//!
+//! `query`: send one raw protocol command (`ping`, `status`, `table4`,
+//! `feed-day`, `snapshot`, `shutdown`, …) to a daemon and print the
+//! response body. Connection attempts retry briefly, so a query issued
+//! right after spawning `stale-served` waits for the socket. Exit codes:
+//! 0 `ok` response, 1 `err` response, 2 transport/usage error.
 
 use stale_bench::compare::{compare, parse_snapshot, DEFAULT_MIN_WALL_US, DEFAULT_THRESHOLD};
 use std::process::ExitCode;
@@ -29,8 +38,9 @@ use std::process::ExitCode;
 fn usage() -> String {
     "usage: stale-bench compare <BASELINE> <CURRENT> [--threshold FRACTION] \
      [--min-wall-us US] [--out PATH] [--json]\n\
-     \x20      stale-bench explain <FINGERPRINT> --audit FILE\n\
-     \x20      stale-bench report --audit FILE\n\
+     \x20      stale-bench explain <FINGERPRINT> (--audit FILE | --server ADDR)\n\
+     \x20      stale-bench report (--audit FILE | --server ADDR)\n\
+     \x20      stale-bench query <ADDR> <CMD> [ARGS...]\n\
      \n\
      compare: diff two metrics-JSON exports (repro --metrics-json) stage by\n\
      stage. A stage regresses when its wall time exceeds baseline *\n\
@@ -40,10 +50,15 @@ fn usage() -> String {
      Exit: 0 clean, 1 regression(s)/drift(s), 2 error.\n\
      \n\
      explain: print one certificate's decision chain from a decision-audit\n\
-     export (repro --audit-out). FINGERPRINT may be a unique prefix.\n\
+     export (repro --audit-out) or a resident stale-served daemon.\n\
+     FINGERPRINT may be a unique prefix.\n\
      Exit: 0 found, 1 unknown or ambiguous fingerprint, 2 error.\n\
      \n\
-     report: print the per-detector coverage table from an audit export."
+     report: print the per-detector coverage table from an audit export\n\
+     or a resident stale-served daemon.\n\
+     \n\
+     query: send one protocol command to a stale-served daemon and print\n\
+     the response body. Exit: 0 ok, 1 err response, 2 transport error."
         .to_string()
 }
 
@@ -52,14 +67,22 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Parse `rest` as `[POSITIONAL...] --audit FILE` and load the audit
-/// report, expecting exactly `positional` free arguments.
-fn load_audit(
+/// Where an audit-backed command reads its decisions from: a JSONL
+/// export on disk, or a resident daemon.
+enum AuditSource {
+    File(obs::AuditReport),
+    Server(String),
+}
+
+/// Parse `rest` as `[POSITIONAL...] (--audit FILE | --server ADDR)`,
+/// expecting exactly `positional` free arguments.
+fn load_audit_source(
     rest: &[String],
     positional: usize,
-) -> Result<(Vec<String>, obs::AuditReport), String> {
+) -> Result<(Vec<String>, AuditSource), String> {
     let mut free: Vec<String> = Vec::new();
     let mut audit_path: Option<String> = None;
+    let mut server: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -68,6 +91,12 @@ fn load_audit(
                     return Err("--audit needs a path".to_string());
                 };
                 audit_path = Some(v.clone());
+            }
+            "--server" => {
+                let Some(v) = it.next() else {
+                    return Err("--server needs an address".to_string());
+                };
+                server = Some(v.clone());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{}", usage()));
@@ -82,22 +111,41 @@ fn load_audit(
             usage()
         ));
     }
-    let Some(path) = audit_path else {
-        return Err(format!("--audit FILE is required\n{}", usage()));
-    };
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = obs::AuditReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok((free, report))
+    match (audit_path, server) {
+        (Some(_), Some(_)) => Err("--audit and --server are mutually exclusive".to_string()),
+        (None, None) => Err(format!(
+            "--audit FILE or --server ADDR is required\n{}",
+            usage()
+        )),
+        (None, Some(addr)) => Ok((free, AuditSource::Server(addr))),
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let report = obs::AuditReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok((free, AuditSource::File(report)))
+        }
+    }
 }
 
-fn cmd_explain(rest: &[String]) -> ExitCode {
-    let (free, report) = match load_audit(rest, 1) {
-        Ok(v) => v,
-        Err(e) => return fail(&e),
-    };
-    match report.render_explain(&free[0]) {
+/// Send one command line to a daemon, with brief connection retries.
+fn server_request(addr: &str, line: &str) -> Result<Result<String, String>, String> {
+    let mut client =
+        stale_served::Client::connect_retry(addr, 40, std::time::Duration::from_millis(250))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client
+        .request(line)
+        .map_err(|e| format!("request to {addr} failed: {e}"))
+}
+
+/// Print an audit-query response: the body on success (exit 0), the
+/// daemon/report error on a known failure (exit 1).
+fn finish_audit_query(resp: Result<String, String>) -> ExitCode {
+    match resp {
         Ok(text) => {
             print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -107,13 +155,56 @@ fn cmd_explain(rest: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_report(rest: &[String]) -> ExitCode {
-    let (_, report) = match load_audit(rest, 0) {
+fn cmd_explain(rest: &[String]) -> ExitCode {
+    let (free, source) = match load_audit_source(rest, 1) {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
-    print!("{}", report.render_coverage());
-    ExitCode::SUCCESS
+    let Some(fingerprint) = free.first() else {
+        return fail("missing fingerprint");
+    };
+    match source {
+        AuditSource::File(report) => finish_audit_query(report.render_explain(fingerprint)),
+        AuditSource::Server(addr) => {
+            match server_request(&addr, &format!("explain {fingerprint}")) {
+                Ok(resp) => finish_audit_query(resp),
+                Err(e) => fail(&e),
+            }
+        }
+    }
+}
+
+fn cmd_report(rest: &[String]) -> ExitCode {
+    let (_, source) = match load_audit_source(rest, 0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    match source {
+        AuditSource::File(report) => finish_audit_query(Ok(report.render_coverage())),
+        AuditSource::Server(addr) => match server_request(&addr, "report") {
+            Ok(resp) => finish_audit_query(resp),
+            Err(e) => fail(&e),
+        },
+    }
+}
+
+fn cmd_query(rest: &[String]) -> ExitCode {
+    let Some((addr, words)) = rest.split_first() else {
+        return fail(&format!(
+            "query needs an address and a command\n{}",
+            usage()
+        ));
+    };
+    if words.is_empty() {
+        return fail(&format!(
+            "query needs a command after the address\n{}",
+            usage()
+        ));
+    }
+    match server_request(addr, &words.join(" ")) {
+        Ok(resp) => finish_audit_query(resp),
+        Err(e) => fail(&e),
+    }
 }
 
 fn cmd_compare(rest: &[String]) -> ExitCode {
@@ -211,6 +302,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
+        "query" => cmd_query(rest),
         other => fail(&format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }

@@ -7,7 +7,7 @@ use stale_core::lifetime_sim::LifetimeSimulation;
 use stale_core::popularity::{popularity_breakdown, RANK_BUCKETS};
 use stale_core::report::{bar_chart, curve_plot, pct, render_table};
 use stale_core::reputation::reputation_report;
-use stale_core::staleness::{StaleCertRecord, StalenessClass, StalenessSummary};
+use stale_core::staleness::{StaleCertRecord, StalenessClass};
 use stale_core::stats::{Cdf, GroupedMonthlySeries, MonthlySeries};
 use stale_core::survival::SurvivalCurve;
 use stale_types::{Date, DateInterval, DomainName};
@@ -159,18 +159,15 @@ impl Experiments {
         self.suite.records(class)
     }
 
-    fn revocation_window(&self) -> DateInterval {
-        DateInterval::new(self.suite.revocations.cutoff, self.data.crl_window.end)
-            .expect("cutoff precedes collection end")
-    }
-
-    fn rc_window(&self) -> DateInterval {
-        let end = self
-            .data
-            .whois
-            .window_end
-            .unwrap_or(self.data.sim_window.end);
-        DateInterval::new(self.data.sim_window.start, end.succ()).expect("valid window")
+    /// Borrowed render view over the world + suite — the same
+    /// [`stale_core::tables::TableView`] the resident daemon renders
+    /// from, which is what keeps daemon and batch table bytes identical.
+    pub fn view(&self) -> stale_core::tables::TableView<'_> {
+        stale_core::tables::TableView {
+            data: &self.data,
+            psl: &self.psl,
+            suite: &self.suite,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -179,65 +176,12 @@ impl Experiments {
 
     /// Table 3: dataset inventory.
     pub fn table3(&self) -> String {
-        let summary = self.data.summary();
-        let rows: Vec<Vec<String>> = summary
-            .rows
-            .into_iter()
-            .map(|(name, range, size)| vec![name, range, size])
-            .collect();
-        format!(
-            "Table 3 — Datasets (simulated stand-ins for the paper's feeds)\n{}",
-            render_table(&["Dataset", "Date range", "Size"], &rows)
-        )
+        self.view().table3()
     }
 
     /// Table 4: daily rates of stale certs / FQDNs / e2LDs per detector.
     pub fn table4(&self) -> String {
-        let all_records = self.suite.revocations.all_as_records();
-        let all_refs: Vec<&StaleCertRecord> = all_records.iter().collect();
-        let kc: Vec<&StaleCertRecord> = self.suite.key_compromise.iter().collect();
-        let rc: Vec<&StaleCertRecord> = self.suite.registrant_change.iter().collect();
-        let mtd: Vec<&StaleCertRecord> = self.suite.managed_tls.iter().collect();
-        let rev_win = self.revocation_window();
-        let summaries = [
-            StalenessSummary::compute("Revoked: all", &all_refs, rev_win, &self.psl),
-            StalenessSummary::compute("Revoked: key compromise", &kc, rev_win, &self.psl),
-            StalenessSummary::compute("Domain registrant change", &rc, self.rc_window(), &self.psl),
-            StalenessSummary::compute(
-                "Cloudflare managed TLS departure",
-                &mtd,
-                self.data.adns_window,
-                &self.psl,
-            ),
-        ];
-        let mut rows = Vec::new();
-        for (s, (_, p_certs, p_fqdns, p_e2lds)) in summaries.iter().zip(paper::TABLE4_DAILY) {
-            rows.push(vec![
-                s.label.clone(),
-                format!("{} – {}", s.window.start, s.window.end),
-                format!("{} ({:.2}/day)", s.certs, s.daily_certs),
-                format!("{} ({:.2}/day)", s.fqdns, s.daily_fqdns),
-                format!("{} ({:.2}/day)", s.e2lds, s.daily_e2lds),
-                format!("{:.0}:{:.0}:{:.0}", p_certs, p_fqdns, p_e2lds),
-            ]);
-        }
-        // Shape check: relative daily-cert rates across the three
-        // third-party classes, paper vs measured.
-        let measured_ratio = ratio3(
-            summaries[3].daily_certs,
-            summaries[2].daily_certs,
-            summaries[1].daily_certs,
-        );
-        let paper_ratio = ratio3(9_495.0, 2_593.0, 493.0);
-        format!(
-            "Table 4 — Stale certificate detection (totals with daily rates)\n{}\nShape: MTD:RC:KC daily-cert ratio — paper {} / measured {}\n",
-            render_table(
-                &["Method", "Window", "# certs", "# FQDNs", "# e2LDs", "paper daily c:f:e"],
-                &rows
-            ),
-            paper_ratio,
-            measured_ratio,
-        )
+        self.view().table4()
     }
 
     /// Table 5: domain reputation of registrant-change domains.
@@ -867,12 +811,6 @@ impl Experiments {
         ]
         .join("\n")
     }
-}
-
-/// Normalise three rates to the smallest.
-fn ratio3(a: f64, b: f64, c: f64) -> String {
-    let min = c.max(1e-9);
-    format!("{:.1}:{:.1}:1", a / min, b / min)
 }
 
 #[cfg(test)]

@@ -7,17 +7,9 @@
 //! ratios, medians, crossover percentages and event-driven spikes.
 
 /// Table 4: average daily (certs, FQDNs, e2LDs) per detector row.
-pub const TABLE4_DAILY: [(&str, f64, f64, f64); 4] = [
-    ("Revoked: all", 20_327.0, 28_035.0, 7_125.0),
-    ("Revoked: key compromise", 493.0, 787.0, 347.0),
-    ("Domain registrant change", 2_593.0, 2_807.0, 1_214.0),
-    (
-        "Cloudflare managed TLS departure",
-        9_495.0,
-        18_833.0,
-        7_722.0,
-    ),
-];
+/// Lives in [`stale_core::tables`] next to the shared Table-4 renderer
+/// (served live by `stale-served` as well as rendered here).
+pub use stale_core::tables::TABLE4_DAILY;
 
 /// Figure 6: median staleness days per class.
 pub const FIG6_MEDIANS: [(&str, i64); 3] = [

@@ -57,4 +57,5 @@ pub use config::EngineConfig;
 pub use engine::{Engine, EngineError, EngineReport};
 pub use metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, ShardMetrics, StageMetrics};
 pub use partition::{partition, Partition, ShardInput};
+pub use stream::{IncrementalState, StateView};
 pub use supervisor::DegradedShard;

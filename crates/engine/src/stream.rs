@@ -1,14 +1,19 @@
 //! The incremental streaming driver: day-deltas → persistent shard state.
 //!
-//! [`Engine::run_incremental`] replays a [`worldsim::DayFeed`] through the
-//! same shard partition the batch driver uses, but instead of handing each
-//! shard its complete slice at once, it routes one [`worldsim::DayDelta`]
-//! at a time into per-shard [`stale_core::incremental`] detector state.
-//! Every delta emits [`stale_core::incremental::StaleEvent`]s as staleness
-//! periods open; the final report is produced by `finish()`ing each
-//! shard's state and running the **same** deterministic merge as batch
-//! mode ([`crate::engine::merge_suite`]), which is what makes the two
-//! drivers byte-identical over the same bundle.
+//! Two consumers share the machinery here:
+//!
+//! * [`Engine::run_incremental`] replays a complete [`worldsim::DayFeed`]
+//!   through the same shard partition the batch driver uses and finishes
+//!   with the batch merge, which is what makes the two drivers
+//!   byte-identical over the same bundle.
+//! * [`IncrementalState`] is the long-lived core of that loop, exposed as
+//!   a query-safe read API for the resident daemon (`stale-served`): it
+//!   owns the per-shard [`stale_core::incremental`] detector state,
+//!   ingests one [`worldsim::DayDelta`] at a time, snapshots/restores
+//!   checkpoint schema v2, and materializes a [`StateView`] — the merged
+//!   [`DetectionSuite`] plus the merged decision audit — **without
+//!   consuming the state**, so a daemon can answer queries after every
+//!   ingested day and keep ingesting.
 //!
 //! Routing mirrors [`crate::partition::partition`] rule for rule:
 //!
@@ -31,11 +36,12 @@ use crate::checkpoint::{ShardStateSnapshot, StreamCheckpoint};
 use crate::engine::{merge_suite, record_stage, Engine, EngineError, EngineReport};
 use crate::metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, StageMetrics};
 use crate::partition::{mtd_routing_key, shard_of};
-use obs::{CounterSink, Histogram, HistogramSnapshot, SpanId};
+use obs::{AuditReport, CounterSink, Histogram, HistogramSnapshot, SpanId};
 use psl::SuffixList;
 use stale_core::detector::key_compromise::{self, RevocationAnalysis};
 use stale_core::detector::managed_tls::ManagedTlsDetector;
 use stale_core::detector::registrant_change::{enumerate_changes, RegistrantChangeDetector};
+use stale_core::detector::DetectionSuite;
 use stale_core::incremental::{KcIncremental, MtdIncremental, RcIncremental, StaleEvent};
 use stale_core::staleness::StaleCertRecord;
 use stale_types::{Date, DomainName};
@@ -48,6 +54,242 @@ struct ShardState<'w> {
     kc: KcIncremental<'w>,
     rc: RcIncremental<'w>,
     mtd: MtdIncremental<'w>,
+}
+
+/// A materialized answer over everything ingested so far: the merged
+/// detector suite and (when requested) the merged decision audit. Both
+/// are produced by the **same** finish + merge the batch driver runs, so
+/// a view over a drained feed is byte-identical to a batch report.
+pub struct StateView {
+    /// Merged detector outputs in canonical order.
+    pub suite: DetectionSuite,
+    /// Merged decision audit (`None` when the view was taken without
+    /// auditing).
+    pub audit: Option<AuditReport>,
+}
+
+/// Persistent per-shard incremental detector state with a query-safe
+/// read surface.
+///
+/// The state borrows the world (`'w`) — certificates, CRL records and
+/// scan histories are referenced, never copied — so it lives alongside a
+/// [`WorldDatasets`] owned by the caller (the engine driver's stack
+/// frame, or the daemon's state-actor thread).
+///
+/// Determinism: ingesting the same deltas in the same order yields the
+/// same state regardless of how they were batched (a multi-day delta is
+/// exactly the concatenation of its single-day deltas), and
+/// [`IncrementalState::view`] is non-destructive and repeatable — two
+/// views with no ingest between them render identical bytes.
+pub struct IncrementalState<'w> {
+    data: &'w WorldDatasets,
+    psl: &'w SuffixList,
+    shards: usize,
+    cutoff: Date,
+    states: Vec<ShardState<'w>>,
+    through: Option<Date>,
+}
+
+impl<'w> IncrementalState<'w> {
+    /// Fresh state at `shards` width over `data`.
+    pub fn new(data: &'w WorldDatasets, psl: &'w SuffixList, shards: usize) -> Self {
+        let n = shards.max(1);
+        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+        let states = (0..n)
+            .map(|_| ShardState {
+                kc: KcIncremental::new(cutoff),
+                rc: RcIncremental::new(),
+                mtd: MtdIncremental::new(data.adns_window),
+            })
+            .collect();
+        IncrementalState {
+            data,
+            psl,
+            shards: n,
+            cutoff,
+            states,
+            through: None,
+        }
+    }
+
+    /// Restore from a schema-v2 checkpoint over the *same* bundle.
+    ///
+    /// `None` when the checkpoint belongs to a different world
+    /// (fingerprint mismatch) or names a certificate the monitor does not
+    /// hold — stale state is discarded, never trusted. Restoring
+    /// re-resolves certificate bodies by id; the checkpoint stores only
+    /// ids.
+    pub fn restore(
+        data: &'w WorldDatasets,
+        psl: &'w SuffixList,
+        cp: &StreamCheckpoint,
+    ) -> Option<Self> {
+        if cp.version != StreamCheckpoint::VERSION
+            || cp.fingerprint != data.fingerprint()
+            || cp.states.len() != cp.shards
+        {
+            return None;
+        }
+        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+        let rc_detector = RegistrantChangeDetector::new(psl);
+        let mut states = Vec::with_capacity(cp.states.len());
+        for s in &cp.states {
+            let kc = KcIncremental::restore(&s.kc, &data.monitor, &data.crl, cp.through, cutoff)?;
+            let rc = RcIncremental::restore(&s.rc, &data.monitor, &rc_detector)?;
+            let mtd = MtdIncremental::restore(&s.mtd, &data.monitor, data.adns_window)?;
+            states.push(ShardState { kc, rc, mtd });
+        }
+        Some(IncrementalState {
+            data,
+            psl,
+            shards: cp.shards.max(1),
+            cutoff,
+            states,
+            through: Some(cp.through),
+        })
+    }
+
+    /// Partition width.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Last ingested day (`None` before the first delta).
+    pub fn through(&self) -> Option<Date> {
+        self.through
+    }
+
+    /// Approximate retained-entry footprint across all shards.
+    pub fn footprint(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| s.kc.footprint() + s.rc.footprint() + s.mtd.footprint())
+            .sum()
+    }
+
+    /// Ingest one delta: route every item per the partitioner's rules and
+    /// apply each shard's slice to its state. Returns the stale events
+    /// the delta revealed, in shard order. Item counts flow into `sink`
+    /// (write-only; ingestion cannot depend on what was recorded).
+    pub fn ingest_delta(
+        &mut self,
+        delta: &DayDelta<'w>,
+        sink: &dyn CounterSink,
+    ) -> Vec<StaleEvent> {
+        let n = self.shards;
+        let psl = self.psl;
+        let rc_detector = RegistrantChangeDetector::new(psl);
+        let mtd_detector = ManagedTlsDetector::new(&self.data.cdn_config, psl);
+        let routed = route(delta, psl, &rc_detector, &mtd_detector, n);
+        let mut events = Vec::new();
+        for (id, (state, r)) in self.states.iter_mut().zip(&routed).enumerate() {
+            events.extend(apply(
+                state,
+                delta.to,
+                r,
+                delta,
+                &rc_detector,
+                &mtd_detector,
+                |d| shard_of(&mtd_routing_key(psl, d), n) == id,
+                sink,
+            ));
+        }
+        self.through = Some(delta.to);
+        events
+    }
+
+    /// Snapshot the state as a schema-v2 checkpoint. `None` until the
+    /// first delta has been ingested (an empty state has no `through`
+    /// day, and resuming it is the same as starting fresh).
+    pub fn snapshot(&self) -> Option<StreamCheckpoint> {
+        let through = self.through?;
+        Some(StreamCheckpoint {
+            version: StreamCheckpoint::VERSION,
+            fingerprint: self.data.fingerprint(),
+            shards: self.shards,
+            through,
+            states: self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardStateSnapshot {
+                    shard,
+                    kc: s.kc.save(),
+                    rc: s.rc.save(),
+                    mtd: s.mtd.save(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Materialize the merged suite (and, with `audit`, the merged
+    /// decision audit) over everything ingested so far — the batch
+    /// driver's finish + merge, without consuming the state.
+    ///
+    /// Every call over the same ingested prefix renders identical bytes,
+    /// and a view over the drained feed is byte-identical to
+    /// [`Engine::run`] over the same bundle.
+    pub fn view(&self, audit: bool) -> Result<StateView, EngineError> {
+        Ok(self.view_counted(audit)?.0)
+    }
+
+    /// [`IncrementalState::view`] plus the pre-merge emitted-item count
+    /// (the sum of every shard's finished kc/rc/mtd outputs) — what the
+    /// engine's merge-stage metrics report as `items_in`.
+    pub fn view_counted(&self, audit: bool) -> Result<(StateView, usize), EngineError> {
+        let mtd_detector = ManagedTlsDetector::new(&self.data.cdn_config, self.psl);
+        let kc: Vec<_> = self.states.iter().map(|s| s.kc.finish()).collect();
+        let change_index: HashMap<(DomainName, Date), usize> = enumerate_changes(&self.data.whois)
+            .into_iter()
+            .map(|c| ((c.domain, c.creation), c.index))
+            .collect();
+        let mut rc: Vec<Vec<(usize, StaleCertRecord)>> = Vec::with_capacity(self.states.len());
+        for s in &self.states {
+            let mut shard_rc = Vec::new();
+            for (domain, creation, record) in s.rc.finish() {
+                let key = (domain, creation);
+                let Some(&index) = change_index.get(&key) else {
+                    return Err(EngineError::Inconsistent(format!(
+                        "registrant change for {} at {} has no entry in the global enumeration",
+                        key.0, key.1
+                    )));
+                };
+                shard_rc.push((index, record));
+            }
+            rc.push(shard_rc);
+        }
+        let mtd: Vec<_> = self
+            .states
+            .iter()
+            .map(|s| s.mtd.finish(&mtd_detector))
+            .collect();
+        // Decision audit: rc/mtd decisions re-derived from each shard's
+        // state, kc decisions expanded from the global join — the same
+        // inputs the batch driver audits, so the merged report is
+        // identical across modes (and across daemon vs batch).
+        let audit = if audit {
+            let mut decisions = Vec::new();
+            let mut losers = Vec::new();
+            for s in &self.states {
+                decisions.extend(s.rc.decisions());
+                decisions.extend(s.mtd.decisions());
+                losers.extend(s.kc.losers());
+            }
+            decisions.extend(key_compromise::audit_decisions(
+                &self.data.crl,
+                &kc,
+                &losers,
+            ));
+            Some(AuditReport::from_decisions(decisions))
+        } else {
+            None
+        };
+        let emitted: usize = kc.iter().map(Vec::len).sum::<usize>()
+            + rc.iter().map(Vec::len).sum::<usize>()
+            + mtd.iter().map(Vec::len).sum::<usize>();
+        let suite = merge_suite(self.data.crl.records().len(), self.cutoff, kc, rc, mtd);
+        Ok((StateView { suite, audit }, emitted))
+    }
 }
 
 impl Engine {
@@ -67,9 +309,6 @@ impl Engine {
         let mut root = obs.span("engine.run_incremental");
         let n = self.config.shards.max(1);
         root.count("shards", n as u64);
-        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
-        let rc_detector = RegistrantChangeDetector::new(psl);
-        let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
 
         // Stage 1: index the bundle by observability day.
         let feed_start = Instant::now();
@@ -92,23 +331,14 @@ impl Engine {
         // contains days the caller asked to exclude) and is discarded.
         let fingerprint = data.fingerprint();
         let restore_span = root.child("checkpoint.restore");
-        let restored = self.config.checkpoint.as_ref().and_then(|path| {
-            StreamCheckpoint::load(path, fingerprint, n).filter(|cp| cp.through <= through)
-        });
-        // Restoring re-resolves certificates by id; a checkpoint naming a
-        // certificate the monitor does not hold belongs to a different
-        // world and is discarded like any other mismatch.
-        let restored = restored.and_then(|cp| {
-            let mut states = Vec::with_capacity(cp.states.len());
-            for s in &cp.states {
-                let kc =
-                    KcIncremental::restore(&s.kc, &data.monitor, &data.crl, cp.through, cutoff)?;
-                let rc = RcIncremental::restore(&s.rc, &data.monitor, &rc_detector)?;
-                let mtd = MtdIncremental::restore(&s.mtd, &data.monitor, data.adns_window)?;
-                states.push(ShardState { kc, rc, mtd });
-            }
-            Some((cp.through, states))
-        });
+        let restored = self
+            .config
+            .checkpoint
+            .as_ref()
+            .and_then(|path| {
+                StreamCheckpoint::load(path, fingerprint, n).filter(|cp| cp.through <= through)
+            })
+            .and_then(|cp| IncrementalState::restore(data, psl, &cp));
         let resumed_shards = if restored.is_some() { n } else { 0 };
         drop(restore_span);
         obs.registry
@@ -116,19 +346,10 @@ impl Engine {
         if resumed_shards > 0 {
             obs.registry.add("checkpoint.restores", 1);
         }
-        let restored_through = restored.as_ref().map(|(through, _)| *through);
-        let (mut states, resume_from) = match restored {
-            Some((cp_through, states)) => (states, cp_through.succ()),
-            None => {
-                let states = (0..n)
-                    .map(|_| ShardState {
-                        kc: KcIncremental::new(cutoff),
-                        rc: RcIncremental::new(),
-                        mtd: MtdIncremental::new(data.adns_window),
-                    })
-                    .collect::<Vec<_>>();
-                (states, feed.start())
-            }
+        let mut state = restored.unwrap_or_else(|| IncrementalState::new(data, psl, n));
+        let resume_from = match state.through() {
+            Some(cp_through) => cp_through.succ(),
+            None => feed.start(),
         };
 
         // Stage 2: ingest day-deltas, one batch of `day_batch` days at a
@@ -146,32 +367,15 @@ impl Engine {
         let mut slowest: Option<IngestBatchMetrics> = None;
         let mut events: Vec<StaleEvent> = Vec::new();
         let mut ingested_total = 0usize;
-        let mut last_ingested: Option<Date> = restored_through;
         let mut days_since_ckpt = 0usize;
         for (from, to) in tile(resume_from, through, day_batch) {
             let batch_start = Instant::now();
             let mut batch_span = root.child(&format!("ingest {to}"));
             let delta = feed.delta(from, to);
-            let routed = route(&delta, psl, &rc_detector, &mtd_detector, n);
             let events_before = events.len();
-            for (id, (state, r)) in states.iter_mut().zip(&routed).enumerate() {
-                events.extend(apply(
-                    state,
-                    to,
-                    r,
-                    &delta,
-                    &rc_detector,
-                    &mtd_detector,
-                    |d| shard_of(&mtd_routing_key(psl, d), n) == id,
-                    &obs.registry,
-                ));
-            }
-            for state in &states {
-                obs.registry.observe_depth(
-                    "engine.ingest.footprint",
-                    (state.kc.footprint() + state.rc.footprint() + state.mtd.footprint()) as u64,
-                );
-            }
+            events.extend(state.ingest_delta(&delta, &obs.registry));
+            obs.registry
+                .observe_depth("engine.ingest.footprint", state.footprint() as u64);
             let batch_events = events.len() - events_before;
             let days = ((to - from).num_days() + 1) as usize;
             batch_span.count("days", days as u64);
@@ -196,21 +400,18 @@ impl Engine {
             ingest.items += batch.items;
             ingest.events += batch.events;
             ingested_total += delta.items();
-            last_ingested = Some(to);
             days_since_ckpt += days;
 
             if days_since_ckpt >= self.config.checkpoint_every_days.max(1) {
-                self.write_checkpoint(fingerprint, n, to, &states, root.id())?;
+                self.write_checkpoint(&state, root.id())?;
                 days_since_ckpt = 0;
             }
         }
         ingest.batch_wall = batch_wall.snapshot();
         ingest.slowest = slowest;
         // The final state is always persisted (when checkpointing at all).
-        if let Some(to) = last_ingested {
-            if days_since_ckpt > 0 {
-                self.write_checkpoint(fingerprint, n, to, &states, root.id())?;
-            }
+        if days_since_ckpt > 0 {
+            self.write_checkpoint(&state, root.id())?;
         }
         let stage_ingest = StageMetrics {
             name: "ingest".to_string(),
@@ -223,53 +424,10 @@ impl Engine {
         // Stage 3: finish each shard's state and run the batch merge.
         let merge_start = Instant::now();
         let mut merge_span = root.child("merge");
-        let kc: Vec<_> = states.iter().map(|s| s.kc.finish()).collect();
-        let change_index: HashMap<(DomainName, Date), usize> = enumerate_changes(&data.whois)
-            .into_iter()
-            .map(|c| ((c.domain, c.creation), c.index))
-            .collect();
-        let mut rc: Vec<Vec<(usize, StaleCertRecord)>> = Vec::with_capacity(states.len());
-        for s in &states {
-            let mut shard_rc = Vec::new();
-            for (domain, creation, record) in s.rc.finish() {
-                let key = (domain, creation);
-                let Some(&index) = change_index.get(&key) else {
-                    return Err(EngineError::Inconsistent(format!(
-                        "registrant change for {} at {} has no entry in the global enumeration",
-                        key.0, key.1
-                    )));
-                };
-                shard_rc.push((index, record));
-            }
-            rc.push(shard_rc);
-        }
-        let mtd: Vec<_> = states
-            .iter_mut()
-            .map(|s| s.mtd.finish(&mtd_detector))
-            .collect();
-        // Decision audit: rc/mtd decisions re-derived from each shard's
-        // final state, kc decisions expanded from the global join — the
-        // same inputs the batch driver audits, so the merged report is
-        // identical across modes.
-        let audit = if self.config.audit {
-            let mut decisions = Vec::new();
-            let mut losers = Vec::new();
-            for s in &states {
-                decisions.extend(s.rc.decisions());
-                decisions.extend(s.mtd.decisions());
-                losers.extend(s.kc.losers());
-            }
-            decisions.extend(key_compromise::audit_decisions(&data.crl, &kc, &losers));
-            let report = obs::AuditReport::from_decisions(decisions);
+        let (StateView { suite, audit }, emitted) = state.view_counted(self.config.audit)?;
+        if let Some(report) = &audit {
             report.register_coverage(&obs.registry);
-            Some(report)
-        } else {
-            None
-        };
-        let emitted: usize = kc.iter().map(Vec::len).sum::<usize>()
-            + rc.iter().map(Vec::len).sum::<usize>()
-            + mtd.iter().map(Vec::len).sum::<usize>();
-        let suite = merge_suite(data.crl.records().len(), cutoff, kc, rc, mtd);
+        }
         let merged =
             suite.key_compromise.len() + suite.registrant_change.len() + suite.managed_tls.len();
         merge_span.count("merged", merged as u64);
@@ -302,34 +460,18 @@ impl Engine {
 
     fn write_checkpoint(
         &self,
-        fingerprint: u64,
-        shards: usize,
-        through: Date,
-        states: &[ShardState<'_>],
+        state: &IncrementalState<'_>,
         parent: SpanId,
     ) -> Result<(), EngineError> {
         let Some(path) = &self.config.checkpoint else {
             return Ok(());
         };
+        let Some(cp) = state.snapshot() else {
+            return Ok(());
+        };
         let save_start = Instant::now();
         let mut span = self.obs.trace.child(parent, "checkpoint.save");
-        span.count("shards", shards as u64);
-        let cp = StreamCheckpoint {
-            version: StreamCheckpoint::VERSION,
-            fingerprint,
-            shards,
-            through,
-            states: states
-                .iter()
-                .enumerate()
-                .map(|(shard, s)| ShardStateSnapshot {
-                    shard,
-                    kc: s.kc.save(),
-                    rc: s.rc.save(),
-                    mtd: s.mtd.save(),
-                })
-                .collect(),
-        };
+        span.count("shards", cp.shards as u64);
         let result = cp.save(path).map_err(EngineError::Checkpoint);
         drop(span);
         self.obs.registry.add("checkpoint.saves", 1);

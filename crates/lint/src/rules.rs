@@ -35,22 +35,31 @@ impl Rule {
 pub const NONDETERMINISTIC_ITERATION: Rule = Rule {
     id: "nondeterministic-iteration",
     severity: Severity::Error,
-    scopes: &["crates/stale-core/src/", "crates/engine/src/"],
+    scopes: &[
+        "crates/stale-core/src/",
+        "crates/engine/src/",
+        "crates/served/src/",
+    ],
     describe: "HashMap/HashSet iteration reaching merge/report/serialization paths",
 };
 
-/// `unwrap()`/`expect()`/`panic!` anywhere in detector or engine
-/// production code: a panic inside a shard is swallowed by the
-/// supervisor's isolation (degrading the run) and a panic outside it
-/// aborts the pipeline on attacker-observable input. Slice indexing is
-/// additionally flagged in the detector-state modules
-/// ([`PANIC_IN_SHARD_INDEX_SCOPES`]), where inputs arrive from
-/// deserialized checkpoints and routed feeds.
+/// `unwrap()`/`expect()`/`panic!` anywhere in detector, engine or
+/// daemon production code: a panic inside a shard is swallowed by the
+/// supervisor's isolation (degrading the run), a panic outside it
+/// aborts the pipeline on attacker-observable input, and a panic in the
+/// `stale-served` daemon kills a resident process on bytes a remote
+/// peer chose. Slice indexing is additionally flagged in the
+/// detector-state modules ([`PANIC_IN_SHARD_INDEX_SCOPES`]), where
+/// inputs arrive from deserialized checkpoints and routed feeds.
 pub const PANIC_IN_SHARD: Rule = Rule {
     id: "panic-in-shard",
     severity: Severity::Error,
-    scopes: &["crates/stale-core/src/", "crates/engine/src/"],
-    describe: "unwrap/expect/panic!/indexing inside detector and shard paths",
+    scopes: &[
+        "crates/stale-core/src/",
+        "crates/engine/src/",
+        "crates/served/src/",
+    ],
+    describe: "unwrap/expect/panic!/indexing inside detector, shard and daemon paths",
 };
 
 /// Where [`PANIC_IN_SHARD`] also flags `x[i]`-style indexing: the shard
@@ -114,7 +123,13 @@ mod tests {
     #[test]
     fn scope_matching_is_prefix_based() {
         assert!(PANIC_IN_SHARD.in_scope("crates/stale-core/src/stats.rs"));
+        assert!(PANIC_IN_SHARD.in_scope("crates/served/src/daemon.rs"));
+        assert!(!PANIC_IN_SHARD.in_scope("crates/served/tests/protocol_robustness.rs"));
         assert!(!PANIC_IN_SHARD.in_scope("crates/x509/src/cert.rs"));
+        assert!(NONDETERMINISTIC_ITERATION.in_scope("crates/served/src/proto.rs"));
+        // The daemon may time itself (latency histograms): wall-clock
+        // rules deliberately leave `crates/served/` out of scope.
+        assert!(!WALLCLOCK_IN_DETECTOR.in_scope("crates/served/src/daemon.rs"));
         assert!(LOSSY_TIME_CAST.in_scope("crates/stale-types/src/time.rs"));
         assert!(!LOSSY_TIME_CAST.in_scope("crates/stale-types/src/ids.rs"));
     }

@@ -30,6 +30,9 @@ use std::sync::{Arc, Mutex};
 
 /// Schema tag on the JSONL header line.
 pub const AUDIT_SCHEMA: &str = "stale-obs-audit";
+/// How many candidate fingerprints an ambiguous-prefix error lists
+/// before eliding the rest.
+pub const AMBIGUOUS_LIST_MAX: usize = 8;
 /// Current audit schema version.
 pub const AUDIT_VERSION: u32 = 1;
 
@@ -454,7 +457,9 @@ impl AuditReport {
 
     /// Decisions about one certificate, by fingerprint prefix. Returns
     /// the full fingerprint and its decision chain when the prefix is
-    /// unambiguous.
+    /// unambiguous. An ambiguous prefix errors with the matching
+    /// fingerprints listed (capped at [`AMBIGUOUS_LIST_MAX`]), so the
+    /// caller can extend the prefix instead of guessing.
     pub fn decisions_for(&self, prefix: &str) -> Result<(String, Vec<&Decision>), String> {
         if prefix.is_empty() {
             return Err("empty fingerprint".to_string());
@@ -465,7 +470,7 @@ impl AuditReport {
             .filter(|d| !d.cert.is_empty() && d.cert.starts_with(prefix))
             .map(|d| d.cert.as_str())
             .collect();
-        let mut certs = matching.into_iter();
+        let mut certs = matching.iter();
         let (first, second) = (certs.next(), certs.next());
         match (first, second) {
             (None, _) => Err(format!("no decision mentions fingerprint {prefix:?}")),
@@ -478,9 +483,22 @@ impl AuditReport {
                     .collect::<Vec<_>>();
                 Ok((cert, chain))
             }
-            (Some(a), Some(b)) => Err(format!(
-                "fingerprint prefix {prefix:?} is ambiguous (matches {a}, {b}, ...)"
-            )),
+            (Some(_), Some(_)) => {
+                let mut msg = format!(
+                    "fingerprint prefix {prefix:?} is ambiguous ({} matches):",
+                    matching.len()
+                );
+                for cert in matching.iter().take(AMBIGUOUS_LIST_MAX) {
+                    msg.push_str(&format!("\n  {cert}"));
+                }
+                if matching.len() > AMBIGUOUS_LIST_MAX {
+                    msg.push_str(&format!(
+                        "\n  ... and {} more",
+                        matching.len() - AMBIGUOUS_LIST_MAX
+                    ));
+                }
+                Err(msg)
+            }
         }
     }
 
@@ -953,10 +971,28 @@ mod tests {
         assert!(report.decisions_for("ab").is_err());
         assert!(report.decisions_for("ff").is_err());
         assert!(report.decisions_for("").is_err());
+        // An ambiguous prefix lists every candidate so the caller can
+        // extend it instead of guessing.
+        let err = report.decisions_for("ab").unwrap_err();
+        assert!(err.contains("2 matches"), "{err}");
+        assert!(err.contains("ab01"), "{err}");
+        assert!(err.contains("ab9f"), "{err}");
+        assert!(!err.contains("more"), "{err}");
         let rendered = report.render_explain("ab01").expect("renders");
         assert!(rendered.contains("kept"), "{rendered}");
         assert!(rendered.contains("outside-validity-window"), "{rendered}");
         assert!(rendered.contains("crl entry #0"), "{rendered}");
+    }
+
+    #[test]
+    fn ambiguous_prefix_elides_long_candidate_lists() {
+        let decisions: Vec<Decision> = (0..12)
+            .map(|i| kc(i, &format!("ab{i:02}"), Verdict::Kept))
+            .collect();
+        let report = AuditReport::from_decisions(decisions);
+        let err = report.decisions_for("ab").unwrap_err();
+        assert!(err.contains("12 matches"), "{err}");
+        assert!(err.contains("... and 4 more"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `stale-served` — serve detection state over TCP.
+//!
+//! ```text
+//! stale-served [preset] [--listen ADDR] [--shards N] [--delay-days N]
+//!              [--checkpoint FILE]
+//!
+//! presets:      paper (default) | small | tiny
+//! --listen ADDR bind address (default 127.0.0.1:7979; use :0 for an
+//!               ephemeral port — the bound address is printed)
+//! --shards N    partition width (answers are byte-identical for any N)
+//! --delay-days N
+//!               hold fed days back from queries for N fed days
+//! --checkpoint FILE
+//!               restore schema-v2 detector state from FILE at boot
+//!               (when present and matching) and use it as the default
+//!               `snapshot` target
+//! ```
+//!
+//! Prints `listening on ADDR` once the socket is bound, then serves
+//! until a client sends `shutdown`. The world builds in the background;
+//! early requests queue, so a successful `ping` means the daemon is
+//! ready. Query with `stale-bench query ADDR CMD [ARGS...]`.
+
+use stale_served::{Daemon, DaemonConfig};
+use worldsim::ScenarioConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = "paper".to_string();
+    let mut listen = "127.0.0.1:7979".to_string();
+    let mut shards = 1usize;
+    let mut delay_days = 0i64;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "paper" | "small" | "tiny" => preset = arg.clone(),
+            "--listen" => match it.next() {
+                Some(addr) => listen = addr.clone(),
+                None => usage_error("--listen needs an address"),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => usage_error("--shards needs a positive integer"),
+            },
+            "--delay-days" => match it.next().and_then(|v| v.parse::<i64>().ok()) {
+                Some(n) if n >= 0 => delay_days = n,
+                _ => usage_error("--delay-days needs a non-negative integer"),
+            },
+            "--checkpoint" => match it.next() {
+                Some(path) => checkpoint = Some(path.into()),
+                None => usage_error("--checkpoint needs a file path"),
+            },
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let scenario = match preset.as_str() {
+        "small" => ScenarioConfig::small(),
+        "tiny" => ScenarioConfig::tiny(),
+        _ => ScenarioConfig::paper2023(),
+    };
+    let mut cfg = DaemonConfig::new(&preset, scenario);
+    cfg.shards = shards;
+    cfg.delay_days = delay_days;
+    cfg.checkpoint = checkpoint;
+    let daemon = match Daemon::start(cfg, &listen) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stale-served: cannot bind {listen}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The readiness line scripts scrape for the resolved port; flush so
+    // it lands even when stdout is a pipe.
+    println!("listening on {}", daemon.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    eprintln!(
+        "stale-served: preset {preset}, {shards} shard(s), delay {delay_days} day(s); \
+         send `shutdown` to exit"
+    );
+    daemon.wait_shutdown();
+    daemon.stop();
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!(
+        "stale-served: {msg}\n\
+         usage: stale-served [paper|small|tiny] [--listen ADDR] [--shards N] \
+         [--delay-days N] [--checkpoint FILE]"
+    );
+    std::process::exit(2);
+}

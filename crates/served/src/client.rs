@@ -1,0 +1,58 @@
+//! A blocking protocol client: one TCP connection, request/response
+//! frames in lockstep. Used by `stale-bench query`, the `--server`
+//! modes of `stale-bench explain`/`report`, and the workspace tests.
+
+use crate::proto;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `stale-served` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connect with retries — for callers racing a daemon that is still
+    /// binding its socket (`stale-bench query` against a just-spawned
+    /// process). Requests queued before the world finishes building
+    /// simply block, so a connected client needs no further waiting.
+    pub fn connect_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        attempts: u32,
+        backoff: Duration,
+    ) -> io::Result<Client> {
+        let mut last = io::Error::new(io::ErrorKind::NotConnected, "no connection attempts made");
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+            }
+        }
+        Err(last)
+    }
+
+    /// Send one command line and read the response: `Ok(body)` for an
+    /// `ok` response, `Err(message)` for an `err` response. Transport
+    /// and framing failures surface as the outer `io::Error`.
+    pub fn request(&mut self, line: &str) -> io::Result<Result<String, String>> {
+        proto::write_frame(&mut self.writer, line.as_bytes())?;
+        let payload = proto::read_frame(&mut self.reader, proto::MAX_FRAME)?;
+        proto::decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

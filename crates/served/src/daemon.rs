@@ -1,0 +1,693 @@
+//! The resident daemon: a state-actor thread owning the world and the
+//! incremental detector state, fronted by a TCP accept loop.
+//!
+//! # Architecture
+//!
+//! [`engine::IncrementalState`] borrows the [`worldsim::WorldDatasets`]
+//! it detects over, so the daemon cannot share it across threads behind
+//! a lock without self-referential ownership. Instead a single
+//! **state-actor** thread builds the world, owns every borrow, and
+//! serves commands from an mpsc queue; each TCP connection runs in its
+//! own thread and exchanges [`Request`]s with the actor over a reply
+//! channel. Serialized state access is also what makes ingestion
+//! atomic: a `feed-day` either has not started or has fully finished by
+//! the time any query is answered, so a concurrent client can never
+//! observe a partially ingested day.
+//!
+//! # Consistency delay
+//!
+//! `delay_days` holds ingested days back from queries: day `D` becomes
+//! visible only once the fed cursor reaches `D + delay_days`. The delay
+//! is measured in fed days — never wall time — so a replay of the same
+//! command sequence reproduces the same responses byte for byte. With
+//! the default delay of 0, queries see every fed day immediately.
+//!
+//! # Equivalence
+//!
+//! Query answers are rendered from [`engine::StateView`] — the same
+//! finish + merge the batch engine runs — and from the shared
+//! [`stale_core::tables::TableView`] renderers, so every `table3`,
+//! `table4`, `explain` and `report` body is byte-identical to a fresh
+//! batch run over the same ingested days (`tests/served_equivalence.rs`
+//! at the workspace root asserts this across shard counts and across
+//! snapshot/restart boundaries).
+
+use crate::proto;
+use engine::{IncrementalState, StateView, StreamCheckpoint};
+use obs::Obs;
+use psl::SuffixList;
+use stale_types::{Date, Duration};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use worldsim::{DayFeed, ScenarioConfig, World, WorldDatasets};
+
+/// Daemon configuration: which world to boot, at what shard width, with
+/// what visibility delay.
+pub struct DaemonConfig {
+    /// The scenario the state-actor simulates at boot.
+    pub scenario: ScenarioConfig,
+    /// Preset label reported by `status` (`paper`, `small`, `tiny`, …).
+    pub preset: String,
+    /// Partition width (answers are byte-identical for every width).
+    pub shards: usize,
+    /// Days a fed day is held back from queries (0 = immediate).
+    pub delay_days: i64,
+    /// Schema-v2 checkpoint path: restored at boot when present and
+    /// matching, and the default target of the `snapshot` command.
+    pub checkpoint: Option<PathBuf>,
+    /// Maximum accepted request frame length.
+    pub max_frame: usize,
+}
+
+impl DaemonConfig {
+    /// A config over `scenario` with defaults: 1 shard, no delay, no
+    /// checkpoint.
+    pub fn new(preset: &str, scenario: ScenarioConfig) -> DaemonConfig {
+        DaemonConfig {
+            scenario,
+            preset: preset.to_string(),
+            shards: 1,
+            delay_days: 0,
+            checkpoint: None,
+            max_frame: proto::MAX_FRAME,
+        }
+    }
+}
+
+/// One parsed protocol command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness (and readiness: the reply waits for the state-actor).
+    Ping,
+    /// Daemon status, or one certificate's verdict summary by prefix.
+    Status(Option<String>),
+    /// One certificate's full decision chain by fingerprint prefix.
+    Explain(String),
+    /// Table 3 (dataset inventory) over the visible days.
+    Table3,
+    /// Table 4 (detection rates) over the visible days.
+    Table4,
+    /// Decision-audit coverage over the visible days.
+    Report,
+    /// Advance the fed cursor to the next day, or through a date.
+    FeedDay(Option<Date>),
+    /// Snapshot applied state to the given path (or the boot checkpoint).
+    Snapshot(Option<PathBuf>),
+    /// Metrics-registry JSON export.
+    Metrics,
+    /// Reply, then shut the daemon down.
+    Shutdown,
+}
+
+impl Request {
+    /// Canonical command tag — the `served.query.<tag>_us` histogram
+    /// key. A fixed vocabulary so client input can never mint
+    /// unbounded metric names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Status(_) => "status",
+            Request::Explain(_) => "explain",
+            Request::Table3 => "table3",
+            Request::Table4 => "table4",
+            Request::Report => "report",
+            Request::FeedDay(_) => "feed-day",
+            Request::Snapshot(_) => "snapshot",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Parse one request line. Errors name the problem without echoing
+/// unbounded input.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let Some(cmd) = words.next() else {
+        return Err("empty command".to_string());
+    };
+    let rest: Vec<&str> = words.collect();
+    let none = |req: Request| match rest.as_slice() {
+        [] => Ok(req),
+        _ => Err(format!("{cmd} takes no arguments")),
+    };
+    match cmd {
+        "ping" => none(Request::Ping),
+        "table3" => none(Request::Table3),
+        "table4" => none(Request::Table4),
+        "report" => none(Request::Report),
+        "metrics" => none(Request::Metrics),
+        "shutdown" => none(Request::Shutdown),
+        "status" => match rest.as_slice() {
+            [] => Ok(Request::Status(None)),
+            [prefix] => Ok(Request::Status(Some((*prefix).to_string()))),
+            _ => Err("status takes at most one fingerprint prefix".to_string()),
+        },
+        "explain" => match rest.as_slice() {
+            [prefix] => Ok(Request::Explain((*prefix).to_string())),
+            _ => Err("explain takes exactly one fingerprint prefix".to_string()),
+        },
+        "feed-day" => match rest.as_slice() {
+            [] => Ok(Request::FeedDay(None)),
+            [day] => Date::parse(day)
+                .map(|d| Request::FeedDay(Some(d)))
+                .map_err(|_| "feed-day takes an optional YYYY-MM-DD date".to_string()),
+            _ => Err("feed-day takes at most one date".to_string()),
+        },
+        "snapshot" => match rest.as_slice() {
+            [] => Ok(Request::Snapshot(None)),
+            [path] => Ok(Request::Snapshot(Some(PathBuf::from(path)))),
+            _ => Err("snapshot takes at most one path".to_string()),
+        },
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Messages into the state-actor.
+enum ActorMsg {
+    Request {
+        req: Request,
+        reply: SyncSender<Result<String, String>>,
+    },
+    Stop,
+}
+
+/// The state-actor: owns the world, the feed and the incremental state,
+/// and serves requests one at a time.
+struct Actor<'w> {
+    preset: String,
+    data: &'w WorldDatasets,
+    psl: &'w SuffixList,
+    feed: DayFeed<'w>,
+    state: IncrementalState<'w>,
+    /// Last day the operator fed (>= applied cursor by `delay_days`).
+    fed: Option<Date>,
+    delay_days: i64,
+    checkpoint: Option<PathBuf>,
+    /// Stale events emitted since boot (not persisted in snapshots).
+    events: usize,
+    /// Cached merged view; invalidated by ingestion.
+    view: Option<StateView>,
+    obs: Obs,
+}
+
+impl<'w> Actor<'w> {
+    /// The newest day visible to queries once `fed` days are in.
+    fn visible_end(&self, fed: Date) -> Option<Date> {
+        let end = fed - Duration::days(self.delay_days.max(0));
+        (end >= self.feed.start()).then_some(end)
+    }
+
+    /// Advance the fed cursor to `target`, ingesting every newly visible
+    /// day atomically.
+    fn feed_to(&mut self, target: Date) -> Result<String, String> {
+        if target > self.feed.end() {
+            return Err(format!(
+                "cannot feed through {target}: the feed ends {}",
+                self.feed.end()
+            ));
+        }
+        if let Some(fed) = self.fed {
+            if target <= fed {
+                return Err(format!("already fed through {fed}"));
+            }
+        }
+        let mut emitted = 0usize;
+        if let Some(visible) = self.visible_end(target) {
+            let next = match self.state.through() {
+                Some(applied) => applied.succ(),
+                None => self.feed.start(),
+            };
+            if next <= visible {
+                let delta = self.feed.delta(next, visible);
+                emitted = self.state.ingest_delta(&delta, &self.obs.registry).len();
+                self.events += emitted;
+                self.view = None;
+            }
+        }
+        self.fed = Some(target);
+        let lag = match self.state.through() {
+            Some(applied) => (target - applied).num_days().max(0) as u64,
+            None => (target - self.feed.start()).num_days().max(0) as u64 + 1,
+        };
+        self.obs
+            .registry
+            .observe_depth("served.ingest.lag_days", lag);
+        Ok(format!(
+            "fed through {target}; applied through {}; {emitted} new event(s), {} since boot",
+            self.applied_label(),
+            self.events
+        ))
+    }
+
+    fn applied_label(&self) -> String {
+        match self.state.through() {
+            Some(d) => d.to_string(),
+            None => "none".to_string(),
+        }
+    }
+
+    /// The cached merged view, rebuilt after ingestion. Always audited:
+    /// `status`, `explain` and `report` need the decision store.
+    fn view(&mut self) -> Result<&StateView, String> {
+        if self.view.is_none() {
+            let started = Instant::now();
+            let view = self.state.view(true).map_err(|e| e.to_string())?;
+            self.obs.registry.observe_latency_us(
+                "served.view.rebuild_us",
+                started.elapsed().as_micros() as u64,
+            );
+            self.obs.registry.add("served.view.rebuilds", 1);
+            self.view = Some(view);
+        }
+        self.view
+            .as_ref()
+            .ok_or_else(|| "view unavailable".to_string())
+    }
+
+    /// The audited view's decision store.
+    fn audit(&mut self) -> Result<&obs::AuditReport, String> {
+        self.view()?
+            .audit
+            .as_ref()
+            .ok_or_else(|| "decision audit unavailable".to_string())
+    }
+
+    fn handle(&mut self, req: &Request) -> Result<String, String> {
+        match req {
+            Request::Ping => Ok("pong".to_string()),
+            Request::Status(None) => Ok(self.status()),
+            Request::Status(Some(prefix)) => self.status_cert(prefix),
+            Request::Explain(prefix) => self.audit()?.render_explain(prefix),
+            Request::Report => Ok(self.audit()?.render_coverage()),
+            Request::Table3 => {
+                let view = self.view_tables()?;
+                Ok(view.table3())
+            }
+            Request::Table4 => {
+                let view = self.view_tables()?;
+                Ok(view.table4())
+            }
+            Request::FeedDay(target) => {
+                let target = match target {
+                    Some(d) => *d,
+                    None => match self.fed {
+                        Some(fed) => fed.succ(),
+                        None => self.feed.start(),
+                    },
+                };
+                self.feed_to(target)
+            }
+            Request::Snapshot(path) => self.snapshot(path.as_deref()),
+            Request::Metrics => Ok(self.obs.registry.export_json()),
+            Request::Shutdown => Ok("bye".to_string()),
+        }
+    }
+
+    /// A table-render view borrowing the cached merged suite.
+    fn view_tables(&mut self) -> Result<stale_core::tables::TableView<'_>, String> {
+        // Split borrows: materialize the view first, then borrow it
+        // alongside the world references.
+        self.view()?;
+        let suite = self
+            .view
+            .as_ref()
+            .map(|v| &v.suite)
+            .ok_or_else(|| "view unavailable".to_string())?;
+        Ok(stale_core::tables::TableView {
+            data: self.data,
+            psl: self.psl,
+            suite,
+        })
+    }
+
+    fn status(&mut self) -> String {
+        let fed = match self.fed {
+            Some(d) => d.to_string(),
+            None => "none".to_string(),
+        };
+        let pending = match (self.fed, self.state.through()) {
+            (Some(fed), Some(applied)) => (fed - applied).num_days().max(0),
+            (Some(fed), None) => (fed - self.feed.start()).num_days().max(0) + 1,
+            _ => 0,
+        };
+        format!(
+            "preset {}\nshards {}\ndelay-days {}\nfeed {}..{}\nfed-through {fed}\napplied-through {}\npending-days {pending}\nevents-since-boot {}\nfootprint {}\n",
+            self.preset,
+            self.state.shards(),
+            self.delay_days.max(0),
+            self.feed.start(),
+            self.feed.end(),
+            self.applied_label(),
+            self.events,
+            self.state.footprint(),
+        )
+    }
+
+    /// One certificate's verdict summary (the quick form of `explain`).
+    fn status_cert(&mut self, prefix: &str) -> Result<String, String> {
+        let audit = self.audit()?;
+        let (cert, chain) = audit.decisions_for(prefix)?;
+        let kept = chain
+            .iter()
+            .filter(|d| d.verdict == obs::audit::Verdict::Kept)
+            .count();
+        Ok(format!(
+            "fingerprint {cert}\ndecisions {}\nkept {kept}\ndropped {}\n",
+            chain.len(),
+            chain.len() - kept
+        ))
+    }
+
+    fn snapshot(&mut self, path: Option<&std::path::Path>) -> Result<String, String> {
+        let path = path
+            .or(self.checkpoint.as_deref())
+            .ok_or_else(|| "no snapshot path: pass one or boot with --checkpoint".to_string())?;
+        let cp = self
+            .state
+            .snapshot()
+            .ok_or_else(|| "nothing ingested yet; nothing to snapshot".to_string())?;
+        let started = Instant::now();
+        cp.save(path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        self.obs.registry.add("served.checkpoint.saves", 1);
+        self.obs.registry.observe_latency_us(
+            "served.checkpoint.save_us",
+            started.elapsed().as_micros() as u64,
+        );
+        Ok(format!(
+            "wrote checkpoint through {} ({} shard(s)) to {}",
+            cp.through,
+            cp.shards,
+            path.display()
+        ))
+    }
+}
+
+/// Build the world and serve actor messages until `Stop` or `shutdown`.
+fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs) {
+    let build_start = Instant::now();
+    let data = World::run(cfg.scenario);
+    let psl = SuffixList::default_list();
+    obs.registry.observe_latency_us(
+        "served.boot.world_build_us",
+        build_start.elapsed().as_micros() as u64,
+    );
+    let shards = cfg.shards.max(1);
+    let restored = cfg
+        .checkpoint
+        .as_deref()
+        .filter(|p| p.exists())
+        .and_then(|p| StreamCheckpoint::load(p, data.fingerprint(), shards))
+        .and_then(|cp| IncrementalState::restore(&data, &psl, &cp));
+    if restored.is_some() {
+        obs.registry.add("served.checkpoint.restores", 1);
+    }
+    let state = restored.unwrap_or_else(|| IncrementalState::new(&data, &psl, shards));
+    let fed = state.through();
+    let mut actor = Actor {
+        preset: cfg.preset,
+        data: &data,
+        psl: &psl,
+        feed: DayFeed::new(&data),
+        state,
+        fed,
+        delay_days: cfg.delay_days,
+        checkpoint: cfg.checkpoint,
+        events: 0,
+        view: None,
+        obs: obs.clone(),
+    };
+    obs.registry.add("served.ready", 1);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ActorMsg::Stop => break,
+            ActorMsg::Request { req, reply } => {
+                let stop = req == Request::Shutdown;
+                let resp = actor.handle(&req);
+                let _ = reply.send(resp);
+                if stop {
+                    // The connection thread signals the daemon's shutdown
+                    // channel once the `bye` response is on the wire.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Serve one connection: read request frames, relay them to the actor,
+/// write response frames. Every failure path drops the connection
+/// without touching daemon state — a hostile peer can only hurt itself.
+///
+/// A `shutdown` request is signalled on `shutdown_tx` only after its
+/// response frame has been written (or the write has failed), so the
+/// process never exits before the `bye` reaches the wire.
+fn handle_conn(
+    stream: TcpStream,
+    tx: Sender<ActorMsg>,
+    obs: Obs,
+    max_frame: usize,
+    shutdown_tx: Sender<()>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match proto::read_frame(&mut reader, max_frame) {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: the stream is unframed from
+                // here, so reply (best-effort) and close.
+                obs.registry.add("served.conn.oversized_frames", 1);
+                let resp = Err(e.to_string());
+                let _ = proto::write_frame(&mut writer, &proto::encode_response(&resp));
+                return;
+            }
+            // EOF, truncated frame or transport error: just close.
+            Err(_) => return,
+        };
+        let started = Instant::now();
+        let (tag, resp) = match String::from_utf8(payload) {
+            Err(_) => ("invalid", Err("request payload is not UTF-8".to_string())),
+            Ok(line) => match parse_request(&line) {
+                Err(e) => ("invalid", Err(e)),
+                Ok(req) => {
+                    let tag = req.tag();
+                    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                    let resp = if tx
+                        .send(ActorMsg::Request {
+                            req,
+                            reply: reply_tx,
+                        })
+                        .is_err()
+                    {
+                        Err("daemon is shutting down".to_string())
+                    } else {
+                        reply_rx
+                            .recv()
+                            .unwrap_or_else(|_| Err("daemon dropped the request".to_string()))
+                    };
+                    (tag, resp)
+                }
+            },
+        };
+        obs.registry.observe_latency_us(
+            &format!("served.query.{tag}_us"),
+            started.elapsed().as_micros() as u64,
+        );
+        if resp.is_err() {
+            obs.registry.add("served.query.errors", 1);
+        }
+        let written = proto::write_frame(&mut writer, &proto::encode_response(&resp));
+        if tag == "shutdown" {
+            let _ = shutdown_tx.send(());
+            return;
+        }
+        if written.is_err() {
+            // Client disconnected mid-response; nothing shared is dirty.
+            return;
+        }
+    }
+}
+
+/// Accept connections until the stop flag is raised (a wake connection
+/// is made by [`Daemon::stop`] so the blocking accept returns).
+fn run_accept(
+    listener: TcpListener,
+    tx: Sender<ActorMsg>,
+    obs: Obs,
+    stop: Arc<AtomicBool>,
+    max_frame: usize,
+    shutdown_tx: Sender<()>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        obs.registry.add("served.conn.accepted", 1);
+        let tx = tx.clone();
+        let obs = obs.clone();
+        let shutdown_tx = shutdown_tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("served-conn".to_string())
+            .spawn(move || handle_conn(stream, tx, obs, max_frame, shutdown_tx));
+    }
+}
+
+/// A running daemon: the state-actor plus the TCP front end.
+///
+/// Dropping the daemon shuts it down (joining both threads); `shutdown`
+/// over the wire unblocks [`Daemon::wait_shutdown`] so a binary can
+/// serve until a client asks it to exit.
+pub struct Daemon {
+    addr: SocketAddr,
+    tx: Sender<ActorMsg>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    actor: Option<JoinHandle<()>>,
+    shutdown_rx: Receiver<()>,
+    obs: Obs,
+}
+
+impl Daemon {
+    /// Bind `listen` (e.g. `127.0.0.1:0`) and boot the state-actor.
+    ///
+    /// Returns as soon as the socket is bound — the world builds in the
+    /// actor thread, and early requests queue until it is ready, so a
+    /// successful `ping` doubles as a readiness probe.
+    pub fn start(cfg: DaemonConfig, listen: &str) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let obs = Obs::disabled();
+        let max_frame = cfg.max_frame.max(proto::HEADER_LEN);
+        let (tx, rx) = mpsc::channel();
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let actor_obs = obs.clone();
+        let actor = std::thread::Builder::new()
+            .name("served-state".to_string())
+            .spawn(move || run_actor(cfg, rx, actor_obs))?;
+        let accept_tx = tx.clone();
+        let accept_obs = obs.clone();
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("served-accept".to_string())
+            .spawn(move || {
+                run_accept(
+                    listener,
+                    accept_tx,
+                    accept_obs,
+                    accept_stop,
+                    max_frame,
+                    shutdown_tx,
+                )
+            })?;
+        Ok(Daemon {
+            addr,
+            tx,
+            stop,
+            accept: Some(accept),
+            actor: Some(actor),
+            shutdown_rx,
+            obs,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metrics registry (latency histograms, ingest lag).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.obs.registry
+    }
+
+    /// Block until a client sends `shutdown` (or the actor exits).
+    pub fn wait_shutdown(&self) {
+        let _ = self.shutdown_rx.recv();
+    }
+
+    /// Stop the daemon and join its threads.
+    pub fn stop(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(ActorMsg::Stop);
+        // Wake the blocking accept so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.actor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request("  table4  ").unwrap(), Request::Table4);
+        assert_eq!(parse_request("status").unwrap(), Request::Status(None));
+        assert_eq!(
+            parse_request("status ab01").unwrap(),
+            Request::Status(Some("ab01".to_string()))
+        );
+        assert_eq!(
+            parse_request("explain ab01").unwrap(),
+            Request::Explain("ab01".to_string())
+        );
+        assert_eq!(parse_request("feed-day").unwrap(), Request::FeedDay(None));
+        assert_eq!(
+            parse_request("feed-day 2022-01-05").unwrap(),
+            Request::FeedDay(Some(Date::parse("2022-01-05").unwrap()))
+        );
+        assert_eq!(
+            parse_request("snapshot /tmp/cp.json").unwrap(),
+            Request::Snapshot(Some(PathBuf::from("/tmp/cp.json")))
+        );
+        for bad in [
+            "",
+            "   ",
+            "frobnicate",
+            "ping now",
+            "explain",
+            "explain a b",
+            "feed-day not-a-date",
+            "table4 extra",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn request_tags_are_fixed() {
+        assert_eq!(Request::Ping.tag(), "ping");
+        assert_eq!(Request::FeedDay(None).tag(), "feed-day");
+        assert_eq!(Request::Snapshot(None).tag(), "snapshot");
+    }
+}

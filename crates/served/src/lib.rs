@@ -1,0 +1,28 @@
+//! `stale-served` — a resident query daemon over the incremental
+//! detection state and the decision-audit store.
+//!
+//! The batch pipeline answers one question per process: build the
+//! world, run the detectors, render the tables, exit. This crate keeps
+//! the expensive part resident instead: a daemon boots a world once,
+//! ingests [`worldsim::DayFeed`] day-deltas through
+//! [`engine::IncrementalState`] as they are fed, and serves concurrent
+//! queries — per-certificate verdicts (`status`, `explain`), the
+//! paper's live tables (`table3`, `table4`), audit coverage (`report`)
+//! — over a hand-rolled length-prefixed TCP protocol ([`proto`], no
+//! network dependencies).
+//!
+//! The correctness anchor is **batch equivalence**: every query answer
+//! is byte-identical to a fresh batch run over the same ingested days,
+//! for every shard width, across snapshot/restart boundaries
+//! ([`daemon`] documents how, `tests/served_equivalence.rs` at the
+//! workspace root proves it). On top of that, a configurable
+//! *consistency delay* (in fed days, never wall time) holds the newest
+//! days back from queries, modeling the lag between a feed landing and
+//! its results being trusted downstream.
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+
+pub use client::Client;
+pub use daemon::{parse_request, Daemon, DaemonConfig, Request};

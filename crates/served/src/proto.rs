@@ -1,0 +1,129 @@
+//! The wire protocol: length-prefixed UTF-8 frames over TCP.
+//!
+//! Hand-rolled on `std::net` — the workspace takes no network
+//! dependencies. A frame is a 4-byte big-endian length followed by that
+//! many payload bytes. Requests are one command line (`table4`,
+//! `explain <fingerprint>`, …); responses are `ok\n<body>` or
+//! `err\n<message>`. Both directions enforce a maximum frame length
+//! ([`MAX_FRAME`] by default): a peer declaring a larger frame is
+//! refused before any payload is read, so a hostile or corrupt length
+//! prefix cannot make the daemon allocate unboundedly.
+//!
+//! Every function here is panic-free on arbitrary input — the daemon
+//! side sits inside `stale-lint`'s `panic-in-shard` scope, and a
+//! malformed frame must produce an error (or a closed connection),
+//! never a crash.
+
+use std::io::{self, Read, Write};
+
+/// Default maximum frame length (16 MiB) — comfortably above the
+/// largest rendered table or metrics export, far below anything that
+/// could exhaust memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Length-prefix width in bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds a u32 length",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, refusing any declared length above `max`.
+///
+/// A refused length returns [`io::ErrorKind::InvalidData`] without
+/// consuming the payload — the stream is no longer framed after that,
+/// so the caller should reply with an error (if it can) and close. A
+/// short read (peer closed mid-frame) surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] from `read_exact`.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds the {max}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encode a response payload: `ok\n<body>` or `err\n<message>`.
+pub fn encode_response(resp: &Result<String, String>) -> Vec<u8> {
+    let (tag, text) = match resp {
+        Ok(body) => ("ok\n", body.as_str()),
+        Err(msg) => ("err\n", msg.as_str()),
+    };
+    let mut out = Vec::with_capacity(tag.len() + text.len());
+    out.extend_from_slice(tag.as_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Decode a response payload back into `Ok(body)` / `Err(message)`.
+/// The outer `Err` means the payload is not a response at all.
+pub fn decode_response(payload: &[u8]) -> Result<Result<String, String>, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| "response payload is not UTF-8".to_string())?;
+    match text.split_once('\n') {
+        Some(("ok", body)) => Ok(Ok(body.to_string())),
+        Some(("err", msg)) => Ok(Err(msg.to_string())),
+        _ => Err(format!(
+            "malformed response header {:?}",
+            text.lines().next().unwrap_or_default()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"table4").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), b"table4");
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), b"");
+        assert!(read_frame(&mut r, MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_refused_before_payload() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_eof() {
+        let mut buf = Vec::from(8u32.to_be_bytes());
+        buf.extend_from_slice(b"only5");
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = encode_response(&Ok("body\nlines".to_string()));
+        assert_eq!(decode_response(&ok).unwrap(), Ok("body\nlines".to_string()));
+        let err = encode_response(&Err("bad".to_string()));
+        assert_eq!(decode_response(&err).unwrap(), Err("bad".to_string()));
+        assert!(decode_response(b"ok-without-newline").is_err());
+        assert!(decode_response(&[0xff, 0xfe]).is_err());
+    }
+}

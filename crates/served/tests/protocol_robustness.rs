@@ -1,0 +1,199 @@
+//! Protocol robustness: a hostile or broken peer can hurt only itself.
+//!
+//! One daemon serves every scenario here. Malformed frames, oversized
+//! length prefixes, truncated payloads, byte-at-a-time writes, and
+//! mid-response disconnects must never panic the daemon or corrupt its
+//! state — after all the abuse, the same queries return the same bytes
+//! they returned before it.
+
+use stale_served::{proto, Client, Daemon, DaemonConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use worldsim::ScenarioConfig;
+
+fn start_daemon() -> (Daemon, String) {
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let addr = daemon.addr().to_string();
+    (daemon, addr)
+}
+
+fn ok(client: &mut Client, line: &str) -> String {
+    client
+        .request(line)
+        .expect("transport")
+        .unwrap_or_else(|e| panic!("{line:?} should succeed, got err {e:?}"))
+}
+
+fn err(client: &mut Client, line: &str) -> String {
+    client
+        .request(line)
+        .expect("transport")
+        .expect_err("should be an err response")
+}
+
+#[test]
+fn daemon_survives_protocol_abuse() {
+    let (_daemon, addr) = start_daemon();
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(ok(&mut client, "ping"), "pong");
+
+    // Ingest a few days so queries answer over real state.
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    let t4_before = ok(&mut client, "table4");
+    let status_before = ok(&mut client, "status");
+
+    // 1. Oversized length prefix: refused before any payload is read,
+    //    with an err response on the way out.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        raw.write_all(&u32::MAX.to_be_bytes()).expect("write");
+        raw.write_all(b"junk that should never be read")
+            .expect("write");
+        let mut buf = Vec::new();
+        let _ = raw.read_to_end(&mut buf);
+        let resp = proto::decode_response(&decode_one_frame(&buf)).expect("frame");
+        let msg = resp.expect_err("oversized length must be refused");
+        assert!(msg.contains("exceeds"), "{msg}");
+    }
+
+    // 2. Truncated header: peer gives up after two bytes.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        raw.write_all(&[0, 0]).expect("write");
+        drop(raw);
+    }
+
+    // 3. Truncated payload: header promises 10 bytes, only 4 arrive.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        raw.write_all(&10u32.to_be_bytes()).expect("write");
+        raw.write_all(b"ping").expect("write");
+        drop(raw);
+    }
+
+    // 4. Byte-at-a-time writes: slow but well-formed frames parse.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        raw.set_nodelay(true).expect("nodelay");
+        let mut frame = Vec::new();
+        proto::write_frame(&mut frame, b"ping").expect("encode");
+        for byte in frame {
+            raw.write_all(&[byte]).expect("write");
+            raw.flush().expect("flush");
+        }
+        let payload = proto::read_frame(&mut raw, proto::MAX_FRAME).expect("response");
+        assert_eq!(
+            proto::decode_response(&payload).expect("frame"),
+            Ok("pong".to_string())
+        );
+    }
+
+    // 5. Mid-response disconnect: ask for a large body, read one byte,
+    //    vanish.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        proto::write_frame(&mut raw, b"table4").expect("request");
+        let mut one = [0u8; 1];
+        raw.read_exact(&mut one).expect("first byte");
+        drop(raw);
+    }
+
+    // 6. Garbage on an otherwise healthy connection: non-UTF-8 payload,
+    //    unknown command, wrong arity, bad date, empty command — each an
+    //    err response, none fatal to the connection.
+    {
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        proto::write_frame(&mut raw, &[0xff, 0xfe, 0xfd]).expect("request");
+        let payload = proto::read_frame(&mut raw, proto::MAX_FRAME).expect("response");
+        let msg = proto::decode_response(&payload)
+            .expect("frame")
+            .expect_err("non-UTF-8 payload");
+        assert!(msg.contains("UTF-8"), "{msg}");
+        // Same connection still serves.
+        proto::write_frame(&mut raw, b"ping").expect("request");
+        let payload = proto::read_frame(&mut raw, proto::MAX_FRAME).expect("response");
+        assert_eq!(
+            proto::decode_response(&payload).expect("frame"),
+            Ok("pong".to_string())
+        );
+    }
+    let mut abusive = Client::connect(&addr).expect("connect");
+    assert!(err(&mut abusive, "frobnicate").contains("unknown command"));
+    assert!(err(&mut abusive, "explain a b").contains("exactly one"));
+    assert!(err(&mut abusive, "feed-day yesterday").contains("YYYY-MM-DD"));
+    assert!(err(&mut abusive, "").contains("empty command"));
+    assert!(err(&mut abusive, "feed-day 1970-01-01").contains("already fed"));
+    assert!(err(&mut abusive, "feed-day 2099-01-01").contains("feed ends"));
+    // `/dev/null` is a file, so the snapshot's parent can't be created.
+    assert!(err(&mut abusive, "snapshot /dev/null/cp.json").contains("cannot write"));
+    assert!(err(&mut abusive, "status zz").contains("no decision"));
+
+    // After all of it: same state, same bytes, still alive.
+    let mut fresh = Client::connect(&addr).expect("connect");
+    assert_eq!(ok(&mut fresh, "ping"), "pong");
+    assert_eq!(ok(&mut fresh, "table4"), t4_before);
+    assert_eq!(ok(&mut fresh, "status"), status_before);
+}
+
+/// Pull the first frame's payload out of a raw byte capture.
+fn decode_one_frame(buf: &[u8]) -> Vec<u8> {
+    let mut r = buf;
+    proto::read_frame(&mut r, proto::MAX_FRAME).expect("response frame")
+}
+
+#[test]
+fn consistency_delay_holds_fed_days_back() {
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 1;
+    cfg.delay_days = 3;
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+
+    // Nothing fed: nothing applied.
+    let status = ok(&mut client, "status");
+    assert!(status.contains("delay-days 3"), "{status}");
+    assert!(status.contains("fed-through none"), "{status}");
+    assert!(status.contains("applied-through none"), "{status}");
+
+    // The first fed days stay entirely behind the delay.
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    let status = ok(&mut client, "status");
+    assert!(status.contains("applied-through none"), "{status}");
+    assert!(status.contains("pending-days 2"), "{status}");
+
+    // Day D becomes visible once fed reaches D + delay.
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    let status = ok(&mut client, "status");
+    let fed = field(&status, "fed-through");
+    let applied = field(&status, "applied-through");
+    let start = field(&status, "feed")
+        .split("..")
+        .next()
+        .expect("start")
+        .to_string();
+    assert_eq!(applied, start, "{status}");
+    assert!(status.contains("pending-days 3"), "{status}");
+    assert_ne!(fed, applied);
+
+    // Catching up in one multi-day feed applies everything newly visible.
+    let target = "2017-02-01";
+    ok(&mut client, &format!("feed-day {target}"));
+    let status = ok(&mut client, "status");
+    assert_eq!(field(&status, "fed-through"), target, "{status}");
+    assert_eq!(field(&status, "applied-through"), "2017-01-29", "{status}");
+}
+
+/// Extract `key value` from a rendered status body.
+fn field(status: &str, key: &str) -> String {
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no {key:?} in {status:?}"))
+        .to_string()
+}

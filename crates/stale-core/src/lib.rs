@@ -31,6 +31,7 @@ pub mod reputation;
 pub mod staleness;
 pub mod stats;
 pub mod survival;
+pub mod tables;
 pub mod taxonomy;
 
 pub use detector::key_compromise::{RevocationAnalysis, RevocationFilterStats, RevokedCert};
@@ -41,4 +42,5 @@ pub use incremental::{DomainInterner, KcIncremental, MtdIncremental, RcIncrement
 pub use lifetime_sim::{CapResult, LifetimeSimulation};
 pub use staleness::{StaleCertRecord, StalenessClass, StalenessSummary};
 pub use survival::SurvivalCurve;
+pub use tables::TableView;
 pub use taxonomy::{CertInfoCategory, ControlChange, InvalidationEvent, SecurityImpact};

@@ -1,0 +1,131 @@
+//! Shared renderers for the paper tables that are served live.
+//!
+//! `Table 3` (dataset inventory) and `Table 4` (stale-certificate
+//! detection rates) are rendered both by the batch experiment runner
+//! (`stale-bench`) and by the resident daemon (`stale-served`). One
+//! implementation lives here, below both crates, so the daemon's answers
+//! are **byte-identical** to the batch runner's over the same suite —
+//! the equivalence the daemon's tests assert — instead of two render
+//! paths drifting apart.
+
+use crate::detector::DetectionSuite;
+use crate::report::render_table;
+use crate::staleness::{StaleCertRecord, StalenessSummary};
+use psl::SuffixList;
+use stale_types::DateInterval;
+use worldsim::WorldDatasets;
+
+/// Table 4: the paper's average daily (certs, FQDNs, e2LDs) per detector
+/// row — printed alongside the measured rates for shape comparison.
+pub const TABLE4_DAILY: [(&str, f64, f64, f64); 4] = [
+    ("Revoked: all", 20_327.0, 28_035.0, 7_125.0),
+    ("Revoked: key compromise", 493.0, 787.0, 347.0),
+    ("Domain registrant change", 2_593.0, 2_807.0, 1_214.0),
+    (
+        "Cloudflare managed TLS departure",
+        9_495.0,
+        18_833.0,
+        7_722.0,
+    ),
+];
+
+/// A borrowed view over one run's world + detection results — just
+/// enough to render the served tables. Both `stale-bench`'s owned
+/// `Experiments` and `stale-served`'s state actor can produce one.
+pub struct TableView<'a> {
+    /// The dataset bundle.
+    pub data: &'a WorldDatasets,
+    /// Public suffix list.
+    pub psl: &'a SuffixList,
+    /// Detector outputs.
+    pub suite: &'a DetectionSuite,
+}
+
+impl TableView<'_> {
+    fn revocation_window(&self) -> DateInterval {
+        // The cutoff is derived from the collection window, so the
+        // interval is valid by construction.
+        DateInterval::new(self.suite.revocations.cutoff, self.data.crl_window.end)
+            .expect("cutoff precedes collection end") // stale-lint: allow(panic-in-shard)
+    }
+
+    fn rc_window(&self) -> DateInterval {
+        let end = self
+            .data
+            .whois
+            .window_end
+            .unwrap_or(self.data.sim_window.end);
+        // `end` is at or after the simulation start by construction.
+        // stale-lint: allow(panic-in-shard)
+        DateInterval::new(self.data.sim_window.start, end.succ()).expect("valid window")
+    }
+
+    /// Table 3: dataset inventory.
+    pub fn table3(&self) -> String {
+        let summary = self.data.summary();
+        let rows: Vec<Vec<String>> = summary
+            .rows
+            .into_iter()
+            .map(|(name, range, size)| vec![name, range, size])
+            .collect();
+        format!(
+            "Table 3 — Datasets (simulated stand-ins for the paper's feeds)\n{}",
+            render_table(&["Dataset", "Date range", "Size"], &rows)
+        )
+    }
+
+    /// Table 4: daily rates of stale certs / FQDNs / e2LDs per detector.
+    pub fn table4(&self) -> String {
+        let all_records = self.suite.revocations.all_as_records();
+        let all_refs: Vec<&StaleCertRecord> = all_records.iter().collect();
+        let kc: Vec<&StaleCertRecord> = self.suite.key_compromise.iter().collect();
+        let rc: Vec<&StaleCertRecord> = self.suite.registrant_change.iter().collect();
+        let mtd: Vec<&StaleCertRecord> = self.suite.managed_tls.iter().collect();
+        let rev_win = self.revocation_window();
+        let summaries = [
+            StalenessSummary::compute("Revoked: all", &all_refs, rev_win, self.psl),
+            StalenessSummary::compute("Revoked: key compromise", &kc, rev_win, self.psl),
+            StalenessSummary::compute("Domain registrant change", &rc, self.rc_window(), self.psl),
+            StalenessSummary::compute(
+                "Cloudflare managed TLS departure",
+                &mtd,
+                self.data.adns_window,
+                self.psl,
+            ),
+        ];
+        let mut rows = Vec::new();
+        for (s, (_, p_certs, p_fqdns, p_e2lds)) in summaries.iter().zip(TABLE4_DAILY) {
+            rows.push(vec![
+                s.label.clone(),
+                format!("{} – {}", s.window.start, s.window.end),
+                format!("{} ({:.2}/day)", s.certs, s.daily_certs),
+                format!("{} ({:.2}/day)", s.fqdns, s.daily_fqdns),
+                format!("{} ({:.2}/day)", s.e2lds, s.daily_e2lds),
+                format!("{:.0}:{:.0}:{:.0}", p_certs, p_fqdns, p_e2lds),
+            ]);
+        }
+        // Shape check: relative daily-cert rates across the three
+        // third-party classes, paper vs measured.
+        let measured_ratio = ratio3(
+            summaries[3].daily_certs,
+            summaries[2].daily_certs,
+            summaries[1].daily_certs,
+        );
+        let paper_ratio = ratio3(9_495.0, 2_593.0, 493.0);
+        format!(
+            "Table 4 — Stale certificate detection (totals with daily rates)\n{}\nShape: MTD:RC:KC daily-cert ratio — paper {} / measured {}\n",
+            render_table(
+                &["Method", "Window", "# certs", "# FQDNs", "# e2LDs", "paper daily c:f:e"],
+                &rows
+            ),
+            paper_ratio,
+            measured_ratio,
+        )
+    }
+}
+
+/// Normalise three rates to the smallest.
+pub fn ratio3(a: f64, b: f64, c: f64) -> String {
+    let min = c.max(1e-9);
+    format!("{:.1}:{:.1}:1", a / min, b / min)
+}

@@ -1,0 +1,266 @@
+//! The daemon's correctness anchor: every query answer is byte-identical
+//! to a fresh batch run over the same ingested days — across shard
+//! counts, across a snapshot/restart boundary, under a consistency
+//! delay, and while queries race ingestion.
+
+use stale_bench::Experiments;
+use stale_served::{Client, Daemon, DaemonConfig};
+use stale_tls::engine::{EngineConfig, IncrementalState};
+use stale_tls::prelude::*;
+use stale_tls::stale_types::{Date, Duration};
+use stale_tls::worldsim::DayFeed;
+
+fn ok(client: &mut Client, line: &str) -> String {
+    client
+        .request(line)
+        .expect("transport")
+        .unwrap_or_else(|e| panic!("{line:?} should succeed, got err {e:?}"))
+}
+
+/// Feed bounds of the deterministic tiny world.
+fn tiny_feed_bounds() -> (Date, Date) {
+    let data = World::run(ScenarioConfig::tiny());
+    let feed = DayFeed::new(&data);
+    (feed.start(), feed.end())
+}
+
+/// Batch-oracle renderings over the tiny world ingested through
+/// `through` (`None` = the whole feed): table3, table4, coverage report,
+/// and — when any certificate has been audited by then — one
+/// certificate's fingerprint with its explain chain.
+fn batch_oracle(through: Option<Date>) -> (String, String, String, Option<(String, String)>) {
+    let (data, psl) = Experiments::build_world(ScenarioConfig::tiny());
+    let mut cfg = EngineConfig::with_shards(1);
+    cfg.audit = true;
+    cfg.through = through;
+    let run = Experiments::with_engine_incremental_on(data, psl, cfg).expect("batch oracle");
+    let audit = run.audit.expect("audited run");
+    let explain = audit
+        .decisions
+        .iter()
+        .find(|d| !d.cert.is_empty())
+        .map(|d| d.cert.clone())
+        .map(|fp| {
+            let chain = audit.render_explain(&fp).expect("explain oracle");
+            (fp, chain)
+        });
+    (
+        run.experiments.table3(),
+        run.experiments.table4(),
+        audit.render_coverage(),
+        explain,
+    )
+}
+
+#[test]
+fn drained_daemon_matches_batch_across_shard_counts() {
+    let (_, end) = tiny_feed_bounds();
+    let (t3, t4, coverage, explain) = batch_oracle(None);
+    let (fp, explain) = explain.expect("full drain audits some certificate");
+    for shards in [1usize, 2, 7] {
+        let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+        cfg.shards = shards;
+        let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+        let mut client = Client::connect(daemon.addr()).expect("connect");
+        ok(&mut client, &format!("feed-day {end}"));
+        assert_eq!(ok(&mut client, "table3"), t3, "shards={shards}");
+        assert_eq!(ok(&mut client, "table4"), t4, "shards={shards}");
+        assert_eq!(ok(&mut client, "report"), coverage, "shards={shards}");
+        assert_eq!(
+            ok(&mut client, &format!("explain {fp}")),
+            explain,
+            "shards={shards}"
+        );
+        daemon.stop();
+    }
+}
+
+#[test]
+fn snapshot_restart_preserves_answers_and_drains_to_batch() {
+    let (start, end) = tiny_feed_bounds();
+    let mid = start + Duration::days((end - start).num_days() / 2);
+    let dir = std::env::temp_dir().join("stale_served_restart_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("served_mid.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Mid-stream oracle: a fresh incremental batch run through `mid`.
+    let (mid_t3, mid_t4, mid_coverage, _) = batch_oracle(Some(mid));
+
+    // First life: feed through the midpoint and snapshot.
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.checkpoint = Some(path.clone());
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    ok(&mut client, &format!("feed-day {mid}"));
+    assert_eq!(ok(&mut client, "table3"), mid_t3);
+    assert_eq!(ok(&mut client, "table4"), mid_t4);
+    assert_eq!(ok(&mut client, "report"), mid_coverage);
+    let snap_msg = ok(&mut client, "snapshot");
+    assert!(snap_msg.contains(&mid.to_string()), "{snap_msg}");
+    daemon.stop();
+    assert!(path.exists(), "snapshot written");
+
+    // The daemon's snapshot is a standard schema-v2 checkpoint and
+    // upholds every preflight invariant.
+    let snapshot = std::fs::read_to_string(&path).expect("read snapshot");
+    let diags = stale_lint::preflight::preflight_str("snapshot", &snapshot);
+    assert!(diags.is_empty(), "snapshot preflight: {diags:?}");
+
+    // Second life: restore from the checkpoint; answers are the same
+    // bytes, and draining the rest of the feed lands on the full-batch
+    // bytes.
+    let (t3, t4, coverage, explain) = batch_oracle(None);
+    let (fp, explain) = explain.expect("full drain audits some certificate");
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.checkpoint = Some(path.clone());
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    let status = ok(&mut client, "status");
+    assert!(
+        status.contains(&format!("applied-through {mid}")),
+        "restored cursor: {status}"
+    );
+    assert_eq!(ok(&mut client, "table3"), mid_t3);
+    assert_eq!(ok(&mut client, "table4"), mid_t4);
+    assert_eq!(ok(&mut client, "report"), mid_coverage);
+    ok(&mut client, &format!("feed-day {end}"));
+    assert_eq!(ok(&mut client, "table3"), t3);
+    assert_eq!(ok(&mut client, "table4"), t4);
+    assert_eq!(ok(&mut client, "report"), coverage);
+    assert_eq!(ok(&mut client, &format!("explain {fp}")), explain);
+    daemon.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn delayed_daemon_answers_as_of_the_visible_day() {
+    let (start, _) = tiny_feed_bounds();
+    let delay = 5i64;
+    let fed_target = start + Duration::days(90);
+    let visible = fed_target - Duration::days(delay);
+    let (_, t4, coverage, _) = batch_oracle(Some(visible));
+
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.delay_days = delay;
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    ok(&mut client, &format!("feed-day {fed_target}"));
+    let status = ok(&mut client, "status");
+    assert!(
+        status.contains(&format!("fed-through {fed_target}")),
+        "{status}"
+    );
+    assert!(
+        status.contains(&format!("applied-through {visible}")),
+        "{status}"
+    );
+    assert_eq!(ok(&mut client, "table4"), t4);
+    assert_eq!(ok(&mut client, "report"), coverage);
+    daemon.stop();
+}
+
+#[test]
+fn concurrent_queries_never_observe_a_partial_day() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const DAYS: i64 = 120;
+    let (start, _) = tiny_feed_bounds();
+
+    // Oracle: cumulative event count after each fully ingested day, from
+    // a local day-by-day replay with the same chunking the daemon uses.
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    let feed = DayFeed::new(&data);
+    let registry = obs::Registry::new();
+    let mut state = IncrementalState::new(&data, &psl, 2);
+    let mut oracle: HashMap<String, usize> = HashMap::new();
+    oracle.insert("none".to_string(), 0);
+    let mut cumulative = 0usize;
+    for offset in 0..DAYS {
+        let day = start + Duration::days(offset);
+        cumulative += state.ingest_delta(&feed.delta(day, day), &registry).len();
+        oracle.insert(day.to_string(), cumulative);
+    }
+    let oracle = Arc::new(oracle);
+
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let addr = daemon.addr();
+
+    // Hammer `status` from several connections while the main thread
+    // feeds the same days one at a time. Every (applied-through,
+    // events-since-boot) pair a worker observes must be one of the
+    // oracle's whole-day states — a partially ingested day would show a
+    // cumulative count no whole day ever has.
+    let done = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let done = Arc::clone(&done);
+            let oracle = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connect");
+                let mut observed = 0usize;
+                while !done.load(Ordering::SeqCst) {
+                    let status = client
+                        .request("status")
+                        .expect("transport")
+                        .expect("status ok");
+                    let field = |key: &str| {
+                        status
+                            .lines()
+                            .find_map(|l| l.strip_prefix(&format!("{key} ")))
+                            .unwrap_or_else(|| panic!("no {key:?} in {status:?}"))
+                            .to_string()
+                    };
+                    let applied = field("applied-through");
+                    let events: usize = field("events-since-boot").parse().expect("count");
+                    let expected = *oracle
+                        .get(&applied)
+                        .unwrap_or_else(|| panic!("worker {w} saw unknown day {applied}"));
+                    assert_eq!(
+                        events, expected,
+                        "worker {w}: day {applied} visible with {events} events, \
+                         whole-day state has {expected}"
+                    );
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut feeder = Client::connect(addr).expect("feeder connect");
+    for offset in 0..DAYS {
+        let day = start + Duration::days(offset);
+        ok(&mut feeder, &format!("feed-day {day}"));
+    }
+    done.store(true, Ordering::SeqCst);
+    let mut total = 0usize;
+    for worker in workers {
+        total += worker.join().expect("worker");
+    }
+    assert!(
+        total > 0,
+        "workers should have observed at least one status"
+    );
+
+    // The daemon landed exactly on the oracle's final state.
+    let status = ok(&mut feeder, "status");
+    let last = start + Duration::days(DAYS - 1);
+    assert!(
+        status.contains(&format!("applied-through {last}")),
+        "{status}"
+    );
+    assert!(
+        status.contains(&format!("events-since-boot {cumulative}")),
+        "{status}"
+    );
+    daemon.stop();
+}
