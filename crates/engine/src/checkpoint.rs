@@ -1,18 +1,35 @@
-//! Checkpoint/resume: completed shards (batch, schema v1) and persistent
+//! Checkpoint/resume: completed shards (batch, schema v3) and persistent
 //! detector state (incremental, schema v2).
 //!
-//! **Schema v1** (batch mode) — one JSON object per file:
+//! **Schema v3** (batch mode) — one JSON object per file, holding per
+//! completed shard only *indices into the shared world*, never derived
+//! records or certificate bodies:
 //!
 //! ```json
 //! {
+//!   "version": 3,
 //!   "fingerprint": 1234567890,
 //!   "shards": 4,
 //!   "completed": [
-//!     { "shard": 0, "output": { "shard": 0, "kc": [...], "rc": [...],
-//!       "mtd": [...] }, "metrics": { ... } }
+//!     { "shard": 0, "kc": [[17, 3]], "rc": [[4, 9]],
+//!       "mtd": [{ "domain": "foo.com", "departure": "2022-09-15",
+//!                 "cert_id": 9 }],
+//!       "audit": null, "metrics": { ... } }
 //!   ]
 //! }
 //! ```
+//!
+//! A kc entry is `(CRL index, cert id)`, an rc entry `(global change
+//! index, cert id)`, an mtd entry `(customer, departure day, cert id)`.
+//! Resume re-derives the full shard output from the world through the
+//! same `classify`/`stale_record` functions the detectors use — the
+//! record a resumed shard contributes is definitionally the record a
+//! fresh run would have produced, and the checkpoint cannot go stale
+//! against a record-shape change. Any entry that fails to resolve (an
+//! index out of range, an id the monitor does not know, a pair the
+//! detector no longer keeps) invalidates the whole file, which is
+//! discarded as stale state. Files from earlier schemas (v1 stored whole
+//! shard outputs) fail the `version` check and are likewise discarded.
 //!
 //! **Schema v2** (incremental mode) — the per-shard detector state after
 //! the last ingested day:
@@ -34,19 +51,20 @@
 //! [`worldsim::WorldDatasets::fingerprint`] and `shards` the partition
 //! width; a checkpoint only resumes a run over the *same* bundle at the
 //! *same* shard count, otherwise it is discarded and rewritten. The
-//! explicit `version` field keeps the two schemas from being confused for
-//! one another: a v1 file fails v2 validation (no `version`) and vice
-//! versa (no `completed`). Certificate bodies are never persisted — v2
-//! stores `cert_id`s and re-resolves them from the CT monitor on resume.
+//! `version` field keeps the schemas from being confused for one another.
 
 use crate::metrics::ShardMetrics;
 use obs::audit::Decision;
+use psl::SuffixList;
 use serde::{Deserialize, Serialize};
-use stale_core::detector::key_compromise::{KcLoser, ShardMatch};
+use stale_core::detector::key_compromise::{classify, KcLoser, ShardMatch};
+use stale_core::detector::managed_tls::ManagedTlsDetector;
+use stale_core::detector::registrant_change::{IndexedChange, RegistrantChangeDetector};
 use stale_core::incremental::{SavedKc, SavedMtd, SavedRc};
 use stale_core::staleness::StaleCertRecord;
-use stale_types::Date;
+use stale_types::{CertId, Date, DomainName};
 use std::path::Path;
+use worldsim::WorldDatasets;
 
 /// One shard's contribution to the decision audit: the rc/mtd decisions
 /// it emitted plus the kc duplicate-fingerprint losers it observed (kc
@@ -78,8 +96,8 @@ pub struct ShardOutput {
     pub audit: Option<ShardAudit>,
 }
 
-/// A finished shard, as persisted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A finished shard, held in memory during a run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompletedShard {
     /// Shard index.
     pub shard: usize,
@@ -89,37 +107,168 @@ pub struct CompletedShard {
     pub metrics: ShardMetrics,
 }
 
-/// The checkpoint file contents.
+/// One mtd record in its persisted, index-only form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedMtdRecord {
+    /// The departed customer domain.
+    pub domain: DomainName,
+    /// The departure day.
+    pub departure: Date,
+    /// The stale certificate.
+    pub cert_id: CertId,
+}
+
+/// A finished shard, as persisted (schema v3): indices and ids only.
+/// [`SavedShard::to_completed`] re-derives the full output from the
+/// world; see the module docs for why nothing derived is stored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedShard {
+    /// Shard index.
+    pub shard: usize,
+    /// `(CRL index, cert id)` per kc match.
+    pub kc: Vec<(usize, CertId)>,
+    /// `(global change index, cert id)` per rc record.
+    pub rc: Vec<(usize, CertId)>,
+    /// `(customer, departure, cert id)` per mtd record.
+    pub mtd: Vec<SavedMtdRecord>,
+    /// Decision-audit contribution, stored verbatim (decisions include
+    /// dropped candidates, which have no index-only shorthand).
+    pub audit: Option<ShardAudit>,
+    /// Its timings.
+    pub metrics: ShardMetrics,
+}
+
+/// World context needed to re-derive shard outputs on resume.
+pub struct ResumeWorld<'w> {
+    /// The dataset bundle the checkpoint fingerprinted.
+    pub data: &'w WorldDatasets,
+    /// The suffix list (e2LD grouping in re-derived records).
+    pub psl: &'w SuffixList,
+    /// The global registrant-change enumeration.
+    pub changes: &'w [IndexedChange],
+    /// The key-compromise reporting cutoff.
+    pub cutoff: Date,
+}
+
+impl SavedShard {
+    /// Strip a completed shard down to its persisted form.
+    pub fn from_completed(c: &CompletedShard) -> Self {
+        SavedShard {
+            shard: c.shard,
+            kc: c
+                .output
+                .kc
+                .iter()
+                .map(|m| (m.crl_index, m.cert_id))
+                .collect(),
+            rc: c
+                .output
+                .rc
+                .iter()
+                .map(|(index, r)| (*index, r.cert_id))
+                .collect(),
+            mtd: c
+                .output
+                .mtd
+                .iter()
+                .map(|r| SavedMtdRecord {
+                    domain: r.domain.clone(),
+                    departure: r.invalidation,
+                    cert_id: r.cert_id,
+                })
+                .collect(),
+            audit: c.output.audit.clone(),
+            metrics: c.metrics.clone(),
+        }
+    }
+
+    /// Re-derive the full shard output against `world`. `None` means some
+    /// entry no longer resolves — the caller must treat the whole
+    /// checkpoint as stale.
+    pub fn to_completed(&self, world: &ResumeWorld<'_>) -> Option<CompletedShard> {
+        let records = world.data.crl.records();
+        let mut kc = Vec::with_capacity(self.kc.len());
+        for &(crl_index, cert_id) in &self.kc {
+            let rec = records.get(crl_index)?;
+            let cert = world.data.monitor.get(&cert_id)?;
+            kc.push(ShardMatch {
+                crl_index,
+                cert_id,
+                outcome: classify(rec, cert, world.cutoff),
+            });
+        }
+        let rc_detector = RegistrantChangeDetector::new(world.psl);
+        let mut rc = Vec::with_capacity(self.rc.len());
+        for &(index, cert_id) in &self.rc {
+            let change = world.changes.get(index)?;
+            let cert = world.data.monitor.get(&cert_id)?;
+            let record = rc_detector.stale_record(&change.domain, change.creation, cert)?;
+            rc.push((index, record));
+        }
+        let mtd_detector = ManagedTlsDetector::new(&world.data.cdn_config, world.psl);
+        let mut mtd = Vec::with_capacity(self.mtd.len());
+        for saved in &self.mtd {
+            let cert = world.data.monitor.get(&saved.cert_id)?;
+            mtd.push(mtd_detector.stale_record(&saved.domain, saved.departure, cert)?);
+        }
+        Some(CompletedShard {
+            shard: self.shard,
+            output: ShardOutput {
+                shard: self.shard,
+                kc,
+                rc,
+                mtd,
+                audit: self.audit.clone(),
+            },
+            metrics: self.metrics.clone(),
+        })
+    }
+}
+
+/// The batch checkpoint file contents (schema v3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Schema version; always 3.
+    pub version: u32,
     /// Dataset-bundle fingerprint this checkpoint belongs to.
     pub fingerprint: u64,
     /// Partition width it was taken at.
     pub shards: usize,
     /// Completed shards, in completion order.
-    pub completed: Vec<CompletedShard>,
+    pub completed: Vec<SavedShard>,
 }
 
 impl Checkpoint {
+    /// The current batch schema version.
+    pub const VERSION: u32 = 3;
+
     /// Fresh, empty checkpoint for a run.
     pub fn new(fingerprint: u64, shards: usize) -> Self {
         Checkpoint {
+            version: Self::VERSION,
             fingerprint,
             shards,
             completed: Vec::new(),
         }
     }
 
-    /// Load from `path` if it exists *and* matches `fingerprint`/`shards`;
-    /// a missing, unreadable, malformed or mismatched file yields a fresh
-    /// checkpoint (mismatches are stale state, not errors).
+    /// Load from `path` if it exists *and* matches
+    /// `version`/`fingerprint`/`shards`; a missing, unreadable,
+    /// malformed, mismatched or earlier-schema file yields a fresh
+    /// checkpoint (all of those are stale state, not errors).
     pub fn load_or_new(path: &Path, fingerprint: u64, shards: usize) -> Self {
         let fresh = || Checkpoint::new(fingerprint, shards);
         let Ok(text) = std::fs::read_to_string(path) else {
             return fresh();
         };
         match serde_json::from_str::<Checkpoint>(&text) {
-            Ok(cp) if cp.fingerprint == fingerprint && cp.shards == shards => cp,
+            Ok(cp)
+                if cp.version == Self::VERSION
+                    && cp.fingerprint == fingerprint
+                    && cp.shards == shards =>
+            {
+                cp
+            }
             _ => fresh(),
         }
     }
@@ -212,30 +361,25 @@ mod tests {
     use super::*;
 
     fn sample() -> Checkpoint {
-        Checkpoint {
-            fingerprint: 42,
-            shards: 2,
-            completed: vec![CompletedShard {
+        let mut cp = Checkpoint::new(42, 2);
+        cp.completed.push(SavedShard {
+            shard: 1,
+            kc: vec![],
+            rc: vec![],
+            mtd: vec![],
+            audit: None,
+            metrics: ShardMetrics {
                 shard: 1,
-                output: ShardOutput {
-                    shard: 1,
-                    kc: vec![],
-                    rc: vec![],
-                    mtd: vec![],
-                    audit: None,
-                },
-                metrics: ShardMetrics {
-                    shard: 1,
-                    wall_us: 10,
-                    kc_us: 3,
-                    rc_us: 3,
-                    mtd_us: 4,
-                    items_in: 7,
-                    items_out: 0,
-                    attempts: 1,
-                },
-            }],
-        }
+                wall_us: 10,
+                kc_us: 3,
+                rc_us: 3,
+                mtd_us: 4,
+                items_in: 7,
+                items_out: 0,
+                attempts: 1,
+            },
+        });
+        cp
     }
 
     #[test]
@@ -259,6 +403,35 @@ mod tests {
             .completed
             .is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn earlier_schema_files_are_discarded() {
+        let dir = std::env::temp_dir().join("stale_engine_ckpt_v3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A v1-era file: no version field, whole shard outputs inline.
+        let v1 = dir.join("v1_era.json");
+        std::fs::write(
+            &v1,
+            r#"{"fingerprint": 42, "shards": 2, "completed": [
+                {"shard": 0,
+                 "output": {"shard": 0, "kc": [], "rc": [], "mtd": [], "audit": null},
+                 "metrics": {"shard": 0, "wall_us": 1, "kc_us": 0, "rc_us": 0,
+                             "mtd_us": 0, "items_in": 0, "items_out": 0, "attempts": 1}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(Checkpoint::load_or_new(&v1, 42, 2).completed.is_empty());
+        // A right-shaped file at the wrong version is equally stale.
+        let mut wrong = sample();
+        wrong.version = Checkpoint::VERSION + 1;
+        let vnext = dir.join("vnext.json");
+        wrong.save(&vnext).unwrap();
+        let loaded = Checkpoint::load_or_new(&vnext, 42, 2);
+        assert_eq!(loaded.version, Checkpoint::VERSION);
+        assert!(loaded.completed.is_empty());
+        let _ = std::fs::remove_file(&v1);
+        let _ = std::fs::remove_file(&vnext);
     }
 
     #[test]

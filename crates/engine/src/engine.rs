@@ -1,16 +1,19 @@
 //! The engine: partition → supervise → merge.
 
-use crate::checkpoint::{Checkpoint, CompletedShard, ShardAudit, ShardOutput};
+use crate::checkpoint::{
+    Checkpoint, CompletedShard, ResumeWorld, SavedShard, ShardAudit, ShardOutput,
+};
 use crate::config::EngineConfig;
 use crate::metrics::{DegradedShardMetrics, EngineMetrics, ShardMetrics, StageMetrics};
-use crate::partition::{mtd_routing_key, partition, shard_of, ShardInput};
+use crate::partition::{cut_views, ShardView};
 use crate::supervisor::{run_shards, DegradedShard};
 use obs::{Obs, Registry, SpanId};
 use psl::SuffixList;
-use stale_core::detector::key_compromise::{self, RevocationAnalysis};
+use stale_core::detector::key_compromise::{self};
 use stale_core::detector::managed_tls::{self, ManagedTlsDetector};
-use stale_core::detector::registrant_change::{self, RegistrantChangeDetector};
+use stale_core::detector::registrant_change::{self, IndexedChange, RegistrantChangeDetector};
 use stale_core::detector::DetectionSuite;
+use stale_core::views::RoutedWorld;
 use std::time::Instant;
 use worldsim::WorldDatasets;
 
@@ -105,22 +108,26 @@ impl Engine {
         let mut root = obs.span("engine.run");
         let n = self.config.shards.max(1);
         root.count("shards", n as u64);
-        let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
 
-        // Stage 1: partition.
+        // Stage 1: partition — one shard-count-independent routing pass
+        // over the shared immutable world, then a linear bucket cut. No
+        // world data is copied: shard inputs are index views into the
+        // routed arrays, handed to workers by reference.
         let partition_start = Instant::now();
         let mut partition_span = root.child("partition");
-        let parts = partition(data, psl, n);
-        let routed: usize = parts.shards.iter().map(ShardInput::items).sum();
-        partition_span.count("routed", routed as u64);
+        let routed = RoutedWorld::build(data, psl);
+        let views = cut_views(&routed, n);
+        let routed_items: usize = views.iter().map(ShardView::items).sum();
+        partition_span.count("routed", routed_items as u64);
         drop(partition_span);
         let stage_partition = StageMetrics {
             name: "partition".to_string(),
             wall_us: partition_start.elapsed().as_micros() as u64,
-            items_in: parts.corpus_size + parts.change_count,
-            items_out: routed,
+            items_in: routed.arena.len() + routed.changes.len(),
+            items_out: routed_items,
         };
         record_stage(&obs.registry, &stage_partition);
+        let cutoff = routed.cutoff;
 
         // Checkpoint: restore completed shards, run the rest.
         let fingerprint = data.fingerprint();
@@ -133,15 +140,76 @@ impl Engine {
             // An audited run can only reuse shards that carry their audit
             // contribution; older (or unaudited) completions are dropped
             // and re-run so the merged audit stays complete.
-            checkpoint.completed.retain(|c| c.output.audit.is_some());
+            checkpoint.completed.retain(|c| c.audit.is_some());
         }
-        let resumed_shards = checkpoint.completed.len();
+        // Re-derive restored shard outputs from the shared world (the
+        // checkpoint stores indices, not records). An entry that no
+        // longer resolves marks the whole file as stale state.
+        let resume = ResumeWorld {
+            data,
+            psl,
+            changes: &routed.changes,
+            cutoff,
+        };
+        let mut completed: Vec<CompletedShard> = Vec::with_capacity(n);
+        for saved in &checkpoint.completed {
+            match saved.to_completed(&resume) {
+                Some(c) => completed.push(c),
+                None => {
+                    checkpoint = Checkpoint::new(fingerprint, n);
+                    completed.clear();
+                    break;
+                }
+            }
+        }
+        let resumed_shards = completed.len();
         restore_span.count("resumed_shards", resumed_shards as u64);
         drop(restore_span);
         obs.registry
             .add("engine.resumed_shards", resumed_shards as u64);
         if resumed_shards > 0 {
             obs.registry.add("checkpoint.restores", 1);
+        }
+
+        // An empty view can only produce the empty output: synthesize its
+        // completion instead of paying supervisor setup for it. Shards
+        // with injected faults still spawn — the panic is the point of
+        // those runs.
+        let mut skipped = 0u64;
+        for view in &views {
+            if checkpoint.has(view.id)
+                || !view.is_empty()
+                || self.config.fail_shards.contains(&view.id)
+                || self.config.fail_once_shards.contains(&view.id)
+            {
+                continue;
+            }
+            let c = CompletedShard {
+                shard: view.id,
+                output: ShardOutput {
+                    shard: view.id,
+                    kc: Vec::new(),
+                    rc: Vec::new(),
+                    mtd: Vec::new(),
+                    audit: self.config.audit.then(ShardAudit::default),
+                },
+                metrics: ShardMetrics {
+                    shard: view.id,
+                    wall_us: 0,
+                    kc_us: 0,
+                    rc_us: 0,
+                    mtd_us: 0,
+                    items_in: 0,
+                    items_out: 0,
+                    attempts: 0,
+                },
+            };
+            checkpoint.completed.push(SavedShard::from_completed(&c));
+            completed.push(c);
+            skipped += 1;
+        }
+        if skipped > 0 {
+            obs.registry.add("engine.shards_skipped", skipped);
         }
         let jobs: Vec<usize> = (0..n).filter(|s| !checkpoint.has(*s)).collect();
 
@@ -152,7 +220,8 @@ impl Engine {
         let detect_span = root.child("detect");
         let detect_id = detect_span.id();
         let config = &self.config;
-        let shard_inputs = &parts.shards;
+        let views_ref = &views;
+        let routed_ref = &routed;
         let run_shard = |shard: usize, attempt: u32, span: SpanId| -> (ShardOutput, ShardMetrics) {
             if config.fail_shards.contains(&shard)
                 || (config.fail_once_shards.contains(&shard) && attempt == 1)
@@ -163,8 +232,8 @@ impl Engine {
                 panic!("injected failure in shard {shard} (attempt {attempt})");
             }
             run_one_shard(
-                &shard_inputs[shard],
-                data,
+                &views_ref[shard],
+                routed_ref,
                 psl,
                 n,
                 attempt,
@@ -185,11 +254,13 @@ impl Engine {
                 let (output, metrics) = value;
                 let mut metrics = metrics.clone();
                 metrics.attempts = attempts;
-                checkpoint.completed.push(CompletedShard {
+                let c = CompletedShard {
                     shard,
                     output: output.clone(),
                     metrics,
-                });
+                };
+                checkpoint.completed.push(SavedShard::from_completed(&c));
+                completed.push(c);
                 if let Some(path) = &config.checkpoint {
                     let save_start = Instant::now();
                     if let Err(e) = checkpoint.save(path) {
@@ -203,7 +274,7 @@ impl Engine {
                 }
             },
         );
-        drop(results); // completion order lives in `checkpoint.completed`
+        drop(results); // completion order lives in `completed`
         drop(detect_span);
         obs.registry
             .record_histogram("engine.queue.depth", &queue_depths);
@@ -212,8 +283,7 @@ impl Engine {
         }
         let stage_detect_wall = detect_start.elapsed().as_micros() as u64;
 
-        // Collect outputs (restored + fresh) in shard order.
-        let mut completed = checkpoint.completed.clone();
+        // Collect outputs (restored + synthesized + fresh) in shard order.
         completed.sort_by_key(|c| c.shard);
         let emitted: usize = completed
             .iter()
@@ -222,7 +292,7 @@ impl Engine {
         let stage_detect = StageMetrics {
             name: "detect".to_string(),
             wall_us: stage_detect_wall,
-            items_in: routed,
+            items_in: routed_items,
             items_out: emitted,
         };
         record_stage(&obs.registry, &stage_detect);
@@ -327,7 +397,10 @@ pub(crate) fn merge_suite(
     }
 }
 
-/// Run all three detectors on one shard's slice. Each detector stage runs
+/// Run all three detectors on one shard's zero-copy view. The view holds
+/// only indices; every certificate, CRL record and change is read through
+/// the shared [`RoutedWorld`] borrow, and the one pre-sorted CRL key
+/// index serves every shard's sort-merge join. Each detector stage runs
 /// under its own span (child of the attempt span `parent`) and reports
 /// item counts through the registry's write-only sink surface. With
 /// `audit` on, each detector also streams per-candidate decisions into a
@@ -335,8 +408,8 @@ pub(crate) fn merge_suite(
 /// partial stream dies with it).
 #[allow(clippy::too_many_arguments)]
 fn run_one_shard(
-    input: &ShardInput<'_>,
-    data: &WorldDatasets,
+    view: &ShardView,
+    routed: &RoutedWorld<'_>,
     psl: &SuffixList,
     shards: usize,
     attempt: u32,
@@ -345,28 +418,24 @@ fn run_one_shard(
     audit: bool,
 ) -> (ShardOutput, ShardMetrics) {
     let registry = &obs.registry;
-    let cutoff = RevocationAnalysis::cutoff_for(data.crl_window.start);
+    let data = routed.arena.data;
+    let cutoff = routed.cutoff;
     let audit_log = audit.then(obs::AuditLog::new);
+    let decision_sink: &dyn obs::DecisionSink = match &audit_log {
+        Some(log) => log,
+        None => &obs::NullDecisionSink,
+    };
     let start = Instant::now();
 
     let kc_start = Instant::now();
     let mut kc_span = obs.trace.child(parent, "kc");
-    let (kc, kc_losers) = if audit {
-        key_compromise::join_shard_audited(
-            input.kc_certs.iter().copied(),
-            &data.crl,
-            cutoff,
-            registry,
-        )
-    } else {
-        let kc = key_compromise::join_shard_observed(
-            input.kc_certs.iter().copied(),
-            &data.crl,
-            cutoff,
-            registry,
-        );
-        (kc, Vec::new())
-    };
+    let (kc, kc_losers) = key_compromise::join_shard_audited_with(
+        view.kc.iter().map(|&i| routed.arena.cert(i)),
+        &data.crl,
+        &routed.crl_keys,
+        cutoff,
+        registry,
+    );
     kc_span.count("matches", kc.len() as u64);
     drop(kc_span);
     let kc_us = kc_start.elapsed().as_micros() as u64;
@@ -374,52 +443,49 @@ fn run_one_shard(
     let rc_start = Instant::now();
     let mut rc_span = obs.trace.child(parent, "rc");
     let rc_detector = RegistrantChangeDetector::new(psl);
-    let rc = match &audit_log {
-        Some(log) => rc_detector.detect_shard_audited(
-            &input.rc_changes,
-            input.rc_certs.iter().copied(),
-            registry,
-            log,
-        ),
-        None => rc_detector.detect_shard_observed(
-            &input.rc_changes,
-            input.rc_certs.iter().copied(),
-            registry,
-        ),
-    };
+    let changes: Vec<(u32, &IndexedChange)> = view
+        .rc_changes
+        .iter()
+        .map(|&c| (routed.change_id[c as usize], &routed.changes[c as usize]))
+        .collect();
+    let rc = rc_detector.detect_shard_view_audited(
+        &changes,
+        view.rc_certs
+            .iter()
+            .map(|&i| (routed.arena.cert(i), routed.rc_ids_of(i))),
+        registry,
+        decision_sink,
+    );
     rc_span.count("records", rc.len() as u64);
     drop(rc_span);
     let rc_us = rc_start.elapsed().as_micros() as u64;
 
     let mtd_start = Instant::now();
     let mut mtd_span = obs.trace.child(parent, "mtd");
-    let id = input.id;
+    let id = view.id;
     let mtd_detector = ManagedTlsDetector::new(&data.cdn_config, psl);
-    let owned =
-        |domain: &stale_types::DomainName| shard_of(&mtd_routing_key(psl, domain), shards) == id;
-    let mtd = match &audit_log {
-        Some(log) => mtd_detector.detect_shard_audited(
-            &data.adns,
-            input.mtd_certs.iter().copied(),
-            data.adns_window,
-            owned,
-            registry,
-            log,
-        ),
-        None => mtd_detector.detect_shard_observed(
-            &data.adns,
-            input.mtd_certs.iter().copied(),
-            data.adns_window,
-            owned,
-            registry,
-        ),
-    };
+    let nn = shards.max(1) as u64;
+    let owned = |hash: u64| (hash % nn) as usize == id;
+    let mtd = mtd_detector.detect_shard_view_audited(
+        &data.adns,
+        view.mtd.iter().map(|&k| {
+            let candidate = &routed.mtd[k as usize];
+            (
+                routed.arena.cert(candidate.cert),
+                candidate.customers.as_slice(),
+            )
+        }),
+        data.adns_window,
+        owned,
+        registry,
+        decision_sink,
+    );
     mtd_span.count("records", mtd.len() as u64);
     drop(mtd_span);
     let mtd_us = mtd_start.elapsed().as_micros() as u64;
 
     let output = ShardOutput {
-        shard: input.id,
+        shard: view.id,
         kc,
         rc,
         mtd,
@@ -429,12 +495,12 @@ fn run_one_shard(
         }),
     };
     let metrics = ShardMetrics {
-        shard: input.id,
+        shard: view.id,
         wall_us: start.elapsed().as_micros() as u64,
         kc_us,
         rc_us,
         mtd_us,
-        items_in: input.items(),
+        items_in: view.items(),
         items_out: output.kc.len() + output.rc.len() + output.mtd.len(),
         attempts: attempt,
     };

@@ -8,13 +8,16 @@
 //! by a hash of the event's domain. This crate adds three layers on top of
 //! the shard-local detector APIs:
 //!
-//! 1. **Partitioner** ([`partition`]) — slices a
-//!    [`worldsim::WorldDatasets`] bundle into self-contained
-//!    [`partition::ShardInput`]s. CRL entries are keyed by `(AKI, serial)`
-//!    rather than by domain, so the CRL is broadcast to every shard;
-//!    certificates and registrant changes are routed by e2LD, with
-//!    cruise-liner certificates duplicated into every shard that owns one
-//!    of their customer domains.
+//! 1. **Partitioner** ([`partition`]) — routes a
+//!    [`worldsim::WorldDatasets`] bundle once, shard-count-independently,
+//!    into a [`stale_core::views::RoutedWorld`], then cuts zero-copy
+//!    [`partition::ShardView`]s (index lists into the shared world) per
+//!    shard count. CRL entries are keyed by `(AKI, serial)` rather than
+//!    by domain, so one pre-sorted CRL key index is shared by every
+//!    shard's sort-merge join; certificates and registrant changes are
+//!    routed by e2LD, with cruise-liner certificates duplicated into
+//!    every shard that owns one of their customer domains. The owned
+//!    [`partition::partition`] path survives as the equivalence oracle.
 //! 2. **Supervisor** ([`supervisor`]) — a fixed worker pool over a bounded
 //!    work queue. A panicking shard is isolated, retried once, and then
 //!    reported as a [`supervisor::DegradedShard`] instead of aborting the
@@ -51,11 +54,12 @@ pub mod stream;
 pub mod supervisor;
 
 pub use checkpoint::{
-    Checkpoint, CompletedShard, ShardOutput, ShardStateSnapshot, StreamCheckpoint,
+    Checkpoint, CompletedShard, ResumeWorld, SavedShard, ShardOutput, ShardStateSnapshot,
+    StreamCheckpoint,
 };
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineError, EngineReport};
 pub use metrics::{EngineMetrics, IngestBatchMetrics, IngestMetrics, ShardMetrics, StageMetrics};
-pub use partition::{partition, Partition, ShardInput};
+pub use partition::{cut_views, partition, Partition, ShardInput, ShardView};
 pub use stream::{IncrementalState, StateView};
 pub use supervisor::DegradedShard;

@@ -22,22 +22,14 @@ use stale_core::detector::managed_tls::ManagedTlsDetector;
 use stale_core::detector::registrant_change::{
     enumerate_changes, IndexedChange, RegistrantChangeDetector,
 };
+use stale_core::views::RoutedWorld;
+pub use stale_core::views::{fnv1a64, route_hash};
 use stale_types::DomainName;
 use worldsim::WorldDatasets;
 
-/// FNV-1a over a byte string — the engine's stable routing hash.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// The shard a routing domain belongs to.
 pub fn shard_of(key: &DomainName, shards: usize) -> usize {
-    (fnv1a64(key.as_str().as_bytes()) % shards.max(1) as u64) as usize
+    (route_hash(key.as_str()) % shards.max(1) as u64) as usize
 }
 
 /// The routing key for a managed-TLS customer domain: its e2LD, falling
@@ -151,6 +143,84 @@ pub fn partition<'w>(data: &'w WorldDatasets, psl: &SuffixList, n: usize) -> Par
         corpus_size,
         change_count,
     }
+}
+
+/// One shard's zero-copy view: index lists into the shared
+/// [`RoutedWorld`] arrays. Nothing here owns world data — a view is a few
+/// integer vectors, and cutting views for a different shard count reuses
+/// the same routed world untouched.
+#[derive(Debug, Clone, Default)]
+pub struct ShardView {
+    /// Shard index in `0..shards`.
+    pub id: usize,
+    /// Arena indices of certificates this shard joins against the CRL.
+    pub kc: Vec<u32>,
+    /// Arena indices of certificates visible to this shard's registrant
+    /// changes.
+    pub rc_certs: Vec<u32>,
+    /// Indices into the global change enumeration owned by this shard.
+    pub rc_changes: Vec<u32>,
+    /// Indices into [`RoutedWorld::mtd`] naming a customer owned here.
+    pub mtd: Vec<u32>,
+}
+
+impl ShardView {
+    /// Total items routed into this shard (the skew measure).
+    pub fn items(&self) -> usize {
+        self.kc.len() + self.rc_certs.len() + self.rc_changes.len() + self.mtd.len()
+    }
+
+    /// Whether no candidate at all was routed here (the supervisor skips
+    /// spawning such shards).
+    pub fn is_empty(&self) -> bool {
+        self.items() == 0
+    }
+}
+
+/// Cut `n` zero-copy shard views out of a routed world: one linear pass
+/// of modulo tests over the precomputed routing hashes. Assignment is
+/// bit-identical to [`partition`] (same hash, same duplication rules,
+/// same within-shard order); the partition-view coverage proptest pins
+/// the equivalence.
+pub fn cut_views(routed: &RoutedWorld<'_>, n: usize) -> Vec<ShardView> {
+    let n = n.max(1);
+    let nn = n as u64;
+    let mut views: Vec<ShardView> = (0..n)
+        .map(|id| ShardView {
+            id,
+            ..ShardView::default()
+        })
+        .collect();
+    let mut scratch: Vec<usize> = Vec::with_capacity(8);
+    for i in 0..routed.arena.len() {
+        let iu = i as u32;
+        views[(routed.kc_hash[i] % nn) as usize].kc.push(iu);
+        scratch.clear();
+        scratch.extend(
+            routed
+                .rc_ids_of(iu)
+                .iter()
+                .map(|&id| (routed.rc_hash[id as usize] % nn) as usize),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &s in &scratch {
+            views[s].rc_certs.push(iu);
+        }
+    }
+    for (k, candidate) in routed.mtd.iter().enumerate() {
+        scratch.clear();
+        scratch.extend(candidate.customers.iter().map(|&(_, h)| (h % nn) as usize));
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &s in &scratch {
+            views[s].mtd.push(k as u32);
+        }
+    }
+    for (c, &h) in routed.change_hash.iter().enumerate() {
+        views[(h % nn) as usize].rc_changes.push(c as u32);
+    }
+    views
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! The corpus pass: validate serialized inputs before anything executes.
 //!
 //! `stale-lint preflight <file>` accepts either a
-//! [`worldsim::bundle::WorldBundle`] or an engine checkpoint (schema v1
-//! or v2) and checks every invariant the pipeline assumes statically —
+//! [`worldsim::bundle::WorldBundle`] or an engine checkpoint (schema v3
+//! batch or v2 incremental) and checks every invariant the pipeline
+//! assumes statically —
 //! the same sanitation discipline the paper applied to its raw CRL, CT
 //! and WHOIS feeds before analysis. A truncated, bit-flipped or
 //! hand-edited file fails with a named diagnostic; it never panics and
@@ -73,7 +74,7 @@ pub fn preflight_path(path: &Path) -> Vec<Diagnostic> {
 
 /// Validate file contents, dispatching on shape: a `certs` field means a
 /// world bundle, `states` a schema-v2 checkpoint, `completed` a
-/// schema-v1 checkpoint, a `stale-obs-metrics` schema tag a metrics-JSON
+/// schema-v3 batch checkpoint, a `stale-obs-metrics` schema tag a metrics-JSON
 /// export, and a JSONL stream opening with a `stale-obs-trace` or
 /// `stale-obs-audit` header a span trace or decision audit.
 pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
@@ -425,7 +426,7 @@ pub fn preflight_stream_checkpoint(label: &str, text: &str) -> Vec<Diagnostic> {
     out
 }
 
-/// Validate a schema-v1 (batch) checkpoint.
+/// Validate a schema-v3 (batch) checkpoint.
 pub fn preflight_batch_checkpoint(label: &str, text: &str) -> Vec<Diagnostic> {
     let cp: Checkpoint = match serde_json::from_str(text) {
         Ok(cp) => cp,
@@ -433,11 +434,22 @@ pub fn preflight_batch_checkpoint(label: &str, text: &str) -> Vec<Diagnostic> {
             return vec![diag(
                 "checkpoint-parse",
                 label,
-                format!("does not deserialize as a v1 checkpoint: {e}"),
+                format!("does not deserialize as a v3 checkpoint: {e}"),
             )];
         }
     };
     let mut out = Vec::new();
+    if cp.version != Checkpoint::VERSION {
+        out.push(diag(
+            "checkpoint-version",
+            label,
+            format!(
+                "batch checkpoint declares schema version {} (expected {})",
+                cp.version,
+                Checkpoint::VERSION
+            ),
+        ));
+    }
     let mut seen = BTreeSet::new();
     for (i, c) in cp.completed.iter().enumerate() {
         if c.shard >= cp.shards {
@@ -457,13 +469,13 @@ pub fn preflight_batch_checkpoint(label: &str, text: &str) -> Vec<Diagnostic> {
                 format!("completed[{i}]: shard {} appears more than once", c.shard),
             ));
         }
-        if c.output.shard != c.shard {
+        if c.metrics.shard != c.shard {
             out.push(diag(
                 "checkpoint-order",
                 label,
                 format!(
-                    "completed[{i}]: output labelled shard {} under shard {}",
-                    c.output.shard, c.shard
+                    "completed[{i}]: metrics labelled shard {} under shard {}",
+                    c.metrics.shard, c.shard
                 ),
             ));
         }

@@ -2,9 +2,7 @@
 //! or hand-edited — with a named diagnostic and never panics, while a
 //! freshly serialized world bundle and checkpoint pass clean.
 
-use engine::checkpoint::{
-    Checkpoint, CompletedShard, ShardOutput, ShardStateSnapshot, StreamCheckpoint,
-};
+use engine::checkpoint::{Checkpoint, SavedShard, ShardStateSnapshot, StreamCheckpoint};
 use stale_core::incremental::{SavedKc, SavedMtd, SavedRc};
 use stale_lint::preflight::preflight_str;
 use stale_types::domain::dn;
@@ -198,35 +196,39 @@ fn stream_checkpoint_monotonicity_violations_named() {
 
 #[test]
 fn batch_checkpoint_violations_named() {
-    let cp = Checkpoint {
-        fingerprint: 7,
-        shards: 2,
-        completed: vec![CompletedShard {
-            shard: 5, // out of the declared width
-            output: ShardOutput {
-                shard: 1, // and mislabelled
-                kc: Vec::new(),
-                rc: Vec::new(),
-                mtd: Vec::new(),
-                audit: None,
-            },
-            metrics: engine::ShardMetrics {
-                shard: 5,
-                wall_us: 0,
-                kc_us: 0,
-                rc_us: 0,
-                mtd_us: 0,
-                items_in: 0,
-                items_out: 0,
-                attempts: 1,
-            },
-        }],
-    };
+    let mut cp = Checkpoint::new(7, 2);
+    cp.completed.push(SavedShard {
+        shard: 5, // out of the declared width
+        kc: Vec::new(),
+        rc: Vec::new(),
+        mtd: Vec::new(),
+        audit: None,
+        metrics: engine::ShardMetrics {
+            shard: 1, // and mislabelled
+            wall_us: 0,
+            kc_us: 0,
+            rc_us: 0,
+            mtd_us: 0,
+            items_in: 0,
+            items_out: 0,
+            attempts: 1,
+        },
+    });
     let json = serde_json::to_string(&cp).unwrap();
     let diags = preflight_str("ckpt", &json);
     let fired = rules(&diags);
     assert!(fired.contains(&"checkpoint-shards"), "{diags:?}");
     assert!(fired.contains(&"checkpoint-order"), "{diags:?}");
+
+    // A version from another schema era is named, not silently accepted.
+    let mut stale = Checkpoint::new(7, 2);
+    stale.version = 1;
+    let json = serde_json::to_string(&stale).unwrap();
+    let diags = preflight_str("ckpt", &json);
+    assert!(
+        diags.iter().any(|d| d.rule == "checkpoint-version"),
+        "{diags:?}"
+    );
 }
 
 #[test]

@@ -73,71 +73,114 @@ impl SuffixList {
     }
 
     /// Length in labels of the public suffix of `name`.
-    fn suffix_label_count(&self, name: &DomainName) -> usize {
-        let labels: Vec<&str> = name.labels().collect();
-        let n = labels.len();
+    ///
+    /// Allocation-free: every candidate suffix of a dotted name is a
+    /// literal substring starting at a label boundary, so rules are
+    /// probed with `&name[offset..]` directly (the rule map's `String`
+    /// keys borrow as `str`).
+    fn suffix_label_count_str(&self, name: &str) -> usize {
+        let n = name.bytes().filter(|&b| b == b'.').count() + 1;
         let mut best: usize = 1; // implicit default rule `*`
-                                 // Consider every suffix of the name, longest first.
-        for start in 0..n {
-            let candidate = labels[start..].join(".");
-            match self.rules.get(&candidate) {
+        let mut start = 0usize; // byte offset of the current label
+        let mut label = 0usize; // its index; the candidate has n - label labels
+        loop {
+            match self.rules.get(&name[start..]) {
                 Some(RuleKind::Exception) => {
                     // Exception: the public suffix is one label shorter
                     // than the exception rule, and it wins outright.
-                    return n - start - 1;
+                    return n - label - 1;
                 }
                 Some(RuleKind::Normal) => {
-                    best = best.max(n - start);
+                    best = best.max(n - label);
                 }
                 Some(RuleKind::Wildcard) => {
                     // `*.base`: any single child of base is a suffix.
                     // The wildcard match has one more label than `base`
                     // but never more labels than the name itself.
-                    best = best.max((n - start + 1).min(n));
+                    best = best.max((n - label + 1).min(n));
                 }
                 None => {}
             }
+            match name[start..].find('.') {
+                Some(dot) => {
+                    start += dot + 1;
+                    label += 1;
+                }
+                None => break,
+            }
         }
         best
+    }
+
+    fn suffix_label_count(&self, name: &DomainName) -> usize {
+        self.suffix_label_count_str(name.as_str())
+    }
+
+    /// Byte offset where the suffix of `name` that keeps its last `count`
+    /// labels begins.
+    fn offset_of_last_labels(name: &str, count: usize) -> usize {
+        let total = name.bytes().filter(|&b| b == b'.').count() + 1;
+        let skip = total.saturating_sub(count);
+        let mut offset = 0usize;
+        for _ in 0..skip {
+            match name[offset..].find('.') {
+                Some(dot) => offset += dot + 1,
+                None => break,
+            }
+        }
+        offset
     }
 
     /// The effective TLD (public suffix) of `name`.
     ///
     /// Returns the whole name if the name *is* a public suffix.
     pub fn etld(&self, name: &DomainName) -> DomainName {
-        let count = self.suffix_label_count(name);
-        let labels: Vec<&str> = name.labels().collect();
-        let start = labels.len() - count.min(labels.len());
-        DomainName::parse(&labels[start..].join(".")).expect("suffix of valid name is valid")
+        let s = name.as_str();
+        let count = self.suffix_label_count_str(s);
+        let start = Self::offset_of_last_labels(s, count);
+        DomainName::parse(&s[start..]).expect("suffix of valid name is valid")
+    }
+
+    /// The effective 2LD of a bare dotted name, as a borrowed substring.
+    /// Errors if the name is itself a public suffix or shorter.
+    pub fn e2ld_str<'a>(&self, name: &'a str) -> Result<&'a str> {
+        let count = self.suffix_label_count_str(name);
+        let total = name.bytes().filter(|&b| b == b'.').count() + 1;
+        if total <= count {
+            return Err(Error::InvalidDomain {
+                input: name.into(),
+                reason: "name is a public suffix; it has no e2LD",
+            });
+        }
+        Ok(&name[Self::offset_of_last_labels(name, count + 1)..])
     }
 
     /// The effective 2LD: the registerable domain (one label below the
     /// eTLD). Errors if the name is itself a public suffix or shorter.
     pub fn e2ld(&self, name: &DomainName) -> Result<DomainName> {
-        let count = self.suffix_label_count(name);
-        let labels: Vec<&str> = name.labels().collect();
-        if labels.len() <= count {
-            return Err(Error::InvalidDomain {
-                input: name.as_str().into(),
-                reason: "name is a public suffix; it has no e2LD",
-            });
+        self.e2ld_str(name.as_str())
+            .map(|s| DomainName::parse(s).expect("suffix of valid name is valid"))
+    }
+
+    /// [`SuffixList::e2ld_of_san`] as a borrowed substring of the SAN.
+    pub fn e2ld_of_san_str<'a>(&self, san: &'a DomainName) -> Result<&'a str> {
+        let s = san.as_str();
+        if san.is_wildcard() {
+            let base = s.strip_prefix("*.").ok_or(Error::InvalidDomain {
+                input: s.into(),
+                reason: "bare wildcard has no base",
+            })?;
+            self.e2ld_str(base)
+        } else {
+            self.e2ld_str(s)
         }
-        let start = labels.len() - count - 1;
-        Ok(DomainName::parse(&labels[start..].join(".")).expect("suffix of valid name is valid"))
     }
 
     /// e2LD for names that may carry a wildcard label: the wildcard label is
     /// stripped first, since `*.foo.com` attests to children of `foo.com`.
     pub fn e2ld_of_san(&self, san: &DomainName) -> Result<DomainName> {
-        if san.is_wildcard() {
-            let parent = san.parent().ok_or(Error::InvalidDomain {
-                input: san.as_str().into(),
-                reason: "bare wildcard has no base",
-            })?;
-            self.e2ld(&parent)
-        } else {
-            self.e2ld(san)
-        }
+        self.e2ld_of_san_str(san)
+            .map(|s| DomainName::parse(s).expect("suffix of valid name is valid"))
     }
 
     /// Whether `name` is exactly a public suffix.

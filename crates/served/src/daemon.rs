@@ -25,12 +25,14 @@
 //! # Equivalence
 //!
 //! Query answers are rendered from [`engine::StateView`] — the same
-//! finish + merge the batch engine runs — and from the shared
-//! [`stale_core::tables::TableView`] renderers, so every `table3`,
-//! `table4`, `explain` and `report` body is byte-identical to a fresh
-//! batch run over the same ingested days (`tests/served_equivalence.rs`
-//! at the workspace root asserts this across shard counts and across
-//! snapshot/restart boundaries).
+//! finish + merge the batch engine runs, including the one shared
+//! sort-merge CRL×CT join (`stale_core::detector::key_compromise`'s
+//! `CrlKeyIndex` probe) that batch and incremental shards use — and
+//! from the shared [`stale_core::tables::TableView`] renderers, so
+//! every `table3`, `table4`, `explain` and `report` body is
+//! byte-identical to a fresh batch run over the same ingested days
+//! (`tests/served_equivalence.rs` at the workspace root asserts this
+//! across shard counts and across snapshot/restart boundaries).
 
 use crate::proto;
 use engine::{IncrementalState, StateView, StreamCheckpoint};

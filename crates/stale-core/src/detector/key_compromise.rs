@@ -153,10 +153,119 @@ pub fn classify(rec: &RevocationRecord, cert: &DedupedCert, cutoff: Date) -> Joi
 /// record but lost the newest-cert tiebreak to the shard's winner.
 pub type KcLoser = (KeyId, SerialNumber, CertId);
 
-/// Shard-local half of the §4.1 join: index this shard's certificates by
-/// `(AKI, serial)` and scan the full CRL against them. CRL records that
-/// match no local certificate produce nothing; the merge step accounts
-/// them as unmatched.
+/// The CRL side of the sort-merge join: every `(AKI, serial)` key with
+/// its CRL index, globally sorted. Built once per run and probed
+/// read-only by every shard, so no shard ever re-scans (or copies) the
+/// CRL — the shard cost is `O(c log c + c log R)` in its own
+/// certificates `c`, not `O(R)` in the CRL.
+#[derive(Debug, Clone, Default)]
+pub struct CrlKeyIndex {
+    /// `(AKI, serial, CRL index)` sorted ascending.
+    keys: Vec<(KeyId, SerialNumber, usize)>,
+}
+
+impl CrlKeyIndex {
+    /// Index a full CRL dataset.
+    pub fn build(crl: &CrlDataset) -> Self {
+        Self::from_entries(crl.records().iter().enumerate())
+    }
+
+    /// Index an arbitrary `(CRL index, record)` subset — the incremental
+    /// path indexes only the records observed so far.
+    pub fn from_entries<'r>(
+        entries: impl IntoIterator<Item = (usize, &'r RevocationRecord)>,
+    ) -> Self {
+        let mut keys: Vec<(KeyId, SerialNumber, usize)> = entries
+            .into_iter()
+            .map(|(i, r)| (r.authority_key_id, r.serial, i))
+            .collect();
+        keys.sort_unstable();
+        CrlKeyIndex { keys }
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// The merge loop both join entry points share: probe sorted certificate
+/// keys against the sorted CRL key index. `keyed` must be sorted by
+/// `(key, cert_id)`; the group winner is the largest `cert_id` per key
+/// and the rest become losers when (and only when) some CRL record
+/// carries the key. Matches come back in CRL-index order, losers in
+/// `(key, cert_id)` order — exactly the hash join's emission orders.
+/// Returns `(matches, losers, distinct key count)`.
+fn merge_probe<'r>(
+    keyed: &[((KeyId, SerialNumber), &DedupedCert)],
+    crl_keys: &CrlKeyIndex,
+    rec_of: &dyn Fn(usize) -> Option<&'r RevocationRecord>,
+    cutoff: Date,
+) -> (Vec<ShardMatch>, Vec<KcLoser>, u64) {
+    let keys = crl_keys.keys.as_slice();
+    let mut matches = Vec::new();
+    let mut losers: Vec<KcLoser> = Vec::new();
+    let mut groups: u64 = 0;
+    let mut i = 0usize;
+    let mut cursor = 0usize; // both sides sorted: never re-scan the prefix
+    while let Some(&(key, _)) = keyed.get(i) {
+        let mut j = i + 1;
+        while keyed.get(j).is_some_and(|&(k, _)| k == key) {
+            j += 1;
+        }
+        groups += 1;
+        let tail = keys.get(cursor..).unwrap_or_default();
+        let lo = cursor + tail.partition_point(|&(k, s, _)| (k, s) < key);
+        let run = keys.get(lo..).unwrap_or_default();
+        let hi = lo + run.partition_point(|&(k, s, _)| (k, s) == key);
+        cursor = hi;
+        if lo < hi {
+            let probed = keys.get(lo..hi).unwrap_or_default();
+            if let Some((last, rest)) = keyed.get(i..j).and_then(<[_]>::split_last) {
+                let winner = last.1;
+                for &(_, _, crl_index) in probed {
+                    if let Some(rec) = rec_of(crl_index) {
+                        matches.push(ShardMatch {
+                            crl_index,
+                            cert_id: winner.cert_id,
+                            outcome: classify(rec, winner, cutoff),
+                        });
+                    }
+                }
+                // Only keys a CRL record actually probed yield audit
+                // candidates; losers on never-probed keys were never
+                // considered by the detector.
+                losers.extend(rest.iter().map(|(k, c)| (k.0, k.1, c.cert_id)));
+            }
+        }
+        i = j;
+    }
+    matches.sort_unstable_by_key(|m| m.crl_index);
+    (matches, losers, groups)
+}
+
+/// Probe one shard's pre-keyed winners against the CRL key index and
+/// return the matches in CRL-index order. This is [`merge_probe`] for
+/// callers that already dedup'd their key side (the incremental state's
+/// persistent index holds one winner per key).
+pub(crate) fn probe_winners<'r>(
+    keyed: &[((KeyId, SerialNumber), &DedupedCert)],
+    crl_keys: &CrlKeyIndex,
+    rec_of: &dyn Fn(usize) -> Option<&'r RevocationRecord>,
+    cutoff: Date,
+) -> Vec<ShardMatch> {
+    merge_probe(keyed, crl_keys, rec_of, cutoff).0
+}
+
+/// Shard-local half of the §4.1 join: sort this shard's certificates by
+/// `(AKI, serial)` and merge them against the shared sorted CRL key
+/// index. CRL records that match no local certificate produce nothing;
+/// the merge step accounts them as unmatched.
 pub fn join_shard<'m>(
     certs: impl IntoIterator<Item = &'m DedupedCert>,
     crl: &CrlDataset,
@@ -184,15 +293,60 @@ pub fn join_shard_observed<'m>(
 /// `certs_with_key - shards_with_key` per key — [`audit_decisions`] adds
 /// the `shards_with_key - 1` losing shard winners back at merge time,
 /// which is what makes the audit shard-count-invariant.
+///
+/// Builds a throwaway [`CrlKeyIndex`]; multi-shard callers should build
+/// the index once and use [`join_shard_audited_with`].
 pub fn join_shard_audited<'m>(
     certs: impl IntoIterator<Item = &'m DedupedCert>,
     crl: &CrlDataset,
     cutoff: Date,
     sink: &dyn obs::CounterSink,
 ) -> (Vec<ShardMatch>, Vec<KcLoser>) {
-    // Hash join: (AKI, serial) → certificate, max cert_id winning ties so
-    // shard-local results are independent of input order. The ablation
-    // bench compares this against a sort-merge join.
+    join_shard_audited_with(certs, crl, &CrlKeyIndex::build(crl), cutoff, sink)
+}
+
+/// The production §4.1 shard join: a sort-merge over the shard's
+/// certificate keys and a shared, pre-sorted CRL key index. Batch,
+/// incremental, and daemon paths all join through this one
+/// implementation ([`join_shard_audited_hash`] survives only as the
+/// equivalence oracle and ablation baseline).
+pub fn join_shard_audited_with<'m>(
+    certs: impl IntoIterator<Item = &'m DedupedCert>,
+    crl: &CrlDataset,
+    crl_keys: &CrlKeyIndex,
+    cutoff: Date,
+    sink: &dyn obs::CounterSink,
+) -> (Vec<ShardMatch>, Vec<KcLoser>) {
+    let mut scanned: u64 = 0;
+    let mut keyed: Vec<((KeyId, SerialNumber), &DedupedCert)> = Vec::new();
+    for cert in certs {
+        scanned += 1;
+        if let Some(aki) = cert.certificate.tbs.authority_key_id() {
+            keyed.push(((aki, cert.certificate.tbs.serial), cert));
+        }
+    }
+    // Max cert_id wins ties, so sorting by (key, cert_id) puts each
+    // group's winner last and its losers, already id-sorted, before it.
+    keyed.sort_unstable_by_key(|a| (a.0, a.1.cert_id));
+    let records = crl.records();
+    let (matches, losers, groups) = merge_probe(&keyed, crl_keys, &|i| records.get(i), cutoff);
+    sink.add("detector.kc.certs", scanned);
+    sink.add("detector.kc.index_keys", groups);
+    sink.add("detector.kc.crl_records", records.len() as u64);
+    sink.add("detector.kc.matches", matches.len() as u64);
+    (matches, losers)
+}
+
+/// The original hash join, kept as the independent oracle the sort-merge
+/// implementation is byte-compared against (and as the ablation
+/// baseline): `(AKI, serial)` → certificate with max `cert_id` winning
+/// ties, then a full CRL scan probing the map.
+pub fn join_shard_audited_hash<'m>(
+    certs: impl IntoIterator<Item = &'m DedupedCert>,
+    crl: &CrlDataset,
+    cutoff: Date,
+    sink: &dyn obs::CounterSink,
+) -> (Vec<ShardMatch>, Vec<KcLoser>) {
     let mut scanned: u64 = 0;
     let mut index: HashMap<(KeyId, SerialNumber), &DedupedCert> = HashMap::new();
     let mut displaced: BTreeMap<(KeyId, SerialNumber), Vec<CertId>> = BTreeMap::new();

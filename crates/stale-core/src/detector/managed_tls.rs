@@ -20,25 +20,33 @@ use std::collections::BTreeMap;
 pub struct ManagedTlsDetector<'a> {
     config: &'a ProviderConfig,
     psl: &'a SuffixList,
+    /// The marker base, parsed once at construction (the marker test runs
+    /// per SAN per certificate on the hot path).
+    marker: Option<DomainName>,
 }
 
 impl<'a> ManagedTlsDetector<'a> {
     /// Build for one provider's delegation/marker configuration.
     pub fn new(config: &'a ProviderConfig, psl: &'a SuffixList) -> Self {
-        ManagedTlsDetector { config, psl }
+        let marker = config
+            .marker_base
+            .as_deref()
+            .and_then(|b| DomainName::parse(b).ok());
+        ManagedTlsDetector {
+            config,
+            psl,
+            marker,
+        }
     }
 
     /// Whether `san` is the provider's marker name (e.g.
     /// `sni12345.cloudflaressl.com`).
     pub fn is_marker_san(&self, san: &DomainName) -> bool {
-        let Some(base) = &self.config.marker_base else {
+        let Some(base) = &self.marker else {
             return false;
         };
-        let Ok(base) = DomainName::parse(base) else {
-            return false;
-        };
-        san.is_subdomain_of(&base)
-            && san != &base
+        san.is_subdomain_of(base)
+            && san != base
             && san.labels().next().is_some_and(|l| l.starts_with("sni"))
     }
 
@@ -145,6 +153,47 @@ impl<'a> ManagedTlsDetector<'a> {
                 by_customer.entry(domain).or_default().push(cert);
             }
         }
+        self.evaluate_customers(adns, by_customer, window, sink, audit)
+    }
+
+    /// [`Self::detect_shard_audited`] over a pre-routed zero-copy view:
+    /// each item is a managed certificate with its non-wildcard customer
+    /// SANs and their precomputed routing hashes (see
+    /// [`crate::views::RoutedWorld`]). `owned` tests a routing hash
+    /// instead of re-deriving the e2LD per customer; the candidate
+    /// universe and output are identical to the owned-slice path.
+    pub fn detect_shard_view_audited<'m: 'v, 'v>(
+        &self,
+        adns: &DnsHistory,
+        certs: impl IntoIterator<Item = (&'m DedupedCert, &'v [(&'m DomainName, u64)])>,
+        window: DateInterval,
+        owned: impl Fn(u64) -> bool,
+        sink: &dyn obs::CounterSink,
+        audit: &dyn obs::DecisionSink,
+    ) -> Vec<StaleCertRecord> {
+        let mut by_customer: BTreeMap<&DomainName, Vec<&DedupedCert>> = BTreeMap::new();
+        for (cert, customers) in certs {
+            for &(domain, hash) in customers {
+                if !owned(hash) {
+                    continue;
+                }
+                by_customer.entry(domain).or_default().push(cert);
+            }
+        }
+        self.evaluate_customers(adns, by_customer, window, sink, audit)
+    }
+
+    /// The shared evaluation tail of both shard paths: sort each
+    /// customer's certificates, walk customers in order, emit decisions
+    /// and stale records.
+    fn evaluate_customers<'m>(
+        &self,
+        adns: &DnsHistory,
+        mut by_customer: BTreeMap<&'m DomainName, Vec<&'m DedupedCert>>,
+        window: DateInterval,
+        sink: &dyn obs::CounterSink,
+        audit: &dyn obs::DecisionSink,
+    ) -> Vec<StaleCertRecord> {
         for certs in by_customer.values_mut() {
             certs.sort_by_key(|c| c.cert_id);
         }

@@ -128,6 +128,51 @@ impl<'a> RegistrantChangeDetector<'a> {
         records
     }
 
+    /// [`Self::detect_shard_audited`] over a pre-routed zero-copy view:
+    /// certificates arrive with their interned SAN-e2LD ids and changes
+    /// arrive pre-resolved to interned ids (see
+    /// [`crate::views::RoutedWorld`]), so the per-shard index is rebuilt
+    /// from integers without recomputing any e2LD. A change whose domain
+    /// was never interned (no certificate anywhere names it) carries
+    /// `u32::MAX`, which matches no index entry — exactly the owned
+    /// path's miss. Output and counters are identical to
+    /// [`Self::detect_shard_audited`].
+    pub fn detect_shard_view_audited<'m, 'v>(
+        &self,
+        changes: &[(u32, &'v IndexedChange)],
+        certs: impl IntoIterator<Item = (&'m DedupedCert, &'v [u32])>,
+        sink: &dyn obs::CounterSink,
+        audit: &dyn obs::DecisionSink,
+    ) -> Vec<(usize, StaleCertRecord)> {
+        let mut index: HashMap<u32, Vec<&DedupedCert>> = HashMap::new();
+        for (cert, ids) in certs {
+            for &id in ids {
+                index.entry(id).or_default().push(cert);
+            }
+        }
+        sink.add("detector.rc.changes", changes.len() as u64);
+        sink.add("detector.rc.indexed_e2lds", index.len() as u64);
+        // Summing lengths is order-independent and the sink is write-only,
+        // so this HashMap walk cannot leak iteration order into results.
+        // stale-lint: allow(nondeterministic-iteration)
+        let cert_refs: u64 = index.values().map(|v| v.len() as u64).sum();
+        sink.add("detector.rc.cert_refs", cert_refs);
+        let mut records = Vec::new();
+        for &(id, change) in changes {
+            let Some(certs) = index.get(&id) else {
+                continue;
+            };
+            for cert in certs {
+                audit.decision(rc_decision(&change.domain, change.creation, cert));
+                if let Some(record) = self.stale_record(&change.domain, change.creation, cert) {
+                    records.push((change.index, record));
+                }
+            }
+        }
+        sink.add("detector.rc.records", records.len() as u64);
+        records
+    }
+
     /// The §4.2 test for one `(change, certificate)` pair: if the
     /// certificate's validity strictly spans the new creation date, build
     /// its stale record. Both the batch and incremental paths call this,

@@ -239,18 +239,19 @@ impl<'w> KcIncremental<'w> {
     /// [`key_compromise::join_shard`] returns over the same certificates
     /// and the CRL records seen so far, in CRL-index order.
     pub fn finish(&self) -> Vec<ShardMatch> {
-        let mut matches = Vec::new();
-        for (crl_index, rec) in &self.seen {
-            let Some(cert) = self.index.get(&(rec.authority_key_id, rec.serial)) else {
-                continue;
-            };
-            matches.push(ShardMatch {
-                crl_index: *crl_index,
-                cert_id: cert.cert_id,
-                outcome: key_compromise::classify(rec, cert, self.cutoff),
-            });
-        }
-        matches
+        // The same sort-merge probe the batch shard join runs: the
+        // persistent index is already one winner per key in key order,
+        // and the records seen so far form the CRL key index.
+        let keyed: Vec<((KeyId, SerialNumber), &DedupedCert)> =
+            self.index.iter().map(|(&key, &cert)| (key, cert)).collect();
+        let crl_keys =
+            key_compromise::CrlKeyIndex::from_entries(self.seen.iter().map(|(&i, &r)| (i, r)));
+        key_compromise::probe_winners(
+            &keyed,
+            &crl_keys,
+            &|i| self.seen.get(&i).copied(),
+            self.cutoff,
+        )
     }
 
     /// Duplicate-fingerprint losers under CRL-probed keys so far, sorted

@@ -1,0 +1,206 @@
+//! Sort-merge vs hash CRL×CT join: byte-equivalence on adversarial
+//! inputs.
+//!
+//! The production join ([`key_compromise::join_shard_audited_with`]) is a
+//! sort-merge over the shard's certificate keys and a shared pre-sorted
+//! CRL key index; [`key_compromise::join_shard_audited_hash`] is the old
+//! hash join, kept only as the equivalence oracle. Both must emit the
+//! same matches (CRL-index order), the same audit losers (`(key,
+//! cert_id)` order), and the same `detector.kc.*` counters — including on
+//! the shapes that historically distinguish merge joins from hash joins:
+//! duplicate keys on either side, empty inputs, all-match / none-match
+//! extremes, and revocation dates interleaved across key groups.
+
+use ca::scraper::{CrlDataset, RevocationRecord};
+use crypto::KeyPair;
+use ct::monitor::CtMonitor;
+use obs::Registry;
+use proptest::prelude::*;
+use stale_core::detector::key_compromise::{
+    join_shard_audited_hash, join_shard_audited_with, CrlKeyIndex,
+};
+use stale_types::{Date, Duration, KeyId, SerialNumber};
+use x509::revocation::RevocationReason;
+
+fn d(s: &str) -> Date {
+    Date::parse(s).unwrap()
+}
+
+fn ca_key(seed: u8) -> KeyPair {
+    KeyPair::from_seed([seed; 32])
+}
+
+/// A leaf with a chosen serial and issuer (the issuer seed selects the
+/// AKI, so two seeds give two distinct join keys for the same serial).
+fn cert(serial: u128, issuer_seed: u8, nb: &str, days: i64) -> x509::Certificate {
+    x509::CertificateBuilder::tls_leaf(KeyPair::from_seed([200; 32]).public())
+        .serial(serial)
+        .issuer_cn("Join CA")
+        .subject_cn("adversarial.example")
+        .san(stale_types::domain::dn("adversarial.example"))
+        .validity_days(d(nb), Duration::days(days))
+        .sign(&ca_key(issuer_seed))
+}
+
+fn rev(serial: u128, issuer_seed: u8, date: &str, reason: RevocationReason) -> RevocationRecord {
+    RevocationRecord {
+        authority_key_id: KeyId::from_bytes(ca_key(issuer_seed).public().key_id()),
+        serial: SerialNumber(serial),
+        revocation_date: d(date),
+        reason,
+        observed: d("2022-11-01"),
+    }
+}
+
+/// Run both joins over the same shard and assert byte-identical output
+/// and identical counters.
+fn assert_joins_agree(certs: Vec<x509::Certificate>, revs: Vec<RevocationRecord>, cutoff: &str) {
+    let mut monitor = CtMonitor::new();
+    for c in certs {
+        let date = c.tbs.not_before();
+        monitor.ingest(c, date);
+    }
+    let mut crl = CrlDataset::new();
+    for r in revs {
+        crl.add(r);
+    }
+    let cutoff = d(cutoff);
+
+    let merge_sink = Registry::new();
+    let merge = join_shard_audited_with(
+        monitor.corpus_unfiltered(),
+        &crl,
+        &CrlKeyIndex::build(&crl),
+        cutoff,
+        &merge_sink,
+    );
+    let hash_sink = Registry::new();
+    let hash = join_shard_audited_hash(monitor.corpus_unfiltered(), &crl, cutoff, &hash_sink);
+
+    let merge_bytes = serde_json::to_string(&merge).expect("join output serialises");
+    let hash_bytes = serde_json::to_string(&hash).expect("join output serialises");
+    assert_eq!(
+        merge_bytes, hash_bytes,
+        "sort-merge and hash joins diverged"
+    );
+    assert_eq!(
+        merge_sink.snapshot().counters,
+        hash_sink.snapshot().counters,
+        "detector.kc.* counters diverged"
+    );
+}
+
+#[test]
+fn duplicate_serials_share_one_winner() {
+    // Four certs colliding on (AKI, serial): last-ingested wins, the
+    // other three become audit losers — in both joins, in the same order.
+    assert_joins_agree(
+        vec![
+            cert(7, 1, "2022-01-01", 398),
+            cert(7, 1, "2022-02-01", 398),
+            cert(7, 1, "2022-03-01", 398),
+            cert(7, 1, "2022-04-01", 398),
+            // Same serial under a different issuer: a separate key group.
+            cert(7, 2, "2022-02-15", 398),
+        ],
+        vec![
+            rev(7, 1, "2022-06-01", RevocationReason::KeyCompromise),
+            rev(7, 2, "2022-06-02", RevocationReason::Superseded),
+        ],
+        "2022-11-01",
+    );
+}
+
+#[test]
+fn empty_crl_yields_no_matches_and_no_losers() {
+    assert_joins_agree(
+        vec![cert(1, 1, "2022-01-01", 398), cert(1, 1, "2022-02-01", 398)],
+        vec![],
+        "2022-11-01",
+    );
+}
+
+#[test]
+fn empty_shard_yields_nothing() {
+    assert_joins_agree(
+        vec![],
+        vec![rev(1, 1, "2022-06-01", RevocationReason::KeyCompromise)],
+        "2022-11-01",
+    );
+}
+
+#[test]
+fn all_match_every_cert_revoked() {
+    assert_joins_agree(
+        (1..=8).map(|s| cert(s, 1, "2022-01-01", 398)).collect(),
+        (1..=8)
+            .map(|s| rev(s, 1, "2022-05-01", RevocationReason::KeyCompromise))
+            .collect(),
+        "2022-11-01",
+    );
+}
+
+#[test]
+fn none_match_disjoint_serials() {
+    assert_joins_agree(
+        (1..=8).map(|s| cert(s, 1, "2022-01-01", 398)).collect(),
+        (101..=108)
+            .map(|s| rev(s, 1, "2022-05-01", RevocationReason::KeyCompromise))
+            .collect(),
+        "2022-11-01",
+    );
+}
+
+#[test]
+fn interleaved_revocation_dates_across_key_groups() {
+    // CRL records arrive date-interleaved across serials (so CRL-index
+    // order disagrees with key order), with duplicate CRL entries for one
+    // key at different dates. Matches must still come back in CRL-index
+    // order from both joins.
+    assert_joins_agree(
+        vec![
+            cert(3, 1, "2022-01-01", 398),
+            cert(1, 1, "2022-01-05", 200),
+            cert(2, 1, "2022-01-10", 90),
+        ],
+        vec![
+            rev(2, 1, "2022-03-01", RevocationReason::KeyCompromise),
+            rev(3, 1, "2022-02-01", RevocationReason::Superseded),
+            rev(1, 1, "2022-04-01", RevocationReason::KeyCompromise),
+            rev(3, 1, "2022-05-01", RevocationReason::KeyCompromise),
+            rev(2, 1, "2022-01-15", RevocationReason::CessationOfOperation),
+        ],
+        "2022-11-01",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random serial multisets on both sides (heavy overlap and heavy
+    /// duplication by construction): the joins agree byte-for-byte.
+    #[test]
+    fn joins_agree_on_random_serial_multisets(
+        cert_serials in prop::collection::vec(1u64..12, 0..24),
+        rev_serials in prop::collection::vec(1u64..12, 0..24),
+    ) {
+        let certs = cert_serials
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cert(s as u128, 1 + (i % 2) as u8, "2022-01-01", 30 + i as i64))
+            .collect();
+        let revs = rev_serials
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let reason = if i % 2 == 0 {
+                    RevocationReason::KeyCompromise
+                } else {
+                    RevocationReason::Superseded
+                };
+                rev(s as u128, 1 + (i % 3 % 2) as u8, "2022-06-01", reason)
+            })
+            .collect();
+        assert_joins_agree(certs, revs, "2022-11-01");
+    }
+}

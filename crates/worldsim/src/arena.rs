@@ -1,0 +1,71 @@
+//! The shared immutable world arena: one flat, indexable certificate
+//! array over a [`WorldDatasets`] bundle.
+//!
+//! The sharded engine used to hand each shard worker owned clones of its
+//! slice of the world. The arena replaces that with a single shared
+//! borrow: the corpus is flattened once, in cert-id order, into a vector
+//! of references, and every downstream consumer (partition views, shard
+//! workers, checkpoints) addresses certificates by their `u32` arena
+//! index. Shard "inputs" become index lists — zero-copy views — and the
+//! world itself is never duplicated.
+
+use crate::datasets::WorldDatasets;
+use ct::monitor::DedupedCert;
+
+/// A flat, immutable view over one world's certificate corpus.
+///
+/// Indices are stable for the lifetime of the borrow: position `i` is the
+/// `i`-th certificate of `corpus_unfiltered()` in cert-id order. All shard
+/// views and view-based checkpoints are expressed in these indices.
+pub struct WorldArena<'w> {
+    /// The underlying dataset bundle (CRL, WHOIS, DNS, windows).
+    pub data: &'w WorldDatasets,
+    certs: Vec<&'w DedupedCert>,
+}
+
+impl<'w> WorldArena<'w> {
+    /// Flatten `data`'s corpus into an indexable arena.
+    pub fn new(data: &'w WorldDatasets) -> Self {
+        WorldArena {
+            data,
+            certs: data.monitor.corpus_unfiltered().collect(),
+        }
+    }
+
+    /// Number of certificates in the arena.
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+
+    /// The certificate at arena index `i`.
+    pub fn cert(&self, i: u32) -> &'w DedupedCert {
+        self.certs[i as usize]
+    }
+
+    /// All certificates, in arena (cert-id) order.
+    pub fn certs(&self) -> &[&'w DedupedCert] {
+        &self.certs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::world::World;
+
+    #[test]
+    fn arena_matches_corpus_order() {
+        let data = World::run(ScenarioConfig::tiny());
+        let arena = WorldArena::new(&data);
+        assert_eq!(arena.len(), data.monitor.corpus_unfiltered().count());
+        for (i, cert) in data.monitor.corpus_unfiltered().enumerate() {
+            assert_eq!(arena.cert(i as u32).cert_id, cert.cert_id);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! * popularity and reputation side-channels (Tables 5–6),
 //! * and the ground-truth event log the detectors are validated against.
 
+pub mod arena;
 pub mod bundle;
 pub mod config;
 pub mod datasets;
@@ -28,6 +29,7 @@ pub mod popularity;
 pub mod reputation;
 pub mod world;
 
+pub use arena::WorldArena;
 pub use bundle::WorldBundle;
 pub use config::{EraTable, ScenarioConfig};
 pub use datasets::{DatasetSummary, GroundTruth, WorldDatasets};

@@ -1,8 +1,29 @@
 //! Supervisor fault tolerance: panic isolation, retry, degraded-shard
 //! reporting, and checkpoint/resume.
+//!
+//! Since the zero-copy refactor every worker reads the same shared
+//! [`stale_tls::stale_core::views::RoutedWorld`] through a borrowed
+//! [`stale_tls::engine::ShardView`], so the isolation tests here also pin
+//! the sharing invariant: a panicking worker must not poison the shared
+//! world or corrupt a sibling's view — whatever the siblings produce must
+//! be exactly what they produce in a clean run.
 
 use stale_tls::engine::{Engine, EngineConfig};
 use stale_tls::prelude::*;
+
+/// The comparable byte form of a suite (same shape as the equivalence
+/// tests): the full revocation join plus the three record streams.
+fn suite_bytes(suite: &DetectionSuite) -> String {
+    serde_json::to_string(&(
+        &suite.revocations.matched,
+        &suite.revocations.stats,
+        &suite.revocations.cutoff,
+        &suite.key_compromise,
+        &suite.registrant_change,
+        &suite.managed_tls,
+    ))
+    .expect("suite serialises")
+}
 
 fn world() -> (WorldDatasets, SuffixList) {
     (
@@ -161,5 +182,106 @@ fn degraded_shard_is_not_checkpointed_and_recovers_on_rerun() {
             .map(record_key)
             .collect::<Vec<_>>(),
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn panicking_shard_does_not_corrupt_sibling_views() {
+    // Fail every shard in turn. Each degraded run must (a) be
+    // deterministic — the same panic twice yields byte-identical surviving
+    // output, which it could not if the panic scribbled on the shared
+    // world — (b) emit only records the clean run emits, and (c) across
+    // all four failure positions, every clean record must come back from
+    // some run where its shard survived.
+    let (data, psl) = world();
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+    let clean_keys: std::collections::BTreeSet<_> =
+        clean.suite.all_records().map(record_key).collect();
+
+    let mut survived: std::collections::BTreeSet<_> = std::collections::BTreeSet::new();
+    for fail in 0..4 {
+        let mut cfg = EngineConfig::with_shards(4);
+        cfg.fail_shards = vec![fail];
+        let once = Engine::new(cfg.clone())
+            .run(&data, &psl)
+            .expect("degraded run");
+        let twice = Engine::new(cfg).run(&data, &psl).expect("degraded rerun");
+        assert!(!once.is_complete());
+        assert_eq!(
+            suite_bytes(&once.suite),
+            suite_bytes(&twice.suite),
+            "fail={fail}: surviving shards must be deterministic over the shared world"
+        );
+        assert_eq!(once.degraded.len(), 1);
+        assert_eq!(once.degraded[0].shard, fail);
+        assert_eq!(once.metrics.shards.len(), 3, "fail={fail}");
+        assert!(once.metrics.shards.iter().all(|s| s.shard != fail));
+        for r in once.suite.all_records() {
+            let key = record_key(r);
+            assert!(clean_keys.contains(&key), "fail={fail}: spurious record");
+            survived.insert(key);
+        }
+    }
+    assert_eq!(
+        survived, clean_keys,
+        "every record must survive the runs where its shard was healthy"
+    );
+}
+
+#[test]
+fn transient_panics_on_multiple_view_shards_retry_to_byte_identity() {
+    // Two workers panic once each mid-run and are retried over the same
+    // borrowed views; the final report must be byte-identical to a clean
+    // run — a first-attempt panic must leave nothing behind.
+    let (data, psl) = world();
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+
+    let mut cfg = EngineConfig::with_shards(4);
+    cfg.fail_once_shards = vec![0, 2];
+    let report = Engine::new(cfg).run(&data, &psl).expect("retried run");
+    assert!(report.is_complete());
+    for shard in [0, 2] {
+        let m = report
+            .metrics
+            .shards
+            .iter()
+            .find(|s| s.shard == shard)
+            .expect("shard ran");
+        assert_eq!(m.attempts, 2, "shard {shard} retried exactly once");
+    }
+    assert_eq!(suite_bytes(&report.suite), suite_bytes(&clean.suite));
+}
+
+#[test]
+fn mid_failure_checkpoint_resume_is_byte_identical() {
+    // Two shards panic with checkpointing on: only the healthy shards are
+    // saved. The recovery run must resume exactly those, re-run the
+    // failed ones against the freshly routed world, and merge to the
+    // clean run's bytes — resumed indices and live views must agree.
+    let (data, psl) = world();
+    let dir = std::env::temp_dir().join("stale_engine_fault_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid_failure.json");
+    let _ = std::fs::remove_file(&path);
+
+    let mut failing = EngineConfig::with_shards(4);
+    failing.checkpoint = Some(path.clone());
+    failing.fail_shards = vec![1, 3];
+    let broken = Engine::new(failing).run(&data, &psl).expect("degraded run");
+    assert!(!broken.is_complete());
+    assert_eq!(broken.degraded.len(), 2);
+    assert_eq!(broken.metrics.resumed_shards, 0);
+
+    let mut healthy = EngineConfig::with_shards(4);
+    healthy.checkpoint = Some(path.clone());
+    let recovered = Engine::new(healthy).run(&data, &psl).expect("recovery run");
+    assert!(recovered.is_complete());
+    assert_eq!(
+        recovered.metrics.resumed_shards, 2,
+        "exactly the healthy shards resume from the checkpoint"
+    );
+
+    let clean = Engine::with_shards(4).run(&data, &psl).expect("clean run");
+    assert_eq!(suite_bytes(&recovered.suite), suite_bytes(&clean.suite));
     let _ = std::fs::remove_file(&path);
 }

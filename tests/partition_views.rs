@@ -1,0 +1,161 @@
+//! Partition-view coverage: the zero-copy `cut_views` path must route
+//! exactly the candidates the owned `partition()` oracle routes.
+//!
+//! Two invariants, checked over arbitrary worlds and every shard count in
+//! `1..=16`:
+//!
+//! 1. **Coverage** — the union of shard views covers every routed
+//!    candidate exactly once per owning shard: key-compromise
+//!    certificates and registrant changes are partitioned (each appears
+//!    in exactly one view), while registrant-change certificates and
+//!    managed-TLS candidates are duplicated but never twice into the
+//!    same view, and every candidate with at least one routing key
+//!    appears somewhere.
+//! 2. **Equivalence** — per shard, the view's candidate sequence (mapped
+//!    back through the routed world) is identical — same members, same
+//!    within-shard order — to the owned partitioner's slices.
+
+use proptest::prelude::*;
+use stale_tls::engine::partition::{cut_views, partition};
+use stale_tls::prelude::*;
+use stale_tls::stale_core::views::RoutedWorld;
+use stale_tls::stale_types::CertId;
+
+/// Assert both invariants for one world at one shard count.
+fn check_views(data: &WorldDatasets, psl: &SuffixList, n: usize) {
+    let routed = RoutedWorld::build(data, psl);
+    let views = cut_views(&routed, n);
+    assert_eq!(views.len(), n.max(1), "one view per shard");
+
+    // --- Coverage ---------------------------------------------------
+    let certs = routed.arena.len();
+    let mut kc_seen = vec![0usize; certs];
+    let mut rc_seen = vec![0usize; certs];
+    let mut mtd_seen = vec![0usize; routed.mtd.len()];
+    let mut change_seen = vec![0usize; routed.changes.len()];
+    for view in &views {
+        for &i in &view.kc {
+            kc_seen[i as usize] += 1;
+        }
+        // Duplicated sides: at most one copy of a candidate per view.
+        let mut per_view = vec![false; certs];
+        for &i in &view.rc_certs {
+            assert!(
+                !per_view[i as usize],
+                "cert {i} twice in rc view {}",
+                view.id
+            );
+            per_view[i as usize] = true;
+            rc_seen[i as usize] += 1;
+        }
+        let mut per_view = vec![false; routed.mtd.len()];
+        for &k in &view.mtd {
+            assert!(!per_view[k as usize], "mtd {k} twice in view {}", view.id);
+            per_view[k as usize] = true;
+            mtd_seen[k as usize] += 1;
+        }
+        for &c in &view.rc_changes {
+            change_seen[c as usize] += 1;
+        }
+    }
+    for (i, &count) in kc_seen.iter().enumerate() {
+        assert_eq!(count, 1, "kc cert {i} owned by exactly one shard");
+    }
+    for (c, &count) in change_seen.iter().enumerate() {
+        assert_eq!(count, 1, "change {c} owned by exactly one shard");
+    }
+    for (i, &count) in rc_seen.iter().enumerate() {
+        let keyed = !routed.rc_ids_of(i as u32).is_empty();
+        assert_eq!(
+            count > 0,
+            keyed,
+            "cert {i} rc coverage must match whether it has a SAN e2LD"
+        );
+    }
+    for (k, &count) in mtd_seen.iter().enumerate() {
+        let keyed = !routed.mtd[k].customers.is_empty();
+        assert_eq!(
+            count > 0,
+            keyed,
+            "mtd candidate {k} coverage must match whether it has customers"
+        );
+    }
+
+    // --- Equivalence with the owned partitioner ---------------------
+    let owned = partition(data, psl, n);
+    assert_eq!(owned.corpus_size, certs);
+    assert_eq!(owned.change_count, routed.changes.len());
+    for (view, shard) in views.iter().zip(&owned.shards) {
+        assert_eq!(view.id, shard.id);
+        let ids = |idx: &[u32]| -> Vec<CertId> {
+            idx.iter().map(|&i| routed.arena.cert(i).cert_id).collect()
+        };
+        let owned_ids = |certs: &[&stale_tls::ct::monitor::DedupedCert]| -> Vec<CertId> {
+            certs.iter().map(|c| c.cert_id).collect()
+        };
+        assert_eq!(
+            ids(&view.kc),
+            owned_ids(&shard.kc_certs),
+            "kc shard {}",
+            view.id
+        );
+        assert_eq!(
+            ids(&view.rc_certs),
+            owned_ids(&shard.rc_certs),
+            "rc certs shard {}",
+            view.id
+        );
+        let view_mtd: Vec<CertId> = view
+            .mtd
+            .iter()
+            .map(|&k| routed.arena.cert(routed.mtd[k as usize].cert).cert_id)
+            .collect();
+        assert_eq!(
+            view_mtd,
+            owned_ids(&shard.mtd_certs),
+            "mtd shard {}",
+            view.id
+        );
+        let view_changes: Vec<(usize, &DomainName)> = view
+            .rc_changes
+            .iter()
+            .map(|&c| {
+                let change = &routed.changes[c as usize];
+                (change.index, &change.domain)
+            })
+            .collect();
+        let owned_changes: Vec<(usize, &DomainName)> = shard
+            .rc_changes
+            .iter()
+            .map(|change| (change.index, &change.domain))
+            .collect();
+        assert_eq!(view_changes, owned_changes, "changes shard {}", view.id);
+    }
+}
+
+#[test]
+fn views_cover_and_match_owned_partitioner_on_fixed_world() {
+    let data = World::run(ScenarioConfig::tiny());
+    let psl = SuffixList::default_list();
+    for n in 1..=16 {
+        check_views(&data, &psl, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random small worlds, every shard count 1..=16: views cover each
+    /// candidate exactly once per owning shard and reproduce the owned
+    /// partitioner's assignment byte-for-byte.
+    #[test]
+    fn views_cover_and_match_owned_partitioner(seed in any::<u64>()) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let psl = SuffixList::default_list();
+        for n in 1..=16 {
+            check_views(&data, &psl, n);
+        }
+    }
+}
