@@ -274,6 +274,10 @@ impl Checkpoint {
     }
 
     /// Persist to `path` (whole-file rewrite; checkpoints are small).
+    /// Like [`StreamCheckpoint::save`], a deliberate blocking boundary:
+    /// snapshots are atomic because their owner writes them.
+    // stale-lint: entry(serial)
+    // stale-lint: trusted(blocking-io-in-actor)
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -327,6 +331,10 @@ impl StreamCheckpoint {
     /// Load from `path` if it exists and matches `fingerprint`/`shards` at
     /// schema v2. Anything else — missing, unreadable, malformed, a v1
     /// file, or a mismatched run — yields `None` (start fresh).
+    /// Startup-time restore: the actor blocks on this read exactly once,
+    /// before it serves anything.
+    // stale-lint: entry(serial)
+    // stale-lint: trusted(blocking-io-in-actor)
     pub fn load(path: &Path, fingerprint: u64, shards: usize) -> Option<Self> {
         let text = std::fs::read_to_string(path).ok()?;
         match serde_json::from_str::<StreamCheckpoint>(&text) {
@@ -342,7 +350,12 @@ impl StreamCheckpoint {
         }
     }
 
-    /// Persist to `path` (whole-file rewrite).
+    /// Persist to `path` (whole-file rewrite). The daemon's actor calls
+    /// this deliberately — a snapshot is atomic *because* the actor
+    /// writes it while holding the state — so the blocking write below
+    /// is a sanctioned boundary, not a finding.
+    // stale-lint: entry(serial)
+    // stale-lint: trusted(blocking-io-in-actor)
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {

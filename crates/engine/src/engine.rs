@@ -1,4 +1,9 @@
 //! The engine: partition → supervise → merge.
+//!
+//! Self-timing with `Instant` is sanctioned here (stage metrics never
+//! feed detection results); the wall-clock rule still flags
+//! `SystemTime` in this file.
+// stale-lint: trusted-file(wallclock-in-detector)
 
 use crate::checkpoint::{
     Checkpoint, CompletedShard, ResumeWorld, SavedShard, ShardAudit, ShardOutput,
@@ -103,6 +108,7 @@ impl Engine {
 
     /// Run the three detectors over `data`, sharded per the
     /// configuration, and merge deterministically.
+    // stale-lint: entry(serial)
     pub fn run(&self, data: &WorldDatasets, psl: &SuffixList) -> Result<EngineReport, EngineError> {
         let obs = &self.obs;
         let mut root = obs.span("engine.run");
@@ -378,6 +384,7 @@ pub(crate) fn record_stage(registry: &Registry, stage: &StageMetrics) {
 /// functions, composed into a [`DetectionSuite`]. Both the batch and the
 /// incremental drivers end here, which is what makes their reports
 /// byte-identical.
+// stale-lint: entry(serial)
 pub(crate) fn merge_suite(
     crl_total: usize,
     cutoff: stale_types::Date,
@@ -406,6 +413,7 @@ pub(crate) fn merge_suite(
 /// `audit` on, each detector also streams per-candidate decisions into a
 /// fresh per-attempt [`obs::AuditLog`] (fresh so a panicked attempt's
 /// partial stream dies with it).
+// stale-lint: entry(shard)
 #[allow(clippy::too_many_arguments)]
 fn run_one_shard(
     view: &ShardView,

@@ -1,5 +1,10 @@
 //! The incremental streaming driver: day-deltas → persistent shard state.
 //!
+//! Self-timing with `Instant` is sanctioned here (delta metrics never
+//! feed detection results), and slice indexing is in scope for the
+//! panic rule: the indices below come from routed feeds and restored
+//! checkpoints.
+//!
 //! Two consumers share the machinery here:
 //!
 //! * [`Engine::run_incremental`] replays a complete [`worldsim::DayFeed`]
@@ -31,6 +36,9 @@
 //! (schema v2, [`crate::checkpoint::StreamCheckpoint`]) every
 //! `checkpoint_every_days` ingested days and after the final delta; a
 //! matching checkpoint resumes ingestion after its last recorded day.
+
+// stale-lint: trusted-file(wallclock-in-detector)
+// stale-lint: scope(panic-index)
 
 use crate::checkpoint::{ShardStateSnapshot, StreamCheckpoint};
 use crate::engine::{merge_suite, record_stage, Engine, EngineError, EngineReport};
@@ -119,6 +127,7 @@ impl<'w> IncrementalState<'w> {
     /// hold — stale state is discarded, never trusted. Restoring
     /// re-resolves certificate bodies by id; the checkpoint stores only
     /// ids.
+    // stale-lint: entry(serial)
     pub fn restore(
         data: &'w WorldDatasets,
         psl: &'w SuffixList,
@@ -171,6 +180,7 @@ impl<'w> IncrementalState<'w> {
     /// apply each shard's slice to its state. Returns the stale events
     /// the delta revealed, in shard order. Item counts flow into `sink`
     /// (write-only; ingestion cannot depend on what was recorded).
+    // stale-lint: entry(serial)
     pub fn ingest_delta(
         &mut self,
         delta: &DayDelta<'w>,
@@ -300,6 +310,7 @@ impl Engine {
     /// The resulting [`EngineReport::suite`] is byte-identical to
     /// [`Engine::run`] over the same bundle when the feed is drained
     /// (`through` unset or past the last feed day).
+    // stale-lint: entry(serial)
     pub fn run_incremental(
         &self,
         data: &WorldDatasets,

@@ -1,21 +1,48 @@
-//! The committed-baseline ratchet.
+//! The committed-baseline ratchet, schema v2.
 //!
-//! A baseline records, per rule and file, how many findings are
-//! *tolerated* — legacy debt that predates the lint. CI fails only when a
-//! `(rule, file)` bucket grows beyond its baselined count, so new
-//! violations are blocked while old ones can be burned down
-//! incrementally: shrink the code, run `--update-baseline`, commit the
-//! smaller file. The shipped baseline for `panic-in-shard` is empty by
-//! design — that debt was paid before the lint landed.
+//! A baseline records, per rule, file and *function*, how many findings
+//! are tolerated — legacy debt that predates a rule. The ratchet is
+//! strict in both directions:
+//!
+//! * a `(rule, file, fn)` bucket growing beyond its allowance is a
+//!   **violation** — new debt is blocked;
+//! * a bucket whose findings no longer fire is a **stale entry** and
+//!   also fails the run — the baseline can only shrink, so burned-down
+//!   debt must be removed (`--update-baseline`) in the same change,
+//!   keeping the committed file an exact inventory rather than a
+//!   high-water mark.
+//!
+//! The file is versioned like the engine's checkpoints: a `schema` tag
+//! plus an integer `version`, and any other shape — including the v1
+//! format, which bucketed by file only — is a hard error telling the
+//! operator to regenerate.
 
 use crate::diagnostics::Diagnostic;
 use serde::value::Value;
 use std::collections::BTreeMap;
 
-/// Tolerated finding counts, keyed by rule then file.
+/// The `schema` tag of a baseline file.
+pub const SCHEMA: &str = "stale-lint-baseline";
+/// The current baseline schema version.
+pub const VERSION: u64 = 2;
+
+/// The bucket key for findings outside any function (file-level meta
+/// findings, declared-scope casts in consts).
+const FILE_LEVEL: &str = "<file>";
+
+/// Tolerated finding counts, keyed by rule, then file, then fn key.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    counts: BTreeMap<String, BTreeMap<String, usize>>,
+    tolerated: BTreeMap<String, BTreeMap<String, BTreeMap<String, usize>>>,
+}
+
+/// The function bucket a diagnostic counts under.
+fn fn_bucket(d: &Diagnostic) -> &str {
+    if d.fn_key.is_empty() {
+        FILE_LEVEL
+    } else {
+        &d.fn_key
+    }
 }
 
 impl Baseline {
@@ -26,92 +53,178 @@ impl Baseline {
 
     /// Build a baseline that tolerates exactly the given findings.
     pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
-        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut tolerated: BTreeMap<String, BTreeMap<String, BTreeMap<String, usize>>> =
+            BTreeMap::new();
         for d in diags {
-            *counts
+            *tolerated
                 .entry(d.rule.to_string())
                 .or_default()
                 .entry(d.file.clone())
+                .or_default()
+                .entry(fn_bucket(d).to_string())
                 .or_default() += 1;
         }
-        Self { counts }
+        Self { tolerated }
     }
 
-    /// Parse a baseline file's JSON contents.
+    /// Parse a baseline file's JSON contents. Only schema v2 is
+    /// accepted; the v1 shape (rule → file → count, no `schema` tag)
+    /// errors with a regeneration hint.
     pub fn from_json(s: &str) -> Result<Self, String> {
         let v: Value = serde_json::from_str(s).map_err(|e| format!("baseline parse: {e}"))?;
-        let Value::Obj(rules) = v else {
+        let Value::Obj(ref top) = v else {
             return Err("baseline parse: top level must be an object".to_string());
         };
-        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
-        for (rule, files) in rules {
-            let Value::Obj(entries) = files else {
-                return Err(format!(
-                    "baseline parse: rule {rule:?} must map files to counts"
-                ));
-            };
-            let bucket = counts.entry(rule).or_default();
-            for (file, n) in entries {
-                let n = n
-                    .as_i128()
-                    .and_then(|n| usize::try_from(n).ok())
-                    .ok_or_else(|| {
-                        format!("baseline parse: count for {file:?} must be a non-negative integer")
-                    })?;
-                bucket.insert(file, n);
+        match v.get("schema") {
+            Some(Value::Str(tag)) if tag == SCHEMA => {}
+            Some(_) => return Err(format!("baseline parse: schema tag must be {SCHEMA:?}")),
+            None if top.is_empty() => return Ok(Self::empty()),
+            None => {
+                return Err(
+                    "baseline parse: no schema tag — this looks like a v1 baseline; \
+                     regenerate it with `stale-lint source --baseline FILE --update-baseline`"
+                        .to_string(),
+                );
             }
         }
-        Ok(Self { counts })
+        match v.get("version").and_then(Value::as_u128) {
+            Some(ver) if ver == u128::from(VERSION) => {}
+            Some(ver) => {
+                return Err(format!(
+                    "baseline parse: version {ver} is not supported (current: {VERSION}); \
+                     regenerate with --update-baseline"
+                ));
+            }
+            None => return Err("baseline parse: missing integer `version`".to_string()),
+        }
+        let Some(Value::Obj(rules)) = v.get("tolerated") else {
+            return Err("baseline parse: missing `tolerated` object".to_string());
+        };
+        let mut tolerated: BTreeMap<String, BTreeMap<String, BTreeMap<String, usize>>> =
+            BTreeMap::new();
+        for (rule, files) in rules {
+            let Value::Obj(files) = files else {
+                return Err(format!(
+                    "baseline parse: rule {rule:?} must map files to fn buckets"
+                ));
+            };
+            let rule_bucket = tolerated.entry(rule.clone()).or_default();
+            for (file, fns) in files {
+                let Value::Obj(fns) = fns else {
+                    return Err(format!(
+                        "baseline parse: {rule:?}/{file:?} must map fn keys to counts"
+                    ));
+                };
+                let file_bucket = rule_bucket.entry(file.clone()).or_default();
+                for (fn_key, n) in fns {
+                    let n = n
+                        .as_i128()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!(
+                                "baseline parse: count for {fn_key:?} must be a positive integer"
+                            )
+                        })?;
+                    file_bucket.insert(fn_key.clone(), n);
+                }
+            }
+        }
+        Ok(Self { tolerated })
     }
 
     /// Serialize for committing (stable key order, pretty-printed).
     pub fn to_json(&self) -> String {
         let rules = self
-            .counts
+            .tolerated
             .iter()
             .filter(|(_, files)| !files.is_empty())
             .map(|(rule, files)| {
-                let entries = files
+                let file_objs = files
                     .iter()
-                    .map(|(file, n)| (file.clone(), Value::UInt(*n as u128)))
+                    .map(|(file, fns)| {
+                        let fn_objs = fns
+                            .iter()
+                            .map(|(k, n)| (k.clone(), Value::UInt(*n as u128)))
+                            .collect();
+                        (file.clone(), Value::Obj(fn_objs))
+                    })
                     .collect();
-                (rule.clone(), Value::Obj(entries))
+                (rule.clone(), Value::Obj(file_objs))
             })
             .collect();
-        let mut out = serde_json::to_string_pretty(&Value::Obj(rules)).unwrap_or_default();
+        let doc = Value::Obj(vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            ("version".to_string(), Value::UInt(u128::from(VERSION))),
+            ("tolerated".to_string(), Value::Obj(rules)),
+        ]);
+        let mut out = serde_json::to_string_pretty(&doc).unwrap_or_default();
         out.push('\n');
         out
     }
 
-    /// Tolerated count for a `(rule, file)` bucket.
-    pub fn allowance(&self, rule: &str, file: &str) -> usize {
-        self.counts
+    /// Tolerated count for a `(rule, file, fn)` bucket.
+    pub fn allowance(&self, rule: &str, file: &str, fn_key: &str) -> usize {
+        self.tolerated
             .get(rule)
             .and_then(|files| files.get(file))
+            .and_then(|fns| fns.get(fn_key))
             .copied()
             .unwrap_or(0)
     }
 
-    /// The findings that exceed the baseline: for every `(rule, file)`
-    /// bucket whose current count is above its allowance, all of that
-    /// bucket's findings are returned (line numbers shift too easily to
-    /// attribute "the new one").
+    /// The findings that exceed the baseline: for every `(rule, file,
+    /// fn)` bucket whose current count is above its allowance, all of
+    /// that bucket's findings are returned (line numbers shift too
+    /// easily to attribute "the new one").
     pub fn violations(&self, current: &[Diagnostic]) -> Vec<Diagnostic> {
-        let mut buckets: BTreeMap<(&str, &str), Vec<&Diagnostic>> = BTreeMap::new();
-        for d in current {
-            buckets
-                .entry((d.rule, d.file.as_str()))
-                .or_default()
-                .push(d);
-        }
         let mut out = Vec::new();
-        for ((rule, file), diags) in buckets {
-            if diags.len() > self.allowance(rule, file) {
+        for ((rule, file, fn_key), diags) in bucket(current) {
+            if diags.len() > self.allowance(rule, file, fn_key) {
                 out.extend(diags.into_iter().cloned());
             }
         }
         out
     }
+
+    /// Baseline entries tolerating more findings than currently fire:
+    /// burned-down debt that must be removed from the committed file.
+    /// Each entry renders as `rule file fn: tolerates N, fires M`.
+    pub fn stale_entries(&self, current: &[Diagnostic]) -> Vec<String> {
+        let counts: BTreeMap<(&str, &str, &str), usize> = bucket(current)
+            .into_iter()
+            .map(|(k, v)| (k, v.len()))
+            .collect();
+        let mut out = Vec::new();
+        for (rule, files) in &self.tolerated {
+            for (file, fns) in files {
+                for (fn_key, &n) in fns {
+                    let firing = counts
+                        .get(&(rule.as_str(), file.as_str(), fn_key.as_str()))
+                        .copied()
+                        .unwrap_or(0);
+                    if firing < n {
+                        out.push(format!(
+                            "{rule} {file} {fn_key}: tolerates {n}, fires {firing}"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Group diagnostics into their `(rule, file, fn)` buckets.
+fn bucket(diags: &[Diagnostic]) -> BTreeMap<(&str, &str, &str), Vec<&Diagnostic>> {
+    let mut buckets: BTreeMap<(&str, &str, &str), Vec<&Diagnostic>> = BTreeMap::new();
+    for d in diags {
+        buckets
+            .entry((d.rule, d.file.as_str(), fn_bucket(d)))
+            .or_default()
+            .push(d);
+    }
+    buckets
 }
 
 #[cfg(test)]
@@ -119,55 +232,89 @@ mod tests {
     use super::*;
     use crate::diagnostics::Severity;
 
-    fn diag(rule: &'static str, file: &str, line: usize) -> Diagnostic {
-        Diagnostic {
-            rule,
-            severity: Severity::Error,
-            file: file.to_string(),
-            line,
-            message: "m".to_string(),
-        }
+    fn diag(rule: &'static str, file: &str, fn_key: &str, line: usize) -> Diagnostic {
+        let mut d = Diagnostic::new(rule, Severity::Error, file, line, "m");
+        d.fn_key = fn_key.to_string();
+        d
     }
 
     #[test]
     fn empty_baseline_reports_everything() {
-        let d = [diag("panic-in-shard", "a.rs", 1)];
+        let d = [diag("panic-in-shard", "a.rs", "f", 1)];
         assert_eq!(Baseline::empty().violations(&d), d.to_vec());
     }
 
     #[test]
-    fn within_allowance_is_silent_above_is_loud() {
-        let old = [diag("panic-in-shard", "a.rs", 1)];
+    fn buckets_are_per_function_not_per_file() {
+        let old = [diag("panic-in-shard", "a.rs", "S::f", 1)];
         let base = Baseline::from_diagnostics(&old);
         assert!(base.violations(&old).is_empty());
+        // Same file, different fn: its own bucket, so a violation.
+        let other_fn = [
+            diag("panic-in-shard", "a.rs", "S::f", 1),
+            diag("panic-in-shard", "a.rs", "S::g", 9),
+        ];
+        assert_eq!(base.violations(&other_fn).len(), 1);
+        // Growth inside the tolerated fn reports the whole bucket.
         let grown = [
-            diag("panic-in-shard", "a.rs", 1),
-            diag("panic-in-shard", "a.rs", 7),
+            diag("panic-in-shard", "a.rs", "S::f", 1),
+            diag("panic-in-shard", "a.rs", "S::f", 7),
         ];
         assert_eq!(base.violations(&grown).len(), 2);
-        // A different file is its own bucket.
-        let elsewhere = [diag("panic-in-shard", "b.rs", 1)];
-        assert_eq!(base.violations(&elsewhere).len(), 1);
     }
 
     #[test]
-    fn json_round_trip() {
+    fn stale_entries_catch_burned_down_debt() {
+        let old = [
+            diag("panic-in-shard", "a.rs", "f", 1),
+            diag("panic-in-shard", "a.rs", "f", 2),
+            diag("lossy-time-cast", "t.rs", "", 9),
+        ];
+        let base = Baseline::from_diagnostics(&old);
+        assert!(base.stale_entries(&old).is_empty());
+        let after_burndown = [diag("panic-in-shard", "a.rs", "f", 1)];
+        let stale = base.stale_entries(&after_burndown);
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale[0].contains("lossy-time-cast t.rs <file>: tolerates 1, fires 0"));
+        assert!(stale[1].contains("tolerates 2, fires 1"));
+    }
+
+    #[test]
+    fn json_round_trip_is_versioned() {
         let base = Baseline::from_diagnostics(&[
-            diag("panic-in-shard", "a.rs", 1),
-            diag("panic-in-shard", "a.rs", 2),
-            diag("lossy-time-cast", "t.rs", 9),
+            diag("panic-in-shard", "a.rs", "S::f", 1),
+            diag("panic-in-shard", "a.rs", "S::f", 2),
+            diag("lossy-time-cast", "t.rs", "", 9),
         ]);
-        let parsed = Baseline::from_json(&base.to_json()).unwrap();
+        let text = base.to_json();
+        assert!(text.contains("\"schema\""));
+        assert!(text.contains("\"version\": 2"));
+        let parsed = Baseline::from_json(&text).unwrap();
         assert_eq!(parsed, base);
-        assert_eq!(parsed.allowance("panic-in-shard", "a.rs"), 2);
-        assert_eq!(parsed.allowance("panic-in-shard", "b.rs"), 0);
+        assert_eq!(parsed.allowance("panic-in-shard", "a.rs", "S::f"), 2);
+        assert_eq!(parsed.allowance("panic-in-shard", "a.rs", "S::g"), 0);
+        assert_eq!(parsed.allowance("lossy-time-cast", "t.rs", "<file>"), 1);
     }
 
     #[test]
-    fn malformed_baseline_is_an_error_not_a_panic() {
+    fn v1_and_malformed_baselines_are_rejected() {
+        // v1 shape: rule → file → count, no schema tag.
+        let err = Baseline::from_json("{\"panic-in-shard\": {\"a.rs\": 3}}").unwrap_err();
+        assert!(err.contains("v1"), "{err}");
         assert!(Baseline::from_json("[1,2]").is_err());
-        assert!(Baseline::from_json("{\"r\": 3}").is_err());
-        assert!(Baseline::from_json("{\"r\": {\"f\": -1}}").is_err());
+        let wrong_version =
+            "{\"schema\": \"stale-lint-baseline\", \"version\": 1, \"tolerated\": {}}";
+        assert!(Baseline::from_json(wrong_version)
+            .unwrap_err()
+            .contains("version 1"));
+        let zero = "{\"schema\": \"stale-lint-baseline\", \"version\": 2, \
+                    \"tolerated\": {\"r\": {\"f.rs\": {\"g\": 0}}}}";
+        assert!(
+            Baseline::from_json(zero).is_err(),
+            "zero counts are dead entries"
+        );
+        // The pre-schema empty file `{}` stays valid (empty tolerates
+        // nothing, so there is nothing to migrate).
         assert_eq!(Baseline::from_json("{}").unwrap(), Baseline::empty());
     }
 }

@@ -37,6 +37,33 @@ pub struct Diagnostic {
     pub line: usize,
     /// What is wrong, specifically.
     pub message: String,
+    /// Enclosing function key (`Owner::name` or `name`), empty for
+    /// whole-file and preflight findings. Baseline v2 buckets by it.
+    pub fn_key: String,
+    /// Entry→function call chain proving reachability (`file:line key`
+    /// hops, entry first), empty for non-graph findings.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A finding with no call-chain evidence (preflight, file-level).
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            file: file.into(),
+            line,
+            message: message.into(),
+            fn_key: String::new(),
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -45,7 +72,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: {} [{}] {}",
             self.file, self.line, self.severity, self.rule, self.message
-        )
+        )?;
+        if !self.fn_key.is_empty() {
+            write!(f, " (in {})", self.fn_key)?;
+        }
+        Ok(())
     }
 }
 
@@ -70,13 +101,27 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}",
             json_str(d.rule),
             json_str(&d.severity.to_string()),
             json_str(&d.file),
             d.line,
             json_str(&d.message),
         ));
+        if !d.fn_key.is_empty() {
+            out.push_str(&format!(",\"fn\":{}", json_str(&d.fn_key)));
+        }
+        if !d.chain.is_empty() {
+            out.push_str(",\"chain\":[");
+            for (k, hop) in d.chain.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(hop));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push(']');
     out
@@ -106,13 +151,13 @@ mod tests {
     use super::*;
 
     fn diag(file: &str, line: usize) -> Diagnostic {
-        Diagnostic {
-            rule: "panic-in-shard",
-            severity: Severity::Error,
-            file: file.to_string(),
+        Diagnostic::new(
+            "panic-in-shard",
+            Severity::Error,
+            file,
             line,
-            message: "`.unwrap()` in shard path".to_string(),
-        }
+            "`.unwrap()` in shard path",
+        )
     }
 
     #[test]
@@ -130,5 +175,17 @@ mod tests {
         let out = render_json(&[d]);
         assert!(out.contains("\\\"no\\\"\\n"));
         assert!(out.starts_with('[') && out.ends_with(']'));
+        assert!(!out.contains("\"chain\""), "empty chain is omitted");
+    }
+
+    #[test]
+    fn graph_findings_render_fn_and_chain() {
+        let mut d = diag("a.rs", 1);
+        d.fn_key = "S::helper".to_string();
+        d.chain = vec!["a.rs:10 entry".to_string(), "a.rs:1 S::helper".to_string()];
+        assert!(d.to_string().ends_with("(in S::helper)"));
+        let out = render_json(&[d]);
+        assert!(out.contains("\"fn\":\"S::helper\""));
+        assert!(out.contains("\"chain\":[\"a.rs:10 entry\",\"a.rs:1 S::helper\"]"));
     }
 }

@@ -1,0 +1,356 @@
+//! The cross-crate call graph over every parsed [`crate::model`] file.
+//!
+//! Name resolution is deliberately approximate — there is no type
+//! inference here — and errs toward over-approximation, because the
+//! graph's job is to prove *absence* of paths from entry points to
+//! sinks. The resolution ladder, most precise first:
+//!
+//! 1. `self.name(…)` / `Self::name(…)` — methods of the caller's own
+//!    owner type (any impl block of that type, any file);
+//! 2. `Type::name(…)` — functions owned by `Type`;
+//! 3. `module::name(…)` — free functions in files whose stem is
+//!    `module` (`key_compromise::merge_shards` → `detector/key_compromise.rs`);
+//! 4. bare `name(…)` — free functions named `name`;
+//! 5. `recv.name(…)` with an untyped receiver — *every* method named
+//!    `name` in the workspace.
+//!
+//! When a rung matches nothing the resolution falls through to "every
+//! function named `name`" — a missing edge is a soundness hole, a
+//! spurious one only costs review time. Calls whose name matches no
+//! workspace function at all (std, shims) produce no edge: vendored
+//! shims and the standard library are the trust boundary.
+
+use crate::model::{Call, FileModel, FnDef};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One node of the graph: a function in a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(pub usize);
+
+/// The workspace call graph.
+pub struct Graph<'m> {
+    /// Flattened (file index, fn index) per node.
+    nodes: Vec<(usize, usize)>,
+    models: &'m [FileModel],
+    /// Outgoing edges per node, deduplicated and sorted.
+    edges: Vec<Vec<usize>>,
+}
+
+impl<'m> Graph<'m> {
+    /// Build the graph over all parsed files. Test functions are
+    /// excluded: they are neither nodes nor edge sources.
+    pub fn build(models: &'m [FileModel]) -> Graph<'m> {
+        let mut nodes = Vec::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (gi, f) in m.fns.iter().enumerate() {
+                if !f.is_test {
+                    nodes.push((fi, gi));
+                }
+            }
+        }
+        // Name indexes.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, &(fi, gi)) in nodes.iter().enumerate() {
+            let f = &models[fi].fns[gi];
+            by_name.entry(&f.name).or_default().push(id);
+            match &f.owner {
+                Some(_) => methods_by_name.entry(&f.name).or_default().push(id),
+                None => free_by_name.entry(&f.name).or_default().push(id),
+            }
+        }
+        let stem = |file: &str| -> String {
+            file.rsplit('/')
+                .next()
+                .unwrap_or(file)
+                .trim_end_matches(".rs")
+                .to_string()
+        };
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (id, &(fi, gi)) in nodes.iter().enumerate() {
+            let caller = &models[fi].fns[gi];
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &caller.calls {
+                resolve(
+                    call,
+                    caller,
+                    models,
+                    &nodes,
+                    &by_name,
+                    &free_by_name,
+                    &methods_by_name,
+                    &stem,
+                    &mut out,
+                );
+            }
+            out.remove(&id); // self-recursion adds nothing to reachability
+            edges[id] = out.into_iter().collect();
+        }
+        Graph {
+            nodes,
+            models,
+            edges,
+        }
+    }
+
+    /// All node ids, in deterministic (file, source) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The function behind a node.
+    pub fn fn_def(&self, id: NodeId) -> &FnDef {
+        let (fi, gi) = self.nodes[id.0];
+        &self.models[fi].fns[gi]
+    }
+
+    /// The file model behind a node.
+    pub fn file_model(&self, id: NodeId) -> &FileModel {
+        &self.models[self.nodes[id.0].0]
+    }
+
+    /// The node for file index `fi`, fn index `gi` (if not test-only).
+    pub fn node_of(&self, fi: usize, gi: usize) -> Option<NodeId> {
+        self.nodes.binary_search(&(fi, gi)).ok().map(NodeId)
+    }
+
+    /// Breadth-first reachability from `entries`. `blocked` prunes
+    /// traversal: a blocked node is neither visited nor descended into
+    /// (the *trusted boundary* for a rule). Returns each reachable node
+    /// mapped to its BFS parent (`None` for the entries themselves), so
+    /// the shortest entry→node chain can be reconstructed.
+    pub fn reachable<F>(&self, entries: &[NodeId], blocked: F) -> BTreeMap<usize, Option<usize>>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut sorted: Vec<usize> = entries.iter().map(|e| e.0).collect();
+        sorted.sort_unstable();
+        for e in sorted {
+            if !blocked(NodeId(e)) && !parent.contains_key(&e) {
+                parent.insert(e, None);
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &next in &self.edges[n] {
+                if blocked(NodeId(next)) || parent.contains_key(&next) {
+                    continue;
+                }
+                parent.insert(next, Some(n));
+                queue.push_back(next);
+            }
+        }
+        parent
+    }
+
+    /// Reconstruct the entry→node chain from a parent map.
+    pub fn chain(&self, parents: &BTreeMap<usize, Option<usize>>, node: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![node];
+        let mut cur = node.0;
+        while let Some(Some(p)) = parents.get(&cur) {
+            chain.push(NodeId(*p));
+            cur = *p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Human label for a node: `file:line key`.
+    pub fn label(&self, id: NodeId) -> String {
+        let (fi, gi) = self.nodes[id.0];
+        let f = &self.models[fi].fns[gi];
+        format!("{}:{} {}", self.models[fi].file, f.line, f.key())
+    }
+}
+
+/// Resolve one call site to candidate callee nodes (see module docs for
+/// the ladder).
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &Call,
+    caller: &FnDef,
+    models: &[FileModel],
+    nodes: &[(usize, usize)],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    stem: &dyn Fn(&str) -> String,
+    out: &mut BTreeSet<usize>,
+) {
+    let name = call.name.as_str();
+    let all = || by_name.get(name).cloned().unwrap_or_default();
+    let owned_by = |owner: &str| -> Vec<usize> {
+        by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        let (fi, gi) = nodes[id];
+                        models[fi].fns[gi].owner.as_deref() == Some(owner)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let candidates: Vec<usize> = match (&call.qualifier, call.method) {
+        // `self.name(…)` / `Self::name(…)` → the caller's own type.
+        (Some(q), _) if q == "self" || q == "Self" => {
+            let own = caller.owner.as_deref().map(owned_by).unwrap_or_default();
+            if own.is_empty() {
+                all()
+            } else {
+                own
+            }
+        }
+        // `Qual::name(…)` → owner match, else module-stem match, else
+        // everything with the name.
+        (Some(q), _) => {
+            let own = owned_by(q);
+            if !own.is_empty() {
+                own
+            } else {
+                let in_module: Vec<usize> = free_by_name
+                    .get(name)
+                    .map(|ids| {
+                        ids.iter()
+                            .copied()
+                            .filter(|&id| stem(&models[nodes[id].0].file) == *q)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !in_module.is_empty() {
+                    in_module
+                } else {
+                    all()
+                }
+            }
+        }
+        // `recv.name(…)`: every method with the name.
+        (None, true) => methods_by_name.get(name).cloned().unwrap_or_default(),
+        // bare `name(…)`: free fns first, else every fn with the name.
+        (None, false) => {
+            let free = free_by_name.get(name).cloned().unwrap_or_default();
+            if !free.is_empty() {
+                free
+            } else {
+                all()
+            }
+        }
+    };
+    out.extend(candidates);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+    use crate::scan::scan;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Vec<FileModel>, Vec<String>) {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(path, src)| parse_file(path, &scan(src)))
+            .collect();
+        let labels = {
+            let g = Graph::build(&models);
+            g.node_ids().map(|id| g.label(id)).collect()
+        };
+        (models, labels)
+    }
+
+    fn ids_by_key<'g>(g: &Graph<'g>, key: &str) -> Vec<NodeId> {
+        g.node_ids()
+            .filter(|&id| g.fn_def(id).key() == key)
+            .collect()
+    }
+
+    #[test]
+    fn cross_file_bare_and_path_calls_resolve() {
+        let files = [
+            (
+                "crates/a/src/lib.rs",
+                "fn entry() { helper(); util::shared(); }\n",
+            ),
+            ("crates/a/src/helper.rs", "fn helper() { leaf(); }\n"),
+            (
+                "crates/b/src/util.rs",
+                "fn shared() {}\nfn leaf() {}\nfn dead() {}\n",
+            ),
+        ];
+        let (models, _) = graph_of(&files);
+        let g = Graph::build(&models);
+        let entry = ids_by_key(&g, "entry");
+        let reach = g.reachable(&entry, |_| false);
+        let reached: Vec<String> = reach.keys().map(|&n| g.fn_def(NodeId(n)).key()).collect();
+        assert_eq!(reached, ["entry", "helper", "shared", "leaf"]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_and_self_calls_do_not() {
+        let src_a = "struct A;\n\
+                     impl A {\n\
+                         fn go(&self) { self.mine(); }\n\
+                         fn mine(&self) {}\n\
+                     }\n";
+        let src_b = "struct B;\n\
+                     impl B {\n\
+                         fn mine(&self) {}\n\
+                         fn via_recv(&self, a: &A) { a.helper_m(); }\n\
+                     }\n\
+                     impl A2 { fn helper_m(&self) {} }\n";
+        let (models, _) = graph_of(&[("a.rs", src_a), ("b.rs", src_b)]);
+        let g = Graph::build(&models);
+        // self.mine() resolves only to A::mine, not B::mine.
+        let go = ids_by_key(&g, "A::go");
+        let reach = g.reachable(&go, |_| false);
+        let reached: Vec<String> = reach.keys().map(|&n| g.fn_def(NodeId(n)).key()).collect();
+        assert_eq!(reached, ["A::go", "A::mine"]);
+        // a.helper_m() (untyped receiver) reaches every helper_m method.
+        let via = ids_by_key(&g, "B::via_recv");
+        let reach = g.reachable(&via, |_| false);
+        assert!(reach
+            .keys()
+            .any(|&n| g.fn_def(NodeId(n)).key() == "A2::helper_m"));
+    }
+
+    #[test]
+    fn trusted_nodes_block_traversal() {
+        let files = [(
+            "lib.rs",
+            "fn entry() { boundary(); }\n\
+             fn boundary() { behind(); }\n\
+             fn behind() {}\n",
+        )];
+        let (models, _) = graph_of(&files);
+        let g = Graph::build(&models);
+        let entry = ids_by_key(&g, "entry");
+        let reach = g.reachable(&entry, |id| g.fn_def(id).key() == "boundary");
+        let reached: Vec<String> = reach.keys().map(|&n| g.fn_def(NodeId(n)).key()).collect();
+        assert_eq!(reached, ["entry"], "trusted boundary prunes its subtree");
+    }
+
+    #[test]
+    fn chains_reconstruct_shortest_paths() {
+        let files = [(
+            "lib.rs",
+            "fn entry() { a(); }\n\
+             fn a() { b(); }\n\
+             fn b() {}\n",
+        )];
+        let (models, _) = graph_of(&files);
+        let g = Graph::build(&models);
+        let entry = ids_by_key(&g, "entry");
+        let reach = g.reachable(&entry, |_| false);
+        let b = ids_by_key(&g, "b")[0];
+        let chain: Vec<String> = g
+            .chain(&reach, b)
+            .into_iter()
+            .map(|id| g.fn_def(id).key())
+            .collect();
+        assert_eq!(chain, ["entry", "a", "b"]);
+    }
+}

@@ -6,19 +6,29 @@
 //! violations only when a seed happens to tickle them. This crate defends
 //! the same invariants *statically*, on two fronts:
 //!
-//! * **Source pass** ([`source`]) — a dependency-free Rust token scanner
-//!   (consistent with the offline shim policy: no syn, no rustc plumbing)
-//!   that walks the workspace's `.rs` files and enforces named rules:
-//!   [`rules::NONDETERMINISTIC_ITERATION`] (`HashMap`/`HashSet` iteration
-//!   in code feeding merges, reports or serialization),
-//!   [`rules::PANIC_IN_SHARD`] (`unwrap`/`expect`/`panic!`/slice-indexing
-//!   inside detector and shard-ingest paths),
-//!   [`rules::WALLCLOCK_IN_DETECTOR`] (`SystemTime::now` in deterministic
-//!   code) and [`rules::LOSSY_TIME_CAST`] (narrowing `as` casts in the
-//!   `stale-types` time arithmetic). Suppression is per-line via a
-//!   `// stale-lint: allow(<rule>)` pragma; CI compares the surviving
-//!   violations against a committed baseline ([`baseline`]) so the count
-//!   can only ratchet down.
+//! * **Reachability pass** ([`reach`]) — a dependency-free Rust item
+//!   parser ([`model`], consistent with the offline shim policy: no syn,
+//!   no rustc plumbing) extracts every `fn` item and call site in the
+//!   workspace; [`graph`] links them into a cross-crate call graph; and
+//!   one breadth-first pass per rule walks from the in-source
+//!   `// stale-lint: entry(<class>)` declarations (shard bodies, merge
+//!   and serialization surfaces, the daemon's actor loop, world
+//!   generation) to the per-line sinks of [`source`]:
+//!   [`rules::NONDETERMINISTIC_ITERATION`] (`HashMap`/`HashSet`
+//!   iteration), [`rules::PANIC_IN_SHARD`]
+//!   (`unwrap`/`expect`/`panic!`/indexing),
+//!   [`rules::WALLCLOCK_IN_DETECTOR`] and [`rules::RNG_ENV_IN_DETECTOR`]
+//!   (wall clock, ambient RNG, process environment) and
+//!   [`rules::BLOCKING_IO_IN_ACTOR`] (filesystem/socket/sleep calls in
+//!   the resident actor). A rule's scope is *proved* by the graph — a
+//!   finding carries the entry→sink call chain (`stale-lint why`
+//!   reprints it) — instead of asserted by path prefix, so refactors
+//!   that move code between files cannot silently move it out of scope.
+//!   Suppression is per-line via `allow(<rule>)` pragmas (dead ones are
+//!   flagged by [`rules::UNUSED_ALLOW`]); CI compares surviving
+//!   violations against a committed per-function baseline ([`baseline`])
+//!   that is strict in both directions: buckets cannot grow, and
+//!   burned-down buckets must be removed.
 //!
 //! * **Corpus pass** ([`preflight`]) — static validation of a serialized
 //!   [`worldsim::bundle::WorldBundle`] or an engine checkpoint *before*
@@ -34,10 +44,15 @@
 
 pub mod baseline;
 pub mod diagnostics;
+pub mod graph;
+pub mod model;
 pub mod preflight;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 pub mod source;
 
 pub use baseline::Baseline;
 pub use diagnostics::{Diagnostic, Severity};
+pub use graph::{Graph, NodeId};
+pub use reach::Analysis;

@@ -496,11 +496,5 @@ fn strictly_increasing<T: Ord>(items: &[T]) -> bool {
 }
 
 fn diag(rule: &'static str, file: &str, message: String) -> Diagnostic {
-    Diagnostic {
-        rule,
-        severity: Severity::Error,
-        file: file.to_string(),
-        line: 0,
-        message,
-    }
+    Diagnostic::new(rule, Severity::Error, file, 0, message)
 }

@@ -1,138 +1,225 @@
-//! The named lint rules and their scopes.
+//! The named lint rules, their entry classes and their sinks.
 //!
-//! A *scope* is a path prefix relative to the scanned root; a rule only
-//! fires inside its scopes. The scopes encode the repo's architecture:
-//! determinism matters wherever data can reach a merge, a report or a
-//! serialization surface, and panic-freedom matters wherever the
-//! supervisor's `catch_unwind` is the only safety net.
+//! Since the reachability rework a rule's scope is **derived from the
+//! call graph**: a rule applies to every function reachable from the
+//! entry points of its *entry classes* (declared in-source with
+//! `// stale-lint: entry(<class>)`), not to hard-coded path prefixes.
+//! Two rules use *declared file scopes* instead
+//! (`// stale-lint: scope(<rule>)`), because their hazard is a property
+//! of a module's arithmetic, not of a call path. The retired prefix
+//! scopes survive only as [`legacy`], the equivalence oracle the
+//! superset tests compare against.
 
 use crate::diagnostics::Severity;
 
-/// One source-pass rule.
+/// Entry-point classes an `entry(<class>)` directive may declare.
+///
+/// * `shard` — a shard body run under the supervisor's `catch_unwind`
+///   (batch detectors, incremental ingest/finish);
+/// * `serial` — a merge/serialization surface whose bytes must be
+///   deterministic (table renderers, audit JSONL, checkpoint
+///   save/restore, merge);
+/// * `actor` — the `stale-served` state-actor loop (owns the world;
+///   must neither panic nor block);
+/// * `conn` — a per-connection daemon handler (panic kills a client
+///   thread on attacker-chosen bytes);
+/// * `worldgen` — world simulation (results must replay identically).
+pub const ENTRY_CLASSES: &[&str] = &["shard", "serial", "actor", "conn", "worldgen"];
+
+/// One reachability rule.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
-    /// Stable identifier, used in pragmas and the baseline file.
+    /// Stable identifier, used in directives and the baseline file.
     pub id: &'static str,
     /// Severity of its findings.
     pub severity: Severity,
-    /// Path prefixes (relative, `/`-separated) the rule applies to.
-    pub scopes: &'static [&'static str],
+    /// Entry classes whose reachable set this rule scans. Empty for
+    /// declared-scope rules (`scope(<id>)` files) and meta rules.
+    pub classes: &'static [&'static str],
     /// One-line description (shown by `stale-lint rules`).
     pub describe: &'static str,
 }
 
-impl Rule {
-    /// Whether `rel_path` falls inside this rule's scopes.
-    pub fn in_scope(&self, rel_path: &str) -> bool {
-        self.scopes.iter().any(|s| rel_path.starts_with(s))
-    }
-}
-
-/// `HashMap`/`HashSet` iteration in code that feeds merges, reports or
-/// serialization: iteration order is nondeterministic, which breaks the
-/// byte-identical-report guarantee. Use `BTreeMap`/`BTreeSet` or sort
-/// explicitly before iterating.
+/// `HashMap`/`HashSet` iteration reachable from a shard, merge or
+/// daemon entry point: iteration order is nondeterministic, which
+/// breaks the byte-identical-report guarantee.
 pub const NONDETERMINISTIC_ITERATION: Rule = Rule {
     id: "nondeterministic-iteration",
     severity: Severity::Error,
-    scopes: &[
-        "crates/stale-core/src/",
-        "crates/engine/src/",
-        "crates/served/src/",
-    ],
-    describe: "HashMap/HashSet iteration reaching merge/report/serialization paths",
+    classes: &["shard", "serial", "actor", "conn"],
+    describe: "HashMap/HashSet iteration reachable from merge/report/serialization entry points",
 };
 
-/// `unwrap()`/`expect()`/`panic!` anywhere in detector, engine or
-/// daemon production code: a panic inside a shard is swallowed by the
-/// supervisor's isolation (degrading the run), a panic outside it
-/// aborts the pipeline on attacker-observable input, and a panic in the
-/// `stale-served` daemon kills a resident process on bytes a remote
-/// peer chose. Slice indexing is additionally flagged in the
-/// detector-state modules ([`PANIC_IN_SHARD_INDEX_SCOPES`]), where
-/// inputs arrive from deserialized checkpoints and routed feeds.
+/// `unwrap()`/`expect()`/`panic!` (and, in `scope(panic-index)` files,
+/// slice indexing) reachable from a shard or daemon entry point: a
+/// panic inside a shard degrades the run behind the supervisor's
+/// isolation, and a panic in the daemon kills a resident process on
+/// bytes a remote peer chose.
 pub const PANIC_IN_SHARD: Rule = Rule {
     id: "panic-in-shard",
     severity: Severity::Error,
-    scopes: &[
-        "crates/stale-core/src/",
-        "crates/engine/src/",
-        "crates/served/src/",
-    ],
-    describe: "unwrap/expect/panic!/indexing inside detector, shard and daemon paths",
+    classes: &["shard", "serial", "actor", "conn"],
+    describe: "unwrap/expect/panic!/indexing reachable from shard and daemon entry points",
 };
 
-/// Where [`PANIC_IN_SHARD`] also flags `x[i]`-style indexing: the shard
-/// ingest and checkpoint-restore paths, whose indices come from routed
-/// feeds and deserialized state rather than local construction.
-pub const PANIC_IN_SHARD_INDEX_SCOPES: &[&str] = &[
-    "crates/stale-core/src/detector/",
-    "crates/stale-core/src/incremental.rs",
-    "crates/engine/src/stream.rs",
-];
-
-/// `SystemTime::now` (or `Instant::now` outside the engine's
-/// metrics-only timing) in deterministic code: wall clocks make results
-/// depend on when the run happened.
+/// `SystemTime::now` (or `Instant::now` outside files declaring
+/// `trusted-file(wallclock-in-detector)`, the sanctioned self-timing
+/// layers) reachable from deterministic entry points.
 pub const WALLCLOCK_IN_DETECTOR: Rule = Rule {
     id: "wallclock-in-detector",
     severity: Severity::Error,
-    scopes: &[
-        "crates/stale-core/src/",
-        "crates/engine/src/",
-        "crates/worldsim/src/",
-    ],
-    describe: "SystemTime::now (wall clock) in deterministic code",
+    classes: &["shard", "serial", "worldgen"],
+    describe: "wall clock reachable from deterministic entry points",
 };
 
-/// Where [`WALLCLOCK_IN_DETECTOR`] also flags `Instant::now`: detector
-/// and simulator code has no business timing itself (the engine's
-/// metrics layer is the sanctioned exception, and its timings never
-/// feed results).
-pub const WALLCLOCK_INSTANT_SCOPES: &[&str] = &["crates/stale-core/src/", "crates/worldsim/src/"];
+/// Ambient randomness or process environment reads reachable from
+/// deterministic entry points: `thread_rng`, `from_entropy`,
+/// `env::var` and friends make results depend on the machine, not the
+/// feed.
+pub const RNG_ENV_IN_DETECTOR: Rule = Rule {
+    id: "rng-env-in-detector",
+    severity: Severity::Error,
+    classes: &["shard", "serial", "worldgen"],
+    describe: "ambient RNG / process-environment read reachable from deterministic entry points",
+};
 
-/// Narrowing `as` casts in the `stale-types` date arithmetic: `as`
-/// silently truncates, and day/month arithmetic overflowing an `i32` or
-/// `u8` corrupts every downstream interval. Use `From`/`TryFrom`, or
-/// justify provably-in-range casts with a pragma.
+/// Blocking I/O reachable from the `stale-served` state-actor loop:
+/// while the actor blocks, every client of the daemon stalls. The
+/// sanctioned exception (checkpoint snapshots are atomic *because* the
+/// actor writes them) is declared with `trusted(blocking-io-in-actor)`.
+pub const BLOCKING_IO_IN_ACTOR: Rule = Rule {
+    id: "blocking-io-in-actor",
+    severity: Severity::Warning,
+    classes: &["actor"],
+    describe: "blocking I/O reachable from the state-actor loop",
+};
+
+/// Narrowing `as` casts in files declaring `scope(lossy-time-cast)`
+/// (the stale-types date arithmetic): `as` silently truncates, and
+/// day/month arithmetic overflowing an `i32` or `u8` corrupts every
+/// downstream interval.
 pub const LOSSY_TIME_CAST: Rule = Rule {
     id: "lossy-time-cast",
     severity: Severity::Warning,
-    scopes: &[
-        "crates/stale-types/src/time.rs",
-        "crates/stale-types/src/interval.rs",
-    ],
-    describe: "narrowing `as` cast in stale-types time arithmetic",
+    classes: &[],
+    describe: "narrowing `as` cast in declared time-arithmetic scopes",
 };
 
-/// Every source-pass rule, in reporting order.
+/// An `allow(<rule>)` pragma that suppresses nothing: the finding it
+/// once silenced was burned down, so the pragma is dead and must go —
+/// a stale suppression would silently swallow the next real finding on
+/// that line.
+pub const UNUSED_ALLOW: Rule = Rule {
+    id: "unused-allow",
+    severity: Severity::Warning,
+    classes: &[],
+    describe: "allow(...) pragma that no longer suppresses any finding",
+};
+
+/// A malformed `stale-lint:` directive: unknown directive name, unknown
+/// rule id or entry class, or an `entry`/`trusted` with no following
+/// `fn` item.
+pub const BAD_DIRECTIVE: Rule = Rule {
+    id: "bad-directive",
+    severity: Severity::Warning,
+    classes: &[],
+    describe: "malformed stale-lint directive (unknown name, rule, class, or dangling target)",
+};
+
+/// Every rule, in reporting order.
 pub const ALL: &[Rule] = &[
     NONDETERMINISTIC_ITERATION,
     PANIC_IN_SHARD,
     WALLCLOCK_IN_DETECTOR,
+    RNG_ENV_IN_DETECTOR,
+    BLOCKING_IO_IN_ACTOR,
     LOSSY_TIME_CAST,
+    UNUSED_ALLOW,
+    BAD_DIRECTIVE,
 ];
+
+/// The rules whose scope is a `scope(<id>)` file declaration rather
+/// than graph reachability. `panic-index` is a *sub*-scope: it widens
+/// [`PANIC_IN_SHARD`] with slice-indexing sinks in files whose indices
+/// come from routed feeds and deserialized state.
+pub const DECLARED_SCOPES: &[&str] = &["lossy-time-cast", "panic-index"];
+
+/// Look up a rule by id.
+pub fn by_id(id: &str) -> Option<&'static Rule> {
+    ALL.iter().find(|r| r.id == id)
+}
+
+/// Whether `id` is valid in a `trusted`/`trusted-file`/`allow`
+/// directive (a real rule) or a `scope` directive (a declared scope).
+pub fn known_rule_or_scope(id: &str) -> bool {
+    by_id(id).is_some() || DECLARED_SCOPES.contains(&id)
+}
 
 /// The cast targets [`LOSSY_TIME_CAST`] considers narrowing.
 pub const NARROWING_TARGETS: &[&str] = &["i8", "i16", "i32", "u8", "u16", "u32", "usize", "isize"];
 
+/// The retired path-prefix scopes, kept verbatim as the equivalence
+/// oracle: `tests/graph_superset.rs` proves the graph-derived pass
+/// finds a superset of what these prefixes scoped. Never add to them.
+pub mod legacy {
+    /// `(rule id, scope prefixes)` as they stood before the rework.
+    pub const SCOPES: &[(&str, &[&str])] = &[
+        (
+            "nondeterministic-iteration",
+            &[
+                "crates/stale-core/src/",
+                "crates/engine/src/",
+                "crates/served/src/",
+            ],
+        ),
+        (
+            "panic-in-shard",
+            &[
+                "crates/stale-core/src/",
+                "crates/engine/src/",
+                "crates/served/src/",
+            ],
+        ),
+        (
+            "wallclock-in-detector",
+            &[
+                "crates/stale-core/src/",
+                "crates/engine/src/",
+                "crates/worldsim/src/",
+            ],
+        ),
+        (
+            "lossy-time-cast",
+            &[
+                "crates/stale-types/src/time.rs",
+                "crates/stale-types/src/interval.rs",
+            ],
+        ),
+    ];
+
+    /// Where the legacy pass also flagged `x[i]` indexing.
+    pub const PANIC_INDEX_SCOPES: &[&str] = &[
+        "crates/stale-core/src/detector/",
+        "crates/stale-core/src/incremental.rs",
+        "crates/engine/src/stream.rs",
+    ];
+
+    /// Where the legacy pass also flagged `Instant::now`.
+    pub const WALLCLOCK_INSTANT_SCOPES: &[&str] =
+        &["crates/stale-core/src/", "crates/worldsim/src/"];
+
+    /// Prefix test for a legacy scope.
+    pub fn in_scope(rule: &str, rel_path: &str) -> bool {
+        SCOPES
+            .iter()
+            .find(|(id, _)| *id == rule)
+            .is_some_and(|(_, scopes)| scopes.iter().any(|s| rel_path.starts_with(s)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scope_matching_is_prefix_based() {
-        assert!(PANIC_IN_SHARD.in_scope("crates/stale-core/src/stats.rs"));
-        assert!(PANIC_IN_SHARD.in_scope("crates/served/src/daemon.rs"));
-        assert!(!PANIC_IN_SHARD.in_scope("crates/served/tests/protocol_robustness.rs"));
-        assert!(!PANIC_IN_SHARD.in_scope("crates/x509/src/cert.rs"));
-        assert!(NONDETERMINISTIC_ITERATION.in_scope("crates/served/src/proto.rs"));
-        // The daemon may time itself (latency histograms): wall-clock
-        // rules deliberately leave `crates/served/` out of scope.
-        assert!(!WALLCLOCK_IN_DETECTOR.in_scope("crates/served/src/daemon.rs"));
-        assert!(LOSSY_TIME_CAST.in_scope("crates/stale-types/src/time.rs"));
-        assert!(!LOSSY_TIME_CAST.in_scope("crates/stale-types/src/ids.rs"));
-    }
 
     #[test]
     fn rule_ids_are_unique() {
@@ -140,5 +227,30 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), ALL.len());
+    }
+
+    #[test]
+    fn classes_are_known() {
+        for rule in ALL {
+            for class in rule.classes {
+                assert!(ENTRY_CLASSES.contains(class), "{}: {class}", rule.id);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_scope_matching_is_prefix_based() {
+        assert!(legacy::in_scope(
+            "panic-in-shard",
+            "crates/stale-core/src/stats.rs"
+        ));
+        assert!(!legacy::in_scope(
+            "panic-in-shard",
+            "crates/served/tests/protocol_robustness.rs"
+        ));
+        assert!(!legacy::in_scope(
+            "wallclock-in-detector",
+            "crates/served/src/daemon.rs"
+        ));
     }
 }

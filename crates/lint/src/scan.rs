@@ -2,12 +2,57 @@
 //! plumbing — exactly the subset of lexing the lint rules need.
 //!
 //! The scanner reduces a source file to per-line *code text*: comments
-//! are stripped (collecting `stale-lint: allow(...)` pragmas as it goes),
+//! are stripped (collecting `stale-lint:` directives as it goes),
 //! string/char literal bodies are dropped (so a string containing
 //! `"unwrap()"` never trips a rule), lifetimes are distinguished from
 //! char literals, and `#[cfg(test)]` items are marked so test-only code
 //! is exempt from production-path rules. Rule checkers then work on a
 //! simple token stream per line.
+//!
+//! # Directives
+//!
+//! A `// stale-lint: <name>(<args>)` comment is a *directive*. The
+//! scanner collects all of them with their source lines; their meaning
+//! is interpreted by [`crate::model`] and [`crate::reach`]:
+//!
+//! * `allow(<rule>, …)` — suppress the named rules on this line (or the
+//!   next code line when the comment stands alone);
+//! * `entry(<class>)` — the next `fn` item is a reachability entry point
+//!   of the named class (`shard`, `serial`, `actor`, `conn`, `worldgen`);
+//! * `trusted(<rule>, …)` — reachability traversal for the named rules
+//!   stops at the next `fn` item (a sanctioned boundary);
+//! * `trusted-file(<rule>, …)` — the whole file's sinks are sanctioned
+//!   for the named rules (it is still traversed for reachability);
+//! * `scope(<rule>, …)` — the whole file opts in to the named
+//!   declared-scope rules (e.g. `lossy-time-cast`, `panic-index`).
+
+/// What a `stale-lint:` comment directive declares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(<rule>…)`: per-line suppression.
+    Allow,
+    /// `entry(<class>…)`: the next `fn` is a reachability entry point.
+    Entry,
+    /// `trusted(<rule>…)`: traversal stops at the next `fn`.
+    Trusted,
+    /// `trusted-file(<rule>…)`: this file's sinks are sanctioned.
+    TrustedFile,
+    /// `scope(<rule>…)`: this file opts in to a declared-scope rule.
+    Scope,
+    /// Anything else after `stale-lint:` — reported as a bad directive.
+    Unknown(String),
+}
+
+/// One `stale-lint:` directive with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based source line of the comment.
+    pub line: usize,
+    /// Parsed directive kind.
+    pub kind: DirectiveKind,
+    /// Comma-separated arguments inside the parentheses.
+    pub args: Vec<String>,
+}
 
 /// One scanned source line.
 #[derive(Debug, Clone, Default)]
@@ -28,13 +73,26 @@ pub struct Line {
 pub struct Scanned {
     /// Lines, index 0 = source line 1.
     pub lines: Vec<Line>,
+    /// Every `stale-lint:` directive in the file, in source order
+    /// (including `Allow`, which is *also* folded into [`Line::allow`]).
+    pub directives: Vec<Directive>,
 }
 
 /// Scan `content` into per-line code text with pragmas and test marks.
 pub fn scan(content: &str) -> Scanned {
     let raw = strip(content);
+    let mut directives = Vec::new();
+    for (idx, line) in raw.iter().enumerate() {
+        for (kind, args) in &line.directives {
+            directives.push(Directive {
+                line: idx + 1,
+                kind: kind.clone(),
+                args: args.clone(),
+            });
+        }
+    }
     let lines = apply_pragmas(mark_tests(raw));
-    Scanned { lines }
+    Scanned { lines, directives }
 }
 
 /// Tokenize one code line. Identifiers (including numeric literals) come
@@ -71,8 +129,19 @@ pub fn tokens(code: &str) -> Vec<String> {
 /// Intermediate per-line result of literal/comment stripping.
 struct RawLine {
     code: String,
-    /// Pragma rules found in comments on this exact line.
-    pragma: Vec<String>,
+    /// Directives found in comments on this exact line.
+    directives: Vec<(DirectiveKind, Vec<String>)>,
+}
+
+impl RawLine {
+    /// The `allow(...)` rule ids on this line.
+    fn allows(&self) -> Vec<String> {
+        self.directives
+            .iter()
+            .filter(|(k, _)| *k == DirectiveKind::Allow)
+            .flat_map(|(_, args)| args.iter().cloned())
+            .collect()
+    }
 }
 
 /// Strip comments and literal bodies, collecting pragmas.
@@ -90,7 +159,7 @@ fn strip(content: &str) -> Vec<RawLine> {
     for line in content.split('\n') {
         let chars: Vec<char> = line.chars().collect();
         let mut code = String::new();
-        let mut pragma = Vec::new();
+        let mut directives = Vec::new();
         let mut i = 0;
         let mut prev_ident = false; // previous emitted char extends an identifier
         while i < chars.len() {
@@ -98,8 +167,14 @@ fn strip(content: &str) -> Vec<RawLine> {
             match state {
                 State::Code => {
                     if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        let comment: String = chars[i..].iter().collect();
-                        pragma.extend(parse_pragma(&comment));
+                        // Doc comments (`///`, `//!`) are prose, not
+                        // directives — docs may *mention* the syntax.
+                        let doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'))
+                            && chars.get(i + 3) != Some(&'/');
+                        if !doc {
+                            let comment: String = chars[i..].iter().collect();
+                            directives.extend(parse_directive(&comment));
+                        }
                         break; // rest of the line is comment
                     } else if c == '/' && chars.get(i + 1) == Some(&'*') {
                         state = State::Block(1);
@@ -209,7 +284,7 @@ fn strip(content: &str) -> Vec<RawLine> {
         }
         // A still-open string at end of line (multi-line string literal)
         // stays in its state; a line comment never carries over.
-        out.push(RawLine { code, pragma });
+        out.push(RawLine { code, directives });
     }
     out
 }
@@ -250,24 +325,31 @@ fn literal_prefix(chars: &[char]) -> Option<Prefix> {
     None
 }
 
-/// Extract `allow(...)` rule ids from a `stale-lint:` pragma comment.
-fn parse_pragma(comment: &str) -> Vec<String> {
-    let Some(at) = comment.find("stale-lint:") else {
-        return Vec::new();
+/// Parse a `stale-lint: <name>(<args>)` directive out of a comment.
+fn parse_directive(comment: &str) -> Option<(DirectiveKind, Vec<String>)> {
+    let at = comment.find("stale-lint:")?;
+    let rest = comment[at + "stale-lint:".len()..].trim_start();
+    let open = rest.find('(')?;
+    let name = rest[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '-') {
+        return None;
+    }
+    let kind = match name {
+        "allow" => DirectiveKind::Allow,
+        "entry" => DirectiveKind::Entry,
+        "trusted" => DirectiveKind::Trusted,
+        "trusted-file" => DirectiveKind::TrustedFile,
+        "scope" => DirectiveKind::Scope,
+        other => DirectiveKind::Unknown(other.to_string()),
     };
-    let rest = &comment[at + "stale-lint:".len()..];
-    let rest = rest.trim_start();
-    let Some(inner) = rest.strip_prefix("allow(") else {
-        return Vec::new();
-    };
-    let Some(end) = inner.find(')') else {
-        return Vec::new();
-    };
-    inner[..end]
+    let inner = &rest[open + 1..];
+    let end = inner.find(')')?;
+    let args = inner[..end]
         .split(',')
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
-        .collect()
+        .collect();
+    Some((kind, args))
 }
 
 /// Mark every line inside a `#[cfg(test)]` item (the attribute's line
@@ -327,9 +409,9 @@ fn apply_pragmas(marked: Vec<(RawLine, bool)>) -> Vec<Line> {
     let mut pending: Vec<String> = Vec::new();
     for (raw, in_test) in marked {
         let code_empty = raw.code.trim().is_empty();
-        let mut allow = raw.pragma.clone();
+        let mut allow = raw.allows();
         if code_empty {
-            pending.extend(raw.pragma);
+            pending.append(&mut allow);
             out.push(Line {
                 code: raw.code,
                 allow: Vec::new(),

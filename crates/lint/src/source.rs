@@ -1,12 +1,15 @@
-//! The source pass: apply the [`crate::rules`] to scanned `.rs` files.
+//! Per-line sink detection: the precision layer the reachability pass
+//! ([`crate::reach`]) composes with.
 //!
-//! Checks operate on the token stream of each *code* line produced by
-//! [`crate::scan`] — comments, literal bodies and `#[cfg(test)]` items
-//! never trip a rule, and a `// stale-lint: allow(<rule>)` pragma on (or
-//! directly above) a line suppresses that rule there.
+//! Each `*_sinks` function inspects one code line's token stream and
+//! returns the hazard messages found there; *where* these checks run —
+//! which functions, which files — is decided by the call-graph scope in
+//! [`crate::reach`], not here. The retired prefix-scoped pass survives
+//! as [`legacy_check_file`], the oracle the superset tests compare the
+//! graph pass against.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{self, Rule};
+use crate::rules::{self, legacy};
 use crate::scan::{scan, tokens, Line};
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -31,57 +34,16 @@ const NON_INDEX_PREV: &[&str] = &[
     "where", "pub", "use", "crate", "type", "break", "continue", "box",
 ];
 
-/// Lint one file's content as if it lived at `rel_path` (slash-separated,
-/// relative to the scanned root). Returns the surviving violations —
-/// pragma-suppressed findings and test code are already excluded.
-pub fn check_file(rel_path: &str, content: &str) -> Vec<Diagnostic> {
-    let scanned = scan(content);
-    let toks: Vec<Vec<String>> = scanned.lines.iter().map(|l| tokens(&l.code)).collect();
-    let hashes = tracked_hash_names(&scanned.lines, &toks);
-    let mut out = Vec::new();
-    for (idx, (line, tk)) in scanned.lines.iter().zip(&toks).enumerate() {
-        if line.in_test || tk.is_empty() {
-            continue;
-        }
-        let lineno = idx + 1;
-        let allowed = |rule: &Rule| line.allow.iter().any(|a| a == rule.id);
-
-        let rule = rules::NONDETERMINISTIC_ITERATION;
-        if rule.in_scope(rel_path) && !allowed(&rule) {
-            check_iteration(rel_path, lineno, tk, &hashes, &rule, &mut out);
-        }
-        let rule = rules::PANIC_IN_SHARD;
-        if rule.in_scope(rel_path) && !allowed(&rule) {
-            check_panics(rel_path, lineno, tk, &rule, &mut out);
-            if rules::PANIC_IN_SHARD_INDEX_SCOPES
-                .iter()
-                .any(|s| rel_path.starts_with(s))
-            {
-                check_indexing(rel_path, lineno, tk, &rule, &mut out);
-            }
-        }
-        let rule = rules::WALLCLOCK_IN_DETECTOR;
-        if rule.in_scope(rel_path) && !allowed(&rule) {
-            check_wallclock(rel_path, lineno, tk, &rule, &mut out);
-        }
-        let rule = rules::LOSSY_TIME_CAST;
-        if rule.in_scope(rel_path) && !allowed(&rule) {
-            check_casts(rel_path, lineno, tk, &rule, &mut out);
-        }
-    }
-    out
-}
-
-/// Lint every `.rs` file under `root` (skipping `target/` and dot
-/// directories), in path order.
-pub fn check_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+/// Collect every `.rs` file under `root` (skipping `target/` and dot
+/// directories), sorted by relative path.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
     files.sort();
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for rel in files {
         let content = std::fs::read_to_string(root.join(&rel))?;
-        out.extend(check_file(&rel, &content));
+        out.push((rel, content));
     }
     Ok(out)
 }
@@ -114,9 +76,8 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result
 /// Names bound to `HashMap`/`HashSet` anywhere in the file: struct
 /// fields and `let` bindings with an explicit type, plus
 /// `= HashMap::new()`-style initialisations. File-granular on purpose —
-/// a shard-path file is small enough that scope collapse over-approaches
-/// safely.
-fn tracked_hash_names(lines: &[Line], toks: &[Vec<String>]) -> BTreeSet<String> {
+/// scope collapse over-approaches safely.
+pub fn tracked_hash_names(lines: &[Line], toks: &[Vec<String>]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (line, tk) in lines.iter().zip(toks) {
         if line.in_test {
@@ -154,14 +115,9 @@ fn is_ident(t: &str) -> bool {
         .is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
-fn check_iteration(
-    file: &str,
-    line: usize,
-    tk: &[String],
-    hashes: &BTreeSet<String>,
-    rule: &Rule,
-    out: &mut Vec<Diagnostic>,
-) {
+/// `HashMap`/`HashSet` iteration sinks on one line.
+pub fn iteration_sinks(tk: &[String], hashes: &BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
     for (i, t) in tk.iter().enumerate() {
         if !hashes.contains(t) {
             continue;
@@ -173,30 +129,21 @@ fn check_iteration(
                 .is_some_and(|m| ITER_METHODS.contains(&m.as_str()))
             && tk.get(i + 3).map(String::as_str) == Some("(")
         {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                format!(
-                    "`{}.{}()` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first",
-                    t,
-                    tk[i + 2]
-                ),
+            out.push(format!(
+                "`{}.{}()` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first",
+                t,
+                tk[i + 2]
             ));
             continue;
         }
         // `for x in &name {` — direct iteration without a method call.
         if tk.get(i + 1).map(String::as_str) == Some("{") && preceded_by_in(tk, i) {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                format!(
-                    "`for … in {t}` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first"
-                ),
+            out.push(format!(
+                "`for … in {t}` iterates a HashMap/HashSet; order is nondeterministic — use BTreeMap/BTreeSet or sort first"
             ));
         }
     }
+    out
 }
 
 /// Whether token `i` is the iterated expression of a `for … in` on the
@@ -213,37 +160,34 @@ fn preceded_by_in(tk: &[String], i: usize) -> bool {
     false
 }
 
-fn check_panics(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+/// `unwrap`/`expect`/`panic!` sinks on one line.
+pub fn panic_sinks(tk: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
     for (i, t) in tk.iter().enumerate() {
         let is_method_call = |name: &str| {
             t == name && i > 0 && tk[i - 1] == "." && tk.get(i + 1).map(String::as_str) == Some("(")
         };
         if is_method_call("unwrap") {
-            out.push(diag(
-                rule,
-                file,
-                line,
+            out.push(
                 "`.unwrap()` can panic in a shard path — handle the None/Err case".to_string(),
-            ));
+            );
         } else if is_method_call("expect") {
-            out.push(diag(
-                rule,
-                file,
-                line,
+            out.push(
                 "`.expect()` can panic in a shard path — handle the None/Err case".to_string(),
-            ));
+            );
         } else if t == "panic" && tk.get(i + 1).map(String::as_str) == Some("!") {
-            out.push(diag(
-                rule,
-                file,
-                line,
+            out.push(
                 "`panic!` in a shard path bypasses error handling — return an error".to_string(),
-            ));
+            );
         }
     }
+    out
 }
 
-fn check_indexing(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+/// Slice-indexing sinks on one line (only run in `scope(panic-index)`
+/// files).
+pub fn index_sinks(tk: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
     for (i, t) in tk.iter().enumerate() {
         if t != "[" || i == 0 {
             continue;
@@ -252,71 +196,175 @@ fn check_indexing(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut
         let indexable =
             (is_ident(prev) && !NON_INDEX_PREV.contains(&prev)) || prev == ")" || prev == "]";
         if indexable {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                format!("`{prev}[…]` indexing can panic in a shard path — use `.get()`"),
+            out.push(format!(
+                "`{prev}[…]` indexing can panic in a shard path — use `.get()`"
             ));
         }
     }
+    out
 }
 
-fn check_wallclock(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+/// Wall-clock sinks on one line. `flag_instant` widens the check to
+/// `Instant::now` (off in `trusted-file(wallclock-in-detector)` files,
+/// the sanctioned self-timing layers).
+pub fn wallclock_sinks(tk: &[String], flag_instant: bool) -> Vec<String> {
+    let mut out = Vec::new();
     for (i, t) in tk.iter().enumerate() {
         let calls_now = tk.get(i + 1).map(String::as_str) == Some("::")
             && tk.get(i + 2).map(String::as_str) == Some("now");
         if t == "SystemTime" && calls_now {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                "`SystemTime::now` makes results depend on the wall clock — thread dates through the feed".to_string(),
+            out.push(
+                "`SystemTime::now` makes results depend on the wall clock — thread dates through the feed"
+                    .to_string(),
+            );
+        } else if t == "Instant" && calls_now && flag_instant {
+            out.push(
+                "`Instant::now` in deterministic code — timing belongs in the sanctioned metrics layers"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// Ambient RNG / process-environment sinks on one line.
+pub fn rng_env_sinks(tk: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in tk.iter().enumerate() {
+        let called = tk.get(i + 1).map(String::as_str) == Some("(");
+        if (t == "thread_rng" || t == "from_entropy" || t == "getrandom") && called {
+            out.push(format!(
+                "`{t}()` seeds from ambient entropy — results stop replaying; thread a seeded RNG through"
             ));
-        } else if t == "Instant"
-            && calls_now
-            && rules::WALLCLOCK_INSTANT_SCOPES
-                .iter()
-                .any(|s| file.starts_with(s))
+        } else if t == "env"
+            && tk.get(i + 1).map(String::as_str) == Some("::")
+            && tk
+                .get(i + 2)
+                .is_some_and(|m| matches!(m.as_str(), "var" | "vars" | "var_os" | "args"))
         {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                "`Instant::now` in detector/simulator code — timing belongs in the engine's metrics layer".to_string(),
+            out.push(format!(
+                "`env::{}` reads the process environment — results depend on the machine, not the feed",
+                tk[i + 2]
             ));
         }
     }
+    out
 }
 
-fn check_casts(file: &str, line: usize, tk: &[String], rule: &Rule, out: &mut Vec<Diagnostic>) {
+/// Blocking-I/O sinks on one line (filesystem, sockets, sleeps).
+pub fn blocking_io_sinks(tk: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in tk.iter().enumerate() {
+        let next2 = |a: &str, b: &str| {
+            tk.get(i + 1).map(String::as_str) == Some(a)
+                && tk.get(i + 2).map(String::as_str) == Some(b)
+        };
+        let path_call = |m: &str| {
+            tk.get(i + 1).map(String::as_str) == Some("::") && {
+                tk.get(i + 2).map(String::as_str) == Some(m)
+            }
+        };
+        match t.as_str() {
+            "File" if path_call("open") || path_call("create") => {
+                out.push(format!(
+                    "`File::{}` blocks the actor on the filesystem — move it behind the snapshot boundary",
+                    tk[i + 2]
+                ));
+            }
+            "fs" if tk.get(i + 1).map(String::as_str) == Some("::") => {
+                out.push(format!(
+                    "`fs::{}` blocks the actor on the filesystem — move it behind the snapshot boundary",
+                    tk.get(i + 2).map(String::as_str).unwrap_or("…")
+                ));
+            }
+            "TcpStream" | "TcpListener" | "UdpSocket"
+                if tk.get(i + 1).map(String::as_str) == Some("::") =>
+            {
+                out.push(format!(
+                    "`{t}::{}` blocks the actor on the network — sockets belong to connection threads",
+                    tk.get(i + 2).map(String::as_str).unwrap_or("…")
+                ));
+            }
+            "thread" if next2("::", "sleep") => {
+                out.push(
+                    "`thread::sleep` stalls the actor and every queued client — never sleep in the loop"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Narrowing-cast sinks on one line.
+pub fn cast_sinks(tk: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
     for (i, t) in tk.iter().enumerate() {
         if t == "as"
             && tk
                 .get(i + 1)
                 .is_some_and(|n| rules::NARROWING_TARGETS.contains(&n.as_str()))
         {
-            out.push(diag(
-                rule,
-                file,
-                line,
-                format!(
-                    "`as {}` silently truncates — use From/TryFrom, or justify the bound with a pragma",
-                    tk[i + 1]
-                ),
+            out.push(format!(
+                "`as {}` silently truncates — use From/TryFrom, or justify the bound with a pragma",
+                tk[i + 1]
             ));
         }
     }
+    out
 }
 
-fn diag(rule: &Rule, file: &str, line: usize, message: String) -> Diagnostic {
-    Diagnostic {
-        rule: rule.id,
-        severity: rule.severity,
-        file: file.to_string(),
-        line,
-        message,
+/// The retired prefix-scoped pass, kept verbatim as the superset
+/// oracle: lint one file as if it lived at `rel_path`, scoping each
+/// rule by the legacy path prefixes. With `respect_pragmas` off,
+/// `allow(...)` suppression is ignored — the raw-finding mode the
+/// superset tests compare in.
+pub fn legacy_check_file(rel_path: &str, content: &str, respect_pragmas: bool) -> Vec<Diagnostic> {
+    let scanned = scan(content);
+    let toks: Vec<Vec<String>> = scanned.lines.iter().map(|l| tokens(&l.code)).collect();
+    let hashes = tracked_hash_names(&scanned.lines, &toks);
+    let mut out = Vec::new();
+    for (idx, (line, tk)) in scanned.lines.iter().zip(&toks).enumerate() {
+        if line.in_test || tk.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let allowed = |rule: &str| respect_pragmas && line.allow.iter().any(|a| a == rule);
+        let mut push = |rule: &'static str, msgs: Vec<String>| {
+            let severity = rules::by_id(rule).map_or(crate::Severity::Error, |r| r.severity);
+            for message in msgs {
+                let mut d = Diagnostic::new(rule, severity, rel_path, lineno, message);
+                d.fn_key = String::new();
+                out.push(d);
+            }
+        };
+        if legacy::in_scope("nondeterministic-iteration", rel_path)
+            && !allowed("nondeterministic-iteration")
+        {
+            push("nondeterministic-iteration", iteration_sinks(tk, &hashes));
+        }
+        if legacy::in_scope("panic-in-shard", rel_path) && !allowed("panic-in-shard") {
+            push("panic-in-shard", panic_sinks(tk));
+            if legacy::PANIC_INDEX_SCOPES
+                .iter()
+                .any(|s| rel_path.starts_with(s))
+            {
+                push("panic-in-shard", index_sinks(tk));
+            }
+        }
+        if legacy::in_scope("wallclock-in-detector", rel_path) && !allowed("wallclock-in-detector")
+        {
+            let instant = legacy::WALLCLOCK_INSTANT_SCOPES
+                .iter()
+                .any(|s| rel_path.starts_with(s));
+            push("wallclock-in-detector", wallclock_sinks(tk, instant));
+        }
+        if legacy::in_scope("lossy-time-cast", rel_path) && !allowed("lossy-time-cast") {
+            push("lossy-time-cast", cast_sinks(tk));
+        }
     }
+    out
 }
 
 #[cfg(test)]
@@ -326,9 +374,9 @@ mod tests {
     const SHARD_PATH: &str = "crates/stale-core/src/incremental.rs";
 
     #[test]
-    fn unwrap_and_indexing_flagged_in_shard_scope() {
+    fn legacy_unwrap_and_indexing_flagged_in_shard_scope() {
         let src = "fn f() {\n    let x = m.get(k).unwrap();\n    let y = v[i];\n}\n";
-        let d = check_file(SHARD_PATH, src);
+        let d = legacy_check_file(SHARD_PATH, src, true);
         assert_eq!(d.len(), 2);
         assert!(d.iter().all(|d| d.rule == "panic-in-shard"));
         assert_eq!(d[0].line, 2);
@@ -336,64 +384,47 @@ mod tests {
     }
 
     #[test]
-    fn indexing_not_flagged_outside_index_scope() {
+    fn legacy_indexing_not_flagged_outside_index_scope() {
         let src = "fn f() { let y = v[i]; }\n";
-        assert!(check_file("crates/engine/src/engine.rs", src).is_empty());
+        assert!(legacy_check_file("crates/engine/src/engine.rs", src, true).is_empty());
         let with_unwrap = "fn f() { x.unwrap(); }\n";
         assert_eq!(
-            check_file("crates/engine/src/engine.rs", with_unwrap).len(),
+            legacy_check_file("crates/engine/src/engine.rs", with_unwrap, true).len(),
             1
         );
     }
 
     #[test]
-    fn hashmap_iteration_flagged_btreemap_not() {
+    fn legacy_hashmap_iteration_flagged_btreemap_not() {
         let src = "struct S { a: HashMap<u32, u32>, b: BTreeMap<u32, u32> }\n\
                    fn f(s: &S) {\n\
                        for x in s.a.iter() {}\n\
                        for y in &s.b {}\n\
                        let z = s.a.get(&1);\n\
                    }\n";
-        let d = check_file("crates/engine/src/merge.rs", src);
+        let d = legacy_check_file("crates/engine/src/merge.rs", src, true);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "nondeterministic-iteration");
         assert_eq!(d[0].line, 3);
     }
 
     #[test]
-    fn for_in_direct_iteration_flagged() {
-        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m {\n    }\n}\n";
-        let d = check_file("crates/stale-core/src/stats.rs", src);
-        assert!(
-            d.iter()
-                .any(|d| d.rule == "nondeterministic-iteration" && d.line == 3),
-            "{d:?}"
-        );
-    }
-
-    #[test]
-    fn pragma_and_test_code_suppress() {
+    fn legacy_pragma_respected_only_when_asked() {
         let src = "fn f() {\n\
                        x.unwrap(); // stale-lint: allow(panic-in-shard)\n\
-                   }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn t() { y.unwrap(); }\n\
                    }\n";
-        assert!(check_file(SHARD_PATH, src).is_empty());
+        assert!(legacy_check_file(SHARD_PATH, src, true).is_empty());
+        assert_eq!(legacy_check_file(SHARD_PATH, src, false).len(), 1);
     }
 
     #[test]
-    fn wallclock_and_cast_rules_fire_in_their_scopes() {
-        let clock = "fn f() { let t = std::time::SystemTime::now(); }\n";
-        assert_eq!(check_file("crates/worldsim/src/world.rs", clock).len(), 1);
-        assert!(check_file("crates/ca/src/scraper.rs", clock).is_empty());
-
-        let cast = "fn f(x: i64) -> i32 { x as i32 }\n";
-        let d = check_file("crates/stale-types/src/time.rs", cast);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "lossy-time-cast");
-        let widen = "fn f(x: u8) -> i64 { x as i64 }\n";
-        assert!(check_file("crates/stale-types/src/time.rs", widen).is_empty());
+    fn rng_env_and_blocking_io_sinks_match() {
+        let tk = tokens("let r = thread_rng(); let v = env::var(\"X\");");
+        assert_eq!(rng_env_sinks(&tk).len(), 2);
+        let tk = tokens("let f = File::open(p); fs::write(p, b); thread::sleep(d);");
+        assert_eq!(blocking_io_sinks(&tk).len(), 3);
+        let tk = tokens("let t = Instant::now();");
+        assert_eq!(wallclock_sinks(&tk, true).len(), 1);
+        assert!(wallclock_sinks(&tk, false).is_empty());
     }
 }

@@ -1,0 +1,68 @@
+//! Item-parser corpus: every shape the model must get right, in one
+//! file — free fns, nested fns, inherent and trait-impl methods,
+//! trait-default methods, generics/where-clauses/turbofish at the call
+//! site, macro bodies, and `#[cfg(test)]` exclusion.
+
+pub fn free_top(x: u32) -> u32 {
+    helper(x)
+}
+
+fn helper(x: u32) -> u32 {
+    fn nested(y: u32) -> u32 {
+        y.checked_add(1).unwrap_or(y)
+    }
+    nested(x)
+}
+
+pub struct Widget {
+    id: u32,
+}
+
+impl Widget {
+    pub fn new(id: u32) -> Self {
+        Widget { id }
+    }
+
+    pub fn refresh(&self) -> u32 {
+        self.tick()
+    }
+
+    fn tick(&self) -> u32 {
+        free_top(self.id)
+    }
+}
+
+pub trait Render {
+    fn render(&self) -> String;
+
+    fn render_twice(&self) -> String {
+        format!("{}{}", self.render(), self.render())
+    }
+}
+
+impl Render for Widget {
+    fn render(&self) -> String {
+        let parts = Vec::<String>::new();
+        parts.join(",")
+    }
+}
+
+pub fn generic_caller<T: Clone>(items: &[T]) -> usize
+where
+    T: Send,
+{
+    let copy: Vec<T> = items.to_vec();
+    println!("{}", copy.len());
+    copy.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widget_refreshes() {
+        let w = Widget::new(7);
+        let _ = w.refresh().checked_mul(2).unwrap();
+    }
+}

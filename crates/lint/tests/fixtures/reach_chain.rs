@@ -1,0 +1,27 @@
+//! Planted reachability violation: a declared shard entry reaches a
+//! `SystemTime::now` sink two hops down. `tests/why_chain.rs` asserts
+//! both the finding and the exact entry→sink chain `why` reconstructs.
+
+pub struct Detector;
+
+impl Detector {
+    // stale-lint: entry(shard)
+    pub fn detect_shard(&self) -> u64 {
+        self.score_candidates()
+    }
+
+    fn score_candidates(&self) -> u64 {
+        stamp()
+    }
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn unreachable_helper() -> u64 {
+    // Same sink, but no entry reaches this fn — must NOT be flagged.
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(1)
+}

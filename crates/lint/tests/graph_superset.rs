@@ -1,0 +1,137 @@
+//! The reachability pass must be a *superset* of the retired
+//! prefix-scoped pass: every finding the old per-file scanner produced
+//! must also be produced by the call-graph pass, or the upgrade
+//! silently dropped coverage. Both passes run with pragmas ignored so
+//! the comparison is over raw findings, not over whatever the current
+//! annotation set happens to suppress.
+//!
+//! Checked two ways: once against the real workspace (the corpus the
+//! lint actually guards), and once property-style over synthetic
+//! corpora with guaranteed entry connectivity (the condition under
+//! which the superset claim is supposed to hold by construction).
+
+use proptest::prelude::*;
+use stale_lint::reach::Analysis;
+use stale_lint::source::{collect_sources, legacy_check_file};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+type Finding = (String, String, usize);
+
+fn legacy_raw(files: &[(String, String)]) -> BTreeSet<Finding> {
+    let mut out = BTreeSet::new();
+    for (path, content) in files {
+        for d in legacy_check_file(path, content, false) {
+            out.insert((d.rule.to_string(), d.file.clone(), d.line));
+        }
+    }
+    out
+}
+
+fn graph_raw(files: &[(String, String)]) -> BTreeSet<Finding> {
+    Analysis::new(files)
+        .check(false)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.file, d.line))
+        .collect()
+}
+
+fn assert_superset(files: &[(String, String)]) {
+    let legacy = legacy_raw(files);
+    let graph = graph_raw(files);
+    let missing: Vec<&Finding> = legacy.difference(&graph).collect();
+    assert!(
+        missing.is_empty(),
+        "prefix-pass findings the graph pass missed:\n{missing:#?}"
+    );
+}
+
+/// The real workspace: every raw finding of the prefix pass is among
+/// the raw findings of the reachability pass.
+#[test]
+fn workspace_graph_findings_cover_prefix_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = collect_sources(&root).expect("scan workspace");
+    let legacy = legacy_raw(&files);
+    assert!(
+        !legacy.is_empty(),
+        "oracle is vacuous — the prefix pass found nothing raw; \
+         the workspace should at least contain its pragma'd sinks"
+    );
+    assert_superset(&files);
+}
+
+/// One sink statement per legacy rule family, cycled through by index.
+/// Each is a real finding for both passes when it lands in a scoped
+/// file (legacy) / reachable fn (graph).
+fn sink_stmt(kind: usize) -> &'static str {
+    match kind % 5 {
+        // `m` is bound with an explicit `HashMap` type in `root0`, so
+        // `tracked_hash_names` tracks it file-wide.
+        0 => "    for (k, v) in m.iter() { let _ = (k, v); }",
+        1 => "    let _ = opt().unwrap();",
+        2 => "    let _ = std::time::SystemTime::now();",
+        3 => "    let _ = std::env::var(\"SEED\");",
+        _ => "    let _ = rand::thread_rng();",
+    }
+}
+
+/// A synthetic file under a legacy-scoped prefix: `root0` is an entry
+/// point for every graph-rule class and calls `f1`, each `fi` calls
+/// `f(i+1)`, so every function is reachable by construction. Sinks are
+/// placed per `sinks[i]` inside `fi`'s body.
+fn synth_file(file_idx: usize, sinks: &[usize]) -> (String, String) {
+    let path = format!("crates/stale-core/src/synth_{file_idx}.rs");
+    let mut src = String::new();
+    src.push_str("use std::collections::HashMap;\n");
+    src.push_str("// stale-lint: entry(shard)\n");
+    src.push_str("// stale-lint: entry(serial)\n");
+    src.push_str("// stale-lint: entry(actor)\n");
+    src.push_str("// stale-lint: entry(conn)\n");
+    src.push_str("// stale-lint: entry(worldgen)\n");
+    src.push_str(
+        "pub fn root0() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    f1(&m);\n}\n",
+    );
+    for (i, &kind) in sinks.iter().enumerate() {
+        let me = i + 1;
+        let next = i + 2;
+        src.push_str(&format!("pub fn f{me}(m: &HashMap<u32, u32>) {{\n"));
+        src.push_str(sink_stmt(kind));
+        src.push('\n');
+        if i + 1 < sinks.len() {
+            src.push_str(&format!("    f{next}(m);\n"));
+        }
+        src.push_str("}\n");
+    }
+    (path, src)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synthetic corpora with guaranteed root connectivity: whatever
+    /// the prefix pass flags, the graph pass flags too.
+    #[test]
+    fn graph_covers_prefix_on_connected_corpora(
+        per_file in prop::collection::vec(
+            prop::collection::vec(0usize..5, 1..6),
+            1..4,
+        ),
+    ) {
+        let files: Vec<(String, String)> = per_file
+            .iter()
+            .enumerate()
+            .map(|(i, sinks)| synth_file(i, sinks))
+            .collect();
+        let legacy = legacy_raw(&files);
+        let graph = graph_raw(&files);
+        let missing: Vec<&Finding> = legacy.difference(&graph).collect();
+        prop_assert!(
+            missing.is_empty(),
+            "graph pass missed prefix findings: {missing:?}"
+        );
+        // The corpus is built so every fn holds a sink — the oracle
+        // must not be vacuously satisfied.
+        prop_assert!(!legacy.is_empty(), "prefix oracle found nothing");
+    }
+}

@@ -1,0 +1,99 @@
+//! The item parser against `fixtures/parser_corpus.rs` — one file
+//! holding every shape the model must extract correctly: free fns,
+//! nested fns, inherent and trait-impl methods, trait-default methods,
+//! generics at definition and call site, macro bodies, and
+//! `#[cfg(test)]` exclusion.
+
+use stale_lint::model::{parse_file, FileModel};
+use stale_lint::scan::scan;
+
+const FIXTURE: &str = include_str!("fixtures/parser_corpus.rs");
+
+fn model() -> FileModel {
+    parse_file("crates/x/src/corpus.rs", &scan(FIXTURE))
+}
+
+fn keys(m: &FileModel) -> Vec<String> {
+    m.fns.iter().map(|f| f.key()).collect()
+}
+
+#[test]
+fn every_item_shape_is_extracted() {
+    let m = model();
+    let keys = keys(&m);
+    for expected in [
+        "free_top",
+        "helper",
+        "nested",
+        "Widget::new",
+        "Widget::refresh",
+        "Widget::tick",
+        "Render::render",
+        "Render::render_twice",
+        "Widget::render",
+        "generic_caller",
+    ] {
+        assert!(keys.contains(&expected.to_string()), "missing {expected}");
+    }
+}
+
+#[test]
+fn cfg_test_items_are_marked_and_nothing_else_is() {
+    let m = model();
+    for f in &m.fns {
+        assert_eq!(
+            f.is_test,
+            f.name == "widget_refreshes",
+            "{} test-marking wrong",
+            f.key()
+        );
+    }
+}
+
+#[test]
+fn call_edges_cross_every_shape() {
+    let m = model();
+    let find = |key: &str| m.fns.iter().find(|f| f.key() == key).unwrap();
+    // Free fn → free fn.
+    assert!(find("free_top").calls.iter().any(|c| c.name == "helper"));
+    // Outer fn → its nested fn (the nested body's calls belong to the
+    // nested fn, not the outer one).
+    let helper = find("helper");
+    assert!(helper.calls.iter().any(|c| c.name == "nested"));
+    assert!(!helper.calls.iter().any(|c| c.name == "checked_add"));
+    assert!(find("nested").calls.iter().any(|c| c.name == "checked_add"));
+    // Method → method via `self.`.
+    let refresh = find("Widget::refresh");
+    let tick_call = refresh.calls.iter().find(|c| c.name == "tick").unwrap();
+    assert_eq!(tick_call.qualifier.as_deref(), Some("self"));
+    // Trait default method → required method.
+    assert!(find("Render::render_twice")
+        .calls
+        .iter()
+        .any(|c| c.name == "render" && c.method));
+    // Turbofish keeps its qualifier.
+    let render = find("Widget::render");
+    let new_call = render.calls.iter().find(|c| c.name == "new").unwrap();
+    assert_eq!(new_call.qualifier.as_deref(), Some("Vec"));
+    // Macro bodies yield their inner calls, not the macro name.
+    let generic = find("generic_caller");
+    assert!(generic.calls.iter().any(|c| c.name == "len"));
+    assert!(!generic.calls.iter().any(|c| c.name == "println"));
+}
+
+#[test]
+fn body_extents_cover_their_lines() {
+    let m = model();
+    for f in &m.fns {
+        assert!(f.end_line >= f.line, "{} has inverted extent", f.key());
+    }
+    // A line inside `helper`'s body maps back to a fn whose extent
+    // contains it (the innermost — `nested` — for the nested body).
+    let nested_body_line = FIXTURE
+        .lines()
+        .position(|l| l.contains("checked_add"))
+        .unwrap()
+        + 1;
+    let gi = m.line_fn[nested_body_line - 1].expect("line maps to a fn");
+    assert_eq!(m.fns[gi].name, "nested");
+}

@@ -1,8 +1,14 @@
-//! Fixture-driven checks of the source pass: every seeded violation in
-//! `tests/fixtures/` is detected at its marked line, pragmas and test
-//! code suppress, and the clean fixture stays clean under every scope.
+//! Fixture-driven checks of the legacy prefix-scoped pass (the
+//! equivalence oracle of `tests/graph_superset.rs`): every seeded
+//! violation in `tests/fixtures/` is detected at its marked line,
+//! pragmas and test code suppress, and the clean fixture stays clean
+//! under every scope.
 
-use stale_lint::source::check_file;
+use stale_lint::source::legacy_check_file;
+
+fn check_file(path: &str, src: &str) -> Vec<stale_lint::Diagnostic> {
+    legacy_check_file(path, src, true)
+}
 
 const PANIC_FIXTURE: &str = include_str!("fixtures/panic_in_shard.rs");
 const NONDET_FIXTURE: &str = include_str!("fixtures/nondet_iteration.rs");
@@ -121,8 +127,9 @@ fn clean_fixture_is_clean_under_every_scope() {
 
 #[test]
 fn fixtures_are_out_of_scope_at_their_real_paths() {
-    // `check_tree` over the repo root must not trip on the seeded
-    // fixtures themselves: their real paths match no rule scope.
+    // Linting the repo root must not trip on the seeded fixtures
+    // themselves: their real paths match no legacy rule scope (and the
+    // graph pass excludes `fixtures/` trees entirely).
     for (path, src) in [
         (
             "crates/lint/tests/fixtures/panic_in_shard.rs",

@@ -1,0 +1,77 @@
+//! The planted fixture violation (`fixtures/reach_chain.rs`): the
+//! reachability pass flags the sink exactly once, skips the same sink
+//! in an unreachable fn, and `why` reconstructs the entry→sink chain
+//! hop for hop.
+
+use stale_lint::reach::Analysis;
+
+const FIXTURE: &str = include_str!("fixtures/reach_chain.rs");
+
+fn analysis() -> Analysis {
+    // Mounted at a graph-visible path; the fixture's real home under
+    // tests/ is excluded from the graph by design.
+    Analysis::new(&[(
+        "crates/stale-core/src/planted.rs".to_string(),
+        FIXTURE.to_string(),
+    )])
+}
+
+#[test]
+fn planted_sink_is_flagged_only_where_reachable() {
+    let diags = analysis().check(true);
+    let wallclock: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "wallclock-in-detector")
+        .collect();
+    assert_eq!(
+        wallclock.len(),
+        1,
+        "expected exactly the reachable sink flagged, got: {wallclock:#?}"
+    );
+    let hit = wallclock[0];
+    // First occurrence of the sink statement is `stamp`'s; the twin in
+    // `unreachable_helper` comes later.
+    let sink_line = FIXTURE
+        .lines()
+        .position(|l| l.trim() == "let t = std::time::SystemTime::now();")
+        .unwrap()
+        + 1;
+    assert_eq!(hit.line, sink_line, "flag sits on the planted sink line");
+    assert_eq!(hit.fn_key, "stamp", "finding names the containing fn");
+}
+
+#[test]
+fn why_reconstructs_the_planted_chain() {
+    let chain = analysis()
+        .why("wallclock-in-detector", "stamp")
+        .expect("planted sink is reachable");
+    let keys: Vec<&str> = chain
+        .iter()
+        .map(|hop| hop.rsplit(' ').next().unwrap())
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "Detector::detect_shard",
+            "Detector::score_candidates",
+            "stamp"
+        ],
+        "chain hops, entry first: {chain:#?}"
+    );
+    assert!(
+        chain[0].starts_with("crates/stale-core/src/planted.rs:"),
+        "hops are file:line labels: {}",
+        chain[0]
+    );
+}
+
+#[test]
+fn why_refuses_the_unreachable_twin() {
+    let err = analysis()
+        .why("wallclock-in-detector", "unreachable_helper")
+        .unwrap_err();
+    assert!(
+        err.contains("not reachable"),
+        "explains unreachability: {err}"
+    );
+}

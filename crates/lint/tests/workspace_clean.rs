@@ -1,20 +1,33 @@
-//! The workspace's own source must lint clean: the shipped baseline is
-//! empty, so every rule — including `panic-in-shard` — holds with zero
-//! allowances. This is the test-suite mirror of CI's `stale-lint source`
-//! step.
+//! The workspace's own source must satisfy the reachability pass
+//! against the committed baseline — the test-suite mirror of CI's
+//! `stale-lint source --baseline stale-lint.baseline.json` step. The
+//! ratchet is checked in both directions: no bucket may exceed its
+//! allowance, and no baselined bucket may have been burned down without
+//! shrinking the committed file.
 
 use stale_lint::baseline::Baseline;
-use stale_lint::source::check_tree;
+use stale_lint::reach::Analysis;
+use stale_lint::source::collect_sources;
 use std::path::Path;
 
 #[test]
-fn workspace_lints_clean_with_empty_baseline() {
+fn workspace_satisfies_committed_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let diags = check_tree(&root).expect("scan workspace");
-    let violations = Baseline::empty().violations(&diags);
+    let files = collect_sources(&root).expect("scan workspace");
+    let diags = Analysis::new(&files).check(true);
+    let text = std::fs::read_to_string(root.join("stale-lint.baseline.json"))
+        .expect("read committed baseline");
+    let baseline = Baseline::from_json(&text).expect("parse committed baseline");
+    let violations = baseline.violations(&diags);
     assert!(
         violations.is_empty(),
         "workspace has non-baselined lint violations:\n{}",
         stale_lint::diagnostics::render_human(&violations)
+    );
+    let stale = baseline.stale_entries(&diags);
+    assert!(
+        stale.is_empty(),
+        "baseline entries no longer fire (the baseline only shrinks):\n{}",
+        stale.join("\n")
     );
 }

@@ -582,6 +582,7 @@ impl AuditReport {
 
     /// Export as JSONL: an [`AuditHeader`] line, then one decision per
     /// line, in canonical order.
+    // stale-lint: entry(serial)
     pub fn to_jsonl(&self) -> String {
         let header = AuditHeader {
             schema: AUDIT_SCHEMA.to_string(),

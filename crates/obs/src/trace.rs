@@ -13,6 +13,10 @@
 //! [`validate_trace_jsonl`] checks the schema statically — `stale-lint
 //! preflight` calls it on `--trace-out` files.
 
+// Span timing with `Instant` is the whole point of this module; only
+// the duration fields carry it, never detection results.
+// stale-lint: trusted-file(wallclock-in-detector)
+
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

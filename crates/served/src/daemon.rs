@@ -34,6 +34,10 @@
 //! (`tests/served_equivalence.rs` at the workspace root asserts this
 //! across shard counts and across snapshot/restart boundaries).
 
+// Query/build self-timing with `Instant` is sanctioned here; it feeds
+// the metrics registry, never detection results.
+// stale-lint: trusted-file(wallclock-in-detector)
+
 use crate::proto;
 use engine::{IncrementalState, StateView, StreamCheckpoint};
 use obs::Obs;
@@ -281,6 +285,7 @@ impl<'w> Actor<'w> {
             .ok_or_else(|| "decision audit unavailable".to_string())
     }
 
+    // stale-lint: entry(actor)
     fn handle(&mut self, req: &Request) -> Result<String, String> {
         match req {
             Request::Ping => Ok("pong".to_string()),
@@ -393,6 +398,7 @@ impl<'w> Actor<'w> {
 }
 
 /// Build the world and serve actor messages until `Stop` or `shutdown`.
+// stale-lint: entry(actor)
 fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs) {
     let build_start = Instant::now();
     let data = World::run(cfg.scenario);
@@ -451,6 +457,7 @@ fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs) {
 /// A `shutdown` request is signalled on `shutdown_tx` only after its
 /// response frame has been written (or the write has failed), so the
 /// process never exits before the `bye` reaches the wire.
+// stale-lint: entry(conn)
 fn handle_conn(
     stream: TcpStream,
     tx: Sender<ActorMsg>,
@@ -568,6 +575,9 @@ impl Daemon {
     /// Returns as soon as the socket is bound — the world builds in the
     /// actor thread, and early requests queue until it is ready, so a
     /// successful `ping` doubles as a readiness probe.
+    // The listener is bound on the caller's thread before the actor
+    // spawns; nothing is resident yet to stall.
+    // stale-lint: trusted(blocking-io-in-actor)
     pub fn start(cfg: DaemonConfig, listen: &str) -> io::Result<Daemon> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;

@@ -15,6 +15,9 @@
 //! Staleness conservatively assumes the revocation was issued as soon as
 //! the invalidation event occurred.
 
+// Slice indexing here runs over routed-feed indices.
+// stale-lint: scope(panic-index)
+
 use crate::staleness::{StaleCertRecord, StalenessClass};
 use ca::scraper::{CrlDataset, RevocationRecord};
 use ct::monitor::{CtMonitor, DedupedCert};
@@ -310,6 +313,7 @@ pub fn join_shard_audited<'m>(
 /// incremental, and daemon paths all join through this one
 /// implementation ([`join_shard_audited_hash`] survives only as the
 /// equivalence oracle and ablation baseline).
+// stale-lint: entry(shard)
 pub fn join_shard_audited_with<'m>(
     certs: impl IntoIterator<Item = &'m DedupedCert>,
     crl: &CrlDataset,

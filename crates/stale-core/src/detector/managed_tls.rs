@@ -8,6 +8,9 @@
 //! Every unexpired provider-managed certificate naming the domain at that
 //! point is stale: the CDN still holds its key.
 
+// Slice indexing here runs over routed-feed indices.
+// stale-lint: scope(panic-index)
+
 use crate::staleness::{StaleCertRecord, StalenessClass};
 use cdn::provider::ProviderConfig;
 use ct::monitor::{CtMonitor, DedupedCert};
@@ -162,6 +165,7 @@ impl<'a> ManagedTlsDetector<'a> {
     /// [`crate::views::RoutedWorld`]). `owned` tests a routing hash
     /// instead of re-deriving the e2LD per customer; the candidate
     /// universe and output are identical to the owned-slice path.
+    // stale-lint: entry(shard)
     pub fn detect_shard_view_audited<'m: 'v, 'v>(
         &self,
         adns: &DnsHistory,

@@ -9,6 +9,9 @@
 //! misses intra/inter-registrar transfers and pre-release re-registrations
 //! (§4.4), so its counts are a lower bound.
 
+// Slice indexing here runs over routed-feed indices.
+// stale-lint: scope(panic-index)
+
 use crate::staleness::{StaleCertRecord, StalenessClass};
 use ct::monitor::{CtMonitor, DedupedCert};
 use psl::SuffixList;
@@ -137,6 +140,7 @@ impl<'a> RegistrantChangeDetector<'a> {
     /// `u32::MAX`, which matches no index entry — exactly the owned
     /// path's miss. Output and counters are identical to
     /// [`Self::detect_shard_audited`].
+    // stale-lint: entry(shard)
     pub fn detect_shard_view_audited<'m, 'v>(
         &self,
         changes: &[(u32, &'v IndexedChange)],

@@ -23,6 +23,9 @@
 //! (certificate bodies are re-resolved from the CT monitor by id) — the
 //! engine's checkpoint schema v2.
 
+// Slice indexing here runs over routed-feed and snapshot indices.
+// stale-lint: scope(panic-index)
+
 use crate::detector::key_compromise::{self, JoinOutcome, KcLoser, ShardMatch};
 use crate::detector::managed_tls::{self, ManagedTlsDetector};
 use crate::detector::registrant_change::{self, RegistrantChangeDetector};
@@ -156,6 +159,7 @@ impl<'w> KcIncremental<'w> {
     /// Ingest one day-delta slice: certificates first seen and CRL records
     /// first observed in the range. Emits an event per kept key-compromise
     /// pairing discovered (or improved) by this delta.
+    // stale-lint: entry(shard)
     pub fn ingest_day(
         &mut self,
         discovered: Date,
@@ -238,6 +242,7 @@ impl<'w> KcIncremental<'w> {
     /// The shard's join matches so far — exactly what the batch
     /// [`key_compromise::join_shard`] returns over the same certificates
     /// and the CRL records seen so far, in CRL-index order.
+    // stale-lint: entry(shard)
     pub fn finish(&self) -> Vec<ShardMatch> {
         // The same sort-merge probe the batch shard join runs: the
         // persistent index is already one winner per key in key order,
@@ -400,6 +405,7 @@ impl<'w> RcIncremental<'w> {
     /// domain is a registrant change; each new arrival on either side
     /// probes the other, so every spanning `(change, certificate)` pair is
     /// discovered exactly once.
+    // stale-lint: entry(shard)
     pub fn ingest_day(
         &mut self,
         discovered: Date,
@@ -488,6 +494,7 @@ impl<'w> RcIncremental<'w> {
     /// batch enumeration order) and reuses the batch merge (which sorts,
     /// so ledger order is irrelevant). O(matches): the ledger is
     /// maintained online by [`RcIncremental::ingest_day`].
+    // stale-lint: entry(shard)
     pub fn finish(&self) -> Vec<(DomainName, Date, StaleCertRecord)> {
         self.matches
             .iter()
@@ -660,6 +667,7 @@ impl<'w> MtdIncremental<'w> {
     /// `owned` is the shard-ownership predicate for customer domains —
     /// managed certificates are duplicated across shards and must only
     /// count against customers this shard owns.
+    // stale-lint: entry(shard)
     pub fn ingest_day(
         &mut self,
         discovered: Date,
@@ -751,6 +759,7 @@ impl<'w> MtdIncremental<'w> {
     /// All stale records so far, in the batch shard's emission order
     /// (customers sorted, departures chronological, certificates by id) —
     /// exactly what [`ManagedTlsDetector::detect_shard`] returns.
+    // stale-lint: entry(shard)
     pub fn finish(&self, detector: &ManagedTlsDetector<'_>) -> Vec<StaleCertRecord> {
         let mut records = Vec::new();
         for (domain, certs) in &self.certs_by_customer {

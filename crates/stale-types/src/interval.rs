@@ -4,6 +4,10 @@
 //! tenures are all `[start, end)` intervals over [`Date`]. The staleness
 //! computations of §5 reduce to intersections of these intervals.
 
+// Date arithmetic: narrowing casts here corrupt every downstream
+// interval, so this module opts in to the cast rule.
+// stale-lint: scope(lossy-time-cast)
+
 use crate::error::{Error, Result};
 use crate::time::{Date, Duration};
 use serde::{Deserialize, Serialize};

@@ -7,6 +7,10 @@
 //! classic Howard Hinnant `days_from_civil` / `civil_from_days` algorithms,
 //! which are exact over the entire `i64` range we use.
 
+// Date arithmetic: narrowing casts here corrupt every downstream
+// interval, so this module opts in to the cast rule.
+// stale-lint: scope(lossy-time-cast)
+
 use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -119,7 +119,12 @@ pub struct World {
 }
 
 impl World {
-    /// Build a world from a configuration.
+    /// Build a world from a configuration. Panics on an inconsistent
+    /// scenario are a deliberate startup boundary: generation happens
+    /// before anything serves or detects, so the daemon fails fast
+    /// instead of running on a half-built world.
+    // stale-lint: entry(worldgen)
+    // stale-lint: trusted(panic-in-shard)
     pub fn new(cfg: ScenarioConfig) -> World {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let epoch = cfg.start - Duration::days(1600);
@@ -238,7 +243,10 @@ impl World {
         }
     }
 
-    /// Run the simulation and package the datasets.
+    /// Run the simulation and package the datasets. Same deliberate
+    /// startup boundary as [`World::new`] for the panic rule.
+    // stale-lint: entry(worldgen)
+    // stale-lint: trusted(panic-in-shard)
     pub fn run(cfg: ScenarioConfig) -> WorldDatasets {
         let mut world = World::new(cfg);
         world.seed_initial_domains();
