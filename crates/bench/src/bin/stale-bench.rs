@@ -6,6 +6,9 @@
 //! stale-bench explain <FINGERPRINT> (--audit AUDIT.jsonl | --server ADDR)
 //! stale-bench report (--audit AUDIT.jsonl | --server ADDR)
 //! stale-bench query <ADDR> <CMD> [ARGS...]
+//! stale-bench watch <ADDR> [--interval-ms 1000] [--frames N]
+//! stale-bench slowlog <ADDR>
+//! stale-bench subscribe <ADDR> [--max-records N]
 //! ```
 //!
 //! `compare`: `BASELINE` and `CURRENT` are metrics-JSON exports from
@@ -31,6 +34,20 @@
 //! response body. Connection attempts retry briefly, so a query issued
 //! right after spawning `stale-served` waits for the socket. Exit codes:
 //! 0 `ok` response, 1 `err` response, 2 transport/usage error.
+//!
+//! `watch`: a refreshing terminal view of a resident daemon — ingest
+//! progress and lag, per-command query latency quantiles, staleness
+//! events by detector, subscriber/drop counters. Redraws every
+//! `--interval-ms` (ANSI clear only when stdout is a TTY); `--frames N`
+//! renders N frames and exits (for scripts and CI).
+//!
+//! `slowlog`: print the daemon's slow-query log (queries that exceeded
+//! its `--slow-query-us` threshold, span tree included).
+//!
+//! `subscribe`: attach as a push subscriber and print streamed records
+//! (`event<TAB>json` / `span<TAB>json`, one per line) as the daemon
+//! ingests. `--max-records N` exits 0 after N records; without it the
+//! stream runs until the daemon closes it.
 
 use stale_bench::compare::{compare, parse_snapshot, DEFAULT_MIN_WALL_US, DEFAULT_THRESHOLD};
 use std::process::ExitCode;
@@ -41,6 +58,9 @@ fn usage() -> String {
      \x20      stale-bench explain <FINGERPRINT> (--audit FILE | --server ADDR)\n\
      \x20      stale-bench report (--audit FILE | --server ADDR)\n\
      \x20      stale-bench query <ADDR> <CMD> [ARGS...]\n\
+     \x20      stale-bench watch <ADDR> [--interval-ms MS] [--frames N]\n\
+     \x20      stale-bench slowlog <ADDR>\n\
+     \x20      stale-bench subscribe <ADDR> [--max-records N]\n\
      \n\
      compare: diff two metrics-JSON exports (repro --metrics-json) stage by\n\
      stage. A stage regresses when its wall time exceeds baseline *\n\
@@ -58,7 +78,17 @@ fn usage() -> String {
      or a resident stale-served daemon.\n\
      \n\
      query: send one protocol command to a stale-served daemon and print\n\
-     the response body. Exit: 0 ok, 1 err response, 2 transport error."
+     the response body. Exit: 0 ok, 1 err response, 2 transport error.\n\
+     \n\
+     watch: refreshing live view of a daemon (ingest lag, per-command\n\
+     latency quantiles, staleness events by detector). --frames N exits\n\
+     after N renders.\n\
+     \n\
+     slowlog: print the daemon's slow-query log (span trees of queries\n\
+     over its --slow-query-us threshold).\n\
+     \n\
+     subscribe: stream pushed event/span records, one per line, until\n\
+     --max-records N records arrived (or the daemon closes the stream)."
         .to_string()
 }
 
@@ -207,6 +237,211 @@ fn cmd_query(rest: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_slowlog(rest: &[String]) -> ExitCode {
+    let [addr] = rest else {
+        return fail(&format!("slowlog needs exactly one address\n{}", usage()));
+    };
+    match server_request(addr, "slowlog") {
+        Ok(resp) => finish_audit_query(resp),
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_subscribe(rest: &[String]) -> ExitCode {
+    let mut addr: Option<&String> = None;
+    let mut max_records: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-records" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return fail("--max-records needs a positive integer");
+                };
+                if v == 0 {
+                    return fail("--max-records needs a positive integer");
+                }
+                max_records = Some(v);
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ if addr.is_none() => addr = Some(arg),
+            _ => return fail(&format!("subscribe takes one address\n{}", usage())),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail(&format!("subscribe needs an address\n{}", usage()));
+    };
+    let client = match stale_served::Client::connect_retry(
+        addr,
+        40,
+        std::time::Duration::from_millis(250),
+    ) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let (ack, mut sub) = match client.subscribe() {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("subscribe to {addr} failed: {e}")),
+    };
+    eprintln!("stale-bench: {ack}");
+    let mut received = 0u64;
+    loop {
+        match sub.next_record() {
+            Ok((kind, body)) => {
+                println!("{kind}\t{body}");
+                received += 1;
+                if let Some(max) = max_records {
+                    if received >= max {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return match max_records {
+                    // An open-ended stream ending is the normal exit.
+                    None => ExitCode::SUCCESS,
+                    Some(max) => {
+                        eprintln!("stale-bench: stream closed after {received} of {max} record(s)");
+                        ExitCode::from(1)
+                    }
+                };
+            }
+            Err(e) => return fail(&format!("subscription to {addr} failed: {e}")),
+        }
+    }
+}
+
+/// One rendered `watch` frame.
+fn render_watch_frame(addr: &str, frame: u64, status: &str, snap: &obs::MetricsSnapshot) -> String {
+    let mut out = format!("stale-served {addr} — watch frame {frame}\n\n");
+    for line in status.lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    let get_hist = |name: &str| snap.histograms.get(name);
+    out.push_str("\ningest\n");
+    match get_hist("served.ingest.lag_days") {
+        Some(lag) => out.push_str(&format!(
+            "  lag-days: p50 {} p90 {} max {} ({} sample(s))\n",
+            lag.p50, lag.p90, lag.max, lag.count
+        )),
+        None => out.push_str("  lag-days: no samples yet\n"),
+    }
+    if let Some(batch) = get_hist("served.ingest.batch_wall_us") {
+        out.push_str(&format!(
+            "  batch-wall-us: p50 {} p99 {} max {} ({} batch(es))\n",
+            batch.p50, batch.p99, batch.max, batch.count
+        ));
+    }
+    out.push_str("\nquery latency (µs)\n");
+    let mut any = false;
+    for (name, hist) in &snap.histograms {
+        let Some(tag) = name
+            .strip_prefix("served.query.")
+            .and_then(|n| n.strip_suffix("_us"))
+        else {
+            continue;
+        };
+        any = true;
+        out.push_str(&format!(
+            "  {:<12} {:>7}  p50 {:>9}  p90 {:>9}  p99 {:>9}  max {:>9}\n",
+            tag, hist.count, hist.p50, hist.p90, hist.p99, hist.max
+        ));
+    }
+    if !any {
+        out.push_str("  no queries served yet\n");
+    }
+    out.push_str("\nstaleness events by detector\n");
+    let mut any = false;
+    for (name, value) in &snap.counters {
+        let Some(det) = name.strip_prefix("served.events.") else {
+            continue;
+        };
+        any = true;
+        out.push_str(&format!("  {det:<12} {value:>10}\n"));
+    }
+    if !any {
+        out.push_str("  none emitted yet\n");
+    }
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let attached = counter("served.sub.attached");
+    let detached = counter("served.sub.detached");
+    out.push_str(&format!(
+        "\nsubscribers: {} active ({attached} attached, {detached} detached, {} record(s) dropped)\n",
+        attached.saturating_sub(detached),
+        counter("served.sub.dropped"),
+    ));
+    out
+}
+
+fn cmd_watch(rest: &[String]) -> ExitCode {
+    let mut addr: Option<&String> = None;
+    let mut interval_ms = 1_000u64;
+    let mut frames = 0u64; // 0 = until interrupted
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return fail("--interval-ms needs an integer millisecond value");
+                };
+                interval_ms = v.max(50);
+            }
+            "--frames" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return fail("--frames needs a positive integer");
+                };
+                if v == 0 {
+                    return fail("--frames needs a positive integer");
+                }
+                frames = v;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ if addr.is_none() => addr = Some(arg),
+            _ => return fail(&format!("watch takes one address\n{}", usage())),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail(&format!("watch needs an address\n{}", usage()));
+    };
+    use std::io::{IsTerminal, Write as _};
+    let clear = std::io::stdout().is_terminal();
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let fetch = |line: &str| -> Result<String, String> {
+            match server_request(addr, line) {
+                Ok(Ok(body)) => Ok(body),
+                Ok(Err(e)) => Err(format!("daemon error: {e}")),
+                Err(e) => Err(e),
+            }
+        };
+        let status = match fetch("status") {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        let metrics = match fetch("metrics") {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        let snap: obs::MetricsSnapshot = match serde_json::from_str(&metrics) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("metrics export does not parse: {e}")),
+        };
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_watch_frame(addr, frame, &status, &snap));
+        let _ = std::io::stdout().flush();
+        if frames > 0 && frame >= frames {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn cmd_compare(rest: &[String]) -> ExitCode {
     let mut paths: Vec<&String> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
@@ -303,6 +538,9 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
         "query" => cmd_query(rest),
+        "watch" => cmd_watch(rest),
+        "slowlog" => cmd_slowlog(rest),
+        "subscribe" => cmd_subscribe(rest),
         other => fail(&format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }

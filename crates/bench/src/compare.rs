@@ -16,6 +16,11 @@
 //! noise floor. Counters present on only one side (e.g. the baseline
 //! predates auditing) are reported but never flag.
 //!
+//! Separately, *every* counter name present in only one snapshot lands
+//! in the artifact's `added`/`removed` presence lists — informational,
+//! never a failure, but it means a renamed stage counter drops out of
+//! the gated set loudly instead of silently.
+//!
 //! The result serializes as `BENCH_obs.json` (schema
 //! [`COMPARE_SCHEMA`]), which doubles as the committed CI baseline: it
 //! embeds the `current` snapshot, so the next comparison can chain off a
@@ -87,6 +92,12 @@ pub struct Comparison {
     /// Count of drifted count counters. `None` only when parsing a
     /// pre-audit artifact (treated as 0).
     pub count_drifts: Option<usize>,
+    /// Counter names present only in the current snapshot, name-sorted.
+    /// Reported (a renamed stage cannot vanish unnoticed) but never a
+    /// failure. `None` only when parsing a pre-presence artifact.
+    pub added: Option<Vec<String>>,
+    /// Counter names present only in the baseline snapshot, name-sorted.
+    pub removed: Option<Vec<String>>,
     /// The baseline snapshot compared against.
     pub baseline: Snapshot,
     /// The current snapshot — the next run's baseline.
@@ -149,6 +160,22 @@ impl Comparison {
                     self.count_drifts.unwrap_or(0)
                 ));
             }
+        }
+        let added = self.added.as_deref().unwrap_or(&[]);
+        let removed = self.removed.as_deref().unwrap_or(&[]);
+        if !added.is_empty() || !removed.is_empty() {
+            out.push_str("counter presence (informational, never a failure)\n");
+            for name in added {
+                out.push_str(&format!("  added    {name}\n"));
+            }
+            for name in removed {
+                out.push_str(&format!("  removed  {name}\n"));
+            }
+            out.push_str(&format!(
+                "  {} added, {} removed\n",
+                added.len(),
+                removed.len()
+            ));
         }
         out
     }
@@ -225,6 +252,22 @@ pub fn compare(
         });
     }
 
+    // Presence diff over *every* counter (stages, audit gauges, ad-hoc
+    // instrumentation alike): one-sided names are reported so a renamed
+    // counter can't silently drop out of the gated set.
+    let added: Vec<String> = current
+        .counters
+        .keys()
+        .filter(|n| !baseline.counters.contains_key(*n))
+        .cloned()
+        .collect();
+    let removed: Vec<String> = baseline
+        .counters
+        .keys()
+        .filter(|n| !current.counters.contains_key(*n))
+        .cloned()
+        .collect();
+
     Comparison {
         schema: COMPARE_SCHEMA.to_string(),
         version: COMPARE_VERSION,
@@ -234,6 +277,8 @@ pub fn compare(
         regressions,
         counts: Some(counts),
         count_drifts: Some(count_drifts),
+        added: Some(added),
+        removed: Some(removed),
         baseline: baseline.clone(),
         current: current.clone(),
     }
@@ -402,6 +447,45 @@ mod tests {
     }
 
     #[test]
+    fn one_sided_counters_land_in_added_and_removed() {
+        // Any counter — stage wall, audit gauge or ad-hoc — present on
+        // one side only must be named, so renames can't hide.
+        let mk = |names: &[&str]| {
+            let reg = Registry::new();
+            for n in names {
+                reg.add(n, 1);
+            }
+            reg.snapshot()
+        };
+        let baseline = mk(&["engine.stage.detect.wall_us", "served.view.rebuilds"]);
+        let current = mk(&["engine.stage.detect.wall_us", "served.ingest.batch_count"]);
+        let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD, DEFAULT_MIN_WALL_US);
+        assert_eq!(
+            cmp.added.as_deref(),
+            Some(&["served.ingest.batch_count".to_string()][..])
+        );
+        assert_eq!(
+            cmp.removed.as_deref(),
+            Some(&["served.view.rebuilds".to_string()][..])
+        );
+        assert!(cmp.is_clean(), "presence changes are informational");
+        let text = cmp.render_human();
+        assert!(text.contains("counter presence"), "{text}");
+        assert!(
+            text.contains("added    served.ingest.batch_count"),
+            "{text}"
+        );
+        assert!(text.contains("removed  served.view.rebuilds"), "{text}");
+        assert!(text.contains("1 added, 1 removed"), "{text}");
+
+        // Identical snapshots render no presence section.
+        let cmp = compare(&baseline, &baseline, DEFAULT_THRESHOLD, DEFAULT_MIN_WALL_US);
+        assert_eq!(cmp.added.as_deref(), Some(&[][..]));
+        assert_eq!(cmp.removed.as_deref(), Some(&[][..]));
+        assert!(!cmp.render_human().contains("counter presence"));
+    }
+
+    #[test]
     fn pre_audit_artifact_still_parses() {
         // BENCH_obs.json files written before `counts` existed have no
         // such field; the Option must absorb that, and an absent
@@ -416,6 +500,8 @@ mod tests {
         let parsed: Comparison = serde_json::from_str(&json).expect("parses without counts");
         assert_eq!(parsed.counts, None);
         assert_eq!(parsed.count_drifts, None);
+        assert_eq!(parsed.added, None, "pre-presence artifacts parse too");
+        assert_eq!(parsed.removed, None);
         assert!(parsed.is_clean());
     }
 

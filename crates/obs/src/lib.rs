@@ -31,7 +31,11 @@
 //!    `&dyn CounterSink` and can only `add`; it cannot read anything
 //!    back, which is what makes the determinism invariant structural
 //!    rather than a convention.
-//! 4. **Decision audit** ([`audit`]) — typed kept/dropped decisions
+//! 4. **Live-plane types** ([`window`], [`slowlog`]) — the rolling
+//!    [`WindowedHistogram`] ring and the bounded [`SlowLog`] the
+//!    resident daemon serves over its telemetry surface. Both are
+//!    write-only from the query path's point of view.
+//! 5. **Decision audit** ([`audit`]) — typed kept/dropped decisions
 //!    with provenance, reported through the write-only
 //!    [`audit::DecisionSink`] and merged by the engine into a
 //!    canonically ordered [`audit::AuditReport`] (JSONL schema
@@ -39,11 +43,15 @@
 
 pub mod audit;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
+pub mod window;
 
 pub use audit::{AuditLog, AuditReport, Decision, DecisionSink, NullDecisionSink};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use slowlog::{SlowLog, SlowQueryRecord};
 pub use trace::{SpanGuard, SpanId, SpanRecord, Trace, TraceHeader};
+pub use window::WindowedHistogram;
 
 /// Write-only counter sink. Detector stages report item counts through
 /// this trait; the trait has no read surface, so instrumented code

@@ -1,0 +1,199 @@
+//! Rolling time-window metrics: a fixed-size ring of labelled
+//! [`Histogram`]s.
+//!
+//! The registry's histograms accumulate forever, which is the right
+//! shape for end-of-run exports but useless for "how is ingestion doing
+//! *lately*". A [`WindowedHistogram`] keeps the last `cap` windows —
+//! one per ingest batch in the daemon — each a full fixed-bucket
+//! histogram, so both the per-window distribution and the merged
+//! recent distribution ([`WindowedHistogram::merged`]) are available
+//! without unbounded memory. Rolling past the capacity evicts the
+//! oldest window; nothing here is ever read back by detection code.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use std::collections::VecDeque;
+
+/// A ring of labelled histograms: the newest window receives
+/// observations, the oldest falls off once `cap` is exceeded.
+pub struct WindowedHistogram {
+    cap: usize,
+    make: fn() -> Histogram,
+    ring: VecDeque<(String, Histogram)>,
+}
+
+impl WindowedHistogram {
+    /// A ring of up to `cap` wall-time windows (latency bound ladder).
+    pub fn latency_us(cap: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            cap: cap.max(1),
+            make: Histogram::latency_us,
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// A ring of up to `cap` depth/size windows (depth bound ladder).
+    pub fn depth(cap: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            cap: cap.max(1),
+            make: Histogram::depth,
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Start a new window labelled `label`, evicting the oldest window
+    /// once the ring is full.
+    pub fn roll(&mut self, label: &str) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((label.to_string(), (self.make)()));
+    }
+
+    /// Record one observation into the newest window. Observing before
+    /// any [`roll`](WindowedHistogram::roll) opens an unlabelled window
+    /// rather than dropping the value.
+    pub fn observe(&mut self, value: u64) {
+        if self.ring.is_empty() {
+            self.roll("");
+        }
+        if let Some((_, hist)) = self.ring.back_mut() {
+            hist.observe(value);
+        }
+    }
+
+    /// Windows currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no window has been opened yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Snapshot every held window, oldest first.
+    pub fn windows(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.ring
+            .iter()
+            .map(|(label, hist)| (label.clone(), hist.snapshot()))
+            .collect()
+    }
+
+    /// One histogram folded over every held window (the "recent"
+    /// distribution). Empty-ladder default when no window exists.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let mut merged = (self.make)();
+        for (_, hist) in &self.ring {
+            merged.merge_from(hist);
+        }
+        merged.snapshot()
+    }
+
+    /// Human-readable rendering: one row per window plus the merged
+    /// summary line.
+    pub fn render(&self, name: &str) -> String {
+        let mut out = format!(
+            "rolling window {name}: {} of {} window(s)\n",
+            self.ring.len(),
+            self.cap
+        );
+        if self.ring.is_empty() {
+            out.push_str("  (no windows yet)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  {:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "window", "count", "p50", "p90", "p99", "max"
+        ));
+        for (label, snap) in self.windows() {
+            let label = if label.is_empty() {
+                "(unlabelled)"
+            } else {
+                label.as_str()
+            };
+            out.push_str(&format!(
+                "  {:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                label, snap.count, snap.p50, snap.p90, snap.p99, snap.max
+            ));
+        }
+        let m = self.merged();
+        out.push_str(&format!(
+            "  merged: count {} p50 {} p90 {} p99 {} max {}\n",
+            m.count, m.p50, m.p90, m.p99, m.max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_past_capacity() {
+        let mut w = WindowedHistogram::latency_us(3);
+        for day in ["d1", "d2", "d3", "d4"] {
+            w.roll(day);
+            w.observe(100);
+        }
+        assert_eq!(w.len(), 3);
+        let labels: Vec<String> = w.windows().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["d2", "d3", "d4"]);
+        assert_eq!(w.merged().count, 3, "evicted window left the merge");
+    }
+
+    #[test]
+    fn observe_without_roll_opens_a_window() {
+        let mut w = WindowedHistogram::depth(4);
+        w.observe(7);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.merged().count, 1);
+        assert_eq!(w.merged().max, 7);
+    }
+
+    #[test]
+    fn merged_spans_all_windows() {
+        let mut w = WindowedHistogram::latency_us(8);
+        w.roll("a");
+        w.observe(10);
+        w.observe(50);
+        w.roll("b");
+        w.observe(900_000);
+        let m = w.merged();
+        assert_eq!(m.count, 3);
+        assert_eq!(m.min, 10);
+        assert_eq!(m.max, 900_000);
+        assert!(
+            m.validate("merged").is_empty(),
+            "{:?}",
+            m.validate("merged")
+        );
+    }
+
+    #[test]
+    fn render_lists_windows_and_merge() {
+        let mut w = WindowedHistogram::latency_us(2);
+        let text = w.render("served.ingest.batch_wall_us");
+        assert!(text.contains("no windows yet"));
+        w.roll("2022-01-05");
+        w.observe(1_234);
+        let text = w.render("served.ingest.batch_wall_us");
+        assert!(text.contains("2022-01-05"));
+        assert!(text.contains("merged: count 1"));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut w = WindowedHistogram::depth(0);
+        assert_eq!(w.cap(), 1);
+        w.roll("x");
+        w.roll("y");
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+}

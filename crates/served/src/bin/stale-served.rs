@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! stale-served [preset] [--listen ADDR] [--shards N] [--delay-days N]
-//!              [--checkpoint FILE]
+//!              [--checkpoint FILE] [--http ADDR] [--slow-query-us N]
 //!
 //! presets:      paper (default) | small | tiny
 //! --listen ADDR bind address (default 127.0.0.1:7979; use :0 for an
@@ -14,12 +14,20 @@
 //!               restore schema-v2 detector state from FILE at boot
 //!               (when present and matching) and use it as the default
 //!               `snapshot` target
+//! --http ADDR   also serve the read-only HTTP telemetry plane
+//!               (/metrics, /healthz, /readyz, /status, /tables/...,
+//!               /slowlog, /window) on ADDR
+//! --slow-query-us N
+//!               capture queries at or above N µs (span tree included)
+//!               in the slow-query log (`slowlog` / GET /slowlog)
 //! ```
 //!
-//! Prints `listening on ADDR` once the socket is bound, then serves
-//! until a client sends `shutdown`. The world builds in the background;
-//! early requests queue, so a successful `ping` means the daemon is
-//! ready. Query with `stale-bench query ADDR CMD [ARGS...]`.
+//! Prints `listening on ADDR` once the socket is bound (and `http on
+//! ADDR` when `--http` is given), then serves until a client sends
+//! `shutdown`. The world builds in the background; early requests
+//! queue, so a successful `ping` means the daemon is ready. Query with
+//! `stale-bench query ADDR CMD [ARGS...]`, watch live with
+//! `stale-bench watch ADDR`.
 
 use stale_served::{Daemon, DaemonConfig};
 use worldsim::ScenarioConfig;
@@ -31,6 +39,8 @@ fn main() {
     let mut shards = 1usize;
     let mut delay_days = 0i64;
     let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut http: Option<String> = None;
+    let mut slow_query_us: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -51,6 +61,14 @@ fn main() {
                 Some(path) => checkpoint = Some(path.into()),
                 None => usage_error("--checkpoint needs a file path"),
             },
+            "--http" => match it.next() {
+                Some(addr) => http = Some(addr.clone()),
+                None => usage_error("--http needs an address"),
+            },
+            "--slow-query-us" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => slow_query_us = Some(n),
+                None => usage_error("--slow-query-us needs a non-negative integer"),
+            },
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
@@ -63,6 +81,8 @@ fn main() {
     cfg.shards = shards;
     cfg.delay_days = delay_days;
     cfg.checkpoint = checkpoint;
+    cfg.http = http;
+    cfg.slow_query_us = slow_query_us;
     let daemon = match Daemon::start(cfg, &listen) {
         Ok(d) => d,
         Err(e) => {
@@ -73,6 +93,9 @@ fn main() {
     // The readiness line scripts scrape for the resolved port; flush so
     // it lands even when stdout is a pipe.
     println!("listening on {}", daemon.addr());
+    if let Some(http_addr) = daemon.http_addr() {
+        println!("http on {http_addr}");
+    }
     let _ = std::io::Write::flush(&mut std::io::stdout());
     eprintln!(
         "stale-served: preset {preset}, {shards} shard(s), delay {delay_days} day(s); \
@@ -86,7 +109,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "stale-served: {msg}\n\
          usage: stale-served [paper|small|tiny] [--listen ADDR] [--shards N] \
-         [--delay-days N] [--checkpoint FILE]"
+         [--delay-days N] [--checkpoint FILE] [--http ADDR] [--slow-query-us N]"
     );
     std::process::exit(2);
 }

@@ -55,4 +55,46 @@ impl Client {
         let payload = proto::read_frame(&mut self.reader, proto::MAX_FRAME)?;
         proto::decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+
+    /// Send `subscribe` and flip this connection into push mode. On
+    /// success the daemon's acknowledgement and a [`Subscription`]
+    /// reading the pushed records are returned; an `err` response
+    /// surfaces as `InvalidData`.
+    pub fn subscribe(mut self) -> io::Result<(String, Subscription)> {
+        proto::write_frame(&mut self.writer, b"subscribe")?;
+        let payload = proto::read_frame(&mut self.reader, proto::MAX_FRAME)?;
+        let ack = proto::decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok((
+            ack,
+            Subscription {
+                reader: self.reader,
+            },
+        ))
+    }
+}
+
+/// The receiving end of a `subscribe`d connection: one pushed record
+/// per frame, each `kind\nbody` — kind `event` (a serialized
+/// `StaleEvent`) or `span` (an ingest-batch completion record).
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+}
+
+impl Subscription {
+    /// Block for the next pushed record, split into `(kind, body)`.
+    /// `Err(UnexpectedEof)` once the daemon closes the stream.
+    pub fn next_record(&mut self) -> io::Result<(String, String)> {
+        let payload = proto::read_frame(&mut self.reader, proto::MAX_FRAME)?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "record is not UTF-8"))?;
+        match text.split_once('\n') {
+            Some((kind, body)) => Ok((kind.to_string(), body.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record missing kind separator",
+            )),
+        }
+    }
 }

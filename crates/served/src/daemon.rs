@@ -39,9 +39,12 @@
 // stale-lint: trusted-file(wallclock-in-detector)
 
 use crate::proto;
+use crate::subs::{Subscribers, KIND_EVENT, KIND_SPAN};
 use engine::{IncrementalState, StateView, StreamCheckpoint};
-use obs::Obs;
+use obs::trace::{SpanId, Trace};
+use obs::{Obs, SlowLog, WindowedHistogram};
 use psl::SuffixList;
+use serde::Serialize;
 use stale_types::{Date, Duration};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,6 +72,15 @@ pub struct DaemonConfig {
     pub checkpoint: Option<PathBuf>,
     /// Maximum accepted request frame length.
     pub max_frame: usize,
+    /// Address for the read-only HTTP telemetry plane (`None` = off).
+    pub http: Option<String>,
+    /// Capture queries at or above this wall time in the slow-query log
+    /// (`None` = slowlog off, no per-query tracing).
+    pub slow_query_us: Option<u64>,
+    /// Per-subscriber push-queue depth (full queues drop, never block).
+    pub sub_queue: usize,
+    /// Rolling-window ring capacity (last N ingest batches).
+    pub window: usize,
 }
 
 impl DaemonConfig {
@@ -82,6 +94,10 @@ impl DaemonConfig {
             delay_days: 0,
             checkpoint: None,
             max_frame: proto::MAX_FRAME,
+            http: None,
+            slow_query_us: None,
+            sub_queue: 256,
+            window: 16,
         }
     }
 }
@@ -107,6 +123,15 @@ pub enum Request {
     Snapshot(Option<PathBuf>),
     /// Metrics-registry JSON export.
     Metrics,
+    /// Readiness: world built and the consistency delay satisfied.
+    Ready,
+    /// Rolling-window ingest metrics (last N batches).
+    Window,
+    /// The slow-query log (queries over `--slow-query-us`, span trees).
+    SlowLog,
+    /// Flip this connection into push mode (handled connection-side;
+    /// the state-actor never sees it).
+    Subscribe,
     /// Reply, then shut the daemon down.
     Shutdown,
 }
@@ -126,6 +151,10 @@ impl Request {
             Request::FeedDay(_) => "feed-day",
             Request::Snapshot(_) => "snapshot",
             Request::Metrics => "metrics",
+            Request::Ready => "ready",
+            Request::Window => "window",
+            Request::SlowLog => "slowlog",
+            Request::Subscribe => "subscribe",
             Request::Shutdown => "shutdown",
         }
     }
@@ -149,6 +178,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "table4" => none(Request::Table4),
         "report" => none(Request::Report),
         "metrics" => none(Request::Metrics),
+        "ready" => none(Request::Ready),
+        "window" => none(Request::Window),
+        "slowlog" => none(Request::SlowLog),
+        "subscribe" => none(Request::Subscribe),
         "shutdown" => none(Request::Shutdown),
         "status" => match rest.as_slice() {
             [] => Ok(Request::Status(None)),
@@ -176,12 +209,42 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 /// Messages into the state-actor.
-enum ActorMsg {
+pub(crate) enum ActorMsg {
     Request {
         req: Request,
         reply: SyncSender<Result<String, String>>,
     },
     Stop,
+}
+
+/// Relay one request to the state-actor and wait for its reply. Shared
+/// by the frame-protocol connections and the HTTP plane so both fronts
+/// see identical actor semantics (and identical shutdown errors).
+pub(crate) fn ask_actor(tx: &Sender<ActorMsg>, req: Request) -> Result<String, String> {
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if tx
+        .send(ActorMsg::Request {
+            req,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return Err("daemon is shutting down".to_string());
+    }
+    reply_rx
+        .recv()
+        .unwrap_or_else(|_| Err("daemon dropped the request".to_string()))
+}
+
+/// The per-batch ingest completion record published to subscribers.
+#[derive(Serialize)]
+struct IngestSpanRecord {
+    name: String,
+    fed_through: String,
+    applied_through: String,
+    days: i64,
+    events: usize,
+    wall_us: u64,
 }
 
 /// The state-actor: owns the world, the feed and the incremental state,
@@ -201,6 +264,16 @@ struct Actor<'w> {
     /// Cached merged view; invalidated by ingestion.
     view: Option<StateView>,
     obs: Obs,
+    /// Attached push subscribers (publishing never blocks the actor).
+    subs: Subscribers,
+    /// Bounded slow-query log (`--slow-query-us`).
+    slowlog: SlowLog,
+    /// Rolling per-ingest-batch wall times (last N batches).
+    window: WindowedHistogram,
+    /// Per-query trace, live only while the slowlog is armed and a
+    /// request is being handled; `view()` parents its rebuild span here.
+    query_trace: Trace,
+    query_span: SpanId,
 }
 
 impl<'w> Actor<'w> {
@@ -231,10 +304,38 @@ impl<'w> Actor<'w> {
                 None => self.feed.start(),
             };
             if next <= visible {
+                let started = Instant::now();
                 let delta = self.feed.delta(next, visible);
-                emitted = self.state.ingest_delta(&delta, &self.obs.registry).len();
+                let events = self.state.ingest_delta(&delta, &self.obs.registry);
+                let batch_us = started.elapsed().as_micros() as u64;
+                emitted = events.len();
                 self.events += emitted;
                 self.view = None;
+                // Publishing is observation only: records go out on
+                // bounded queues after the state change is complete, so
+                // attached subscribers cannot perturb ingest results.
+                for event in &events {
+                    self.obs.registry.add(detector_counter(event), 1);
+                    if let Ok(body) = serde_json::to_string(event) {
+                        self.subs.publish(KIND_EVENT, &body);
+                    }
+                }
+                self.window.roll(&visible.to_string());
+                self.window.observe(batch_us);
+                self.obs
+                    .registry
+                    .observe_latency_us("served.ingest.batch_wall_us", batch_us);
+                let span = IngestSpanRecord {
+                    name: "served.ingest".to_string(),
+                    fed_through: target.to_string(),
+                    applied_through: visible.to_string(),
+                    days: (visible - next).num_days() + 1,
+                    events: emitted,
+                    wall_us: batch_us,
+                };
+                if let Ok(body) = serde_json::to_string(&span) {
+                    self.subs.publish(KIND_SPAN, &body);
+                }
             }
         }
         self.fed = Some(target);
@@ -252,6 +353,30 @@ impl<'w> Actor<'w> {
         ))
     }
 
+    /// Readiness: the world is built (we are answering at all) and every
+    /// day the consistency delay makes visible has been applied.
+    fn ready(&self) -> Result<String, String> {
+        let Some(fed) = self.fed else {
+            return Ok("ready; nothing fed yet".to_string());
+        };
+        let Some(visible) = self.visible_end(fed) else {
+            return Ok(format!(
+                "ready; fed through {fed}, nothing visible yet (delay {})",
+                self.delay_days.max(0)
+            ));
+        };
+        match self.state.through() {
+            Some(applied) if applied >= visible => Ok(format!("ready; applied through {applied}")),
+            applied => Err(format!(
+                "syncing: visible through {visible}, applied through {}",
+                match applied {
+                    Some(d) => d.to_string(),
+                    None => "none".to_string(),
+                }
+            )),
+        }
+    }
+
     fn applied_label(&self) -> String {
         match self.state.through() {
             Some(d) => d.to_string(),
@@ -263,6 +388,9 @@ impl<'w> Actor<'w> {
     /// `status`, `explain` and `report` need the decision store.
     fn view(&mut self) -> Result<&StateView, String> {
         if self.view.is_none() {
+            // Parents under the live query's root span when the slowlog
+            // is armed; a disabled trace makes this a no-op.
+            let _span = self.query_trace.child(self.query_span, "view.rebuild");
             let started = Instant::now();
             let view = self.state.view(true).map_err(|e| e.to_string())?;
             self.obs.registry.observe_latency_us(
@@ -287,6 +415,35 @@ impl<'w> Actor<'w> {
 
     // stale-lint: entry(actor)
     fn handle(&mut self, req: &Request) -> Result<String, String> {
+        if !self.slowlog.enabled() {
+            return self.dispatch(req);
+        }
+        // Slowlog armed: trace the query so a capture carries its span
+        // tree. Tracing is write-only — the response bytes are computed
+        // exactly as in the untraced path.
+        let started = Instant::now();
+        let trace = Trace::enabled();
+        self.query_trace = trace.clone();
+        let resp = {
+            // The guard closes the root span when this block ends, just
+            // before the tree is rendered below.
+            let root = trace.child(SpanId::none(), &format!("query.{}", req.tag()));
+            self.query_span = root.id();
+            self.dispatch(req)
+        };
+        self.query_trace = Trace::disabled();
+        self.query_span = SpanId::none();
+        let wall_us = started.elapsed().as_micros() as u64;
+        if self
+            .slowlog
+            .record(req.tag(), wall_us, &trace.render_tree())
+        {
+            self.obs.registry.add("served.slowlog.recorded", 1);
+        }
+        resp
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Result<String, String> {
         match req {
             Request::Ping => Ok("pong".to_string()),
             Request::Status(None) => Ok(self.status()),
@@ -313,6 +470,14 @@ impl<'w> Actor<'w> {
             }
             Request::Snapshot(path) => self.snapshot(path.as_deref()),
             Request::Metrics => Ok(self.obs.registry.export_json()),
+            Request::Ready => self.ready(),
+            Request::Window => Ok(self.window.render("served.ingest.batch_wall_us")),
+            Request::SlowLog => Ok(self.slowlog.render()),
+            // Intercepted by the connection thread; reaching the actor
+            // means a front end forgot to (HTTP has no push mode).
+            Request::Subscribe => {
+                Err("subscribe is only available on the frame protocol".to_string())
+            }
             Request::Shutdown => Ok("bye".to_string()),
         }
     }
@@ -397,9 +562,20 @@ impl<'w> Actor<'w> {
     }
 }
 
+/// Fixed-vocabulary staleness counter for an event's detector.
+fn detector_counter(event: &stale_core::StaleEvent) -> &'static str {
+    use obs::audit::Provenance;
+    match &event.provenance {
+        Some(Provenance::CrlEntry { .. }) => "served.events.kc",
+        Some(Provenance::WhoisCreation { .. }) => "served.events.rc",
+        Some(Provenance::DnsDeparture { .. }) => "served.events.mtd",
+        _ => "served.events.other",
+    }
+}
+
 /// Build the world and serve actor messages until `Stop` or `shutdown`.
 // stale-lint: entry(actor)
-fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs) {
+fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs, subs: Subscribers) {
     let build_start = Instant::now();
     let data = World::run(cfg.scenario);
     let psl = SuffixList::default_list();
@@ -431,6 +607,14 @@ fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs) {
         events: 0,
         view: None,
         obs: obs.clone(),
+        subs,
+        slowlog: match cfg.slow_query_us {
+            Some(us) => SlowLog::new(us, obs::slowlog::SLOWLOG_CAP),
+            None => SlowLog::disabled(),
+        },
+        window: WindowedHistogram::latency_us(cfg.window),
+        query_trace: Trace::disabled(),
+        query_span: SpanId::none(),
     };
     obs.registry.add("served.ready", 1);
     while let Ok(msg) = rx.recv() {
@@ -464,6 +648,7 @@ fn handle_conn(
     obs: Obs,
     max_frame: usize,
     shutdown_tx: Sender<()>,
+    subs: Subscribers,
 ) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -486,29 +671,40 @@ fn handle_conn(
             Err(_) => return,
         };
         let started = Instant::now();
-        let (tag, resp) = match String::from_utf8(payload) {
-            Err(_) => ("invalid", Err("request payload is not UTF-8".to_string())),
-            Ok(line) => match parse_request(&line) {
-                Err(e) => ("invalid", Err(e)),
-                Ok(req) => {
-                    let tag = req.tag();
-                    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-                    let resp = if tx
-                        .send(ActorMsg::Request {
-                            req,
-                            reply: reply_tx,
-                        })
-                        .is_err()
-                    {
-                        Err("daemon is shutting down".to_string())
-                    } else {
-                        reply_rx
-                            .recv()
-                            .unwrap_or_else(|_| Err("daemon dropped the request".to_string()))
-                    };
-                    (tag, resp)
+        let parsed = match String::from_utf8(payload) {
+            Err(_) => Err("request payload is not UTF-8".to_string()),
+            Ok(line) => parse_request(&line),
+        };
+        // `subscribe` flips the connection into push mode: it is served
+        // here, never relayed — the actor publishes to bounded queues
+        // and must not block on any connection.
+        if let Ok(Request::Subscribe) = parsed {
+            let (id, rx) = subs.attach();
+            let resp = Ok(format!(
+                "subscribed #{id}; streaming event/span records until disconnect"
+            ));
+            obs.registry.observe_latency_us(
+                "served.query.subscribe_us",
+                started.elapsed().as_micros() as u64,
+            );
+            if proto::write_frame(&mut writer, &proto::encode_response(&resp)).is_err() {
+                subs.detach(id);
+                return;
+            }
+            while let Ok(record) = rx.recv() {
+                if proto::write_frame(&mut writer, record.as_bytes()).is_err() {
+                    break;
                 }
-            },
+            }
+            subs.detach(id);
+            return;
+        }
+        let (tag, resp) = match parsed {
+            Err(e) => ("invalid", Err(e)),
+            Ok(req) => {
+                let tag = req.tag();
+                (tag, ask_actor(&tx, req))
+            }
         };
         obs.registry.observe_latency_us(
             &format!("served.query.{tag}_us"),
@@ -538,6 +734,7 @@ fn run_accept(
     stop: Arc<AtomicBool>,
     max_frame: usize,
     shutdown_tx: Sender<()>,
+    subs: Subscribers,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -548,9 +745,27 @@ fn run_accept(
         let tx = tx.clone();
         let obs = obs.clone();
         let shutdown_tx = shutdown_tx.clone();
+        let subs = subs.clone();
         let _ = std::thread::Builder::new()
             .name("served-conn".to_string())
-            .spawn(move || handle_conn(stream, tx, obs, max_frame, shutdown_tx));
+            .spawn(move || handle_conn(stream, tx, obs, max_frame, shutdown_tx, subs));
+    }
+}
+
+/// Accept HTTP connections until the stop flag is raised (the same
+/// wake-connect trick as the frame listener).
+fn run_http_accept(listener: TcpListener, tx: Sender<ActorMsg>, obs: Obs, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        obs.registry.add("served.http.accepted", 1);
+        let tx = tx.clone();
+        let obs = obs.clone();
+        let _ = std::thread::Builder::new()
+            .name("served-http".to_string())
+            .spawn(move || crate::http::handle_http_conn(stream, tx, obs));
     }
 }
 
@@ -561,12 +776,15 @@ fn run_accept(
 /// serve until a client asks it to exit.
 pub struct Daemon {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     tx: Sender<ActorMsg>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    http_accept: Option<JoinHandle<()>>,
     actor: Option<JoinHandle<()>>,
     shutdown_rx: Receiver<()>,
     obs: Obs,
+    subs: Subscribers,
 }
 
 impl Daemon {
@@ -581,18 +799,29 @@ impl Daemon {
     pub fn start(cfg: DaemonConfig, listen: &str) -> io::Result<Daemon> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
+        let http_listener = match cfg.http.as_deref() {
+            Some(http) => Some(TcpListener::bind(http)?),
+            None => None,
+        };
+        let http_addr = match &http_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let obs = Obs::disabled();
+        let subs = Subscribers::new(cfg.sub_queue, obs.registry.clone());
         let max_frame = cfg.max_frame.max(proto::HEADER_LEN);
         let (tx, rx) = mpsc::channel();
         let (shutdown_tx, shutdown_rx) = mpsc::channel();
         let stop = Arc::new(AtomicBool::new(false));
         let actor_obs = obs.clone();
+        let actor_subs = subs.clone();
         let actor = std::thread::Builder::new()
             .name("served-state".to_string())
-            .spawn(move || run_actor(cfg, rx, actor_obs))?;
+            .spawn(move || run_actor(cfg, rx, actor_obs, actor_subs))?;
         let accept_tx = tx.clone();
         let accept_obs = obs.clone();
         let accept_stop = Arc::clone(&stop);
+        let accept_subs = subs.clone();
         let accept = std::thread::Builder::new()
             .name("served-accept".to_string())
             .spawn(move || {
@@ -603,22 +832,44 @@ impl Daemon {
                     accept_stop,
                     max_frame,
                     shutdown_tx,
+                    accept_subs,
                 )
             })?;
+        let http_accept = match http_listener {
+            Some(listener) => {
+                let http_tx = tx.clone();
+                let http_obs = obs.clone();
+                let http_stop = Arc::clone(&stop);
+                Some(
+                    std::thread::Builder::new()
+                        .name("served-http-accept".to_string())
+                        .spawn(move || run_http_accept(listener, http_tx, http_obs, http_stop))?,
+                )
+            }
+            None => None,
+        };
         Ok(Daemon {
             addr,
+            http_addr,
             tx,
             stop,
             accept: Some(accept),
+            http_accept,
             actor: Some(actor),
             shutdown_rx,
             obs,
+            subs,
         })
     }
 
     /// The bound address (resolves `:0` to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP telemetry address, when `--http` is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// The daemon's metrics registry (latency histograms, ingest lag).
@@ -639,9 +890,18 @@ impl Daemon {
     fn shutdown_impl(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.tx.send(ActorMsg::Stop);
-        // Wake the blocking accept so it observes the stop flag.
+        // Close every subscriber queue so push-mode connection threads
+        // unblock and exit.
+        self.subs.close_all();
+        // Wake the blocking accepts so they observe the stop flag.
         let _ = TcpStream::connect(self.addr);
+        if let Some(http_addr) = self.http_addr {
+            let _ = TcpStream::connect(http_addr);
+        }
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.http_accept.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.actor.take() {
@@ -682,6 +942,10 @@ mod tests {
             parse_request("snapshot /tmp/cp.json").unwrap(),
             Request::Snapshot(Some(PathBuf::from("/tmp/cp.json")))
         );
+        assert_eq!(parse_request("ready").unwrap(), Request::Ready);
+        assert_eq!(parse_request("window").unwrap(), Request::Window);
+        assert_eq!(parse_request("slowlog").unwrap(), Request::SlowLog);
+        assert_eq!(parse_request("subscribe").unwrap(), Request::Subscribe);
         for bad in [
             "",
             "   ",
@@ -691,6 +955,9 @@ mod tests {
             "explain a b",
             "feed-day not-a-date",
             "table4 extra",
+            "ready now",
+            "slowlog 5",
+            "subscribe events",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
         }
@@ -701,5 +968,9 @@ mod tests {
         assert_eq!(Request::Ping.tag(), "ping");
         assert_eq!(Request::FeedDay(None).tag(), "feed-day");
         assert_eq!(Request::Snapshot(None).tag(), "snapshot");
+        assert_eq!(Request::Ready.tag(), "ready");
+        assert_eq!(Request::Window.tag(), "window");
+        assert_eq!(Request::SlowLog.tag(), "slowlog");
+        assert_eq!(Request::Subscribe.tag(), "subscribe");
     }
 }

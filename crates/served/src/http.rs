@@ -1,0 +1,326 @@
+//! The read-only HTTP/1.1 telemetry plane.
+//!
+//! A hand-rolled, dependency-free front end over the same state-actor
+//! the frame protocol talks to — one listener (`--http ADDR`), one
+//! thread per connection, one `GET` per connection (`Connection:
+//! close`). Routes:
+//!
+//! | route                | source                                    |
+//! |----------------------|-------------------------------------------|
+//! | `/metrics`           | registry Prometheus export (no actor hop) |
+//! | `/healthz`           | actor `ping` round-trip                   |
+//! | `/readyz`            | actor `ready` (delay satisfied → 200)     |
+//! | `/status[?prefix=P]` | actor `status [P]`                        |
+//! | `/tables/table3`     | actor `table3`                            |
+//! | `/tables/table4`     | actor `table4`                            |
+//! | `/slowlog`           | actor `slowlog`                           |
+//! | `/window`            | actor `window`                            |
+//!
+//! Every actor-backed body is **the frame-protocol response body,
+//! verbatim** — both fronts call [`ask_actor`] with the same
+//! [`Request`], so HTTP bytes equal frame bytes equal batch bytes
+//! (`tests/served_equivalence.rs` asserts the chain). The plane is
+//! strictly read-only: no route feeds, snapshots or shuts down, so an
+//! exposed scrape port cannot mutate daemon state.
+//!
+//! Robustness mirrors the frame protocol's: bounded request line
+//! (414 past [`MAX_REQUEST_LINE`]) and header block (431 past
+//! [`MAX_HEADER_BYTES`]), `GET`-only (405), malformed syntax (400),
+//! and every failure path drops only the offending connection
+//! (`crates/served/tests/http_robustness.rs`).
+
+// Request self-timing with `Instant` is sanctioned here for the same
+// reason as in the daemon module: it feeds the latency histograms,
+// never detection results.
+// stale-lint: trusted-file(wallclock-in-detector)
+
+use crate::daemon::{ask_actor, ActorMsg, Request};
+use obs::Obs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::Sender;
+use std::time::Instant;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 4 * 1024;
+/// Longest accepted header block (all header lines together).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// How reading a request can fail, mapped to a response status.
+enum HttpError {
+    /// Malformed syntax (bad request line, non-UTF-8, bad query).
+    BadRequest(String),
+    /// Request line over [`MAX_REQUEST_LINE`].
+    UriTooLong,
+    /// Header block over [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// Transport error or EOF mid-request: nothing to answer.
+    Closed,
+}
+
+/// One parsed request: the method and the request target.
+struct HttpRequest {
+    method: String,
+    target: String,
+}
+
+/// Serve one HTTP connection: read one request, answer it, close.
+// stale-lint: entry(conn)
+pub(crate) fn handle_http_conn(stream: TcpStream, tx: Sender<ActorMsg>, obs: Obs) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let started = Instant::now();
+    obs.registry.add("served.http.requests", 1);
+    let (status, reason, route_tag, body, allow) = match read_request(&mut reader) {
+        Ok(req) => respond(&req, &tx, &obs),
+        Err(HttpError::BadRequest(msg)) => {
+            (400, "Bad Request", "invalid", format!("{msg}\n"), None)
+        }
+        Err(HttpError::UriTooLong) => (
+            414,
+            "URI Too Long",
+            "invalid",
+            format!("request line over {MAX_REQUEST_LINE} bytes\n"),
+            None,
+        ),
+        Err(HttpError::HeadersTooLarge) => (
+            431,
+            "Request Header Fields Too Large",
+            "invalid",
+            format!("header block over {MAX_HEADER_BYTES} bytes\n"),
+            None,
+        ),
+        Err(HttpError::Closed) => return,
+    };
+    if status >= 400 {
+        obs.registry.add("served.http.errors", 1);
+    }
+    obs.registry.observe_latency_us(
+        &format!("served.http.{route_tag}_us"),
+        started.elapsed().as_micros() as u64,
+    );
+    let _ = write_response(&mut writer, status, reason, &body, allow);
+}
+
+/// Read and parse one request (request line + headers; bodies are not
+/// accepted — `GET` has none).
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
+    let line = match read_line_bounded(reader, MAX_REQUEST_LINE) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Err(HttpError::Closed),
+        Err(LineError::TooLong) => return Err(HttpError::UriTooLong),
+        Err(LineError::NotUtf8) => {
+            return Err(HttpError::BadRequest(
+                "request line is not UTF-8".to_string(),
+            ))
+        }
+        Err(LineError::Io) => return Err(HttpError::Closed),
+    };
+    let mut words = line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (words.next(), words.next(), words.next(), words.next())
+    else {
+        return Err(HttpError::BadRequest(
+            "malformed request line (expected METHOD TARGET HTTP/1.x)".to_string(),
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    // Drain headers up to the blank line, enforcing the block bound.
+    // Header values are otherwise ignored: no route needs them.
+    let mut header_bytes = 0usize;
+    loop {
+        let header = match read_line_bounded(reader, MAX_HEADER_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(LineError::Io) => return Err(HttpError::Closed),
+            Err(LineError::TooLong) => return Err(HttpError::HeadersTooLarge),
+            Err(LineError::NotUtf8) => {
+                return Err(HttpError::BadRequest("header is not UTF-8".to_string()))
+            }
+        };
+        if header.is_empty() {
+            break;
+        }
+        header_bytes = header_bytes.saturating_add(header.len() + 2);
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+    }
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+    })
+}
+
+/// Route the request and produce `(status, reason, route_tag, body,
+/// allow_header)`. Route tags are a fixed vocabulary: client input can
+/// never mint metric names.
+fn respond(
+    req: &HttpRequest,
+    tx: &Sender<ActorMsg>,
+    obs: &Obs,
+) -> (
+    u16,
+    &'static str,
+    &'static str,
+    String,
+    Option<&'static str>,
+) {
+    let (path, query) = match req.target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (req.target.as_str(), None),
+    };
+    if req.method != "GET" {
+        return (
+            405,
+            "Method Not Allowed",
+            "invalid",
+            "telemetry plane is read-only; only GET is supported\n".to_string(),
+            Some("GET"),
+        );
+    }
+    let (tag, actor_req) = match path {
+        "/metrics" => ("metrics", None),
+        "/healthz" => ("healthz", Some(Request::Ping)),
+        "/readyz" => ("readyz", Some(Request::Ready)),
+        "/status" => {
+            let prefix = match query {
+                None | Some("") => None,
+                Some(q) => match q.strip_prefix("prefix=") {
+                    Some(p) if !p.is_empty() && !p.contains('&') => Some(p.to_string()),
+                    _ => {
+                        return (
+                            400,
+                            "Bad Request",
+                            "status",
+                            "unsupported query (expected ?prefix=<fingerprint-prefix>)\n"
+                                .to_string(),
+                            None,
+                        )
+                    }
+                },
+            };
+            ("status", Some(Request::Status(prefix)))
+        }
+        "/tables/table3" => ("table3", Some(Request::Table3)),
+        "/tables/table4" => ("table4", Some(Request::Table4)),
+        "/slowlog" => ("slowlog", Some(Request::SlowLog)),
+        "/window" => ("window", Some(Request::Window)),
+        _ => {
+            return (
+                404,
+                "Not Found",
+                "invalid",
+                "no such route\n".to_string(),
+                None,
+            )
+        }
+    };
+    if query.is_some() && path != "/status" {
+        return (
+            400,
+            "Bad Request",
+            tag,
+            "this route takes no query parameters\n".to_string(),
+            None,
+        );
+    }
+    let Some(actor_req) = actor_req else {
+        // `/metrics` is served straight off the shared registry — no
+        // actor hop, so scrapes stay live even mid-ingest.
+        return (200, "OK", tag, obs.registry.export_prom(), None);
+    };
+    match (tag, ask_actor(tx, actor_req)) {
+        // The body is the frame-protocol response body, verbatim.
+        (_, Ok(body)) => (200, "OK", tag, body, None),
+        // Not-ready and shutdown are service states, not client errors.
+        ("readyz" | "healthz", Err(msg)) => {
+            (503, "Service Unavailable", tag, format!("{msg}\n"), None)
+        }
+        (_, Err(msg)) if msg.contains("shutting down") || msg.contains("dropped the request") => {
+            (503, "Service Unavailable", tag, format!("{msg}\n"), None)
+        }
+        // Lookup misses (unknown fingerprint prefix) and the like.
+        (_, Err(msg)) => (404, "Not Found", tag, format!("{msg}\n"), None),
+    }
+}
+
+/// Write one response and flush. `Connection: close` always: the one
+/// request this connection carried is answered.
+fn write_response(
+    writer: &mut BufWriter<TcpStream>,
+    status: u16,
+    reason: &str,
+    body: &str,
+    allow: Option<&str>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some(allow) = allow {
+        head.push_str(&format!("Allow: {allow}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// How reading one line can fail.
+enum LineError {
+    TooLong,
+    NotUtf8,
+    Io,
+}
+
+/// Read one CRLF- (or LF-) terminated line with a hard byte bound.
+/// `Ok(None)` is clean EOF before any byte.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> Result<Option<String>, LineError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(|_| LineError::Io)?;
+        if buf.is_empty() {
+            // EOF: a clean close before the line is "no request".
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(LineError::Io)
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len().saturating_add(pos) > max {
+                    return Err(LineError::TooLong);
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Ok(Some(s)),
+                    Err(_) => Err(LineError::NotUtf8),
+                };
+            }
+            None => {
+                if line.len().saturating_add(buf.len()) > max {
+                    return Err(LineError::TooLong);
+                }
+                line.extend_from_slice(buf);
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}

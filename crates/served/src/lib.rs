@@ -19,10 +19,21 @@
 //! *consistency delay* (in fed days, never wall time) holds the newest
 //! days back from queries, modeling the lag between a feed landing and
 //! its results being trusted downstream.
+//!
+//! The daemon also carries a **live telemetry plane**: a read-only
+//! HTTP/1.1 front end ([`http`], `--http ADDR`) for scrapes and
+//! probes, push subscriptions over the frame protocol ([`subs`],
+//! `subscribe`) streaming stale events and ingest span records, and a
+//! bounded slow-query log (`--slow-query-us`). All of it is write-only
+//! observability: answers stay byte-identical with every telemetry
+//! feature on.
 
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod proto;
+pub mod subs;
 
-pub use client::Client;
+pub use client::{Client, Subscription};
 pub use daemon::{parse_request, Daemon, DaemonConfig, Request};
+pub use subs::Subscribers;

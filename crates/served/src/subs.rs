@@ -1,0 +1,184 @@
+//! The subscriber registry: push delivery of ingest records to attached
+//! connections.
+//!
+//! A client that sends `subscribe` flips its connection into push mode:
+//! the state-actor publishes one record per [`engine`] `StaleEvent` and
+//! one span-completion record per ingest batch, and the connection
+//! thread relays them as frames. Delivery is **bounded and lossy by
+//! design** — each subscriber owns a fixed-depth queue, and a full
+//! queue drops the record (counted under `served.sub.dropped`) instead
+//! of blocking the actor. The actor therefore never waits on a slow
+//! subscriber, which is what keeps ingestion byte-identical with zero
+//! or many subscribers attached (`tests/served_equivalence.rs` proves
+//! it): publishing is fire-and-forget, off the response path entirely.
+
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// Record kind tag for a serialized `StaleEvent`.
+pub const KIND_EVENT: &str = "event";
+/// Record kind tag for an ingest span-completion record.
+pub const KIND_SPAN: &str = "span";
+
+struct Sub {
+    id: u64,
+    tx: SyncSender<String>,
+}
+
+struct Inner {
+    next_id: u64,
+    subs: Vec<Sub>,
+}
+
+/// Shared registry of attached subscribers. Cloning shares the set.
+#[derive(Clone)]
+pub struct Subscribers {
+    inner: Arc<Mutex<Inner>>,
+    queue: usize,
+    registry: obs::Registry,
+}
+
+impl Subscribers {
+    /// An empty registry; each subscriber gets a queue of depth `queue`.
+    pub fn new(queue: usize, registry: obs::Registry) -> Subscribers {
+        Subscribers {
+            inner: Arc::new(Mutex::new(Inner {
+                next_id: 0,
+                subs: Vec::new(),
+            })),
+            queue: queue.max(1),
+            registry,
+        }
+    }
+
+    /// Attach a subscriber; returns its id and the receiving end of its
+    /// bounded queue.
+    pub fn attach(&self) -> (u64, Receiver<String>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.queue);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let id = inner.next_id;
+        inner.next_id = inner.next_id.saturating_add(1);
+        inner.subs.push(Sub { id, tx });
+        self.registry.add("served.sub.attached", 1);
+        (id, rx)
+    }
+
+    /// Detach a subscriber (its queue closes; pending records drain).
+    pub fn detach(&self, id: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.subs.retain(|s| s.id != id);
+        self.registry.add("served.sub.detached", 1);
+    }
+
+    /// Subscribers currently attached.
+    pub fn active(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .subs
+            .len()
+    }
+
+    /// Per-subscriber queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue
+    }
+
+    /// Drop every subscriber (daemon shutdown): queues close, so each
+    /// connection thread's blocking `recv` errors out and it can exit.
+    pub fn close_all(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.subs.clear();
+    }
+
+    /// Publish one record (`kind` newline `body` as the frame payload)
+    /// to every subscriber. Never blocks: a full queue drops the record
+    /// and counts `served.sub.dropped`; a disconnected subscriber is
+    /// pruned.
+    pub fn publish(&self, kind: &str, body: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.subs.is_empty() {
+            return;
+        }
+        let payload = format!("{kind}\n{body}");
+        let mut dropped = 0u64;
+        inner
+            .subs
+            .retain(|sub| match sub.tx.try_send(payload.clone()) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    dropped += 1;
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            });
+        if dropped > 0 {
+            self.registry.add("served.sub.dropped", dropped);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_every_subscriber() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(4, reg.clone());
+        let (_a, rx_a) = subs.attach();
+        let (_b, rx_b) = subs.attach();
+        assert_eq!(subs.active(), 2);
+        subs.publish(KIND_EVENT, "{\"x\":1}");
+        assert_eq!(rx_a.recv().ok().as_deref(), Some("event\n{\"x\":1}"));
+        assert_eq!(rx_b.recv().ok().as_deref(), Some("event\n{\"x\":1}"));
+        assert_eq!(reg.snapshot().counters["served.sub.attached"], 2);
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts_without_blocking() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(2, reg.clone());
+        let (_id, rx) = subs.attach();
+        for i in 0..5 {
+            subs.publish(KIND_SPAN, &format!("{{\"i\":{i}}}"));
+        }
+        // The first two records queued; the rest dropped.
+        assert_eq!(rx.try_recv().ok().as_deref(), Some("span\n{\"i\":0}"));
+        assert_eq!(rx.try_recv().ok().as_deref(), Some("span\n{\"i\":1}"));
+        assert!(rx.try_recv().is_err());
+        assert_eq!(reg.snapshot().counters["served.sub.dropped"], 3);
+        assert_eq!(subs.active(), 1, "a lossy subscriber stays attached");
+    }
+
+    #[test]
+    fn disconnected_subscriber_is_pruned() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(2, reg.clone());
+        let (id, rx) = subs.attach();
+        drop(rx);
+        subs.publish(KIND_EVENT, "{}");
+        assert_eq!(subs.active(), 0);
+        // Detach after prune is a no-op.
+        subs.detach(id);
+        assert_eq!(subs.active(), 0);
+    }
+
+    #[test]
+    fn detach_closes_the_queue() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(2, reg);
+        let (id, rx) = subs.attach();
+        subs.detach(id);
+        assert_eq!(subs.active(), 0);
+        assert!(rx.recv().is_err(), "sender dropped on detach");
+    }
+
+    #[test]
+    fn publish_to_nobody_is_free() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(1, reg.clone());
+        subs.publish(KIND_EVENT, "{}");
+        assert!(!reg.snapshot().counters.contains_key("served.sub.dropped"));
+    }
+}

@@ -1,0 +1,173 @@
+//! HTTP-plane robustness: a hostile or broken HTTP peer can hurt only
+//! itself.
+//!
+//! One daemon serves every scenario here. Malformed request lines,
+//! oversized request lines and header blocks, unsupported methods,
+//! unknown routes, and mid-response disconnects must never panic the
+//! daemon or corrupt its state — after all the abuse, the HTTP table
+//! bodies are still byte-identical to the frame-protocol answers they
+//! matched before it.
+
+use stale_served::{Client, Daemon, DaemonConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use worldsim::ScenarioConfig;
+
+fn start_daemon() -> (Daemon, String, SocketAddr) {
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.http = Some("127.0.0.1:0".to_string());
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let addr = daemon.addr().to_string();
+    let http = daemon.http_addr().expect("http bound");
+    (daemon, addr, http)
+}
+
+fn ok(client: &mut Client, line: &str) -> String {
+    client
+        .request(line)
+        .expect("transport")
+        .unwrap_or_else(|e| panic!("{line:?} should succeed, got err {e:?}"))
+}
+
+/// Send raw bytes to the HTTP listener and return the full response
+/// text (empty when the daemon just closed the connection).
+fn raw_http(http: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(http).expect("http connect");
+    stream.write_all(request).expect("send");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+/// Status code of a raw response capture (0 when the connection was
+/// closed without a response).
+fn status_code(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn http_plane_survives_malformed_requests() {
+    let (_daemon, addr, http) = start_daemon();
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(ok(&mut client, "ping"), "pong");
+
+    // Ingest a few days so answers cover real state, and pin the bytes
+    // the plane must keep returning.
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    let t4_before = ok(&mut client, "table4");
+    let http_t4 = raw_http(http, b"GET /tables/table4 HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&http_t4), 200, "{http_t4}");
+    let body_before = http_t4.split_once("\r\n\r\n").expect("body").1.to_string();
+    assert_eq!(body_before, t4_before);
+
+    // 1. Garbage request line: 400, connection survives long enough to
+    //    deliver the error.
+    let resp = raw_http(http, b"\xff\xfe garbage\r\n\r\n");
+    assert_eq!(status_code(&resp), 400, "{resp}");
+
+    // 2. Missing HTTP version (two words only): 400.
+    let resp = raw_http(http, b"GET /healthz\r\n\r\n");
+    assert_eq!(status_code(&resp), 400, "{resp}");
+
+    // 3. Wrong protocol token: 400.
+    let resp = raw_http(http, b"GET /healthz GOPHER/1.0\r\n\r\n");
+    assert_eq!(status_code(&resp), 400, "{resp}");
+
+    // 4. Unsupported methods: 405 with an Allow header; the daemon's
+    //    HTTP plane is read-only by design.
+    for method in ["POST", "PUT", "DELETE", "HEAD"] {
+        let resp = raw_http(
+            http,
+            format!("{method} /healthz HTTP/1.1\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status_code(&resp), 405, "{method}: {resp}");
+        assert!(resp.contains("Allow: GET"), "{method}: {resp}");
+    }
+
+    // 5. Request line beyond the 4 KiB bound: 414 without reading the
+    //    rest of it.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8 * 1024));
+    let resp = raw_http(http, long.as_bytes());
+    assert_eq!(status_code(&resp), 414, "{resp}");
+
+    // 6. Header block beyond the 16 KiB bound: 431.
+    let mut fat = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..10 {
+        fat.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "b".repeat(2 * 1024)).as_bytes());
+    }
+    fat.extend_from_slice(b"\r\n");
+    let resp = raw_http(http, &fat);
+    assert_eq!(status_code(&resp), 431, "{resp}");
+
+    // 7. Unknown route: 404. Query strings are rejected everywhere but
+    //    /status: 400.
+    let resp = raw_http(http, b"GET /frobnicate HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 404, "{resp}");
+    let resp = raw_http(http, b"GET /status?frobnicate=1 HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 400, "{resp}");
+    let resp = raw_http(http, b"GET /metrics?x=1 HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 400, "{resp}");
+
+    // 8. Mid-response disconnect: ask for a large body, read one byte,
+    //    vanish.
+    {
+        let mut stream = TcpStream::connect(http).expect("http connect");
+        stream
+            .write_all(b"GET /tables/table4 HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let mut one = [0u8; 1];
+        stream.read_exact(&mut one).expect("first byte");
+        drop(stream);
+    }
+
+    // 9. Silent peer: connect and leave without sending a byte.
+    {
+        let stream = TcpStream::connect(http).expect("http connect");
+        drop(stream);
+    }
+
+    // After all of it: same bytes on both planes, daemon still alive.
+    let http_t4 = raw_http(http, b"GET /tables/table4 HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&http_t4), 200, "{http_t4}");
+    assert_eq!(http_t4.split_once("\r\n\r\n").expect("body").1, body_before);
+    let mut fresh = Client::connect(&addr).expect("connect");
+    assert_eq!(ok(&mut fresh, "ping"), "pong");
+    assert_eq!(ok(&mut fresh, "table4"), t4_before);
+    let health = raw_http(http, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&health), 200, "{health}");
+}
+
+#[test]
+fn readyz_reports_syncing_under_consistency_delay() {
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 1;
+    cfg.delay_days = 3;
+    cfg.http = Some("127.0.0.1:0".to_string());
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let http = daemon.http_addr().expect("http bound");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+
+    // Nothing fed yet: the daemon is ready (it is serving its empty
+    // state, not catching up).
+    let resp = raw_http(http, b"GET /readyz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 200, "{resp}");
+
+    // Fed days held behind the delay: not ready until they apply.
+    ok(&mut client, "feed-day");
+    ok(&mut client, "feed-day");
+    let resp = raw_http(http, b"GET /readyz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 200, "{resp}");
+    assert!(resp.contains("nothing visible yet"), "{resp}");
+
+    // Health never depends on ingest progress.
+    let resp = raw_http(http, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_code(&resp), 200, "{resp}");
+}

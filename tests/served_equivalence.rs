@@ -163,6 +163,112 @@ fn delayed_daemon_answers_as_of_the_visible_day() {
     daemon.stop();
 }
 
+/// One HTTP/1.1 GET against the daemon's telemetry plane; returns the
+/// status code and the response body.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("http connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+#[test]
+fn live_telemetry_plane_preserves_byte_equivalence() {
+    let (_, end) = tiny_feed_bounds();
+    let (t3, t4, coverage, _) = batch_oracle(None);
+
+    // Boot with the whole live plane on: HTTP endpoints, a zero-threshold
+    // slow-query log, and (below) an attached subscriber. None of it may
+    // change a single answer byte versus the batch oracle.
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.http = Some("127.0.0.1:0".to_string());
+    cfg.slow_query_us = Some(0);
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let http = daemon.http_addr().expect("http bound");
+
+    // Drain pushed records on a side thread for the whole run.
+    let sub_client = Client::connect(daemon.addr()).expect("sub connect");
+    let (ack, mut sub) = sub_client.subscribe().expect("subscribe");
+    assert!(ack.contains("subscribed"), "{ack}");
+    let drain = std::thread::spawn(move || {
+        let mut records = Vec::new();
+        while let Ok(record) = sub.next_record() {
+            records.push(record);
+        }
+        records
+    });
+
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    ok(&mut client, &format!("feed-day {end}"));
+    assert_eq!(ok(&mut client, "table3"), t3);
+    assert_eq!(ok(&mut client, "table4"), t4);
+    assert_eq!(ok(&mut client, "report"), coverage);
+
+    // HTTP table bodies are the same bytes as the frame answers, which
+    // are the same bytes as the batch oracle.
+    assert_eq!(http_get(http, "/tables/table3"), (200, t3));
+    assert_eq!(http_get(http, "/tables/table4"), (200, t4));
+    assert_eq!(http_get(http, "/status").1, ok(&mut client, "status"));
+
+    let (code, health) = http_get(http, "/healthz");
+    assert_eq!(code, 200, "{health}");
+    let (code, ready) = http_get(http, "/readyz");
+    assert_eq!(code, 200, "{ready}");
+    assert!(ready.contains("ready"), "{ready}");
+
+    let (code, prom) = http_get(http, "/metrics");
+    assert_eq!(code, 200);
+    assert!(prom.contains("stale_served_query_table4_us"), "{prom}");
+    assert!(prom.contains("stale_served_ingest_batch_wall_us"), "{prom}");
+
+    // The zero-threshold slow-query log captured the table4 query with
+    // its span tree; the rolling window saw the ingest batch.
+    let (code, slowlog) = http_get(http, "/slowlog");
+    assert_eq!(code, 200);
+    assert!(slowlog.contains("query.table4"), "{slowlog}");
+    assert!(slowlog.contains("view.rebuild"), "{slowlog}");
+    let (code, window) = http_get(http, "/window");
+    assert_eq!(code, 200);
+    assert!(window.contains("rolling window"), "{window}");
+
+    daemon.stop();
+
+    // The subscriber saw at least one staleness event and the ingest
+    // span record, every record valid JSON of a known kind.
+    let records = drain.join().expect("drain thread");
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for (kind, body) in &records {
+        let parsed: serde::value::Value = serde_json::from_str(body)
+            .unwrap_or_else(|e| panic!("bad {kind} record {body:?}: {e}"));
+        match kind.as_str() {
+            "event" => events += 1,
+            "span" => {
+                spans += 1;
+                assert_eq!(
+                    parsed.get("name"),
+                    Some(&serde::value::Value::Str("served.ingest".to_string())),
+                    "{body}"
+                );
+            }
+            other => panic!("unknown push kind {other:?}"),
+        }
+    }
+    assert!(events > 0, "subscriber saw no staleness events");
+    assert!(spans > 0, "subscriber saw no ingest span records");
+}
+
 #[test]
 fn concurrent_queries_never_observe_a_partial_day() {
     use std::collections::HashMap;
