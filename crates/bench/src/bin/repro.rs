@@ -5,6 +5,7 @@
 //!       [--checkpoint FILE] [--fail-shard K]...
 //!       [--incremental] [--through DATE] [--day-batch N]
 //!       [--checkpoint-every N] [--preflight] [--export-bundle FILE]
+//!       [--export-worldlog FILE]
 //!       [--trace-out FILE] [--metrics-json FILE] [--metrics-prom FILE]
 //!
 //! presets:     paper (default) | small | tiny
@@ -34,6 +35,12 @@
 //!              --export-bundle FILE
 //!                               serialize the simulated world as a JSON
 //!                               bundle for `stale-lint preflight`
+//!              --export-worldlog FILE
+//!                               write the canonical world-fact log
+//!                               (stale-obs-worldlog v1 JSONL) to FILE —
+//!                               the layer-1 export `stale-bench replay`
+//!                               and `timeline` consume; with
+//!                               --preflight the log is validated too
 //! observability:
 //!              --trace-out F    enable span tracing, write the trace as
 //!                               JSONL to F, and print the span tree to
@@ -75,6 +82,7 @@ fn main() {
     let mut serve: Option<String> = None;
     let mut delay_days = 0i64;
     let mut export_bundle: Option<String> = None;
+    let mut export_worldlog: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut metrics_prom: Option<String> = None;
@@ -137,6 +145,13 @@ fn main() {
                 export_bundle = args_iter.next().cloned();
                 if export_bundle.is_none() {
                     eprintln!("--export-bundle needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--export-worldlog" => {
+                export_worldlog = args_iter.next().cloned();
+                if export_worldlog.is_none() {
+                    eprintln!("--export-worldlog needs a file path");
                     std::process::exit(2);
                 }
             }
@@ -298,6 +313,32 @@ fn main() {
             } else {
                 eprint!("{}", stale_lint::diagnostics::render_human(&diags));
                 eprintln!("preflight: {} diagnostic(s); refusing to run", diags.len());
+                std::process::exit(1);
+            }
+        }
+    }
+    // World-log export runs before detection and under its own span:
+    // layer-1 emission is an explicit export path, never part of the
+    // detect hot path (the compare gate holds with or without it).
+    if let Some(path) = &export_worldlog {
+        let mut span = obs.span("worldlog.export");
+        let jsonl = worldsim::WorldLog::from_datasets(&data).to_jsonl();
+        span.count("bytes", jsonl.len() as u64);
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write world log to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote world-fact log to {path}");
+        if preflight {
+            let diags = stale_lint::preflight::preflight_str("worldlog", &jsonl);
+            if diags.is_empty() {
+                eprintln!("preflight: world log clean");
+            } else {
+                eprint!("{}", stale_lint::diagnostics::render_human(&diags));
+                eprintln!(
+                    "preflight: {} world-log diagnostic(s); refusing to run",
+                    diags.len()
+                );
                 std::process::exit(1);
             }
         }

@@ -5,6 +5,10 @@
 //!                     [--min-wall-us 1000] [--out BENCH_obs.json] [--json]
 //! stale-bench explain <FINGERPRINT> (--audit AUDIT.jsonl | --server ADDR)
 //! stale-bench report (--audit AUDIT.jsonl | --server ADDR)
+//! stale-bench replay (<WORLDLOG.jsonl> | --simulate PRESET) [--shards N]
+//!                    [--incremental] [--rewrite cap-days=N]
+//! stale-bench timeline <FINGERPRINT> (--log WORLDLOG.jsonl [--audit FILE]
+//!                    [--trace FILE] | --server ADDR)
 //! stale-bench query <ADDR> <CMD> [ARGS...]
 //! stale-bench watch <ADDR> [--interval-ms 1000] [--frames N]
 //! stale-bench slowlog <ADDR>
@@ -21,9 +25,27 @@
 //!
 //! `explain`: reconstruct one certificate's full decision chain from a
 //! `repro --audit-out` JSONL export — or, with `--server`, from a
-//! resident `stale-served` daemon's live audit store. `FINGERPRINT` may
-//! be any unique prefix; an ambiguous prefix lists its candidates. Exit
-//! codes: 0 found, 1 unknown/ambiguous fingerprint, 2 usage/IO error.
+//! resident `stale-served` daemon's live audit store. File-backed
+//! lookups go through a persistent fingerprint→offset sidecar index
+//! (`<audit>.idx`, rebuilt automatically when stale), so only the
+//! matching decision lines are parsed. `FINGERPRINT` may be any unique
+//! prefix; an ambiguous prefix lists its candidates. Exit codes:
+//! 0 found, 1 unknown/ambiguous fingerprint, 2 usage/IO error.
+//!
+//! `replay`: rerun detection from an exported world-fact log
+//! (`repro --export-worldlog`) alone and print the fixed replay report
+//! (Table 3/4/7, Fig. 4/6/8/9, audit coverage). `--simulate PRESET`
+//! simulates the world directly instead — the two paths are
+//! byte-identical, which is the CI replay gate. `--rewrite cap-days=N`
+//! applies the §6 lifetime-cap counterfactual as a log rewrite before
+//! replaying. Exit codes: 0 clean, 1 log/engine failure, 2 usage/IO.
+//!
+//! `timeline`: render one certificate's joined three-layer view — the
+//! world events that created it (layer 1), the audit decisions that
+//! kept/dropped it (layer 2), and the spans of the run that touched it
+//! (layer 3) — from exported files, or from a resident daemon with
+//! `--server`. Exit codes: 0 found, 1 unknown/ambiguous fingerprint,
+//! 2 usage/IO error.
 //!
 //! `report`: render the per-detector coverage table (candidates, kept,
 //! dropped-by-reason, Table-7-style CRL match rate) from an audit export
@@ -57,6 +79,10 @@ fn usage() -> String {
      [--min-wall-us US] [--out PATH] [--json]\n\
      \x20      stale-bench explain <FINGERPRINT> (--audit FILE | --server ADDR)\n\
      \x20      stale-bench report (--audit FILE | --server ADDR)\n\
+     \x20      stale-bench replay (<WORLDLOG> | --simulate PRESET) [--shards N]\n\
+     \x20                         [--incremental] [--rewrite cap-days=N]\n\
+     \x20      stale-bench timeline <FINGERPRINT> (--log WORLDLOG [--audit FILE]\n\
+     \x20                         [--trace FILE] | --server ADDR)\n\
      \x20      stale-bench query <ADDR> <CMD> [ARGS...]\n\
      \x20      stale-bench watch <ADDR> [--interval-ms MS] [--frames N]\n\
      \x20      stale-bench slowlog <ADDR>\n\
@@ -76,6 +102,16 @@ fn usage() -> String {
      \n\
      report: print the per-detector coverage table from an audit export\n\
      or a resident stale-served daemon.\n\
+     \n\
+     replay: rerun detection from an exported world-fact log alone\n\
+     (repro --export-worldlog) and print the fixed replay report;\n\
+     --simulate PRESET simulates directly instead (byte-identical).\n\
+     --rewrite cap-days=N applies the lifetime-cap counterfactual as a\n\
+     log rewrite. Exit: 0 clean, 1 log/engine failure, 2 error.\n\
+     \n\
+     timeline: one certificate's joined world-event + audit-decision +\n\
+     telemetry view, from exported files or a resident daemon.\n\
+     Exit: 0 found, 1 unknown or ambiguous fingerprint, 2 error.\n\
      \n\
      query: send one protocol command to a stale-served daemon and print\n\
      the response body. Exit: 0 ok, 1 err response, 2 transport error.\n\
@@ -100,7 +136,7 @@ fn fail(msg: &str) -> ExitCode {
 /// Where an audit-backed command reads its decisions from: a JSONL
 /// export on disk, or a resident daemon.
 enum AuditSource {
-    File(obs::AuditReport),
+    File { path: String, text: String },
     Server(String),
 }
 
@@ -151,10 +187,26 @@ fn load_audit_source(
         (Some(path), None) => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let report = obs::AuditReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
-            Ok((free, AuditSource::File(report)))
+            Ok((free, AuditSource::File { path, text }))
         }
     }
+}
+
+/// Load the persistent explain index for an audit export: the `.idx`
+/// sidecar when it parses and still matches the store, else a fresh
+/// build (written back best-effort, so the next lookup is O(1) again).
+fn load_or_build_explain_index(path: &str, text: &str) -> Result<obs::ExplainIndex, String> {
+    let sidecar = format!("{path}.idx");
+    if let Some(index) = std::fs::read_to_string(&sidecar)
+        .ok()
+        .and_then(|t| obs::ExplainIndex::parse(&t).ok())
+        .filter(|i| i.matches(text))
+    {
+        return Ok(index);
+    }
+    let index = obs::audit::ExplainIndex::build(text).map_err(|e| format!("{path}: {e}"))?;
+    let _ = std::fs::write(&sidecar, index.to_text());
+    Ok(index)
 }
 
 /// Send one command line to a daemon, with brief connection retries.
@@ -194,7 +246,17 @@ fn cmd_explain(rest: &[String]) -> ExitCode {
         return fail("missing fingerprint");
     };
     match source {
-        AuditSource::File(report) => finish_audit_query(report.render_explain(fingerprint)),
+        AuditSource::File { path, text } => {
+            // The sidecar index makes repeat lookups read only the
+            // decision lines for one fingerprint, however large the
+            // store; its rendering is byte-identical to the in-memory
+            // path (tests/explain_index.rs).
+            let index = match load_or_build_explain_index(&path, &text) {
+                Ok(i) => i,
+                Err(e) => return fail(&e),
+            };
+            finish_audit_query(index.render_explain_from(&text, fingerprint))
+        }
         AuditSource::Server(addr) => {
             match server_request(&addr, &format!("explain {fingerprint}")) {
                 Ok(resp) => finish_audit_query(resp),
@@ -210,12 +272,210 @@ fn cmd_report(rest: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     match source {
-        AuditSource::File(report) => finish_audit_query(Ok(report.render_coverage())),
+        AuditSource::File { path, text } => {
+            let report = match obs::AuditReport::from_jsonl(&text) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("{path}: {e}")),
+            };
+            finish_audit_query(Ok(report.render_coverage()))
+        }
         AuditSource::Server(addr) => match server_request(&addr, "report") {
             Ok(resp) => finish_audit_query(resp),
             Err(e) => fail(&e),
         },
     }
+}
+
+fn cmd_replay(rest: &[String]) -> ExitCode {
+    let mut log_path: Option<String> = None;
+    let mut simulate: Option<String> = None;
+    let mut opts = stale_bench::replay::ReplayOptions::default();
+    let mut cap_days: Option<i64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--simulate" => {
+                let Some(v) = it.next() else {
+                    return fail("--simulate needs a preset (paper | small | tiny)");
+                };
+                simulate = Some(v.clone());
+            }
+            "--shards" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return fail("--shards needs a positive integer");
+                };
+                if v == 0 {
+                    return fail("--shards needs a positive integer");
+                }
+                opts.shards = v;
+            }
+            "--incremental" => opts.incremental = true,
+            "--rewrite" => {
+                let Some(v) = it.next() else {
+                    return fail("--rewrite needs a rule (cap-days=N)");
+                };
+                let Some(n) = v
+                    .strip_prefix("cap-days=")
+                    .and_then(|n| n.parse::<i64>().ok())
+                else {
+                    return fail(&format!("unknown rewrite rule {v:?} (try cap-days=N)"));
+                };
+                cap_days = Some(n);
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ if log_path.is_none() => log_path = Some(arg.clone()),
+            _ => return fail(&format!("replay takes one log path\n{}", usage())),
+        }
+    }
+    // Obtain a world log: parsed from an export, or extracted from a
+    // fresh simulation (the direct side of the CI byte-identity gate).
+    let log = match (log_path, simulate) {
+        (Some(_), Some(_)) => return fail("--simulate and a log path are mutually exclusive"),
+        (None, None) => {
+            return fail(&format!(
+                "replay needs a log path or --simulate\n{}",
+                usage()
+            ))
+        }
+        (Some(path), None) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            match worldsim::WorldLog::from_jsonl(&text) {
+                Ok(log) => log,
+                Err(e) => {
+                    eprintln!("stale-bench: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        (None, Some(preset)) => {
+            let cfg = match preset.as_str() {
+                "paper" => worldsim::ScenarioConfig::paper2023(),
+                "small" => worldsim::ScenarioConfig::small(),
+                "tiny" => worldsim::ScenarioConfig::tiny(),
+                other => return fail(&format!("unknown preset {other:?}")),
+            };
+            worldsim::WorldLog::from_datasets(&worldsim::World::run(cfg))
+        }
+    };
+    let log = match cap_days {
+        None => log,
+        Some(n) => match log.rewrite_cap_days(n) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stale-bench: {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+    let data = match log.to_datasets() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stale-bench: log does not reconstruct: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match stale_bench::replay::replay_run(data, &opts) {
+        Ok(run) => {
+            print!("{}", stale_bench::replay::replay_report(&run));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stale-bench: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_timeline(rest: &[String]) -> ExitCode {
+    let mut fingerprint: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut audit_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut server: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => match it.next() {
+                Some(v) => log_path = Some(v.clone()),
+                None => return fail("--log needs a path"),
+            },
+            "--audit" => match it.next() {
+                Some(v) => audit_path = Some(v.clone()),
+                None => return fail("--audit needs a path"),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(v.clone()),
+                None => return fail("--trace needs a path"),
+            },
+            "--server" => match it.next() {
+                Some(v) => server = Some(v.clone()),
+                None => return fail("--server needs an address"),
+            },
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}\n{}", usage()));
+            }
+            _ if fingerprint.is_none() => fingerprint = Some(arg.clone()),
+            _ => return fail(&format!("timeline takes one fingerprint\n{}", usage())),
+        }
+    }
+    let Some(fingerprint) = fingerprint else {
+        return fail(&format!("timeline needs a fingerprint\n{}", usage()));
+    };
+    if let Some(addr) = server {
+        if log_path.is_some() || audit_path.is_some() || trace_path.is_some() {
+            return fail("--server and file layers are mutually exclusive");
+        }
+        return match server_request(&addr, &format!("timeline {fingerprint}")) {
+            Ok(resp) => finish_audit_query(resp),
+            Err(e) => fail(&e),
+        };
+    }
+    let Some(log_path) = log_path else {
+        return fail(&format!(
+            "timeline needs --log FILE or --server ADDR\n{}",
+            usage()
+        ));
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let log_text = match read(&log_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let log = match worldsim::WorldLog::from_jsonl(&log_text) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("stale-bench: {log_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let audit = match &audit_path {
+        None => None,
+        Some(path) => match read(path)
+            .and_then(|t| obs::AuditReport::from_jsonl(&t).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(report) => Some(report),
+            Err(e) => return fail(&e),
+        },
+    };
+    let trace_text = match &trace_path {
+        None => None,
+        Some(path) => match read(path) {
+            Ok(t) => Some(t),
+            Err(e) => return fail(&e),
+        },
+    };
+    finish_audit_query(stale_core::timeline::render_timeline(
+        &log,
+        audit.as_ref(),
+        trace_text.as_deref(),
+        &fingerprint,
+    ))
 }
 
 fn cmd_query(rest: &[String]) -> ExitCode {
@@ -537,6 +797,8 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
+        "replay" => cmd_replay(rest),
+        "timeline" => cmd_timeline(rest),
         "query" => cmd_query(rest),
         "watch" => cmd_watch(rest),
         "slowlog" => cmd_slowlog(rest),

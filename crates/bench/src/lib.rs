@@ -12,5 +12,6 @@ pub mod ablate;
 pub mod compare;
 pub mod experiments;
 pub mod paper;
+pub mod replay;
 
 pub use experiments::{EngineRun, Experiments};

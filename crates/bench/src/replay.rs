@@ -1,0 +1,87 @@
+//! `stale-bench replay` — rerun detection from a world-fact log alone.
+//!
+//! The world-fact log (`stale-obs-worldlog` v1, [`worldsim::WorldLog`])
+//! is layer 1 of the audit model: every fact the detectors consume,
+//! replayable without the simulator. Replay reconstructs the datasets
+//! from the log ([`worldsim::WorldLog::to_datasets`]), runs the sharded
+//! engine, and renders a fixed report — byte-identical to running the
+//! same engine over the directly simulated world, for any shard count
+//! and for both batch and incremental drivers
+//! (`tests/worldlog_replay.rs` proptests this; CI diffs the bytes).
+//!
+//! A `--rewrite cap-days=N` replay applies the paper's §6 lifetime-cap
+//! counterfactual as a log rewrite ([`worldsim::WorldLog::rewrite_cap_days`])
+//! instead of a fresh simulation: validity windows are capped in the
+//! DER itself, expiry events are re-emitted, and the capped log replays
+//! through the same pipeline to reproduce the Fig. 8–9 table shape.
+
+use crate::{EngineRun, Experiments};
+use engine::EngineConfig;
+use psl::SuffixList;
+use worldsim::datasets::WorldDatasets;
+
+/// How a replay drives the engine.
+pub struct ReplayOptions {
+    /// Shard count (replay output is byte-identical for any value).
+    pub shards: usize,
+    /// Drive the incremental day-feed path instead of batch.
+    pub incremental: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            shards: 2,
+            incremental: false,
+        }
+    }
+}
+
+/// Run the detection engine (with auditing on) over reconstructed or
+/// simulated datasets. Errors on engine failure or degraded shards —
+/// a replay that silently dropped a shard would not be a replay.
+pub fn replay_run(data: WorldDatasets, opts: &ReplayOptions) -> Result<EngineRun, String> {
+    let psl = SuffixList::default_list();
+    let mut cfg = EngineConfig::with_shards(opts.shards);
+    cfg.audit = true;
+    let run = if opts.incremental {
+        Experiments::with_engine_incremental_on(data, psl, cfg)
+    } else {
+        Experiments::with_engine_on(data, psl, cfg)
+    }
+    .map_err(|e| format!("engine error: {e}"))?;
+    if !run.degraded.is_empty() {
+        return Err(format!(
+            "replay incomplete: {} of {} shard(s) degraded",
+            run.degraded.len(),
+            run.shards
+        ));
+    }
+    Ok(run)
+}
+
+/// Render the fixed replay report: the tables and figures whose bytes
+/// the replay gate compares (Table 3/4/7, Fig. 4/6/8/9) plus the
+/// decision-audit coverage table. Everything here is deterministic —
+/// no wall-clock, no shard-count dependence — so two reports from the
+/// same world facts are byte-identical however they were produced.
+pub fn replay_report(run: &EngineRun) -> String {
+    let e = &run.experiments;
+    let mut out = String::new();
+    for section in [
+        e.table3(),
+        e.table4(),
+        e.table7(),
+        e.fig4(),
+        e.fig6(),
+        e.fig8(),
+        e.fig9(),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    if let Some(audit) = &run.audit {
+        out.push_str(&audit.render_coverage());
+    }
+    out
+}

@@ -46,7 +46,12 @@
 //!   --audit-out`) has a header whose coverage tallies match its decision
 //!   lines, canonical decision ordering, well-formed fingerprints and
 //!   day stamps, and detector/provenance kinds that agree
-//!   ([`obs::audit::validate_audit_jsonl`]).
+//!   ([`obs::audit::validate_audit_jsonl`]);
+//! * `worldlog-schema` — a world-fact log (`repro --export-worldlog`)
+//!   has a schema/version header, canonically ordered day-stamped
+//!   events with well-formed hex, dense CRL indices, a tally trailer
+//!   that matches the lines, and a fingerprint that re-folds from the
+//!   stream ([`worldsim::worldlog::validate_worldlog_jsonl`]).
 
 use crate::diagnostics::{Diagnostic, Severity};
 use engine::checkpoint::{Checkpoint, StreamCheckpoint};
@@ -75,8 +80,9 @@ pub fn preflight_path(path: &Path) -> Vec<Diagnostic> {
 /// Validate file contents, dispatching on shape: a `certs` field means a
 /// world bundle, `states` a schema-v2 checkpoint, `completed` a
 /// schema-v3 batch checkpoint, a `stale-obs-metrics` schema tag a metrics-JSON
-/// export, and a JSONL stream opening with a `stale-obs-trace` or
-/// `stale-obs-audit` header a span trace or decision audit.
+/// export, and a JSONL stream opening with a `stale-obs-trace`,
+/// `stale-obs-audit` or `stale-obs-worldlog` header a span trace,
+/// decision audit or world-fact log.
 pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
     // Trace and audit exports are JSONL, not one JSON document — sniff
     // their header line before insisting the whole file parses as a
@@ -93,6 +99,9 @@ pub fn preflight_str(label: &str, text: &str) -> Vec<Diagnostic> {
             }
             if has_schema(obs::audit::AUDIT_SCHEMA) {
                 return preflight_audit(label, text);
+            }
+            if has_schema(worldsim::worldlog::WORLDLOG_SCHEMA) {
+                return preflight_worldlog(label, text);
             }
         }
     }
@@ -153,6 +162,14 @@ pub fn preflight_audit(label: &str, text: &str) -> Vec<Diagnostic> {
     obs::audit::validate_audit_jsonl(text)
         .into_iter()
         .map(|msg| diag("audit-schema", label, msg))
+        .collect()
+}
+
+/// Validate a world-fact log export (`repro --export-worldlog`).
+pub fn preflight_worldlog(label: &str, text: &str) -> Vec<Diagnostic> {
+    worldsim::worldlog::validate_worldlog_jsonl(text)
+        .into_iter()
+        .map(|msg| diag("worldlog-schema", label, msg))
         .collect()
 }
 

@@ -391,6 +391,88 @@ fn truncated_or_bitflipped_audit_rejected() {
     assert_eq!(rules(&diags), ["audit-schema"], "{diags:?}");
 }
 
+fn tiny_worldlog_jsonl() -> String {
+    let data = World::run(ScenarioConfig::tiny());
+    worldsim::WorldLog::from_datasets(&data).to_jsonl()
+}
+
+#[test]
+fn fresh_worldlog_export_preflights_clean() {
+    let diags = preflight_str("worldlog", &tiny_worldlog_jsonl());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn truncated_worldlog_rejected() {
+    let jsonl = tiny_worldlog_jsonl();
+    // Drop the tally trailer: truncation is visible without the header.
+    let no_trailer: String = jsonl
+        .lines()
+        .take(jsonl.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = preflight_str("worldlog", &no_trailer);
+    assert_eq!(rules(&diags), ["worldlog-schema"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("trailer")),
+        "{diags:?}"
+    );
+
+    // Drop an event line but keep the trailer: tallies no longer match.
+    let mut lines: Vec<&str> = jsonl.lines().collect();
+    lines.remove(1);
+    let short: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let diags = preflight_str("worldlog", &short);
+    assert_eq!(rules(&diags), ["worldlog-schema"], "{diags:?}");
+}
+
+#[test]
+fn bitflipped_worldlog_rejected() {
+    let jsonl = tiny_worldlog_jsonl();
+    // Flip a day digit so the stamp is no longer a valid day.
+    let day = jsonl.find("\"day\":\"").expect("an event") + "\"day\":\"".len();
+    let mut flipped = jsonl.clone();
+    flipped.replace_range(day..day + 4, "zzzz");
+    let diags = preflight_str("worldlog", &flipped);
+    assert_eq!(rules(&diags), ["worldlog-schema"], "{diags:?}");
+
+    // Rewrite an event kind to one outside the closed vocabulary.
+    let unknown = jsonl.replacen("\"cert-issued\"", "\"cert-banana\"", 1);
+    assert_ne!(unknown, jsonl, "tamper target present");
+    let diags = preflight_str("worldlog", &unknown);
+    assert_eq!(rules(&diags), ["worldlog-schema"], "{diags:?}");
+}
+
+#[test]
+fn reordered_worldlog_rejected() {
+    let jsonl = tiny_worldlog_jsonl();
+    let mut lines: Vec<&str> = jsonl.lines().collect();
+    lines.swap(1, 2);
+    let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let diags = preflight_str("worldlog", &swapped);
+    assert_eq!(rules(&diags), ["worldlog-schema"], "{diags:?}");
+}
+
+#[test]
+fn random_worldlog_mutations_never_panic() {
+    let jsonl = tiny_worldlog_jsonl();
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..200 {
+        let mut bytes = jsonl.clone().into_bytes();
+        let pos = (next() % bytes.len() as u64) as usize;
+        let bit = 1u8 << (next() % 8);
+        bytes[pos] ^= bit;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = preflight_str("worldlog", &mutated);
+    }
+}
+
 #[test]
 fn truncated_or_reordered_trace_rejected() {
     let jsonl = tiny_trace_jsonl();

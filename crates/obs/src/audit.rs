@@ -461,62 +461,74 @@ impl AuditReport {
     /// fingerprints listed (capped at [`AMBIGUOUS_LIST_MAX`]), so the
     /// caller can extend the prefix instead of guessing.
     pub fn decisions_for(&self, prefix: &str) -> Result<(String, Vec<&Decision>), String> {
-        if prefix.is_empty() {
-            return Err("empty fingerprint".to_string());
-        }
         let matching: BTreeSet<&str> = self
             .decisions
             .iter()
             .filter(|d| !d.cert.is_empty() && d.cert.starts_with(prefix))
             .map(|d| d.cert.as_str())
             .collect();
-        let mut certs = matching.iter();
-        let (first, second) = (certs.next(), certs.next());
-        match (first, second) {
-            (None, _) => Err(format!("no decision mentions fingerprint {prefix:?}")),
-            (Some(cert), None) => {
-                let cert = cert.to_string();
-                let chain = self
-                    .decisions
-                    .iter()
-                    .filter(|d| d.cert == cert)
-                    .collect::<Vec<_>>();
-                Ok((cert, chain))
-            }
-            (Some(_), Some(_)) => {
-                let mut msg = format!(
-                    "fingerprint prefix {prefix:?} is ambiguous ({} matches):",
-                    matching.len()
-                );
-                for cert in matching.iter().take(AMBIGUOUS_LIST_MAX) {
-                    msg.push_str(&format!("\n  {cert}"));
-                }
-                if matching.len() > AMBIGUOUS_LIST_MAX {
-                    msg.push_str(&format!(
-                        "\n  ... and {} more",
-                        matching.len() - AMBIGUOUS_LIST_MAX
-                    ));
-                }
-                Err(msg)
+        let cert = resolve_fingerprint_prefix(prefix, &matching)?.to_string();
+        let chain = self
+            .decisions
+            .iter()
+            .filter(|d| d.cert == cert)
+            .collect::<Vec<_>>();
+        Ok((cert, chain))
+    }
+
+    /// Build a fingerprint → decision-index map over [`decisions`]
+    /// (`AuditReport::decisions`). Resident query loops (`stale-served`)
+    /// cache this so per-fingerprint lookups stop scanning every
+    /// decision; invalidate whenever the report is rebuilt.
+    pub fn fingerprint_index(&self) -> BTreeMap<String, Vec<usize>> {
+        let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, d) in self.decisions.iter().enumerate() {
+            if !d.cert.is_empty() {
+                map.entry(d.cert.clone()).or_default().push(i);
             }
         }
+        map
+    }
+
+    /// [`decisions_for`](AuditReport::decisions_for) served from a
+    /// prebuilt [`fingerprint_index`](AuditReport::fingerprint_index):
+    /// prefix resolution is a range scan over the index keys instead of
+    /// a pass over every decision. Byte-identical results and errors.
+    pub fn decisions_for_indexed<'a>(
+        &'a self,
+        index: &BTreeMap<String, Vec<usize>>,
+        prefix: &str,
+    ) -> Result<(String, Vec<&'a Decision>), String> {
+        let matching: BTreeSet<&str> = prefix_range(index, prefix)
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let cert = resolve_fingerprint_prefix(prefix, &matching)?.to_string();
+        let chain = index
+            .get(&cert)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|&i| self.decisions.get(i))
+            .collect();
+        Ok((cert, chain))
     }
 
     /// Render the decision chain for one certificate (the `stale-bench
     /// explain` body).
     pub fn render_explain(&self, prefix: &str) -> Result<String, String> {
         let (cert, chain) = self.decisions_for(prefix)?;
-        let mut out = format!("fingerprint {cert}\n");
-        out.push_str(&format!("decisions   {}\n", chain.len()));
-        for d in chain {
-            out.push_str(&format!(
-                "  [{}] {:24} {}\n",
-                d.detector.as_str(),
-                d.verdict.as_str(),
-                render_provenance(&d.provenance)
-            ));
-        }
-        Ok(out)
+        Ok(render_explain_chain(&cert, &chain))
+    }
+
+    /// [`render_explain`](AuditReport::render_explain) through a cached
+    /// [`fingerprint_index`](AuditReport::fingerprint_index).
+    pub fn render_explain_indexed(
+        &self,
+        index: &BTreeMap<String, Vec<usize>>,
+        prefix: &str,
+    ) -> Result<String, String> {
+        let (cert, chain) = self.decisions_for_indexed(index, prefix)?;
+        Ok(render_explain_chain(&cert, &chain))
     }
 
     /// Render the corpus-wide data-quality summary (the `stale-bench
@@ -623,6 +635,273 @@ impl AuditReport {
             decisions.push(d);
         }
         Ok(AuditReport::from_decisions(decisions))
+    }
+}
+
+/// Resolve a fingerprint prefix against the sorted set of matching
+/// full fingerprints. Shared by the in-memory scan, the cached
+/// in-memory index, and the on-disk [`ExplainIndex`], so all three
+/// produce byte-identical errors.
+fn resolve_fingerprint_prefix<'a>(
+    prefix: &str,
+    matching: &BTreeSet<&'a str>,
+) -> Result<&'a str, String> {
+    if prefix.is_empty() {
+        return Err("empty fingerprint".to_string());
+    }
+    let mut certs = matching.iter();
+    match (certs.next(), certs.next()) {
+        (None, _) => Err(format!("no decision mentions fingerprint {prefix:?}")),
+        (Some(cert), None) => Ok(cert),
+        (Some(_), Some(_)) => {
+            let mut msg = format!(
+                "fingerprint prefix {prefix:?} is ambiguous ({} matches):",
+                matching.len()
+            );
+            for cert in matching.iter().take(AMBIGUOUS_LIST_MAX) {
+                msg.push_str(&format!("\n  {cert}"));
+            }
+            if matching.len() > AMBIGUOUS_LIST_MAX {
+                msg.push_str(&format!(
+                    "\n  ... and {} more",
+                    matching.len() - AMBIGUOUS_LIST_MAX
+                ));
+            }
+            Err(msg)
+        }
+    }
+}
+
+/// Iterate the entries of a string-keyed map whose keys start with
+/// `prefix`, without scanning keys outside the prefix range.
+fn prefix_range<'a, V>(
+    map: &'a BTreeMap<String, V>,
+    prefix: &'a str,
+) -> impl Iterator<Item = (&'a String, &'a V)> {
+    map.range(prefix.to_string()..)
+        .take_while(move |(k, _)| k.starts_with(prefix))
+}
+
+/// Render one certificate's decision chain (the `stale-bench explain`
+/// body). Shared by every explain surface so offset-backed and
+/// in-memory lookups stay byte-identical.
+pub fn render_explain_chain(cert: &str, chain: &[&Decision]) -> String {
+    let mut out = format!("fingerprint {cert}\n");
+    out.push_str(&format!("decisions   {}\n", chain.len()));
+    for d in chain {
+        out.push_str(&format!(
+            "  [{}] {:24} {}\n",
+            d.detector.as_str(),
+            d.verdict.as_str(),
+            render_provenance(&d.provenance)
+        ));
+    }
+    out
+}
+
+/// Schema tag on the first line of a persisted explain index.
+pub const EXPLAIN_INDEX_SCHEMA: &str = "stale-obs-audit-index";
+/// Current explain-index format version.
+pub const EXPLAIN_INDEX_VERSION: u32 = 1;
+
+/// A persistent fingerprint → byte-offset index over an audit JSONL
+/// export, so `explain` lookups read only the decision lines for one
+/// certificate instead of parsing the whole store.
+///
+/// The index remembers the byte length of the JSONL it was built from;
+/// [`matches`](ExplainIndex::matches) rechecks that before the index is
+/// trusted, so a rewritten audit file invalidates its sidecar instead
+/// of silently serving offsets into the wrong bytes. The sidecar format
+/// is a plain text table (header line, then one `fingerprint off off…`
+/// line per certificate) — deliberately not JSONL, so a sidecar can
+/// never be mistaken for an audit store by schema sniffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainIndex {
+    /// Byte length of the source JSONL this index was built from.
+    pub source_bytes: u64,
+    /// fingerprint → byte offsets of its decision lines, in canonical
+    /// (file) order.
+    pub entries: BTreeMap<String, Vec<u64>>,
+}
+
+impl ExplainIndex {
+    /// Build an index over an audit JSONL export. The header line is
+    /// checked (schema + version) but not indexed; decision lines with
+    /// an empty fingerprint (unmatched CRL entries) are skipped.
+    pub fn build(jsonl: &str) -> Result<ExplainIndex, String> {
+        let mut entries: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut offset = 0u64;
+        let mut saw_header = false;
+        for (lineno, line) in jsonl.split_inclusive('\n').enumerate() {
+            let here = offset;
+            offset += line.len() as u64;
+            let body = line.trim_end_matches('\n');
+            if body.trim().is_empty() {
+                continue;
+            }
+            if !saw_header {
+                let header: AuditHeader =
+                    serde_json::from_str(body).map_err(|e| format!("audit header: {e}"))?;
+                if header.schema != AUDIT_SCHEMA {
+                    return Err(format!(
+                        "schema {:?} is not {AUDIT_SCHEMA:?}",
+                        header.schema
+                    ));
+                }
+                saw_header = true;
+                continue;
+            }
+            let d: Decision =
+                serde_json::from_str(body).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if !d.cert.is_empty() {
+                entries.entry(d.cert).or_default().push(here);
+            }
+        }
+        if !saw_header {
+            return Err("empty audit file".to_string());
+        }
+        Ok(ExplainIndex {
+            source_bytes: jsonl.len() as u64,
+            entries,
+        })
+    }
+
+    /// Whether this index still describes `jsonl`. Length equality is
+    /// the freshness check: the audit export is append-only-in-spirit
+    /// but regenerated wholesale, and any regeneration that preserves
+    /// the byte length also preserves every line boundary we indexed
+    /// only if content is unchanged — so we additionally spot-check
+    /// that each indexed offset starts a line mentioning its
+    /// fingerprint when lookups parse the line (see
+    /// [`render_explain_from`](ExplainIndex::render_explain_from)).
+    pub fn matches(&self, jsonl: &str) -> bool {
+        self.source_bytes == jsonl.len() as u64
+    }
+
+    /// Resolve a fingerprint prefix to the full fingerprint and the
+    /// byte offsets of its decision lines. Errors are byte-identical
+    /// to [`AuditReport::decisions_for`].
+    pub fn offsets_for(&self, prefix: &str) -> Result<(String, &[u64]), String> {
+        let matching: BTreeSet<&str> = prefix_range(&self.entries, prefix)
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let cert = resolve_fingerprint_prefix(prefix, &matching)?.to_string();
+        let offsets = self
+            .entries
+            .get(&cert)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        Ok((cert, offsets))
+    }
+
+    /// Render the explain body for `prefix`, reading only the indexed
+    /// decision lines out of `jsonl`. Byte-identical to
+    /// [`AuditReport::render_explain`] on the same store.
+    pub fn render_explain_from(&self, jsonl: &str, prefix: &str) -> Result<String, String> {
+        if !self.matches(jsonl) {
+            return Err(format!(
+                "explain index is stale: built over {} bytes, store is {}",
+                self.source_bytes,
+                jsonl.len()
+            ));
+        }
+        let (cert, offsets) = self.offsets_for(prefix)?;
+        let mut chain = Vec::with_capacity(offsets.len());
+        for &off in offsets {
+            let rest = jsonl
+                .get(off as usize..)
+                .ok_or_else(|| format!("explain index offset {off} is past end of store"))?;
+            let line = rest.lines().next().unwrap_or_default();
+            let d: Decision = serde_json::from_str(line)
+                .map_err(|e| format!("explain index offset {off}: {e}"))?;
+            if d.cert != cert {
+                return Err(format!(
+                    "explain index offset {off} holds a decision for {:?}, not {cert:?}",
+                    d.cert
+                ));
+            }
+            chain.push(d);
+        }
+        let refs: Vec<&Decision> = chain.iter().collect();
+        Ok(render_explain_chain(&cert, &refs))
+    }
+
+    /// Serialize to the sidecar text format.
+    // stale-lint: entry(serial)
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{EXPLAIN_INDEX_SCHEMA} v{EXPLAIN_INDEX_VERSION} bytes={} certs={}\n",
+            self.source_bytes,
+            self.entries.len()
+        );
+        for (cert, offsets) in &self.entries {
+            out.push_str(cert);
+            for off in offsets {
+                out.push_str(&format!(" {off}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a sidecar produced by [`to_text`](ExplainIndex::to_text).
+    pub fn parse(text: &str) -> Result<ExplainIndex, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty explain index")?;
+        let mut fields = header.split_whitespace();
+        match (fields.next(), fields.next()) {
+            (Some(EXPLAIN_INDEX_SCHEMA), Some(v)) if v == format!("v{EXPLAIN_INDEX_VERSION}") => {}
+            _ => {
+                return Err(format!(
+                    "not a {EXPLAIN_INDEX_SCHEMA} v{EXPLAIN_INDEX_VERSION} index"
+                ))
+            }
+        }
+        let mut source_bytes = None;
+        let mut certs = None;
+        for field in fields {
+            if let Some(n) = field.strip_prefix("bytes=") {
+                source_bytes = Some(n.parse::<u64>().map_err(|e| format!("bytes: {e}"))?);
+            } else if let Some(n) = field.strip_prefix("certs=") {
+                certs = Some(n.parse::<usize>().map_err(|e| format!("certs: {e}"))?);
+            }
+        }
+        let source_bytes = source_bytes.ok_or("explain index header missing bytes=")?;
+        let certs = certs.ok_or("explain index header missing certs=")?;
+        let mut entries: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let cert = fields.next().unwrap_or_default().to_string();
+            let mut offsets = Vec::new();
+            for f in fields {
+                offsets.push(
+                    f.parse::<u64>()
+                        .map_err(|e| format!("line {}: offset {f:?}: {e}", lineno + 2))?,
+                );
+            }
+            if cert.is_empty() || offsets.is_empty() {
+                return Err(format!("line {}: malformed index entry", lineno + 2));
+            }
+            if entries.insert(cert.clone(), offsets).is_some() {
+                return Err(format!(
+                    "line {}: duplicate fingerprint {cert:?}",
+                    lineno + 2
+                ));
+            }
+        }
+        if entries.len() != certs {
+            return Err(format!(
+                "explain index header claims {certs} certs, found {}",
+                entries.len()
+            ));
+        }
+        Ok(ExplainIndex {
+            source_bytes,
+            entries,
+        })
     }
 }
 
@@ -994,6 +1273,111 @@ mod tests {
         let err = report.decisions_for("ab").unwrap_err();
         assert!(err.contains("12 matches"), "{err}");
         assert!(err.contains("... and 4 more"), "{err}");
+    }
+
+    /// A report with prefix collisions, ambiguous prefixes, and an
+    /// empty-fingerprint decision — the shapes the explain surfaces
+    /// must agree on.
+    fn explain_fixture() -> AuditReport {
+        AuditReport::from_decisions(vec![
+            kc(0, "ab01", Verdict::Kept),
+            mtd(
+                "a.com",
+                "ab01",
+                Verdict::Dropped(DropReason::OutsideValidityWindow),
+            ),
+            kc(1, "ab9f", Verdict::Dropped(DropReason::CrlOutlier)),
+            kc(2, "", Verdict::Dropped(DropReason::CrlUnmatched)),
+            mtd("b.com", "ff02", Verdict::Kept),
+        ])
+    }
+
+    #[test]
+    fn indexed_explain_is_byte_identical_to_scan() {
+        let report = explain_fixture();
+        let index = report.fingerprint_index();
+        for prefix in ["ab01", "ab0", "ab9", "ff", "ab", "zz", "", "ab01ff"] {
+            let scan = report.decisions_for(prefix);
+            let fast = report.decisions_for_indexed(&index, prefix);
+            match (scan, fast) {
+                (Ok((c1, d1)), Ok((c2, d2))) => {
+                    assert_eq!(c1, c2, "{prefix}");
+                    assert_eq!(d1, d2, "{prefix}");
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2, "{prefix}"),
+                (a, b) => panic!("{prefix}: scan {a:?} vs indexed {b:?}"),
+            }
+            match (
+                report.render_explain(prefix),
+                report.render_explain_indexed(&index, prefix),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{prefix}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "{prefix}"),
+                (a, b) => panic!("{prefix}: scan {a:?} vs indexed {b:?}"),
+            }
+        }
+        // The empty fingerprint is never indexed.
+        assert!(!index.contains_key(""));
+    }
+
+    #[test]
+    fn explain_index_over_jsonl_is_byte_identical_to_scan() {
+        let report = explain_fixture();
+        let jsonl = report.to_jsonl();
+        let index = ExplainIndex::build(&jsonl).expect("builds");
+        assert!(index.matches(&jsonl));
+        for prefix in ["ab01", "ab0", "ab9", "ff", "ab", "zz", ""] {
+            match (
+                report.render_explain(prefix),
+                index.render_explain_from(&jsonl, prefix),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{prefix}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "{prefix}"),
+                (a, b) => panic!("{prefix}: scan {a:?} vs index {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explain_index_sidecar_roundtrips() {
+        let report = explain_fixture();
+        let jsonl = report.to_jsonl();
+        let index = ExplainIndex::build(&jsonl).expect("builds");
+        let text = index.to_text();
+        let back = ExplainIndex::parse(&text).expect("parses back");
+        assert_eq!(back, index);
+        // Corrupted sidecars are rejected, never trusted.
+        assert!(ExplainIndex::parse("").is_err());
+        assert!(ExplainIndex::parse("bogus v1 bytes=3 certs=0\n").is_err());
+        assert!(ExplainIndex::parse(&text.replace("certs=3", "certs=9")).is_err());
+        let garbled = text.replacen(" 0", " x", 1);
+        if garbled != text {
+            assert!(ExplainIndex::parse(&garbled).is_err());
+        }
+    }
+
+    #[test]
+    fn explain_index_detects_stale_or_lying_offsets() {
+        let report = explain_fixture();
+        let jsonl = report.to_jsonl();
+        let index = ExplainIndex::build(&jsonl).expect("builds");
+        // A store of a different length invalidates the index outright.
+        let longer = format!("{jsonl}\n");
+        assert!(!index.matches(&longer));
+        assert!(index
+            .render_explain_from(&longer, "ab01")
+            .unwrap_err()
+            .contains("stale"));
+        // Same length, shuffled lines: the offset points at a decision
+        // for a different fingerprint, which is caught at read time.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines.swap(2, 5);
+        let shuffled = format!("{}\n", lines.join("\n"));
+        assert_eq!(shuffled.len(), jsonl.len());
+        assert!(index.render_explain_from(&shuffled, "ab9f").is_err());
+        // Building over garbage fails instead of indexing nonsense.
+        assert!(ExplainIndex::build("").is_err());
+        assert!(ExplainIndex::build("{\"certs\": []}").is_err());
     }
 
     #[test]

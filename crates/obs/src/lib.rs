@@ -47,7 +47,7 @@ pub mod slowlog;
 pub mod trace;
 pub mod window;
 
-pub use audit::{AuditLog, AuditReport, Decision, DecisionSink, NullDecisionSink};
+pub use audit::{AuditLog, AuditReport, Decision, DecisionSink, ExplainIndex, NullDecisionSink};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use slowlog::{SlowLog, SlowQueryRecord};
 pub use trace::{SpanGuard, SpanId, SpanRecord, Trace, TraceHeader};

@@ -77,6 +77,16 @@ pub struct DaemonConfig {
     /// Capture queries at or above this wall time in the slow-query log
     /// (`None` = slowlog off, no per-query tracing).
     pub slow_query_us: Option<u64>,
+    /// Slow-query ring length (`None` = [`obs::slowlog::SLOWLOG_CAP`]).
+    pub slow_query_log_len: Option<usize>,
+    /// Auto-checkpoint: snapshot applied state to the boot checkpoint
+    /// after every N ingested days (`None` = only on explicit
+    /// `snapshot` commands). Needs `checkpoint`.
+    pub checkpoint_every: Option<u64>,
+    /// Boot the world from an exported `stale-obs-worldlog` JSONL file
+    /// instead of simulating `scenario` (the daemon as a log consumer:
+    /// `feed-day` then replays log segments).
+    pub worldlog: Option<PathBuf>,
     /// Per-subscriber push-queue depth (full queues drop, never block).
     pub sub_queue: usize,
     /// Rolling-window ring capacity (last N ingest batches).
@@ -96,6 +106,9 @@ impl DaemonConfig {
             max_frame: proto::MAX_FRAME,
             http: None,
             slow_query_us: None,
+            slow_query_log_len: None,
+            checkpoint_every: None,
+            worldlog: None,
             sub_queue: 256,
             window: 16,
         }
@@ -111,6 +124,8 @@ pub enum Request {
     Status(Option<String>),
     /// One certificate's full decision chain by fingerprint prefix.
     Explain(String),
+    /// One certificate's joined world-event + audit-decision timeline.
+    Timeline(String),
     /// Table 3 (dataset inventory) over the visible days.
     Table3,
     /// Table 4 (detection rates) over the visible days.
@@ -145,6 +160,7 @@ impl Request {
             Request::Ping => "ping",
             Request::Status(_) => "status",
             Request::Explain(_) => "explain",
+            Request::Timeline(_) => "timeline",
             Request::Table3 => "table3",
             Request::Table4 => "table4",
             Request::Report => "report",
@@ -191,6 +207,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "explain" => match rest.as_slice() {
             [prefix] => Ok(Request::Explain((*prefix).to_string())),
             _ => Err("explain takes exactly one fingerprint prefix".to_string()),
+        },
+        "timeline" => match rest.as_slice() {
+            [prefix] => Ok(Request::Timeline((*prefix).to_string())),
+            _ => Err("timeline takes exactly one fingerprint prefix".to_string()),
         },
         "feed-day" => match rest.as_slice() {
             [] => Ok(Request::FeedDay(None)),
@@ -261,8 +281,20 @@ struct Actor<'w> {
     checkpoint: Option<PathBuf>,
     /// Stale events emitted since boot (not persisted in snapshots).
     events: usize,
+    /// Auto-checkpoint period in ingested days (`None` = off).
+    checkpoint_every: Option<u64>,
+    /// Days ingested since the last (auto or explicit) checkpoint.
+    days_since_checkpoint: u64,
     /// Cached merged view; invalidated by ingestion.
     view: Option<StateView>,
+    /// Cached fingerprint → decision-index map over the view's audit;
+    /// invalidated with the view, so `explain`/`status <fp>` lookups
+    /// stay O(log n) between ingests however large the store grows.
+    explain_index: Option<std::collections::BTreeMap<String, Vec<usize>>>,
+    /// Lazily extracted world-fact log (layer 1 of the `timeline`
+    /// join). The world is immutable for the daemon's lifetime, so this
+    /// never invalidates.
+    worldlog: Option<worldsim::WorldLog>,
     obs: Obs,
     /// Attached push subscribers (publishing never blocks the actor).
     subs: Subscribers,
@@ -311,6 +343,8 @@ impl<'w> Actor<'w> {
                 emitted = events.len();
                 self.events += emitted;
                 self.view = None;
+                self.explain_index = None;
+                self.days_since_checkpoint += ((visible - next).num_days() + 1).max(0) as u64;
                 // Publishing is observation only: records go out on
                 // bounded queues after the state change is complete, so
                 // attached subscribers cannot perturb ingest results.
@@ -335,6 +369,21 @@ impl<'w> Actor<'w> {
                 };
                 if let Ok(body) = serde_json::to_string(&span) {
                     self.subs.publish(KIND_SPAN, &body);
+                }
+            }
+        }
+        // Auto-checkpoint (`--checkpoint-every N`): snapshot through the
+        // same path as the explicit command once N days have been
+        // ingested since the last save. A failed save is reported and
+        // retried after the next batch; it never blocks ingestion.
+        if let Some(every) = self.checkpoint_every {
+            if self.days_since_checkpoint >= every {
+                match self.snapshot(None) {
+                    Ok(_) => {
+                        self.days_since_checkpoint = 0;
+                        self.obs.registry.add("served.checkpoint.auto", 1);
+                    }
+                    Err(e) => eprintln!("stale-served: auto-checkpoint failed: {e}"),
                 }
             }
         }
@@ -413,6 +462,66 @@ impl<'w> Actor<'w> {
             .ok_or_else(|| "decision audit unavailable".to_string())
     }
 
+    /// The decision store plus its cached fingerprint index. The index
+    /// is built once per view rebuild (invalidated together with the
+    /// view on ingest), so repeated `explain`/`status <fp>` lookups
+    /// stay logarithmic however large the store grows.
+    fn audit_indexed(
+        &mut self,
+    ) -> Result<
+        (
+            &obs::AuditReport,
+            &std::collections::BTreeMap<String, Vec<usize>>,
+        ),
+        String,
+    > {
+        self.view()?;
+        let audit = self
+            .view
+            .as_ref()
+            .and_then(|v| v.audit.as_ref())
+            .ok_or_else(|| "decision audit unavailable".to_string())?;
+        if self.explain_index.is_none() {
+            let started = Instant::now();
+            let index = audit.fingerprint_index();
+            self.obs.registry.observe_latency_us(
+                "served.explain.index_build_us",
+                started.elapsed().as_micros() as u64,
+            );
+            self.obs.registry.add("served.explain.index_builds", 1);
+            self.explain_index = Some(index);
+        }
+        let index = self
+            .explain_index
+            .as_ref()
+            .ok_or_else(|| "explain index unavailable".to_string())?;
+        Ok((audit, index))
+    }
+
+    /// The joined timeline for one certificate: layer-1 world facts from
+    /// the (lazily extracted) world log and layer-2 audit decisions from
+    /// the visible view. Layer-3 spans live client-side, so the daemon
+    /// renders the first two layers; `stale-bench timeline --trace`
+    /// joins spans offline.
+    fn timeline(&mut self, prefix: &str) -> Result<String, String> {
+        self.view()?;
+        if self.worldlog.is_none() {
+            let started = Instant::now();
+            let log = worldsim::WorldLog::from_datasets(self.data);
+            self.obs.registry.observe_latency_us(
+                "served.timeline.extract_us",
+                started.elapsed().as_micros() as u64,
+            );
+            self.worldlog = Some(log);
+        }
+        let log = self
+            .worldlog
+            .as_ref()
+            .ok_or_else(|| "world log unavailable".to_string())?;
+        let audit = self.view.as_ref().and_then(|v| v.audit.as_ref());
+        stale_core::timeline::render_timeline(log, audit, None, prefix)
+    }
+
     // stale-lint: entry(actor)
     fn handle(&mut self, req: &Request) -> Result<String, String> {
         if !self.slowlog.enabled() {
@@ -448,7 +557,11 @@ impl<'w> Actor<'w> {
             Request::Ping => Ok("pong".to_string()),
             Request::Status(None) => Ok(self.status()),
             Request::Status(Some(prefix)) => self.status_cert(prefix),
-            Request::Explain(prefix) => self.audit()?.render_explain(prefix),
+            Request::Explain(prefix) => {
+                let (audit, index) = self.audit_indexed()?;
+                audit.render_explain_indexed(index, prefix)
+            }
+            Request::Timeline(prefix) => self.timeline(prefix),
             Request::Report => Ok(self.audit()?.render_coverage()),
             Request::Table3 => {
                 let view = self.view_tables()?;
@@ -524,8 +637,8 @@ impl<'w> Actor<'w> {
 
     /// One certificate's verdict summary (the quick form of `explain`).
     fn status_cert(&mut self, prefix: &str) -> Result<String, String> {
-        let audit = self.audit()?;
-        let (cert, chain) = audit.decisions_for(prefix)?;
+        let (audit, index) = self.audit_indexed()?;
+        let (cert, chain) = audit.decisions_for_indexed(index, prefix)?;
         let kept = chain
             .iter()
             .filter(|d| d.verdict == obs::audit::Verdict::Kept)
@@ -573,11 +686,41 @@ fn detector_counter(event: &stale_core::StaleEvent) -> &'static str {
     }
 }
 
+/// Read an exported world-fact log and reconstruct its datasets.
+///
+/// A deliberate blocking boundary, like [`StreamCheckpoint::load`]: this
+/// runs once at boot, before the accept loop opens, so nothing is
+/// resident yet to stall.
+// stale-lint: trusted(blocking-io-in-actor)
+fn load_worldlog(path: &std::path::Path) -> Result<WorldDatasets, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|jsonl| worldsim::WorldLog::from_jsonl(&jsonl))
+        .and_then(|log| log.to_datasets())
+}
+
 /// Build the world and serve actor messages until `Stop` or `shutdown`.
 // stale-lint: entry(actor)
 fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs, subs: Subscribers) {
     let build_start = Instant::now();
-    let data = World::run(cfg.scenario);
+    // Boot from an exported world-fact log when one is given: the daemon
+    // then serves exactly the facts the log records, with no simulator
+    // in the loop. A bad log fails the boot (the accept loop keeps
+    // answering with "daemon is shutting down") rather than silently
+    // falling back to simulation.
+    let data = match &cfg.worldlog {
+        Some(path) => match load_worldlog(path) {
+            Ok(data) => {
+                obs.registry.add("served.boot.worldlog", 1);
+                data
+            }
+            Err(e) => {
+                eprintln!("stale-served: cannot boot from {}: {e}", path.display());
+                return;
+            }
+        },
+        None => World::run(cfg.scenario),
+    };
     let psl = SuffixList::default_list();
     obs.registry.observe_latency_us(
         "served.boot.world_build_us",
@@ -605,11 +748,18 @@ fn run_actor(cfg: DaemonConfig, rx: Receiver<ActorMsg>, obs: Obs, subs: Subscrib
         delay_days: cfg.delay_days,
         checkpoint: cfg.checkpoint,
         events: 0,
+        checkpoint_every: cfg.checkpoint_every,
+        days_since_checkpoint: 0,
         view: None,
+        explain_index: None,
+        worldlog: None,
         obs: obs.clone(),
         subs,
         slowlog: match cfg.slow_query_us {
-            Some(us) => SlowLog::new(us, obs::slowlog::SLOWLOG_CAP),
+            Some(us) => SlowLog::new(
+                us,
+                cfg.slow_query_log_len.unwrap_or(obs::slowlog::SLOWLOG_CAP),
+            ),
             None => SlowLog::disabled(),
         },
         window: WindowedHistogram::latency_us(cfg.window),
@@ -933,6 +1083,10 @@ mod tests {
             parse_request("explain ab01").unwrap(),
             Request::Explain("ab01".to_string())
         );
+        assert_eq!(
+            parse_request("timeline ab01").unwrap(),
+            Request::Timeline("ab01".to_string())
+        );
         assert_eq!(parse_request("feed-day").unwrap(), Request::FeedDay(None));
         assert_eq!(
             parse_request("feed-day 2022-01-05").unwrap(),
@@ -953,6 +1107,8 @@ mod tests {
             "ping now",
             "explain",
             "explain a b",
+            "timeline",
+            "timeline a b",
             "feed-day not-a-date",
             "table4 extra",
             "ready now",
@@ -966,6 +1122,7 @@ mod tests {
     #[test]
     fn request_tags_are_fixed() {
         assert_eq!(Request::Ping.tag(), "ping");
+        assert_eq!(Request::Timeline(String::new()).tag(), "timeline");
         assert_eq!(Request::FeedDay(None).tag(), "feed-day");
         assert_eq!(Request::Snapshot(None).tag(), "snapshot");
         assert_eq!(Request::Ready.tag(), "ready");

@@ -11,6 +11,7 @@
 //! | `/healthz`           | actor `ping` round-trip                   |
 //! | `/readyz`            | actor `ready` (delay satisfied → 200)     |
 //! | `/status[?prefix=P]` | actor `status [P]`                        |
+//! | `/timeline?fp=P`     | actor `timeline P` (joined world + audit) |
 //! | `/tables/table3`     | actor `table3`                            |
 //! | `/tables/table4`     | actor `table4`                            |
 //! | `/slowlog`           | actor `slowlog`                           |
@@ -209,6 +210,21 @@ fn respond(
             };
             ("status", Some(Request::Status(prefix)))
         }
+        "/timeline" => {
+            let prefix = match query.and_then(|q| q.strip_prefix("fp=")) {
+                Some(p) if !p.is_empty() && !p.contains('&') => p.to_string(),
+                _ => {
+                    return (
+                        400,
+                        "Bad Request",
+                        "timeline",
+                        "unsupported query (expected ?fp=<fingerprint-prefix>)\n".to_string(),
+                        None,
+                    )
+                }
+            };
+            ("timeline", Some(Request::Timeline(prefix)))
+        }
         "/tables/table3" => ("table3", Some(Request::Table3)),
         "/tables/table4" => ("table4", Some(Request::Table4)),
         "/slowlog" => ("slowlog", Some(Request::SlowLog)),
@@ -223,7 +239,7 @@ fn respond(
             )
         }
     };
-    if query.is_some() && path != "/status" {
+    if query.is_some() && path != "/status" && path != "/timeline" {
         return (
             400,
             "Bad Request",

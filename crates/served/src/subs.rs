@@ -175,6 +175,57 @@ mod tests {
     }
 
     #[test]
+    fn drops_count_once_per_subscriber_per_record() {
+        // One fast and one slow subscriber behind depth-1 queues: every
+        // record the slow queue rejects counts exactly once, and the
+        // fast subscriber's deliveries never inflate the counter.
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(1, reg.clone());
+        let (_slow, slow_rx) = subs.attach();
+        let (_fast, fast_rx) = subs.attach();
+        subs.publish(KIND_EVENT, "{\"i\":0}");
+        for i in 1..4 {
+            // The fast subscriber drains before each publish; the slow
+            // one never does, so its queue stays full.
+            assert!(fast_rx.try_recv().is_ok());
+            subs.publish(KIND_EVENT, &format!("{{\"i\":{i}}}"));
+        }
+        assert_eq!(reg.snapshot().counters["served.sub.dropped"], 3);
+        assert_eq!(slow_rx.try_recv().ok().as_deref(), Some("event\n{\"i\":0}"));
+        assert!(slow_rx.try_recv().is_err(), "dropped records never arrive");
+        assert_eq!(subs.active(), 2, "lossy subscribers stay attached");
+    }
+
+    #[test]
+    fn draining_restores_delivery_without_extra_drop_counts() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(1, reg.clone());
+        let (_id, rx) = subs.attach();
+        subs.publish(KIND_SPAN, "{\"i\":0}");
+        subs.publish(KIND_SPAN, "{\"i\":1}"); // queue full: dropped
+        assert_eq!(rx.try_recv().ok().as_deref(), Some("span\n{\"i\":0}"));
+        subs.publish(KIND_SPAN, "{\"i\":2}"); // queued again after drain
+        assert_eq!(rx.try_recv().ok().as_deref(), Some("span\n{\"i\":2}"));
+        assert_eq!(reg.snapshot().counters["served.sub.dropped"], 1);
+    }
+
+    #[test]
+    fn pruning_a_disconnected_subscriber_counts_no_drops() {
+        let reg = obs::Registry::new();
+        let subs = Subscribers::new(2, reg.clone());
+        let (_gone, rx_gone) = subs.attach();
+        let (_live, rx_live) = subs.attach();
+        drop(rx_gone);
+        subs.publish(KIND_EVENT, "{}");
+        assert_eq!(subs.active(), 1, "disconnected subscriber pruned");
+        assert_eq!(rx_live.try_recv().ok().as_deref(), Some("event\n{}"));
+        assert!(
+            !reg.snapshot().counters.contains_key("served.sub.dropped"),
+            "a disconnect is a prune, not a drop"
+        );
+    }
+
+    #[test]
     fn publish_to_nobody_is_free() {
         let reg = obs::Registry::new();
         let subs = Subscribers::new(1, reg.clone());

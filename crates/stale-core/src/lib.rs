@@ -33,6 +33,7 @@ pub mod stats;
 pub mod survival;
 pub mod tables;
 pub mod taxonomy;
+pub mod timeline;
 pub mod views;
 
 pub use detector::key_compromise::{RevocationAnalysis, RevocationFilterStats, RevokedCert};

@@ -28,6 +28,7 @@ pub mod distributions;
 pub mod popularity;
 pub mod reputation;
 pub mod world;
+pub mod worldlog;
 
 pub use arena::WorldArena;
 pub use bundle::WorldBundle;
@@ -37,3 +38,4 @@ pub use dayfeed::{DayDelta, DayFeed};
 pub use popularity::PopularityArchive;
 pub use reputation::{DomainReputation, ReputationFeed};
 pub use world::World;
+pub use worldlog::{WorldEvent, WorldLog};

@@ -1,0 +1,1448 @@
+//! The world-fact log: layer 1 of the three-layer audit model.
+//!
+//! [`obs::audit`] records *decisions* (layer 2) and the trace/metrics
+//! plane records *operations* (layer 3), but the facts those layers
+//! refer to — which certificates existed, which CRL entries appeared,
+//! which domains changed hands or left their CDN — lived only in
+//! process memory until now. [`WorldLog`] is the canonical, append-only
+//! record of those facts: every observable event of a simulated world,
+//! day-stamped, deterministically ordered, and serialized as the
+//! `stale-obs-worldlog` v1 JSONL schema (header line, one event per
+//! line in canonical order, tally trailer — the same shape as the audit
+//! schema, so the same tooling habits apply).
+//!
+//! The log is **complete**: [`WorldLog::to_datasets`] reconstructs a
+//! [`WorldDatasets`] that is indistinguishable from the original to the
+//! entire measurement pipeline (same structural fingerprint, same
+//! detector outputs, byte-identical tables — `tests/worldlog_replay.rs`
+//! proves it across shard counts and batch/incremental modes). The
+//! enrichment side-channels (popularity, reputation) and the
+//! ground-truth ledger are deliberately *not* world facts — they are
+//! simulator internals no real measurement could observe — so replayed
+//! worlds have them empty and Tables 5/6 are out of replay scope
+//! (DESIGN.md).
+//!
+//! Because replay is exact, what-if analyses become log rewrites:
+//! [`WorldLog::rewrite_cap_days`] clamps every certificate's validity to
+//! a maximum lifetime and re-derives the affected facts, which is how
+//! `stale-bench replay --rewrite cap-days=N` reruns the paper's §6
+//! lifetime-cap simulations without constructing a fresh world.
+//!
+//! Determinism invariants:
+//! * events sort by [`WorldEvent::sort_key`] — `(day, kind rank,
+//!   CRL index, natural key)` — which is a total order over any valid
+//!   log, so serialization is canonical: one world, one byte stream;
+//! * every fact is day-stamped with the day it became observable
+//!   (CT first-seen, CRL observation day, WHOIS creation date, DNS
+//!   change day);
+//! * DER is carried as lowercase hex by reference, so certificate
+//!   bodies round-trip bit-exactly and `cert` ids can be re-verified;
+//! * the header fingerprint is [`fold_fingerprint`] over the same
+//!   components the live datasets fold, recomputable from the log alone.
+
+use crate::bundle::{decode_hex, encode_hex};
+use crate::datasets::{fold_fingerprint, GroundTruth, WorldDatasets};
+use crate::popularity::PopularityArchive;
+use crate::reputation::ReputationFeed;
+use ca::scraper::{CrlDataset, RevocationRecord, ScrapeStats};
+use cdn::provider::{DelegationKind, ProviderConfig};
+use ct::monitor::CtMonitor;
+use dns::scan::{DnsHistory, DnsView};
+use registry::whois::WhoisDataset;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use stale_types::{Date, DateInterval, DomainName, Duration, KeyId, SerialNumber};
+use std::collections::{BTreeMap, BTreeSet};
+use x509::revocation::RevocationReason;
+use x509::Certificate;
+
+/// Schema tag on the JSONL header line.
+pub const WORLDLOG_SCHEMA: &str = "stale-obs-worldlog";
+/// Current world-log schema version.
+pub const WORLDLOG_VERSION: u32 = 1;
+
+/// Every event kind, in canonical rank order (the trailer tally is keyed
+/// by these, pre-seeded so absent kinds show as zero).
+pub const EVENT_KINDS: [&str; 9] = [
+    "cert-issued",
+    "cert-expired",
+    "crl-published",
+    "crl-entry-added",
+    "domain-registered",
+    "domain-re-registered",
+    "domain-dropped",
+    "delegation-added",
+    "delegation-dropped",
+];
+
+/// One observable world fact. Dates are day-granular; hex is lowercase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldEvent {
+    /// A certificate first appeared in CT.
+    CertIssued {
+        /// Earliest log timestamp across the entries that deduped here.
+        day: Date,
+        /// Dedup identity ([`Certificate::cert_id`]), 64 hex chars — the
+        /// join key against audit decisions.
+        cert: String,
+        /// Full DER encoding, hex. The body of record: validity, SANs,
+        /// AKI and serial are all re-derivable from it.
+        der: String,
+        /// Raw log entries that collapsed into this certificate.
+        entry_count: u64,
+    },
+    /// A certificate's validity ended (`notAfter`, exclusive).
+    CertExpired {
+        /// First day the certificate is invalid.
+        day: Date,
+        /// Dedup identity, 64 hex chars.
+        cert: String,
+    },
+    /// A CA's CRL scrape tally for the collection window (Table 7 row).
+    CrlPublished {
+        /// Last scrape day of the collection window.
+        day: Date,
+        /// CA display name.
+        ca: String,
+        /// Downloads attempted.
+        attempted: u64,
+        /// Downloads that succeeded.
+        ok: u64,
+    },
+    /// A revocation entry was first observed on a CRL.
+    CrlEntryAdded {
+        /// Observation day.
+        day: Date,
+        /// Position in the global CRL dataset (the audit provenance key).
+        crl_index: u64,
+        /// Issuing authority key id, 40 hex chars.
+        authority_key_id: String,
+        /// Revoked serial, 32 hex chars.
+        serial: String,
+        /// Revocation effective date.
+        revoked: Date,
+        /// RFC 5280 CRLReason code.
+        reason: u8,
+    },
+    /// A domain's first observed WHOIS creation date.
+    DomainRegistered {
+        /// The creation date itself (thin WHOIS is day-granular).
+        day: Date,
+        /// The e2LD.
+        domain: String,
+    },
+    /// A later creation date — the domain was deleted and re-registered.
+    DomainReRegistered {
+        /// The new creation date.
+        day: Date,
+        /// The e2LD.
+        domain: String,
+    },
+    /// A domain's DNS went dark (empty resolution view).
+    DomainDropped {
+        /// First day the scan saw nothing.
+        day: Date,
+        /// The e2LD.
+        domain: String,
+    },
+    /// A domain's resolution changed to (or first appeared with) the
+    /// recorded view; covers gaining a managed delegation and generic
+    /// changes alike.
+    DelegationAdded {
+        /// First day of the new view.
+        day: Date,
+        /// The e2LD.
+        domain: String,
+        /// NS targets, sorted.
+        ns: Vec<String>,
+        /// CNAME targets, sorted.
+        cname: Vec<String>,
+        /// A records (dotted quads), sorted.
+        a: Vec<String>,
+    },
+    /// A domain's resolution lost its managed delegation (the §6
+    /// departure signal) while still resolving.
+    DelegationDropped {
+        /// First day without the delegation.
+        day: Date,
+        /// The e2LD.
+        domain: String,
+        /// NS targets, sorted.
+        ns: Vec<String>,
+        /// CNAME targets, sorted.
+        cname: Vec<String>,
+        /// A records (dotted quads), sorted.
+        a: Vec<String>,
+    },
+}
+
+impl WorldEvent {
+    /// The kind tag used on the wire and in the trailer tally.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorldEvent::CertIssued { .. } => "cert-issued",
+            WorldEvent::CertExpired { .. } => "cert-expired",
+            WorldEvent::CrlPublished { .. } => "crl-published",
+            WorldEvent::CrlEntryAdded { .. } => "crl-entry-added",
+            WorldEvent::DomainRegistered { .. } => "domain-registered",
+            WorldEvent::DomainReRegistered { .. } => "domain-re-registered",
+            WorldEvent::DomainDropped { .. } => "domain-dropped",
+            WorldEvent::DelegationAdded { .. } => "delegation-added",
+            WorldEvent::DelegationDropped { .. } => "delegation-dropped",
+        }
+    }
+
+    /// The day the fact became observable.
+    pub fn day(&self) -> Date {
+        match self {
+            WorldEvent::CertIssued { day, .. }
+            | WorldEvent::CertExpired { day, .. }
+            | WorldEvent::CrlPublished { day, .. }
+            | WorldEvent::CrlEntryAdded { day, .. }
+            | WorldEvent::DomainRegistered { day, .. }
+            | WorldEvent::DomainReRegistered { day, .. }
+            | WorldEvent::DomainDropped { day, .. }
+            | WorldEvent::DelegationAdded { day, .. }
+            | WorldEvent::DelegationDropped { day, .. } => *day,
+        }
+    }
+
+    fn kind_rank(&self) -> u8 {
+        match self {
+            WorldEvent::CertIssued { .. } => 0,
+            WorldEvent::CertExpired { .. } => 1,
+            WorldEvent::CrlPublished { .. } => 2,
+            WorldEvent::CrlEntryAdded { .. } => 3,
+            WorldEvent::DomainRegistered { .. } => 4,
+            WorldEvent::DomainReRegistered { .. } => 5,
+            WorldEvent::DomainDropped { .. } => 6,
+            WorldEvent::DelegationAdded { .. } => 7,
+            WorldEvent::DelegationDropped { .. } => 8,
+        }
+    }
+
+    /// The canonical total order: day first (so a sorted log *is* a
+    /// timeline), then kind rank, then the CRL dataset index, then the
+    /// event's natural key. Day-major order is also exactly the order
+    /// [`WorldLog::to_datasets`] must apply facts in: per-domain WHOIS
+    /// and DNS streams stay chronological, and the global CRL index —
+    /// nondecreasing in observation day by construction — is preserved.
+    pub fn sort_key(&self) -> (Date, u8, u64, &str) {
+        let idx = match self {
+            WorldEvent::CrlEntryAdded { crl_index, .. } => *crl_index,
+            _ => 0,
+        };
+        let natural = match self {
+            WorldEvent::CertIssued { cert, .. } | WorldEvent::CertExpired { cert, .. } => {
+                cert.as_str()
+            }
+            WorldEvent::CrlPublished { ca, .. } => ca.as_str(),
+            WorldEvent::CrlEntryAdded { .. } => "",
+            WorldEvent::DomainRegistered { domain, .. }
+            | WorldEvent::DomainReRegistered { domain, .. }
+            | WorldEvent::DomainDropped { domain, .. }
+            | WorldEvent::DelegationAdded { domain, .. }
+            | WorldEvent::DelegationDropped { domain, .. } => domain.as_str(),
+        };
+        (self.day(), self.kind_rank(), idx, natural)
+    }
+}
+
+fn parse_ipv4(s: &str) -> Option<dns::Ipv4Addr> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.split('.');
+    for slot in &mut octets {
+        let part = parts.next()?;
+        // Reject empty/padded forms so parsing stays canonical.
+        if part.is_empty() || (part.len() > 1 && part.starts_with('0')) {
+            return None;
+        }
+        *slot = part.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(dns::Ipv4Addr(octets))
+}
+
+fn str_arr(items: &[String]) -> Value {
+    Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+impl Serialize for WorldEvent {
+    fn serialize(&self) -> Value {
+        let kind = ("kind".to_string(), Value::Str(self.kind().to_string()));
+        let day = ("day".to_string(), Value::Str(self.day().to_string()));
+        let s = |v: &str| Value::Str(v.to_string());
+        let n = |v: u64| Value::UInt(u128::from(v));
+        match self {
+            WorldEvent::CertIssued {
+                cert,
+                der,
+                entry_count,
+                ..
+            } => Value::Obj(vec![
+                kind,
+                day,
+                ("cert".to_string(), s(cert)),
+                ("der".to_string(), s(der)),
+                ("entry_count".to_string(), n(*entry_count)),
+            ]),
+            WorldEvent::CertExpired { cert, .. } => {
+                Value::Obj(vec![kind, day, ("cert".to_string(), s(cert))])
+            }
+            WorldEvent::CrlPublished {
+                ca, attempted, ok, ..
+            } => Value::Obj(vec![
+                kind,
+                day,
+                ("ca".to_string(), s(ca)),
+                ("attempted".to_string(), n(*attempted)),
+                ("ok".to_string(), n(*ok)),
+            ]),
+            WorldEvent::CrlEntryAdded {
+                crl_index,
+                authority_key_id,
+                serial,
+                revoked,
+                reason,
+                ..
+            } => Value::Obj(vec![
+                kind,
+                day,
+                ("crl_index".to_string(), n(*crl_index)),
+                ("authority_key_id".to_string(), s(authority_key_id)),
+                ("serial".to_string(), s(serial)),
+                ("revoked".to_string(), Value::Str(revoked.to_string())),
+                ("reason".to_string(), n(u64::from(*reason))),
+            ]),
+            WorldEvent::DomainRegistered { domain, .. }
+            | WorldEvent::DomainReRegistered { domain, .. }
+            | WorldEvent::DomainDropped { domain, .. } => {
+                Value::Obj(vec![kind, day, ("domain".to_string(), s(domain))])
+            }
+            WorldEvent::DelegationAdded {
+                domain,
+                ns,
+                cname,
+                a,
+                ..
+            }
+            | WorldEvent::DelegationDropped {
+                domain,
+                ns,
+                cname,
+                a,
+                ..
+            } => Value::Obj(vec![
+                kind,
+                day,
+                ("domain".to_string(), s(domain)),
+                ("ns".to_string(), str_arr(ns)),
+                ("cname".to_string(), str_arr(cname)),
+                ("a".to_string(), str_arr(a)),
+            ]),
+        }
+    }
+}
+
+fn day_field(v: &Value, name: &str) -> Result<Date, serde::de::Error> {
+    let s: String = serde::de::field(v, name)?;
+    Date::parse(&s).map_err(|_| serde::de::Error::msg(format!("bad day {s:?} in field {name:?}")))
+}
+
+impl Deserialize for WorldEvent {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        let kind: String = serde::de::field(v, "kind")?;
+        let day = day_field(v, "day")?;
+        match kind.as_str() {
+            "cert-issued" => Ok(WorldEvent::CertIssued {
+                day,
+                cert: serde::de::field(v, "cert")?,
+                der: serde::de::field(v, "der")?,
+                entry_count: serde::de::field(v, "entry_count")?,
+            }),
+            "cert-expired" => Ok(WorldEvent::CertExpired {
+                day,
+                cert: serde::de::field(v, "cert")?,
+            }),
+            "crl-published" => Ok(WorldEvent::CrlPublished {
+                day,
+                ca: serde::de::field(v, "ca")?,
+                attempted: serde::de::field(v, "attempted")?,
+                ok: serde::de::field(v, "ok")?,
+            }),
+            "crl-entry-added" => {
+                let reason: u64 = serde::de::field(v, "reason")?;
+                Ok(WorldEvent::CrlEntryAdded {
+                    day,
+                    crl_index: serde::de::field(v, "crl_index")?,
+                    authority_key_id: serde::de::field(v, "authority_key_id")?,
+                    serial: serde::de::field(v, "serial")?,
+                    revoked: day_field(v, "revoked")?,
+                    reason: u8::try_from(reason).map_err(|_| {
+                        serde::de::Error::msg(format!("reason code {reason} out of range"))
+                    })?,
+                })
+            }
+            "domain-registered" => Ok(WorldEvent::DomainRegistered {
+                day,
+                domain: serde::de::field(v, "domain")?,
+            }),
+            "domain-re-registered" => Ok(WorldEvent::DomainReRegistered {
+                day,
+                domain: serde::de::field(v, "domain")?,
+            }),
+            "domain-dropped" => Ok(WorldEvent::DomainDropped {
+                day,
+                domain: serde::de::field(v, "domain")?,
+            }),
+            "delegation-added" => Ok(WorldEvent::DelegationAdded {
+                day,
+                domain: serde::de::field(v, "domain")?,
+                ns: serde::de::field(v, "ns")?,
+                cname: serde::de::field(v, "cname")?,
+                a: serde::de::field(v, "a")?,
+            }),
+            "delegation-dropped" => Ok(WorldEvent::DelegationDropped {
+                day,
+                domain: serde::de::field(v, "domain")?,
+                ns: serde::de::field(v, "ns")?,
+                cname: serde::de::field(v, "cname")?,
+                a: serde::de::field(v, "a")?,
+            }),
+            other => Err(serde::de::Error::msg(format!(
+                "unknown world-event kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The CDN's delegation/marker configuration, carried in the header so a
+/// replayed world knows what §4.3's detector is allowed to know.
+/// ([`ProviderConfig`] itself stays serde-free; this is its wire form.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdnSettings {
+    /// Provider display name.
+    pub name: String,
+    /// NS-delegation targets.
+    pub nameservers: Vec<String>,
+    /// CNAME-delegation suffix.
+    pub cname_base: String,
+    /// Marker-SAN base, if the provider has one.
+    pub marker_base: Option<String>,
+    /// Customer domains per certificate.
+    pub sans_per_cert: u64,
+    /// `"ns"` or `"cname"`.
+    pub delegation: String,
+}
+
+impl CdnSettings {
+    /// Capture a provider configuration.
+    pub fn from_provider(cfg: &ProviderConfig) -> CdnSettings {
+        CdnSettings {
+            name: cfg.name.clone(),
+            nameservers: cfg.nameservers.iter().map(|n| n.to_string()).collect(),
+            cname_base: cfg.cname_base.to_string(),
+            marker_base: cfg.marker_base.clone(),
+            sans_per_cert: cfg.sans_per_cert as u64,
+            delegation: match cfg.delegation {
+                DelegationKind::Ns => "ns".to_string(),
+                DelegationKind::Cname => "cname".to_string(),
+            },
+        }
+    }
+
+    /// Rebuild the provider configuration.
+    pub fn to_provider(&self) -> Result<ProviderConfig, String> {
+        let mut nameservers = Vec::with_capacity(self.nameservers.len());
+        for ns in &self.nameservers {
+            nameservers
+                .push(DomainName::parse(ns).map_err(|e| format!("cdn nameserver {ns:?}: {e}"))?);
+        }
+        Ok(ProviderConfig {
+            name: self.name.clone(),
+            nameservers,
+            cname_base: DomainName::parse(&self.cname_base)
+                .map_err(|e| format!("cdn cname_base {:?}: {e}", self.cname_base))?,
+            marker_base: self.marker_base.clone(),
+            sans_per_cert: self.sans_per_cert as usize,
+            delegation: match self.delegation.as_str() {
+                "ns" => DelegationKind::Ns,
+                "cname" => DelegationKind::Cname,
+                other => return Err(format!("unknown delegation kind {other:?}")),
+            },
+        })
+    }
+}
+
+impl Serialize for CdnSettings {
+    fn serialize(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("nameservers".to_string(), str_arr(&self.nameservers)),
+            (
+                "cname_base".to_string(),
+                Value::Str(self.cname_base.clone()),
+            ),
+            ("marker_base".to_string(), self.marker_base.serialize()),
+            (
+                "sans_per_cert".to_string(),
+                Value::UInt(u128::from(self.sans_per_cert)),
+            ),
+            (
+                "delegation".to_string(),
+                Value::Str(self.delegation.clone()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CdnSettings {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        Ok(CdnSettings {
+            name: serde::de::field(v, "name")?,
+            nameservers: serde::de::field(v, "nameservers")?,
+            cname_base: serde::de::field(v, "cname_base")?,
+            marker_base: serde::de::field(v, "marker_base")?,
+            sans_per_cert: serde::de::field(v, "sans_per_cert")?,
+            delegation: serde::de::field(v, "delegation")?,
+        })
+    }
+}
+
+/// The JSONL header line: schema identity, event count, the structural
+/// fingerprint, and the world parameters that are configuration rather
+/// than events (windows, CT shard counts, CDN settings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldLogHeader {
+    /// Always [`WORLDLOG_SCHEMA`].
+    pub schema: String,
+    /// Always [`WORLDLOG_VERSION`].
+    pub version: u32,
+    /// Number of event lines that follow.
+    pub events: usize,
+    /// [`fold_fingerprint`] over the log's own components — what a
+    /// reconstructed [`WorldDatasets::fingerprint`] must equal.
+    pub fingerprint: u64,
+    /// Simulated window.
+    pub sim_window: DateInterval,
+    /// aDNS scan window.
+    pub adns_window: DateInterval,
+    /// CRL collection window.
+    pub crl_window: DateInterval,
+    /// Raw CT log entries before dedup.
+    pub ct_raw_entries: u64,
+    /// Number of CT logs.
+    pub ct_log_count: u64,
+    /// The CDN configuration the detectors may consult.
+    pub cdn: CdnSettings,
+}
+
+fn window_value(w: DateInterval) -> Value {
+    Value::Arr(vec![
+        Value::Str(w.start.to_string()),
+        Value::Str(w.end.to_string()),
+    ])
+}
+
+fn window_field(v: &Value, name: &str) -> Result<DateInterval, serde::de::Error> {
+    let pair: Vec<String> = serde::de::field(v, name)?;
+    let [start, end] = pair.as_slice() else {
+        return Err(serde::de::Error::msg(format!(
+            "field {name:?}: expected [start, end]"
+        )));
+    };
+    let bad = |s: &str| serde::de::Error::msg(format!("field {name:?}: bad day {s:?}"));
+    let start_day = Date::parse(start).map_err(|_| bad(start))?;
+    let end_day = Date::parse(end).map_err(|_| bad(end))?;
+    DateInterval::new(start_day, end_day)
+        .map_err(|_| serde::de::Error::msg(format!("field {name:?}: degenerate window")))
+}
+
+impl Serialize for WorldLogHeader {
+    fn serialize(&self) -> Value {
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str(self.schema.clone())),
+            ("version".to_string(), Value::UInt(u128::from(self.version))),
+            ("events".to_string(), Value::UInt(self.events as u128)),
+            (
+                "fingerprint".to_string(),
+                Value::UInt(u128::from(self.fingerprint)),
+            ),
+            ("sim_window".to_string(), window_value(self.sim_window)),
+            ("adns_window".to_string(), window_value(self.adns_window)),
+            ("crl_window".to_string(), window_value(self.crl_window)),
+            (
+                "ct_raw_entries".to_string(),
+                Value::UInt(u128::from(self.ct_raw_entries)),
+            ),
+            (
+                "ct_log_count".to_string(),
+                Value::UInt(u128::from(self.ct_log_count)),
+            ),
+            ("cdn".to_string(), self.cdn.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WorldLogHeader {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        Ok(WorldLogHeader {
+            schema: serde::de::field(v, "schema")?,
+            version: serde::de::field(v, "version")?,
+            events: serde::de::field(v, "events")?,
+            fingerprint: serde::de::field(v, "fingerprint")?,
+            sim_window: window_field(v, "sim_window")?,
+            adns_window: window_field(v, "adns_window")?,
+            crl_window: window_field(v, "crl_window")?,
+            ct_raw_entries: serde::de::field(v, "ct_raw_entries")?,
+            ct_log_count: serde::de::field(v, "ct_log_count")?,
+            cdn: CdnSettings::deserialize(
+                v.get("cdn")
+                    .ok_or_else(|| serde::de::Error::msg("missing field \"cdn\""))?,
+            )?,
+        })
+    }
+}
+
+/// The JSONL trailer line: per-kind event tally plus total, so a
+/// truncated file is detectable without re-reading the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldLogTally {
+    /// Kind tag → count, every kind of [`EVENT_KINDS`] present.
+    pub tally: BTreeMap<String, u64>,
+    /// Total event lines.
+    pub total: u64,
+}
+
+impl Serialize for WorldLogTally {
+    fn serialize(&self) -> Value {
+        Value::Obj(vec![
+            ("tally".to_string(), self.tally.serialize()),
+            ("total".to_string(), Value::UInt(u128::from(self.total))),
+        ])
+    }
+}
+
+impl Deserialize for WorldLogTally {
+    fn deserialize(v: &Value) -> Result<Self, serde::de::Error> {
+        Ok(WorldLogTally {
+            tally: serde::de::field(v, "tally")?,
+            total: serde::de::field(v, "total")?,
+        })
+    }
+}
+
+/// A complete world-fact log: header + canonically ordered events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldLog {
+    /// Schema identity and world parameters.
+    pub header: WorldLogHeader,
+    /// Every event, in [`WorldEvent::sort_key`] order.
+    pub events: Vec<WorldEvent>,
+}
+
+impl WorldLog {
+    /// Extract the world-fact log from live datasets. The inverse of
+    /// [`WorldLog::to_datasets`]: extracting and reconstructing yields a
+    /// world with the same fingerprint and byte-identical pipeline
+    /// outputs.
+    pub fn from_datasets(data: &WorldDatasets) -> WorldLog {
+        let mut events = Vec::new();
+        for c in data.monitor.corpus_unfiltered() {
+            let cert = c.cert_id.to_string();
+            events.push(WorldEvent::CertIssued {
+                day: c.first_seen,
+                cert: cert.clone(),
+                der: encode_hex(&c.certificate.encode()),
+                entry_count: c.entry_count as u64,
+            });
+            events.push(WorldEvent::CertExpired {
+                day: c.certificate.tbs.not_after(),
+                cert,
+            });
+        }
+        // A CA's scrape tally is "published" on the last collection day.
+        let crl_day = if data.crl_window.is_empty() {
+            data.crl_window.start
+        } else {
+            data.crl_window.end.pred()
+        };
+        for (ca, (attempted, ok)) in &data.crl_stats.per_ca {
+            events.push(WorldEvent::CrlPublished {
+                day: crl_day,
+                ca: ca.clone(),
+                attempted: *attempted,
+                ok: *ok,
+            });
+        }
+        for (i, rec) in data.crl.records().iter().enumerate() {
+            events.push(WorldEvent::CrlEntryAdded {
+                day: rec.observed,
+                crl_index: i as u64,
+                authority_key_id: rec.authority_key_id.to_string(),
+                serial: rec.serial.to_string(),
+                revoked: rec.revocation_date,
+                reason: rec.reason.code(),
+            });
+        }
+        let mut seen_domains: BTreeSet<&DomainName> = BTreeSet::new();
+        for (domain, creation) in data.whois.observations() {
+            let name = domain.to_string();
+            if seen_domains.insert(domain) {
+                events.push(WorldEvent::DomainRegistered {
+                    day: creation,
+                    domain: name,
+                });
+            } else {
+                events.push(WorldEvent::DomainReRegistered {
+                    day: creation,
+                    domain: name,
+                });
+            }
+        }
+        let is_provider =
+            |view: &DnsView| view.any_delegation(|t| data.cdn_config.is_delegation_target(t));
+        for domain in data.adns.domains() {
+            let log = data.adns.change_log(domain);
+            for (i, (day, view)) in log.iter().enumerate() {
+                let empty = view.ns.is_empty() && view.cname.is_empty() && view.a.is_empty();
+                if empty {
+                    events.push(WorldEvent::DomainDropped {
+                        day: *day,
+                        domain: domain.to_string(),
+                    });
+                    continue;
+                }
+                let was_provider = i > 0 && is_provider(&log[i - 1].1);
+                let ns = view.ns.iter().map(|n| n.to_string()).collect();
+                let cname = view.cname.iter().map(|n| n.to_string()).collect();
+                let a = view.a.iter().map(|ip| ip.to_string()).collect();
+                let domain = domain.to_string();
+                if was_provider && !is_provider(view) {
+                    events.push(WorldEvent::DelegationDropped {
+                        day: *day,
+                        domain,
+                        ns,
+                        cname,
+                        a,
+                    });
+                } else {
+                    events.push(WorldEvent::DelegationAdded {
+                        day: *day,
+                        domain,
+                        ns,
+                        cname,
+                        a,
+                    });
+                }
+            }
+        }
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        WorldLog {
+            header: WorldLogHeader {
+                schema: WORLDLOG_SCHEMA.to_string(),
+                version: WORLDLOG_VERSION,
+                events: events.len(),
+                fingerprint: data.fingerprint(),
+                sim_window: data.sim_window,
+                adns_window: data.adns_window,
+                crl_window: data.crl_window,
+                ct_raw_entries: data.ct_raw_entries as u64,
+                ct_log_count: data.ct_log_count as u64,
+                cdn: CdnSettings::from_provider(&data.cdn_config),
+            },
+            events,
+        }
+    }
+
+    /// Reconstruct the datasets from facts alone. Popularity, reputation
+    /// and ground truth are not world facts and come back empty — every
+    /// replay-scoped output (Tables 3/4/7, Figs. 4/6/8/9, the audit) is
+    /// byte-identical regardless. Fails if any event is malformed or the
+    /// reconstructed fingerprint disagrees with the header.
+    pub fn to_datasets(&self) -> Result<WorldDatasets, String> {
+        let mut order: Vec<&WorldEvent> = self.events.iter().collect();
+        order.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut monitor = CtMonitor::new();
+        let mut crl = CrlDataset::new();
+        crl.window = Some(self.header.crl_window);
+        let mut crl_stats = ScrapeStats::default();
+        let mut whois = WhoisDataset::new();
+        let mut adns = DnsHistory::new();
+        for ev in order {
+            match ev {
+                WorldEvent::CertIssued {
+                    day,
+                    cert,
+                    der,
+                    entry_count,
+                } => {
+                    let bytes = decode_hex(der)
+                        .ok_or_else(|| format!("cert-issued {cert}: der is not hex"))?;
+                    let parsed = Certificate::decode(&bytes)
+                        .map_err(|e| format!("cert-issued {cert}: bad DER: {e:?}"))?;
+                    if parsed.cert_id().to_string() != *cert {
+                        return Err(format!(
+                            "cert-issued {cert}: DER decodes to a different certificate ({})",
+                            parsed.cert_id()
+                        ));
+                    }
+                    if *entry_count == 0 {
+                        return Err(format!("cert-issued {cert}: entry_count is zero"));
+                    }
+                    for _ in 0..*entry_count {
+                        monitor.ingest(parsed.clone(), *day);
+                    }
+                }
+                // Expiry is implied by the DER; the event exists so the
+                // log reads as a timeline without decoding anything.
+                WorldEvent::CertExpired { .. } => {}
+                WorldEvent::CrlPublished {
+                    ca, attempted, ok, ..
+                } => {
+                    crl_stats.per_ca.insert(ca.clone(), (*attempted, *ok));
+                }
+                WorldEvent::CrlEntryAdded {
+                    day,
+                    crl_index,
+                    authority_key_id,
+                    serial,
+                    revoked,
+                    reason,
+                } => {
+                    if *crl_index != crl.len() as u64 {
+                        return Err(format!(
+                            "crl-entry-added: index {crl_index} where {} was expected",
+                            crl.len()
+                        ));
+                    }
+                    let aki = decode_hex(authority_key_id)
+                        .and_then(|b| <[u8; 20]>::try_from(b).ok())
+                        .ok_or_else(|| {
+                            format!("crl-entry-added #{crl_index}: bad authority key id")
+                        })?;
+                    let serial = u128::from_str_radix(serial, 16)
+                        .map_err(|_| format!("crl-entry-added #{crl_index}: bad serial"))?;
+                    let reason = RevocationReason::from_code(*reason).ok_or_else(|| {
+                        format!("crl-entry-added #{crl_index}: unknown reason code {reason}")
+                    })?;
+                    if !crl.add(RevocationRecord {
+                        authority_key_id: KeyId::from_bytes(aki),
+                        serial: SerialNumber(serial),
+                        revocation_date: *revoked,
+                        reason,
+                        observed: *day,
+                    }) {
+                        return Err(format!("crl-entry-added #{crl_index}: duplicate entry"));
+                    }
+                }
+                WorldEvent::DomainRegistered { day, domain }
+                | WorldEvent::DomainReRegistered { day, domain } => {
+                    let name = DomainName::parse(domain)
+                        .map_err(|e| format!("{} {domain:?}: {e}", ev.kind()))?;
+                    whois.observe(name, *day);
+                }
+                WorldEvent::DomainDropped { day, domain } => {
+                    let name = DomainName::parse(domain)
+                        .map_err(|e| format!("domain-dropped {domain:?}: {e}"))?;
+                    adns.record_change(name, *day, DnsView::default());
+                }
+                WorldEvent::DelegationAdded {
+                    day,
+                    domain,
+                    ns,
+                    cname,
+                    a,
+                }
+                | WorldEvent::DelegationDropped {
+                    day,
+                    domain,
+                    ns,
+                    cname,
+                    a,
+                } => {
+                    let kind = ev.kind();
+                    let name =
+                        DomainName::parse(domain).map_err(|e| format!("{kind} {domain:?}: {e}"))?;
+                    let mut view = DnsView::default();
+                    for t in ns {
+                        view.ns.insert(
+                            DomainName::parse(t).map_err(|e| format!("{kind} {domain:?}: {e}"))?,
+                        );
+                    }
+                    for t in cname {
+                        view.cname.insert(
+                            DomainName::parse(t).map_err(|e| format!("{kind} {domain:?}: {e}"))?,
+                        );
+                    }
+                    for ip in a {
+                        view.a.insert(
+                            parse_ipv4(ip)
+                                .ok_or_else(|| format!("{kind} {domain:?}: bad address {ip:?}"))?,
+                        );
+                    }
+                    adns.record_change(name, *day, view);
+                }
+            }
+        }
+        let data = WorldDatasets {
+            monitor,
+            crl,
+            crl_stats,
+            whois,
+            adns,
+            popularity: PopularityArchive::new(),
+            reputation: ReputationFeed::new(),
+            ground_truth: GroundTruth::default(),
+            cdn_config: self.header.cdn.to_provider()?,
+            sim_window: self.header.sim_window,
+            adns_window: self.header.adns_window,
+            crl_window: self.header.crl_window,
+            ct_raw_entries: self.header.ct_raw_entries as usize,
+            ct_log_count: self.header.ct_log_count as usize,
+        };
+        let fp = data.fingerprint();
+        if fp != self.header.fingerprint {
+            return Err(format!(
+                "reconstructed fingerprint {fp:#018x} does not match header {:#018x}",
+                self.header.fingerprint
+            ));
+        }
+        Ok(data)
+    }
+
+    /// Per-kind event tally, every kind pre-seeded at zero.
+    pub fn tally(&self) -> WorldLogTally {
+        let mut tally: BTreeMap<String, u64> = EVENT_KINDS
+            .iter()
+            .map(|k| ((*k).to_string(), 0u64))
+            .collect();
+        for ev in &self.events {
+            *tally.entry(ev.kind().to_string()).or_insert(0) += 1;
+        }
+        WorldLogTally {
+            tally,
+            total: self.events.len() as u64,
+        }
+    }
+
+    /// Export as JSONL: header line, one event per line in canonical
+    /// order, tally trailer.
+    // stale-lint: entry(serial)
+    pub fn to_jsonl(&self) -> String {
+        let mut order: Vec<&WorldEvent> = self.events.iter().collect();
+        order.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut out = serde_json::to_string(&self.header).unwrap_or_default();
+        out.push('\n');
+        for ev in order {
+            out.push_str(&serde_json::to_string(ev).unwrap_or_default());
+            out.push('\n');
+        }
+        out.push_str(&serde_json::to_string(&self.tally()).unwrap_or_default());
+        out.push('\n');
+        out
+    }
+
+    /// Parse a JSONL export. Checks schema identity, the trailer tally
+    /// and the header event count; use [`validate_worldlog_jsonl`] for
+    /// full per-line diagnostics.
+    pub fn from_jsonl(text: &str) -> Result<WorldLog, String> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty world log")?;
+        let header_value: Value =
+            serde_json::from_str(first).map_err(|e| format!("world-log header: {e}"))?;
+        let header = WorldLogHeader::deserialize(&header_value)
+            .map_err(|e| format!("world-log header: {e}"))?;
+        if header.schema != WORLDLOG_SCHEMA {
+            return Err(format!(
+                "schema {:?} is not {WORLDLOG_SCHEMA:?}",
+                header.schema
+            ));
+        }
+        if header.version != WORLDLOG_VERSION {
+            return Err(format!(
+                "version {} is not {WORLDLOG_VERSION}",
+                header.version
+            ));
+        }
+        let mut events = Vec::with_capacity(header.events);
+        let mut trailer: Option<WorldLogTally> = None;
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if trailer.is_some() {
+                return Err(format!("line {}: content after the trailer", lineno + 2));
+            }
+            let value: Value =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            if value.get("kind").is_some() {
+                let ev = WorldEvent::deserialize(&value)
+                    .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+                events.push(ev);
+            } else {
+                let t = WorldLogTally::deserialize(&value)
+                    .map_err(|e| format!("line {}: trailer: {e}", lineno + 2))?;
+                trailer = Some(t);
+            }
+        }
+        let trailer = trailer.ok_or("missing trailer line")?;
+        let mut log = WorldLog { header, events };
+        log.events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        if trailer.total != log.events.len() as u64 {
+            return Err(format!(
+                "trailer declares {} event(s) but the file holds {}",
+                trailer.total,
+                log.events.len()
+            ));
+        }
+        if trailer != log.tally() {
+            return Err("trailer tally does not match the event lines".to_string());
+        }
+        if log.header.events != log.events.len() {
+            return Err(format!(
+                "header declares {} event(s) but the file holds {}",
+                log.header.events,
+                log.events.len()
+            ));
+        }
+        Ok(log)
+    }
+
+    /// The §6 lifetime-cap rewrite: clamp every certificate's validity
+    /// to at most `cap_days` days, re-derive the dependent facts
+    /// (DER bytes, dedup identities, expiry events) and refresh the
+    /// header. The result is a valid log of the what-if world — replay
+    /// it to get the capped Figs. 8–9 without building a fresh world.
+    pub fn rewrite_cap_days(&self, cap_days: i64) -> Result<WorldLog, String> {
+        if cap_days <= 0 {
+            return Err(format!("cap-days must be positive, got {cap_days}"));
+        }
+        let cap = Duration::days(cap_days);
+        let mut events = Vec::with_capacity(self.events.len());
+        let mut expiries: Vec<(Date, String)> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                WorldEvent::CertIssued {
+                    day,
+                    cert,
+                    der,
+                    entry_count,
+                } => {
+                    let bytes = decode_hex(der)
+                        .ok_or_else(|| format!("cert-issued {cert}: der is not hex"))?;
+                    let mut parsed = Certificate::decode(&bytes)
+                        .map_err(|e| format!("cert-issued {cert}: bad DER: {e:?}"))?;
+                    parsed.tbs.validity = parsed.tbs.validity.cap_len(cap);
+                    let capped_cert = parsed.cert_id().to_string();
+                    expiries.push((parsed.tbs.not_after(), capped_cert.clone()));
+                    events.push(WorldEvent::CertIssued {
+                        day: *day,
+                        cert: capped_cert,
+                        der: encode_hex(&parsed.encode()),
+                        entry_count: *entry_count,
+                    });
+                }
+                // Re-emitted below from the capped validity.
+                WorldEvent::CertExpired { .. } => {}
+                other => events.push(other.clone()),
+            }
+        }
+        for (day, cert) in expiries {
+            events.push(WorldEvent::CertExpired { day, cert });
+        }
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut header = self.header.clone();
+        header.events = events.len();
+        let log = WorldLog { header, events };
+        // Capping can in principle collapse dedup identities, so re-fold
+        // the fingerprint from the rewritten stream.
+        let mut log = log;
+        log.header.fingerprint = fold_from_events(&log.header, &log.events);
+        Ok(log)
+    }
+}
+
+/// [`fold_fingerprint`] computed from an event stream plus header
+/// configuration — no reconstruction needed, so validation can check the
+/// fingerprint cheaply and rewrites can refresh it.
+fn fold_from_events(header: &WorldLogHeader, events: &[WorldEvent]) -> u64 {
+    let mut certs: BTreeSet<&str> = BTreeSet::new();
+    let mut crl_len = 0usize;
+    let mut whois_records = 0usize;
+    let mut whois_domains: BTreeSet<&str> = BTreeSet::new();
+    let mut adns_domains: BTreeSet<&str> = BTreeSet::new();
+    for ev in events {
+        match ev {
+            WorldEvent::CertIssued { cert, .. } => {
+                certs.insert(cert);
+            }
+            WorldEvent::CrlEntryAdded { .. } => crl_len += 1,
+            WorldEvent::DomainRegistered { domain, .. }
+            | WorldEvent::DomainReRegistered { domain, .. } => {
+                whois_records += 1;
+                whois_domains.insert(domain);
+            }
+            WorldEvent::DomainDropped { domain, .. }
+            | WorldEvent::DelegationAdded { domain, .. }
+            | WorldEvent::DelegationDropped { domain, .. } => {
+                adns_domains.insert(domain);
+            }
+            WorldEvent::CertExpired { .. } | WorldEvent::CrlPublished { .. } => {}
+        }
+    }
+    fold_fingerprint(
+        certs.len(),
+        header.ct_raw_entries as usize,
+        header.ct_log_count as usize,
+        crl_len,
+        whois_records,
+        whois_domains.len(),
+        adns_domains.len(),
+        [header.sim_window, header.adns_window, header.crl_window],
+    )
+}
+
+fn is_hex(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Shape checks for one parsed event; one message per violation.
+fn check_event(ev: &WorldEvent, lineno: usize, out: &mut Vec<String>) {
+    let mut bad = |msg: String| out.push(format!("line {lineno}: {msg}"));
+    match ev {
+        WorldEvent::CertIssued {
+            cert,
+            der,
+            entry_count,
+            ..
+        } => {
+            if cert.len() != 64 || !is_hex(cert) {
+                bad(format!("cert {cert:?} is not 64 lowercase hex chars"));
+            }
+            if decode_hex(der).is_none() {
+                bad("der is not well-formed hex".to_string());
+            }
+            if *entry_count == 0 {
+                bad("entry_count is zero".to_string());
+            }
+        }
+        WorldEvent::CertExpired { cert, .. } => {
+            if cert.len() != 64 || !is_hex(cert) {
+                bad(format!("cert {cert:?} is not 64 lowercase hex chars"));
+            }
+        }
+        WorldEvent::CrlPublished {
+            ca, attempted, ok, ..
+        } => {
+            if ca.is_empty() {
+                bad("ca name is empty".to_string());
+            }
+            if ok > attempted {
+                bad(format!("{ok} successes out of {attempted} attempts"));
+            }
+        }
+        WorldEvent::CrlEntryAdded {
+            authority_key_id,
+            serial,
+            reason,
+            ..
+        } => {
+            if authority_key_id.len() != 40 || !is_hex(authority_key_id) {
+                bad(format!(
+                    "authority_key_id {authority_key_id:?} is not 40 lowercase hex chars"
+                ));
+            }
+            if serial.len() != 32 || !is_hex(serial) {
+                bad(format!("serial {serial:?} is not 32 lowercase hex chars"));
+            }
+            if RevocationReason::from_code(*reason).is_none() {
+                bad(format!("unknown revocation reason code {reason}"));
+            }
+        }
+        WorldEvent::DomainRegistered { domain, .. }
+        | WorldEvent::DomainReRegistered { domain, .. }
+        | WorldEvent::DomainDropped { domain, .. } => {
+            if DomainName::parse(domain).is_err() {
+                bad(format!("bad domain name {domain:?}"));
+            }
+        }
+        WorldEvent::DelegationAdded {
+            domain,
+            ns,
+            cname,
+            a,
+            ..
+        }
+        | WorldEvent::DelegationDropped {
+            domain,
+            ns,
+            cname,
+            a,
+            ..
+        } => {
+            if DomainName::parse(domain).is_err() {
+                bad(format!("bad domain name {domain:?}"));
+            }
+            for t in ns.iter().chain(cname) {
+                if DomainName::parse(t).is_err() {
+                    bad(format!("bad delegation target {t:?}"));
+                }
+            }
+            for ip in a {
+                if parse_ipv4(ip).is_none() {
+                    bad(format!("bad address {ip:?}"));
+                }
+            }
+            if ns.is_empty() && cname.is_empty() && a.is_empty() {
+                bad("delegation event with an empty view (should be domain-dropped)".to_string());
+            }
+        }
+    }
+}
+
+/// Full structural validation of a `stale-obs-worldlog` JSONL stream:
+/// schema/version header, every line parses with well-formed hex and
+/// days, events in canonical (monotone-day) order, CRL indices dense
+/// and ascending, a trailer whose tally matches the lines, and a header
+/// fingerprint that re-folds from the stream. Returns one message per
+/// violation; empty means clean. Pure and panic-free on any input —
+/// `stale-lint preflight` wraps it.
+pub fn validate_worldlog_jsonl(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else {
+        return vec!["empty file (expected a world-log header line)".to_string()];
+    };
+    let header = match serde_json::from_str::<Value>(first)
+        .map_err(|e| format!("{e}"))
+        .and_then(|v| WorldLogHeader::deserialize(&v).map_err(|e| format!("{e}")))
+    {
+        Ok(h) => h,
+        Err(e) => return vec![format!("header line does not parse: {e}")],
+    };
+    if header.schema != WORLDLOG_SCHEMA {
+        out.push(format!(
+            "header schema {:?} (expected {WORLDLOG_SCHEMA:?})",
+            header.schema
+        ));
+    }
+    if header.version != WORLDLOG_VERSION {
+        out.push(format!(
+            "header version {} (expected {WORLDLOG_VERSION})",
+            header.version
+        ));
+    }
+    let mut events: Vec<WorldEvent> = Vec::new();
+    let mut trailer: Option<WorldLogTally> = None;
+    let mut next_crl_index = 0u64;
+    for (lineno, line) in lines.enumerate() {
+        let lineno = lineno + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if trailer.is_some() {
+            out.push(format!("line {lineno}: content after the trailer"));
+            continue;
+        }
+        let value: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(format!("line {lineno}: does not parse as JSON: {e}"));
+                continue;
+            }
+        };
+        if value.get("kind").is_none() {
+            match WorldLogTally::deserialize(&value) {
+                Ok(t) => trailer = Some(t),
+                Err(e) => out.push(format!("line {lineno}: neither event nor trailer: {e}")),
+            }
+            continue;
+        }
+        let ev = match WorldEvent::deserialize(&value) {
+            Ok(ev) => ev,
+            Err(e) => {
+                out.push(format!("line {lineno}: does not parse as an event: {e}"));
+                continue;
+            }
+        };
+        check_event(&ev, lineno, &mut out);
+        if let WorldEvent::CrlEntryAdded { crl_index, .. } = &ev {
+            if *crl_index != next_crl_index {
+                out.push(format!(
+                    "line {lineno}: crl_index {crl_index} where {next_crl_index} was expected"
+                ));
+            }
+            next_crl_index = crl_index.saturating_add(1);
+        }
+        if let Some(prev) = events.last() {
+            if prev.sort_key() > ev.sort_key() {
+                out.push(format!("line {lineno}: events out of canonical order"));
+            }
+        }
+        events.push(ev);
+    }
+    match &trailer {
+        None => out.push("missing trailer line".to_string()),
+        Some(t) => {
+            if t.total != events.len() as u64 {
+                out.push(format!(
+                    "trailer declares {} event(s) but the file holds {}",
+                    t.total,
+                    events.len()
+                ));
+            }
+            let log = WorldLog {
+                header: header.clone(),
+                events: events.clone(),
+            };
+            if *t != log.tally() {
+                out.push("trailer tally does not match the event lines".to_string());
+            }
+        }
+    }
+    if header.events != events.len() {
+        out.push(format!(
+            "header declares {} event(s) but the file holds {}",
+            header.events,
+            events.len()
+        ));
+    }
+    // Only check the fingerprint on an otherwise-clean stream: a
+    // truncated or corrupted file already has a sharper diagnostic.
+    if out.is_empty() {
+        let folded = fold_from_events(&header, &events);
+        if folded != header.fingerprint {
+            out.push(format!(
+                "header fingerprint {:#018x} does not re-fold from the events ({folded:#018x})",
+                header.fingerprint
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::world::World;
+
+    fn tiny_log() -> (WorldDatasets, WorldLog) {
+        let data = World::run(ScenarioConfig::tiny());
+        let log = WorldLog::from_datasets(&data);
+        (data, log)
+    }
+
+    #[test]
+    fn log_round_trips_through_jsonl() {
+        let (_, log) = tiny_log();
+        let jsonl = log.to_jsonl();
+        let parsed = WorldLog::from_jsonl(&jsonl).expect("parses");
+        assert_eq!(parsed, log);
+        assert_eq!(parsed.to_jsonl(), jsonl, "canonical serialization");
+    }
+
+    #[test]
+    fn reconstruction_preserves_the_fingerprint_and_summary() {
+        let (data, log) = tiny_log();
+        assert!(!log.events.is_empty());
+        let rebuilt = log.to_datasets().expect("reconstructs");
+        assert_eq!(rebuilt.fingerprint(), data.fingerprint());
+        assert_eq!(rebuilt.summary(), data.summary());
+        assert_eq!(rebuilt.crl.records(), data.crl.records());
+        assert_eq!(rebuilt.crl_stats.per_ca, data.crl_stats.per_ca);
+    }
+
+    #[test]
+    fn events_are_canonically_sorted_and_day_monotone() {
+        let (_, log) = tiny_log();
+        for pair in log.events.windows(2) {
+            assert!(pair[0].sort_key() <= pair[1].sort_key());
+        }
+        let validation = validate_worldlog_jsonl(&log.to_jsonl());
+        assert!(validation.is_empty(), "clean log: {validation:?}");
+    }
+
+    #[test]
+    fn tally_counts_every_kind() {
+        let (data, log) = tiny_log();
+        let tally = log.tally();
+        assert_eq!(tally.total, log.events.len() as u64);
+        assert_eq!(tally.tally.len(), EVENT_KINDS.len());
+        assert_eq!(
+            tally.tally["cert-issued"],
+            data.monitor.dedup_count() as u64
+        );
+        assert_eq!(tally.tally["crl-entry-added"], data.crl.len() as u64);
+    }
+
+    #[test]
+    fn truncated_log_is_rejected() {
+        let (_, log) = tiny_log();
+        let jsonl = log.to_jsonl();
+        let truncated: String = jsonl
+            .lines()
+            .take(jsonl.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(WorldLog::from_jsonl(&truncated)
+            .unwrap_err()
+            .contains("missing trailer"));
+        assert!(!validate_worldlog_jsonl(&truncated).is_empty());
+    }
+
+    #[test]
+    fn corrupted_der_fails_reconstruction() {
+        let (_, log) = tiny_log();
+        let mut broken = log.clone();
+        for ev in &mut broken.events {
+            if let WorldEvent::CertIssued { der, .. } = ev {
+                // Flip one hex digit in the DER body.
+                let flipped = if der.as_bytes()[10] == b'0' { "1" } else { "0" };
+                der.replace_range(10..11, flipped);
+                break;
+            }
+        }
+        assert!(broken.to_datasets().is_err());
+    }
+
+    #[test]
+    fn reordered_events_fail_validation() {
+        let (_, log) = tiny_log();
+        let jsonl = log.to_jsonl();
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines.swap(1, 2);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(validate_worldlog_jsonl(&swapped)
+            .iter()
+            .any(|m| m.contains("canonical order") || m.contains("crl_index")));
+    }
+
+    #[test]
+    fn cap_rewrite_caps_every_validity_and_replays() {
+        let (_, log) = tiny_log();
+        let capped = log.rewrite_cap_days(90).expect("rewrites");
+        assert_eq!(
+            capped.tally().tally["cert-issued"],
+            log.tally().tally["cert-issued"]
+        );
+        let rebuilt = capped.to_datasets().expect("capped log replays");
+        for c in rebuilt.monitor.corpus_unfiltered() {
+            assert!(c.certificate.tbs.validity.len() <= Duration::days(90));
+        }
+        let validation = validate_worldlog_jsonl(&capped.to_jsonl());
+        assert!(validation.is_empty(), "capped log is clean: {validation:?}");
+    }
+
+    #[test]
+    fn cap_rewrite_rejects_nonpositive_caps() {
+        let (_, log) = tiny_log();
+        assert!(log.rewrite_cap_days(0).is_err());
+        assert!(log.rewrite_cap_days(-3).is_err());
+    }
+}

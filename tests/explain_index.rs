@@ -1,0 +1,90 @@
+//! The persistent explain index over a real audit export: `stale-bench
+//! explain` and the daemon both resolve fingerprints through a
+//! fingerprint→offset index so lookups read only the matching decision
+//! lines. This test drives the same sidecar lifecycle the CLI uses —
+//! build, persist, reload, match, reject-on-growth — over an audit
+//! store produced by an actual engine run, and pins the core contract:
+//! the indexed rendering is byte-identical to the full scan.
+
+use obs::ExplainIndex;
+use stale_bench::Experiments;
+use stale_tls::engine::EngineConfig;
+use stale_tls::prelude::*;
+
+/// A real audit export: the tiny world, fully detected with auditing on.
+fn tiny_audit() -> obs::AuditReport {
+    let (data, psl) = Experiments::build_world(ScenarioConfig::tiny());
+    let mut cfg = EngineConfig::with_shards(2);
+    cfg.audit = true;
+    Experiments::with_engine_on(data, psl, cfg)
+        .expect("engine run")
+        .audit
+        .expect("audited run")
+}
+
+#[test]
+fn sidecar_lifecycle_preserves_scan_bytes() {
+    let audit = tiny_audit();
+    let jsonl = audit.to_jsonl();
+    let index = ExplainIndex::build(&jsonl).expect("index builds over real export");
+
+    // Round-trip through the sidecar text form, as the CLI persists it.
+    let reloaded = ExplainIndex::parse(&index.to_text()).expect("sidecar parses");
+    assert!(reloaded.matches(&jsonl), "fresh sidecar matches its store");
+
+    // Every audited fingerprint renders byte-identically via the index
+    // and via the full scan, including through the reloaded sidecar.
+    let mut checked = 0usize;
+    for cert in audit.decisions.iter().map(|d| &d.cert) {
+        if cert.is_empty() {
+            continue;
+        }
+        let scan = audit.render_explain(cert).expect("scan renders");
+        assert_eq!(
+            reloaded
+                .render_explain_from(&jsonl, cert)
+                .expect("indexed render"),
+            scan,
+            "indexed explain for {cert} diverged from the scan"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "tiny world audits at least one certificate");
+
+    // A store that grew after the index was built is refused, not
+    // silently mis-resolved — the CLI rebuilds on this signal.
+    let grown = format!("{jsonl}{}", jsonl.lines().last().unwrap());
+    assert!(!reloaded.matches(&grown), "stale sidecar must not match");
+    let err = reloaded
+        .render_explain_from(&grown, audit.decisions.last().map(|d| &d.cert).unwrap())
+        .expect_err("stale index must refuse to render");
+    assert!(err.contains("stale"), "{err}");
+}
+
+#[test]
+fn prefix_semantics_match_between_index_and_scan() {
+    let audit = tiny_audit();
+    let jsonl = audit.to_jsonl();
+    let index = ExplainIndex::build(&jsonl).expect("index builds");
+    let full = audit
+        .decisions
+        .iter()
+        .find(|d| !d.cert.is_empty())
+        .map(|d| d.cert.clone())
+        .expect("some audited certificate");
+
+    // A short unique prefix resolves identically on both paths.
+    for len in (8..=full.len()).rev() {
+        let prefix = &full[..len];
+        let scan = audit.render_explain(prefix);
+        let indexed = index.render_explain_from(&jsonl, prefix);
+        assert_eq!(indexed, scan, "prefix {prefix} diverged");
+    }
+
+    // Misses error the same way on both paths.
+    let scan_miss = audit.render_explain("ffffffffffffffff").unwrap_err();
+    let index_miss = index
+        .render_explain_from(&jsonl, "ffffffffffffffff")
+        .unwrap_err();
+    assert_eq!(scan_miss, index_miss);
+}

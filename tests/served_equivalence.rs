@@ -370,3 +370,118 @@ fn concurrent_queries_never_observe_a_partial_day() {
     );
     daemon.stop();
 }
+
+#[test]
+fn auto_checkpoint_restart_mid_stream_is_byte_equivalent() {
+    let (start, end) = tiny_feed_bounds();
+    let dir = std::env::temp_dir().join("stale_served_auto_checkpoint_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("served_auto.json");
+    let _ = std::fs::remove_file(&path);
+
+    // First life: --checkpoint-every 10, fed day by day. The daemon
+    // snapshots on its own; no explicit `snapshot` command is ever sent.
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.checkpoint = Some(path.clone());
+    cfg.checkpoint_every = Some(10);
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    for offset in 0..35 {
+        let day = start + Duration::days(offset);
+        ok(&mut client, &format!("feed-day {day}"));
+    }
+    let metrics = ok(&mut client, "metrics");
+    assert!(
+        metrics.contains("served.checkpoint.auto"),
+        "auto-checkpoint never fired: {metrics}"
+    );
+    // Simulated crash: stop without snapshotting the remaining days.
+    daemon.stop();
+    assert!(path.exists(), "auto-checkpoint written");
+    let snapshot = std::fs::read_to_string(&path).expect("read snapshot");
+    let diags = stale_lint::preflight::preflight_str("snapshot", &snapshot);
+    assert!(diags.is_empty(), "auto-checkpoint preflight: {diags:?}");
+
+    // Second life: restore from the auto-checkpoint mid-stream, feed
+    // the rest, and land on the straight-through batch bytes.
+    let (t3, t4, coverage, explain) = batch_oracle(None);
+    let (fp, explain) = explain.expect("full drain audits some certificate");
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.checkpoint = Some(path.clone());
+    cfg.checkpoint_every = Some(10);
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    // With 35 single-day feeds and a period of 10, the last auto
+    // snapshot fired after the 30th day — the restored cursor sits on
+    // that boundary, mid-stream.
+    let status = ok(&mut client, "status");
+    let boundary = start + Duration::days(29);
+    assert!(
+        status.contains(&format!("applied-through {boundary}")),
+        "restored to the last auto-checkpoint boundary: {status}"
+    );
+    ok(&mut client, &format!("feed-day {end}"));
+    assert_eq!(ok(&mut client, "table3"), t3);
+    assert_eq!(ok(&mut client, "table4"), t4);
+    assert_eq!(ok(&mut client, "report"), coverage);
+    assert_eq!(ok(&mut client, &format!("explain {fp}")), explain);
+    daemon.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn daemon_timeline_matches_offline_join_even_when_booted_from_worldlog() {
+    use stale_tls::worldsim::WorldLog;
+
+    let (_, end) = tiny_feed_bounds();
+
+    // Offline oracle: the same three-layer join `stale-bench timeline`
+    // renders from files, over the full audit and the extracted log.
+    let (data, psl) = Experiments::build_world(ScenarioConfig::tiny());
+    let log = WorldLog::from_datasets(&data);
+    let jsonl = log.to_jsonl();
+    let mut ecfg = EngineConfig::with_shards(1);
+    ecfg.audit = true;
+    let run = Experiments::with_engine_incremental_on(data, psl, ecfg).expect("oracle run");
+    let audit = run.audit.expect("audited run");
+    let fp = audit
+        .decisions
+        .iter()
+        .find(|d| !d.cert.is_empty())
+        .map(|d| d.cert.clone())
+        .expect("some audited certificate");
+    let expected = stale_tls::stale_core::timeline::render_timeline(&log, Some(&audit), None, &fp)
+        .expect("offline timeline");
+
+    // Boot the daemon FROM the exported log (no simulator in the loop),
+    // drain it, and ask for the same timeline on both fronts.
+    let dir = std::env::temp_dir().join("stale_served_worldlog_boot_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log_path = dir.join("world.jsonl");
+    std::fs::write(&log_path, &jsonl).expect("write log");
+    let mut cfg = DaemonConfig::new("tiny", ScenarioConfig::tiny());
+    cfg.shards = 2;
+    cfg.worldlog = Some(log_path.clone());
+    cfg.http = Some("127.0.0.1:0".to_string());
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let http = daemon.http_addr().expect("http bound");
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    ok(&mut client, &format!("feed-day {end}"));
+    assert_eq!(ok(&mut client, &format!("timeline {fp}")), expected);
+    assert_eq!(
+        http_get(http, &format!("/timeline?fp={fp}")),
+        (200, expected)
+    );
+
+    // Unknown prefixes and malformed queries fail without touching state.
+    let miss = client
+        .request("timeline ffffffffffffffff")
+        .expect("transport");
+    assert!(miss.is_err(), "unknown fingerprint should error");
+    assert_eq!(http_get(http, "/timeline").0, 400);
+    assert_eq!(http_get(http, "/timeline?fp=").0, 400);
+    daemon.stop();
+    let _ = std::fs::remove_file(&log_path);
+}

@@ -1,0 +1,115 @@
+//! Replay byte-identity over the world-fact log (`stale-obs-worldlog`
+//! v1): detection rerun from the log alone must produce the same bytes
+//! as detection over the directly simulated world — for every shard
+//! count, for both engine drivers, and after a lifetime-cap rewrite.
+//!
+//! This is the layer-1 analogue of `tests/served_equivalence.rs`: the
+//! log round-trip (datasets → JSONL → datasets) sits between the
+//! simulator and the engine, and nothing downstream may notice.
+
+use proptest::prelude::*;
+use stale_bench::replay::{replay_report, replay_run, ReplayOptions};
+use stale_tls::prelude::*;
+use stale_tls::worldsim::WorldLog;
+use std::path::PathBuf;
+
+/// Render the replay gate's report for a world, with auditing on.
+fn report_for(data: WorldDatasets, shards: usize, incremental: bool) -> String {
+    let run = replay_run(
+        data,
+        &ReplayOptions {
+            shards,
+            incremental,
+        },
+    )
+    .expect("engine run");
+    replay_report(&run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For arbitrary world seeds: export the log, reconstruct the
+    /// datasets from its JSONL text, and rerun detection at shard
+    /// widths 1/2/7 under both the batch and the incremental driver.
+    /// Every rendered report must equal the direct-simulation bytes.
+    #[test]
+    fn replay_is_byte_identical_across_shards_and_drivers(seed in 0u64..10_000) {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = seed;
+        let data = World::run(cfg);
+        let jsonl = WorldLog::from_datasets(&data).to_jsonl();
+        let baseline = report_for(data, 2, false);
+        for shards in [1usize, 2, 7] {
+            for incremental in [false, true] {
+                let log = WorldLog::from_jsonl(&jsonl).expect("log parses");
+                let replayed = log.to_datasets().expect("datasets reconstruct");
+                let report = report_for(replayed, shards, incremental);
+                prop_assert_eq!(
+                    &report, &baseline,
+                    "seed={} shards={} incremental={}", seed, shards, incremental
+                );
+            }
+        }
+    }
+}
+
+/// The preflight gate accepts every exported log (the corruption side
+/// is covered by the lint crate's own tests).
+#[test]
+fn exported_log_passes_preflight() {
+    let data = World::run(ScenarioConfig::tiny());
+    let jsonl = WorldLog::from_datasets(&data).to_jsonl();
+    let diags = stale_lint::preflight::preflight_str("worldlog", &jsonl);
+    assert!(diags.is_empty(), "worldlog preflight: {diags:?}");
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// The §6 lifetime-cap counterfactual as a log rewrite: cap validity in
+/// the log, replay, and land byte-for-byte on a pinned golden table —
+/// no fresh world is ever constructed. Refresh after an intentional
+/// change with `UPDATE_GOLDEN=1 cargo test --test worldlog_replay`.
+#[test]
+fn cap_rewrite_replay_matches_golden() {
+    let data = World::run(ScenarioConfig::tiny());
+    let log = WorldLog::from_datasets(&data);
+    let uncapped = report_for(log.to_datasets().expect("datasets"), 2, false);
+
+    let capped_log = log.rewrite_cap_days(90).expect("rewrite");
+    let capped = report_for(capped_log.to_datasets().expect("capped datasets"), 2, false);
+    assert_ne!(
+        capped, uncapped,
+        "a 90-day cap over multi-year certificates must change the tables"
+    );
+
+    let path = golden_path("replay_cap90");
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &capped).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {} — run `UPDATE_GOLDEN=1 cargo test --test worldlog_replay`",
+            path.display()
+        )
+    });
+    if capped != expected {
+        let line = capped
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| capped.lines().count().min(expected.lines().count()) + 1);
+        panic!(
+            "capped replay drifted from golden (first divergence at line {line}); \
+             if intentional, refresh with `UPDATE_GOLDEN=1 cargo test --test worldlog_replay`"
+        );
+    }
+}
